@@ -1,0 +1,147 @@
+//! Criterion microbenchmarks for the core data structures and algorithms:
+//! the per-operation costs behind the paper's overhead arguments (§3's
+//! "max-flow … has high overhead, requiring O(|V|·|E|²) computation per
+//! transaction" vs Spider's per-request path selection).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spider_lp::fluid::{FluidProblem, PathSelection};
+use spider_lp::paths::{k_edge_disjoint_paths, k_shortest_paths};
+use spider_lp::primal_dual::{solve_problem, PrimalDualConfig};
+use spider_maxflow::FlowNetwork;
+use spider_paygraph::decompose::decompose;
+use spider_paygraph::generate::skewed_demand;
+use spider_sim::{RouteRequest, Router, NetworkView, ChannelState};
+use spider_topology::gen;
+use spider_types::{Amount, DetRng, NodeId, PaymentId, SimTime};
+use std::hint::black_box;
+
+fn isp_flow_network() -> FlowNetwork {
+    let topo = gen::isp_topology(Amount::from_xrp(30_000));
+    let mut net = FlowNetwork::new(topo.node_count());
+    for (_, ch) in topo.channels() {
+        net.add_bidirectional(ch.u, ch.v, 15_000_000_000, 15_000_000_000);
+    }
+    net
+}
+
+fn bench_maxflow(c: &mut Criterion) {
+    let mut g = c.benchmark_group("maxflow-isp");
+    g.bench_function("dinic", |b| {
+        b.iter_batched(
+            isp_flow_network,
+            |mut net| black_box(net.max_flow_dinic(NodeId(8), NodeId(20))),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("edmonds_karp", |b| {
+        b.iter_batched(
+            isp_flow_network,
+            |mut net| black_box(net.max_flow_edmonds_karp(NodeId(8), NodeId(20))),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_paths(c: &mut Criterion) {
+    let topo = gen::isp_topology(Amount::from_xrp(30_000));
+    let mut g = c.benchmark_group("paths-isp");
+    g.bench_function("yen_k4", |b| {
+        b.iter(|| black_box(k_shortest_paths(&topo, NodeId(8), NodeId(20), 4)))
+    });
+    g.bench_function("edge_disjoint_k4", |b| {
+        b.iter(|| black_box(k_edge_disjoint_paths(&topo, NodeId(8), NodeId(20), 4)))
+    });
+    g.finish();
+}
+
+fn bench_lp(c: &mut Criterion) {
+    let topo = gen::paper_example_topology(Amount::from_xrp(1_000_000));
+    let demands = spider_paygraph::examples::paper_example_demands();
+    let mut g = c.benchmark_group("fluid-lp");
+    g.bench_function("simplex_paper_example", |b| {
+        b.iter(|| {
+            let p = FluidProblem::new(&topo, &demands, 0.5, PathSelection::KShortest(4));
+            black_box(p.solve_balanced().expect("solves"))
+        })
+    });
+    g.bench_function("primal_dual_1k_iters", |b| {
+        let problem = FluidProblem::new(&topo, &demands, 0.5, PathSelection::KShortest(4));
+        let mut cfg = PrimalDualConfig::for_demand_scale(2.0);
+        cfg.iterations = 1_000;
+        cfg.sample_every = 1_000;
+        b.iter(|| black_box(solve_problem(&topo, &demands, 0.5, &problem, &cfg)))
+    });
+    g.finish();
+}
+
+fn bench_decompose(c: &mut Criterion) {
+    let mut rng = DetRng::new(5);
+    let demands = skewed_demand(100, 600, 1_000.0, 12.0, &mut rng);
+    c.bench_function("circulation_decompose_100n", |b| {
+        b.iter(|| black_box(decompose(&demands, 1e-6)))
+    });
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let topo = gen::isp_topology(Amount::from_xrp(30_000));
+    let channels: Vec<ChannelState> =
+        topo.channels().map(|(_, ch)| ChannelState::split_equally(ch.capacity)).collect();
+    let req = RouteRequest {
+        payment: PaymentId(0),
+        src: NodeId(8),
+        dst: NodeId(20),
+        remaining: Amount::from_xrp(500),
+        total: Amount::from_xrp(500),
+        mtu: Amount::from_xrp(10),
+        attempt: 0,
+    };
+    let mut g = c.benchmark_group("route-call-isp");
+    g.bench_function("spider_waterfilling", |b| {
+        let mut r = spider_routing::SpiderWaterfilling::new(4);
+        let view = NetworkView { topo: &topo, channels: &channels, now: SimTime::ZERO };
+        r.route(&req, &view); // warm the path cache, as in steady state
+        b.iter(|| black_box(r.route(&req, &view)))
+    });
+    g.bench_function("max_flow", |b| {
+        let mut r = spider_routing::MaxFlow::new();
+        let view = NetworkView { topo: &topo, channels: &channels, now: SimTime::ZERO };
+        b.iter(|| black_box(r.route(&req, &view)))
+    });
+    g.bench_function("speedymurmurs", |b| {
+        let mut r = spider_routing::SpeedyMurmurs::new(&topo, 3);
+        let view = NetworkView { topo: &topo, channels: &channels, now: SimTime::ZERO };
+        b.iter(|| black_box(r.route(&req, &view)))
+    });
+    g.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    use spider_core::{ExperimentConfig, SchemeConfig, TopologyConfig};
+    use spider_sim::{SimConfig, WorkloadConfig};
+    use spider_types::SimDuration;
+    let cfg = ExperimentConfig {
+        topology: TopologyConfig::Isp { capacity_xrp: 10_000 },
+        workload: WorkloadConfig::small(1_000, 1_000.0),
+        sim: SimConfig {
+            horizon: SimDuration::from_secs(2),
+            ..SimConfig::default()
+        },
+        scheme: SchemeConfig::SpiderWaterfilling { paths: 4 },
+        seed: 1,
+    };
+    c.bench_function("sim_1k_payments_isp", |b| {
+        b.iter(|| black_box(cfg.run().expect("runs")))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_maxflow,
+    bench_paths,
+    bench_lp,
+    bench_decompose,
+    bench_routing,
+    bench_end_to_end
+);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! §5.2.3 ablation — on-chain rebalancing in the *simulator*.
+//!
+//! The fluid analysis says throughput beyond ν(C*) requires on-chain
+//! deposits, with diminishing returns (t(B) concave). This binary checks
+//! the event-level counterpart: a DAG-heavy workload on the ISP topology,
+//! swept over rebalancing aggressiveness (how depleted a channel must be
+//! before it tops itself up on-chain).
+//!
+//! Expected shape: without rebalancing, success volume pins near the
+//! demand's circulation share; as rebalancing gets more aggressive,
+//! success volume climbs toward 100 % while the on-chain deposit volume
+//! (the cost side of the γ trade-off) grows.
+
+use spider_bench::{emit, isp_experiment, HarnessArgs};
+use spider_core::output::FigureRow;
+use spider_core::SchemeConfig;
+use spider_sim::config::RebalancingConfig;
+use spider_types::SimDuration;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let mut rows: Vec<FigureRow> = Vec::new();
+
+    // DAG-heavy demand: strong sender skew → circulation fraction ~0.1.
+    let mut base = isp_experiment(10_000, args.full, args.seed);
+    base.workload.sender_skew_scale = 2.0;
+    base.scheme = SchemeConfig::SpiderWaterfilling { paths: 4 };
+
+    // Reference: the circulation share of this demand.
+    let rng = spider_types::DetRng::new(base.seed);
+    let topo = base.topology.build(&rng).expect("topology builds");
+    let mut wrng = rng.fork("workload");
+    let w = spider_sim::Workload::generate(topo.node_count(), &base.workload, &mut wrng);
+    let demands = spider_core::experiment::demand_graph(&w, topo.node_count());
+    let nu = spider_paygraph::decompose::max_circulation_value(&demands, 1e-6);
+    println!(
+        "demand circulation fraction: {:.1}% (balanced-forever ceiling)\n",
+        100.0 * nu / demands.total_demand()
+    );
+
+    // Sweep: no rebalancing, then increasingly aggressive triggers.
+    let mut settings: Vec<(f64, Option<RebalancingConfig>)> = vec![(0.0, None)];
+    for trigger in [0.05, 0.15, 0.30, 0.45] {
+        settings.push((
+            trigger,
+            Some(RebalancingConfig {
+                check_interval: SimDuration::from_millis(500),
+                trigger_fraction: trigger,
+                target_fraction: 0.5,
+                confirmation_delay: SimDuration::from_secs(5),
+            }),
+        ));
+    }
+
+    println!(
+        "{:>10} {:>16} {:>17} {:>16} {:>10}",
+        "trigger", "success_ratio%", "success_volume%", "onchain (XRP)", "ops"
+    );
+    for (trigger, rb) in settings {
+        let mut cfg = base.clone();
+        cfg.sim.rebalancing = rb;
+        let r = cfg.run().expect("runs");
+        println!(
+            "{trigger:>10.2} {:>16.2} {:>17.2} {:>16.0} {:>10}",
+            100.0 * r.success_ratio(),
+            100.0 * r.success_volume(),
+            r.onchain_deposited.as_xrp(),
+            r.rebalance_ops,
+        );
+        rows.push(FigureRow::new("ablation-rebalancing", "trigger_fraction", trigger, &r));
+    }
+
+    emit("ablation_rebalancing", &rows, &args.out_dir);
+
+    // Claims checked: (1) without rebalancing, volume sits at/below the
+    // circulation ceiling (Prop. 1, modulo the finite-capacity buffer);
+    // (2) any rebalancing setting beats the no-rebalancing baseline.
+    let ceiling_pct = 100.0 * nu / demands.total_demand();
+    assert!(
+        rows[0].success_volume_pct <= ceiling_pct + 5.0,
+        "no-rebalancing volume {:.1}% should pin near the circulation ceiling {:.1}%",
+        rows[0].success_volume_pct,
+        ceiling_pct
+    );
+    for row in &rows[1..] {
+        assert!(
+            row.success_volume_pct > rows[0].success_volume_pct,
+            "rebalancing at trigger {} should beat the balanced-only baseline",
+            row.value
+        );
+    }
+    println!(
+        "\nwithout rebalancing, volume pins at the circulation ceiling ({:.1}%); on-chain deposits lift it ✓",
+        ceiling_pct
+    );
+    println!("(diminishing/negative returns at aggressive triggers: many small deposits are wasted — the γ cost-benefit trade-off of §5.2.3)");
+}

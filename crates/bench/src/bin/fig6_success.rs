@@ -1,0 +1,74 @@
+//! Fig. 6 — "Comparison of payments completed across schemes on the ISP
+//! and Ripple topologies when the capacity per link is 30,000."
+//!
+//! Reproduces both panels: success ratio (left) and success volume
+//! (right) for all six schemes on both topologies.
+//!
+//! Expected shape (paper): Max-flow and Spider (Waterfilling) lead the
+//! success ratio with waterfilling within ~5 % of max-flow; shortest-path
+//! (packet-switched, SRPT) sits ~10 % above the atomic schemes
+//! (SilentWhispers, SpeedyMurmurs); Spider (LP)'s success *volume* pins
+//! near the circulation share of the demand (≈52 % ISP / ≈22 % Ripple in
+//! the paper's workload).
+
+use spider_bench::{emit, isp_experiment, paper_schemes, ripple_experiment, HarnessArgs};
+use spider_core::output::FigureRow;
+
+fn main() {
+    // Extra option: SPIDER_FIG6_ONLY=isp|ripple restricts to one topology
+    // (useful when regenerating a single panel at full scale).
+    let only = std::env::var("SPIDER_FIG6_ONLY").ok();
+    let args = HarnessArgs::parse();
+    let capacity = 30_000;
+    let mut rows: Vec<FigureRow> = Vec::new();
+
+    for (label, cfg) in [
+        ("fig6-isp", isp_experiment(capacity, args.full, args.seed)),
+        ("fig6-ripple", ripple_experiment(capacity, args.full, args.seed)),
+    ] {
+        if let Some(filter) = &only {
+            if !label.ends_with(filter.as_str()) {
+                continue;
+            }
+        }
+        eprintln!("running {label} ({} txns, 6 schemes)…", cfg.workload.count);
+        // SPIDER_FIG6_SEQUENTIAL=1 runs schemes one at a time, emitting each
+        // row as it completes (partial results on long full-scale runs).
+        let sequential = std::env::var("SPIDER_FIG6_SEQUENTIAL").is_ok();
+        let reports = if sequential {
+            let mut out = Vec::new();
+            for scheme in paper_schemes() {
+                let mut c = cfg.clone();
+                c.scheme = scheme;
+                let r = c.run().expect("experiment runs");
+                let row = FigureRow::new(label, "capacity_xrp", capacity as f64, &r);
+                println!("{}", spider_core::output::to_csv_row(&row));
+                out.push(r);
+            }
+            out
+        } else {
+            cfg.run_schemes(&paper_schemes()).expect("experiment runs")
+        };
+        for r in &reports {
+            let row = FigureRow::new(label, "capacity_xrp", capacity as f64, r);
+            if !sequential {
+                println!("{}", spider_core::output::to_csv_row(&row));
+            }
+            rows.push(row);
+        }
+        // The paper's reference line: Spider (LP)'s success volume should
+        // pin at the circulation fraction of the demand matrix (Prop. 1).
+        let rng = spider_types::DetRng::new(cfg.seed);
+        let topo = cfg.topology.build(&rng).expect("topology builds");
+        let mut wrng = rng.fork("workload");
+        let w = spider_sim::Workload::generate(topo.node_count(), &cfg.workload, &mut wrng);
+        let demands = spider_core::experiment::demand_graph(&w, topo.node_count());
+        let nu = spider_paygraph::decompose::max_circulation_value(&demands, 1e-6);
+        eprintln!(
+            "{label}: demand circulation fraction = {:.1}% (Spider (LP) volume should pin here)",
+            100.0 * nu / demands.total_demand()
+        );
+    }
+
+    emit("fig6_success", &rows, &args.out_dir);
+}

@@ -1,0 +1,221 @@
+//! Transport-layer congestion control (§4.1 extension).
+//!
+//! The paper defers congestion-control design but sketches its interface:
+//! "Spider hosts use a congestion control algorithm to determine the rate
+//! to send transaction units for different payments … hosts can use
+//! implicit signals like … or explicit signals from the routers."
+//!
+//! [`Windowed`] wraps any inner router with a per-(sender, receiver)
+//! AIMD window on the amount outstanding per attempt: each successful unit
+//! lock grows the pair's window additively; each failed lock shrinks it
+//! multiplicatively. Routing requests are clamped to the window before the
+//! inner scheme sees them, so a congested pair backs off and retries from
+//! the pending queue instead of hammering depleted channels.
+
+use spider_sim::{NetworkView, RouteProposal, RouteRequest, Router, UnitOutcome};
+use spider_types::{Amount, NodeId};
+use std::collections::BTreeMap;
+
+/// AIMD parameters for [`Windowed`].
+#[derive(Debug, Clone)]
+pub struct WindowConfig {
+    /// Initial window per pair.
+    pub initial: Amount,
+    /// Additive increase per successfully locked unit.
+    pub increase: Amount,
+    /// Multiplicative decrease factor on a failed lock (0 < f < 1).
+    pub decrease_factor: f64,
+    /// Window floor (never decays below this).
+    pub min_window: Amount,
+    /// Window ceiling.
+    pub max_window: Amount,
+}
+
+impl Default for WindowConfig {
+    fn default() -> Self {
+        WindowConfig {
+            initial: Amount::from_xrp(200),
+            increase: Amount::from_xrp(10),
+            decrease_factor: 0.5,
+            min_window: Amount::from_xrp(10),
+            max_window: Amount::from_xrp(10_000),
+        }
+    }
+}
+
+/// AIMD windowed wrapper around an inner routing scheme.
+pub struct Windowed<R> {
+    inner: R,
+    cfg: WindowConfig,
+    windows: BTreeMap<(NodeId, NodeId), Amount>,
+}
+
+impl<R: Router> Windowed<R> {
+    /// Wraps `inner` with the given window parameters.
+    pub fn new(inner: R, cfg: WindowConfig) -> Self {
+        assert!(
+            cfg.decrease_factor > 0.0 && cfg.decrease_factor < 1.0,
+            "decrease factor must be in (0, 1)"
+        );
+        Windowed { inner, cfg, windows: BTreeMap::new() }
+    }
+
+    /// Current window of a pair.
+    pub fn window(&self, src: NodeId, dst: NodeId) -> Amount {
+        self.windows.get(&(src, dst)).copied().unwrap_or(self.cfg.initial)
+    }
+}
+
+impl<R: Router> Router for Windowed<R> {
+    fn name(&self) -> &'static str {
+        // Report the inner scheme's identity: windowing is a transport
+        // knob, not a different routing algorithm.
+        self.inner.name()
+    }
+
+    fn atomic(&self) -> bool {
+        self.inner.atomic()
+    }
+
+    fn initialize(&mut self, view: &NetworkView<'_>) {
+        self.inner.initialize(view);
+    }
+
+    fn route(&mut self, req: &RouteRequest, view: &NetworkView<'_>) -> Vec<RouteProposal> {
+        let window = self.window(req.src, req.dst);
+        let clamped = RouteRequest { remaining: req.remaining.min(window), ..req.clone() };
+        if clamped.remaining.is_zero() {
+            return Vec::new();
+        }
+        self.inner.route(&clamped, view)
+    }
+
+    fn on_unit_outcome(&mut self, outcome: &UnitOutcome, view: &NetworkView<'_>) {
+        let src = *outcome.path.first().expect("non-empty path");
+        let dst = *outcome.path.last().expect("non-empty path");
+        let cur = self.window(src, dst);
+        let next = if outcome.locked {
+            (cur + self.cfg.increase).min(self.cfg.max_window)
+        } else {
+            cur.mul_f64(self.cfg.decrease_factor).max(self.cfg.min_window)
+        };
+        self.windows.insert((src, dst), next);
+        self.inner.on_unit_outcome(outcome, view);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spider_routing::ShortestPath;
+    use spider_sim::ChannelState;
+    use spider_types::{PaymentId, SimTime};
+
+    fn xrp(x: u64) -> Amount {
+        Amount::from_xrp(x)
+    }
+
+    fn view_fixture() -> (spider_topology::Topology, Vec<ChannelState>) {
+        let t = spider_topology::gen::line(3, xrp(1000));
+        let ch = t.channels().map(|(_, c)| ChannelState::split_equally(c.capacity)).collect();
+        (t, ch)
+    }
+
+    fn req(amount: Amount) -> RouteRequest {
+        RouteRequest {
+            payment: PaymentId(0),
+            src: NodeId(0),
+            dst: NodeId(2),
+            remaining: amount,
+            total: amount,
+            mtu: xrp(10),
+            attempt: 0,
+        }
+    }
+
+    fn outcome(locked: bool) -> UnitOutcome {
+        UnitOutcome {
+            payment: PaymentId(0),
+            path: vec![NodeId(0), NodeId(1), NodeId(2)],
+            amount: xrp(10),
+            locked,
+        }
+    }
+
+    #[test]
+    fn clamps_to_window() {
+        let (t, ch) = view_fixture();
+        let view = NetworkView { topo: &t, channels: &ch, now: SimTime::ZERO };
+        let mut w = Windowed::new(
+            ShortestPath::new(),
+            WindowConfig { initial: xrp(50), ..WindowConfig::default() },
+        );
+        let props = w.route(&req(xrp(500)), &view);
+        assert_eq!(props.iter().map(|p| p.amount).sum::<Amount>(), xrp(50));
+    }
+
+    #[test]
+    fn aimd_dynamics() {
+        let (t, ch) = view_fixture();
+        let view = NetworkView { topo: &t, channels: &ch, now: SimTime::ZERO };
+        let mut w = Windowed::new(
+            ShortestPath::new(),
+            WindowConfig {
+                initial: xrp(100),
+                increase: xrp(10),
+                decrease_factor: 0.5,
+                min_window: xrp(5),
+                max_window: xrp(150),
+            },
+        );
+        w.on_unit_outcome(&outcome(true), &view);
+        assert_eq!(w.window(NodeId(0), NodeId(2)), xrp(110));
+        w.on_unit_outcome(&outcome(false), &view);
+        assert_eq!(w.window(NodeId(0), NodeId(2)), xrp(55));
+        // Ceiling.
+        for _ in 0..20 {
+            w.on_unit_outcome(&outcome(true), &view);
+        }
+        assert_eq!(w.window(NodeId(0), NodeId(2)), xrp(150));
+        // Floor.
+        for _ in 0..20 {
+            w.on_unit_outcome(&outcome(false), &view);
+        }
+        assert_eq!(w.window(NodeId(0), NodeId(2)), xrp(5));
+    }
+
+    #[test]
+    fn window_is_per_pair() {
+        let (t, ch) = view_fixture();
+        let view = NetworkView { topo: &t, channels: &ch, now: SimTime::ZERO };
+        let mut w = Windowed::new(ShortestPath::new(), WindowConfig::default());
+        w.on_unit_outcome(&outcome(false), &view);
+        assert!(w.window(NodeId(0), NodeId(2)) < WindowConfig::default().initial);
+        assert_eq!(w.window(NodeId(1), NodeId(2)), WindowConfig::default().initial);
+    }
+
+    #[test]
+    fn zero_window_returns_no_proposals() {
+        let (t, ch) = view_fixture();
+        let view = NetworkView { topo: &t, channels: &ch, now: SimTime::ZERO };
+        let mut w = Windowed::new(ShortestPath::new(), WindowConfig::default());
+        let props = w.route(&req(Amount::ZERO), &view);
+        assert!(props.is_empty());
+    }
+
+    #[test]
+    fn preserves_inner_identity() {
+        let w = Windowed::new(ShortestPath::new(), WindowConfig::default());
+        assert_eq!(w.name(), "shortest-path");
+        assert!(!w.atomic());
+    }
+
+    #[test]
+    #[should_panic(expected = "decrease factor")]
+    fn rejects_bad_decrease_factor() {
+        let _ = Windowed::new(
+            ShortestPath::new(),
+            WindowConfig { decrease_factor: 1.5, ..WindowConfig::default() },
+        );
+    }
+}

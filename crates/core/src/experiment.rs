@@ -1,0 +1,278 @@
+//! Declarative experiments: topology + workload + scheme + seed → report.
+
+use crate::scheme::SchemeConfig;
+use serde::{Deserialize, Serialize};
+use spider_paygraph::PaymentGraph;
+use spider_sim::{SimConfig, SimReport, Simulation, Workload, WorkloadConfig};
+use spider_topology::{analysis, gen, Topology};
+use spider_types::{Amount, DetRng, Result, SpiderError};
+
+/// Topology selection for an experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TopologyConfig {
+    /// The deterministic 32-node / 152-edge ISP-like graph of §6.1.
+    Isp {
+        /// Uniform per-channel capacity (XRP).
+        capacity_xrp: u64,
+    },
+    /// A Ripple-like scale-free graph (§6.1 substitution — see DESIGN.md).
+    RippleLike {
+        /// Node count (3,774 reproduces the paper's scale).
+        nodes: usize,
+        /// Uniform per-channel capacity (XRP).
+        capacity_xrp: u64,
+    },
+    /// The 5-node §5.1 example topology.
+    PaperExample {
+        /// Uniform per-channel capacity (XRP).
+        capacity_xrp: u64,
+    },
+    /// Watts–Strogatz small world.
+    SmallWorld {
+        /// Node count.
+        nodes: usize,
+        /// Even lattice degree.
+        k: usize,
+        /// Rewiring probability.
+        beta: f64,
+        /// Uniform per-channel capacity (XRP).
+        capacity_xrp: u64,
+    },
+    /// Barabási–Albert scale-free graph.
+    ScaleFree {
+        /// Node count.
+        nodes: usize,
+        /// Attachment edges per node.
+        m: usize,
+        /// Uniform per-channel capacity (XRP).
+        capacity_xrp: u64,
+    },
+    /// A topology in the `spider-topology` text format.
+    Text {
+        /// The serialized topology.
+        text: String,
+    },
+}
+
+impl TopologyConfig {
+    /// Materializes the topology. Random families draw from the `topology`
+    /// fork of the experiment RNG, so the same seed always yields the same
+    /// graph.
+    pub fn build(&self, rng: &DetRng) -> Result<Topology> {
+        let mut trng = rng.fork("topology");
+        let topo = match self {
+            TopologyConfig::Isp { capacity_xrp } => {
+                gen::isp_topology(Amount::from_xrp(*capacity_xrp))
+            }
+            TopologyConfig::RippleLike { nodes, capacity_xrp } => {
+                let raw = gen::ripple_like(*nodes, Amount::from_xrp(*capacity_xrp), &mut trng);
+                analysis::largest_component(&raw)
+            }
+            TopologyConfig::PaperExample { capacity_xrp } => {
+                gen::paper_example_topology(Amount::from_xrp(*capacity_xrp))
+            }
+            TopologyConfig::SmallWorld { nodes, k, beta, capacity_xrp } => {
+                let raw = gen::watts_strogatz(
+                    *nodes,
+                    *k,
+                    *beta,
+                    Amount::from_xrp(*capacity_xrp),
+                    &mut trng,
+                );
+                analysis::largest_component(&raw)
+            }
+            TopologyConfig::ScaleFree { nodes, m, capacity_xrp } => {
+                gen::barabasi_albert(*nodes, *m, Amount::from_xrp(*capacity_xrp), &mut trng)
+            }
+            TopologyConfig::Text { text } => spider_topology::io::from_text(text)?,
+        };
+        if topo.node_count() < 2 {
+            return Err(SpiderError::InvalidConfig("topology has fewer than 2 nodes".into()));
+        }
+        Ok(topo)
+    }
+}
+
+/// A complete experiment description.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// The network.
+    pub topology: TopologyConfig,
+    /// The transaction workload.
+    pub workload: WorkloadConfig,
+    /// Engine parameters (Δ, MTU, polling, deadline, horizon…).
+    pub sim: SimConfig,
+    /// The routing scheme under test.
+    pub scheme: SchemeConfig,
+    /// Master seed; every random choice derives from it.
+    pub seed: u64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            topology: TopologyConfig::Isp { capacity_xrp: 30_000 },
+            workload: WorkloadConfig::small(1_000, 200.0),
+            sim: SimConfig::default(),
+            scheme: SchemeConfig::SpiderWaterfilling { paths: 4 },
+            seed: 0,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// Runs the experiment end to end: build topology, generate workload,
+    /// estimate the demand matrix (for Spider (LP)), instantiate the
+    /// scheme, simulate, and verify fund conservation.
+    pub fn run(&self) -> Result<SimReport> {
+        let rng = DetRng::new(self.seed);
+        let topo = self.topology.build(&rng)?;
+        let mut wrng = rng.fork("workload");
+        let workload = Workload::generate(topo.node_count(), &self.workload, &mut wrng);
+        let demands = demand_graph(&workload, topo.node_count());
+        let router =
+            self.scheme.build(&topo, &demands, self.sim.confirmation_delay.as_secs_f64());
+        let mut sim = Simulation::new(topo, workload, router, self.sim.clone())?;
+        let report = sim.run();
+        sim.check_conservation();
+        Ok(report)
+    }
+
+    /// Runs several schemes on the *identical* topology and workload (same
+    /// seed), in parallel, returning reports in scheme order.
+    pub fn run_schemes(&self, schemes: &[SchemeConfig]) -> Result<Vec<SimReport>> {
+        let mut configs = Vec::with_capacity(schemes.len());
+        for &scheme in schemes {
+            configs.push(ExperimentConfig { scheme, ..self.clone() });
+        }
+        let mut out: Vec<Option<Result<SimReport>>> = (0..configs.len()).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for cfg in &configs {
+                handles.push(scope.spawn(move || cfg.run()));
+            }
+            for (slot, h) in out.iter_mut().zip(handles) {
+                *slot = Some(h.join().expect("experiment thread panicked"));
+            }
+        });
+        out.into_iter().map(|r| r.expect("slot filled")).collect()
+    }
+}
+
+/// Converts a workload into the long-term demand matrix (XRP/s) that
+/// Spider (LP) optimizes against.
+pub fn demand_graph(workload: &Workload, n_nodes: usize) -> PaymentGraph {
+    let like = workload.demand_matrix(n_nodes);
+    let mut g = PaymentGraph::new(n_nodes);
+    for (src, dst, rate) in like.rates {
+        if rate > 0.0 {
+            g.add_demand(src, dst, rate);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spider_types::SimDuration;
+
+    fn quick_sim() -> SimConfig {
+        SimConfig { horizon: SimDuration::from_secs(20), ..SimConfig::default() }
+    }
+
+    #[test]
+    fn runs_end_to_end_on_paper_example() {
+        let report = ExperimentConfig {
+            topology: TopologyConfig::PaperExample { capacity_xrp: 1_000 },
+            workload: WorkloadConfig::small(300, 100.0),
+            sim: quick_sim(),
+            scheme: SchemeConfig::SpiderWaterfilling { paths: 4 },
+            seed: 1,
+        }
+        .run()
+        .unwrap();
+        assert_eq!(report.attempted_payments, 300);
+        assert!(report.success_ratio() > 0.5, "ratio {}", report.success_ratio());
+    }
+
+    #[test]
+    fn same_seed_same_report() {
+        let cfg = ExperimentConfig {
+            topology: TopologyConfig::ScaleFree { nodes: 30, m: 2, capacity_xrp: 500 },
+            workload: WorkloadConfig::small(300, 150.0),
+            sim: quick_sim(),
+            scheme: SchemeConfig::ShortestPath,
+            seed: 9,
+        };
+        let a = cfg.run().unwrap();
+        let b = cfg.run().unwrap();
+        assert_eq!(a.completed_payments, b.completed_payments);
+        assert_eq!(a.delivered_volume, b.delivered_volume);
+    }
+
+    #[test]
+    fn different_seed_changes_workload() {
+        let workload = WorkloadConfig {
+            size: spider_sim::SizeDistribution::RippleIsp,
+            ..WorkloadConfig::small(300, 150.0)
+        };
+        let base = ExperimentConfig {
+            topology: TopologyConfig::Isp { capacity_xrp: 1_000 },
+            workload,
+            sim: quick_sim(),
+            scheme: SchemeConfig::ShortestPath,
+            seed: 1,
+        };
+        let a = base.run().unwrap();
+        let b = ExperimentConfig { seed: 2, ..base }.run().unwrap();
+        assert_ne!(a.attempted_volume, b.attempted_volume);
+        assert_ne!(a.delivered_volume, b.delivered_volume);
+    }
+
+    #[test]
+    fn scheme_sweep_shares_workload() {
+        let cfg = ExperimentConfig {
+            topology: TopologyConfig::Isp { capacity_xrp: 2_000 },
+            workload: WorkloadConfig::small(200, 100.0),
+            sim: quick_sim(),
+            scheme: SchemeConfig::ShortestPath,
+            seed: 5,
+        };
+        let reports = cfg
+            .run_schemes(&[
+                SchemeConfig::ShortestPath,
+                SchemeConfig::SpiderWaterfilling { paths: 4 },
+            ])
+            .unwrap();
+        assert_eq!(reports.len(), 2);
+        // Identical workloads → identical attempted volume.
+        assert_eq!(reports[0].attempted_volume, reports[1].attempted_volume);
+        assert_eq!(reports[0].scheme, "shortest-path");
+        assert_eq!(reports[1].scheme, "spider-waterfilling");
+    }
+
+    #[test]
+    fn text_topology_round_trip() {
+        let topo = gen::cycle(4, Amount::from_xrp(100));
+        let text = spider_topology::io::to_text(&topo);
+        let cfg = TopologyConfig::Text { text };
+        let built = cfg.build(&DetRng::new(0)).unwrap();
+        assert_eq!(built, topo);
+    }
+
+    #[test]
+    fn invalid_topology_is_rejected() {
+        let cfg = TopologyConfig::Text { text: "nodes 1\n".to_string() };
+        assert!(cfg.build(&DetRng::new(0)).is_err());
+    }
+
+    #[test]
+    fn demand_graph_matches_workload_rates() {
+        let mut rng = DetRng::new(3);
+        let w = Workload::generate(6, &WorkloadConfig::small(2_000, 500.0), &mut rng);
+        let g = demand_graph(&w, 6);
+        let expect = w.total_volume().as_xrp() / w.duration().as_secs_f64();
+        assert!((g.total_demand() - expect).abs() / expect < 1e-9);
+    }
+}

@@ -1,0 +1,170 @@
+//! Machine-readable experiment output: JSON records and CSV tables.
+//!
+//! The bench harness prints the same rows the paper's figures plot; these
+//! helpers keep the formats consistent across binaries.
+
+use serde::Serialize;
+use spider_sim::SimReport;
+
+/// One figure data point: a scheme evaluated at a parameter setting.
+#[derive(Debug, Clone, Serialize)]
+pub struct FigureRow {
+    /// Figure/experiment identifier (e.g. "fig6-isp").
+    pub experiment: String,
+    /// Routing scheme.
+    pub scheme: String,
+    /// Sweep parameter name (e.g. "capacity_xrp"); empty if none.
+    pub parameter: String,
+    /// Sweep parameter value; 0 if none.
+    pub value: f64,
+    /// Success ratio in percent (paper's left panels).
+    pub success_ratio_pct: f64,
+    /// Success volume in percent (paper's right panels).
+    pub success_volume_pct: f64,
+    /// Completed / attempted payments.
+    pub completed: u64,
+    /// Attempted payments.
+    pub attempted: u64,
+    /// Mean completion time (s), when any payment completed.
+    pub avg_completion_s: Option<f64>,
+}
+
+impl FigureRow {
+    /// Builds a row from a report.
+    pub fn new(experiment: &str, parameter: &str, value: f64, r: &SimReport) -> Self {
+        FigureRow {
+            experiment: experiment.to_string(),
+            scheme: r.scheme.clone(),
+            parameter: parameter.to_string(),
+            value,
+            success_ratio_pct: 100.0 * r.success_ratio(),
+            success_volume_pct: 100.0 * r.success_volume(),
+            completed: r.completed_payments,
+            attempted: r.attempted_payments,
+            avg_completion_s: r.avg_completion_time(),
+        }
+    }
+}
+
+/// CSV header matching [`to_csv_row`].
+pub const CSV_HEADER: &str =
+    "experiment,scheme,parameter,value,success_ratio_pct,success_volume_pct,completed,attempted,avg_completion_s";
+
+/// One CSV line (no trailing newline).
+pub fn to_csv_row(row: &FigureRow) -> String {
+    format!(
+        "{},{},{},{},{:.4},{:.4},{},{},{}",
+        row.experiment,
+        row.scheme,
+        row.parameter,
+        row.value,
+        row.success_ratio_pct,
+        row.success_volume_pct,
+        row.completed,
+        row.attempted,
+        row.avg_completion_s.map(|v| format!("{v:.4}")).unwrap_or_default(),
+    )
+}
+
+/// Whole CSV document.
+pub fn to_csv(rows: &[FigureRow]) -> String {
+    let mut out = String::from(CSV_HEADER);
+    out.push('\n');
+    for r in rows {
+        out.push_str(&to_csv_row(r));
+        out.push('\n');
+    }
+    out
+}
+
+/// JSON-lines document (one record per row).
+pub fn to_json_lines(rows: &[FigureRow]) -> String {
+    rows.iter()
+        .map(|r| serde_json::to_string(r).expect("row serializes"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Renders an aligned text table for terminal output.
+pub fn to_table(rows: &[FigureRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<14} {:<22} {:>12} {:>16} {:>17} {:>12}\n",
+        "experiment", "scheme", "value", "success_ratio%", "success_volume%", "completed"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<14} {:<22} {:>12.1} {:>16.2} {:>17.2} {:>9}/{}\n",
+            r.experiment,
+            r.scheme,
+            r.value,
+            r.success_ratio_pct,
+            r.success_volume_pct,
+            r.completed,
+            r.attempted
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spider_sim::SimReport;
+    use spider_types::{Amount, SimDuration};
+
+    fn report() -> SimReport {
+        SimReport {
+            scheme: "test".into(),
+            attempted_payments: 10,
+            completed_payments: 7,
+            attempted_volume: Amount::from_xrp(100),
+            delivered_volume: Amount::from_xrp(80),
+            units_locked: 12,
+            units_failed: 3,
+            retries: 2,
+            unit_hops_sum: 24,
+            onchain_deposited: Amount::ZERO,
+            rebalance_ops: 0,
+            completion_times: vec![0.5, 0.7],
+            throughput_series: vec![],
+            imbalance_series: vec![],
+            horizon: SimDuration::from_secs(10),
+        }
+    }
+
+    #[test]
+    fn csv_round_numbers() {
+        let row = FigureRow::new("fig6-isp", "capacity_xrp", 30_000.0, &report());
+        let line = to_csv_row(&row);
+        assert!(line.starts_with("fig6-isp,test,capacity_xrp,30000,70.0000,80.0000,7,10,"));
+        let doc = to_csv(&[row]);
+        assert!(doc.starts_with(CSV_HEADER));
+        assert_eq!(doc.lines().count(), 2);
+    }
+
+    #[test]
+    fn json_lines_parse_back() {
+        let row = FigureRow::new("figX", "", 0.0, &report());
+        let doc = to_json_lines(std::slice::from_ref(&row));
+        let v: serde_json::Value = serde_json::from_str(&doc).unwrap();
+        assert_eq!(v["scheme"], "test");
+        assert_eq!(v["completed"], 7);
+    }
+
+    #[test]
+    fn table_is_aligned() {
+        let rows = vec![FigureRow::new("fig7", "capacity_xrp", 10_000.0, &report())];
+        let table = to_table(&rows);
+        assert!(table.contains("fig7"));
+        assert!(table.lines().count() == 2);
+    }
+
+    #[test]
+    fn missing_completion_time_is_empty_cell() {
+        let mut r = report();
+        r.completion_times.clear();
+        let row = FigureRow::new("e", "", 0.0, &r);
+        assert!(to_csv_row(&row).ends_with(','));
+    }
+}

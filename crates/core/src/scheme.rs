@@ -1,0 +1,176 @@
+//! Declarative routing-scheme configuration.
+
+use serde::{Deserialize, Serialize};
+use spider_paygraph::PaymentGraph;
+use spider_routing::{
+    LpSolverKind, MaxFlow, ShortestPath, SilentWhispers, SpeedyMurmurs, SpiderLp,
+    SpiderWaterfilling,
+};
+use spider_sim::Router;
+use spider_topology::Topology;
+
+/// Which offline solver Spider (LP) uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LpSolver {
+    /// Exact dense simplex.
+    Simplex,
+    /// Decentralized primal-dual iteration.
+    PrimalDual,
+    /// Size-based automatic choice.
+    Auto,
+}
+
+impl From<LpSolver> for LpSolverKind {
+    fn from(s: LpSolver) -> LpSolverKind {
+        match s {
+            LpSolver::Simplex => LpSolverKind::Simplex,
+            LpSolver::PrimalDual => LpSolverKind::PrimalDual,
+            LpSolver::Auto => LpSolverKind::Auto,
+        }
+    }
+}
+
+/// A routing scheme, as configured in an experiment file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchemeConfig {
+    /// Spider (Waterfilling) over `paths` edge-disjoint paths.
+    SpiderWaterfilling {
+        /// Candidate paths per pair (paper: 4).
+        paths: usize,
+    },
+    /// Spider (LP): offline fluid-LP weights over `paths` disjoint paths.
+    SpiderLp {
+        /// Candidate paths per pair (paper: 4).
+        paths: usize,
+        /// Offline solver choice.
+        solver: LpSolver,
+    },
+    /// Non-atomic shortest-path baseline.
+    ShortestPath,
+    /// Atomic per-transaction max-flow.
+    MaxFlow,
+    /// Atomic landmark routing with `landmarks` landmarks.
+    SilentWhispers {
+        /// Number of landmarks (highest-degree nodes).
+        landmarks: usize,
+    },
+    /// Atomic embedding routing over `trees` spanning trees.
+    SpeedyMurmurs {
+        /// Number of spanning trees.
+        trees: usize,
+    },
+    /// Spider (Pricing): the §5.3 price feedback as an online
+    /// imbalance-aware scheme (this reproduction's extension).
+    SpiderPricing {
+        /// Candidate paths per pair.
+        paths: usize,
+    },
+}
+
+impl SchemeConfig {
+    /// The paper's six-scheme lineup (Fig. 6 legend order).
+    pub fn paper_lineup() -> Vec<SchemeConfig> {
+        vec![
+            SchemeConfig::SpiderLp { paths: 4, solver: LpSolver::Auto },
+            SchemeConfig::SpiderWaterfilling { paths: 4 },
+            SchemeConfig::MaxFlow,
+            SchemeConfig::ShortestPath,
+            SchemeConfig::SilentWhispers { landmarks: 3 },
+            SchemeConfig::SpeedyMurmurs { trees: 3 },
+        ]
+    }
+
+    /// The paper lineup plus this reproduction's extensions.
+    pub fn extended_lineup() -> Vec<SchemeConfig> {
+        let mut v = Self::paper_lineup();
+        v.push(SchemeConfig::SpiderPricing { paths: 4 });
+        v
+    }
+
+    /// Scheme name as used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchemeConfig::SpiderWaterfilling { .. } => "spider-waterfilling",
+            SchemeConfig::SpiderLp { .. } => "spider-lp",
+            SchemeConfig::ShortestPath => "shortest-path",
+            SchemeConfig::MaxFlow => "max-flow",
+            SchemeConfig::SilentWhispers { .. } => "silentwhispers",
+            SchemeConfig::SpeedyMurmurs { .. } => "speedymurmurs",
+            SchemeConfig::SpiderPricing { .. } => "spider-pricing",
+        }
+    }
+
+    /// Instantiates the router. `demands` is the long-term demand estimate
+    /// (used only by Spider (LP), exactly as in §6.1); `delta_secs` is the
+    /// confirmation delay of the fluid model.
+    pub fn build(
+        &self,
+        topo: &Topology,
+        demands: &PaymentGraph,
+        delta_secs: f64,
+    ) -> Box<dyn Router> {
+        match *self {
+            SchemeConfig::SpiderWaterfilling { paths } => {
+                Box::new(SpiderWaterfilling::new(paths))
+            }
+            SchemeConfig::SpiderLp { paths, solver } => {
+                Box::new(SpiderLp::new(topo, demands, delta_secs, paths, solver.into()))
+            }
+            SchemeConfig::ShortestPath => Box::new(ShortestPath::new()),
+            SchemeConfig::MaxFlow => Box::new(MaxFlow::new()),
+            SchemeConfig::SilentWhispers { landmarks } => {
+                Box::new(SilentWhispers::new(topo, landmarks))
+            }
+            SchemeConfig::SpeedyMurmurs { trees } => Box::new(SpeedyMurmurs::new(topo, trees)),
+            SchemeConfig::SpiderPricing { paths } => {
+                Box::new(spider_routing::SpiderPricing::new(paths))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spider_topology::gen;
+    use spider_types::Amount;
+
+    #[test]
+    fn lineup_has_six_schemes_with_unique_names() {
+        let lineup = SchemeConfig::paper_lineup();
+        assert_eq!(lineup.len(), 6);
+        let mut names: Vec<&str> = lineup.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    fn all_schemes_build() {
+        let topo = gen::paper_example_topology(Amount::from_xrp(1000));
+        let demands = spider_paygraph::examples::paper_example_demands();
+        for cfg in SchemeConfig::paper_lineup() {
+            let router = cfg.build(&topo, &demands, 0.5);
+            assert_eq!(router.name(), cfg.name());
+        }
+    }
+
+    #[test]
+    fn atomicity_flags_match_paper() {
+        let topo = gen::paper_example_topology(Amount::from_xrp(1000));
+        let demands = spider_paygraph::examples::paper_example_demands();
+        let atomic = [false, false, true, false, true, true]; // lineup order
+        for (cfg, want) in SchemeConfig::paper_lineup().iter().zip(atomic) {
+            assert_eq!(cfg.build(&topo, &demands, 0.5).atomic(), want, "{}", cfg.name());
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        for cfg in SchemeConfig::paper_lineup() {
+            let json = serde_json::to_string(&cfg).unwrap();
+            let back: SchemeConfig = serde_json::from_str(&json).unwrap();
+            assert_eq!(cfg, back);
+        }
+    }
+}

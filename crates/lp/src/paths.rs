@@ -1,0 +1,429 @@
+//! Path oracles (§5.3.1).
+//!
+//! "Practical implementations would restrict the set of paths considered
+//! between each source and destination … e.g., the K shortest paths or the
+//! K highest-capacity paths." This module provides:
+//!
+//! * [`k_shortest_paths`] — Yen's algorithm over hop counts (loopless);
+//! * [`k_edge_disjoint_paths`] — successive shortest paths with used
+//!   channels removed (the "4 disjoint shortest paths" of §6.1);
+//! * [`k_widest_paths`] — highest-bottleneck-capacity paths, the building
+//!   block of the waterfilling heuristic.
+//!
+//! All oracles are deterministic: ties break toward fewer hops, then the
+//! lexicographically smallest node sequence.
+
+use spider_topology::Topology;
+use spider_types::{ChannelId, Direction, NodeId};
+use std::collections::{HashSet, VecDeque};
+
+/// A loop-free path through the topology (node sequence, both endpoints
+/// included).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Path {
+    /// Visited nodes, source first.
+    pub nodes: Vec<NodeId>,
+}
+
+impl Path {
+    /// Creates a path from a node sequence (≥ 1 node, no repeats).
+    pub fn new(nodes: Vec<NodeId>) -> Self {
+        debug_assert!(!nodes.is_empty());
+        debug_assert!(
+            {
+                let mut s = nodes.clone();
+                s.sort_unstable();
+                s.dedup();
+                s.len() == nodes.len()
+            },
+            "path has repeated nodes"
+        );
+        Path { nodes }
+    }
+
+    /// Number of hops (edges).
+    pub fn hop_count(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// Source node.
+    pub fn source(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// Destination node.
+    pub fn dest(&self) -> NodeId {
+        *self.nodes.last().expect("non-empty")
+    }
+
+    /// The channel hops traversed, with directions. Panics if consecutive
+    /// nodes are not adjacent in `topo`.
+    pub fn channels(&self, topo: &Topology) -> Vec<(ChannelId, Direction)> {
+        topo.path_channels(&self.nodes).expect("path follows topology edges")
+    }
+}
+
+/// BFS shortest path avoiding the given channels and nodes. Adjacency lists
+/// are sorted, so the result is deterministic (smallest-id tie-breaks).
+fn bfs_avoiding(
+    topo: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    banned_channels: &HashSet<ChannelId>,
+    banned_nodes: &HashSet<NodeId>,
+) -> Option<Path> {
+    if banned_nodes.contains(&src) || banned_nodes.contains(&dst) {
+        return None;
+    }
+    if src == dst {
+        return Some(Path::new(vec![src]));
+    }
+    let mut parent: Vec<Option<NodeId>> = vec![None; topo.node_count()];
+    let mut seen = vec![false; topo.node_count()];
+    seen[src.index()] = true;
+    let mut queue = VecDeque::from([src]);
+    while let Some(u) = queue.pop_front() {
+        for adj in topo.neighbors(u) {
+            if banned_channels.contains(&adj.channel) || banned_nodes.contains(&adj.neighbor) {
+                continue;
+            }
+            if !seen[adj.neighbor.index()] {
+                seen[adj.neighbor.index()] = true;
+                parent[adj.neighbor.index()] = Some(u);
+                if adj.neighbor == dst {
+                    let mut nodes = vec![dst];
+                    let mut cur = dst;
+                    while let Some(p) = parent[cur.index()] {
+                        nodes.push(p);
+                        cur = p;
+                    }
+                    nodes.reverse();
+                    return Some(Path::new(nodes));
+                }
+                queue.push_back(adj.neighbor);
+            }
+        }
+    }
+    None
+}
+
+/// Yen's algorithm: up to `k` loopless shortest paths by hop count, in
+/// non-decreasing length (ties: lexicographic node order).
+pub fn k_shortest_paths(topo: &Topology, src: NodeId, dst: NodeId, k: usize) -> Vec<Path> {
+    if k == 0 || src == dst {
+        return Vec::new();
+    }
+    let mut accepted: Vec<Path> = Vec::new();
+    let Some(first) = bfs_avoiding(topo, src, dst, &HashSet::new(), &HashSet::new()) else {
+        return Vec::new();
+    };
+    accepted.push(first);
+    // Candidate pool, kept sorted by (hops, nodes).
+    let mut candidates: Vec<Path> = Vec::new();
+    while accepted.len() < k {
+        let prev = accepted.last().expect("at least one accepted").clone();
+        for i in 0..prev.hop_count() {
+            let spur_node = prev.nodes[i];
+            let root = &prev.nodes[..=i];
+            // Ban the outgoing channel of every accepted path sharing this root.
+            let mut banned_channels = HashSet::new();
+            for p in &accepted {
+                if p.nodes.len() > i + 1 && p.nodes[..=i] == *root {
+                    if let Some(c) = topo.channel_between(p.nodes[i], p.nodes[i + 1]) {
+                        banned_channels.insert(c);
+                    }
+                }
+            }
+            // Ban root nodes except the spur node, to keep paths loopless.
+            let banned_nodes: HashSet<NodeId> = root[..i].iter().copied().collect();
+            if let Some(spur) = bfs_avoiding(topo, spur_node, dst, &banned_channels, &banned_nodes)
+            {
+                let mut nodes = root[..i].to_vec();
+                nodes.extend(spur.nodes);
+                let cand = Path::new(nodes);
+                if !accepted.contains(&cand) && !candidates.contains(&cand) {
+                    candidates.push(cand);
+                }
+            }
+        }
+        if candidates.is_empty() {
+            break;
+        }
+        candidates.sort_by(|a, b| {
+            a.hop_count().cmp(&b.hop_count()).then_with(|| a.nodes.cmp(&b.nodes))
+        });
+        accepted.push(candidates.remove(0));
+    }
+    accepted
+}
+
+/// Up to `k` pairwise edge-disjoint paths, found by repeatedly taking the
+/// shortest path and deleting its channels (§6.1's "4 disjoint shortest
+/// paths" between every pair).
+pub fn k_edge_disjoint_paths(topo: &Topology, src: NodeId, dst: NodeId, k: usize) -> Vec<Path> {
+    let mut banned = HashSet::new();
+    let mut out = Vec::new();
+    while out.len() < k {
+        let Some(p) = bfs_avoiding(topo, src, dst, &banned, &HashSet::new()) else {
+            break;
+        };
+        for (c, _) in p.channels(topo) {
+            banned.insert(c);
+        }
+        out.push(p);
+    }
+    out
+}
+
+/// The widest path from `src` to `dst`, where a path's width is the minimum
+/// of `width(channel)` over its hops. Ties break toward fewer hops, then
+/// smaller node ids. Channels with zero width are unusable.
+pub fn widest_path(
+    topo: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    width: impl Fn(ChannelId, Direction) -> u64,
+) -> Option<Path> {
+    if src == dst {
+        return Some(Path::new(vec![src]));
+    }
+    let n = topo.node_count();
+    // best[(node)] = (width, neg hops) maximized lexicographically.
+    let mut best: Vec<(u64, i64)> = vec![(0, 0); n];
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    let mut done = vec![false; n];
+    best[src.index()] = (u64::MAX, 0);
+    loop {
+        // Extract the unfinished node with the best (width, -hops, -id).
+        let mut pick: Option<usize> = None;
+        for i in 0..n {
+            if !done[i] && best[i].0 > 0 {
+                let better = match pick {
+                    None => true,
+                    Some(p) => best[i] > best[p] || (best[i] == best[p] && i < p),
+                };
+                if better {
+                    pick = Some(i);
+                }
+            }
+        }
+        let Some(u) = pick else { break };
+        if u == dst.index() {
+            break;
+        }
+        done[u] = true;
+        let (wu, hu) = best[u];
+        for adj in topo.neighbors(NodeId::from_index(u)) {
+            let dir = topo.channel(adj.channel).direction_from(NodeId::from_index(u));
+            let w = width(adj.channel, dir).min(wu);
+            let cand = (w, hu - 1);
+            let vi = adj.neighbor.index();
+            if !done[vi] && w > 0 && cand > best[vi] {
+                best[vi] = cand;
+                parent[vi] = Some(NodeId::from_index(u));
+            }
+        }
+    }
+    if best[dst.index()].0 == 0 {
+        return None;
+    }
+    let mut nodes = vec![dst];
+    let mut cur = dst;
+    while let Some(p) = parent[cur.index()] {
+        nodes.push(p);
+        cur = p;
+    }
+    if cur != src {
+        return None;
+    }
+    nodes.reverse();
+    Some(Path::new(nodes))
+}
+
+/// Up to `k` high-capacity paths: repeatedly take the widest path, then
+/// remove its bottleneck channel and repeat. Not globally optimal (that
+/// problem is harder), but matches what a practical host probing "the K
+/// highest-capacity paths" would discover.
+pub fn k_widest_paths(
+    topo: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    k: usize,
+    width: impl Fn(ChannelId, Direction) -> u64,
+) -> Vec<Path> {
+    let mut removed: HashSet<ChannelId> = HashSet::new();
+    let mut out: Vec<Path> = Vec::new();
+    while out.len() < k {
+        let w = |c: ChannelId, d: Direction| if removed.contains(&c) { 0 } else { width(c, d) };
+        let Some(p) = widest_path(topo, src, dst, w) else { break };
+        // Identify and remove the bottleneck channel.
+        let (bottleneck_channel, _) = p
+            .channels(topo)
+            .into_iter()
+            .min_by_key(|&(c, d)| width(c, d))
+            .expect("path has at least one hop");
+        removed.insert(bottleneck_channel);
+        if !out.contains(&p) {
+            out.push(p);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spider_topology::gen;
+    use spider_types::Amount;
+
+    const CAP: Amount = Amount::from_xrp(100);
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    /// Diamond: 0-1-3, 0-2-3, plus direct 0-3.
+    fn diamond() -> Topology {
+        let mut b = Topology::builder(4);
+        b.channel(n(0), n(1), CAP).unwrap();
+        b.channel(n(1), n(3), CAP).unwrap();
+        b.channel(n(0), n(2), CAP).unwrap();
+        b.channel(n(2), n(3), CAP).unwrap();
+        b.channel(n(0), n(3), CAP).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn path_basics() {
+        let p = Path::new(vec![n(0), n(1), n(3)]);
+        assert_eq!(p.hop_count(), 2);
+        assert_eq!(p.source(), n(0));
+        assert_eq!(p.dest(), n(3));
+        let hops = p.channels(&diamond());
+        assert_eq!(hops.len(), 2);
+    }
+
+    #[test]
+    fn yen_orders_by_length_then_lex() {
+        let t = diamond();
+        let paths = k_shortest_paths(&t, n(0), n(3), 5);
+        assert_eq!(paths.len(), 3);
+        assert_eq!(paths[0].nodes, vec![n(0), n(3)]);
+        assert_eq!(paths[1].nodes, vec![n(0), n(1), n(3)]);
+        assert_eq!(paths[2].nodes, vec![n(0), n(2), n(3)]);
+    }
+
+    #[test]
+    fn yen_k_limits_output() {
+        let t = diamond();
+        assert_eq!(k_shortest_paths(&t, n(0), n(3), 2).len(), 2);
+        assert_eq!(k_shortest_paths(&t, n(0), n(3), 0).len(), 0);
+        assert_eq!(k_shortest_paths(&t, n(0), n(0), 4).len(), 0);
+    }
+
+    #[test]
+    fn yen_paths_are_loopless_and_distinct() {
+        let t = gen::isp_topology(CAP);
+        let paths = k_shortest_paths(&t, n(8), n(20), 8);
+        assert!(paths.len() >= 4);
+        let mut seen = HashSet::new();
+        for p in &paths {
+            assert!(seen.insert(p.nodes.clone()), "duplicate path");
+            let mut s = p.nodes.clone();
+            s.sort_unstable();
+            s.dedup();
+            assert_eq!(s.len(), p.nodes.len(), "loop in path");
+            assert_eq!(p.source(), n(8));
+            assert_eq!(p.dest(), n(20));
+        }
+        // Non-decreasing length.
+        for w in paths.windows(2) {
+            assert!(w[0].hop_count() <= w[1].hop_count());
+        }
+    }
+
+    #[test]
+    fn yen_on_disconnected_pair() {
+        let mut b = Topology::builder(4);
+        b.channel(n(0), n(1), CAP).unwrap();
+        b.channel(n(2), n(3), CAP).unwrap();
+        let t = b.build();
+        assert!(k_shortest_paths(&t, n(0), n(3), 3).is_empty());
+    }
+
+    #[test]
+    fn edge_disjoint_paths_share_no_channel() {
+        let t = diamond();
+        let paths = k_edge_disjoint_paths(&t, n(0), n(3), 4);
+        assert_eq!(paths.len(), 3); // direct, via 1, via 2
+        let mut used = HashSet::new();
+        for p in &paths {
+            for (c, _) in p.channels(&t) {
+                assert!(used.insert(c), "channel reused across paths");
+            }
+        }
+    }
+
+    #[test]
+    fn edge_disjoint_respects_k() {
+        let t = diamond();
+        assert_eq!(k_edge_disjoint_paths(&t, n(0), n(3), 2).len(), 2);
+    }
+
+    #[test]
+    fn paper_uses_4_disjoint_paths_on_isp() {
+        let t = gen::isp_topology(CAP);
+        // Core nodes have many disjoint routes; 4 must exist.
+        let paths = k_edge_disjoint_paths(&t, n(0), n(5), 4);
+        assert_eq!(paths.len(), 4);
+    }
+
+    #[test]
+    fn widest_path_prefers_capacity_over_hops() {
+        // 0-1 thin direct; 0-2-1 fat detour.
+        let mut b = Topology::builder(3);
+        b.channel(n(0), n(1), CAP).unwrap();
+        b.channel(n(0), n(2), CAP).unwrap();
+        b.channel(n(2), n(1), CAP).unwrap();
+        let t = b.build();
+        let thin = t.channel_between(n(0), n(1)).unwrap();
+        let width = |c: ChannelId, _d: Direction| if c == thin { 5 } else { 50 };
+        let p = widest_path(&t, n(0), n(1), width).unwrap();
+        assert_eq!(p.nodes, vec![n(0), n(2), n(1)]);
+    }
+
+    #[test]
+    fn widest_path_tie_breaks_to_fewer_hops() {
+        let t = diamond();
+        let p = widest_path(&t, n(0), n(3), |_, _| 7).unwrap();
+        assert_eq!(p.nodes, vec![n(0), n(3)]);
+    }
+
+    #[test]
+    fn widest_path_none_when_zero_capacity() {
+        let t = diamond();
+        assert!(widest_path(&t, n(0), n(3), |_, _| 0).is_none());
+    }
+
+    #[test]
+    fn widest_path_directional_widths() {
+        // Width depends on direction: 0→1 wide, 1→0 zero.
+        let mut b = Topology::builder(2);
+        b.channel(n(0), n(1), CAP).unwrap();
+        let t = b.build();
+        let w = |_c: ChannelId, d: Direction| if d == Direction::Forward { 9 } else { 0 };
+        assert!(widest_path(&t, n(0), n(1), w).is_some());
+        assert!(widest_path(&t, n(1), n(0), w).is_none());
+    }
+
+    #[test]
+    fn k_widest_returns_decent_set() {
+        let t = diamond();
+        let paths = k_widest_paths(&t, n(0), n(3), 3, |_, _| 10);
+        assert_eq!(paths.len(), 3);
+        let mut seen: HashSet<Vec<NodeId>> = HashSet::new();
+        for p in &paths {
+            assert!(seen.insert(p.nodes.clone()));
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Demand-matrix generators for the fluid-model experiments.
+//!
+//! Three families, mirroring how the paper reasons about workloads:
+//!
+//! * [`circulation_demand`] — a pure circulation (every unit of demand is
+//!   routable with balanced channels; Prop. 1 says balanced routing can hit
+//!   100 %);
+//! * [`dag_demand`] — a pure DAG (nothing is routable forever without
+//!   on-chain rebalancing);
+//! * [`mixed_demand`] — a convex mixture, the knob the NSDI version sweeps
+//!   as "x % circulation, (100−x) % DAG";
+//! * [`skewed_demand`] — the §6.1 sampling procedure (exponentially skewed
+//!   senders, uniform receivers) as a rate matrix.
+
+use crate::graph::PaymentGraph;
+use spider_types::distr::ExponentialRank;
+use spider_types::{DetRng, NodeId};
+
+/// Generates a pure circulation of roughly `total_rate` by overlaying
+/// `cycles` random simple cycles (each of length ≥ 2) with equal rate.
+///
+/// The result is exactly a circulation: [`PaymentGraph::is_circulation`]
+/// holds by construction.
+pub fn circulation_demand(
+    n: usize,
+    cycles: usize,
+    total_rate: f64,
+    rng: &mut DetRng,
+) -> PaymentGraph {
+    assert!(n >= 2, "need at least two nodes");
+    assert!(cycles >= 1 && total_rate > 0.0);
+    let mut g = PaymentGraph::new(n);
+    let per_cycle = total_rate / cycles as f64;
+    for _ in 0..cycles {
+        // Random cycle: a shuffled subset of 2..=min(n,6) distinct nodes.
+        let len = 2 + rng.index(n.min(6) - 1);
+        let mut nodes: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut nodes);
+        nodes.truncate(len);
+        let rate = per_cycle / len as f64;
+        for i in 0..len {
+            let s = NodeId::from_index(nodes[i]);
+            let d = NodeId::from_index(nodes[(i + 1) % len]);
+            g.add_demand(s, d, rate);
+        }
+    }
+    g
+}
+
+/// Generates a pure DAG demand of roughly `total_rate`: demands only flow
+/// from lower to higher node rank under a random permutation, so no cycle
+/// can exist and ν(C*) = 0.
+pub fn dag_demand(n: usize, edges: usize, total_rate: f64, rng: &mut DetRng) -> PaymentGraph {
+    assert!(n >= 2 && edges >= 1 && total_rate > 0.0);
+    let mut order: Vec<usize> = (0..n).collect();
+    rng.shuffle(&mut order);
+    let mut g = PaymentGraph::new(n);
+    let per_edge = total_rate / edges as f64;
+    let mut added = 0;
+    let mut guard = 0;
+    while added < edges && guard < edges * 64 {
+        guard += 1;
+        let a = rng.index(n);
+        let b = rng.index(n);
+        if a == b {
+            continue;
+        }
+        // Orient along the permutation to guarantee acyclicity.
+        let (lo, hi) = if order[a] < order[b] { (a, b) } else { (b, a) };
+        g.add_demand(NodeId::from_index(lo), NodeId::from_index(hi), per_edge);
+        added += 1;
+    }
+    g
+}
+
+/// A mixture: `circ_frac` of `total_rate` as circulation, the rest as DAG.
+/// `circ_frac = 1.0` is fully balanced demand; `0.0` is fully unbalanced.
+pub fn mixed_demand(
+    n: usize,
+    total_rate: f64,
+    circ_frac: f64,
+    rng: &mut DetRng,
+) -> PaymentGraph {
+    assert!((0.0..=1.0).contains(&circ_frac), "fraction out of range");
+    let mut g = PaymentGraph::new(n);
+    if circ_frac > 0.0 {
+        let c = circulation_demand(n, (n / 2).max(1), total_rate * circ_frac, rng);
+        for e in c.edges() {
+            g.add_demand(e.src, e.dst, e.rate);
+        }
+    }
+    if circ_frac < 1.0 {
+        let d = dag_demand(n, (n * 2).max(1), total_rate * (1.0 - circ_frac), rng);
+        for e in d.edges() {
+            g.add_demand(e.src, e.dst, e.rate);
+        }
+    }
+    g
+}
+
+/// The §6.1 workload as a rate matrix: `pairs` sender–receiver pairs with
+/// the sender drawn from an exponential rank distribution (`sender_scale`
+/// controls skew; smaller = more skewed) and the receiver uniform; each
+/// pair's rate is `total_rate / pairs`.
+pub fn skewed_demand(
+    n: usize,
+    pairs: usize,
+    total_rate: f64,
+    sender_scale: f64,
+    rng: &mut DetRng,
+) -> PaymentGraph {
+    assert!(n >= 2 && pairs >= 1 && total_rate > 0.0);
+    let sampler = ExponentialRank::new(n, sender_scale);
+    // Fixed random rank→node mapping so "rank 0" isn't always node 0.
+    let mut rank_to_node: Vec<usize> = (0..n).collect();
+    rng.shuffle(&mut rank_to_node);
+    let mut g = PaymentGraph::new(n);
+    let per_pair = total_rate / pairs as f64;
+    for _ in 0..pairs {
+        let s = rank_to_node[sampler.sample_rank(rng)];
+        let mut d = rng.index(n);
+        let mut guard = 0;
+        while d == s && guard < 64 {
+            d = rng.index(n);
+            guard += 1;
+        }
+        if d == s {
+            continue;
+        }
+        g.add_demand(NodeId::from_index(s), NodeId::from_index(d), per_pair);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose::{decompose, max_circulation_value};
+
+    #[test]
+    fn circulation_demand_is_circulation() {
+        let mut rng = DetRng::new(1);
+        let g = circulation_demand(10, 5, 20.0, &mut rng);
+        assert!(g.is_circulation(1e-9));
+        assert!((g.total_demand() - 20.0).abs() < 1e-9);
+        // Its max circulation is itself.
+        let v = max_circulation_value(&g, 1e-9);
+        assert!((v - 20.0).abs() < 1e-6, "ν = {v}");
+    }
+
+    #[test]
+    fn dag_demand_has_zero_circulation() {
+        let mut rng = DetRng::new(2);
+        let g = dag_demand(10, 20, 50.0, &mut rng);
+        assert!(g.total_demand() > 0.0);
+        assert_eq!(max_circulation_value(&g, 1e-6), 0.0);
+        assert!(crate::decompose::is_dag(&g));
+    }
+
+    #[test]
+    fn mixed_demand_interpolates() {
+        let mut rng = DetRng::new(3);
+        let g = mixed_demand(12, 100.0, 0.6, &mut rng);
+        assert!((g.total_demand() - 100.0).abs() < 1e-6);
+        let dec = decompose(&g, 1e-6);
+        // At least the injected circulation is recoverable; random DAG
+        // edges may add more cycles, never fewer.
+        assert!(dec.circulation_value >= 60.0 - 1e-6, "ν = {}", dec.circulation_value);
+    }
+
+    #[test]
+    fn mixed_demand_extremes() {
+        let mut rng = DetRng::new(4);
+        let pure_c = mixed_demand(8, 10.0, 1.0, &mut rng);
+        assert!(pure_c.is_circulation(1e-9));
+        let pure_d = mixed_demand(8, 10.0, 0.0, &mut rng);
+        assert_eq!(max_circulation_value(&pure_d, 1e-6), 0.0);
+    }
+
+    #[test]
+    fn skewed_demand_shape() {
+        let mut rng = DetRng::new(5);
+        let g = skewed_demand(20, 200, 40.0, 3.0, &mut rng);
+        assert!((g.total_demand() - 40.0).abs() < 1e-6);
+        // Skew: the busiest sender originates far more than 1/n of demand.
+        let mut out = vec![0.0; 20];
+        for e in g.edges() {
+            out[e.src.index()] += e.rate;
+        }
+        let max_out = out.iter().cloned().fold(0.0, f64::max);
+        assert!(max_out > 2.0 * (40.0 / 20.0), "max sender rate {max_out}");
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let g1 = skewed_demand(10, 50, 10.0, 2.0, &mut DetRng::new(42));
+        let g2 = skewed_demand(10, 50, 10.0, 2.0, &mut DetRng::new(42));
+        assert_eq!(g1, g2);
+        let c1 = circulation_demand(10, 4, 8.0, &mut DetRng::new(43));
+        let c2 = circulation_demand(10, 4, 8.0, &mut DetRng::new(43));
+        assert_eq!(c1, c2);
+    }
+}

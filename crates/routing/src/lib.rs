@@ -1,0 +1,58 @@
+//! # spider-routing
+//!
+//! The routing schemes evaluated in §6, all implementing
+//! [`spider_sim::Router`]:
+//!
+//! | Scheme | Paper role | Atomic? |
+//! |---|---|---|
+//! | [`SpiderWaterfilling`] | Spider (Waterfilling): k candidate paths, water-fill toward equal bottleneck balances | no |
+//! | [`SpiderLp`] | Spider (LP): offline fluid-LP weights steer per-path splits | no |
+//! | [`SpiderPricing`] | §5.3 price feedback as an online imbalance-aware scheme (extension) | no |
+//! | [`ShortestPath`] | packet-switched shortest-path baseline | no |
+//! | [`MaxFlow`] | per-transaction max-flow (Ford–Fulkerson gold standard) | yes |
+//! | [`SilentWhispers`] | landmark routing with multipath splits | yes |
+//! | [`SpeedyMurmurs`] | embedding-based greedy routing on spanning trees | yes |
+//!
+//! All schemes are deterministic given their construction inputs.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod lp_router;
+pub mod maxflow_router;
+pub mod pricing;
+pub mod shortest;
+pub mod silentwhispers;
+pub mod speedymurmurs;
+pub mod waterfilling;
+
+pub use cache::{PathCache, PathPolicy};
+pub use lp_router::{LpSolverKind, SpiderLp};
+pub use maxflow_router::MaxFlow;
+pub use pricing::{PricingConfig, SpiderPricing};
+pub use shortest::ShortestPath;
+pub use silentwhispers::SilentWhispers;
+pub use speedymurmurs::SpeedyMurmurs;
+pub use waterfilling::SpiderWaterfilling;
+
+use spider_sim::Router;
+
+/// Convenience constructor for the full §6 scheme lineup, in the paper's
+/// legend order. `demands` feeds Spider (LP)'s offline optimization exactly
+/// as the paper does ("Spider (LP) solves the LP once based on the
+/// long-term payment demands").
+pub fn paper_schemes(
+    topo: &spider_topology::Topology,
+    demands: &spider_paygraph::PaymentGraph,
+    delta_secs: f64,
+) -> Vec<Box<dyn Router>> {
+    vec![
+        Box::new(SpiderLp::new(topo, demands, delta_secs, 4, LpSolverKind::Auto)),
+        Box::new(SpiderWaterfilling::new(4)),
+        Box::new(MaxFlow::new()),
+        Box::new(ShortestPath::new()),
+        Box::new(SilentWhispers::new(topo, 3)),
+        Box::new(SpeedyMurmurs::new(topo, 3)),
+    ]
+}

@@ -1,0 +1,84 @@
+//! The packet-switched shortest-path baseline.
+//!
+//! "We implemented shortest-path routing with non-atomic payments as
+//! another baseline for our packet-switched network" (§6.1). The scheme
+//! proposes the single BFS shortest path for the full remainder; the
+//! engine packetizes into MTU units and queues what does not fit.
+
+use spider_sim::{NetworkView, RouteProposal, RouteRequest, Router};
+
+/// Non-atomic single-shortest-path routing.
+#[derive(Debug, Default)]
+pub struct ShortestPath {
+    _private: (),
+}
+
+impl ShortestPath {
+    /// Creates the baseline router.
+    pub fn new() -> Self {
+        ShortestPath { _private: () }
+    }
+}
+
+impl Router for ShortestPath {
+    fn name(&self) -> &'static str {
+        "shortest-path"
+    }
+
+    fn route(&mut self, req: &RouteRequest, view: &NetworkView<'_>) -> Vec<RouteProposal> {
+        match view.topo.shortest_path(req.src, req.dst) {
+            Some(path) => vec![RouteProposal { path, amount: req.remaining }],
+            None => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spider_sim::ChannelState;
+    use spider_types::{Amount, NodeId, PaymentId, SimTime};
+
+    #[test]
+    fn proposes_single_shortest_path() {
+        let t = spider_topology::gen::line(4, Amount::from_xrp(10));
+        let channels: Vec<ChannelState> =
+            t.channels().map(|(_, c)| ChannelState::split_equally(c.capacity)).collect();
+        let view = NetworkView { topo: &t, channels: &channels, now: SimTime::ZERO };
+        let mut r = ShortestPath::new();
+        let req = RouteRequest {
+            payment: PaymentId(0),
+            src: NodeId(0),
+            dst: NodeId(3),
+            remaining: Amount::from_xrp(2),
+            total: Amount::from_xrp(2),
+            mtu: Amount::from_xrp(1),
+            attempt: 0,
+        };
+        let props = r.route(&req, &view);
+        assert_eq!(props.len(), 1);
+        assert_eq!(props[0].path, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(props[0].amount, Amount::from_xrp(2));
+        assert!(!r.atomic());
+    }
+
+    #[test]
+    fn empty_for_unreachable() {
+        let mut b = spider_topology::Topology::builder(3);
+        b.channel(NodeId(0), NodeId(1), Amount::from_xrp(1)).unwrap();
+        let t = b.build();
+        let channels: Vec<ChannelState> =
+            t.channels().map(|(_, c)| ChannelState::split_equally(c.capacity)).collect();
+        let view = NetworkView { topo: &t, channels: &channels, now: SimTime::ZERO };
+        let req = RouteRequest {
+            payment: PaymentId(0),
+            src: NodeId(0),
+            dst: NodeId(2),
+            remaining: Amount::from_xrp(1),
+            total: Amount::from_xrp(1),
+            mtu: Amount::from_xrp(1),
+            attempt: 0,
+        };
+        assert!(ShortestPath::new().route(&req, &view).is_empty());
+    }
+}

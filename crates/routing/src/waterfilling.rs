@@ -1,0 +1,187 @@
+//! Spider (Waterfilling).
+//!
+//! The quickly-converging heuristic of §5.3.1: "sources … always sending
+//! on paths with the largest available capacity, much like waterfilling
+//! algorithms for max-min fairness. A source measures the available
+//! capacity on a set of paths to the destination. It then first transmits
+//! on the path with highest capacity until its capacity is the same as the
+//! second-highest-capacity path; then it transmits on both … and so on."
+//!
+//! We allocate the payment in MTU-sized units, each to the candidate path
+//! with the largest *residual* bottleneck (current available balance minus
+//! what this payment already put on it) — the discrete version of the
+//! waterfilling dynamics, restricted to the paper's 4 edge-disjoint paths.
+
+use crate::cache::{PathCache, PathPolicy};
+use spider_sim::{NetworkView, RouteProposal, RouteRequest, Router};
+use spider_types::Amount;
+
+/// Spider's waterfilling router (non-atomic).
+#[derive(Debug)]
+pub struct SpiderWaterfilling {
+    cache: PathCache,
+}
+
+impl SpiderWaterfilling {
+    /// Creates the router with `k` edge-disjoint candidate paths per pair
+    /// (the paper uses 4).
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "need at least one path");
+        SpiderWaterfilling { cache: PathCache::new(PathPolicy::EdgeDisjoint(k)) }
+    }
+}
+
+impl Router for SpiderWaterfilling {
+    fn name(&self) -> &'static str {
+        "spider-waterfilling"
+    }
+
+    fn route(&mut self, req: &RouteRequest, view: &NetworkView<'_>) -> Vec<RouteProposal> {
+        let paths = self.cache.get(view.topo, req.src, req.dst);
+        if paths.is_empty() {
+            return Vec::new();
+        }
+        // Current bottleneck per candidate path.
+        let mut residual: Vec<Amount> = paths
+            .iter()
+            .map(|p| view.path_bottleneck(&p.nodes).unwrap_or(Amount::ZERO))
+            .collect();
+        let mut allocated: Vec<Amount> = vec![Amount::ZERO; paths.len()];
+        let mut remaining = req.remaining;
+        while !remaining.is_zero() {
+            // Highest residual capacity wins the next unit (ties: lowest
+            // index, i.e. the shorter path).
+            let Some(best) = (0..paths.len())
+                .filter(|&i| !residual[i].is_zero())
+                .max_by(|&a, &b| residual[a].cmp(&residual[b]).then(b.cmp(&a)))
+            else {
+                break;
+            };
+            let unit = req.mtu.min(remaining).min(residual[best]);
+            allocated[best] += unit;
+            residual[best] -= unit;
+            remaining -= unit;
+        }
+        paths
+            .iter()
+            .zip(allocated)
+            .filter(|(_, a)| !a.is_zero())
+            .map(|(p, amount)| RouteProposal { path: p.nodes.clone(), amount })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spider_sim::ChannelState;
+    use spider_types::{Direction, NodeId, PaymentId, SimTime};
+
+    fn xrp(x: u64) -> Amount {
+        Amount::from_xrp(x)
+    }
+
+    fn req(src: u32, dst: u32, amount: Amount, mtu: Amount) -> RouteRequest {
+        RouteRequest {
+            payment: PaymentId(0),
+            src: NodeId(src),
+            dst: NodeId(dst),
+            remaining: amount,
+            total: amount,
+            mtu,
+            attempt: 0,
+        }
+    }
+
+    /// Diamond with asymmetric capacities: direct 0-3 thin, detours fat.
+    fn diamond() -> (spider_topology::Topology, Vec<ChannelState>) {
+        let mut b = spider_topology::Topology::builder(4);
+        b.channel(NodeId(0), NodeId(3), xrp(4)).unwrap(); // direct: 2 avail
+        b.channel(NodeId(0), NodeId(1), xrp(20)).unwrap();
+        b.channel(NodeId(1), NodeId(3), xrp(20)).unwrap();
+        b.channel(NodeId(0), NodeId(2), xrp(12)).unwrap();
+        b.channel(NodeId(2), NodeId(3), xrp(12)).unwrap();
+        let t = b.build();
+        let ch: Vec<ChannelState> =
+            t.channels().map(|(_, c)| ChannelState::split_equally(c.capacity)).collect();
+        (t, ch)
+    }
+
+    #[test]
+    fn prefers_widest_path_first() {
+        let (t, ch) = diamond();
+        let view = NetworkView { topo: &t, channels: &ch, now: SimTime::ZERO };
+        let mut r = SpiderWaterfilling::new(4);
+        // 3 XRP with MTU 1: all three units fit on the 10-XRP detour
+        // (residuals: direct 2, via-1 10, via-2 6).
+        let props = r.route(&req(0, 3, xrp(3), xrp(1)), &view);
+        assert_eq!(props.len(), 1);
+        assert_eq!(props[0].path, vec![NodeId(0), NodeId(1), NodeId(3)]);
+        assert_eq!(props[0].amount, xrp(3));
+    }
+
+    #[test]
+    fn spreads_across_paths_when_large() {
+        let (t, ch) = diamond();
+        let view = NetworkView { topo: &t, channels: &ch, now: SimTime::ZERO };
+        let mut r = SpiderWaterfilling::new(4);
+        // 14 XRP: waterfills via-1 (10 avail) down toward via-2 (6) and
+        // direct (2). Expected split: via-1 gets 9, via-2 gets 5 — both
+        // equalize at residual 1 — then direct 2 is still below; remaining
+        // 0. Allocation: 9 + 5 = 14.
+        let props = r.route(&req(0, 3, xrp(14), xrp(1)), &view);
+        let total: Amount = props.iter().map(|p| p.amount).sum();
+        assert_eq!(total, xrp(14));
+        assert!(props.len() >= 2);
+        // The widest path must carry the largest share.
+        let via1 = props
+            .iter()
+            .find(|p| p.path == vec![NodeId(0), NodeId(1), NodeId(3)])
+            .expect("widest path used");
+        for p in &props {
+            assert!(via1.amount >= p.amount);
+        }
+    }
+
+    #[test]
+    fn allocation_capped_by_total_capacity() {
+        let (t, ch) = diamond();
+        let view = NetworkView { topo: &t, channels: &ch, now: SimTime::ZERO };
+        let mut r = SpiderWaterfilling::new(4);
+        // Ask for far more than the network can hold: 2 + 10 + 6 = 18 max.
+        let props = r.route(&req(0, 3, xrp(100), xrp(1)), &view);
+        let total: Amount = props.iter().map(|p| p.amount).sum();
+        assert_eq!(total, xrp(18));
+    }
+
+    #[test]
+    fn skips_empty_paths() {
+        let (t, mut ch) = diamond();
+        // Drain the direct channel's forward side entirely.
+        let direct = t.channel_between(NodeId(0), NodeId(3)).unwrap();
+        let avail = ch[direct.index()].available(Direction::Forward);
+        assert!(ch[direct.index()].lock(Direction::Forward, avail));
+        let view = NetworkView { topo: &t, channels: &ch, now: SimTime::ZERO };
+        let mut r = SpiderWaterfilling::new(4);
+        let props = r.route(&req(0, 3, xrp(16), xrp(1)), &view);
+        assert!(props.iter().all(|p| p.path != vec![NodeId(0), NodeId(3)]));
+        let total: Amount = props.iter().map(|p| p.amount).sum();
+        assert_eq!(total, xrp(16));
+    }
+
+    #[test]
+    fn unreachable_gives_nothing() {
+        let mut b = spider_topology::Topology::builder(3);
+        b.channel(NodeId(0), NodeId(1), xrp(2)).unwrap();
+        let t = b.build();
+        let ch: Vec<ChannelState> =
+            t.channels().map(|(_, c)| ChannelState::split_equally(c.capacity)).collect();
+        let view = NetworkView { topo: &t, channels: &ch, now: SimTime::ZERO };
+        assert!(SpiderWaterfilling::new(4).route(&req(0, 2, xrp(1), xrp(1)), &view).is_empty());
+    }
+
+    #[test]
+    fn not_atomic() {
+        assert!(!SpiderWaterfilling::new(4).atomic());
+    }
+}

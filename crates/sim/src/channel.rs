@@ -1,0 +1,227 @@
+//! Per-channel balance state with in-flight (HTLC-locked) funds.
+
+use spider_types::{Amount, Direction, SignedAmount};
+
+/// The mutable state of one bidirectional payment channel.
+///
+/// `available[d]` is what the sender in direction `d` can still spend;
+/// `inflight[d]` is locked under hash locks for units traveling in
+/// direction `d` (unavailable to *both* parties until the key arrives or
+/// the unit is canceled).
+///
+/// Invariant (fund conservation): `available[0] + available[1] +
+/// inflight[0] + inflight[1] == capacity` at all times.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelState {
+    capacity: Amount,
+    available: [Amount; 2],
+    inflight: [Amount; 2],
+}
+
+impl ChannelState {
+    /// Creates a channel with `capacity` total funds split equally between
+    /// the two directions (the paper's §6.2 initialization: "equally split
+    /// between the two parties"). Odd drops favour the forward side.
+    pub fn split_equally(capacity: Amount) -> Self {
+        let half = capacity / 2;
+        ChannelState {
+            capacity,
+            available: [capacity - half, half],
+            inflight: [Amount::ZERO, Amount::ZERO],
+        }
+    }
+
+    /// Creates a channel with explicit initial balances.
+    pub fn with_balances(fwd: Amount, bwd: Amount) -> Self {
+        ChannelState {
+            capacity: fwd + bwd,
+            available: [fwd, bwd],
+            inflight: [Amount::ZERO, Amount::ZERO],
+        }
+    }
+
+    /// Total escrowed funds.
+    pub fn capacity(&self) -> Amount {
+        self.capacity
+    }
+
+    /// Funds the sender in `dir` can spend right now.
+    pub fn available(&self, dir: Direction) -> Amount {
+        self.available[dir.index()]
+    }
+
+    /// Funds currently locked for units traveling in `dir`.
+    pub fn inflight(&self, dir: Direction) -> Amount {
+        self.inflight[dir.index()]
+    }
+
+    /// Signed imbalance seen from the forward direction:
+    /// `available(fwd) − available(bwd)`. Zero means perfectly balanced.
+    pub fn imbalance(&self) -> SignedAmount {
+        self.available[0].signed() - self.available[1].signed()
+    }
+
+    /// Locks `amount` for a unit traveling in `dir`. Returns `false`
+    /// (leaving state unchanged) when the sender lacks available funds.
+    #[must_use]
+    pub fn lock(&mut self, dir: Direction, amount: Amount) -> bool {
+        let d = dir.index();
+        match self.available[d].checked_sub(amount) {
+            Some(rest) => {
+                self.available[d] = rest;
+                self.inflight[d] += amount;
+                self.assert_conservation();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Settles a previously locked unit: the funds move to the receiving
+    /// party (who can then spend them in the opposite direction).
+    /// Panics if `amount` exceeds the in-flight total (a bookkeeping bug).
+    pub fn settle(&mut self, dir: Direction, amount: Amount) {
+        let d = dir.index();
+        self.inflight[d] -= amount;
+        self.available[dir.reverse().index()] += amount;
+        self.assert_conservation();
+    }
+
+    /// Cancels a previously locked unit: funds return to the sender.
+    pub fn refund(&mut self, dir: Direction, amount: Amount) {
+        let d = dir.index();
+        self.inflight[d] -= amount;
+        self.available[d] += amount;
+        self.assert_conservation();
+    }
+
+    /// Deposits `amount` of new funds on the `dir` side (an on-chain
+    /// rebalancing transaction). Increases total capacity.
+    pub fn deposit(&mut self, dir: Direction, amount: Amount) {
+        self.available[dir.index()] += amount;
+        self.capacity += amount;
+        self.assert_conservation();
+    }
+
+    /// Sum of available and in-flight funds; must equal capacity.
+    pub fn total(&self) -> Amount {
+        self.available[0] + self.available[1] + self.inflight[0] + self.inflight[1]
+    }
+
+    #[inline]
+    fn assert_conservation(&self) {
+        debug_assert_eq!(self.total(), self.capacity, "channel funds not conserved");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Direction::{Backward, Forward};
+
+    fn xrp(x: u64) -> Amount {
+        Amount::from_xrp(x)
+    }
+
+    #[test]
+    fn split_equally_conserves() {
+        let c = ChannelState::split_equally(xrp(30_000));
+        assert_eq!(c.available(Forward), xrp(15_000));
+        assert_eq!(c.available(Backward), xrp(15_000));
+        assert_eq!(c.total(), c.capacity());
+        assert_eq!(c.imbalance(), SignedAmount::ZERO);
+    }
+
+    #[test]
+    fn odd_drop_goes_forward() {
+        let c = ChannelState::split_equally(Amount::from_drops(5));
+        assert_eq!(c.available(Forward), Amount::from_drops(3));
+        assert_eq!(c.available(Backward), Amount::from_drops(2));
+        assert_eq!(c.total(), c.capacity());
+    }
+
+    #[test]
+    fn lock_settle_moves_funds_across() {
+        let mut c = ChannelState::with_balances(xrp(10), xrp(5));
+        assert!(c.lock(Forward, xrp(4)));
+        assert_eq!(c.available(Forward), xrp(6));
+        assert_eq!(c.inflight(Forward), xrp(4));
+        c.settle(Forward, xrp(4));
+        assert_eq!(c.inflight(Forward), xrp(0));
+        assert_eq!(c.available(Backward), xrp(9));
+        assert_eq!(c.total(), c.capacity());
+    }
+
+    #[test]
+    fn lock_refund_restores() {
+        let mut c = ChannelState::with_balances(xrp(10), xrp(5));
+        assert!(c.lock(Backward, xrp(5)));
+        assert_eq!(c.available(Backward), xrp(0));
+        c.refund(Backward, xrp(5));
+        assert_eq!(c.available(Backward), xrp(5));
+        assert_eq!(c.inflight(Backward), xrp(0));
+        assert_eq!(c.total(), c.capacity());
+    }
+
+    #[test]
+    fn lock_fails_without_balance_and_leaves_state() {
+        let mut c = ChannelState::with_balances(xrp(3), xrp(5));
+        let before = c.clone();
+        assert!(!c.lock(Forward, xrp(4)));
+        assert_eq!(c, before);
+        // Exactly the full balance is lockable.
+        assert!(c.lock(Forward, xrp(3)));
+        assert_eq!(c.available(Forward), xrp(0));
+    }
+
+    #[test]
+    fn inflight_funds_unusable_by_either_side() {
+        let mut c = ChannelState::with_balances(xrp(4), xrp(0));
+        assert!(c.lock(Forward, xrp(4)));
+        // Sender has nothing left; receiver hasn't received yet.
+        assert!(!c.lock(Forward, Amount::DROP));
+        assert!(!c.lock(Backward, Amount::DROP));
+    }
+
+    #[test]
+    fn imbalance_sign() {
+        let mut c = ChannelState::with_balances(xrp(10), xrp(2));
+        assert_eq!(c.imbalance(), SignedAmount::from_drops(8_000_000));
+        assert!(c.lock(Forward, xrp(9)));
+        c.settle(Forward, xrp(9));
+        // Now forward side has 1, backward 11.
+        assert_eq!(c.imbalance(), SignedAmount::from_drops(-10_000_000));
+    }
+
+    #[test]
+    fn deposit_grows_capacity() {
+        let mut c = ChannelState::with_balances(xrp(1), xrp(1));
+        c.deposit(Forward, xrp(5));
+        assert_eq!(c.capacity(), xrp(7));
+        assert_eq!(c.available(Forward), xrp(6));
+        assert_eq!(c.total(), c.capacity());
+    }
+
+    #[test]
+    #[should_panic]
+    fn settle_more_than_inflight_panics() {
+        let mut c = ChannelState::with_balances(xrp(5), xrp(5));
+        assert!(c.lock(Forward, xrp(2)));
+        c.settle(Forward, xrp(3));
+    }
+
+    #[test]
+    fn interleaved_units_many_directions() {
+        let mut c = ChannelState::split_equally(xrp(20));
+        assert!(c.lock(Forward, xrp(6)));
+        assert!(c.lock(Backward, xrp(10)));
+        assert!(c.lock(Forward, xrp(4)));
+        assert!(!c.lock(Forward, Amount::DROP));
+        c.settle(Forward, xrp(6));
+        c.refund(Backward, xrp(10));
+        c.settle(Forward, xrp(4));
+        assert_eq!(c.available(Forward), xrp(0));
+        assert_eq!(c.available(Backward), xrp(20));
+        assert_eq!(c.total(), c.capacity());
+    }
+}

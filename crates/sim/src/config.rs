@@ -1,0 +1,155 @@
+//! Simulation configuration.
+
+use serde::{Deserialize, Serialize};
+use spider_types::{Amount, SimDuration};
+
+/// Order in which queued (incomplete, non-atomic) payments are retried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedulingPolicy {
+    /// Shortest remaining processing time — smallest incomplete amount
+    /// first. The paper's default: "scheduled in order of increasing
+    /// incomplete payment amount, i.e. according to SRPT".
+    Srpt,
+    /// First-come-first-served by arrival time.
+    Fifo,
+    /// Most recent arrival first.
+    Lifo,
+    /// Earliest deadline first.
+    EarliestDeadline,
+    /// Largest remaining amount first (anti-SRPT, for ablations).
+    LargestRemaining,
+}
+
+/// On-chain rebalancing policy (§5.2.3): routers may top up a depleted
+/// channel direction with fresh on-chain funds, paying confirmation
+/// latency — the `b_(u,v)` mechanism of eqs. (6)–(11) in event form.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RebalancingConfig {
+    /// How often channel balances are checked for depletion.
+    pub check_interval: SimDuration,
+    /// A direction is "depleted" when its available balance falls below
+    /// this fraction of total channel capacity.
+    pub trigger_fraction: f64,
+    /// Deposits top the direction back up to this fraction of capacity.
+    pub target_fraction: f64,
+    /// On-chain confirmation latency (blockchain delay; minutes on
+    /// Bitcoin, configurable here).
+    pub confirmation_delay: SimDuration,
+}
+
+impl Default for RebalancingConfig {
+    fn default() -> Self {
+        RebalancingConfig {
+            check_interval: SimDuration::from_millis(500),
+            trigger_fraction: 0.05,
+            target_fraction: 0.5,
+            confirmation_delay: SimDuration::from_secs(10),
+        }
+    }
+}
+
+/// Engine parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// End-to-end confirmation delay Δ: time between locking funds along a
+    /// path and the key release that settles them (paper: 0.5 s).
+    pub confirmation_delay: SimDuration,
+    /// How often the pending-payment queue is polled ("periodically polled
+    /// to see if they can make any further progress").
+    pub poll_interval: SimDuration,
+    /// Maximum transaction unit: payments are packetized into units of at
+    /// most this value before routing.
+    pub mtu: Amount,
+    /// Relative deadline applied to every payment; the un-delivered
+    /// remainder is canceled when it expires. `None` = payments wait until
+    /// the horizon.
+    pub deadline: Option<SimDuration>,
+    /// Queue scheduling policy.
+    pub scheduling: SchedulingPolicy,
+    /// Simulation horizon: events after this instant are not processed,
+    /// matching the paper's "results collected at the end of 200 s".
+    pub horizon: SimDuration,
+    /// Cap on (path, amount) proposals attempted per payment per poll,
+    /// bounding worst-case work for adversarial routers.
+    pub max_proposals_per_poll: usize,
+    /// Optional on-chain rebalancing (§5.2.3). `None` = pure off-chain
+    /// operation, the paper's default evaluation mode.
+    pub rebalancing: Option<RebalancingConfig>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            confirmation_delay: SimDuration::from_millis(500),
+            poll_interval: SimDuration::from_millis(100),
+            mtu: Amount::from_xrp(10),
+            deadline: Some(SimDuration::from_secs(5)),
+            scheduling: SchedulingPolicy::Srpt,
+            horizon: SimDuration::from_secs(200),
+            max_proposals_per_poll: 64,
+            rebalancing: None,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Validates parameter sanity; call before running.
+    pub fn validate(&self) -> spider_types::Result<()> {
+        use spider_types::SpiderError::InvalidConfig;
+        if self.mtu.is_zero() {
+            return Err(InvalidConfig("MTU must be positive".into()));
+        }
+        if self.poll_interval.is_zero() {
+            return Err(InvalidConfig("poll interval must be positive".into()));
+        }
+        if self.horizon.is_zero() {
+            return Err(InvalidConfig("horizon must be positive".into()));
+        }
+        if self.max_proposals_per_poll == 0 {
+            return Err(InvalidConfig("max proposals must be positive".into()));
+        }
+        if let Some(rb) = &self.rebalancing {
+            if rb.check_interval.is_zero() {
+                return Err(InvalidConfig("rebalancing interval must be positive".into()));
+            }
+            if !(0.0..=1.0).contains(&rb.trigger_fraction)
+                || !(0.0..=1.0).contains(&rb.target_fraction)
+                || rb.trigger_fraction > rb.target_fraction
+            {
+                return Err(InvalidConfig(
+                    "rebalancing fractions must satisfy 0 <= trigger <= target <= 1".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = SimConfig::default();
+        assert_eq!(c.confirmation_delay, SimDuration::from_millis(500));
+        assert_eq!(c.scheduling, SchedulingPolicy::Srpt);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_zeroes() {
+        let mut c = SimConfig::default();
+        c.mtu = Amount::ZERO;
+        assert!(c.validate().is_err());
+        let mut c = SimConfig::default();
+        c.poll_interval = SimDuration::ZERO;
+        assert!(c.validate().is_err());
+        let mut c = SimConfig::default();
+        c.horizon = SimDuration::ZERO;
+        assert!(c.validate().is_err());
+        let mut c = SimConfig::default();
+        c.max_proposals_per_poll = 0;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,850 @@
+//! The discrete-event simulation engine.
+//!
+//! Event model (matching §6.1's simulator):
+//!
+//! * **Arrival** — a transaction arrives and is routed immediately; funds
+//!   are locked along every hop of each accepted `(path, amount)` unit.
+//! * **Settle** — Δ seconds after locking, the hash-lock key has propagated
+//!   and each hop's funds move to the downstream party. If the payment's
+//!   deadline has passed in the meantime, the sender withholds the key and
+//!   the hops are refunded instead (§4.1's non-atomic cancellation).
+//! * **Poll** — every `poll_interval`, incomplete non-atomic payments are
+//!   re-attempted in scheduling-policy order (SRPT by default).
+//!
+//! Ties in event time are broken by insertion sequence, so runs are fully
+//! deterministic.
+
+use crate::channel::ChannelState;
+use crate::config::{SchedulingPolicy, SimConfig};
+use crate::metrics::{MetricsCollector, SimReport};
+use crate::router::{NetworkView, RouteRequest, Router, UnitOutcome};
+use crate::workload::Workload;
+use spider_topology::Topology;
+use spider_types::{Amount, ChannelId, Direction, NodeId, PaymentId, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Internal payment bookkeeping.
+#[derive(Debug, Clone)]
+struct PaymentState {
+    src: NodeId,
+    dst: NodeId,
+    total: Amount,
+    delivered: Amount,
+    inflight: Amount,
+    arrival: SimTime,
+    deadline: SimTime,
+    attempts: u32,
+    completed: bool,
+    /// Deadline passed with work outstanding; remainder canceled.
+    expired: bool,
+}
+
+impl PaymentState {
+    fn unassigned(&self) -> Amount {
+        self.total - self.delivered - self.inflight
+    }
+    fn active(&self) -> bool {
+        !self.completed && !self.expired && !self.unassigned().is_zero()
+    }
+}
+
+#[derive(Debug)]
+enum EventKind {
+    Arrival(usize),
+    Settle { payment: usize, amount: Amount, hops: Vec<(ChannelId, Direction)> },
+    Poll,
+    /// Periodic scan for depleted channel directions (on-chain
+    /// rebalancing enabled).
+    RebalanceScan,
+    /// An on-chain deposit confirms after the blockchain delay.
+    RebalanceSettle { channel: ChannelId, dir: Direction, amount: Amount },
+}
+
+/// The simulator.
+pub struct Simulation {
+    topo: Topology,
+    channels: Vec<ChannelState>,
+    config: SimConfig,
+    router: Box<dyn Router>,
+    workload: Workload,
+    payments: Vec<PaymentState>,
+    pending: Vec<usize>,
+    events: BinaryHeap<Reverse<(SimTime, u64, usize)>>,
+    event_store: Vec<Option<EventKind>>,
+    seq: u64,
+    now: SimTime,
+    metrics: MetricsCollector,
+    /// Per (channel, direction): an on-chain deposit is in flight, so
+    /// don't schedule another.
+    rebalance_pending: Vec<[bool; 2]>,
+    /// Next time an imbalance sample is due (once per simulated second).
+    next_imbalance_sample: SimTime,
+}
+
+impl Simulation {
+    /// Builds a simulation. Channels start equally split
+    /// (paper §6.2). Fails on invalid configuration.
+    pub fn new(
+        topo: Topology,
+        workload: Workload,
+        router: Box<dyn Router>,
+        config: SimConfig,
+    ) -> spider_types::Result<Self> {
+        config.validate()?;
+        let channels: Vec<ChannelState> =
+            topo.channels().map(|(_, c)| ChannelState::split_equally(c.capacity)).collect();
+        let rebalance_pending = vec![[false; 2]; channels.len()];
+        Ok(Simulation {
+            topo,
+            channels,
+            config,
+            router,
+            workload,
+            payments: Vec::new(),
+            pending: Vec::new(),
+            events: BinaryHeap::new(),
+            event_store: Vec::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            metrics: MetricsCollector::new(),
+            rebalance_pending,
+            next_imbalance_sample: SimTime::ZERO,
+        })
+    }
+
+    fn schedule(&mut self, at: SimTime, kind: EventKind) {
+        let id = self.event_store.len();
+        self.event_store.push(Some(kind));
+        self.events.push(Reverse((at, self.seq, id)));
+        self.seq += 1;
+    }
+
+    /// Runs to the horizon and produces the report. The simulation object
+    /// remains inspectable afterwards (channel states, conservation).
+    pub fn run(&mut self) -> SimReport {
+        let horizon = SimTime::ZERO + self.config.horizon;
+        // Seed events: arrivals within the horizon, plus the first poll.
+        for i in 0..self.workload.txns.len() {
+            let t = self.workload.txns[i].time;
+            if t <= horizon {
+                self.schedule(t, EventKind::Arrival(i));
+            }
+        }
+        self.schedule(SimTime::ZERO + self.config.poll_interval, EventKind::Poll);
+        if let Some(rb) = &self.config.rebalancing {
+            self.schedule(SimTime::ZERO + rb.check_interval, EventKind::RebalanceScan);
+        }
+
+        {
+            let view = NetworkView { topo: &self.topo, channels: &self.channels, now: self.now };
+            self.router.initialize(&view);
+        }
+
+        while let Some(Reverse((t, _, id))) = self.events.pop() {
+            if t > horizon {
+                break;
+            }
+            self.now = t;
+            // Canceled events (atomic rollback) leave a `None` behind.
+            let Some(kind) = self.event_store[id].take() else { continue };
+            match kind {
+                EventKind::Arrival(i) => self.on_arrival(i),
+                EventKind::Settle { payment, amount, hops } => {
+                    self.on_settle(payment, amount, &hops)
+                }
+                EventKind::Poll => {
+                    self.on_poll();
+                    let next = self.now + self.config.poll_interval;
+                    if next <= horizon {
+                        self.schedule(next, EventKind::Poll);
+                    }
+                }
+                EventKind::RebalanceScan => {
+                    self.on_rebalance_scan();
+                    if let Some(rb) = &self.config.rebalancing {
+                        let next = self.now + rb.check_interval;
+                        if next <= horizon {
+                            self.schedule(next, EventKind::RebalanceScan);
+                        }
+                    }
+                }
+                EventKind::RebalanceSettle { channel, dir, amount } => {
+                    self.channels[channel.index()].deposit(dir, amount);
+                    self.rebalance_pending[channel.index()][dir.index()] = false;
+                    self.metrics.rebalanced(amount);
+                }
+            }
+        }
+        std::mem::take(&mut self.metrics).finish(self.router.name(), self.config.horizon)
+    }
+
+    /// Channel states (for inspection after a run).
+    pub fn channel_states(&self) -> &[ChannelState] {
+        &self.channels
+    }
+
+    /// The topology being simulated.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    fn on_arrival(&mut self, txn_index: usize) {
+        let spec = self.workload.txns[txn_index];
+        let deadline = match self.config.deadline {
+            Some(d) => spec.time + d,
+            None => SimTime::FAR_FUTURE,
+        };
+        let pid = self.payments.len();
+        self.payments.push(PaymentState {
+            src: spec.src,
+            dst: spec.dst,
+            total: spec.amount,
+            delivered: Amount::ZERO,
+            inflight: Amount::ZERO,
+            arrival: spec.time,
+            deadline,
+            attempts: 0,
+            completed: false,
+            expired: false,
+        });
+        self.metrics.payment_arrived(spec.amount);
+        self.attempt_payment(pid);
+        // Queue the remainder for retries (non-atomic only).
+        if !self.router.atomic() && self.payments[pid].active() {
+            self.pending.push(pid);
+        }
+    }
+
+    /// One routing attempt for the payment's currently unassigned amount.
+    fn attempt_payment(&mut self, pid: usize) {
+        let p = &self.payments[pid];
+        if p.completed || p.expired {
+            return;
+        }
+        let unassigned = p.unassigned();
+        if unassigned.is_zero() {
+            return;
+        }
+        let req = RouteRequest {
+            payment: PaymentId(pid as u64),
+            src: p.src,
+            dst: p.dst,
+            remaining: unassigned,
+            total: p.total,
+            mtu: self.config.mtu,
+            attempt: p.attempts,
+        };
+        self.payments[pid].attempts += 1;
+        let proposals = {
+            let view = NetworkView { topo: &self.topo, channels: &self.channels, now: self.now };
+            self.router.route(&req, &view)
+        };
+        let atomic = self.router.atomic();
+        let mut budget = unassigned;
+        // Units locked in this attempt: (amount, hops, settle event id),
+        // kept for atomic rollback.
+        let mut locked_units: Vec<(Amount, Vec<(ChannelId, Direction)>, usize)> = Vec::new();
+        let mut aborted = false;
+
+        'proposals: for prop in proposals.into_iter().take(self.config.max_proposals_per_poll) {
+            if budget.is_zero() {
+                break;
+            }
+            let Ok(hops) = self.topo.path_channels(&prop.path) else {
+                // Router produced an off-topology path; treat as failure.
+                self.metrics.unit_lock(prop.path.len().saturating_sub(1), false);
+                if atomic {
+                    aborted = true;
+                    break 'proposals;
+                }
+                continue;
+            };
+            if hops.is_empty() || prop.path[0] != self.payments[pid].src {
+                continue;
+            }
+            let want = prop.amount.min(budget);
+            for unit in want.split_mtu(self.config.mtu) {
+                match self.try_lock_unit(pid, unit, &prop.path, &hops) {
+                    Some(event_id) => {
+                        locked_units.push((unit, hops.clone(), event_id));
+                        budget -= unit;
+                    }
+                    None if atomic => {
+                        aborted = true;
+                        break 'proposals;
+                    }
+                    None => {}
+                }
+            }
+        }
+
+        if atomic && (aborted || !budget.is_zero()) {
+            // All-or-nothing: roll back every unit locked in this attempt
+            // and cancel its scheduled settlement.
+            for (amount, hops, event_id) in locked_units {
+                self.event_store[event_id] = None;
+                for (c, dir) in hops {
+                    self.channels[c.index()].refund(dir, amount);
+                }
+                self.payments[pid].inflight -= amount;
+            }
+            self.payments[pid].expired = true;
+        }
+    }
+
+    /// Attempts to lock one unit along `hops`; on success schedules its
+    /// settlement (returning the settle event's id) and updates payment
+    /// accounting.
+    fn try_lock_unit(
+        &mut self,
+        pid: usize,
+        amount: Amount,
+        path: &[NodeId],
+        hops: &[(ChannelId, Direction)],
+    ) -> Option<usize> {
+        // Lock hop by hop; roll back on the first failure.
+        let mut locked = 0;
+        let mut ok = true;
+        for (i, &(c, dir)) in hops.iter().enumerate() {
+            if self.channels[c.index()].lock(dir, amount) {
+                locked = i + 1;
+            } else {
+                ok = false;
+                break;
+            }
+        }
+        if !ok {
+            for &(c, dir) in &hops[..locked] {
+                self.channels[c.index()].refund(dir, amount);
+            }
+        }
+        self.metrics.unit_lock(hops.len(), ok);
+        {
+            let outcome = UnitOutcome {
+                payment: PaymentId(pid as u64),
+                path: path.to_vec(),
+                amount,
+                locked: ok,
+            };
+            let view = NetworkView { topo: &self.topo, channels: &self.channels, now: self.now };
+            self.router.on_unit_outcome(&outcome, &view);
+        }
+        if ok {
+            self.payments[pid].inflight += amount;
+            let event_id = self.event_store.len();
+            self.schedule(
+                self.now + self.config.confirmation_delay,
+                EventKind::Settle { payment: pid, amount, hops: hops.to_vec() },
+            );
+            Some(event_id)
+        } else {
+            None
+        }
+    }
+
+    fn on_settle(&mut self, pid: usize, amount: Amount, hops: &[(ChannelId, Direction)]) {
+        let expired_rollback = {
+            let p = &self.payments[pid];
+            // Atomic rollback flag or key withheld past the deadline.
+            p.expired || self.now > p.deadline
+        };
+        if expired_rollback {
+            for &(c, dir) in hops {
+                self.channels[c.index()].refund(dir, amount);
+            }
+            let p = &mut self.payments[pid];
+            p.inflight -= amount;
+            p.expired = true;
+            return;
+        }
+        for &(c, dir) in hops {
+            self.channels[c.index()].settle(dir, amount);
+        }
+        let p = &mut self.payments[pid];
+        p.inflight -= amount;
+        p.delivered += amount;
+        self.metrics.unit_settled(amount, self.now);
+        if p.delivered == p.total {
+            p.completed = true;
+            let latency = self.now - p.arrival;
+            self.metrics.payment_completed(latency);
+        }
+    }
+
+    fn on_poll(&mut self) {
+        // Imbalance telemetry, once per simulated second.
+        if self.now >= self.next_imbalance_sample {
+            let mut sum = 0.0;
+            for ch in &self.channels {
+                let cap = ch.capacity().drops().max(1) as f64;
+                sum += ch.imbalance().drops().unsigned_abs() as f64 / cap;
+            }
+            let n = self.channels.len().max(1) as f64;
+            self.metrics.imbalance_sample(sum / n);
+            self.next_imbalance_sample = self.now + spider_types::SimDuration::from_secs(1);
+        }
+        // Expire overdue payments and drop finished ones from the queue.
+        let now = self.now;
+        for &pid in &self.pending {
+            let p = &mut self.payments[pid];
+            if !p.completed && now > p.deadline && !p.unassigned().is_zero() {
+                p.expired = true;
+            }
+        }
+        self.pending.retain(|&pid| self.payments[pid].active());
+        // Scheduling order.
+        let policy = self.config.scheduling;
+        let payments = &self.payments;
+        self.pending.sort_by(|&a, &b| {
+            let (pa, pb) = (&payments[a], &payments[b]);
+            match policy {
+                SchedulingPolicy::Srpt => pa
+                    .unassigned()
+                    .cmp(&pb.unassigned())
+                    .then(pa.arrival.cmp(&pb.arrival))
+                    .then(a.cmp(&b)),
+                SchedulingPolicy::Fifo => pa.arrival.cmp(&pb.arrival).then(a.cmp(&b)),
+                SchedulingPolicy::Lifo => pb.arrival.cmp(&pa.arrival).then(a.cmp(&b)),
+                SchedulingPolicy::EarliestDeadline => {
+                    pa.deadline.cmp(&pb.deadline).then(a.cmp(&b))
+                }
+                SchedulingPolicy::LargestRemaining => pb
+                    .unassigned()
+                    .cmp(&pa.unassigned())
+                    .then(pa.arrival.cmp(&pb.arrival))
+                    .then(a.cmp(&b)),
+            }
+        });
+        let order: Vec<usize> = self.pending.clone();
+        for pid in order {
+            if self.payments[pid].active() {
+                self.metrics.retry();
+                self.attempt_payment(pid);
+            }
+        }
+        self.pending.retain(|&pid| self.payments[pid].active());
+    }
+
+    /// Periodic depletion scan (§5.2.3): any channel direction whose
+    /// available balance fell below the trigger gets an on-chain top-up
+    /// back to the target fraction, arriving after the blockchain delay.
+    fn on_rebalance_scan(&mut self) {
+        let Some(rb) = self.config.rebalancing.clone() else { return };
+        for i in 0..self.channels.len() {
+            let capacity = self.channels[i].capacity();
+            for dir in [Direction::Forward, Direction::Backward] {
+                if self.rebalance_pending[i][dir.index()] {
+                    continue;
+                }
+                let avail = self.channels[i].available(dir);
+                if avail < capacity.mul_f64(rb.trigger_fraction) {
+                    let target = capacity.mul_f64(rb.target_fraction);
+                    let amount = target.saturating_sub(avail);
+                    if amount.is_zero() {
+                        continue;
+                    }
+                    self.rebalance_pending[i][dir.index()] = true;
+                    self.schedule(
+                        self.now + rb.confirmation_delay,
+                        EventKind::RebalanceSettle {
+                            channel: ChannelId::from_index(i),
+                            dir,
+                            amount,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Verifies fund conservation on every channel (available + in-flight
+    /// equals escrowed capacity). Panics on violation.
+    pub fn check_conservation(&self) {
+        for (i, ch) in self.channels.iter().enumerate() {
+            assert_eq!(
+                ch.total(),
+                ch.capacity(),
+                "channel {i} violates conservation"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::TxnSpec;
+    use spider_topology::gen;
+
+    /// Test router: always proposes the single BFS shortest path for the
+    /// full remaining amount.
+    struct DirectRouter {
+        atomic: bool,
+    }
+
+    impl Router for DirectRouter {
+        fn name(&self) -> &'static str {
+            "direct-test"
+        }
+        fn route(&mut self, req: &RouteRequest, view: &NetworkView<'_>) -> Vec<crate::router::RouteProposal> {
+            match view.topo.shortest_path(req.src, req.dst) {
+                Some(path) => vec![crate::router::RouteProposal { path, amount: req.remaining }],
+                None => Vec::new(),
+            }
+        }
+        fn atomic(&self) -> bool {
+            self.atomic
+        }
+    }
+
+    fn xrp(x: u64) -> Amount {
+        Amount::from_xrp(x)
+    }
+
+    fn txn(t_ms: u64, src: u32, dst: u32, amount: Amount) -> TxnSpec {
+        TxnSpec {
+            time: SimTime::from_micros(t_ms * 1000),
+            src: NodeId(src),
+            dst: NodeId(dst),
+            amount,
+        }
+    }
+
+    fn base_config() -> SimConfig {
+        SimConfig {
+            horizon: spider_types::SimDuration::from_secs(30),
+            ..SimConfig::default()
+        }
+    }
+
+    fn run_sim(
+        topo: Topology,
+        txns: Vec<TxnSpec>,
+        atomic: bool,
+        config: SimConfig,
+    ) -> (SimReport, Simulation) {
+        let mut sim = Simulation::new(
+            topo,
+            Workload { txns },
+            Box::new(DirectRouter { atomic }),
+            config,
+        )
+        .unwrap();
+        let report = sim.run();
+        sim.check_conservation();
+        (report, sim)
+    }
+
+    #[test]
+    fn single_payment_direct_channel() {
+        let t = gen::line(2, xrp(10));
+        let (r, _) = run_sim(t, vec![txn(100, 0, 1, xrp(3))], false, base_config());
+        assert_eq!(r.attempted_payments, 1);
+        assert_eq!(r.completed_payments, 1);
+        assert_eq!(r.success_ratio(), 1.0);
+        assert_eq!(r.success_volume(), 1.0);
+        // Latency = confirmation delay.
+        assert!((r.avg_completion_time().unwrap() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn payment_larger_than_balance_fails_atomically() {
+        // Channel 10 XRP → 5 XRP per side; an 8 XRP atomic payment fails.
+        let t = gen::line(2, xrp(10));
+        let (r, sim) = run_sim(t, vec![txn(100, 0, 1, xrp(8))], true, base_config());
+        assert_eq!(r.completed_payments, 0);
+        assert_eq!(r.delivered_volume, Amount::ZERO);
+        // Rollback restored the initial split.
+        assert_eq!(sim.channel_states()[0].available(Direction::Forward), xrp(5));
+        assert_eq!(sim.channel_states()[0].available(Direction::Backward), xrp(5));
+    }
+
+    #[test]
+    fn multihop_locks_every_hop() {
+        let t = gen::line(3, xrp(10));
+        let (r, sim) = run_sim(t, vec![txn(50, 0, 2, xrp(4))], false, base_config());
+        assert_eq!(r.completed_payments, 1);
+        // Both channels moved 4 XRP downstream.
+        for c in sim.channel_states() {
+            assert_eq!(c.available(Direction::Forward), xrp(1));
+            assert_eq!(c.available(Direction::Backward), xrp(9));
+        }
+        // Two hops per unit, 4 XRP / 10 MTU = one unit.
+        assert_eq!(r.units_locked, 1);
+        assert_eq!(r.avg_path_length(), Some(2.0));
+    }
+
+    #[test]
+    fn mtu_splits_units() {
+        let mut cfg = base_config();
+        cfg.mtu = xrp(1);
+        let t = gen::line(2, xrp(20));
+        let (r, _) = run_sim(t, vec![txn(10, 0, 1, xrp(5))], false, cfg);
+        assert_eq!(r.units_locked, 5);
+        assert_eq!(r.completed_payments, 1);
+    }
+
+    #[test]
+    fn opposing_payments_rebalance_each_other() {
+        // 6 XRP per side. 0→1 5 XRP, then 1→0 5 XRP, then 0→1 5 XRP again:
+        // each leg is only possible because the previous one refilled it.
+        let t = gen::line(2, xrp(12));
+        let txns = vec![
+            txn(0, 0, 1, xrp(5)),
+            txn(1000, 1, 0, xrp(5)),
+            txn(2000, 0, 1, xrp(5)),
+        ];
+        let (r, _) = run_sim(t, txns, false, base_config());
+        assert_eq!(r.completed_payments, 3);
+    }
+
+    #[test]
+    fn unidirectional_traffic_exhausts_channel() {
+        // 5 XRP forward budget; three 2-XRP payments: the third finds only
+        // 1 XRP available and completes partially (non-atomic), leaving
+        // success ratio 2/3.
+        let mut cfg = base_config();
+        cfg.mtu = xrp(1);
+        cfg.deadline = Some(spider_types::SimDuration::from_secs(2));
+        let t = gen::line(2, xrp(10));
+        let txns = vec![
+            txn(0, 0, 1, xrp(2)),
+            txn(100, 0, 1, xrp(2)),
+            txn(200, 0, 1, xrp(2)),
+        ];
+        let (r, _) = run_sim(t, txns, false, cfg);
+        assert_eq!(r.completed_payments, 2);
+        // 5 of 6 XRP delivered (the stranded 1 XRP was sendable).
+        assert_eq!(r.delivered_volume, xrp(5));
+        assert!((r.success_volume() - 5.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pending_queue_retries_after_refill() {
+        // 0→1 drains; payment 1→0 then refills; queued remainder completes
+        // on a later poll.
+        let mut cfg = base_config();
+        cfg.mtu = xrp(1);
+        cfg.deadline = Some(spider_types::SimDuration::from_secs(10));
+        let t = gen::line(2, xrp(10));
+        let txns = vec![
+            txn(0, 0, 1, xrp(5)),    // drains forward side
+            txn(100, 0, 1, xrp(3)),  // queued: nothing available
+            txn(2000, 1, 0, xrp(4)), // refills forward side
+        ];
+        let (r, _) = run_sim(t, txns, false, cfg);
+        assert_eq!(r.completed_payments, 3);
+        assert!(r.retries > 0);
+    }
+
+    #[test]
+    fn deadline_cancels_remainder() {
+        let mut cfg = base_config();
+        cfg.mtu = xrp(1);
+        cfg.deadline = Some(spider_types::SimDuration::from_millis(800));
+        let t = gen::line(2, xrp(10));
+        // 5 available; 8 requested; 5 deliver, 3 can never arrive; after
+        // the deadline the payment stops retrying.
+        let (r, _) = run_sim(t, vec![txn(0, 0, 1, xrp(8))], false, cfg);
+        assert_eq!(r.completed_payments, 0);
+        assert_eq!(r.delivered_volume, xrp(5));
+    }
+
+    #[test]
+    fn disconnected_destination_fails_cleanly() {
+        let mut b = Topology::builder(3);
+        b.channel(NodeId(0), NodeId(1), xrp(10)).unwrap();
+        let t = b.build();
+        let (r, _) = run_sim(t, vec![txn(0, 0, 2, xrp(1))], false, base_config());
+        assert_eq!(r.completed_payments, 0);
+        assert_eq!(r.delivered_volume, Amount::ZERO);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let t = gen::cycle(6, xrp(50));
+        let mut rng = spider_types::DetRng::new(42);
+        let w = Workload::generate(6, &crate::workload::WorkloadConfig::small(200, 50.0), &mut rng);
+        let run = |w: Workload| {
+            let mut sim = Simulation::new(
+                gen::cycle(6, xrp(50)),
+                w,
+                Box::new(DirectRouter { atomic: false }),
+                base_config(),
+            )
+            .unwrap();
+            sim.run()
+        };
+        let r1 = run(w.clone());
+        let r2 = run(w);
+        assert_eq!(r1.completed_payments, r2.completed_payments);
+        assert_eq!(r1.delivered_volume, r2.delivered_volume);
+        assert_eq!(r1.units_locked, r2.units_locked);
+        let _ = t;
+    }
+
+    #[test]
+    fn horizon_cuts_off_late_arrivals() {
+        let mut cfg = base_config();
+        cfg.horizon = spider_types::SimDuration::from_secs(1);
+        let t = gen::line(2, xrp(100));
+        let txns = vec![txn(0, 0, 1, xrp(1)), txn(5_000, 0, 1, xrp(1))];
+        let (r, _) = run_sim(t, txns, false, cfg);
+        assert_eq!(r.attempted_payments, 1);
+    }
+
+    #[test]
+    fn conservation_under_random_load() {
+        let t = gen::isp_topology(xrp(200));
+        let mut rng = spider_types::DetRng::new(7);
+        let w = Workload::generate(
+            32,
+            &crate::workload::WorkloadConfig::small(2_000, 500.0),
+            &mut rng,
+        );
+        let mut cfg = base_config();
+        cfg.mtu = xrp(5);
+        let mut sim =
+            Simulation::new(t, w, Box::new(DirectRouter { atomic: false }), cfg).unwrap();
+        let r = sim.run();
+        sim.check_conservation();
+        assert!(r.attempted_payments == 2_000);
+        assert!(r.delivered_volume <= r.attempted_volume);
+    }
+}
+
+#[cfg(test)]
+mod rebalancing_tests {
+    use super::*;
+    use crate::config::RebalancingConfig;
+    use crate::workload::TxnSpec;
+    use spider_topology::gen;
+
+    struct Direct;
+    impl Router for Direct {
+        fn name(&self) -> &'static str {
+            "direct"
+        }
+        fn route(
+            &mut self,
+            req: &RouteRequest,
+            view: &NetworkView<'_>,
+        ) -> Vec<crate::router::RouteProposal> {
+            match view.topo.shortest_path(req.src, req.dst) {
+                Some(path) => vec![crate::router::RouteProposal { path, amount: req.remaining }],
+                None => Vec::new(),
+            }
+        }
+    }
+
+    fn xrp(x: u64) -> Amount {
+        Amount::from_xrp(x)
+    }
+
+    /// One-way traffic that exceeds the channel's one-side funds: without
+    /// rebalancing it stalls at 5 XRP; with rebalancing the chain refills
+    /// the sender side and everything ships.
+    fn one_way_workload() -> Workload {
+        Workload {
+            txns: (0..10)
+                .map(|i| TxnSpec {
+                    time: SimTime::from_secs(1 + 4 * i),
+                    src: NodeId(0),
+                    dst: NodeId(1),
+                    amount: xrp(1),
+                })
+                .collect(),
+        }
+    }
+
+    fn config(rebalancing: Option<RebalancingConfig>) -> SimConfig {
+        SimConfig {
+            horizon: spider_types::SimDuration::from_secs(60),
+            deadline: Some(spider_types::SimDuration::from_secs(30)),
+            rebalancing,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn without_rebalancing_dag_traffic_stalls() {
+        let t = gen::line(2, xrp(10)); // 5 XRP per side
+        let mut sim =
+            Simulation::new(t, one_way_workload(), Box::new(Direct), config(None)).unwrap();
+        let r = sim.run();
+        sim.check_conservation();
+        assert_eq!(r.delivered_volume, xrp(5));
+        assert_eq!(r.rebalance_ops, 0);
+        assert_eq!(r.onchain_deposited, Amount::ZERO);
+    }
+
+    #[test]
+    fn rebalancing_lifts_dag_traffic() {
+        let t = gen::line(2, xrp(10));
+        let rb = RebalancingConfig {
+            check_interval: spider_types::SimDuration::from_millis(500),
+            trigger_fraction: 0.2,
+            target_fraction: 0.5,
+            confirmation_delay: spider_types::SimDuration::from_secs(1),
+        };
+        let mut sim =
+            Simulation::new(t, one_way_workload(), Box::new(Direct), config(Some(rb))).unwrap();
+        let r = sim.run();
+        sim.check_conservation();
+        assert_eq!(r.delivered_volume, xrp(10), "all one-way traffic ships");
+        assert!(r.rebalance_ops > 0);
+        assert!(r.onchain_deposited >= xrp(4), "deposited {}", r.onchain_deposited);
+    }
+
+    #[test]
+    fn deposits_grow_capacity_consistently() {
+        let t = gen::line(2, xrp(10));
+        let rb = RebalancingConfig::default();
+        let mut sim = Simulation::new(
+            t,
+            one_way_workload(),
+            Box::new(Direct),
+            config(Some(RebalancingConfig {
+                confirmation_delay: spider_types::SimDuration::from_secs(1),
+                trigger_fraction: 0.3,
+                ..rb
+            })),
+        )
+        .unwrap();
+        let r = sim.run();
+        sim.check_conservation();
+        let ch = &sim.channel_states()[0];
+        assert_eq!(ch.capacity(), xrp(10) + r.onchain_deposited);
+    }
+
+    #[test]
+    fn no_duplicate_inflight_deposits() {
+        // Trigger instantly but confirm slowly: only one deposit per
+        // direction may be pending at a time.
+        let t = gen::line(2, xrp(10));
+        let rb = RebalancingConfig {
+            check_interval: spider_types::SimDuration::from_millis(100),
+            trigger_fraction: 0.45,
+            target_fraction: 0.5,
+            confirmation_delay: spider_types::SimDuration::from_secs(50),
+        };
+        let mut sim =
+            Simulation::new(t, one_way_workload(), Box::new(Direct), config(Some(rb))).unwrap();
+        let r = sim.run();
+        sim.check_conservation();
+        // At most one settle per direction fits in the horizon.
+        assert!(r.rebalance_ops <= 2, "ops {}", r.rebalance_ops);
+    }
+
+    #[test]
+    fn invalid_rebalancing_config_rejected() {
+        let mut cfg = SimConfig::default();
+        cfg.rebalancing = Some(RebalancingConfig {
+            trigger_fraction: 0.9,
+            target_fraction: 0.5,
+            ..RebalancingConfig::default()
+        });
+        assert!(cfg.validate().is_err());
+    }
+}

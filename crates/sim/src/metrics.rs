@@ -1,0 +1,254 @@
+//! Measurement: the paper's two headline metrics plus supporting detail.
+//!
+//! * **Success ratio** — completed payments / attempted payments;
+//! * **Success volume** — delivered value / attempted value (partial
+//!   deliveries of non-atomic payments count their delivered part).
+
+use serde::{Deserialize, Serialize};
+use spider_types::{Amount, SimDuration, SimTime};
+
+/// Aggregated results of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Routing scheme name.
+    pub scheme: String,
+    /// Payments injected.
+    pub attempted_payments: u64,
+    /// Payments fully delivered.
+    pub completed_payments: u64,
+    /// Total value injected.
+    pub attempted_volume: Amount,
+    /// Total value settled end-to-end (includes partial deliveries).
+    pub delivered_volume: Amount,
+    /// Transaction units whose path lock succeeded.
+    pub units_locked: u64,
+    /// Transaction units that failed to lock (insufficient balance).
+    pub units_failed: u64,
+    /// Total retries (payment re-attempts from the pending queue).
+    pub retries: u64,
+    /// Sum of hop counts over all locked units (for average path length).
+    pub unit_hops_sum: u64,
+    /// Fresh funds deposited by on-chain rebalancing (0 when disabled).
+    pub onchain_deposited: Amount,
+    /// Number of on-chain rebalancing operations.
+    pub rebalance_ops: u64,
+    /// Completion times of fully delivered payments, seconds.
+    pub completion_times: Vec<f64>,
+    /// Delivered volume per 1-second bucket (throughput time series).
+    pub throughput_series: Vec<f64>,
+    /// Network-wide mean absolute channel imbalance (|fwd − bwd| / capacity
+    /// ∈ [0, 1]) sampled once per second — the quantity imbalance-aware
+    /// routing tries to keep small.
+    pub imbalance_series: Vec<f64>,
+    /// Wall-clock-free simulated horizon actually processed.
+    pub horizon: SimDuration,
+}
+
+impl SimReport {
+    /// Completed / attempted payments (the paper's success ratio), in 0..=1.
+    pub fn success_ratio(&self) -> f64 {
+        if self.attempted_payments == 0 {
+            0.0
+        } else {
+            self.completed_payments as f64 / self.attempted_payments as f64
+        }
+    }
+
+    /// Delivered / attempted volume (the paper's success volume), in 0..=1.
+    pub fn success_volume(&self) -> f64 {
+        self.delivered_volume.ratio(self.attempted_volume)
+    }
+
+    /// Mean completion time of completed payments (seconds).
+    pub fn avg_completion_time(&self) -> Option<f64> {
+        spider_types::stats::mean(&self.completion_times)
+    }
+
+    /// Average hops per successfully locked unit.
+    pub fn avg_path_length(&self) -> Option<f64> {
+        (self.units_locked > 0).then(|| self.unit_hops_sum as f64 / self.units_locked as f64)
+    }
+
+    /// Fraction of unit lock attempts that succeeded.
+    pub fn unit_lock_rate(&self) -> f64 {
+        let total = self.units_locked + self.units_failed;
+        if total == 0 {
+            0.0
+        } else {
+            self.units_locked as f64 / total as f64
+        }
+    }
+
+    /// One-line summary for harness output.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<22} success_ratio={:6.2}% success_volume={:6.2}% completed={}/{} delivered={:.0}/{:.0} XRP",
+            self.scheme,
+            100.0 * self.success_ratio(),
+            100.0 * self.success_volume(),
+            self.completed_payments,
+            self.attempted_payments,
+            self.delivered_volume.as_xrp(),
+            self.attempted_volume.as_xrp(),
+        )
+    }
+}
+
+/// Streaming collector used by the engine.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsCollector {
+    attempted_payments: u64,
+    completed_payments: u64,
+    attempted_volume: Amount,
+    delivered_volume: Amount,
+    units_locked: u64,
+    units_failed: u64,
+    retries: u64,
+    unit_hops_sum: u64,
+    onchain_deposited: Amount,
+    rebalance_ops: u64,
+    completion_times: Vec<f64>,
+    throughput_buckets: Vec<f64>,
+    imbalance_samples: Vec<f64>,
+}
+
+impl MetricsCollector {
+    /// Fresh collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an injected payment.
+    pub fn payment_arrived(&mut self, amount: Amount) {
+        self.attempted_payments += 1;
+        self.attempted_volume += amount;
+    }
+
+    /// Records a settled unit (value delivered end-to-end).
+    pub fn unit_settled(&mut self, amount: Amount, at: SimTime) {
+        self.delivered_volume += amount;
+        let bucket = at.as_secs_f64() as usize;
+        if self.throughput_buckets.len() <= bucket {
+            self.throughput_buckets.resize(bucket + 1, 0.0);
+        }
+        self.throughput_buckets[bucket] += amount.as_xrp();
+    }
+
+    /// Records a fully completed payment with its latency.
+    pub fn payment_completed(&mut self, latency: SimDuration) {
+        self.completed_payments += 1;
+        self.completion_times.push(latency.as_secs_f64());
+    }
+
+    /// Records a unit lock success (with its hop count) or failure.
+    pub fn unit_lock(&mut self, hops: usize, success: bool) {
+        if success {
+            self.units_locked += 1;
+            self.unit_hops_sum += hops as u64;
+        } else {
+            self.units_failed += 1;
+        }
+    }
+
+    /// Records one pending-queue retry.
+    pub fn retry(&mut self) {
+        self.retries += 1;
+    }
+
+    /// Records an on-chain rebalancing deposit.
+    pub fn rebalanced(&mut self, amount: Amount) {
+        self.onchain_deposited += amount;
+        self.rebalance_ops += 1;
+    }
+
+    /// Records one network-wide imbalance sample (mean |imbalance|/capacity).
+    pub fn imbalance_sample(&mut self, mean_abs_fraction: f64) {
+        self.imbalance_samples.push(mean_abs_fraction);
+    }
+
+    /// Finalizes into a report.
+    pub fn finish(self, scheme: &str, horizon: SimDuration) -> SimReport {
+        SimReport {
+            scheme: scheme.to_string(),
+            attempted_payments: self.attempted_payments,
+            completed_payments: self.completed_payments,
+            attempted_volume: self.attempted_volume,
+            delivered_volume: self.delivered_volume,
+            units_locked: self.units_locked,
+            units_failed: self.units_failed,
+            retries: self.retries,
+            unit_hops_sum: self.unit_hops_sum,
+            onchain_deposited: self.onchain_deposited,
+            rebalance_ops: self.rebalance_ops,
+            completion_times: self.completion_times,
+            throughput_series: self.throughput_buckets,
+            imbalance_series: self.imbalance_samples,
+            horizon,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios() {
+        let mut m = MetricsCollector::new();
+        m.payment_arrived(Amount::from_xrp(10));
+        m.payment_arrived(Amount::from_xrp(30));
+        m.unit_settled(Amount::from_xrp(10), SimTime::from_secs(1));
+        m.payment_completed(SimDuration::from_millis(700));
+        m.unit_settled(Amount::from_xrp(15), SimTime::from_secs(2));
+        let r = m.finish("test", SimDuration::from_secs(10));
+        assert_eq!(r.attempted_payments, 2);
+        assert_eq!(r.completed_payments, 1);
+        assert!((r.success_ratio() - 0.5).abs() < 1e-12);
+        assert!((r.success_volume() - 25.0 / 40.0).abs() < 1e-12);
+        assert_eq!(r.avg_completion_time(), Some(0.7));
+    }
+
+    #[test]
+    fn empty_report_is_zero() {
+        let r = MetricsCollector::new().finish("empty", SimDuration::from_secs(1));
+        assert_eq!(r.success_ratio(), 0.0);
+        assert_eq!(r.success_volume(), 0.0);
+        assert_eq!(r.avg_completion_time(), None);
+        assert_eq!(r.avg_path_length(), None);
+        assert_eq!(r.unit_lock_rate(), 0.0);
+    }
+
+    #[test]
+    fn throughput_buckets_accumulate() {
+        let mut m = MetricsCollector::new();
+        m.unit_settled(Amount::from_xrp(5), SimTime::from_secs_f64(0.2));
+        m.unit_settled(Amount::from_xrp(7), SimTime::from_secs_f64(0.9));
+        m.unit_settled(Amount::from_xrp(1), SimTime::from_secs_f64(2.5));
+        let r = m.finish("b", SimDuration::from_secs(3));
+        assert_eq!(r.throughput_series.len(), 3);
+        assert!((r.throughput_series[0] - 12.0).abs() < 1e-12);
+        assert_eq!(r.throughput_series[1], 0.0);
+        assert!((r.throughput_series[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lock_stats() {
+        let mut m = MetricsCollector::new();
+        m.unit_lock(3, true);
+        m.unit_lock(2, true);
+        m.unit_lock(5, false);
+        m.retry();
+        let r = m.finish("l", SimDuration::from_secs(1));
+        assert_eq!(r.units_locked, 2);
+        assert_eq!(r.units_failed, 1);
+        assert_eq!(r.retries, 1);
+        assert_eq!(r.avg_path_length(), Some(2.5));
+        assert!((r.unit_lock_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_contains_scheme() {
+        let r = MetricsCollector::new().finish("spider-wf", SimDuration::from_secs(1));
+        assert!(r.summary().contains("spider-wf"));
+    }
+}

@@ -1,0 +1,143 @@
+//! The routing interface between the simulator and routing schemes.
+//!
+//! The engine asks the scheme where to send (the remainder of) a payment;
+//! the scheme answers with `(path, amount)` proposals based on what it can
+//! observe. Observability is mediated by [`NetworkView`], which exposes the
+//! topology and per-channel available balances — the information a Spider
+//! host gets by probing its candidate paths.
+
+use crate::channel::ChannelState;
+use spider_topology::Topology;
+use spider_types::{Amount, ChannelId, Direction, NodeId, PaymentId, SimTime};
+
+/// Read-only view of the network given to routers.
+pub struct NetworkView<'a> {
+    /// The channel topology.
+    pub topo: &'a Topology,
+    /// Per-channel balance state (indexed by [`ChannelId`]).
+    pub channels: &'a [ChannelState],
+    /// Current simulation time.
+    pub now: SimTime,
+}
+
+impl<'a> NetworkView<'a> {
+    /// Available balance for the sender in `dir` on `channel`.
+    pub fn available(&self, channel: ChannelId, dir: Direction) -> Amount {
+        self.channels[channel.index()].available(dir)
+    }
+
+    /// The bottleneck (minimum available balance) along a node path, or
+    /// `None` if consecutive nodes are not adjacent.
+    pub fn path_bottleneck(&self, path: &[NodeId]) -> Option<Amount> {
+        let mut min = Amount::MAX;
+        for w in path.windows(2) {
+            let c = self.topo.channel_between(w[0], w[1])?;
+            let dir = self.topo.channel(c).direction_from(w[0]);
+            min = min.min(self.available(c, dir));
+        }
+        Some(min)
+    }
+}
+
+/// A request to route (part of) a payment.
+#[derive(Debug, Clone)]
+pub struct RouteRequest {
+    /// The payment being routed.
+    pub payment: PaymentId,
+    /// Sender.
+    pub src: NodeId,
+    /// Receiver.
+    pub dst: NodeId,
+    /// Amount still to deliver (≤ original payment amount).
+    pub remaining: Amount,
+    /// Original payment amount.
+    pub total: Amount,
+    /// Maximum transaction-unit size; proposals larger than this are split
+    /// by the engine.
+    pub mtu: Amount,
+    /// Number of times this payment has been (re)attempted.
+    pub attempt: u32,
+}
+
+/// One `(path, amount)` proposal from a router.
+#[derive(Debug, Clone)]
+pub struct RouteProposal {
+    /// Node path from source to destination (inclusive).
+    pub path: Vec<NodeId>,
+    /// Amount to send along it.
+    pub amount: Amount,
+}
+
+/// Outcome notification for adaptive routers.
+#[derive(Debug, Clone)]
+pub struct UnitOutcome {
+    /// The payment the unit belonged to.
+    pub payment: PaymentId,
+    /// The path attempted.
+    pub path: Vec<NodeId>,
+    /// The unit value.
+    pub amount: Amount,
+    /// Whether funds were successfully locked end-to-end (settlement then
+    /// follows after Δ unconditionally in this model).
+    pub locked: bool,
+}
+
+/// A routing scheme.
+///
+/// Implementations live in `spider-routing`; the engine drives them through
+/// this object-safe trait.
+pub trait Router {
+    /// Human-readable scheme name (used in reports).
+    fn name(&self) -> &'static str;
+
+    /// Called once with the initial network state before any payment.
+    fn initialize(&mut self, _view: &NetworkView<'_>) {}
+
+    /// Proposes how to route `req.remaining`. Proposals are attempted in
+    /// order; those that fail to lock are skipped (non-atomic) or abort the
+    /// payment (atomic schemes).
+    fn route(&mut self, req: &RouteRequest, view: &NetworkView<'_>) -> Vec<RouteProposal>;
+
+    /// Observation hook invoked after every unit lock attempt.
+    fn on_unit_outcome(&mut self, _outcome: &UnitOutcome, _view: &NetworkView<'_>) {}
+
+    /// Atomic schemes deliver a payment in one attempt, entirely or not at
+    /// all (SilentWhispers, SpeedyMurmurs, max-flow). Non-atomic schemes
+    /// (packet-switched Spider and the shortest-path baseline) may deliver
+    /// partially and retry from the pending queue.
+    fn atomic(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spider_topology::gen;
+
+    #[test]
+    fn view_bottleneck() {
+        let t = gen::line(3, Amount::from_xrp(10));
+        let channels: Vec<ChannelState> = t
+            .channels()
+            .map(|(_, c)| ChannelState::split_equally(c.capacity))
+            .collect();
+        let view = NetworkView { topo: &t, channels: &channels, now: SimTime::ZERO };
+        let b = view.path_bottleneck(&[NodeId(0), NodeId(1), NodeId(2)]).unwrap();
+        assert_eq!(b, Amount::from_xrp(5));
+        assert!(view.path_bottleneck(&[NodeId(0), NodeId(2)]).is_none());
+    }
+
+    #[test]
+    fn view_directional_balances() {
+        let t = gen::line(2, Amount::from_xrp(10));
+        let mut channels: Vec<ChannelState> =
+            t.channels().map(|(_, c)| ChannelState::split_equally(c.capacity)).collect();
+        assert!(channels[0].lock(Direction::Forward, Amount::from_xrp(5)));
+        channels[0].settle(Direction::Forward, Amount::from_xrp(5));
+        let view = NetworkView { topo: &t, channels: &channels, now: SimTime::ZERO };
+        let c = ChannelId(0);
+        assert_eq!(view.available(c, Direction::Forward), Amount::ZERO);
+        assert_eq!(view.available(c, Direction::Backward), Amount::from_xrp(10));
+    }
+}

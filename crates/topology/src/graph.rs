@@ -1,0 +1,502 @@
+//! The payment-channel-network graph.
+
+use serde::{Deserialize, Serialize};
+use spider_types::{Amount, ChannelId, Direction, NodeId, Result, SpiderError};
+use std::collections::VecDeque;
+
+/// An undirected payment channel with its total escrowed capacity.
+///
+/// Endpoints are stored in canonical order (`u < v`); [`Direction::Forward`]
+/// always means `u → v`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Channel {
+    /// Canonical first endpoint (`u < v`).
+    pub u: NodeId,
+    /// Canonical second endpoint.
+    pub v: NodeId,
+    /// Total funds escrowed in the channel (both directions combined).
+    pub capacity: Amount,
+}
+
+impl Channel {
+    /// The endpoint opposite to `node`. Panics if `node` is not an endpoint.
+    #[inline]
+    pub fn peer(&self, node: NodeId) -> NodeId {
+        if node == self.u {
+            self.v
+        } else if node == self.v {
+            self.u
+        } else {
+            panic!("{node} is not an endpoint of this channel");
+        }
+    }
+
+    /// The direction of travel when leaving `node` through this channel.
+    /// Panics if `node` is not an endpoint.
+    #[inline]
+    pub fn direction_from(&self, node: NodeId) -> Direction {
+        if node == self.u {
+            Direction::Forward
+        } else if node == self.v {
+            Direction::Backward
+        } else {
+            panic!("{node} is not an endpoint of this channel");
+        }
+    }
+
+    /// The node from which `dir` departs.
+    #[inline]
+    pub fn source(&self, dir: Direction) -> NodeId {
+        match dir {
+            Direction::Forward => self.u,
+            Direction::Backward => self.v,
+        }
+    }
+
+    /// The node at which `dir` arrives.
+    #[inline]
+    pub fn target(&self, dir: Direction) -> NodeId {
+        match dir {
+            Direction::Forward => self.v,
+            Direction::Backward => self.u,
+        }
+    }
+}
+
+/// One entry of a node's adjacency list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Adjacency {
+    /// The neighboring node.
+    pub neighbor: NodeId,
+    /// The channel connecting to it.
+    pub channel: ChannelId,
+}
+
+/// An immutable payment channel network topology.
+///
+/// Construct one with [`TopologyBuilder`] or a generator from
+/// [`crate::gen`]. Node ids are dense `0..node_count()`, channel ids dense
+/// `0..channel_count()`. Adjacency lists are sorted by neighbor id, so all
+/// traversals are deterministic.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    node_count: usize,
+    channels: Vec<Channel>,
+    adj: Vec<Vec<Adjacency>>,
+}
+
+impl Topology {
+    /// Starts building a topology with `nodes` nodes.
+    pub fn builder(nodes: usize) -> TopologyBuilder {
+        TopologyBuilder::new(nodes)
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of channels (undirected edges).
+    #[inline]
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count).map(NodeId::from_index)
+    }
+
+    /// Iterator over `(id, channel)` pairs.
+    pub fn channels(&self) -> impl Iterator<Item = (ChannelId, &Channel)> + '_ {
+        self.channels.iter().enumerate().map(|(i, c)| (ChannelId::from_index(i), c))
+    }
+
+    /// The channel with the given id.
+    #[inline]
+    pub fn channel(&self, id: ChannelId) -> &Channel {
+        &self.channels[id.index()]
+    }
+
+    /// Checked channel lookup.
+    pub fn try_channel(&self, id: ChannelId) -> Result<&Channel> {
+        self.channels.get(id.index()).ok_or(SpiderError::UnknownChannel(id))
+    }
+
+    /// Adjacency list of `node`, sorted by neighbor id.
+    #[inline]
+    pub fn neighbors(&self, node: NodeId) -> &[Adjacency] {
+        &self.adj[node.index()]
+    }
+
+    /// Degree of `node`.
+    #[inline]
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.adj[node.index()].len()
+    }
+
+    /// The channel between `a` and `b`, if one exists.
+    pub fn channel_between(&self, a: NodeId, b: NodeId) -> Option<ChannelId> {
+        let (probe, other) = if self.degree(a) <= self.degree(b) { (a, b) } else { (b, a) };
+        self.adj[probe.index()]
+            .binary_search_by_key(&other, |adj| adj.neighbor)
+            .ok()
+            .map(|i| self.adj[probe.index()][i].channel)
+    }
+
+    /// Validates that `node` exists.
+    pub fn check_node(&self, node: NodeId) -> Result<()> {
+        if node.index() < self.node_count {
+            Ok(())
+        } else {
+            Err(SpiderError::UnknownNode(node))
+        }
+    }
+
+    /// Returns a copy with every channel capacity set to `capacity`
+    /// (the paper's experiments use uniform per-link capacity).
+    pub fn with_uniform_capacity(&self, capacity: Amount) -> Topology {
+        let mut t = self.clone();
+        for c in &mut t.channels {
+            c.capacity = capacity;
+        }
+        t
+    }
+
+    /// Returns a copy with per-channel capacities given by `f`.
+    pub fn with_capacities(&self, mut f: impl FnMut(ChannelId, &Channel) -> Amount) -> Topology {
+        let mut t = self.clone();
+        for (i, c) in t.channels.iter_mut().enumerate() {
+            c.capacity = f(ChannelId::from_index(i), c);
+        }
+        t
+    }
+
+    /// Total capacity escrowed across the whole network — the "capital
+    /// locked in" that the paper's efficiency argument is about.
+    pub fn total_capacity(&self) -> Amount {
+        self.channels.iter().map(|c| c.capacity).sum()
+    }
+
+    /// Breadth-first hop distances from `src`; `None` for unreachable nodes.
+    pub fn bfs_distances(&self, src: NodeId) -> Vec<Option<u32>> {
+        let mut dist = vec![None; self.node_count];
+        dist[src.index()] = Some(0);
+        let mut queue = VecDeque::from([src]);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u.index()].expect("visited");
+            for adj in self.neighbors(u) {
+                if dist[adj.neighbor.index()].is_none() {
+                    dist[adj.neighbor.index()] = Some(du + 1);
+                    queue.push_back(adj.neighbor);
+                }
+            }
+        }
+        dist
+    }
+
+    /// One shortest path (by hop count) from `src` to `dst`, as the list of
+    /// visited nodes including both endpoints. Ties are broken toward the
+    /// smallest neighbor id, deterministically.
+    pub fn shortest_path(&self, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+        if src == dst {
+            return Some(vec![src]);
+        }
+        let mut parent: Vec<Option<NodeId>> = vec![None; self.node_count];
+        let mut seen = vec![false; self.node_count];
+        seen[src.index()] = true;
+        let mut queue = VecDeque::from([src]);
+        while let Some(u) = queue.pop_front() {
+            if u == dst {
+                break;
+            }
+            for adj in self.neighbors(u) {
+                if !seen[adj.neighbor.index()] {
+                    seen[adj.neighbor.index()] = true;
+                    parent[adj.neighbor.index()] = Some(u);
+                    queue.push_back(adj.neighbor);
+                }
+            }
+        }
+        if !seen[dst.index()] {
+            return None;
+        }
+        let mut path = vec![dst];
+        let mut cur = dst;
+        while let Some(p) = parent[cur.index()] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        debug_assert_eq!(path[0], src);
+        Some(path)
+    }
+
+    /// Converts a node path (as returned by [`Topology::shortest_path`])
+    /// into the channel hops traversed, with the direction of travel.
+    pub fn path_channels(&self, path: &[NodeId]) -> Result<Vec<(ChannelId, Direction)>> {
+        let mut hops = Vec::with_capacity(path.len().saturating_sub(1));
+        for w in path.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            let id = self
+                .channel_between(a, b)
+                .ok_or(SpiderError::NotAdjacent(a, b))?;
+            hops.push((id, self.channel(id).direction_from(a)));
+        }
+        Ok(hops)
+    }
+
+    /// True iff every node can reach every other node.
+    pub fn is_connected(&self) -> bool {
+        if self.node_count == 0 {
+            return true;
+        }
+        self.bfs_distances(NodeId(0)).iter().all(Option::is_some)
+    }
+}
+
+/// Incremental constructor for [`Topology`].
+///
+/// Rejects self-loops and duplicate channels; parallel channels between the
+/// same pair are modeled in the paper as one channel with the combined
+/// capacity, so the builder *merges* capacity when the same pair is added
+/// twice via [`TopologyBuilder::merge_channel`].
+#[derive(Debug, Clone)]
+pub struct TopologyBuilder {
+    node_count: usize,
+    channels: Vec<Channel>,
+}
+
+impl TopologyBuilder {
+    /// Creates a builder for a graph with `nodes` nodes and no channels.
+    pub fn new(nodes: usize) -> Self {
+        TopologyBuilder { node_count: nodes, channels: Vec::new() }
+    }
+
+    fn canonical(&self, a: NodeId, b: NodeId) -> Result<(NodeId, NodeId)> {
+        if a.index() >= self.node_count {
+            return Err(SpiderError::UnknownNode(a));
+        }
+        if b.index() >= self.node_count {
+            return Err(SpiderError::UnknownNode(b));
+        }
+        if a == b {
+            return Err(SpiderError::InvalidConfig(format!("self-loop at {a}")));
+        }
+        Ok(if a < b { (a, b) } else { (b, a) })
+    }
+
+    /// Adds a channel between `a` and `b`. Errors on self-loops, unknown
+    /// nodes, or duplicate pairs.
+    pub fn channel(&mut self, a: NodeId, b: NodeId, capacity: Amount) -> Result<&mut Self> {
+        let (u, v) = self.canonical(a, b)?;
+        if self.find(u, v).is_some() {
+            return Err(SpiderError::InvalidConfig(format!("duplicate channel {u}-{v}")));
+        }
+        self.channels.push(Channel { u, v, capacity });
+        Ok(self)
+    }
+
+    /// Adds a channel, or adds `capacity` to the existing channel between
+    /// the same pair (used when collapsing trace multigraphs).
+    pub fn merge_channel(&mut self, a: NodeId, b: NodeId, capacity: Amount) -> Result<&mut Self> {
+        let (u, v) = self.canonical(a, b)?;
+        if let Some(i) = self.find(u, v) {
+            self.channels[i].capacity += capacity;
+        } else {
+            self.channels.push(Channel { u, v, capacity });
+        }
+        Ok(self)
+    }
+
+    fn find(&self, u: NodeId, v: NodeId) -> Option<usize> {
+        self.channels.iter().position(|c| c.u == u && c.v == v)
+    }
+
+    /// True if a channel between `a` and `b` has been added.
+    pub fn has_channel(&self, a: NodeId, b: NodeId) -> bool {
+        match self.canonical(a, b) {
+            Ok((u, v)) => self.find(u, v).is_some(),
+            Err(_) => false,
+        }
+    }
+
+    /// Number of channels added so far.
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Finalizes the topology (sorts channels canonically and builds
+    /// adjacency lists).
+    pub fn build(mut self) -> Topology {
+        // Sort channels by (u, v) so ids are independent of insertion order.
+        self.channels.sort_by_key(|c| (c.u, c.v));
+        let mut adj: Vec<Vec<Adjacency>> = vec![Vec::new(); self.node_count];
+        for (i, c) in self.channels.iter().enumerate() {
+            let id = ChannelId::from_index(i);
+            adj[c.u.index()].push(Adjacency { neighbor: c.v, channel: id });
+            adj[c.v.index()].push(Adjacency { neighbor: c.u, channel: id });
+        }
+        for list in &mut adj {
+            list.sort_by_key(|a| a.neighbor);
+        }
+        Topology { node_count: self.node_count, channels: self.channels, adj }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn small() -> Topology {
+        // 0 - 1 - 2 - 3, plus chord 1 - 3; node 4 isolated.
+        let mut b = Topology::builder(5);
+        b.channel(n(0), n(1), Amount::from_xrp(10)).unwrap();
+        b.channel(n(2), n(1), Amount::from_xrp(20)).unwrap();
+        b.channel(n(2), n(3), Amount::from_xrp(30)).unwrap();
+        b.channel(n(3), n(1), Amount::from_xrp(40)).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn counts_and_lookup() {
+        let t = small();
+        assert_eq!(t.node_count(), 5);
+        assert_eq!(t.channel_count(), 4);
+        let id = t.channel_between(n(1), n(2)).unwrap();
+        let c = t.channel(id);
+        assert_eq!((c.u, c.v), (n(1), n(2))); // canonicalized
+        assert_eq!(c.capacity, Amount::from_xrp(20));
+        assert_eq!(t.channel_between(n(0), n(3)), None);
+        assert_eq!(t.channel_between(n(2), n(1)), t.channel_between(n(1), n(2)));
+    }
+
+    #[test]
+    fn channel_ids_are_insertion_order_independent() {
+        let mut b1 = Topology::builder(3);
+        b1.channel(n(0), n(1), Amount::from_xrp(1)).unwrap();
+        b1.channel(n(1), n(2), Amount::from_xrp(2)).unwrap();
+        let mut b2 = Topology::builder(3);
+        b2.channel(n(2), n(1), Amount::from_xrp(2)).unwrap();
+        b2.channel(n(1), n(0), Amount::from_xrp(1)).unwrap();
+        assert_eq!(b1.build(), b2.build());
+    }
+
+    #[test]
+    fn adjacency_is_sorted() {
+        let t = small();
+        let neigh: Vec<NodeId> = t.neighbors(n(1)).iter().map(|a| a.neighbor).collect();
+        assert_eq!(neigh, vec![n(0), n(2), n(3)]);
+        assert_eq!(t.degree(n(1)), 3);
+        assert_eq!(t.degree(n(4)), 0);
+    }
+
+    #[test]
+    fn builder_rejects_bad_input() {
+        let mut b = Topology::builder(2);
+        assert!(matches!(
+            b.channel(n(0), n(0), Amount::ZERO),
+            Err(SpiderError::InvalidConfig(_))
+        ));
+        assert!(matches!(b.channel(n(0), n(5), Amount::ZERO), Err(SpiderError::UnknownNode(_))));
+        b.channel(n(0), n(1), Amount::from_xrp(1)).unwrap();
+        assert!(matches!(
+            b.channel(n(1), n(0), Amount::ZERO),
+            Err(SpiderError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn merge_channel_accumulates() {
+        let mut b = Topology::builder(2);
+        b.merge_channel(n(0), n(1), Amount::from_xrp(5)).unwrap();
+        b.merge_channel(n(1), n(0), Amount::from_xrp(7)).unwrap();
+        let t = b.build();
+        assert_eq!(t.channel_count(), 1);
+        assert_eq!(t.channel(ChannelId(0)).capacity, Amount::from_xrp(12));
+    }
+
+    #[test]
+    fn channel_helpers() {
+        let t = small();
+        let id = t.channel_between(n(1), n(3)).unwrap();
+        let c = t.channel(id);
+        assert_eq!(c.peer(n(1)), n(3));
+        assert_eq!(c.peer(n(3)), n(1));
+        assert_eq!(c.direction_from(n(1)), Direction::Forward);
+        assert_eq!(c.direction_from(n(3)), Direction::Backward);
+        assert_eq!(c.source(Direction::Forward), n(1));
+        assert_eq!(c.target(Direction::Forward), n(3));
+        assert_eq!(c.source(Direction::Backward), n(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn peer_panics_for_non_endpoint() {
+        let t = small();
+        let id = t.channel_between(n(0), n(1)).unwrap();
+        t.channel(id).peer(n(2));
+    }
+
+    #[test]
+    fn bfs_and_shortest_paths() {
+        let t = small();
+        let d = t.bfs_distances(n(0));
+        assert_eq!(d[0], Some(0));
+        assert_eq!(d[1], Some(1));
+        assert_eq!(d[2], Some(2));
+        assert_eq!(d[3], Some(2));
+        assert_eq!(d[4], None);
+        assert_eq!(t.shortest_path(n(0), n(3)).unwrap(), vec![n(0), n(1), n(3)]);
+        assert_eq!(t.shortest_path(n(0), n(4)), None);
+        assert_eq!(t.shortest_path(n(2), n(2)).unwrap(), vec![n(2)]);
+    }
+
+    #[test]
+    fn shortest_path_tie_break_is_smallest_id() {
+        // 0-1, 0-2, 1-3, 2-3: two paths 0→3; BFS must pick via node 1.
+        let mut b = Topology::builder(4);
+        b.channel(n(0), n(1), Amount::ZERO).unwrap();
+        b.channel(n(0), n(2), Amount::ZERO).unwrap();
+        b.channel(n(1), n(3), Amount::ZERO).unwrap();
+        b.channel(n(2), n(3), Amount::ZERO).unwrap();
+        let t = b.build();
+        assert_eq!(t.shortest_path(n(0), n(3)).unwrap(), vec![n(0), n(1), n(3)]);
+    }
+
+    #[test]
+    fn path_channels_directions() {
+        let t = small();
+        let hops = t.path_channels(&[n(0), n(1), n(3)]).unwrap();
+        assert_eq!(hops.len(), 2);
+        let (c0, d0) = hops[0];
+        assert_eq!(t.channel(c0).source(d0), n(0));
+        let (c1, d1) = hops[1];
+        assert_eq!(t.channel(c1).source(d1), n(1));
+        assert_eq!(t.channel(c1).target(d1), n(3));
+        assert!(t.path_channels(&[n(0), n(3)]).is_err());
+    }
+
+    #[test]
+    fn connectivity() {
+        assert!(!small().is_connected()); // node 4 isolated
+        let mut b = Topology::builder(2);
+        b.channel(n(0), n(1), Amount::ZERO).unwrap();
+        assert!(b.build().is_connected());
+        assert!(Topology::builder(0).build().is_connected());
+    }
+
+    #[test]
+    fn capacity_rewrites() {
+        let t = small().with_uniform_capacity(Amount::from_xrp(7));
+        assert!(t.channels().all(|(_, c)| c.capacity == Amount::from_xrp(7)));
+        assert_eq!(t.total_capacity(), Amount::from_xrp(28));
+        let t2 = t.with_capacities(|id, _| Amount::from_xrp(id.0 as u64));
+        assert_eq!(t2.total_capacity(), Amount::from_xrp(0 + 1 + 2 + 3));
+    }
+}

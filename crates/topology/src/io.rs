@@ -1,0 +1,121 @@
+//! Plain-text topology interchange format.
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! nodes 5
+//! channel 0 1 30000000000       # u v capacity_in_drops
+//! channel 1 2 30000000000
+//! ```
+//!
+//! The format is line-oriented so external tools (or the SpeedyMurmurs
+//! artifact's converters) can produce it with a one-line awk script.
+
+use crate::graph::{Topology, TopologyBuilder};
+use spider_types::{Amount, NodeId, Result, SpiderError};
+
+/// Serializes a topology to the text format.
+pub fn to_text(t: &Topology) -> String {
+    let mut out = String::new();
+    out.push_str("# spider topology v1\n");
+    out.push_str(&format!("nodes {}\n", t.node_count()));
+    for (_, c) in t.channels() {
+        out.push_str(&format!("channel {} {} {}\n", c.u.index(), c.v.index(), c.capacity.drops()));
+    }
+    out
+}
+
+/// Parses a topology from the text format.
+pub fn from_text(text: &str) -> Result<Topology> {
+    let mut builder: Option<TopologyBuilder> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let keyword = parts.next().expect("non-empty line has a token");
+        let err = |msg: &str| SpiderError::Parse(format!("line {}: {msg}", lineno + 1));
+        match keyword {
+            "nodes" => {
+                if builder.is_some() {
+                    return Err(err("duplicate `nodes` declaration"));
+                }
+                let n: usize = parts
+                    .next()
+                    .ok_or_else(|| err("missing node count"))?
+                    .parse()
+                    .map_err(|_| err("invalid node count"))?;
+                if parts.next().is_some() {
+                    return Err(err("trailing tokens after node count"));
+                }
+                builder = Some(TopologyBuilder::new(n));
+            }
+            "channel" => {
+                let b = builder.as_mut().ok_or_else(|| err("`channel` before `nodes`"))?;
+                let mut field = |name: &str| -> Result<u64> {
+                    parts
+                        .next()
+                        .ok_or_else(|| err(&format!("missing {name}")))?
+                        .parse::<u64>()
+                        .map_err(|_| err(&format!("invalid {name}")))
+                };
+                let u = field("endpoint u")?;
+                let v = field("endpoint v")?;
+                let cap = field("capacity")?;
+                if parts.next().is_some() {
+                    return Err(err("trailing tokens after channel"));
+                }
+                b.channel(
+                    NodeId::from_index(u as usize),
+                    NodeId::from_index(v as usize),
+                    Amount::from_drops(cap),
+                )
+                .map_err(|e| err(&e.to_string()))?;
+            }
+            other => return Err(err(&format!("unknown keyword `{other}`"))),
+        }
+    }
+    Ok(builder.ok_or_else(|| SpiderError::Parse("no `nodes` declaration".into()))?.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn round_trip() {
+        let t = gen::isp_topology(Amount::from_xrp(30_000));
+        let text = to_text(&t);
+        let back = from_text(&text).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn parses_comments_and_blank_lines() {
+        let text = "\n# hello\nnodes 3 # three nodes\n\nchannel 0 1 5\nchannel 1 2 7 # done\n";
+        let t = from_text(text).unwrap();
+        assert_eq!(t.node_count(), 3);
+        assert_eq!(t.channel_count(), 2);
+        assert_eq!(t.channel(spider_types::ChannelId(0)).capacity, Amount::from_drops(5));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(from_text("channel 0 1 5\n").is_err()); // channel before nodes
+        assert!(from_text("nodes 2\nnodes 3\n").is_err()); // duplicate nodes
+        assert!(from_text("nodes x\n").is_err());
+        assert!(from_text("nodes 2\nchannel 0 1\n").is_err()); // missing capacity
+        assert!(from_text("nodes 2\nchannel 0 5 1\n").is_err()); // unknown node
+        assert!(from_text("nodes 2\nchannel 0 0 1\n").is_err()); // self-loop
+        assert!(from_text("nodes 2\nfrobnicate\n").is_err()); // unknown keyword
+        assert!(from_text("").is_err()); // empty
+        assert!(from_text("nodes 2\nchannel 0 1 1 9\n").is_err()); // trailing token
+    }
+
+    #[test]
+    fn error_mentions_line_number() {
+        let e = from_text("nodes 2\nchannel 0 1 bad\n").unwrap_err();
+        assert!(e.to_string().contains("line 2"), "{e}");
+    }
+}

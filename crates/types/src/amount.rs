@@ -1,0 +1,421 @@
+//! Fixed-point currency amounts.
+//!
+//! All balances, transaction sizes and channel capacities are integer counts
+//! of *drops* (1 XRP = 10^6 drops, Ripple's real on-ledger unit). Integer
+//! arithmetic makes fund-conservation checks exact: the simulator asserts to
+//! the drop that no money is created or destroyed.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Number of drops in one XRP.
+pub const DROPS_PER_XRP: u64 = 1_000_000;
+
+/// An unsigned quantity of currency, counted in drops.
+///
+/// `Amount` deliberately implements only the arithmetic that cannot produce
+/// surprising values: addition, subtraction (panicking on underflow — use
+/// [`Amount::checked_sub`] or [`Amount::saturating_sub`] where underflow is
+/// an expected outcome), and scaling by integers. Fractional operations go
+/// through [`Amount::mul_f64`], which rounds to the nearest drop.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Amount(u64);
+
+impl Amount {
+    /// The zero amount.
+    pub const ZERO: Amount = Amount(0);
+    /// One drop, the smallest representable quantum of currency.
+    pub const DROP: Amount = Amount(1);
+    /// The largest representable amount.
+    pub const MAX: Amount = Amount(u64::MAX);
+
+    /// Creates an amount from a raw drop count.
+    #[inline]
+    pub const fn from_drops(drops: u64) -> Self {
+        Amount(drops)
+    }
+
+    /// Creates an amount from a whole number of XRP.
+    #[inline]
+    pub const fn from_xrp(xrp: u64) -> Self {
+        Amount(xrp * DROPS_PER_XRP)
+    }
+
+    /// Creates an amount from a fractional number of XRP, rounding to the
+    /// nearest drop. Negative inputs clamp to zero.
+    #[inline]
+    pub fn from_xrp_f64(xrp: f64) -> Self {
+        if xrp <= 0.0 || !xrp.is_finite() {
+            return Amount::ZERO;
+        }
+        Amount((xrp * DROPS_PER_XRP as f64).round() as u64)
+    }
+
+    /// Raw drop count.
+    #[inline]
+    pub const fn drops(self) -> u64 {
+        self.0
+    }
+
+    /// Value in XRP as a float (for reporting; never for accounting).
+    #[inline]
+    pub fn as_xrp(self) -> f64 {
+        self.0 as f64 / DROPS_PER_XRP as f64
+    }
+
+    /// True iff this is the zero amount.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Checked subtraction; `None` on underflow.
+    #[inline]
+    pub fn checked_sub(self, rhs: Amount) -> Option<Amount> {
+        self.0.checked_sub(rhs.0).map(Amount)
+    }
+
+    /// Checked addition; `None` on overflow.
+    #[inline]
+    pub fn checked_add(self, rhs: Amount) -> Option<Amount> {
+        self.0.checked_add(rhs.0).map(Amount)
+    }
+
+    /// Subtraction clamped at zero.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Amount) -> Amount {
+        Amount(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Addition clamped at `u64::MAX` drops.
+    #[inline]
+    pub fn saturating_add(self, rhs: Amount) -> Amount {
+        Amount(self.0.saturating_add(rhs.0))
+    }
+
+    /// The smaller of two amounts.
+    #[inline]
+    pub fn min(self, rhs: Amount) -> Amount {
+        Amount(self.0.min(rhs.0))
+    }
+
+    /// The larger of two amounts.
+    #[inline]
+    pub fn max(self, rhs: Amount) -> Amount {
+        Amount(self.0.max(rhs.0))
+    }
+
+    /// Multiplies by a non-negative float, rounding to the nearest drop.
+    /// Negative or non-finite factors yield zero.
+    #[inline]
+    pub fn mul_f64(self, factor: f64) -> Amount {
+        if factor <= 0.0 || !factor.is_finite() {
+            return Amount::ZERO;
+        }
+        Amount((self.0 as f64 * factor).round() as u64)
+    }
+
+    /// Fraction `self / denom` as a float; zero when `denom` is zero.
+    #[inline]
+    pub fn ratio(self, denom: Amount) -> f64 {
+        if denom.0 == 0 {
+            0.0
+        } else {
+            self.0 as f64 / denom.0 as f64
+        }
+    }
+
+    /// Splits this amount into chunks of at most `mtu`, preserving the total.
+    ///
+    /// This is exactly the transport layer's packetization rule: a payment of
+    /// value `v` becomes `ceil(v / mtu)` transaction units, all of size `mtu`
+    /// except a possibly-smaller final unit. An empty vector is returned for
+    /// the zero amount. Panics if `mtu` is zero.
+    pub fn split_mtu(self, mtu: Amount) -> Vec<Amount> {
+        assert!(!mtu.is_zero(), "MTU must be positive");
+        let mut remaining = self.0;
+        let mut units = Vec::with_capacity((self.0 / mtu.0 + 1) as usize);
+        while remaining > 0 {
+            let u = remaining.min(mtu.0);
+            units.push(Amount(u));
+            remaining -= u;
+        }
+        units
+    }
+
+    /// Converts to a signed amount. Panics if the value exceeds `i64::MAX`
+    /// drops (≈ 9.2 trillion XRP — far beyond any simulated economy).
+    #[inline]
+    pub fn signed(self) -> SignedAmount {
+        SignedAmount(i64::try_from(self.0).expect("amount exceeds i64::MAX drops"))
+    }
+}
+
+impl Add for Amount {
+    type Output = Amount;
+    #[inline]
+    fn add(self, rhs: Amount) -> Amount {
+        Amount(self.0.checked_add(rhs.0).expect("Amount overflow"))
+    }
+}
+
+impl AddAssign for Amount {
+    #[inline]
+    fn add_assign(&mut self, rhs: Amount) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Amount {
+    type Output = Amount;
+    #[inline]
+    fn sub(self, rhs: Amount) -> Amount {
+        Amount(self.0.checked_sub(rhs.0).expect("Amount underflow"))
+    }
+}
+
+impl SubAssign for Amount {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Amount) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Amount {
+    type Output = Amount;
+    #[inline]
+    fn mul(self, rhs: u64) -> Amount {
+        Amount(self.0.checked_mul(rhs).expect("Amount overflow"))
+    }
+}
+
+impl Div<u64> for Amount {
+    type Output = Amount;
+    #[inline]
+    fn div(self, rhs: u64) -> Amount {
+        Amount(self.0 / rhs)
+    }
+}
+
+impl Sum for Amount {
+    fn sum<I: Iterator<Item = Amount>>(iter: I) -> Amount {
+        iter.fold(Amount::ZERO, |a, b| a + b)
+    }
+}
+
+impl<'a> Sum<&'a Amount> for Amount {
+    fn sum<I: Iterator<Item = &'a Amount>>(iter: I) -> Amount {
+        iter.fold(Amount::ZERO, |a, b| a + *b)
+    }
+}
+
+impl fmt::Display for Amount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let whole = self.0 / DROPS_PER_XRP;
+        let frac = self.0 % DROPS_PER_XRP;
+        if frac == 0 {
+            write!(f, "{whole} XRP")
+        } else {
+            let s = format!("{frac:06}");
+            write!(f, "{whole}.{} XRP", s.trim_end_matches('0'))
+        }
+    }
+}
+
+/// A signed quantity of currency in drops, used for channel *imbalance*
+/// (flow in one direction minus flow in the other) and price gradients.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct SignedAmount(i64);
+
+impl SignedAmount {
+    /// The zero signed amount.
+    pub const ZERO: SignedAmount = SignedAmount(0);
+
+    /// Creates from a raw signed drop count.
+    #[inline]
+    pub const fn from_drops(drops: i64) -> Self {
+        SignedAmount(drops)
+    }
+
+    /// Raw signed drop count.
+    #[inline]
+    pub const fn drops(self) -> i64 {
+        self.0
+    }
+
+    /// Value in XRP as a float.
+    #[inline]
+    pub fn as_xrp(self) -> f64 {
+        self.0 as f64 / DROPS_PER_XRP as f64
+    }
+
+    /// Absolute value as an unsigned [`Amount`].
+    #[inline]
+    pub fn abs(self) -> Amount {
+        Amount(self.0.unsigned_abs())
+    }
+
+    /// True iff negative.
+    #[inline]
+    pub const fn is_negative(self) -> bool {
+        self.0 < 0
+    }
+}
+
+impl Add for SignedAmount {
+    type Output = SignedAmount;
+    #[inline]
+    fn add(self, rhs: SignedAmount) -> SignedAmount {
+        SignedAmount(self.0.checked_add(rhs.0).expect("SignedAmount overflow"))
+    }
+}
+
+impl AddAssign for SignedAmount {
+    #[inline]
+    fn add_assign(&mut self, rhs: SignedAmount) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SignedAmount {
+    type Output = SignedAmount;
+    #[inline]
+    fn sub(self, rhs: SignedAmount) -> SignedAmount {
+        SignedAmount(self.0.checked_sub(rhs.0).expect("SignedAmount overflow"))
+    }
+}
+
+impl SubAssign for SignedAmount {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SignedAmount) {
+        *self = *self - rhs;
+    }
+}
+
+impl Neg for SignedAmount {
+    type Output = SignedAmount;
+    #[inline]
+    fn neg(self) -> SignedAmount {
+        SignedAmount(-self.0)
+    }
+}
+
+impl fmt::Display for SignedAmount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < 0 {
+            write!(f, "-{}", self.abs())
+        } else {
+            write!(f, "{}", self.abs())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xrp_drop_round_trip() {
+        assert_eq!(Amount::from_xrp(3).drops(), 3_000_000);
+        assert_eq!(Amount::from_drops(1_500_000).as_xrp(), 1.5);
+        assert_eq!(Amount::from_xrp_f64(2.5), Amount::from_drops(2_500_000));
+    }
+
+    #[test]
+    fn from_xrp_f64_clamps_garbage() {
+        assert_eq!(Amount::from_xrp_f64(-1.0), Amount::ZERO);
+        assert_eq!(Amount::from_xrp_f64(f64::NAN), Amount::ZERO);
+        assert_eq!(Amount::from_xrp_f64(f64::NEG_INFINITY), Amount::ZERO);
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        let a = Amount::from_xrp(10);
+        let b = Amount::from_xrp(4);
+        assert_eq!(a + b, Amount::from_xrp(14));
+        assert_eq!(a - b, Amount::from_xrp(6));
+        assert_eq!(a * 3, Amount::from_xrp(30));
+        assert_eq!(a / 2, Amount::from_xrp(5));
+        assert_eq!(b.saturating_sub(a), Amount::ZERO);
+        assert_eq!(b.checked_sub(a), None);
+        assert_eq!(a.min(b), b);
+        assert_eq!(a.max(b), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "Amount underflow")]
+    fn sub_underflow_panics() {
+        let _ = Amount::from_xrp(1) - Amount::from_xrp(2);
+    }
+
+    #[test]
+    fn split_mtu_preserves_total_and_bounds() {
+        let total = Amount::from_drops(10_500_000);
+        let mtu = Amount::from_xrp(3);
+        let parts = total.split_mtu(mtu);
+        assert_eq!(parts.iter().copied().sum::<Amount>(), total);
+        assert!(parts.iter().all(|p| *p <= mtu && !p.is_zero()));
+        assert_eq!(parts.len(), 4);
+        assert_eq!(parts[3], Amount::from_drops(1_500_000));
+    }
+
+    #[test]
+    fn split_mtu_zero_amount() {
+        assert!(Amount::ZERO.split_mtu(Amount::DROP).is_empty());
+    }
+
+    #[test]
+    fn split_mtu_exact_multiple() {
+        let parts = Amount::from_xrp(9).split_mtu(Amount::from_xrp(3));
+        assert_eq!(parts.len(), 3);
+        assert!(parts.iter().all(|p| *p == Amount::from_xrp(3)));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Amount::from_xrp(5).to_string(), "5 XRP");
+        assert_eq!(Amount::from_drops(1_230_000).to_string(), "1.23 XRP");
+        assert_eq!(SignedAmount::from_drops(-1_000_000).to_string(), "-1 XRP");
+    }
+
+    #[test]
+    fn signed_amount_ops() {
+        let x = SignedAmount::from_drops(5);
+        let y = SignedAmount::from_drops(-8);
+        assert_eq!((x + y).drops(), -3);
+        assert_eq!((x - y).drops(), 13);
+        assert_eq!((-y).drops(), 8);
+        assert_eq!(y.abs(), Amount::from_drops(8));
+        assert!(y.is_negative());
+        assert!(!x.is_negative());
+    }
+
+    #[test]
+    fn mul_f64_rounds() {
+        let a = Amount::from_drops(10);
+        assert_eq!(a.mul_f64(0.25), Amount::from_drops(3)); // 2.5 rounds to 3 (round half away)
+        assert_eq!(a.mul_f64(-1.0), Amount::ZERO);
+        assert_eq!(a.mul_f64(f64::NAN), Amount::ZERO);
+    }
+
+    #[test]
+    fn ratio_handles_zero_denominator() {
+        assert_eq!(Amount::from_xrp(1).ratio(Amount::ZERO), 0.0);
+        assert_eq!(Amount::from_xrp(1).ratio(Amount::from_xrp(4)), 0.25);
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let v = vec![Amount::from_xrp(1), Amount::from_xrp(2), Amount::from_xrp(3)];
+        assert_eq!(v.iter().sum::<Amount>(), Amount::from_xrp(6));
+        assert_eq!(v.into_iter().sum::<Amount>(), Amount::from_xrp(6));
+    }
+}

@@ -1,0 +1,196 @@
+//! Identifiers for the entities of a payment channel network.
+//!
+//! All ids are small newtypes over integers so they can be used as dense
+//! vector indices (the graph code stores per-node and per-channel state in
+//! flat `Vec`s) while staying type-safe.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies a node (a Spider router and/or end-host) in the network.
+///
+/// Node ids are dense indices `0..n`, assigned by the topology.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The underlying dense index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a node id from a dense index.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        NodeId(u32::try_from(i).expect("node index exceeds u32"))
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifies an *undirected* payment channel (an escrowed pair of balances).
+///
+/// Channel ids are dense indices `0..m`, assigned by the topology. A channel
+/// between `u` and `v` carries funds in both directions; a direction is
+/// selected with [`Direction`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct ChannelId(pub u32);
+
+impl ChannelId {
+    /// The underlying dense index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a channel id from a dense index.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        ChannelId(u32::try_from(i).expect("channel index exceeds u32"))
+    }
+}
+
+impl fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ch{}", self.0)
+    }
+}
+
+/// One of the two directions of a bidirectional payment channel.
+///
+/// The topology stores each channel with a canonical `(u, v)` endpoint order
+/// (`u < v`); `Forward` means funds moving `u → v`, `Backward` means `v → u`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Direction {
+    /// From the canonical first endpoint to the second (`u → v`).
+    Forward,
+    /// From the canonical second endpoint to the first (`v → u`).
+    Backward,
+}
+
+impl Direction {
+    /// The opposite direction.
+    #[inline]
+    pub const fn reverse(self) -> Direction {
+        match self {
+            Direction::Forward => Direction::Backward,
+            Direction::Backward => Direction::Forward,
+        }
+    }
+
+    /// Index (0 for forward, 1 for backward) for two-element state arrays.
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            Direction::Forward => 0,
+            Direction::Backward => 1,
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Direction::Forward => write!(f, "→"),
+            Direction::Backward => write!(f, "←"),
+        }
+    }
+}
+
+/// Identifies an end-to-end payment (which may be split into many
+/// transaction units).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct PaymentId(pub u64);
+
+impl fmt::Display for PaymentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pay{}", self.0)
+    }
+}
+
+/// Identifies a single transaction unit: `(payment, sequence number)`.
+///
+/// The sender generates a fresh hash-lock key per unit (§4.1 of the paper),
+/// so the unit id is also the identity of the HTLC along its path.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct UnitId {
+    /// The payment this unit belongs to.
+    pub payment: PaymentId,
+    /// Sequence number of the unit within its payment, starting at 0.
+    pub seq: u32,
+}
+
+impl UnitId {
+    /// Creates a unit id.
+    #[inline]
+    pub const fn new(payment: PaymentId, seq: u32) -> Self {
+        UnitId { payment, seq }
+    }
+}
+
+impl fmt::Display for UnitId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.payment, self.seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_index_round_trip() {
+        let n = NodeId::from_index(42);
+        assert_eq!(n.index(), 42);
+        assert_eq!(n.to_string(), "n42");
+    }
+
+    #[test]
+    fn channel_index_round_trip() {
+        let c = ChannelId::from_index(7);
+        assert_eq!(c.index(), 7);
+        assert_eq!(c.to_string(), "ch7");
+    }
+
+    #[test]
+    fn direction_reverse_is_involution() {
+        for d in [Direction::Forward, Direction::Backward] {
+            assert_eq!(d.reverse().reverse(), d);
+            assert_ne!(d.reverse(), d);
+        }
+        assert_eq!(Direction::Forward.index(), 0);
+        assert_eq!(Direction::Backward.index(), 1);
+    }
+
+    #[test]
+    fn unit_id_identity() {
+        let u = UnitId::new(PaymentId(9), 3);
+        assert_eq!(u.to_string(), "pay9#3");
+        assert_eq!(u, UnitId { payment: PaymentId(9), seq: 3 });
+        assert_ne!(u, UnitId::new(PaymentId(9), 4));
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(UnitId::new(PaymentId(1), 5) < UnitId::new(PaymentId(2), 0));
+    }
+}

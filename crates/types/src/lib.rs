@@ -1,0 +1,29 @@
+//! # spider-types
+//!
+//! Foundation types shared by every crate in the Spider payment-channel-network
+//! reproduction: fixed-point currency amounts, simulation time, entity
+//! identifiers, error types, deterministic random-number utilities and the
+//! probability distributions used by the workload generators.
+//!
+//! The paper ("Routing Cryptocurrency with the Spider Network", the arXiv
+//! precursor of the NSDI 2020 Spider paper) measures everything in XRP.
+//! Ripple's native integer unit is the *drop* (1 XRP = 10^6 drops), so
+//! [`Amount`] is a fixed-point integer count of drops. Integer arithmetic
+//! keeps the simulator deterministic and conservation-checkable to the drop.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod amount;
+pub mod distr;
+pub mod error;
+pub mod ids;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use amount::{Amount, SignedAmount, DROPS_PER_XRP};
+pub use error::{Result, SpiderError};
+pub use ids::{ChannelId, Direction, NodeId, PaymentId, UnitId};
+pub use rng::DetRng;
+pub use time::{SimDuration, SimTime};

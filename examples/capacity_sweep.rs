@@ -1,0 +1,47 @@
+//! Mini capacity sweep (Fig. 7 in miniature).
+//!
+//! ```sh
+//! cargo run --release --example capacity_sweep
+//! ```
+//!
+//! Sweeps per-channel capacity on the ISP topology for Spider
+//! (Waterfilling) vs the shortest-path baseline and prints how much less
+//! capital the imbalance-aware scheme needs for the same success rate —
+//! the economic argument of §1 ("funds deposited into payment channels
+//! cannot be used for other economic activities").
+
+use spider_core::{ExperimentConfig, SchemeConfig, TopologyConfig};
+use spider_sim::{SimConfig, SizeDistribution, WorkloadConfig};
+use spider_types::SimDuration;
+
+fn main() {
+    let schemes =
+        [SchemeConfig::SpiderWaterfilling { paths: 4 }, SchemeConfig::ShortestPath];
+    println!(
+        "{:>14} {:>24} {:>18}",
+        "capacity (XRP)", "spider-waterfilling (%)", "shortest-path (%)"
+    );
+    for capacity_xrp in [5_000, 10_000, 20_000, 40_000] {
+        let cfg = ExperimentConfig {
+            topology: TopologyConfig::Isp { capacity_xrp },
+            workload: WorkloadConfig {
+                count: 5_000,
+                rate_per_sec: 1_000.0,
+                size: SizeDistribution::RippleIsp,
+                sender_skew_scale: 8.0,
+            },
+            sim: SimConfig { horizon: SimDuration::from_secs(6), ..SimConfig::default() },
+            scheme: schemes[0],
+            seed: 7,
+        };
+        let reports = cfg.run_schemes(&schemes).expect("experiments run");
+        println!(
+            "{:>14} {:>24.2} {:>18.2}",
+            capacity_xrp,
+            100.0 * reports[0].success_ratio(),
+            100.0 * reports[1].success_ratio(),
+        );
+    }
+    println!("\nwaterfilling reaches any success target with less escrowed capital —");
+    println!("the capacity-efficiency argument of Fig. 7.");
+}

@@ -1,0 +1,79 @@
+//! Extending Spider: plugging in a custom routing scheme.
+//!
+//! ```sh
+//! cargo run --release --example custom_scheme
+//! ```
+//!
+//! Implements a deliberately naive scheme — "greedy hot potato": always
+//! send the full remainder along the single path whose *first hop* has the
+//! most funds — directly against the [`spider_sim::Router`] trait, then
+//! races it against Spider (Waterfilling) on identical workloads. Use this
+//! as the template for experimenting with your own algorithms.
+
+use spider_core::experiment::demand_graph;
+use spider_core::{ExperimentConfig, SchemeConfig, TopologyConfig};
+use spider_lp::paths::k_edge_disjoint_paths;
+use spider_sim::{
+    NetworkView, RouteProposal, RouteRequest, Router, SimConfig, Simulation, SizeDistribution,
+    Workload, WorkloadConfig,
+};
+use spider_types::{DetRng, SimDuration};
+
+/// Pick, among 4 edge-disjoint paths, the one whose first hop currently
+/// holds the most spendable funds; shove everything onto it.
+struct HotPotato;
+
+impl Router for HotPotato {
+    fn name(&self) -> &'static str {
+        "hot-potato"
+    }
+
+    fn route(&mut self, req: &RouteRequest, view: &NetworkView<'_>) -> Vec<RouteProposal> {
+        let paths = k_edge_disjoint_paths(view.topo, req.src, req.dst, 4);
+        let best = paths.into_iter().max_by_key(|p| {
+            let first_hop = view.topo.channel_between(p.nodes[0], p.nodes[1]).expect("adjacent");
+            let dir = view.topo.channel(first_hop).direction_from(p.nodes[0]);
+            view.available(first_hop, dir)
+        });
+        match best {
+            Some(p) => vec![RouteProposal { path: p.nodes, amount: req.remaining }],
+            None => Vec::new(),
+        }
+    }
+}
+
+fn main() {
+    let cfg = ExperimentConfig {
+        topology: TopologyConfig::Isp { capacity_xrp: 4_000 },
+        workload: WorkloadConfig {
+            count: 12_000,
+            rate_per_sec: 1_000.0,
+            size: SizeDistribution::RippleIsp,
+            sender_skew_scale: 8.0,
+        },
+        sim: SimConfig { horizon: SimDuration::from_secs(13), ..SimConfig::default() },
+        scheme: SchemeConfig::SpiderWaterfilling { paths: 4 },
+        seed: 3,
+    };
+
+    // The built-in scheme goes through the declarative API…
+    let waterfilling = cfg.run().expect("experiment runs");
+
+    // …the custom one drives the simulator directly.
+    let rng = DetRng::new(cfg.seed);
+    let topo = cfg.topology.build(&rng).expect("topology builds");
+    let mut wrng = rng.fork("workload");
+    let workload = Workload::generate(topo.node_count(), &cfg.workload, &mut wrng);
+    let _demands = demand_graph(&workload, topo.node_count()); // available if your scheme needs it
+    let mut sim = Simulation::new(topo, workload, Box::new(HotPotato), cfg.sim.clone())
+        .expect("simulation builds");
+    let hot_potato = sim.run();
+    sim.check_conservation();
+
+    println!("{}", waterfilling.summary());
+    println!("{}", hot_potato.summary());
+    println!(
+        "\nwaterfilling's bottleneck-aware, multi-path splitting beats first-hop greed by {:.1} percentage points of success ratio.",
+        100.0 * (waterfilling.success_ratio() - hot_potato.success_ratio())
+    );
+}

@@ -1,0 +1,57 @@
+//! The §5.1 motivating example, as a guided tour of the fluid-model API.
+//!
+//! ```sh
+//! cargo run --release --example motivating_example
+//! ```
+//!
+//! Walks through the paper's Fig. 4/5 narrative: why shortest-path
+//! balanced routing caps at 5 units/s while imbalance-aware multipath
+//! routing reaches 8, and why 8 is fundamental (Proposition 1).
+
+use spider_lp::fluid::{FluidProblem, PathSelection};
+use spider_paygraph::decompose::decompose;
+use spider_paygraph::examples::paper_example_demands;
+use spider_topology::gen::paper_example_topology;
+use spider_types::Amount;
+
+fn main() {
+    let topo = paper_example_topology(Amount::from_xrp(1_000_000));
+    let demands = paper_example_demands();
+
+    println!("== The payment graph (Fig. 4a) ==");
+    for e in demands.edges() {
+        println!("  node {} wants to pay node {} at {} unit/s", e.src.0 + 1, e.dst.0 + 1, e.rate);
+    }
+    println!("  total demand: {} units/s", demands.total_demand());
+
+    println!("\n== Shortest-path balanced routing (Fig. 4b) ==");
+    let sp = FluidProblem::new(&topo, &demands, 0.5, PathSelection::ShortestOnly)
+        .solve_balanced()
+        .expect("LP solves");
+    println!("  throughput: {} units/s", sp.throughput);
+    println!("  (any higher rate would unbalance some channel and drain it)");
+
+    println!("\n== Imbalance-aware multipath routing (Fig. 4c) ==");
+    let multi = FluidProblem::new(&topo, &demands, 0.5, PathSelection::KShortest(4))
+        .solve_balanced()
+        .expect("LP solves");
+    println!("  throughput: {} units/s", multi.throughput);
+    for f in &multi.flows {
+        let hops: Vec<String> = f.path.nodes.iter().map(|n| (n.0 + 1).to_string()).collect();
+        println!("    {} → {}: {:.1} unit/s via {}", f.src.0 + 1, f.dst.0 + 1, f.rate, hops.join("→"));
+    }
+    println!("  note demand 2→4 splitting over 2→4 and 2→3→4: the detour");
+    println!("  counterbalances demands 3→2 and 4→3 on channels 2-3 and 3-4.");
+
+    println!("\n== Why 8 is fundamental (Prop. 1, Fig. 5) ==");
+    let dec = decompose(&demands, 1e-6);
+    println!("  max circulation ν(C*) = {} units/s", dec.circulation_value);
+    println!("  DAG residue           = {} units/s (unroutable without on-chain rebalancing)", dec.dag.total_demand());
+    for e in dec.dag.edges() {
+        println!("    stranded: {} → {} at {} unit/s", e.src.0 + 1, e.dst.0 + 1, e.rate);
+    }
+
+    assert_eq!(sp.throughput.round() as i64, 5);
+    assert_eq!(multi.throughput.round() as i64, 8);
+    println!("\nshortest-path = 5, optimal balanced = 8 — exactly the paper's numbers ✓");
+}

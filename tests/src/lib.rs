@@ -1,0 +1,26 @@
+//! Cross-crate integration tests for the Spider reproduction live in this
+//! crate's `tests/` directory. The library itself only hosts shared test
+//! helpers.
+
+#![forbid(unsafe_code)]
+
+use spider_core::{ExperimentConfig, SchemeConfig, TopologyConfig};
+use spider_sim::{SimConfig, SizeDistribution, WorkloadConfig};
+use spider_types::SimDuration;
+
+/// A small but non-trivial ISP experiment that finishes in well under a
+/// second per scheme.
+pub fn small_isp_experiment(seed: u64, capacity_xrp: u64) -> ExperimentConfig {
+    ExperimentConfig {
+        topology: TopologyConfig::Isp { capacity_xrp },
+        workload: WorkloadConfig {
+            count: 1_500,
+            rate_per_sec: 500.0,
+            size: SizeDistribution::RippleIsp,
+            sender_skew_scale: 8.0,
+        },
+        sim: SimConfig { horizon: SimDuration::from_secs(5), ..SimConfig::default() },
+        scheme: SchemeConfig::SpiderWaterfilling { paths: 4 },
+        seed,
+    }
+}

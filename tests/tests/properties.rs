@@ -1,0 +1,137 @@
+//! Property-based tests (proptest) on the core invariants across crates.
+
+use proptest::prelude::*;
+use spider_lp::fluid::{FluidProblem, PathSelection};
+use spider_lp::simplex::{ConstraintOp, LinearProgram};
+use spider_paygraph::decompose::{decompose, is_dag};
+use spider_paygraph::PaymentGraph;
+use spider_topology::{gen, io};
+use spider_types::{Amount, NodeId};
+
+proptest! {
+    /// split_mtu always conserves the total and respects the MTU bound.
+    #[test]
+    fn split_mtu_conserves(total in 0u64..10_000_000, mtu in 1u64..1_000_000) {
+        let amount = Amount::from_drops(total);
+        let parts = amount.split_mtu(Amount::from_drops(mtu));
+        prop_assert_eq!(parts.iter().copied().sum::<Amount>(), amount);
+        prop_assert!(parts.iter().all(|p| p.drops() <= mtu && p.drops() > 0));
+    }
+
+    /// Circulation/DAG decomposition: parts sum to the whole, the
+    /// circulation is balanced, and the residue is acyclic.
+    #[test]
+    fn decomposition_invariants(edges in proptest::collection::vec(
+        (0u32..8, 0u32..8, 1u64..50), 1..24,
+    )) {
+        let mut g = PaymentGraph::new(8);
+        for (s, d, r) in edges {
+            if s != d {
+                g.add_demand(NodeId(s), NodeId(d), r as f64);
+            }
+        }
+        let dec = decompose(&g, 1.0);
+        prop_assert!(dec.optimal);
+        // Sum back.
+        let mut sum = dec.circulation.clone();
+        for e in dec.dag.edges() {
+            sum.add_demand(e.src, e.dst, e.rate);
+        }
+        prop_assert!(g.l1_distance(&sum) < 1e-9);
+        prop_assert!(dec.circulation.is_circulation(1e-9));
+        prop_assert!(is_dag(&dec.dag));
+        // Value bounded by total demand.
+        prop_assert!(dec.circulation_value <= g.total_demand() + 1e-9);
+    }
+
+    /// The simplex solution of a random all-≤ LP with non-negative
+    /// coefficients is feasible and no worse than the zero solution.
+    #[test]
+    fn simplex_feasibility(
+        objective in proptest::collection::vec(-1.0f64..2.0, 3),
+        rows in proptest::collection::vec(
+            (proptest::collection::vec(0.0f64..1.0, 3), 0.5f64..5.0), 1..6,
+        ),
+    ) {
+        let mut lp = LinearProgram::new(3);
+        for (v, c) in objective.iter().enumerate() {
+            lp.set_objective(v, *c);
+        }
+        // Ensure boundedness: cap every variable.
+        for v in 0..3 {
+            lp.constraint(&[(v, 1.0)], ConstraintOp::Le, 10.0);
+        }
+        let mut checks = Vec::new();
+        for (coeffs, rhs) in rows {
+            let sparse: Vec<(usize, f64)> =
+                coeffs.iter().enumerate().map(|(v, c)| (v, *c)).collect();
+            lp.constraint(&sparse, ConstraintOp::Le, rhs);
+            checks.push((coeffs, rhs));
+        }
+        let sol = lp.solve().expect("feasible and bounded");
+        for (coeffs, rhs) in checks {
+            let lhs: f64 = coeffs.iter().zip(&sol.x).map(|(c, x)| c * x).sum();
+            prop_assert!(lhs <= rhs + 1e-6);
+        }
+        prop_assert!(sol.x.iter().all(|&x| x >= -1e-9));
+        prop_assert!(sol.objective >= -1e-9); // x = 0 scores 0
+    }
+
+    /// Topology text serialization round-trips.
+    #[test]
+    fn topology_io_round_trip(
+        n in 2usize..12,
+        edges in proptest::collection::vec((0u32..12, 0u32..12, 0u64..1_000), 0..30),
+    ) {
+        let mut b = spider_topology::Topology::builder(n);
+        for (u, v, cap) in edges {
+            let (u, v) = (u % n as u32, v % n as u32);
+            if u != v && !b.has_channel(NodeId(u), NodeId(v)) {
+                b.channel(NodeId(u), NodeId(v), Amount::from_drops(cap)).unwrap();
+            }
+        }
+        let t = b.build();
+        let back = io::from_text(&io::to_text(&t)).expect("parses");
+        prop_assert_eq!(t, back);
+    }
+
+    /// Balanced-LP throughput never exceeds the circulation bound
+    /// (Proposition 1) on random demand over a cycle topology.
+    #[test]
+    fn prop1_upper_bound(edges in proptest::collection::vec(
+        (0u32..6, 0u32..6, 1u64..10), 1..14,
+    )) {
+        let mut g = PaymentGraph::new(6);
+        for (s, d, r) in edges {
+            if s != d {
+                g.add_demand(NodeId(s), NodeId(d), r as f64);
+            }
+        }
+        let topo = gen::cycle(6, Amount::from_xrp(1_000_000));
+        let nu = decompose(&g, 1e-6).circulation_value;
+        let lp = FluidProblem::new(&topo, &g, 0.5, PathSelection::KShortest(3))
+            .solve_balanced()
+            .expect("LP solves")
+            .throughput;
+        prop_assert!(lp <= nu + 1e-4 * g.total_demand().max(1.0),
+            "LP {lp} exceeded circulation bound {nu}");
+    }
+
+    /// Yen's paths are simple, ordered by length, and within k.
+    #[test]
+    fn yen_path_invariants(seed in 0u64..500, k in 1usize..6) {
+        let mut rng = spider_types::DetRng::new(seed);
+        let topo = gen::erdos_renyi(10, 0.4, Amount::from_xrp(1), &mut rng);
+        let paths = spider_lp::paths::k_shortest_paths(&topo, NodeId(0), NodeId(9), k);
+        prop_assert!(paths.len() <= k);
+        for w in paths.windows(2) {
+            prop_assert!(w[0].hop_count() <= w[1].hop_count());
+        }
+        for p in &paths {
+            let mut s = p.nodes.clone();
+            s.sort_unstable();
+            s.dedup();
+            prop_assert_eq!(s.len(), p.nodes.len(), "loop in path");
+        }
+    }
+}
