@@ -10,7 +10,7 @@ use spider_lp::primal_dual::{solve_problem, PrimalDualConfig};
 use spider_maxflow::FlowNetwork;
 use spider_paygraph::decompose::decompose;
 use spider_paygraph::generate::skewed_demand;
-use spider_sim::{RouteRequest, Router, NetworkView, ChannelState};
+use spider_sim::{ChannelState, NetworkView, RouteRequest, Router};
 use spider_topology::gen;
 use spider_types::{Amount, DetRng, NodeId, PaymentId, SimTime};
 use std::hint::black_box;
@@ -85,8 +85,10 @@ fn bench_decompose(c: &mut Criterion) {
 
 fn bench_routing(c: &mut Criterion) {
     let topo = gen::isp_topology(Amount::from_xrp(30_000));
-    let channels: Vec<ChannelState> =
-        topo.channels().map(|(_, ch)| ChannelState::split_equally(ch.capacity)).collect();
+    let channels: Vec<ChannelState> = topo
+        .channels()
+        .map(|(_, ch)| ChannelState::split_equally(ch.capacity))
+        .collect();
     let req = RouteRequest {
         payment: PaymentId(0),
         src: NodeId(8),
@@ -99,18 +101,30 @@ fn bench_routing(c: &mut Criterion) {
     let mut g = c.benchmark_group("route-call-isp");
     g.bench_function("spider_waterfilling", |b| {
         let mut r = spider_routing::SpiderWaterfilling::new(4);
-        let view = NetworkView { topo: &topo, channels: &channels, now: SimTime::ZERO };
+        let view = NetworkView {
+            topo: &topo,
+            channels: &channels,
+            now: SimTime::ZERO,
+        };
         r.route(&req, &view); // warm the path cache, as in steady state
         b.iter(|| black_box(r.route(&req, &view)))
     });
     g.bench_function("max_flow", |b| {
         let mut r = spider_routing::MaxFlow::new();
-        let view = NetworkView { topo: &topo, channels: &channels, now: SimTime::ZERO };
+        let view = NetworkView {
+            topo: &topo,
+            channels: &channels,
+            now: SimTime::ZERO,
+        };
         b.iter(|| black_box(r.route(&req, &view)))
     });
     g.bench_function("speedymurmurs", |b| {
         let mut r = spider_routing::SpeedyMurmurs::new(&topo, 3);
-        let view = NetworkView { topo: &topo, channels: &channels, now: SimTime::ZERO };
+        let view = NetworkView {
+            topo: &topo,
+            channels: &channels,
+            now: SimTime::ZERO,
+        };
         b.iter(|| black_box(r.route(&req, &view)))
     });
     g.finish();
@@ -121,7 +135,9 @@ fn bench_end_to_end(c: &mut Criterion) {
     use spider_sim::{SimConfig, WorkloadConfig};
     use spider_types::SimDuration;
     let cfg = ExperimentConfig {
-        topology: TopologyConfig::Isp { capacity_xrp: 10_000 },
+        topology: TopologyConfig::Isp {
+            capacity_xrp: 10_000,
+        },
         workload: WorkloadConfig::small(1_000, 1_000.0),
         sim: SimConfig {
             horizon: SimDuration::from_secs(2),

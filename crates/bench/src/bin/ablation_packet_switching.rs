@@ -26,7 +26,12 @@ fn main() {
     let cfg = isp_experiment(30_000, args.full, args.seed);
     eprintln!("running packet-switched shortest path…");
     let packet = cfg.clone().run().expect("runs");
-    rows.push(FigureRow::new("ablation-transport", "packet_switched", 1.0, &packet));
+    rows.push(FigureRow::new(
+        "ablation-transport",
+        "packet_switched",
+        1.0,
+        &packet,
+    ));
 
     // …vs the atomic comparison points (SilentWhispers, SpeedyMurmurs).
     for scheme in [
@@ -37,7 +42,12 @@ fn main() {
         let mut c = cfg.clone();
         c.scheme = scheme;
         let r = c.run().expect("runs");
-        rows.push(FigureRow::new("ablation-transport", "packet_switched", 0.0, &r));
+        rows.push(FigureRow::new(
+            "ablation-transport",
+            "packet_switched",
+            0.0,
+            &r,
+        ));
     }
 
     // Scheduling-policy ablation, shortest-path held fixed.

@@ -67,7 +67,12 @@ fn main() {
             r.onchain_deposited.as_xrp(),
             r.rebalance_ops,
         );
-        rows.push(FigureRow::new("ablation-rebalancing", "trigger_fraction", trigger, &r));
+        rows.push(FigureRow::new(
+            "ablation-rebalancing",
+            "trigger_fraction",
+            trigger,
+            &r,
+        ));
     }
 
     emit("ablation_rebalancing", &rows, &args.out_dir);

@@ -32,17 +32,40 @@ fn main() {
     println!("Fig. 4 / §5.1 motivating example (5 nodes, 6 channels, 8 demands)");
     println!("{:<44} {:>8} {:>10}", "quantity", "paper", "measured");
     let rows = [
-        ("total demand (units/s)", examples::TOTAL_DEMAND, demands.total_demand()),
-        ("shortest-path balanced throughput (Fig. 4b)", examples::SHORTEST_PATH_THROUGHPUT, sp.throughput),
-        ("optimal balanced throughput (Fig. 4c)", examples::MAX_CIRCULATION, opt.throughput),
-        ("max circulation ν(C*) (Fig. 5b)", examples::MAX_CIRCULATION, dec.circulation_value),
-        ("DAG residue (Fig. 5c)", examples::TOTAL_DEMAND - examples::MAX_CIRCULATION, dec.dag.total_demand()),
+        (
+            "total demand (units/s)",
+            examples::TOTAL_DEMAND,
+            demands.total_demand(),
+        ),
+        (
+            "shortest-path balanced throughput (Fig. 4b)",
+            examples::SHORTEST_PATH_THROUGHPUT,
+            sp.throughput,
+        ),
+        (
+            "optimal balanced throughput (Fig. 4c)",
+            examples::MAX_CIRCULATION,
+            opt.throughput,
+        ),
+        (
+            "max circulation ν(C*) (Fig. 5b)",
+            examples::MAX_CIRCULATION,
+            dec.circulation_value,
+        ),
+        (
+            "DAG residue (Fig. 5c)",
+            examples::TOTAL_DEMAND - examples::MAX_CIRCULATION,
+            dec.dag.total_demand(),
+        ),
     ];
     let mut all_match = true;
     for (name, paper, measured) in rows {
         let ok = (paper - measured).abs() < 1e-6;
         all_match &= ok;
-        println!("{name:<44} {paper:>8.1} {measured:>10.4} {}", if ok { "✓" } else { "✗" });
+        println!(
+            "{name:<44} {paper:>8.1} {measured:>10.4} {}",
+            if ok { "✓" } else { "✗" }
+        );
     }
 
     println!("\ncirculation edge weights (paper Fig. 5b: seven edges, 2,1,1,1,1,1,1):");
@@ -59,7 +82,13 @@ fn main() {
     println!("\noptimal multipath flows (Fig. 4c routing):");
     for f in &opt.flows {
         let path: Vec<String> = f.path.nodes.iter().map(|n| (n.0 + 1).to_string()).collect();
-        println!("  {} → {}: {:.2} via {}", f.src.0 + 1, f.dst.0 + 1, f.rate, path.join("-"));
+        println!(
+            "  {} → {}: {:.2} via {}",
+            f.src.0 + 1,
+            f.dst.0 + 1,
+            f.rate,
+            path.join("-")
+        );
     }
 
     assert!(all_match, "measured values diverge from the paper");

@@ -24,7 +24,10 @@ fn main() {
 
     for (label, cfg) in [
         ("fig6-isp", isp_experiment(capacity, args.full, args.seed)),
-        ("fig6-ripple", ripple_experiment(capacity, args.full, args.seed)),
+        (
+            "fig6-ripple",
+            ripple_experiment(capacity, args.full, args.seed),
+        ),
     ] {
         if let Some(filter) = &only {
             if !label.ends_with(filter.as_str()) {

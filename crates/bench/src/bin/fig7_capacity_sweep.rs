@@ -23,7 +23,12 @@ fn main() {
         let cfg = isp_experiment(capacity, args.full, args.seed);
         let reports = cfg.run_schemes(&paper_schemes()).expect("experiment runs");
         for r in &reports {
-            rows.push(FigureRow::new("fig7-isp", "capacity_xrp", capacity as f64, r));
+            rows.push(FigureRow::new(
+                "fig7-isp",
+                "capacity_xrp",
+                capacity as f64,
+                r,
+            ));
         }
     }
 

@@ -1,0 +1,104 @@
+//! Fig. 8 (this reproduction's extension of the Fig. 6 comparison) — the
+//! §5 decentralized protocol under router queueing vs the transport-layer
+//! baselines, on the fig6 topologies at 30,000 XRP per channel.
+//!
+//! Four runs per topology, all on the identical workload and seed:
+//!
+//! * `spider-protocol` — queues + price marking + per-path AIMD
+//!   (`QueueingMode::PerChannelFifo`);
+//! * `shortest-path+window` — the coarse per-pair AIMD window over the
+//!   packet-switched shortest-path baseline, same queueing mode (the
+//!   controller `spider-protocol` replaces);
+//! * `spider-waterfilling+window` — the same window over balance-probing
+//!   waterfilling (an upper baseline: it reads live balances at every
+//!   attempt, which §5's decentralized senders cannot);
+//! * `shortest-path` — plain lockstep shortest-path for reference.
+//!
+//! Expected shape: `spider-protocol` clearly above `shortest-path+window`
+//! and plain `shortest-path` (queues absorb bursts; marking prevents
+//! collapse), approaching `spider-waterfilling+window` from below.
+//!
+//! Emits the same CSV/JSONL `FigureRow` schema as `fig6_success`, so
+//! results are machine-comparable across PRs.
+
+use spider_bench::{emit, isp_experiment, ripple_experiment, HarnessArgs};
+use spider_core::congestion::{WindowConfig, Windowed};
+use spider_core::output::FigureRow;
+use spider_core::SchemeConfig;
+use spider_routing::{ShortestPath, SpiderWaterfilling};
+use spider_sim::{QueueConfig, QueueingMode, Router, SimReport};
+
+fn main() {
+    let only = std::env::var("SPIDER_FIG8_ONLY").ok();
+    let args = HarnessArgs::parse();
+    let capacity = 30_000;
+    let mut rows: Vec<FigureRow> = Vec::new();
+
+    for (label, base) in [
+        ("fig8-isp", isp_experiment(capacity, args.full, args.seed)),
+        (
+            "fig8-ripple",
+            ripple_experiment(capacity, args.full, args.seed),
+        ),
+    ] {
+        if let Some(filter) = &only {
+            if !label.ends_with(filter.as_str()) {
+                continue;
+            }
+        }
+        eprintln!("running {label} ({} txns, 4 runs)…", base.workload.count);
+        let mut queued = base.clone();
+        queued.sim.queueing = QueueingMode::PerChannelFifo(QueueConfig::default());
+
+        // 1. The §5 protocol, through the scheme registry.
+        let mut protocol_cfg = queued.clone();
+        protocol_cfg.scheme = SchemeConfig::SpiderProtocol { paths: 4 };
+        let mut reports: Vec<(String, SimReport)> = Vec::new();
+        let r = protocol_cfg.run().expect("protocol runs");
+        reports.push((r.scheme.clone(), r));
+
+        // 2./3. The AIMD-window baselines, same seed and queueing mode.
+        let baselines: Vec<(&str, Box<dyn Router>)> = vec![
+            (
+                "shortest-path+window",
+                Box::new(Windowed::new(ShortestPath::new(), WindowConfig::default())),
+            ),
+            (
+                "spider-waterfilling+window",
+                Box::new(Windowed::new(
+                    SpiderWaterfilling::new(4),
+                    WindowConfig::default(),
+                )),
+            ),
+        ];
+        for (name, router) in baselines {
+            let r = queued.run_with_router(router).expect("baseline runs");
+            reports.push((name.to_string(), r));
+        }
+
+        // 4. Plain lockstep shortest-path for reference.
+        let mut plain = base.clone();
+        plain.scheme = SchemeConfig::ShortestPath;
+        let r = plain.run().expect("reference runs");
+        reports.push(("shortest-path".to_string(), r));
+
+        for (name, mut r) in reports {
+            r.scheme = name;
+            let row = FigureRow::new(label, "capacity_xrp", capacity as f64, &r);
+            println!("{}", spider_core::output::to_csv_row(&row));
+            if r.units_marked > 0 || r.units_queued > 0 {
+                eprintln!(
+                    "  {}: marking_rate={:.1}% queued_units={} dropped={} avg_queue_delay={:?}s",
+                    r.scheme,
+                    100.0 * r.marking_rate(),
+                    r.units_queued,
+                    r.units_dropped,
+                    r.avg_queue_delay().map(|d| (d * 1e3).round() / 1e3),
+                );
+            }
+            rows.push(row);
+        }
+    }
+
+    emit("fig8_queue_protocol", &rows, &args.out_dir);
+}

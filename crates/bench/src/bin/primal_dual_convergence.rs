@@ -34,14 +34,24 @@ fn main() {
         println!("{it:>10} {thr:>14.4}");
     }
     let rel_err = (pd.throughput - lp).abs() / lp;
-    println!("final (tail-averaged) throughput = {:.4}, relative error = {:.2}%", pd.throughput, 100.0 * rel_err);
-    assert!(rel_err < 0.05, "primal-dual should converge within 5% of the LP optimum");
+    println!(
+        "final (tail-averaged) throughput = {:.4}, relative error = {:.2}%",
+        pd.throughput,
+        100.0 * rel_err
+    );
+    assert!(
+        rel_err < 0.05,
+        "primal-dual should converge within 5% of the LP optimum"
+    );
 
     // --- Random instances ---
     let mut rng = DetRng::new(args.seed);
     let trials = if args.full { 10 } else { 4 };
     println!("\nrandom instances (cycle topology, mixed demand):");
-    println!("{:>5} {:>12} {:>12} {:>10}", "trial", "simplex", "primal-dual", "rel-err%");
+    println!(
+        "{:>5} {:>12} {:>12} {:>10}",
+        "trial", "simplex", "primal-dual", "rel-err%"
+    );
     for trial in 0..trials {
         let n = 6;
         let topo = gen::cycle(n, cap);
@@ -51,8 +61,16 @@ fn main() {
         let mut cfg = PrimalDualConfig::for_demand_scale(2.0);
         cfg.iterations = if args.full { 200_000 } else { 80_000 };
         let pd = solve_problem(&topo, &demands, delta, &problem, &cfg);
-        let err = if lp > 1e-9 { (pd.throughput - lp).abs() / lp } else { pd.throughput.abs() };
-        println!("{trial:>5} {lp:>12.4} {:>12.4} {:>10.2}", pd.throughput, 100.0 * err);
+        let err = if lp > 1e-9 {
+            (pd.throughput - lp).abs() / lp
+        } else {
+            pd.throughput.abs()
+        };
+        println!(
+            "{trial:>5} {lp:>12.4} {:>12.4} {:>10.2}",
+            pd.throughput,
+            100.0 * err
+        );
         assert!(err < 0.15, "trial {trial}: primal-dual error too large");
     }
     println!("\ndecentralized algorithm converges to the LP optimum ✓");

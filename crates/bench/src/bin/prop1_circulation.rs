@@ -62,7 +62,11 @@ fn main() {
         println!(
             "{trial:>5} {n:>7} {:>10.3} {nu:>10.3} {sp:>12.3} {multi:>12.3}  {}{}",
             demand.total_demand(),
-            if bound_ok { "bound✓" } else { "BOUND VIOLATED" },
+            if bound_ok {
+                "bound✓"
+            } else {
+                "BOUND VIOLATED"
+            },
             if achieves { " achieves✓" } else { "" },
         );
     }

@@ -27,14 +27,22 @@ fn check_curve(name: &str, problem: &FluidProblem, nu: f64, total: f64, budgets:
     for (b, t) in budgets.iter().zip(&ts) {
         println!("{b:>10.2} {t:>12.4}");
     }
-    assert!((ts[0] - nu).abs() < 1e-6, "t(0) = {} but ν(C*) = {nu}", ts[0]);
+    assert!(
+        (ts[0] - nu).abs() < 1e-6,
+        "t(0) = {} but ν(C*) = {nu}",
+        ts[0]
+    );
     for w in ts.windows(2) {
         assert!(w[1] >= w[0] - 1e-9, "t(B) must be non-decreasing");
     }
     for i in 1..budgets.len() - 1 {
         let lam = (budgets[i] - budgets[i - 1]) / (budgets[i + 1] - budgets[i - 1]);
         let interp = (1.0 - lam) * ts[i - 1] + lam * ts[i + 1];
-        assert!(ts[i] >= interp - 1e-6, "t(B) must be concave at B = {}", budgets[i]);
+        assert!(
+            ts[i] >= interp - 1e-6,
+            "t(B) must be concave at B = {}",
+            budgets[i]
+        );
     }
     let t_inf = *ts.last().expect("non-empty");
     assert!(

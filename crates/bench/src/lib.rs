@@ -42,7 +42,11 @@ pub struct HarnessArgs {
 impl HarnessArgs {
     /// Parses `--full`, `--seed N`, `--out DIR` from `std::env::args`.
     pub fn parse() -> Self {
-        let mut args = HarnessArgs { full: false, seed: 42, out_dir: None };
+        let mut args = HarnessArgs {
+            full: false,
+            seed: 42,
+            out_dir: None,
+        };
         let mut iter = std::env::args().skip(1);
         while let Some(a) = iter.next() {
             match a.as_str() {
@@ -81,7 +85,11 @@ pub fn paper_schemes() -> Vec<SchemeConfig> {
 /// Default scale: 20,000 transactions at the same arrival rate, preserving
 /// the load-per-capacity operating point while finishing ~10× faster.
 pub fn isp_experiment(capacity_xrp: u64, full: bool, seed: u64) -> ExperimentConfig {
-    let (count, rate) = if full { (200_000, 1_000.0) } else { (20_000, 1_000.0) };
+    let (count, rate) = if full {
+        (200_000, 1_000.0)
+    } else {
+        (20_000, 1_000.0)
+    };
     let horizon = SimDuration::from_secs_f64(count as f64 / rate + 1.0);
     ExperimentConfig {
         topology: TopologyConfig::Isp { capacity_xrp },
@@ -94,7 +102,11 @@ pub fn isp_experiment(capacity_xrp: u64, full: bool, seed: u64) -> ExperimentCon
             // "precisely at the circulation component", 52 %.
             sender_skew_scale: 8.0,
         },
-        sim: SimConfig { horizon, mtu: Amount::from_xrp(10), ..SimConfig::default() },
+        sim: SimConfig {
+            horizon,
+            mtu: Amount::from_xrp(10),
+            ..SimConfig::default()
+        },
         scheme: SchemeConfig::ShortestPath, // overridden per run
         seed,
     }
@@ -113,7 +125,10 @@ pub fn ripple_experiment(capacity_xrp: u64, full: bool, seed: u64) -> Experiment
     };
     let horizon = SimDuration::from_secs_f64(count as f64 / rate + 1.0);
     ExperimentConfig {
-        topology: TopologyConfig::RippleLike { nodes, capacity_xrp },
+        topology: TopologyConfig::RippleLike {
+            nodes,
+            capacity_xrp,
+        },
         workload: WorkloadConfig {
             count,
             rate_per_sec: rate,
@@ -122,7 +137,11 @@ pub fn ripple_experiment(capacity_xrp: u64, full: bool, seed: u64) -> Experiment
             // the paper's Ripple-side Spider (LP) success volume of 22 %.
             sender_skew_scale: nodes as f64 / 8.0,
         },
-        sim: SimConfig { horizon, mtu: Amount::from_xrp(20), ..SimConfig::default() },
+        sim: SimConfig {
+            horizon,
+            mtu: Amount::from_xrp(20),
+            ..SimConfig::default()
+        },
         scheme: SchemeConfig::ShortestPath,
         seed,
     }
@@ -133,8 +152,11 @@ pub fn emit(name: &str, rows: &[FigureRow], out_dir: &Option<PathBuf>) {
     println!("{}", spider_core::output::to_table(rows));
     if let Some(dir) = out_dir {
         std::fs::create_dir_all(dir).expect("create output directory");
-        std::fs::write(dir.join(format!("{name}.csv")), spider_core::output::to_csv(rows))
-            .expect("write csv");
+        std::fs::write(
+            dir.join(format!("{name}.csv")),
+            spider_core::output::to_csv(rows),
+        )
+        .expect("write csv");
         std::fs::write(
             dir.join(format!("{name}.jsonl")),
             spider_core::output::to_json_lines(rows),

@@ -12,9 +12,9 @@
 //! inner scheme sees them, so a congested pair backs off and retries from
 //! the pending queue instead of hammering depleted channels.
 
-use spider_sim::{NetworkView, RouteProposal, RouteRequest, Router, UnitOutcome};
+use spider_sim::{NetworkView, RouteProposal, RouteRequest, Router, UnitAck, UnitOutcome};
 use spider_types::{Amount, NodeId};
-use std::collections::BTreeMap;
+use std::collections::{HashMap, VecDeque};
 
 /// AIMD parameters for [`Windowed`].
 #[derive(Debug, Clone)]
@@ -29,6 +29,11 @@ pub struct WindowConfig {
     pub min_window: Amount,
     /// Window ceiling.
     pub max_window: Amount,
+    /// Maximum number of (sender, receiver) pairs tracked. Long
+    /// multi-million-pair runs would otherwise grow the table without
+    /// bound; beyond the cap the oldest-inserted pair is evicted (it
+    /// silently resets to the initial window if seen again).
+    pub max_tracked_pairs: usize,
 }
 
 impl Default for WindowConfig {
@@ -39,15 +44,31 @@ impl Default for WindowConfig {
             decrease_factor: 0.5,
             min_window: Amount::from_xrp(10),
             max_window: Amount::from_xrp(10_000),
+            max_tracked_pairs: 1 << 20,
         }
     }
 }
 
 /// AIMD windowed wrapper around an inner routing scheme.
+///
+/// The window bounds the amount requested *per attempt*, not the value in
+/// flight: this is deliberately the coarse §4.1 transport sketch. The
+/// §5 protocol (`spider-protocol`) replaces it with per-path controllers
+/// that do track in-flight value against acknowledgements.
 pub struct Windowed<R> {
     inner: R,
     cfg: WindowConfig,
-    windows: BTreeMap<(NodeId, NodeId), Amount>,
+    windows: HashMap<(NodeId, NodeId), Amount>,
+    /// Insertion order of tracked pairs, for deterministic FIFO eviction
+    /// once `max_tracked_pairs` is exceeded.
+    insertion_order: VecDeque<(NodeId, NodeId)>,
+    /// Set by [`Router::configure`] in §5 queueing mode (and latched on
+    /// the first ack as a backstop for callers that skip `configure`).
+    /// When set, `locked` outcomes mean only "accepted into a queue", so
+    /// window growth uses the definitive ack signal — otherwise every
+    /// unit would drive two AIMD steps and congested pairs would grow
+    /// their windows on mere queue admission.
+    ack_driven: bool,
 }
 
 impl<R: Router> Windowed<R> {
@@ -57,12 +78,53 @@ impl<R: Router> Windowed<R> {
             cfg.decrease_factor > 0.0 && cfg.decrease_factor < 1.0,
             "decrease factor must be in (0, 1)"
         );
-        Windowed { inner, cfg, windows: BTreeMap::new() }
+        assert!(cfg.max_tracked_pairs > 0, "pair cap must be positive");
+        Windowed {
+            inner,
+            cfg,
+            windows: HashMap::new(),
+            insertion_order: VecDeque::new(),
+            ack_driven: false,
+        }
     }
 
     /// Current window of a pair.
     pub fn window(&self, src: NodeId, dst: NodeId) -> Amount {
-        self.windows.get(&(src, dst)).copied().unwrap_or(self.cfg.initial)
+        self.windows
+            .get(&(src, dst))
+            .copied()
+            .unwrap_or(self.cfg.initial)
+    }
+
+    /// Number of pairs currently tracked (≤ the configured cap).
+    pub fn tracked_pairs(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Stores a pair's window, evicting the oldest-inserted pair when the
+    /// table is full. Eviction order is insertion order, so it is
+    /// deterministic regardless of the map's internal layout.
+    fn store(&mut self, key: (NodeId, NodeId), window: Amount) {
+        if self.windows.insert(key, window).is_none() {
+            self.insertion_order.push_back(key);
+            if self.windows.len() > self.cfg.max_tracked_pairs {
+                if let Some(evict) = self.insertion_order.pop_front() {
+                    self.windows.remove(&evict);
+                }
+            }
+        }
+    }
+
+    /// Applies one AIMD step to a pair's window.
+    fn adjust(&mut self, src: NodeId, dst: NodeId, success: bool) {
+        let cur = self.window(src, dst);
+        let next = if success {
+            (cur + self.cfg.increase).min(self.cfg.max_window)
+        } else {
+            cur.mul_f64(self.cfg.decrease_factor)
+                .max(self.cfg.min_window)
+        };
+        self.store((src, dst), next);
     }
 }
 
@@ -77,13 +139,21 @@ impl<R: Router> Router for Windowed<R> {
         self.inner.atomic()
     }
 
+    fn configure(&mut self, queueing: bool) {
+        self.ack_driven = queueing;
+        self.inner.configure(queueing);
+    }
+
     fn initialize(&mut self, view: &NetworkView<'_>) {
         self.inner.initialize(view);
     }
 
     fn route(&mut self, req: &RouteRequest, view: &NetworkView<'_>) -> Vec<RouteProposal> {
         let window = self.window(req.src, req.dst);
-        let clamped = RouteRequest { remaining: req.remaining.min(window), ..req.clone() };
+        let clamped = RouteRequest {
+            remaining: req.remaining.min(window),
+            ..req.clone()
+        };
         if clamped.remaining.is_zero() {
             return Vec::new();
         }
@@ -93,14 +163,24 @@ impl<R: Router> Router for Windowed<R> {
     fn on_unit_outcome(&mut self, outcome: &UnitOutcome, view: &NetworkView<'_>) {
         let src = *outcome.path.first().expect("non-empty path");
         let dst = *outcome.path.last().expect("non-empty path");
-        let cur = self.window(src, dst);
-        let next = if outcome.locked {
-            (cur + self.cfg.increase).min(self.cfg.max_window)
-        } else {
-            cur.mul_f64(self.cfg.decrease_factor).max(self.cfg.min_window)
-        };
-        self.windows.insert((src, dst), next);
+        // In ack-driven (queueing) operation, a positive outcome is only
+        // queue admission — growth waits for the ack. Rejections remain a
+        // hard back-off signal in both modes.
+        if !outcome.locked || !self.ack_driven {
+            self.adjust(src, dst, outcome.locked);
+        }
         self.inner.on_unit_outcome(outcome, view);
+    }
+
+    fn on_unit_ack(&mut self, ack: &UnitAck, view: &NetworkView<'_>) {
+        // §5 queueing mode: the definitive congestion signal is the ack's
+        // mark bit, so the window reacts to it (a marked or dropped unit
+        // backs the pair off even though its initial admission succeeded).
+        self.ack_driven = true;
+        let src = *ack.path.first().expect("non-empty path");
+        let dst = *ack.path.last().expect("non-empty path");
+        self.adjust(src, dst, ack.delivered && !ack.stamp.marked);
+        self.inner.on_unit_ack(ack, view);
     }
 }
 
@@ -117,7 +197,10 @@ mod tests {
 
     fn view_fixture() -> (spider_topology::Topology, Vec<ChannelState>) {
         let t = spider_topology::gen::line(3, xrp(1000));
-        let ch = t.channels().map(|(_, c)| ChannelState::split_equally(c.capacity)).collect();
+        let ch = t
+            .channels()
+            .map(|(_, c)| ChannelState::split_equally(c.capacity))
+            .collect();
         (t, ch)
     }
 
@@ -145,10 +228,17 @@ mod tests {
     #[test]
     fn clamps_to_window() {
         let (t, ch) = view_fixture();
-        let view = NetworkView { topo: &t, channels: &ch, now: SimTime::ZERO };
+        let view = NetworkView {
+            topo: &t,
+            channels: &ch,
+            now: SimTime::ZERO,
+        };
         let mut w = Windowed::new(
             ShortestPath::new(),
-            WindowConfig { initial: xrp(50), ..WindowConfig::default() },
+            WindowConfig {
+                initial: xrp(50),
+                ..WindowConfig::default()
+            },
         );
         let props = w.route(&req(xrp(500)), &view);
         assert_eq!(props.iter().map(|p| p.amount).sum::<Amount>(), xrp(50));
@@ -157,7 +247,11 @@ mod tests {
     #[test]
     fn aimd_dynamics() {
         let (t, ch) = view_fixture();
-        let view = NetworkView { topo: &t, channels: &ch, now: SimTime::ZERO };
+        let view = NetworkView {
+            topo: &t,
+            channels: &ch,
+            now: SimTime::ZERO,
+        };
         let mut w = Windowed::new(
             ShortestPath::new(),
             WindowConfig {
@@ -166,6 +260,7 @@ mod tests {
                 decrease_factor: 0.5,
                 min_window: xrp(5),
                 max_window: xrp(150),
+                ..WindowConfig::default()
             },
         );
         w.on_unit_outcome(&outcome(true), &view);
@@ -187,17 +282,28 @@ mod tests {
     #[test]
     fn window_is_per_pair() {
         let (t, ch) = view_fixture();
-        let view = NetworkView { topo: &t, channels: &ch, now: SimTime::ZERO };
+        let view = NetworkView {
+            topo: &t,
+            channels: &ch,
+            now: SimTime::ZERO,
+        };
         let mut w = Windowed::new(ShortestPath::new(), WindowConfig::default());
         w.on_unit_outcome(&outcome(false), &view);
         assert!(w.window(NodeId(0), NodeId(2)) < WindowConfig::default().initial);
-        assert_eq!(w.window(NodeId(1), NodeId(2)), WindowConfig::default().initial);
+        assert_eq!(
+            w.window(NodeId(1), NodeId(2)),
+            WindowConfig::default().initial
+        );
     }
 
     #[test]
     fn zero_window_returns_no_proposals() {
         let (t, ch) = view_fixture();
-        let view = NetworkView { topo: &t, channels: &ch, now: SimTime::ZERO };
+        let view = NetworkView {
+            topo: &t,
+            channels: &ch,
+            now: SimTime::ZERO,
+        };
         let mut w = Windowed::new(ShortestPath::new(), WindowConfig::default());
         let props = w.route(&req(Amount::ZERO), &view);
         assert!(props.is_empty());
@@ -211,11 +317,80 @@ mod tests {
     }
 
     #[test]
+    fn eviction_cap_bounds_the_table() {
+        let (t, ch) = view_fixture();
+        let view = NetworkView {
+            topo: &t,
+            channels: &ch,
+            now: SimTime::ZERO,
+        };
+        let mut w = Windowed::new(
+            ShortestPath::new(),
+            WindowConfig {
+                max_tracked_pairs: 4,
+                ..WindowConfig::default()
+            },
+        );
+        for i in 0..10u32 {
+            let o = UnitOutcome {
+                payment: PaymentId(0),
+                path: vec![NodeId(i), NodeId(i + 100)],
+                amount: xrp(1),
+                locked: false,
+            };
+            w.on_unit_outcome(&o, &view);
+        }
+        assert_eq!(w.tracked_pairs(), 4, "table bounded at the cap");
+        // Oldest pairs were evicted and read back as the initial window.
+        assert_eq!(
+            w.window(NodeId(0), NodeId(100)),
+            WindowConfig::default().initial
+        );
+        // Newest still hold their decayed state.
+        assert!(w.window(NodeId(9), NodeId(109)) < WindowConfig::default().initial);
+    }
+
+    #[test]
+    fn marked_ack_backs_off_like_a_failure() {
+        let (t, ch) = view_fixture();
+        let view = NetworkView {
+            topo: &t,
+            channels: &ch,
+            now: SimTime::ZERO,
+        };
+        let mut w = Windowed::new(ShortestPath::new(), WindowConfig::default());
+        let mut stamp = spider_types::MarkStamp::CLEAR;
+        stamp.absorb(1.0, true, spider_types::SimDuration::from_millis(200));
+        let ack = spider_sim::UnitAck {
+            payment: PaymentId(0),
+            path: vec![NodeId(0), NodeId(1), NodeId(2)],
+            amount: xrp(10),
+            delivered: true,
+            stamp,
+            drop_reason: None,
+            rtt: spider_types::SimDuration::from_millis(600),
+        };
+        w.on_unit_ack(&ack, &view);
+        assert!(w.window(NodeId(0), NodeId(2)) < WindowConfig::default().initial);
+        // A clean delivered ack grows the window again.
+        let clean = spider_sim::UnitAck {
+            stamp: spider_types::MarkStamp::CLEAR,
+            ..ack
+        };
+        let before = w.window(NodeId(0), NodeId(2));
+        w.on_unit_ack(&clean, &view);
+        assert!(w.window(NodeId(0), NodeId(2)) > before);
+    }
+
+    #[test]
     #[should_panic(expected = "decrease factor")]
     fn rejects_bad_decrease_factor() {
         let _ = Windowed::new(
             ShortestPath::new(),
-            WindowConfig { decrease_factor: 1.5, ..WindowConfig::default() },
+            WindowConfig {
+                decrease_factor: 1.5,
+                ..WindowConfig::default()
+            },
         );
     }
 }

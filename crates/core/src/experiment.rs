@@ -64,14 +64,22 @@ impl TopologyConfig {
             TopologyConfig::Isp { capacity_xrp } => {
                 gen::isp_topology(Amount::from_xrp(*capacity_xrp))
             }
-            TopologyConfig::RippleLike { nodes, capacity_xrp } => {
+            TopologyConfig::RippleLike {
+                nodes,
+                capacity_xrp,
+            } => {
                 let raw = gen::ripple_like(*nodes, Amount::from_xrp(*capacity_xrp), &mut trng);
                 analysis::largest_component(&raw)
             }
             TopologyConfig::PaperExample { capacity_xrp } => {
                 gen::paper_example_topology(Amount::from_xrp(*capacity_xrp))
             }
-            TopologyConfig::SmallWorld { nodes, k, beta, capacity_xrp } => {
+            TopologyConfig::SmallWorld {
+                nodes,
+                k,
+                beta,
+                capacity_xrp,
+            } => {
                 let raw = gen::watts_strogatz(
                     *nodes,
                     *k,
@@ -81,13 +89,17 @@ impl TopologyConfig {
                 );
                 analysis::largest_component(&raw)
             }
-            TopologyConfig::ScaleFree { nodes, m, capacity_xrp } => {
-                gen::barabasi_albert(*nodes, *m, Amount::from_xrp(*capacity_xrp), &mut trng)
-            }
+            TopologyConfig::ScaleFree {
+                nodes,
+                m,
+                capacity_xrp,
+            } => gen::barabasi_albert(*nodes, *m, Amount::from_xrp(*capacity_xrp), &mut trng),
             TopologyConfig::Text { text } => spider_topology::io::from_text(text)?,
         };
         if topo.node_count() < 2 {
-            return Err(SpiderError::InvalidConfig("topology has fewer than 2 nodes".into()));
+            return Err(SpiderError::InvalidConfig(
+                "topology has fewer than 2 nodes".into(),
+            ));
         }
         Ok(topo)
     }
@@ -111,7 +123,9 @@ pub struct ExperimentConfig {
 impl Default for ExperimentConfig {
     fn default() -> Self {
         ExperimentConfig {
-            topology: TopologyConfig::Isp { capacity_xrp: 30_000 },
+            topology: TopologyConfig::Isp {
+                capacity_xrp: 30_000,
+            },
             workload: WorkloadConfig::small(1_000, 200.0),
             sim: SimConfig::default(),
             scheme: SchemeConfig::SpiderWaterfilling { paths: 4 },
@@ -121,6 +135,21 @@ impl Default for ExperimentConfig {
 }
 
 impl ExperimentConfig {
+    /// The engine configuration actually used: `SpiderProtocol` needs the
+    /// §5 queues for its feedback loop to close, so selecting it with
+    /// queueing left at `Lockstep` auto-enables the default
+    /// `PerChannelFifo` parameters.
+    pub fn effective_sim(&self) -> SimConfig {
+        let mut sim = self.sim.clone();
+        if matches!(self.scheme, SchemeConfig::SpiderProtocol { .. })
+            && matches!(sim.queueing, spider_sim::QueueingMode::Lockstep)
+        {
+            sim.queueing =
+                spider_sim::QueueingMode::PerChannelFifo(spider_sim::QueueConfig::default());
+        }
+        sim
+    }
+
     /// Runs the experiment end to end: build topology, generate workload,
     /// estimate the demand matrix (for Spider (LP)), instantiate the
     /// scheme, simulate, and verify fund conservation.
@@ -130,8 +159,24 @@ impl ExperimentConfig {
         let mut wrng = rng.fork("workload");
         let workload = Workload::generate(topo.node_count(), &self.workload, &mut wrng);
         let demands = demand_graph(&workload, topo.node_count());
-        let router =
-            self.scheme.build(&topo, &demands, self.sim.confirmation_delay.as_secs_f64());
+        let router = self
+            .scheme
+            .build(&topo, &demands, self.sim.confirmation_delay.as_secs_f64());
+        let mut sim = Simulation::new(topo, workload, router, self.effective_sim())?;
+        let report = sim.run();
+        sim.check_conservation();
+        Ok(report)
+    }
+
+    /// Runs the experiment's topology and workload against a caller-built
+    /// router (for schemes outside the [`SchemeConfig`] registry, e.g. the
+    /// AIMD [`Windowed`](crate::congestion::Windowed) wrapper), using
+    /// `self.sim` verbatim.
+    pub fn run_with_router(&self, router: Box<dyn spider_sim::Router>) -> Result<SimReport> {
+        let rng = DetRng::new(self.seed);
+        let topo = self.topology.build(&rng)?;
+        let mut wrng = rng.fork("workload");
+        let workload = Workload::generate(topo.node_count(), &self.workload, &mut wrng);
         let mut sim = Simulation::new(topo, workload, router, self.sim.clone())?;
         let report = sim.run();
         sim.check_conservation();
@@ -143,7 +188,10 @@ impl ExperimentConfig {
     pub fn run_schemes(&self, schemes: &[SchemeConfig]) -> Result<Vec<SimReport>> {
         let mut configs = Vec::with_capacity(schemes.len());
         for &scheme in schemes {
-            configs.push(ExperimentConfig { scheme, ..self.clone() });
+            configs.push(ExperimentConfig {
+                scheme,
+                ..self.clone()
+            });
         }
         let mut out: Vec<Option<Result<SimReport>>> = (0..configs.len()).map(|_| None).collect();
         std::thread::scope(|scope| {
@@ -178,13 +226,18 @@ mod tests {
     use spider_types::SimDuration;
 
     fn quick_sim() -> SimConfig {
-        SimConfig { horizon: SimDuration::from_secs(20), ..SimConfig::default() }
+        SimConfig {
+            horizon: SimDuration::from_secs(20),
+            ..SimConfig::default()
+        }
     }
 
     #[test]
     fn runs_end_to_end_on_paper_example() {
         let report = ExperimentConfig {
-            topology: TopologyConfig::PaperExample { capacity_xrp: 1_000 },
+            topology: TopologyConfig::PaperExample {
+                capacity_xrp: 1_000,
+            },
             workload: WorkloadConfig::small(300, 100.0),
             sim: quick_sim(),
             scheme: SchemeConfig::SpiderWaterfilling { paths: 4 },
@@ -193,13 +246,21 @@ mod tests {
         .run()
         .unwrap();
         assert_eq!(report.attempted_payments, 300);
-        assert!(report.success_ratio() > 0.5, "ratio {}", report.success_ratio());
+        assert!(
+            report.success_ratio() > 0.5,
+            "ratio {}",
+            report.success_ratio()
+        );
     }
 
     #[test]
     fn same_seed_same_report() {
         let cfg = ExperimentConfig {
-            topology: TopologyConfig::ScaleFree { nodes: 30, m: 2, capacity_xrp: 500 },
+            topology: TopologyConfig::ScaleFree {
+                nodes: 30,
+                m: 2,
+                capacity_xrp: 500,
+            },
             workload: WorkloadConfig::small(300, 150.0),
             sim: quick_sim(),
             scheme: SchemeConfig::ShortestPath,
@@ -218,7 +279,9 @@ mod tests {
             ..WorkloadConfig::small(300, 150.0)
         };
         let base = ExperimentConfig {
-            topology: TopologyConfig::Isp { capacity_xrp: 1_000 },
+            topology: TopologyConfig::Isp {
+                capacity_xrp: 1_000,
+            },
             workload,
             sim: quick_sim(),
             scheme: SchemeConfig::ShortestPath,
@@ -233,7 +296,9 @@ mod tests {
     #[test]
     fn scheme_sweep_shares_workload() {
         let cfg = ExperimentConfig {
-            topology: TopologyConfig::Isp { capacity_xrp: 2_000 },
+            topology: TopologyConfig::Isp {
+                capacity_xrp: 2_000,
+            },
             workload: WorkloadConfig::small(200, 100.0),
             sim: quick_sim(),
             scheme: SchemeConfig::ShortestPath,
@@ -263,7 +328,9 @@ mod tests {
 
     #[test]
     fn invalid_topology_is_rejected() {
-        let cfg = TopologyConfig::Text { text: "nodes 1\n".to_string() };
+        let cfg = TopologyConfig::Text {
+            text: "nodes 1\n".to_string(),
+        };
         assert!(cfg.build(&DetRng::new(0)).is_err());
     }
 

@@ -62,7 +62,9 @@ pub fn to_csv_row(row: &FigureRow) -> String {
         row.success_volume_pct,
         row.completed,
         row.attempted,
-        row.avg_completion_s.map(|v| format!("{v:.4}")).unwrap_or_default(),
+        row.avg_completion_s
+            .map(|v| format!("{v:.4}"))
+            .unwrap_or_default(),
     )
 }
 
@@ -126,9 +128,15 @@ mod tests {
             unit_hops_sum: 24,
             onchain_deposited: Amount::ZERO,
             rebalance_ops: 0,
+            units_acked: 0,
+            units_marked: 0,
+            units_dropped: 0,
+            units_queued: 0,
+            queue_delay_sum_s: 0.0,
             completion_times: vec![0.5, 0.7],
             throughput_series: vec![],
             imbalance_series: vec![],
+            queue_occupancy_series: vec![],
             horizon: SimDuration::from_secs(10),
         }
     }

@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use spider_paygraph::PaymentGraph;
+use spider_protocol::ProtocolRouter;
 use spider_routing::{
     LpSolverKind, MaxFlow, ShortestPath, SilentWhispers, SpeedyMurmurs, SpiderLp,
     SpiderWaterfilling,
@@ -65,13 +66,24 @@ pub enum SchemeConfig {
         /// Candidate paths per pair.
         paths: usize,
     },
+    /// The decentralized §5 protocol: router queues, price marking and
+    /// per-path AIMD rate control (`spider-protocol`). Experiments select
+    /// this together with `QueueingMode::PerChannelFifo`; `ExperimentConfig`
+    /// auto-enables default queueing when it is left at `Lockstep`.
+    SpiderProtocol {
+        /// Candidate edge-disjoint paths per pair (paper: 4).
+        paths: usize,
+    },
 }
 
 impl SchemeConfig {
     /// The paper's six-scheme lineup (Fig. 6 legend order).
     pub fn paper_lineup() -> Vec<SchemeConfig> {
         vec![
-            SchemeConfig::SpiderLp { paths: 4, solver: LpSolver::Auto },
+            SchemeConfig::SpiderLp {
+                paths: 4,
+                solver: LpSolver::Auto,
+            },
             SchemeConfig::SpiderWaterfilling { paths: 4 },
             SchemeConfig::MaxFlow,
             SchemeConfig::ShortestPath,
@@ -84,6 +96,7 @@ impl SchemeConfig {
     pub fn extended_lineup() -> Vec<SchemeConfig> {
         let mut v = Self::paper_lineup();
         v.push(SchemeConfig::SpiderPricing { paths: 4 });
+        v.push(SchemeConfig::SpiderProtocol { paths: 4 });
         v
     }
 
@@ -97,6 +110,7 @@ impl SchemeConfig {
             SchemeConfig::SilentWhispers { .. } => "silentwhispers",
             SchemeConfig::SpeedyMurmurs { .. } => "speedymurmurs",
             SchemeConfig::SpiderPricing { .. } => "spider-pricing",
+            SchemeConfig::SpiderProtocol { .. } => "spider-protocol",
         }
     }
 
@@ -110,12 +124,14 @@ impl SchemeConfig {
         delta_secs: f64,
     ) -> Box<dyn Router> {
         match *self {
-            SchemeConfig::SpiderWaterfilling { paths } => {
-                Box::new(SpiderWaterfilling::new(paths))
-            }
-            SchemeConfig::SpiderLp { paths, solver } => {
-                Box::new(SpiderLp::new(topo, demands, delta_secs, paths, solver.into()))
-            }
+            SchemeConfig::SpiderWaterfilling { paths } => Box::new(SpiderWaterfilling::new(paths)),
+            SchemeConfig::SpiderLp { paths, solver } => Box::new(SpiderLp::new(
+                topo,
+                demands,
+                delta_secs,
+                paths,
+                solver.into(),
+            )),
             SchemeConfig::ShortestPath => Box::new(ShortestPath::new()),
             SchemeConfig::MaxFlow => Box::new(MaxFlow::new()),
             SchemeConfig::SilentWhispers { landmarks } => {
@@ -125,6 +141,7 @@ impl SchemeConfig {
             SchemeConfig::SpiderPricing { paths } => {
                 Box::new(spider_routing::SpiderPricing::new(paths))
             }
+            SchemeConfig::SpiderProtocol { paths } => Box::new(ProtocolRouter::new(paths)),
         }
     }
 }
@@ -161,13 +178,28 @@ mod tests {
         let demands = spider_paygraph::examples::paper_example_demands();
         let atomic = [false, false, true, false, true, true]; // lineup order
         for (cfg, want) in SchemeConfig::paper_lineup().iter().zip(atomic) {
-            assert_eq!(cfg.build(&topo, &demands, 0.5).atomic(), want, "{}", cfg.name());
+            assert_eq!(
+                cfg.build(&topo, &demands, 0.5).atomic(),
+                want,
+                "{}",
+                cfg.name()
+            );
         }
     }
 
     #[test]
+    fn protocol_scheme_builds_and_is_nonatomic() {
+        let topo = gen::paper_example_topology(Amount::from_xrp(1000));
+        let demands = spider_paygraph::examples::paper_example_demands();
+        let cfg = SchemeConfig::SpiderProtocol { paths: 4 };
+        let router = cfg.build(&topo, &demands, 0.5);
+        assert_eq!(router.name(), "spider-protocol");
+        assert!(!router.atomic());
+    }
+
+    #[test]
     fn serde_round_trip() {
-        for cfg in SchemeConfig::paper_lineup() {
+        for cfg in SchemeConfig::extended_lineup() {
             let json = serde_json::to_string(&cfg).unwrap();
             let back: SchemeConfig = serde_json::from_str(&json).unwrap();
             assert_eq!(cfg, back);

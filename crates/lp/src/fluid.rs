@@ -90,15 +90,22 @@ impl FluidProblem {
         let mut paths = BTreeMap::new();
         for e in demands.edges() {
             let ps = match selection {
-                PathSelection::ShortestOnly => {
-                    topo.shortest_path(e.src, e.dst).map(Path::new).into_iter().collect()
-                }
+                PathSelection::ShortestOnly => topo
+                    .shortest_path(e.src, e.dst)
+                    .map(Path::new)
+                    .into_iter()
+                    .collect(),
                 PathSelection::KShortest(k) => k_shortest_paths(topo, e.src, e.dst, k),
                 PathSelection::KEdgeDisjoint(k) => k_edge_disjoint_paths(topo, e.src, e.dst, k),
             };
             paths.insert((e.src, e.dst), ps);
         }
-        FluidProblem { topo: topo.clone(), demands: demands.clone(), delta, paths }
+        FluidProblem {
+            topo: topo.clone(),
+            demands: demands.clone(),
+            delta,
+            paths,
+        }
     }
 
     /// Overrides the candidate paths for one pair (for experiments that
@@ -109,7 +116,10 @@ impl FluidProblem {
 
     /// The candidate paths of a pair.
     pub fn paths_for(&self, src: NodeId, dst: NodeId) -> &[Path] {
-        self.paths.get(&(src, dst)).map(Vec::as_slice).unwrap_or(&[])
+        self.paths
+            .get(&(src, dst))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Flattens (pair, path) into LP variable indices; also returns, per
@@ -135,7 +145,12 @@ impl FluidProblem {
             }
             per_pair.push((src, dst, ids));
         }
-        VariableLayout { vars, per_pair, fwd, bwd }
+        VariableLayout {
+            vars,
+            per_pair,
+            fwd,
+            bwd,
+        }
     }
 
     fn base_lp(&self, layout: &VariableLayout, extra_vars: usize) -> LinearProgram {
@@ -173,7 +188,12 @@ impl FluidProblem {
         for (v, (src, dst, path)) in layout.vars.iter().enumerate() {
             if x[v] > 1e-9 {
                 throughput += x[v];
-                flows.push(PathFlow { src: *src, dst: *dst, path: path.clone(), rate: x[v] });
+                flows.push(PathFlow {
+                    src: *src,
+                    dst: *dst,
+                    path: path.clone(),
+                    rate: x[v],
+                });
             }
         }
         (throughput, flows)
@@ -277,8 +297,8 @@ struct VariableLayout {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spider_paygraph::examples;
     use spider_paygraph::decompose::max_circulation_value;
+    use spider_paygraph::examples;
     use spider_topology::gen;
     use spider_types::Amount;
 
@@ -287,7 +307,10 @@ mod tests {
     const BIG: Amount = Amount::from_xrp(1_000_000);
 
     fn example() -> (Topology, PaymentGraph) {
-        (gen::paper_example_topology(BIG), examples::paper_example_demands())
+        (
+            gen::paper_example_topology(BIG),
+            examples::paper_example_demands(),
+        )
     }
 
     #[test]
@@ -325,8 +348,14 @@ mod tests {
             PathSelection::KShortest(6),
             PathSelection::KEdgeDisjoint(4),
         ] {
-            let sol = FluidProblem::new(&t, &d, DELTA, sel).solve_balanced().unwrap();
-            assert!(sol.throughput <= nu + 1e-6, "{sel:?}: {} > {nu}", sol.throughput);
+            let sol = FluidProblem::new(&t, &d, DELTA, sel)
+                .solve_balanced()
+                .unwrap();
+            assert!(
+                sol.throughput <= nu + 1e-6,
+                "{sel:?}: {} > {nu}",
+                sol.throughput
+            );
         }
     }
 
@@ -368,14 +397,19 @@ mod tests {
         // Two nodes, one channel, circulation demand 10 each way, but
         // c/Δ = 4: total flow (both directions) must be ≤ 4.
         let mut b = Topology::builder(2);
-        b.channel(NodeId(0), NodeId(1), Amount::from_xrp(2)).unwrap(); // c/Δ = 4
+        b.channel(NodeId(0), NodeId(1), Amount::from_xrp(2))
+            .unwrap(); // c/Δ = 4
         let t = b.build();
         let mut d = PaymentGraph::new(2);
         d.add_demand(NodeId(0), NodeId(1), 10.0);
         d.add_demand(NodeId(1), NodeId(0), 10.0);
         let p = FluidProblem::new(&t, &d, DELTA, PathSelection::ShortestOnly);
         let sol = p.solve_balanced().unwrap();
-        assert!((sol.throughput - 4.0).abs() < 1e-6, "throughput {}", sol.throughput);
+        assert!(
+            (sol.throughput - 4.0).abs() < 1e-6,
+            "throughput {}",
+            sol.throughput
+        );
     }
 
     #[test]
@@ -410,8 +444,10 @@ mod tests {
         let (t, d) = example();
         let p = FluidProblem::new(&t, &d, DELTA, PathSelection::KShortest(4));
         let budgets = [0.0, 1.0, 2.0, 3.0, 4.0, 6.0, 10.0];
-        let ts: Vec<f64> =
-            budgets.iter().map(|&b| p.throughput_with_budget(b).unwrap()).collect();
+        let ts: Vec<f64> = budgets
+            .iter()
+            .map(|&b| p.throughput_with_budget(b).unwrap())
+            .collect();
         // t(0) = balanced optimum; t(∞) = total demand.
         assert!((ts[0] - examples::MAX_CIRCULATION).abs() < 1e-6);
         assert!((ts.last().unwrap() - examples::TOTAL_DEMAND).abs() < 1e-6);
@@ -462,7 +498,11 @@ mod tests {
         // optimum collapses to 2.
         p.set_paths(NodeId(1), NodeId(3), Vec::new());
         let sol = p.solve_balanced().unwrap();
-        assert!((sol.throughput - 2.0).abs() < 1e-6, "throughput {}", sol.throughput);
+        assert!(
+            (sol.throughput - 2.0).abs() < 1e-6,
+            "throughput {}",
+            sol.throughput
+        );
         assert_eq!(p.paths_for(NodeId(1), NodeId(3)).len(), 0);
     }
 }

@@ -59,7 +59,8 @@ impl Path {
     /// The channel hops traversed, with directions. Panics if consecutive
     /// nodes are not adjacent in `topo`.
     pub fn channels(&self, topo: &Topology) -> Vec<(ChannelId, Direction)> {
-        topo.path_channels(&self.nodes).expect("path follows topology edges")
+        topo.path_channels(&self.nodes)
+            .expect("path follows topology edges")
     }
 }
 
@@ -150,7 +151,9 @@ pub fn k_shortest_paths(topo: &Topology, src: NodeId, dst: NodeId, k: usize) -> 
             break;
         }
         candidates.sort_by(|a, b| {
-            a.hop_count().cmp(&b.hop_count()).then_with(|| a.nodes.cmp(&b.nodes))
+            a.hop_count()
+                .cmp(&b.hop_count())
+                .then_with(|| a.nodes.cmp(&b.nodes))
         });
         accepted.push(candidates.remove(0));
     }
@@ -214,7 +217,9 @@ pub fn widest_path(
         done[u] = true;
         let (wu, hu) = best[u];
         for adj in topo.neighbors(NodeId::from_index(u)) {
-            let dir = topo.channel(adj.channel).direction_from(NodeId::from_index(u));
+            let dir = topo
+                .channel(adj.channel)
+                .direction_from(NodeId::from_index(u));
             let w = width(adj.channel, dir).min(wu);
             let cand = (w, hu - 1);
             let vi = adj.neighbor.index();
@@ -255,7 +260,9 @@ pub fn k_widest_paths(
     let mut out: Vec<Path> = Vec::new();
     while out.len() < k {
         let w = |c: ChannelId, d: Direction| if removed.contains(&c) { 0 } else { width(c, d) };
-        let Some(p) = widest_path(topo, src, dst, w) else { break };
+        let Some(p) = widest_path(topo, src, dst, w) else {
+            break;
+        };
         // Identify and remove the bottleneck channel.
         let (bottleneck_channel, _) = p
             .channels(topo)

@@ -74,7 +74,10 @@ pub struct PrimalDualSolution {
 impl PrimalDualSolution {
     /// Converts into the [`FluidSolution`] shape for comparisons.
     pub fn as_fluid(&self) -> FluidSolution {
-        FluidSolution { throughput: self.throughput, flows: self.flows.clone() }
+        FluidSolution {
+            throughput: self.throughput,
+            flows: self.flows.clone(),
+        }
     }
 }
 
@@ -118,7 +121,10 @@ pub fn solve_problem(
             let v = var_pair.len();
             var_pair.push(pi);
             var_hops.push(
-                p.channels(topo).into_iter().map(|(c, d)| (c.index(), d)).collect(),
+                p.channels(topo)
+                    .into_iter()
+                    .map(|(c, d)| (c.index(), d))
+                    .collect(),
             );
             pair_vars[pi].push(v);
             var_paths.push(p);
@@ -126,8 +132,10 @@ pub fn solve_problem(
     }
     let n_vars = var_pair.len();
     let m = topo.channel_count();
-    let cap_rate: Vec<f64> =
-        topo.channels().map(|(_, c)| c.capacity.as_xrp() / delta).collect();
+    let cap_rate: Vec<f64> = topo
+        .channels()
+        .map(|(_, c)| c.capacity.as_xrp() / delta)
+        .collect();
 
     // State: per channel, per direction-index.
     let mut lambda = vec![[0.0f64; 2]; m];
@@ -212,11 +220,21 @@ pub fn solve_problem(
     for v in 0..n_vars {
         if x_avg[v] > 1e-9 {
             let (src, dst, _, _) = pair_paths[var_pair[v]];
-            flows.push(PathFlow { src, dst, path: var_paths[v].clone(), rate: x_avg[v] });
+            flows.push(PathFlow {
+                src,
+                dst,
+                path: var_paths[v].clone(),
+                rate: x_avg[v],
+            });
         }
     }
     let total_rebalancing = b_acc.iter().map(|pair| (pair[0] + pair[1]) * scale).sum();
-    PrimalDualSolution { throughput, flows, total_rebalancing, trajectory }
+    PrimalDualSolution {
+        throughput,
+        flows,
+        total_rebalancing,
+        trajectory,
+    }
 }
 
 /// Projects the sub-vector `x[vars]` onto `{y ≥ 0, Σ y ≤ cap}` (Euclidean
@@ -301,7 +319,11 @@ mod tests {
         d.add_demand(NodeId(1), NodeId(0), 2.0);
         let cfg = PrimalDualConfig::for_demand_scale(2.0);
         let sol = solve(&t, &d, DELTA, PathSelection::ShortestOnly, &cfg);
-        assert!((sol.throughput - 4.0).abs() < 0.1, "throughput {}", sol.throughput);
+        assert!(
+            (sol.throughput - 4.0).abs() < 0.1,
+            "throughput {}",
+            sol.throughput
+        );
     }
 
     #[test]
@@ -339,7 +361,8 @@ mod tests {
         // Tiny channel: c/Δ = 1; circulation demand 5 each way must be
         // squeezed to a total of ~1.
         let mut b = Topology::builder(2);
-        b.channel(NodeId(0), NodeId(1), Amount::from_drops(500_000)).unwrap();
+        b.channel(NodeId(0), NodeId(1), Amount::from_drops(500_000))
+            .unwrap();
         let t = b.build();
         let mut d = PaymentGraph::new(2);
         d.add_demand(NodeId(0), NodeId(1), 5.0);
@@ -365,7 +388,11 @@ mod tests {
         cfg.iterations = 60_000;
         let sol = solve(&t, &d, DELTA, PathSelection::ShortestOnly, &cfg);
         assert!(sol.throughput > 1.5, "throughput {}", sol.throughput);
-        assert!(sol.total_rebalancing > 1.0, "rebalancing {}", sol.total_rebalancing);
+        assert!(
+            sol.total_rebalancing > 1.0,
+            "rebalancing {}",
+            sol.total_rebalancing
+        );
     }
 
     #[test]

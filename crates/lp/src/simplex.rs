@@ -67,7 +67,11 @@ const EPS: f64 = 1e-9;
 impl LinearProgram {
     /// A program with `n_vars` non-negative variables and zero objective.
     pub fn new(n_vars: usize) -> Self {
-        LinearProgram { n_vars, objective: vec![0.0; n_vars], rows: Vec::new() }
+        LinearProgram {
+            n_vars,
+            objective: vec![0.0; n_vars],
+            rows: Vec::new(),
+        }
     }
 
     /// Number of variables.
@@ -94,7 +98,11 @@ impl LinearProgram {
             assert!(c.is_finite(), "non-finite coefficient");
         }
         assert!(rhs.is_finite(), "non-finite rhs");
-        self.rows.push(Row { coeffs: coeffs.to_vec(), op, rhs });
+        self.rows.push(Row {
+            coeffs: coeffs.to_vec(),
+            op,
+            rhs,
+        });
     }
 
     /// Solves the program. Errors with [`SpiderError::Infeasible`] or
@@ -188,14 +196,14 @@ impl Tableau {
             // Cost row: +1 for each artificial (minimization), expressed as
             // reduced costs z_j - c_j for a minimization tableau.
             let mut cost = vec![0.0; self.n_total + 1];
-            for j in self.artificial_start..self.n_total {
-                cost[j] = -1.0; // minimizing sum(artificials) == maximizing -sum
+            for c in &mut cost[self.artificial_start..self.n_total] {
+                *c = -1.0; // minimizing sum(artificials) == maximizing -sum
             }
             // Price out basic artificials.
             for i in 0..self.m {
                 if self.basis[i] >= self.artificial_start {
-                    for j in 0..=self.n_total {
-                        cost[j] += self.a[i][j];
+                    for (c, &a) in cost.iter_mut().zip(&self.a[i]) {
+                        *c += a;
                     }
                 }
             }
@@ -214,10 +222,14 @@ impl Tableau {
         // Price out current basis.
         for i in 0..self.m {
             let b = self.basis[i];
-            let cb = if b < self.n_struct { self.objective[b] } else { 0.0 };
+            let cb = if b < self.n_struct {
+                self.objective[b]
+            } else {
+                0.0
+            };
             if cb != 0.0 {
-                for j in 0..=self.n_total {
-                    cost[j] -= cb * self.a[i][j];
+                for (c, &a) in cost.iter_mut().zip(&self.a[i]) {
+                    *c -= cb * a;
                 }
             }
         }
@@ -231,8 +243,11 @@ impl Tableau {
                 x[self.basis[i]] = self.a[i][self.n_total];
             }
         }
-        let objective =
-            x.iter().zip(&self.objective).map(|(xi, ci)| xi * ci).sum::<f64>();
+        let objective = x
+            .iter()
+            .zip(&self.objective)
+            .map(|(xi, ci)| xi * ci)
+            .sum::<f64>();
         Ok(LpSolution { objective, x })
     }
 
@@ -289,8 +304,8 @@ impl Tableau {
         }
         let factor = cost[col];
         if factor != 0.0 {
-            for j in 0..=self.n_total {
-                cost[j] -= factor * self.a[row][j];
+            for (c, &a) in cost.iter_mut().zip(&self.a[row]) {
+                *c -= factor * a;
             }
             cost[col] = 0.0;
         }
@@ -305,9 +320,7 @@ impl Tableau {
                 continue;
             }
             // Find a non-artificial column with a nonzero entry.
-            if let Some(col) =
-                (0..self.artificial_start).find(|&j| self.a[i][j].abs() > EPS)
-            {
+            if let Some(col) = (0..self.artificial_start).find(|&j| self.a[i][j].abs() > EPS) {
                 let mut dummy = vec![0.0; self.n_total + 1];
                 self.pivot(i, col, &mut dummy);
             } else {
@@ -423,8 +436,16 @@ mod tests {
         lp.set_objective(1, -150.0);
         lp.set_objective(2, 0.02);
         lp.set_objective(3, -6.0);
-        lp.constraint(&[(0, 0.25), (1, -60.0), (2, -0.04), (3, 9.0)], ConstraintOp::Le, 0.0);
-        lp.constraint(&[(0, 0.5), (1, -90.0), (2, -0.02), (3, 3.0)], ConstraintOp::Le, 0.0);
+        lp.constraint(
+            &[(0, 0.25), (1, -60.0), (2, -0.04), (3, 9.0)],
+            ConstraintOp::Le,
+            0.0,
+        );
+        lp.constraint(
+            &[(0, 0.5), (1, -90.0), (2, -0.02), (3, 3.0)],
+            ConstraintOp::Le,
+            0.0,
+        );
         lp.constraint(&[(2, 1.0)], ConstraintOp::Le, 1.0);
         let sol = lp.solve().unwrap();
         assert_close(sol.objective, 0.05);
@@ -487,8 +508,7 @@ mod tests {
             }
             let mut rows = Vec::new();
             for _ in 0..5 {
-                let coeffs: Vec<(usize, f64)> =
-                    (0..n).map(|v| (v, rng.uniform())).collect();
+                let coeffs: Vec<(usize, f64)> = (0..n).map(|v| (v, rng.uniform())).collect();
                 let rhs = 1.0 + rng.uniform() * 5.0;
                 rows.push((coeffs.clone(), rhs));
                 lp.constraint(&coeffs, ConstraintOp::Le, rhs);

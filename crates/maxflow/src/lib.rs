@@ -39,7 +39,13 @@ pub struct FlowNetwork {
 impl FlowNetwork {
     /// An empty network on `n` nodes.
     pub fn new(n: usize) -> Self {
-        FlowNetwork { n, to: Vec::new(), cap: Vec::new(), flow: Vec::new(), adj: vec![Vec::new(); n] }
+        FlowNetwork {
+            n,
+            to: Vec::new(),
+            cap: Vec::new(),
+            flow: Vec::new(),
+            adj: vec![Vec::new(); n],
+        }
     }
 
     /// Number of nodes.
@@ -52,7 +58,10 @@ impl FlowNetwork {
     /// arcs are allowed (balances in both channel directions become two
     /// independent arcs).
     pub fn add_edge(&mut self, from: NodeId, to: NodeId, cap: u64) -> ArcId {
-        assert!(from.index() < self.n && to.index() < self.n, "node out of range");
+        assert!(
+            from.index() < self.n && to.index() < self.n,
+            "node out of range"
+        );
         assert_ne!(from, to, "self-loop");
         let id = self.to.len();
         self.to.push(to.index());
@@ -185,7 +194,14 @@ impl FlowNetwork {
         }
     }
 
-    fn dinic_dfs(&mut self, u: usize, t: usize, limit: u64, level: &[u32], iter: &mut [usize]) -> u64 {
+    fn dinic_dfs(
+        &mut self,
+        u: usize,
+        t: usize,
+        limit: u64,
+        level: &[u32],
+        iter: &mut [usize],
+    ) -> u64 {
         if u == t {
             return limit;
         }
@@ -193,8 +209,7 @@ impl FlowNetwork {
             let arc = self.adj[u][iter[u]];
             let v = self.to[arc];
             if level[v] == level[u] + 1 && self.res_cap(arc) > 0 {
-                let pushed =
-                    self.dinic_dfs(v, t, limit.min(self.res_cap(arc)), level, iter);
+                let pushed = self.dinic_dfs(v, t, limit.min(self.res_cap(arc)), level, iter);
                 if pushed > 0 {
                     self.augment(arc, pushed);
                     return pushed;
@@ -247,11 +262,18 @@ impl FlowNetwork {
             if u != t {
                 return paths; // no more s→t flow
             }
-            let bottleneck = path_arcs.iter().map(|&a| net[a / 2]).min().expect("non-empty path");
+            let bottleneck = path_arcs
+                .iter()
+                .map(|&a| net[a / 2])
+                .min()
+                .expect("non-empty path");
             for &a in &path_arcs {
                 net[a / 2] -= bottleneck;
             }
-            paths.push((path_nodes.into_iter().map(NodeId::from_index).collect(), bottleneck));
+            paths.push((
+                path_nodes.into_iter().map(NodeId::from_index).collect(),
+                bottleneck,
+            ));
         }
     }
 
@@ -307,8 +329,11 @@ impl FlowNetwork {
             }
             match found {
                 Some(cycle) => {
-                    let bottleneck =
-                        cycle.iter().map(|&a| net[a / 2]).min().expect("non-empty cycle");
+                    let bottleneck = cycle
+                        .iter()
+                        .map(|&a| net[a / 2])
+                        .min()
+                        .expect("non-empty cycle");
                     for &a in &cycle {
                         net[a / 2] -= bottleneck;
                     }
@@ -453,7 +478,11 @@ mod tests {
                 let u = rng.index(nodes);
                 let v = rng.index(nodes);
                 if u != v {
-                    f.add_edge(NodeId::from_index(u), NodeId::from_index(v), rng.range_u64(1, 15));
+                    f.add_edge(
+                        NodeId::from_index(u),
+                        NodeId::from_index(v),
+                        rng.range_u64(1, 15),
+                    );
                 }
             }
             let value = f.max_flow_dinic(n(0), n(9));

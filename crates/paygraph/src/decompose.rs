@@ -59,14 +59,22 @@ struct ResArc {
 /// are rounded to multiples of it before solving, so inputs whose rates are
 /// multiples of `precision` decompose exactly.
 pub fn decompose(pg: &PaymentGraph, precision: f64) -> Decomposition {
-    assert!(precision > 0.0 && precision.is_finite(), "invalid precision");
+    assert!(
+        precision > 0.0 && precision.is_finite(),
+        "invalid precision"
+    );
     let n = pg.node_count();
     let mut arcs: Vec<Arc> = Vec::with_capacity(pg.edge_count());
     let mut endpoints: Vec<(NodeId, NodeId)> = Vec::with_capacity(pg.edge_count());
     for e in pg.edges() {
         let cap = (e.rate / precision).round() as u64;
         if cap > 0 {
-            arcs.push(Arc { from: e.src.index(), to: e.dst.index(), cap, flow: 0 });
+            arcs.push(Arc {
+                from: e.src.index(),
+                to: e.dst.index(),
+                cap,
+                flow: 0,
+            });
             endpoints.push((e.src, e.dst));
         }
     }
@@ -87,7 +95,12 @@ pub fn decompose(pg: &PaymentGraph, precision: f64) -> Decomposition {
             dag.add_demand(src, dst, (arc.cap - arc.flow) as f64 * precision);
         }
     }
-    Decomposition { circulation, dag, circulation_value: value, optimal }
+    Decomposition {
+        circulation,
+        dag,
+        circulation_value: value,
+        optimal,
+    }
 }
 
 /// ν(C*) of `pg` — see [`decompose`].
@@ -179,7 +192,10 @@ fn find_capacity_cycle(arcs: &[Arc], n: usize) -> Option<Vec<usize>> {
                     }
                     Color::Gray => {
                         // Found a cycle: arcs from v back to u, plus ai.
-                        let pos = stack.iter().position(|&(node, _)| node == v).expect("gray node is on stack");
+                        let pos = stack
+                            .iter()
+                            .position(|&(node, _)| node == v)
+                            .expect("gray node is on stack");
                         let mut cycle: Vec<usize> = path_arcs[pos..].to_vec();
                         cycle.push(ai);
                         return Some(cycle);
@@ -236,10 +252,26 @@ fn find_negative_cycle(arcs: &[Arc], n: usize) -> Option<Vec<ResArc>> {
     let mut res: Vec<(usize, usize, i64, ResArc)> = Vec::with_capacity(arcs.len() * 2);
     for (i, a) in arcs.iter().enumerate() {
         if a.flow < a.cap {
-            res.push((a.from, a.to, -1, ResArc { arc: i, forward: true }));
+            res.push((
+                a.from,
+                a.to,
+                -1,
+                ResArc {
+                    arc: i,
+                    forward: true,
+                },
+            ));
         }
         if a.flow > 0 {
-            res.push((a.to, a.from, 1, ResArc { arc: i, forward: false }));
+            res.push((
+                a.to,
+                a.from,
+                1,
+                ResArc {
+                    arc: i,
+                    forward: false,
+                },
+            ));
         }
     }
     let mut dist = vec![0i64; n];
@@ -254,9 +286,7 @@ fn find_negative_cycle(arcs: &[Arc], n: usize) -> Option<Vec<ResArc>> {
                 updated_node = Some(v);
             }
         }
-        if updated_node.is_none() {
-            return None;
-        }
+        updated_node?;
         // Only the n-th round's updates prove a negative cycle.
         let _ = round;
     }
@@ -305,7 +335,10 @@ mod tests {
         for e in dec.dag.edges() {
             sum.add_demand(e.src, e.dst, e.rate);
         }
-        assert!(pg.l1_distance(&sum) < 1e-6, "decomposition does not sum back");
+        assert!(
+            pg.l1_distance(&sum) < 1e-6,
+            "decomposition does not sum back"
+        );
         // The circulation really is a circulation.
         assert!(dec.circulation.is_circulation(1e-6));
         // Value consistency.
@@ -340,7 +373,11 @@ mod tests {
         let g = graph(3, &[(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0), (1, 0, 1.0)]);
         let dec = decompose(&g, P);
         check_invariants(&g, &dec);
-        assert!((dec.circulation_value - 3.0).abs() < 1e-9, "ν = {}", dec.circulation_value);
+        assert!(
+            (dec.circulation_value - 3.0).abs() < 1e-9,
+            "ν = {}",
+            dec.circulation_value
+        );
         // The residual DAG is the lone B→A edge.
         assert_eq!(dec.dag.edge_count(), 1);
         assert!((dec.dag.demand(n(1), n(0)) - 1.0).abs() < 1e-9);
@@ -363,7 +400,13 @@ mod tests {
         // Cycles 0→1→2→0 and 0→1→3→0 share edge 0→1 with capacity 2.
         let g = graph(
             4,
-            &[(0, 1, 2.0), (1, 2, 1.0), (2, 0, 1.0), (1, 3, 1.0), (3, 0, 1.0)],
+            &[
+                (0, 1, 2.0),
+                (1, 2, 1.0),
+                (2, 0, 1.0),
+                (1, 3, 1.0),
+                (3, 0, 1.0),
+            ],
         );
         let dec = decompose(&g, P);
         check_invariants(&g, &dec);
@@ -427,7 +470,14 @@ mod tests {
                 flows.pop();
             }
         }
-        rec(0, &mut Vec::new(), &caps, &edges, pg.node_count(), &mut best);
+        rec(
+            0,
+            &mut Vec::new(),
+            &caps,
+            &edges,
+            pg.node_count(),
+            &mut best,
+        );
         best as f64
     }
 

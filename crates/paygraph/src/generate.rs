@@ -75,12 +75,7 @@ pub fn dag_demand(n: usize, edges: usize, total_rate: f64, rng: &mut DetRng) -> 
 
 /// A mixture: `circ_frac` of `total_rate` as circulation, the rest as DAG.
 /// `circ_frac = 1.0` is fully balanced demand; `0.0` is fully unbalanced.
-pub fn mixed_demand(
-    n: usize,
-    total_rate: f64,
-    circ_frac: f64,
-    rng: &mut DetRng,
-) -> PaymentGraph {
+pub fn mixed_demand(n: usize, total_rate: f64, circ_frac: f64, rng: &mut DetRng) -> PaymentGraph {
     assert!((0.0..=1.0).contains(&circ_frac), "fraction out of range");
     let mut g = PaymentGraph::new(n);
     if circ_frac > 0.0 {
@@ -165,7 +160,11 @@ mod tests {
         let dec = decompose(&g, 1e-6);
         // At least the injected circulation is recoverable; random DAG
         // edges may add more cycles, never fewer.
-        assert!(dec.circulation_value >= 60.0 - 1e-6, "ν = {}", dec.circulation_value);
+        assert!(
+            dec.circulation_value >= 60.0 - 1e-6,
+            "ν = {}",
+            dec.circulation_value
+        );
     }
 
     #[test]
@@ -183,7 +182,7 @@ mod tests {
         let g = skewed_demand(20, 200, 40.0, 3.0, &mut rng);
         assert!((g.total_demand() - 40.0).abs() < 1e-6);
         // Skew: the busiest sender originates far more than 1/n of demand.
-        let mut out = vec![0.0; 20];
+        let mut out = [0.0; 20];
         for e in g.edges() {
             out[e.src.index()] += e.rate;
         }

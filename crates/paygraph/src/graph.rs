@@ -30,7 +30,10 @@ pub struct PaymentGraph {
 impl PaymentGraph {
     /// An empty payment graph over `node_count` nodes.
     pub fn new(node_count: usize) -> Self {
-        PaymentGraph { node_count, demands: BTreeMap::new() }
+        PaymentGraph {
+            node_count,
+            demands: BTreeMap::new(),
+        }
     }
 
     /// Number of nodes in the underlying network.
@@ -48,8 +51,14 @@ impl PaymentGraph {
     /// negative increments and self-demands are rejected.
     pub fn add_demand(&mut self, src: NodeId, dst: NodeId, rate: f64) {
         assert!(src != dst, "self-demand {src}→{src}");
-        assert!(rate > 0.0 && rate.is_finite(), "rate must be positive, got {rate}");
-        assert!(src.index() < self.node_count && dst.index() < self.node_count, "node out of range");
+        assert!(
+            rate > 0.0 && rate.is_finite(),
+            "rate must be positive, got {rate}"
+        );
+        assert!(
+            src.index() < self.node_count && dst.index() < self.node_count,
+            "node out of range"
+        );
         *self.demands.entry((src, dst)).or_insert(0.0) += rate;
     }
 
@@ -60,7 +69,9 @@ impl PaymentGraph {
 
     /// Iterator over all demand edges in deterministic order.
     pub fn edges(&self) -> impl Iterator<Item = DemandEdge> + '_ {
-        self.demands.iter().map(|(&(src, dst), &rate)| DemandEdge { src, dst, rate })
+        self.demands
+            .iter()
+            .map(|(&(src, dst), &rate)| DemandEdge { src, dst, rate })
     }
 
     /// Total demand Σ d_{i,j} — the paper's denominator for "success volume"
@@ -87,8 +98,7 @@ impl PaymentGraph {
 
     /// True iff every node's in-rate equals its out-rate within `tol`.
     pub fn is_circulation(&self, tol: f64) -> bool {
-        (0..self.node_count)
-            .all(|i| self.node_imbalance(NodeId::from_index(i)).abs() <= tol)
+        (0..self.node_count).all(|i| self.node_imbalance(NodeId::from_index(i)).abs() <= tol)
     }
 
     /// Scales every demand by `factor > 0`.

@@ -1,0 +1,115 @@
+//! Sender-side path price estimation (§5.3).
+//!
+//! Routers stamp a price — queueing delay plus the adverse part of the
+//! channel's flow imbalance, the discrete analogue of the paper's
+//! `λ + µ` edge price with its `x_u − x_v` imbalance term — onto every
+//! transiting unit (`spider-sim::queue`). The sender cannot observe router
+//! state directly; it sees only the stamps coming back on unit
+//! acknowledgements. [`PathPriceEstimator`] smooths those observations
+//! into a per-path price the allocator can steer on, with failed units
+//! (drops, timeouts) contributing a configurable penalty price so paths
+//! that eat units look expensive even though they return no stamp sum.
+
+use spider_types::MarkStamp;
+
+/// Exponentially-weighted moving average of a path's acked prices.
+#[derive(Debug, Clone)]
+pub struct PathPriceEstimator {
+    /// Smoothing factor in (0, 1]: weight of the newest observation.
+    gamma: f64,
+    /// Price charged for a failed (dropped) unit.
+    nack_price: f64,
+    /// Current estimate.
+    estimate: f64,
+    /// Number of observations folded in.
+    observations: u64,
+}
+
+impl PathPriceEstimator {
+    /// Creates an estimator starting at price zero.
+    ///
+    /// `gamma` is the EWMA weight of each new observation; `nack_price`
+    /// is the price attributed to a unit that never arrived.
+    pub fn new(gamma: f64, nack_price: f64) -> Self {
+        assert!(gamma > 0.0 && gamma <= 1.0, "gamma must be in (0, 1]");
+        assert!(nack_price >= 0.0, "nack price must be non-negative");
+        PathPriceEstimator {
+            gamma,
+            nack_price,
+            estimate: 0.0,
+            observations: 0,
+        }
+    }
+
+    /// Folds one unit acknowledgement into the estimate.
+    pub fn observe(&mut self, delivered: bool, stamp: &MarkStamp) {
+        let observed = if delivered {
+            stamp.price
+        } else {
+            self.nack_price.max(stamp.price)
+        };
+        if self.observations == 0 {
+            self.estimate = observed;
+        } else {
+            self.estimate = (1.0 - self.gamma) * self.estimate + self.gamma * observed;
+        }
+        self.observations += 1;
+    }
+
+    /// The current smoothed path price (0 before any observation).
+    pub fn price(&self) -> f64 {
+        self.estimate
+    }
+
+    /// Number of acknowledgements observed.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spider_types::SimDuration;
+
+    fn stamp(price: f64) -> MarkStamp {
+        let mut s = MarkStamp::CLEAR;
+        s.absorb(price, false, SimDuration::ZERO);
+        s
+    }
+
+    #[test]
+    fn starts_at_zero_and_adopts_first_observation() {
+        let mut e = PathPriceEstimator::new(0.1, 5.0);
+        assert_eq!(e.price(), 0.0);
+        e.observe(true, &stamp(2.0));
+        assert_eq!(e.price(), 2.0, "first observation is adopted outright");
+    }
+
+    #[test]
+    fn ewma_tracks_toward_new_prices() {
+        let mut e = PathPriceEstimator::new(0.5, 5.0);
+        e.observe(true, &stamp(0.0));
+        e.observe(true, &stamp(4.0));
+        assert!((e.price() - 2.0).abs() < 1e-12);
+        e.observe(true, &stamp(4.0));
+        assert!((e.price() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nacks_charge_the_penalty_price() {
+        let mut e = PathPriceEstimator::new(1.0, 7.5);
+        e.observe(false, &stamp(0.25));
+        assert_eq!(e.price(), 7.5);
+        // A nack with an even higher stamped price keeps the stamp.
+        e.observe(false, &stamp(9.0));
+        assert_eq!(e.price(), 9.0);
+        assert_eq!(e.observations(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma")]
+    fn rejects_bad_gamma() {
+        let _ = PathPriceEstimator::new(0.0, 1.0);
+    }
+}

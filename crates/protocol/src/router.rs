@@ -1,0 +1,415 @@
+//! The online Spider router: k edge-disjoint paths, price-steered
+//! allocation, per-path AIMD windows.
+//!
+//! [`ProtocolRouter`] is the sender side of §5's protocol. For every
+//! (sender, receiver) pair it precomputes `k` edge-disjoint candidate
+//! paths (the paper's evaluation uses 4), then on every routing request
+//! fills windows cheapest-path-first:
+//!
+//! 1. each path's AIMD controller ([`crate::rate`]) bounds the value the
+//!    sender may have in flight on it;
+//! 2. among paths with remaining budget, MTU-sized units go to the path
+//!    with the lowest smoothed price ([`crate::price`]), ties broken
+//!    toward the shorter (lower-index) path;
+//! 3. acknowledgements (delivered/marked/dropped) update both the window
+//!    and the price estimate.
+//!
+//! The router is deliberately ignorant of live channel balances: unlike
+//! the offline schemes it steers *only* on the feedback a real Spider
+//! host would have — acks and marks — which is what makes it runnable as
+//! a fully decentralized protocol.
+
+use crate::price::PathPriceEstimator;
+use crate::rate::{PathController, RateConfig};
+use spider_lp::paths::Path;
+use spider_routing::{PathCache, PathPolicy};
+use spider_sim::{NetworkView, RouteProposal, RouteRequest, Router, UnitAck, UnitOutcome};
+use spider_types::{Amount, NodeId};
+use std::collections::HashMap;
+
+/// Tunables of the protocol sender.
+#[derive(Debug, Clone)]
+pub struct ProtocolConfig {
+    /// Per-path AIMD window parameters.
+    pub rate: RateConfig,
+    /// EWMA weight of each new price observation.
+    pub price_gamma: f64,
+    /// Price attributed to a dropped unit (see
+    /// [`PathPriceEstimator`](crate::price::PathPriceEstimator)).
+    pub nack_price: f64,
+}
+
+impl Default for ProtocolConfig {
+    fn default() -> Self {
+        ProtocolConfig {
+            rate: RateConfig::default(),
+            price_gamma: 0.125,
+            nack_price: 2.0,
+        }
+    }
+}
+
+/// Per-(sender, receiver) protocol state.
+struct PairState {
+    paths: Vec<Path>,
+    controllers: Vec<PathController>,
+    prices: Vec<PathPriceEstimator>,
+}
+
+/// The §5 protocol router (non-atomic; requires
+/// [`QueueingMode::PerChannelFifo`](spider_sim::QueueingMode::PerChannelFifo)
+/// for its feedback loop to close — in lockstep mode no acks arrive and
+/// windows stay pinned near their initial value).
+pub struct ProtocolRouter {
+    cfg: ProtocolConfig,
+    cache: PathCache,
+    pairs: HashMap<(NodeId, NodeId), PairState>,
+}
+
+impl ProtocolRouter {
+    /// Creates the router with `k` edge-disjoint candidate paths per pair
+    /// (the paper uses 4) and default tunables.
+    pub fn new(k: usize) -> Self {
+        Self::with_config(k, ProtocolConfig::default())
+    }
+
+    /// Creates the router with explicit tunables.
+    pub fn with_config(k: usize, cfg: ProtocolConfig) -> Self {
+        assert!(k >= 1, "need at least one path");
+        assert!(
+            cfg.price_gamma > 0.0 && cfg.price_gamma <= 1.0,
+            "gamma must be in (0, 1]"
+        );
+        ProtocolRouter {
+            cfg,
+            cache: PathCache::new(PathPolicy::EdgeDisjoint(k)),
+            pairs: HashMap::new(),
+        }
+    }
+
+    /// Current AIMD window of one candidate path (for tests/telemetry).
+    pub fn path_window(&self, src: NodeId, dst: NodeId, path_index: usize) -> Option<Amount> {
+        self.pairs
+            .get(&(src, dst))
+            .and_then(|p| p.controllers.get(path_index))
+            .map(|c| c.window())
+    }
+
+    /// Current smoothed price of one candidate path.
+    pub fn path_price(&self, src: NodeId, dst: NodeId, path_index: usize) -> Option<f64> {
+        self.pairs
+            .get(&(src, dst))
+            .and_then(|p| p.prices.get(path_index))
+            .map(|e| e.price())
+    }
+
+    fn pair_mut(
+        &mut self,
+        topo: &spider_topology::Topology,
+        src: NodeId,
+        dst: NodeId,
+    ) -> &mut PairState {
+        let cache = &mut self.cache;
+        let cfg = &self.cfg;
+        self.pairs.entry((src, dst)).or_insert_with(|| {
+            let paths = cache.get(topo, src, dst).to_vec();
+            let controllers = paths
+                .iter()
+                .map(|_| PathController::new(&cfg.rate))
+                .collect();
+            let prices = paths
+                .iter()
+                .map(|_| PathPriceEstimator::new(cfg.price_gamma, cfg.nack_price))
+                .collect();
+            PairState {
+                paths,
+                controllers,
+                prices,
+            }
+        })
+    }
+
+    /// Index of the pair's candidate path with exactly these nodes.
+    fn path_index(state: &PairState, path: &[NodeId]) -> Option<usize> {
+        state.paths.iter().position(|p| p.nodes == path)
+    }
+}
+
+impl Router for ProtocolRouter {
+    fn name(&self) -> &'static str {
+        "spider-protocol"
+    }
+
+    fn route(&mut self, req: &RouteRequest, view: &NetworkView<'_>) -> Vec<RouteProposal> {
+        let mtu = req.mtu;
+        let state = self.pair_mut(view.topo, req.src, req.dst);
+        if state.paths.is_empty() {
+            return Vec::new();
+        }
+        // Fill windows cheapest-path-first, one MTU unit at a time, against
+        // a request-local copy of each path's remaining budget. A path the
+        // sender's probe shows as currently dead (zero bottleneck) is
+        // skipped this round — §5.3.1's hosts measure available capacity
+        // on their candidate paths, and pushing units at a dead path only
+        // converts them into queue drops.
+        let mut budgets: Vec<Amount> = state
+            .controllers
+            .iter()
+            .zip(&state.paths)
+            .map(|(c, p)| match view.path_bottleneck(&p.nodes) {
+                Some(b) if !b.is_zero() => c.budget(),
+                _ => Amount::ZERO,
+            })
+            .collect();
+        let mut allocated: Vec<Amount> = vec![Amount::ZERO; state.paths.len()];
+        let mut remaining = req.remaining;
+        while !remaining.is_zero() {
+            let mut best: Option<(f64, usize)> = None;
+            for (i, budget) in budgets.iter().enumerate() {
+                if budget.is_zero() {
+                    continue;
+                }
+                let price = state.prices[i].price();
+                let better = match best {
+                    None => true,
+                    Some((bp, _)) => price < bp - 1e-12,
+                };
+                if better {
+                    best = Some((price, i));
+                }
+            }
+            let Some((_, i)) = best else { break };
+            let unit = mtu.min(remaining).min(budgets[i]);
+            allocated[i] += unit;
+            budgets[i] -= unit;
+            remaining -= unit;
+        }
+        state
+            .paths
+            .iter()
+            .zip(allocated)
+            .filter(|(_, a)| !a.is_zero())
+            .map(|(p, amount)| RouteProposal {
+                path: p.nodes.clone(),
+                amount,
+            })
+            .collect()
+    }
+
+    fn on_unit_outcome(&mut self, outcome: &UnitOutcome, _view: &NetworkView<'_>) {
+        let (Some(&src), Some(&dst)) = (outcome.path.first(), outcome.path.last()) else {
+            return;
+        };
+        let Some(state) = self.pairs.get_mut(&(src, dst)) else {
+            return;
+        };
+        let Some(i) = Self::path_index(state, &outcome.path) else {
+            return;
+        };
+        if outcome.locked {
+            state.controllers[i].on_send(outcome.amount);
+        } else {
+            state.controllers[i].on_reject(&self.cfg.rate);
+        }
+    }
+
+    fn on_unit_ack(&mut self, ack: &UnitAck, _view: &NetworkView<'_>) {
+        let (Some(&src), Some(&dst)) = (ack.path.first(), ack.path.last()) else {
+            return;
+        };
+        let Some(state) = self.pairs.get_mut(&(src, dst)) else {
+            return;
+        };
+        let Some(i) = Self::path_index(state, &ack.path) else {
+            return;
+        };
+        state.controllers[i].on_ack(ack.amount, ack.delivered, ack.stamp.marked, &self.cfg.rate);
+        state.prices[i].observe(ack.delivered, &ack.stamp);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spider_sim::ChannelState;
+    use spider_types::{MarkStamp, PaymentId, SimDuration, SimTime};
+
+    fn xrp(x: u64) -> Amount {
+        Amount::from_xrp(x)
+    }
+
+    fn req(src: u32, dst: u32, amount: Amount, mtu: Amount) -> RouteRequest {
+        RouteRequest {
+            payment: PaymentId(0),
+            src: NodeId(src),
+            dst: NodeId(dst),
+            remaining: amount,
+            total: amount,
+            mtu,
+            attempt: 0,
+        }
+    }
+
+    /// Two disjoint 2-hop routes 0→3, via 1 and via 2.
+    fn two_routes() -> (spider_topology::Topology, Vec<ChannelState>) {
+        let mut b = spider_topology::Topology::builder(4);
+        b.channel(NodeId(0), NodeId(1), xrp(2_000)).unwrap();
+        b.channel(NodeId(1), NodeId(3), xrp(2_000)).unwrap();
+        b.channel(NodeId(0), NodeId(2), xrp(2_000)).unwrap();
+        b.channel(NodeId(2), NodeId(3), xrp(2_000)).unwrap();
+        let t = b.build();
+        let ch = t
+            .channels()
+            .map(|(_, c)| ChannelState::split_equally(c.capacity))
+            .collect();
+        (t, ch)
+    }
+
+    fn marked_stamp() -> MarkStamp {
+        let mut s = MarkStamp::CLEAR;
+        s.absorb(1.0, true, SimDuration::from_millis(200));
+        s
+    }
+
+    fn ack(path: Vec<NodeId>, amount: Amount, delivered: bool, stamp: MarkStamp) -> UnitAck {
+        UnitAck {
+            payment: PaymentId(0),
+            path,
+            amount,
+            delivered,
+            stamp,
+            drop_reason: None,
+            rtt: SimDuration::from_millis(520),
+        }
+    }
+
+    #[test]
+    fn splits_across_paths_within_windows() {
+        let (t, ch) = two_routes();
+        let view = NetworkView {
+            topo: &t,
+            channels: &ch,
+            now: SimTime::ZERO,
+        };
+        let cfg = ProtocolConfig {
+            rate: RateConfig {
+                initial_window: xrp(50),
+                ..RateConfig::default()
+            },
+            ..ProtocolConfig::default()
+        };
+        let mut r = ProtocolRouter::with_config(4, cfg);
+        let props = r.route(&req(0, 3, xrp(200), xrp(10)), &view);
+        // Two candidate paths, 50 XRP window each → 100 XRP proposed.
+        let total: Amount = props.iter().map(|p| p.amount).sum();
+        assert_eq!(total, xrp(100));
+        assert_eq!(props.len(), 2);
+    }
+
+    #[test]
+    fn inflight_consumes_budget_until_acked() {
+        let (t, ch) = two_routes();
+        let view = NetworkView {
+            topo: &t,
+            channels: &ch,
+            now: SimTime::ZERO,
+        };
+        let cfg = ProtocolConfig {
+            rate: RateConfig {
+                initial_window: xrp(30),
+                ..RateConfig::default()
+            },
+            ..ProtocolConfig::default()
+        };
+        let mut r = ProtocolRouter::with_config(4, cfg);
+        let props = r.route(&req(0, 3, xrp(100), xrp(10)), &view);
+        assert_eq!(props.iter().map(|p| p.amount).sum::<Amount>(), xrp(60));
+        // Report every proposed unit as accepted.
+        for p in &props {
+            for unit in p.amount.split_mtu(xrp(10)) {
+                let o = UnitOutcome {
+                    payment: PaymentId(0),
+                    path: p.path.clone(),
+                    amount: unit,
+                    locked: true,
+                };
+                r.on_unit_outcome(&o, &view);
+            }
+        }
+        // Windows are full: nothing more to propose.
+        let empty = r.route(&req(0, 3, xrp(100), xrp(10)), &view);
+        assert!(empty.is_empty(), "in-flight value must consume the window");
+        // Acking releases budget (and clean acks grow it).
+        let path = props[0].path.clone();
+        r.on_unit_ack(&ack(path, xrp(10), true, MarkStamp::CLEAR), &view);
+        let again = r.route(&req(0, 3, xrp(100), xrp(10)), &view);
+        assert!(!again.is_empty());
+    }
+
+    #[test]
+    fn marked_acks_shrink_the_marked_path_only() {
+        let (t, ch) = two_routes();
+        let view = NetworkView {
+            topo: &t,
+            channels: &ch,
+            now: SimTime::ZERO,
+        };
+        let mut r = ProtocolRouter::new(4);
+        // Initialize pair state.
+        let props = r.route(&req(0, 3, xrp(1), xrp(1)), &view);
+        let marked_path = props[0].path.clone();
+        let w0 = r.path_window(NodeId(0), NodeId(3), 0).unwrap();
+        let w1 = r.path_window(NodeId(0), NodeId(3), 1).unwrap();
+        r.on_unit_ack(&ack(marked_path, xrp(1), true, marked_stamp()), &view);
+        assert!(r.path_window(NodeId(0), NodeId(3), 0).unwrap() < w0);
+        assert_eq!(r.path_window(NodeId(0), NodeId(3), 1).unwrap(), w1);
+        assert!(r.path_price(NodeId(0), NodeId(3), 0).unwrap() > 0.0);
+        assert_eq!(r.path_price(NodeId(0), NodeId(3), 1).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn allocation_prefers_the_cheaper_path() {
+        let (t, ch) = two_routes();
+        let view = NetworkView {
+            topo: &t,
+            channels: &ch,
+            now: SimTime::ZERO,
+        };
+        let mut r = ProtocolRouter::new(4);
+        let props = r.route(&req(0, 3, xrp(1), xrp(1)), &view);
+        // Make path 0 expensive.
+        let p0 = props[0].path.clone();
+        for _ in 0..4 {
+            r.on_unit_ack(&ack(p0.clone(), Amount::ZERO, true, marked_stamp()), &view);
+        }
+        // A small request now goes entirely to the other path.
+        let props = r.route(&req(0, 3, xrp(5), xrp(5)), &view);
+        assert_eq!(props.len(), 1);
+        assert_ne!(props[0].path, p0);
+    }
+
+    #[test]
+    fn unreachable_pair_proposes_nothing() {
+        let mut b = spider_topology::Topology::builder(3);
+        b.channel(NodeId(0), NodeId(1), xrp(10)).unwrap();
+        let t = b.build();
+        let ch: Vec<ChannelState> = t
+            .channels()
+            .map(|(_, c)| ChannelState::split_equally(c.capacity))
+            .collect();
+        let view = NetworkView {
+            topo: &t,
+            channels: &ch,
+            now: SimTime::ZERO,
+        };
+        let mut r = ProtocolRouter::new(4);
+        assert!(r.route(&req(0, 2, xrp(1), xrp(1)), &view).is_empty());
+    }
+
+    #[test]
+    fn not_atomic_and_named() {
+        let r = ProtocolRouter::new(4);
+        assert!(!r.atomic());
+        assert_eq!(r.name(), "spider-protocol");
+    }
+}

@@ -28,15 +28,20 @@ pub struct PathCache {
 impl PathCache {
     /// Empty cache with the given policy.
     pub fn new(policy: PathPolicy) -> Self {
-        PathCache { policy, cache: BTreeMap::new() }
+        PathCache {
+            policy,
+            cache: BTreeMap::new(),
+        }
     }
 
     /// The candidate paths for `(src, dst)`, computing them on first use.
     pub fn get(&mut self, topo: &Topology, src: NodeId, dst: NodeId) -> &[Path] {
-        self.cache.entry((src, dst)).or_insert_with(|| match self.policy {
-            PathPolicy::EdgeDisjoint(k) => k_edge_disjoint_paths(topo, src, dst, k),
-            PathPolicy::KShortest(k) => k_shortest_paths(topo, src, dst, k),
-        })
+        self.cache
+            .entry((src, dst))
+            .or_insert_with(|| match self.policy {
+                PathPolicy::EdgeDisjoint(k) => k_edge_disjoint_paths(topo, src, dst, k),
+                PathPolicy::KShortest(k) => k_shortest_paths(topo, src, dst, k),
+            })
     }
 
     /// Number of cached pairs.

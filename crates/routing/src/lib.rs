@@ -48,7 +48,13 @@ pub fn paper_schemes(
     delta_secs: f64,
 ) -> Vec<Box<dyn Router>> {
     vec![
-        Box::new(SpiderLp::new(topo, demands, delta_secs, 4, LpSolverKind::Auto)),
+        Box::new(SpiderLp::new(
+            topo,
+            demands,
+            delta_secs,
+            4,
+            LpSolverKind::Auto,
+        )),
         Box::new(SpiderWaterfilling::new(4)),
         Box::new(MaxFlow::new()),
         Box::new(ShortestPath::new()),

@@ -33,11 +33,15 @@ pub enum LpSolverKind {
     Auto,
 }
 
+/// Per-pair weighted path set: `(node path, weight)` with weights
+/// summing to 1.
+type PairWeights = BTreeMap<(NodeId, NodeId), Vec<(Vec<NodeId>, f64)>>;
+
 /// Spider (LP): offline-optimized weighted multipath splitting (non-atomic).
 #[derive(Debug)]
 pub struct SpiderLp {
     /// Per-pair: list of (node path, weight) with weights summing to 1.
-    weights: BTreeMap<(NodeId, NodeId), Vec<(Vec<NodeId>, f64)>>,
+    weights: PairWeights,
     /// Per-pair fraction of demand the LP actually routes
     /// (`lp_rate / demand_rate`, ≤ 1). Payments are throttled to this
     /// fraction so that long-run per-path rates track the LP solution
@@ -62,15 +66,19 @@ impl SpiderLp {
         solver: LpSolverKind,
     ) -> Self {
         let problem = FluidProblem::new(topo, demands, delta_secs, PathSelection::KEdgeDisjoint(k));
-        let n_path_vars: usize =
-            demands.edges().map(|e| problem.paths_for(e.src, e.dst).len()).sum();
+        let n_path_vars: usize = demands
+            .edges()
+            .map(|e| problem.paths_for(e.src, e.dst).len())
+            .sum();
         let use_simplex = match solver {
             LpSolverKind::Simplex => true,
             LpSolverKind::PrimalDual => false,
             LpSolverKind::Auto => n_path_vars <= 2_000,
         };
         let flows: Vec<(NodeId, NodeId, Vec<NodeId>, f64)> = if use_simplex {
-            let sol = problem.solve_balanced().expect("fluid LP is always feasible (x = 0)");
+            let sol = problem
+                .solve_balanced()
+                .expect("fluid LP is always feasible (x = 0)");
             sol.flows
                 .into_iter()
                 .map(|f| (f.src, f.dst, f.path.nodes, f.rate))
@@ -85,7 +93,7 @@ impl SpiderLp {
                 .map(|f| (f.src, f.dst, f.path.nodes, f.rate))
                 .collect()
         };
-        let mut weights: BTreeMap<(NodeId, NodeId), Vec<(Vec<NodeId>, f64)>> = BTreeMap::new();
+        let mut weights: PairWeights = BTreeMap::new();
         let mut offline_throughput = 0.0;
         for (src, dst, path, rate) in flows {
             if rate > 1e-9 {
@@ -101,9 +109,21 @@ impl SpiderLp {
                 *r /= total;
             }
             let demand = demands.demand(src, dst);
-            coverage.insert((src, dst), if demand > 0.0 { (total / demand).min(1.0) } else { 1.0 });
+            coverage.insert(
+                (src, dst),
+                if demand > 0.0 {
+                    (total / demand).min(1.0)
+                } else {
+                    1.0
+                },
+            );
         }
-        SpiderLp { weights, coverage, rate_capped: true, offline_throughput }
+        SpiderLp {
+            weights,
+            coverage,
+            rate_capped: true,
+            offline_throughput,
+        }
     }
 
     /// Disables the per-pair LP-rate throttle (ablation: route every
@@ -137,7 +157,11 @@ impl Router for SpiderLp {
         // most `coverage × total`; `total − remaining` is already assigned
         // (delivered or in flight).
         let budget = if self.rate_capped {
-            let coverage = self.coverage.get(&(req.src, req.dst)).copied().unwrap_or(1.0);
+            let coverage = self
+                .coverage
+                .get(&(req.src, req.dst))
+                .copied()
+                .unwrap_or(1.0);
             let cap = req.total.mul_f64(coverage);
             let assigned = req.total - req.remaining;
             cap.saturating_sub(assigned).min(req.remaining)
@@ -152,7 +176,10 @@ impl Router for SpiderLp {
         let mut assigned = Amount::ZERO;
         for (path, w) in paths {
             let amt = budget.mul_f64(*w);
-            proposals.push(RouteProposal { path: path.clone(), amount: amt });
+            proposals.push(RouteProposal {
+                path: path.clone(),
+                amount: amt,
+            });
             assigned = assigned.saturating_add(amt);
         }
         // Rounding drift goes to the heaviest path.
@@ -193,7 +220,9 @@ mod tests {
     }
 
     fn view_of(t: &spider_topology::Topology) -> Vec<ChannelState> {
-        t.channels().map(|(_, c)| ChannelState::split_equally(c.capacity)).collect()
+        t.channels()
+            .map(|(_, c)| ChannelState::split_equally(c.capacity))
+            .collect()
     }
 
     fn req(src: u32, dst: u32, amount: Amount) -> RouteRequest {
@@ -223,7 +252,11 @@ mod tests {
         let mut r = router();
         let topo = gen::paper_example_topology(BIG);
         let ch = view_of(&topo);
-        let view = NetworkView { topo: &topo, channels: &ch, now: SimTime::ZERO };
+        let view = NetworkView {
+            topo: &topo,
+            channels: &ch,
+            now: SimTime::ZERO,
+        };
         // Pair (2→4) (ids 1→3) carries weight in the optimum.
         let amount = Amount::from_drops(12_345_678);
         let props = r.route(&req(1, 3, amount), &view);
@@ -241,7 +274,11 @@ mod tests {
         let mut r = router();
         let topo = gen::paper_example_topology(BIG);
         let ch = view_of(&topo);
-        let view = NetworkView { topo: &topo, channels: &ch, now: SimTime::ZERO };
+        let view = NetworkView {
+            topo: &topo,
+            channels: &ch,
+            now: SimTime::ZERO,
+        };
         // (5→3) (ids 4→2) is pure-DAG demand in the example: the balanced
         // LP assigns it rate 0 in every optimum (any positive rate would
         // unbalance some channel).
@@ -282,15 +319,19 @@ mod tests {
         let demands = examples::paper_example_demands();
         let mut r = SpiderLp::new(&topo, &demands, 0.5, 4, LpSolverKind::Simplex);
         let ch = view_of(&topo);
-        let view = NetworkView { topo: &topo, channels: &ch, now: SimTime::ZERO };
+        let view = NetworkView {
+            topo: &topo,
+            channels: &ch,
+            now: SimTime::ZERO,
+        };
         // Pair (4→1) (ids 3→0) has demand 2 but the optimum routes only 1:
         // coverage = 0.5, so of a 10-XRP payment only 5 XRP is proposed.
         let props = r.route(&req(3, 0, Amount::from_xrp(10)), &view);
         let total: Amount = props.iter().map(|p| p.amount).sum();
         assert_eq!(total, Amount::from_xrp(5));
         // Without the cap the full amount is proposed.
-        let mut unc = SpiderLp::new(&topo, &demands, 0.5, 4, LpSolverKind::Simplex)
-            .without_rate_cap();
+        let mut unc =
+            SpiderLp::new(&topo, &demands, 0.5, 4, LpSolverKind::Simplex).without_rate_cap();
         let props = unc.route(&req(3, 0, Amount::from_xrp(10)), &view);
         let total: Amount = props.iter().map(|p| p.amount).sum();
         assert_eq!(total, Amount::from_xrp(10));
@@ -302,7 +343,11 @@ mod tests {
         let demands = examples::paper_example_demands();
         let mut r = SpiderLp::new(&topo, &demands, 0.5, 4, LpSolverKind::Simplex);
         let ch = view_of(&topo);
-        let view = NetworkView { topo: &topo, channels: &ch, now: SimTime::ZERO };
+        let view = NetworkView {
+            topo: &topo,
+            channels: &ch,
+            now: SimTime::ZERO,
+        };
         // Simulate the engine having already assigned 5 of 10 XRP: the
         // retry request has remaining = 5, and the cap (0.5 × 10) is met.
         let retry = RouteRequest {

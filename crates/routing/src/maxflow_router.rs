@@ -99,14 +99,21 @@ mod tests {
         b.channel(NodeId(0), NodeId(2), xrp(10)).unwrap();
         b.channel(NodeId(2), NodeId(3), xrp(10)).unwrap();
         let t = b.build();
-        let ch = t.channels().map(|(_, c)| ChannelState::split_equally(c.capacity)).collect();
+        let ch = t
+            .channels()
+            .map(|(_, c)| ChannelState::split_equally(c.capacity))
+            .collect();
         (t, ch)
     }
 
     #[test]
     fn splits_over_multiple_paths() {
         let (t, ch) = double_path();
-        let view = NetworkView { topo: &t, channels: &ch, now: SimTime::ZERO };
+        let view = NetworkView {
+            topo: &t,
+            channels: &ch,
+            now: SimTime::ZERO,
+        };
         // 8 XRP exceeds any single path's 5 XRP, but max flow is 10.
         let props = MaxFlow::new().route(&req(0, 3, xrp(8)), &view);
         assert_eq!(props.iter().map(|p| p.amount).sum::<Amount>(), xrp(8));
@@ -116,7 +123,11 @@ mod tests {
     #[test]
     fn fails_when_max_flow_insufficient() {
         let (t, ch) = double_path();
-        let view = NetworkView { topo: &t, channels: &ch, now: SimTime::ZERO };
+        let view = NetworkView {
+            topo: &t,
+            channels: &ch,
+            now: SimTime::ZERO,
+        };
         let props = MaxFlow::new().route(&req(0, 3, xrp(11)), &view);
         assert!(props.is_empty());
     }
@@ -128,7 +139,11 @@ mod tests {
         let c01 = t.channel_between(NodeId(0), NodeId(1)).unwrap();
         let avail = ch[c01.index()].available(Direction::Forward);
         assert!(ch[c01.index()].lock(Direction::Forward, avail));
-        let view = NetworkView { topo: &t, channels: &ch, now: SimTime::ZERO };
+        let view = NetworkView {
+            topo: &t,
+            channels: &ch,
+            now: SimTime::ZERO,
+        };
         let props = MaxFlow::new().route(&req(0, 3, xrp(5)), &view);
         assert_eq!(props.len(), 1);
         assert_eq!(props[0].path, vec![NodeId(0), NodeId(2), NodeId(3)]);

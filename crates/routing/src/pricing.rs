@@ -38,7 +38,11 @@ pub struct PricingConfig {
 
 impl Default for PricingConfig {
     fn default() -> Self {
-        PricingConfig { imbalance_weight: 1.0, congestion_weight: 0.5, hop_cost: 0.1 }
+        PricingConfig {
+            imbalance_weight: 1.0,
+            congestion_weight: 0.5,
+            hop_cost: 0.1,
+        }
     }
 }
 
@@ -59,18 +63,19 @@ impl SpiderPricing {
     /// Creates the router with explicit price weights.
     pub fn with_config(k: usize, cfg: PricingConfig) -> Self {
         assert!(k >= 1, "need at least one path");
-        assert!(cfg.congestion_weight >= 0.0 && cfg.hop_cost >= 0.0, "invalid weights");
-        SpiderPricing { cache: PathCache::new(PathPolicy::EdgeDisjoint(k)), cfg }
+        assert!(
+            cfg.congestion_weight >= 0.0 && cfg.hop_cost >= 0.0,
+            "invalid weights"
+        );
+        SpiderPricing {
+            cache: PathCache::new(PathPolicy::EdgeDisjoint(k)),
+            cfg,
+        }
     }
 
     /// Price of sending one more unit over `channel` in `dir`, given the
     /// virtual (request-local) balances.
-    fn hop_price(
-        &self,
-        capacity: Amount,
-        avail_dir: Amount,
-        avail_rev: Amount,
-    ) -> f64 {
+    fn hop_price(&self, capacity: Amount, avail_dir: Amount, avail_rev: Amount) -> f64 {
         let cap = capacity.drops().max(1) as f64;
         // Imbalance: (rev − dir)/cap ∈ [−1, 1]. Positive ⇒ the sending
         // side is poorer ⇒ sending worsens imbalance ⇒ expensive.
@@ -107,10 +112,8 @@ impl Router for SpiderPricing {
         }
         let mut virt: HashMap<(ChannelId, Direction), Amount> = HashMap::new();
         // Pre-resolve hops per path.
-        let path_hops: Vec<Vec<(ChannelId, Direction)>> = paths
-            .iter()
-            .map(|p| p.channels(view.topo))
-            .collect();
+        let path_hops: Vec<Vec<(ChannelId, Direction)>> =
+            paths.iter().map(|p| p.channels(view.topo)).collect();
         let mut allocated = vec![Amount::ZERO; paths.len()];
         let mut remaining = req.remaining;
         while !remaining.is_zero() {
@@ -146,7 +149,10 @@ impl Router for SpiderPricing {
             .iter()
             .zip(allocated)
             .filter(|(_, a)| !a.is_zero())
-            .map(|(p, amount)| RouteProposal { path: p.nodes.clone(), amount })
+            .map(|(p, amount)| RouteProposal {
+                path: p.nodes.clone(),
+                amount,
+            })
             .collect()
     }
 }
@@ -189,12 +195,18 @@ mod tests {
         // Route via 1: channels balanced (10/10).
         // Route via 2: the 0→2 channel is skewed 16/4 — sending 0→2 moves
         // funds toward the poorer side, i.e. REBALANCES, so it is cheaper.
-        let mut ch: Vec<ChannelState> =
-            t.channels().map(|(_, c)| ChannelState::split_equally(c.capacity)).collect();
+        let mut ch: Vec<ChannelState> = t
+            .channels()
+            .map(|(_, c)| ChannelState::split_equally(c.capacity))
+            .collect();
         let c02 = t.channel_between(NodeId(0), NodeId(2)).unwrap();
         // 0 is u (canonical), so Forward = 0→2; give that side 16.
         ch[c02.index()] = ChannelState::with_balances(xrp(16), xrp(4));
-        let view = NetworkView { topo: &t, channels: &ch, now: SimTime::ZERO };
+        let view = NetworkView {
+            topo: &t,
+            channels: &ch,
+            now: SimTime::ZERO,
+        };
         let mut r = SpiderPricing::new(4);
         let props = r.route(&req(0, 3, xrp(2), xrp(2)), &view);
         assert_eq!(props.len(), 1);
@@ -204,8 +216,10 @@ mod tests {
     #[test]
     fn avoids_draining_the_poor_side() {
         let t = two_routes();
-        let mut ch: Vec<ChannelState> =
-            t.channels().map(|(_, c)| ChannelState::split_equally(c.capacity)).collect();
+        let mut ch: Vec<ChannelState> = t
+            .channels()
+            .map(|(_, c)| ChannelState::split_equally(c.capacity))
+            .collect();
         // Route via 2 has more instantaneous sender-side balance on hop 1
         // (12 > 10) but is heavily skewed against the sender on hop 2
         // (2→3 side has 18 of 20? no: make 2→3 poor: 3/17).
@@ -213,7 +227,11 @@ mod tests {
         ch[c02.index()] = ChannelState::with_balances(xrp(12), xrp(8));
         let c23 = t.channel_between(NodeId(2), NodeId(3)).unwrap();
         ch[c23.index()] = ChannelState::with_balances(xrp(3), xrp(17));
-        let view = NetworkView { topo: &t, channels: &ch, now: SimTime::ZERO };
+        let view = NetworkView {
+            topo: &t,
+            channels: &ch,
+            now: SimTime::ZERO,
+        };
         let mut r = SpiderPricing::new(4);
         let props = r.route(&req(0, 3, xrp(2), xrp(2)), &view);
         // Pure waterfilling would compare bottlenecks (10 vs 3) and also
@@ -225,9 +243,15 @@ mod tests {
     #[test]
     fn splits_when_cheap_path_fills_up() {
         let t = two_routes();
-        let ch: Vec<ChannelState> =
-            t.channels().map(|(_, c)| ChannelState::split_equally(c.capacity)).collect();
-        let view = NetworkView { topo: &t, channels: &ch, now: SimTime::ZERO };
+        let ch: Vec<ChannelState> = t
+            .channels()
+            .map(|(_, c)| ChannelState::split_equally(c.capacity))
+            .collect();
+        let view = NetworkView {
+            topo: &t,
+            channels: &ch,
+            now: SimTime::ZERO,
+        };
         let mut r = SpiderPricing::new(4);
         // 16 XRP with MTU 2: both paths have 10 XRP bottlenecks; virtual
         // feedback must spread the load across both.
@@ -235,15 +259,24 @@ mod tests {
         assert_eq!(props.iter().map(|p| p.amount).sum::<Amount>(), xrp(16));
         assert_eq!(props.len(), 2);
         let amounts: Vec<u64> = props.iter().map(|p| p.amount.drops() / 1_000_000).collect();
-        assert!(amounts.iter().all(|&a| a == 8), "even split expected, got {amounts:?}");
+        assert!(
+            amounts.iter().all(|&a| a == 8),
+            "even split expected, got {amounts:?}"
+        );
     }
 
     #[test]
     fn respects_capacity_feasibility() {
         let t = two_routes();
-        let ch: Vec<ChannelState> =
-            t.channels().map(|(_, c)| ChannelState::split_equally(c.capacity)).collect();
-        let view = NetworkView { topo: &t, channels: &ch, now: SimTime::ZERO };
+        let ch: Vec<ChannelState> = t
+            .channels()
+            .map(|(_, c)| ChannelState::split_equally(c.capacity))
+            .collect();
+        let view = NetworkView {
+            topo: &t,
+            channels: &ch,
+            now: SimTime::ZERO,
+        };
         let mut r = SpiderPricing::new(4);
         let props = r.route(&req(0, 3, xrp(100), xrp(1)), &view);
         // Total sendable = 10 + 10.

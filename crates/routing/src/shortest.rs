@@ -27,7 +27,10 @@ impl Router for ShortestPath {
 
     fn route(&mut self, req: &RouteRequest, view: &NetworkView<'_>) -> Vec<RouteProposal> {
         match view.topo.shortest_path(req.src, req.dst) {
-            Some(path) => vec![RouteProposal { path, amount: req.remaining }],
+            Some(path) => vec![RouteProposal {
+                path,
+                amount: req.remaining,
+            }],
             None => Vec::new(),
         }
     }
@@ -42,9 +45,15 @@ mod tests {
     #[test]
     fn proposes_single_shortest_path() {
         let t = spider_topology::gen::line(4, Amount::from_xrp(10));
-        let channels: Vec<ChannelState> =
-            t.channels().map(|(_, c)| ChannelState::split_equally(c.capacity)).collect();
-        let view = NetworkView { topo: &t, channels: &channels, now: SimTime::ZERO };
+        let channels: Vec<ChannelState> = t
+            .channels()
+            .map(|(_, c)| ChannelState::split_equally(c.capacity))
+            .collect();
+        let view = NetworkView {
+            topo: &t,
+            channels: &channels,
+            now: SimTime::ZERO,
+        };
         let mut r = ShortestPath::new();
         let req = RouteRequest {
             payment: PaymentId(0),
@@ -57,7 +66,10 @@ mod tests {
         };
         let props = r.route(&req, &view);
         assert_eq!(props.len(), 1);
-        assert_eq!(props[0].path, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(
+            props[0].path,
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]
+        );
         assert_eq!(props[0].amount, Amount::from_xrp(2));
         assert!(!r.atomic());
     }
@@ -65,11 +77,18 @@ mod tests {
     #[test]
     fn empty_for_unreachable() {
         let mut b = spider_topology::Topology::builder(3);
-        b.channel(NodeId(0), NodeId(1), Amount::from_xrp(1)).unwrap();
+        b.channel(NodeId(0), NodeId(1), Amount::from_xrp(1))
+            .unwrap();
         let t = b.build();
-        let channels: Vec<ChannelState> =
-            t.channels().map(|(_, c)| ChannelState::split_equally(c.capacity)).collect();
-        let view = NetworkView { topo: &t, channels: &channels, now: SimTime::ZERO };
+        let channels: Vec<ChannelState> = t
+            .channels()
+            .map(|(_, c)| ChannelState::split_equally(c.capacity))
+            .collect();
+        let view = NetworkView {
+            topo: &t,
+            channels: &channels,
+            now: SimTime::ZERO,
+        };
         let req = RouteRequest {
             payment: PaymentId(0),
             src: NodeId(0),

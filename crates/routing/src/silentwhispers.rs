@@ -144,9 +144,15 @@ mod tests {
     #[test]
     fn shares_sum_to_amount() {
         let t = gen::isp_topology(xrp(100));
-        let ch: Vec<ChannelState> =
-            t.channels().map(|(_, c)| ChannelState::split_equally(c.capacity)).collect();
-        let view = NetworkView { topo: &t, channels: &ch, now: SimTime::ZERO };
+        let ch: Vec<ChannelState> = t
+            .channels()
+            .map(|(_, c)| ChannelState::split_equally(c.capacity))
+            .collect();
+        let view = NetworkView {
+            topo: &t,
+            channels: &ch,
+            now: SimTime::ZERO,
+        };
         let mut sw = SilentWhispers::new(&t, 3);
         let amount = Amount::from_drops(10_000_001); // indivisible by 3
         let props = sw.route(&req(8, 20, amount), &view);
@@ -166,9 +172,15 @@ mod tests {
     #[test]
     fn landmark_on_endpoint_is_fine() {
         let t = gen::line(3, xrp(10));
-        let ch: Vec<ChannelState> =
-            t.channels().map(|(_, c)| ChannelState::split_equally(c.capacity)).collect();
-        let view = NetworkView { topo: &t, channels: &ch, now: SimTime::ZERO };
+        let ch: Vec<ChannelState> = t
+            .channels()
+            .map(|(_, c)| ChannelState::split_equally(c.capacity))
+            .collect();
+        let view = NetworkView {
+            topo: &t,
+            channels: &ch,
+            now: SimTime::ZERO,
+        };
         // Landmark will be node 1 (highest degree); route 1 → 2.
         let mut sw = SilentWhispers::new(&t, 1);
         let props = sw.route(&req(1, 2, xrp(1)), &view);
@@ -182,9 +194,15 @@ mod tests {
         b.channel(NodeId(0), NodeId(1), xrp(5)).unwrap();
         b.channel(NodeId(2), NodeId(3), xrp(5)).unwrap();
         let t = b.build();
-        let ch: Vec<ChannelState> =
-            t.channels().map(|(_, c)| ChannelState::split_equally(c.capacity)).collect();
-        let view = NetworkView { topo: &t, channels: &ch, now: SimTime::ZERO };
+        let ch: Vec<ChannelState> = t
+            .channels()
+            .map(|(_, c)| ChannelState::split_equally(c.capacity))
+            .collect();
+        let view = NetworkView {
+            topo: &t,
+            channels: &ch,
+            now: SimTime::ZERO,
+        };
         let mut sw = SilentWhispers::new(&t, 2);
         assert!(sw.route(&req(0, 3, xrp(1)), &view).is_empty());
     }

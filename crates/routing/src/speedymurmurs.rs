@@ -46,7 +46,11 @@ impl TreeEmbedding {
                 }
             }
         }
-        TreeEmbedding { parent, depth, reachable }
+        TreeEmbedding {
+            parent,
+            depth,
+            reachable,
+        }
     }
 
     /// Tree distance `depth(u) + depth(v) − 2·depth(lca)`;
@@ -88,7 +92,10 @@ impl SpeedyMurmurs {
         let mut roots: Vec<NodeId> = topo.nodes().collect();
         roots.sort_by_key(|&n| (std::cmp::Reverse(topo.degree(n)), n));
         roots.truncate(n_trees);
-        let trees = roots.into_iter().map(|r| TreeEmbedding::build(topo, r)).collect();
+        let trees = roots
+            .into_iter()
+            .map(|r| TreeEmbedding::build(topo, r))
+            .collect();
         SpeedyMurmurs { trees }
     }
 
@@ -108,7 +115,9 @@ impl SpeedyMurmurs {
             // Eligible: strictly closer in tree metric, enough balance.
             let mut best: Option<(u32, Amount, NodeId)> = None;
             for adj in view.topo.neighbors(current) {
-                let Some(d) = tree.distance(adj.neighbor, dst) else { continue };
+                let Some(d) = tree.distance(adj.neighbor, dst) else {
+                    continue;
+                };
                 if d >= dist {
                     continue;
                 }
@@ -190,7 +199,9 @@ mod tests {
     }
 
     fn split(t: &Topology) -> Vec<ChannelState> {
-        t.channels().map(|(_, c)| ChannelState::split_equally(c.capacity)).collect()
+        t.channels()
+            .map(|(_, c)| ChannelState::split_equally(c.capacity))
+            .collect()
     }
 
     #[test]
@@ -215,7 +226,11 @@ mod tests {
     fn routes_along_decreasing_distance() {
         let t = gen::isp_topology(xrp(100));
         let ch = split(&t);
-        let view = NetworkView { topo: &t, channels: &ch, now: SimTime::ZERO };
+        let view = NetworkView {
+            topo: &t,
+            channels: &ch,
+            now: SimTime::ZERO,
+        };
         let mut sm = SpeedyMurmurs::new(&t, 3);
         let props = sm.route(&req(8, 25, xrp(3)), &view);
         assert!(!props.is_empty());
@@ -239,7 +254,11 @@ mod tests {
         let c12 = t.channel_between(NodeId(1), NodeId(2)).unwrap();
         let avail = ch[c12.index()].available(Direction::Forward);
         assert!(ch[c12.index()].lock(Direction::Forward, avail));
-        let view = NetworkView { topo: &t, channels: &ch, now: SimTime::ZERO };
+        let view = NetworkView {
+            topo: &t,
+            channels: &ch,
+            now: SimTime::ZERO,
+        };
         let mut sm = SpeedyMurmurs::new(&t, 1);
         assert!(sm.route(&req(0, 2, xrp(1)), &view).is_empty());
     }
@@ -253,7 +272,11 @@ mod tests {
         let c12 = t.channel_between(NodeId(1), NodeId(2)).unwrap();
         let avail = ch[c12.index()].available(Direction::Forward);
         assert!(ch[c12.index()].lock(Direction::Forward, avail));
-        let view = NetworkView { topo: &t, channels: &ch, now: SimTime::ZERO };
+        let view = NetworkView {
+            topo: &t,
+            channels: &ch,
+            now: SimTime::ZERO,
+        };
         let mut sm = SpeedyMurmurs::new(&t, 2);
         assert!(sm.route(&req(0, 2, xrp(2)), &view).is_empty());
     }
@@ -262,7 +285,11 @@ mod tests {
     fn shares_sum_with_remainder() {
         let t = gen::isp_topology(xrp(100));
         let ch = split(&t);
-        let view = NetworkView { topo: &t, channels: &ch, now: SimTime::ZERO };
+        let view = NetworkView {
+            topo: &t,
+            channels: &ch,
+            now: SimTime::ZERO,
+        };
         let mut sm = SpeedyMurmurs::new(&t, 3);
         let amount = Amount::from_drops(10_000_001);
         let props = sm.route(&req(9, 21, amount), &view);

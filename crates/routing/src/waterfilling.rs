@@ -27,7 +27,9 @@ impl SpiderWaterfilling {
     /// (the paper uses 4).
     pub fn new(k: usize) -> Self {
         assert!(k >= 1, "need at least one path");
-        SpiderWaterfilling { cache: PathCache::new(PathPolicy::EdgeDisjoint(k)) }
+        SpiderWaterfilling {
+            cache: PathCache::new(PathPolicy::EdgeDisjoint(k)),
+        }
     }
 }
 
@@ -66,7 +68,10 @@ impl Router for SpiderWaterfilling {
             .iter()
             .zip(allocated)
             .filter(|(_, a)| !a.is_zero())
-            .map(|(p, amount)| RouteProposal { path: p.nodes.clone(), amount })
+            .map(|(p, amount)| RouteProposal {
+                path: p.nodes.clone(),
+                amount,
+            })
             .collect()
     }
 }
@@ -102,15 +107,21 @@ mod tests {
         b.channel(NodeId(0), NodeId(2), xrp(12)).unwrap();
         b.channel(NodeId(2), NodeId(3), xrp(12)).unwrap();
         let t = b.build();
-        let ch: Vec<ChannelState> =
-            t.channels().map(|(_, c)| ChannelState::split_equally(c.capacity)).collect();
+        let ch: Vec<ChannelState> = t
+            .channels()
+            .map(|(_, c)| ChannelState::split_equally(c.capacity))
+            .collect();
         (t, ch)
     }
 
     #[test]
     fn prefers_widest_path_first() {
         let (t, ch) = diamond();
-        let view = NetworkView { topo: &t, channels: &ch, now: SimTime::ZERO };
+        let view = NetworkView {
+            topo: &t,
+            channels: &ch,
+            now: SimTime::ZERO,
+        };
         let mut r = SpiderWaterfilling::new(4);
         // 3 XRP with MTU 1: all three units fit on the 10-XRP detour
         // (residuals: direct 2, via-1 10, via-2 6).
@@ -123,7 +134,11 @@ mod tests {
     #[test]
     fn spreads_across_paths_when_large() {
         let (t, ch) = diamond();
-        let view = NetworkView { topo: &t, channels: &ch, now: SimTime::ZERO };
+        let view = NetworkView {
+            topo: &t,
+            channels: &ch,
+            now: SimTime::ZERO,
+        };
         let mut r = SpiderWaterfilling::new(4);
         // 14 XRP: waterfills via-1 (10 avail) down toward via-2 (6) and
         // direct (2). Expected split: via-1 gets 9, via-2 gets 5 — both
@@ -146,7 +161,11 @@ mod tests {
     #[test]
     fn allocation_capped_by_total_capacity() {
         let (t, ch) = diamond();
-        let view = NetworkView { topo: &t, channels: &ch, now: SimTime::ZERO };
+        let view = NetworkView {
+            topo: &t,
+            channels: &ch,
+            now: SimTime::ZERO,
+        };
         let mut r = SpiderWaterfilling::new(4);
         // Ask for far more than the network can hold: 2 + 10 + 6 = 18 max.
         let props = r.route(&req(0, 3, xrp(100), xrp(1)), &view);
@@ -161,7 +180,11 @@ mod tests {
         let direct = t.channel_between(NodeId(0), NodeId(3)).unwrap();
         let avail = ch[direct.index()].available(Direction::Forward);
         assert!(ch[direct.index()].lock(Direction::Forward, avail));
-        let view = NetworkView { topo: &t, channels: &ch, now: SimTime::ZERO };
+        let view = NetworkView {
+            topo: &t,
+            channels: &ch,
+            now: SimTime::ZERO,
+        };
         let mut r = SpiderWaterfilling::new(4);
         let props = r.route(&req(0, 3, xrp(16), xrp(1)), &view);
         assert!(props.iter().all(|p| p.path != vec![NodeId(0), NodeId(3)]));
@@ -174,10 +197,18 @@ mod tests {
         let mut b = spider_topology::Topology::builder(3);
         b.channel(NodeId(0), NodeId(1), xrp(2)).unwrap();
         let t = b.build();
-        let ch: Vec<ChannelState> =
-            t.channels().map(|(_, c)| ChannelState::split_equally(c.capacity)).collect();
-        let view = NetworkView { topo: &t, channels: &ch, now: SimTime::ZERO };
-        assert!(SpiderWaterfilling::new(4).route(&req(0, 2, xrp(1), xrp(1)), &view).is_empty());
+        let ch: Vec<ChannelState> = t
+            .channels()
+            .map(|(_, c)| ChannelState::split_equally(c.capacity))
+            .collect();
+        let view = NetworkView {
+            topo: &t,
+            channels: &ch,
+            now: SimTime::ZERO,
+        };
+        assert!(SpiderWaterfilling::new(4)
+            .route(&req(0, 2, xrp(1), xrp(1)), &view)
+            .is_empty());
     }
 
     #[test]

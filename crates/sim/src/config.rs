@@ -48,6 +48,95 @@ impl Default for RebalancingConfig {
     }
 }
 
+/// How transaction units claim channel balance along their path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum QueueingMode {
+    /// The seed behavior: a unit locks its entire path instantly at
+    /// routing time and fails immediately when any hop lacks balance.
+    Lockstep,
+    /// The §5 router model: units travel hop by hop and wait in
+    /// per-channel FIFO queues when the outgoing direction lacks balance;
+    /// routers stamp prices and marks onto transiting units.
+    ///
+    /// Applies to non-atomic schemes; atomic schemes (max-flow,
+    /// SilentWhispers, SpeedyMurmurs) keep lockstep all-or-nothing
+    /// semantics, which queueing would break.
+    PerChannelFifo(QueueConfig),
+}
+
+/// Parameters of the per-channel queueing/marking model (§5).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueueConfig {
+    /// Per-hop forwarding/processing latency once balance is available.
+    pub hop_delay: SimDuration,
+    /// Units whose queueing delay at a hop exceeds this are marked
+    /// (the router's threshold rule on queue delay).
+    pub marking_delay: SimDuration,
+    /// Units are also marked when the channel's one-way flow share
+    /// `(x_d − x_rev) / (x_d + x_rev)` exceeds this (the paper's
+    /// imbalance term `x_u − x_v`, normalized) *and* the sending
+    /// direction is close to depletion (see `depletion_fraction`).
+    pub imbalance_threshold: f64,
+    /// Imbalance marking fires only when the sending side's available
+    /// balance is below this fraction of channel capacity: persistent
+    /// one-way flow is only a congestion signal once it threatens to
+    /// drain the channel.
+    pub depletion_fraction: f64,
+    /// A unit queued longer than this is dropped and nacked.
+    pub max_queue_delay: SimDuration,
+    /// Maximum units queued per channel direction; arrivals beyond this
+    /// are dropped immediately.
+    pub max_queue_units: usize,
+    /// Weight of queueing delay (seconds) in the stamped price.
+    pub queue_price_weight: f64,
+    /// Weight of the normalized flow imbalance in the stamped price.
+    pub imbalance_price_weight: f64,
+}
+
+impl Default for QueueConfig {
+    fn default() -> Self {
+        QueueConfig {
+            hop_delay: SimDuration::from_millis(10),
+            marking_delay: SimDuration::from_millis(150),
+            imbalance_threshold: 0.4,
+            depletion_fraction: 0.2,
+            max_queue_delay: SimDuration::from_millis(1_500),
+            max_queue_units: 4_096,
+            queue_price_weight: 1.0,
+            imbalance_price_weight: 0.5,
+        }
+    }
+}
+
+impl QueueConfig {
+    fn validate(&self) -> spider_types::Result<()> {
+        use spider_types::SpiderError::InvalidConfig;
+        if self.max_queue_delay.is_zero() {
+            return Err(InvalidConfig("max queue delay must be positive".into()));
+        }
+        if self.max_queue_units == 0 {
+            return Err(InvalidConfig("queue capacity must be positive".into()));
+        }
+        if self.marking_delay > self.max_queue_delay {
+            return Err(InvalidConfig(
+                "marking delay must not exceed max queue delay".into(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.imbalance_threshold) {
+            return Err(InvalidConfig(
+                "imbalance threshold must be in [0, 1]".into(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.depletion_fraction) {
+            return Err(InvalidConfig("depletion fraction must be in [0, 1]".into()));
+        }
+        if self.queue_price_weight < 0.0 || self.imbalance_price_weight < 0.0 {
+            return Err(InvalidConfig("price weights must be non-negative".into()));
+        }
+        Ok(())
+    }
+}
+
 /// Engine parameters.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimConfig {
@@ -75,6 +164,9 @@ pub struct SimConfig {
     /// Optional on-chain rebalancing (§5.2.3). `None` = pure off-chain
     /// operation, the paper's default evaluation mode.
     pub rebalancing: Option<RebalancingConfig>,
+    /// How units claim balance along their path: instant whole-path
+    /// locking (the offline-scheme model) or the §5 per-channel queues.
+    pub queueing: QueueingMode,
 }
 
 impl Default for SimConfig {
@@ -88,6 +180,7 @@ impl Default for SimConfig {
             horizon: SimDuration::from_secs(200),
             max_proposals_per_poll: 64,
             rebalancing: None,
+            queueing: QueueingMode::Lockstep,
         }
     }
 }
@@ -108,9 +201,14 @@ impl SimConfig {
         if self.max_proposals_per_poll == 0 {
             return Err(InvalidConfig("max proposals must be positive".into()));
         }
+        if let QueueingMode::PerChannelFifo(qc) = &self.queueing {
+            qc.validate()?;
+        }
         if let Some(rb) = &self.rebalancing {
             if rb.check_interval.is_zero() {
-                return Err(InvalidConfig("rebalancing interval must be positive".into()));
+                return Err(InvalidConfig(
+                    "rebalancing interval must be positive".into(),
+                ));
             }
             if !(0.0..=1.0).contains(&rb.trigger_fraction)
                 || !(0.0..=1.0).contains(&rb.target_fraction)
@@ -139,17 +237,26 @@ mod tests {
 
     #[test]
     fn validation_catches_zeroes() {
-        let mut c = SimConfig::default();
-        c.mtu = Amount::ZERO;
-        assert!(c.validate().is_err());
-        let mut c = SimConfig::default();
-        c.poll_interval = SimDuration::ZERO;
-        assert!(c.validate().is_err());
-        let mut c = SimConfig::default();
-        c.horizon = SimDuration::ZERO;
-        assert!(c.validate().is_err());
-        let mut c = SimConfig::default();
-        c.max_proposals_per_poll = 0;
-        assert!(c.validate().is_err());
+        let broken = [
+            SimConfig {
+                mtu: Amount::ZERO,
+                ..SimConfig::default()
+            },
+            SimConfig {
+                poll_interval: SimDuration::ZERO,
+                ..SimConfig::default()
+            },
+            SimConfig {
+                horizon: SimDuration::ZERO,
+                ..SimConfig::default()
+            },
+            SimConfig {
+                max_proposals_per_poll: 0,
+                ..SimConfig::default()
+            },
+        ];
+        for c in broken {
+            assert!(c.validate().is_err());
+        }
     }
 }

@@ -26,12 +26,13 @@ pub mod channel;
 pub mod config;
 pub mod engine;
 pub mod metrics;
+pub mod queue;
 pub mod router;
 pub mod workload;
 
 pub use channel::ChannelState;
-pub use config::{SchedulingPolicy, SimConfig};
+pub use config::{QueueConfig, QueueingMode, SchedulingPolicy, SimConfig};
 pub use engine::Simulation;
 pub use metrics::SimReport;
-pub use router::{NetworkView, RouteProposal, RouteRequest, Router, UnitOutcome};
+pub use router::{NetworkView, RouteProposal, RouteRequest, Router, UnitAck, UnitOutcome};
 pub use workload::{SizeDistribution, TxnSpec, Workload, WorkloadConfig};

@@ -32,6 +32,19 @@ pub struct SimReport {
     pub onchain_deposited: Amount,
     /// Number of on-chain rebalancing operations.
     pub rebalance_ops: u64,
+    /// Unit acknowledgements delivered to the sender (§5 queueing mode
+    /// only): one per accepted unit, whether it settled or dropped.
+    pub units_acked: u64,
+    /// Units marked by router price signaling (§5 queueing mode only).
+    pub units_marked: u64,
+    /// Units dropped in transit: queue timeout, queue overflow mid-path,
+    /// or payment expiry (§5 queueing mode only).
+    pub units_dropped: u64,
+    /// Units that waited in at least one router queue before settling or
+    /// dropping.
+    pub units_queued: u64,
+    /// Total queueing delay accumulated across all hops of all units (s).
+    pub queue_delay_sum_s: f64,
     /// Completion times of fully delivered payments, seconds.
     pub completion_times: Vec<f64>,
     /// Delivered volume per 1-second bucket (throughput time series).
@@ -40,6 +53,9 @@ pub struct SimReport {
     /// ∈ [0, 1]) sampled once per second — the quantity imbalance-aware
     /// routing tries to keep small.
     pub imbalance_series: Vec<f64>,
+    /// Total transaction units resident in router queues, sampled once per
+    /// second (§5 queueing mode; all zeros in lockstep mode).
+    pub queue_occupancy_series: Vec<f64>,
     /// Wall-clock-free simulated horizon actually processed.
     pub horizon: SimDuration,
 }
@@ -67,6 +83,22 @@ impl SimReport {
     /// Average hops per successfully locked unit.
     pub fn avg_path_length(&self) -> Option<f64> {
         (self.units_locked > 0).then(|| self.unit_hops_sum as f64 / self.units_locked as f64)
+    }
+
+    /// Fraction of acknowledged units that came back marked (§5 queueing
+    /// mode): the congestion signal senders react to.
+    pub fn marking_rate(&self) -> f64 {
+        if self.units_acked == 0 {
+            0.0
+        } else {
+            self.units_marked as f64 / self.units_acked as f64
+        }
+    }
+
+    /// Mean per-unit total queueing delay in seconds, over units that
+    /// queued at least once. `None` when nothing queued.
+    pub fn avg_queue_delay(&self) -> Option<f64> {
+        (self.units_queued > 0).then(|| self.queue_delay_sum_s / self.units_queued as f64)
     }
 
     /// Fraction of unit lock attempts that succeeded.
@@ -107,9 +139,15 @@ pub struct MetricsCollector {
     unit_hops_sum: u64,
     onchain_deposited: Amount,
     rebalance_ops: u64,
+    units_acked: u64,
+    units_marked: u64,
+    units_dropped: u64,
+    units_queued: u64,
+    queue_delay_sum_s: f64,
     completion_times: Vec<f64>,
     throughput_buckets: Vec<f64>,
     imbalance_samples: Vec<f64>,
+    queue_occupancy_samples: Vec<f64>,
 }
 
 impl MetricsCollector {
@@ -166,6 +204,33 @@ impl MetricsCollector {
         self.imbalance_samples.push(mean_abs_fraction);
     }
 
+    /// Records a unit acknowledgement's marking state (queueing mode).
+    pub fn unit_acked(&mut self, marked: bool) {
+        self.units_acked += 1;
+        if marked {
+            self.units_marked += 1;
+        }
+    }
+
+    /// Records a unit dropped in transit (queueing mode).
+    pub fn unit_dropped(&mut self) {
+        self.units_dropped += 1;
+    }
+
+    /// Records one hop's queueing delay for a serviced unit; `first_wait`
+    /// is true the first time this particular unit waited in any queue.
+    pub fn unit_queued(&mut self, delay_s: f64, first_wait: bool) {
+        if first_wait {
+            self.units_queued += 1;
+        }
+        self.queue_delay_sum_s += delay_s;
+    }
+
+    /// Records one network-wide queue occupancy sample (total queued units).
+    pub fn queue_occupancy_sample(&mut self, total_queued: f64) {
+        self.queue_occupancy_samples.push(total_queued);
+    }
+
     /// Finalizes into a report.
     pub fn finish(self, scheme: &str, horizon: SimDuration) -> SimReport {
         SimReport {
@@ -180,9 +245,15 @@ impl MetricsCollector {
             unit_hops_sum: self.unit_hops_sum,
             onchain_deposited: self.onchain_deposited,
             rebalance_ops: self.rebalance_ops,
+            units_acked: self.units_acked,
+            units_marked: self.units_marked,
+            units_dropped: self.units_dropped,
+            units_queued: self.units_queued,
+            queue_delay_sum_s: self.queue_delay_sum_s,
             completion_times: self.completion_times,
             throughput_series: self.throughput_buckets,
             imbalance_series: self.imbalance_samples,
+            queue_occupancy_series: self.queue_occupancy_samples,
             horizon,
         }
     }

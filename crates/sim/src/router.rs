@@ -8,7 +8,9 @@
 
 use crate::channel::ChannelState;
 use spider_topology::Topology;
-use spider_types::{Amount, ChannelId, Direction, NodeId, PaymentId, SimTime};
+use spider_types::{
+    Amount, ChannelId, Direction, DropReason, MarkStamp, NodeId, PaymentId, SimDuration, SimTime,
+};
 
 /// Read-only view of the network given to routers.
 pub struct NetworkView<'a> {
@@ -82,6 +84,32 @@ pub struct UnitOutcome {
     pub locked: bool,
 }
 
+/// End-to-end acknowledgement for one transaction unit (§5 queueing mode).
+///
+/// Emitted once per injected unit when the engine runs with
+/// [`QueueingMode::PerChannelFifo`](crate::config::QueueingMode): either the
+/// unit settled (`delivered`) or it was dropped/refunded (queue timeout,
+/// queue overflow mid-path, or payment expiry). The [`MarkStamp`] carries
+/// the price and mark bit routers along the path stamped onto the unit;
+/// dropped units always come back marked.
+#[derive(Debug, Clone)]
+pub struct UnitAck {
+    /// The payment the unit belonged to.
+    pub payment: PaymentId,
+    /// The node path the unit was injected on.
+    pub path: Vec<NodeId>,
+    /// The unit value.
+    pub amount: Amount,
+    /// True iff the unit settled end-to-end.
+    pub delivered: bool,
+    /// Aggregated price/mark metadata stamped by the routers on the path.
+    pub stamp: MarkStamp,
+    /// Why the unit was dropped, when `delivered` is false.
+    pub drop_reason: Option<DropReason>,
+    /// Time from injection to this acknowledgement.
+    pub rtt: SimDuration,
+}
+
 /// A routing scheme.
 ///
 /// Implementations live in `spider-routing`; the engine drives them through
@@ -89,6 +117,13 @@ pub struct UnitOutcome {
 pub trait Router {
     /// Human-readable scheme name (used in reports).
     fn name(&self) -> &'static str;
+
+    /// Called once before [`Router::initialize`] with engine-mode
+    /// information: `queueing` is true when units travel hop by hop
+    /// through router queues and definitive feedback arrives via
+    /// [`Router::on_unit_ack`] rather than lock outcomes. Wrappers must
+    /// forward to their inner scheme.
+    fn configure(&mut self, _queueing: bool) {}
 
     /// Called once with the initial network state before any payment.
     fn initialize(&mut self, _view: &NetworkView<'_>) {}
@@ -98,8 +133,16 @@ pub trait Router {
     /// payment (atomic schemes).
     fn route(&mut self, req: &RouteRequest, view: &NetworkView<'_>) -> Vec<RouteProposal>;
 
-    /// Observation hook invoked after every unit lock attempt.
+    /// Observation hook invoked after every unit lock attempt. In queueing
+    /// mode `locked` means *accepted for forwarding* (possibly queued at
+    /// the first hop); the definitive outcome arrives via
+    /// [`Router::on_unit_ack`].
     fn on_unit_outcome(&mut self, _outcome: &UnitOutcome, _view: &NetworkView<'_>) {}
+
+    /// Acknowledgement hook for the §5 queueing mode: called exactly once
+    /// per accepted unit with its delivery outcome and price stamp. Never
+    /// called in lockstep mode.
+    fn on_unit_ack(&mut self, _ack: &UnitAck, _view: &NetworkView<'_>) {}
 
     /// Atomic schemes deliver a payment in one attempt, entirely or not at
     /// all (SilentWhispers, SpeedyMurmurs, max-flow). Non-atomic schemes
@@ -122,8 +165,14 @@ mod tests {
             .channels()
             .map(|(_, c)| ChannelState::split_equally(c.capacity))
             .collect();
-        let view = NetworkView { topo: &t, channels: &channels, now: SimTime::ZERO };
-        let b = view.path_bottleneck(&[NodeId(0), NodeId(1), NodeId(2)]).unwrap();
+        let view = NetworkView {
+            topo: &t,
+            channels: &channels,
+            now: SimTime::ZERO,
+        };
+        let b = view
+            .path_bottleneck(&[NodeId(0), NodeId(1), NodeId(2)])
+            .unwrap();
         assert_eq!(b, Amount::from_xrp(5));
         assert!(view.path_bottleneck(&[NodeId(0), NodeId(2)]).is_none());
     }
@@ -131,11 +180,17 @@ mod tests {
     #[test]
     fn view_directional_balances() {
         let t = gen::line(2, Amount::from_xrp(10));
-        let mut channels: Vec<ChannelState> =
-            t.channels().map(|(_, c)| ChannelState::split_equally(c.capacity)).collect();
+        let mut channels: Vec<ChannelState> = t
+            .channels()
+            .map(|(_, c)| ChannelState::split_equally(c.capacity))
+            .collect();
         assert!(channels[0].lock(Direction::Forward, Amount::from_xrp(5)));
         channels[0].settle(Direction::Forward, Amount::from_xrp(5));
-        let view = NetworkView { topo: &t, channels: &channels, now: SimTime::ZERO };
+        let view = NetworkView {
+            topo: &t,
+            channels: &channels,
+            now: SimTime::ZERO,
+        };
         let c = ChannelId(0);
         assert_eq!(view.available(c, Direction::Forward), Amount::ZERO);
         assert_eq!(view.available(c, Direction::Backward), Amount::from_xrp(10));

@@ -52,9 +52,11 @@ impl SizeDistribution {
     pub fn sample(&self, rng: &mut DetRng) -> Amount {
         match *self {
             SizeDistribution::Constant { xrp } => Amount::from_xrp_f64(xrp),
-            SizeDistribution::LogNormal { mean_xrp, median_xrp, cap_xrp } => {
-                sample_lognormal_capped(mean_xrp, median_xrp, cap_xrp, rng)
-            }
+            SizeDistribution::LogNormal {
+                mean_xrp,
+                median_xrp,
+                cap_xrp,
+            } => sample_lognormal_capped(mean_xrp, median_xrp, cap_xrp, rng),
             // Medians chosen so the fitted log-normal reproduces the
             // reported means with a realistic right skew; caps match the
             // reported maxima.
@@ -151,7 +153,10 @@ impl Workload {
     /// receivers are uniform (and distinct from the sender).
     pub fn generate(n_nodes: usize, cfg: &WorkloadConfig, rng: &mut DetRng) -> Workload {
         assert!(n_nodes >= 2, "need at least two nodes");
-        assert!(cfg.count > 0 && cfg.rate_per_sec > 0.0, "invalid workload config");
+        assert!(
+            cfg.count > 0 && cfg.rate_per_sec > 0.0,
+            "invalid workload config"
+        );
         let sender = ExponentialRank::new(n_nodes, cfg.sender_skew_scale);
         let mut rank_to_node: Vec<usize> = (0..n_nodes).collect();
         rng.shuffle(&mut rank_to_node);
@@ -195,7 +200,10 @@ impl Workload {
         }
         spider_paygraph_compat::PaymentGraphLike {
             n_nodes,
-            rates: rates.into_iter().map(|((s, d), v)| (s, d, v / secs)).collect(),
+            rates: rates
+                .into_iter()
+                .map(|((s, d), v)| (s, d, v / secs))
+                .collect(),
         }
     }
 }

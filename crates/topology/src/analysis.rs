@@ -66,8 +66,7 @@ pub fn largest_component(t: &Topology) -> Topology {
 pub fn prune_low_degree(t: &Topology, k: usize) -> Topology {
     let mut alive = vec![true; t.node_count()];
     let mut degree: Vec<usize> = t.nodes().map(|n| t.degree(n)).collect();
-    let mut queue: VecDeque<NodeId> =
-        t.nodes().filter(|n| degree[n.index()] <= k).collect();
+    let mut queue: VecDeque<NodeId> = t.nodes().filter(|n| degree[n.index()] <= k).collect();
     while let Some(u) = queue.pop_front() {
         if !alive[u.index()] {
             continue;

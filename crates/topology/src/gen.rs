@@ -25,7 +25,8 @@ fn nid(i: usize) -> NodeId {
 pub fn line(n: usize, capacity: Amount) -> Topology {
     let mut b = TopologyBuilder::new(n);
     for i in 1..n {
-        b.channel(nid(i - 1), nid(i), capacity).expect("valid line edge");
+        b.channel(nid(i - 1), nid(i), capacity)
+            .expect("valid line edge");
     }
     b.build()
 }
@@ -35,7 +36,8 @@ pub fn cycle(n: usize, capacity: Amount) -> Topology {
     assert!(n >= 3, "cycle needs at least 3 nodes");
     let mut b = TopologyBuilder::new(n);
     for i in 0..n {
-        b.channel(nid(i), nid((i + 1) % n), capacity).expect("valid cycle edge");
+        b.channel(nid(i), nid((i + 1) % n), capacity)
+            .expect("valid cycle edge");
     }
     b.build()
 }
@@ -45,7 +47,8 @@ pub fn star(n: usize, capacity: Amount) -> Topology {
     assert!(n >= 2, "star needs at least 2 nodes");
     let mut b = TopologyBuilder::new(n);
     for i in 1..n {
-        b.channel(nid(0), nid(i), capacity).expect("valid star edge");
+        b.channel(nid(0), nid(i), capacity)
+            .expect("valid star edge");
     }
     b.build()
 }
@@ -55,7 +58,8 @@ pub fn complete(n: usize, capacity: Amount) -> Topology {
     let mut b = TopologyBuilder::new(n);
     for i in 0..n {
         for j in (i + 1)..n {
-            b.channel(nid(i), nid(j), capacity).expect("valid complete edge");
+            b.channel(nid(i), nid(j), capacity)
+                .expect("valid complete edge");
         }
     }
     b.build()
@@ -68,10 +72,12 @@ pub fn grid(w: usize, h: usize, capacity: Amount) -> Topology {
         for x in 0..w {
             let i = y * w + x;
             if x + 1 < w {
-                b.channel(nid(i), nid(i + 1), capacity).expect("valid grid edge");
+                b.channel(nid(i), nid(i + 1), capacity)
+                    .expect("valid grid edge");
             }
             if y + 1 < h {
-                b.channel(nid(i), nid(i + w), capacity).expect("valid grid edge");
+                b.channel(nid(i), nid(i + w), capacity)
+                    .expect("valid grid edge");
             }
         }
     }
@@ -96,7 +102,9 @@ pub fn balanced_tree(branching: usize, depth: usize, capacity: Amount) -> Topolo
         let mut new_frontier = Vec::with_capacity(frontier.len() * branching);
         for &parent in &frontier {
             for _ in 0..branching {
-                builder.channel(nid(parent), nid(next), capacity).expect("valid tree edge");
+                builder
+                    .channel(nid(parent), nid(next), capacity)
+                    .expect("valid tree edge");
                 new_frontier.push(next);
                 next += 1;
             }
@@ -133,7 +141,7 @@ pub fn watts_strogatz(
     capacity: Amount,
     rng: &mut DetRng,
 ) -> Topology {
-    assert!(k % 2 == 0 && k >= 2, "k must be even and >= 2");
+    assert!(k.is_multiple_of(2) && k >= 2, "k must be even and >= 2");
     assert!(k < n, "k must be smaller than n");
     assert!((0.0..=1.0).contains(&beta), "beta out of range");
     let mut b = TopologyBuilder::new(n);
@@ -172,7 +180,8 @@ pub fn barabasi_albert(n: usize, m: usize, capacity: Amount, rng: &mut DetRng) -
     let mut endpoint_pool: Vec<usize> = Vec::new();
     for i in 0..=m {
         for j in (i + 1)..=m {
-            b.channel(nid(i), nid(j), capacity).expect("valid BA seed edge");
+            b.channel(nid(i), nid(j), capacity)
+                .expect("valid BA seed edge");
             endpoint_pool.push(i);
             endpoint_pool.push(j);
         }
@@ -186,7 +195,8 @@ pub fn barabasi_albert(n: usize, m: usize, capacity: Amount, rng: &mut DetRng) -
             }
         }
         for t in targets {
-            b.channel(nid(new), nid(t), capacity).expect("valid BA edge");
+            b.channel(nid(new), nid(t), capacity)
+                .expect("valid BA edge");
             endpoint_pool.push(new);
             endpoint_pool.push(t);
         }
@@ -220,12 +230,14 @@ pub fn isp_topology(capacity: Amount) -> Topology {
     // (a, a+1, a+2, a+3) mod 8.
     for a in 8..32 {
         for off in 0..4 {
-            b.channel(nid(a), nid((a + off) % 8), capacity).expect("uplink edge");
+            b.channel(nid(a), nid((a + off) % 8), capacity)
+                .expect("uplink edge");
         }
     }
     // Access ring.
     for i in 0..24 {
-        b.channel(nid(8 + i), nid(8 + (i + 1) % 24), capacity).expect("ring edge");
+        b.channel(nid(8 + i), nid(8 + (i + 1) % 24), capacity)
+            .expect("ring edge");
     }
     // Chords across the ring.
     for (x, y) in [(8, 20), (11, 23), (14, 26), (17, 29)] {
@@ -290,7 +302,8 @@ pub const PAPER_EXAMPLE_NODES: usize = 5;
 pub fn paper_example_topology(capacity: Amount) -> Topology {
     let mut b = TopologyBuilder::new(PAPER_EXAMPLE_NODES);
     for (u, v) in [(1, 2), (2, 3), (3, 4), (2, 4), (1, 5), (3, 5)] {
-        b.channel(nid(u - 1), nid(v - 1), capacity).expect("paper example edge");
+        b.channel(nid(u - 1), nid(v - 1), capacity)
+            .expect("paper example edge");
     }
     b.build()
 }
@@ -424,7 +437,10 @@ mod tests {
         let comp = analysis::largest_component(&t);
         assert!(comp.node_count() >= n * 95 / 100);
         let max_deg = t.nodes().map(|v| t.degree(v)).max().unwrap();
-        assert!(max_deg as f64 > 4.0 * avg_deg, "not heavy-tailed: {max_deg}");
+        assert!(
+            max_deg as f64 > 4.0 * avg_deg,
+            "not heavy-tailed: {max_deg}"
+        );
     }
 
     #[test]

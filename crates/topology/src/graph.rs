@@ -110,7 +110,10 @@ impl Topology {
 
     /// Iterator over `(id, channel)` pairs.
     pub fn channels(&self) -> impl Iterator<Item = (ChannelId, &Channel)> + '_ {
-        self.channels.iter().enumerate().map(|(i, c)| (ChannelId::from_index(i), c))
+        self.channels
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (ChannelId::from_index(i), c))
     }
 
     /// The channel with the given id.
@@ -121,7 +124,9 @@ impl Topology {
 
     /// Checked channel lookup.
     pub fn try_channel(&self, id: ChannelId) -> Result<&Channel> {
-        self.channels.get(id.index()).ok_or(SpiderError::UnknownChannel(id))
+        self.channels
+            .get(id.index())
+            .ok_or(SpiderError::UnknownChannel(id))
     }
 
     /// Adjacency list of `node`, sorted by neighbor id.
@@ -138,7 +143,11 @@ impl Topology {
 
     /// The channel between `a` and `b`, if one exists.
     pub fn channel_between(&self, a: NodeId, b: NodeId) -> Option<ChannelId> {
-        let (probe, other) = if self.degree(a) <= self.degree(b) { (a, b) } else { (b, a) };
+        let (probe, other) = if self.degree(a) <= self.degree(b) {
+            (a, b)
+        } else {
+            (b, a)
+        };
         self.adj[probe.index()]
             .binary_search_by_key(&other, |adj| adj.neighbor)
             .ok()
@@ -271,7 +280,10 @@ pub struct TopologyBuilder {
 impl TopologyBuilder {
     /// Creates a builder for a graph with `nodes` nodes and no channels.
     pub fn new(nodes: usize) -> Self {
-        TopologyBuilder { node_count: nodes, channels: Vec::new() }
+        TopologyBuilder {
+            node_count: nodes,
+            channels: Vec::new(),
+        }
     }
 
     fn canonical(&self, a: NodeId, b: NodeId) -> Result<(NodeId, NodeId)> {
@@ -292,7 +304,9 @@ impl TopologyBuilder {
     pub fn channel(&mut self, a: NodeId, b: NodeId, capacity: Amount) -> Result<&mut Self> {
         let (u, v) = self.canonical(a, b)?;
         if self.find(u, v).is_some() {
-            return Err(SpiderError::InvalidConfig(format!("duplicate channel {u}-{v}")));
+            return Err(SpiderError::InvalidConfig(format!(
+                "duplicate channel {u}-{v}"
+            )));
         }
         self.channels.push(Channel { u, v, capacity });
         Ok(self)
@@ -335,13 +349,23 @@ impl TopologyBuilder {
         let mut adj: Vec<Vec<Adjacency>> = vec![Vec::new(); self.node_count];
         for (i, c) in self.channels.iter().enumerate() {
             let id = ChannelId::from_index(i);
-            adj[c.u.index()].push(Adjacency { neighbor: c.v, channel: id });
-            adj[c.v.index()].push(Adjacency { neighbor: c.u, channel: id });
+            adj[c.u.index()].push(Adjacency {
+                neighbor: c.v,
+                channel: id,
+            });
+            adj[c.v.index()].push(Adjacency {
+                neighbor: c.u,
+                channel: id,
+            });
         }
         for list in &mut adj {
             list.sort_by_key(|a| a.neighbor);
         }
-        Topology { node_count: self.node_count, channels: self.channels, adj }
+        Topology {
+            node_count: self.node_count,
+            channels: self.channels,
+            adj,
+        }
     }
 }
 
@@ -403,7 +427,10 @@ mod tests {
             b.channel(n(0), n(0), Amount::ZERO),
             Err(SpiderError::InvalidConfig(_))
         ));
-        assert!(matches!(b.channel(n(0), n(5), Amount::ZERO), Err(SpiderError::UnknownNode(_))));
+        assert!(matches!(
+            b.channel(n(0), n(5), Amount::ZERO),
+            Err(SpiderError::UnknownNode(_))
+        ));
         b.channel(n(0), n(1), Amount::from_xrp(1)).unwrap();
         assert!(matches!(
             b.channel(n(1), n(0), Amount::ZERO),
@@ -497,6 +524,6 @@ mod tests {
         assert!(t.channels().all(|(_, c)| c.capacity == Amount::from_xrp(7)));
         assert_eq!(t.total_capacity(), Amount::from_xrp(28));
         let t2 = t.with_capacities(|id, _| Amount::from_xrp(id.0 as u64));
-        assert_eq!(t2.total_capacity(), Amount::from_xrp(0 + 1 + 2 + 3));
+        assert_eq!(t2.total_capacity(), Amount::from_xrp(1 + 2 + 3));
     }
 }

@@ -19,7 +19,12 @@ pub fn to_text(t: &Topology) -> String {
     out.push_str("# spider topology v1\n");
     out.push_str(&format!("nodes {}\n", t.node_count()));
     for (_, c) in t.channels() {
-        out.push_str(&format!("channel {} {} {}\n", c.u.index(), c.v.index(), c.capacity.drops()));
+        out.push_str(&format!(
+            "channel {} {} {}\n",
+            c.u.index(),
+            c.v.index(),
+            c.capacity.drops()
+        ));
     }
     out
 }
@@ -51,7 +56,9 @@ pub fn from_text(text: &str) -> Result<Topology> {
                 builder = Some(TopologyBuilder::new(n));
             }
             "channel" => {
-                let b = builder.as_mut().ok_or_else(|| err("`channel` before `nodes`"))?;
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| err("`channel` before `nodes`"))?;
                 let mut field = |name: &str| -> Result<u64> {
                     parts
                         .next()
@@ -65,9 +72,16 @@ pub fn from_text(text: &str) -> Result<Topology> {
                 if parts.next().is_some() {
                     return Err(err("trailing tokens after channel"));
                 }
+                // Range-check before NodeId::from_index, which panics on
+                // indices beyond u32 (malformed input must error instead).
+                let node = |x: u64, name: &str| -> Result<NodeId> {
+                    u32::try_from(x)
+                        .map(NodeId)
+                        .map_err(|_| err(&format!("{name} out of range")))
+                };
                 b.channel(
-                    NodeId::from_index(u as usize),
-                    NodeId::from_index(v as usize),
+                    node(u, "endpoint u")?,
+                    node(v, "endpoint v")?,
                     Amount::from_drops(cap),
                 )
                 .map_err(|e| err(&e.to_string()))?;
@@ -75,7 +89,9 @@ pub fn from_text(text: &str) -> Result<Topology> {
             other => return Err(err(&format!("unknown keyword `{other}`"))),
         }
     }
-    Ok(builder.ok_or_else(|| SpiderError::Parse("no `nodes` declaration".into()))?.build())
+    Ok(builder
+        .ok_or_else(|| SpiderError::Parse("no `nodes` declaration".into()))?
+        .build())
 }
 
 #[cfg(test)]
@@ -97,7 +113,10 @@ mod tests {
         let t = from_text(text).unwrap();
         assert_eq!(t.node_count(), 3);
         assert_eq!(t.channel_count(), 2);
-        assert_eq!(t.channel(spider_types::ChannelId(0)).capacity, Amount::from_drops(5));
+        assert_eq!(
+            t.channel(spider_types::ChannelId(0)).capacity,
+            Amount::from_drops(5)
+        );
     }
 
     #[test]
@@ -117,5 +136,89 @@ mod tests {
     fn error_mentions_line_number() {
         let e = from_text("nodes 2\nchannel 0 1 bad\n").unwrap_err();
         assert!(e.to_string().contains("line 2"), "{e}");
+    }
+
+    /// Property-style round-trip: every topology family, over many seeds,
+    /// survives `to_text` → `from_text` unchanged.
+    #[test]
+    fn round_trip_random_topologies() {
+        let cap = Amount::from_xrp(1_000);
+        for seed in 0..24u64 {
+            let mut rng = spider_types::DetRng::new(seed);
+            let topologies = [
+                gen::erdos_renyi(12, 0.3, cap, &mut rng),
+                gen::barabasi_albert(20, 2, cap, &mut rng),
+                gen::watts_strogatz(16, 4, 0.2, cap, &mut rng),
+                gen::ripple_like(30, cap, &mut rng),
+            ];
+            for t in topologies {
+                let text = to_text(&t);
+                let back = from_text(&text).expect("generated topology parses");
+                assert_eq!(t, back, "seed {seed}");
+                // Second round trip is a fixpoint.
+                assert_eq!(to_text(&back), text);
+            }
+        }
+    }
+
+    /// Round trip preserves extreme but valid capacities to the drop.
+    #[test]
+    fn round_trip_extreme_capacities() {
+        let mut b = crate::Topology::builder(3);
+        b.channel(NodeId(0), NodeId(1), Amount::from_drops(1))
+            .unwrap();
+        b.channel(NodeId(1), NodeId(2), Amount::from_drops(u64::MAX))
+            .unwrap();
+        let t = b.build();
+        let back = from_text(&to_text(&t)).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn rejects_duplicate_nodes_even_with_same_count() {
+        assert!(from_text("nodes 3\nnodes 3\n").is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_tokens_on_nodes_line() {
+        assert!(from_text("nodes 2 7\n").is_err());
+        // A comment after the count is fine, though.
+        assert!(from_text("nodes 2 # two\nchannel 0 1 5\n").is_ok());
+    }
+
+    #[test]
+    fn rejects_out_of_range_channel_endpoints() {
+        assert!(from_text("nodes 3\nchannel 0 3 1\n").is_err()); // v == n
+        assert!(from_text("nodes 3\nchannel 7 1 1\n").is_err()); // u > n
+        assert!(from_text("nodes 3\nchannel 0 18446744073709551615 1\n").is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_and_reversed_duplicate_channels() {
+        assert!(from_text("nodes 3\nchannel 0 1 5\nchannel 0 1 9\n").is_err());
+        assert!(from_text("nodes 3\nchannel 0 1 5\nchannel 1 0 9\n").is_err());
+    }
+
+    #[test]
+    fn rejects_non_numeric_and_signed_fields() {
+        assert!(from_text("nodes -2\n").is_err());
+        assert!(from_text("nodes 2\nchannel 0 1 -5\n").is_err());
+        assert!(from_text("nodes 2\nchannel 0 1 5.5\n").is_err());
+        assert!(from_text("nodes 2\nchannel zero 1 5\n").is_err());
+        // Capacity beyond u64::MAX overflows the field parser.
+        assert!(from_text("nodes 2\nchannel 0 1 18446744073709551616\n").is_err());
+    }
+
+    #[test]
+    fn comment_only_document_has_no_nodes() {
+        assert!(from_text("# nothing here\n\n# still nothing\n").is_err());
+    }
+
+    #[test]
+    fn errors_carry_the_failing_line_for_malformed_channels() {
+        let e = from_text("nodes 3\nchannel 0 1 5\nchannel 0 1 5\n").unwrap_err();
+        assert!(e.to_string().contains("line 3"), "{e}");
+        let e = from_text("# c\n\nnodes 2\nchannel 0 1\n").unwrap_err();
+        assert!(e.to_string().contains("line 4"), "{e}");
     }
 }

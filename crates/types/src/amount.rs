@@ -414,7 +414,11 @@ mod tests {
 
     #[test]
     fn sum_iterator() {
-        let v = vec![Amount::from_xrp(1), Amount::from_xrp(2), Amount::from_xrp(3)];
+        let v = vec![
+            Amount::from_xrp(1),
+            Amount::from_xrp(2),
+            Amount::from_xrp(3),
+        ];
         assert_eq!(v.iter().sum::<Amount>(), Amount::from_xrp(6));
         assert_eq!(v.into_iter().sum::<Amount>(), Amount::from_xrp(6));
     }

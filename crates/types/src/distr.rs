@@ -90,7 +90,10 @@ impl LogNormal {
     /// Creates a log-normal with location `mu` and scale `sigma >= 0` of the
     /// underlying normal.
     pub fn new(mu: f64, sigma: f64) -> Self {
-        assert!(sigma >= 0.0 && sigma.is_finite() && mu.is_finite(), "invalid parameters");
+        assert!(
+            sigma >= 0.0 && sigma.is_finite() && mu.is_finite(),
+            "invalid parameters"
+        );
         LogNormal { mu, sigma }
     }
 
@@ -99,7 +102,10 @@ impl LogNormal {
     /// Median = exp(mu), mean = exp(mu + sigma²/2), so
     /// sigma = sqrt(2 ln(mean/median)).
     pub fn with_mean_median(mean: f64, median: f64) -> Self {
-        assert!(mean > 0.0 && median > 0.0 && mean >= median, "need mean >= median > 0");
+        assert!(
+            mean > 0.0 && median > 0.0 && mean >= median,
+            "need mean >= median > 0"
+        );
         let mu = median.ln();
         let sigma = (2.0 * (mean / median).ln()).sqrt();
         LogNormal { mu, sigma }
@@ -162,7 +168,10 @@ pub struct UniformF64 {
 impl UniformF64 {
     /// Creates a uniform distribution on `[lo, hi)` with `lo < hi`.
     pub fn new(lo: f64, hi: f64) -> Self {
-        assert!(lo < hi && lo.is_finite() && hi.is_finite(), "invalid interval");
+        assert!(
+            lo < hi && lo.is_finite() && hi.is_finite(),
+            "invalid interval"
+        );
         UniformF64 { lo, hi }
     }
 }
@@ -202,7 +211,10 @@ impl Empirical {
     /// Builds an empirical distribution from a non-empty sample set.
     pub fn new(values: Vec<f64>) -> Self {
         assert!(!values.is_empty(), "empirical distribution needs samples");
-        assert!(values.iter().all(|v| v.is_finite()), "samples must be finite");
+        assert!(
+            values.iter().all(|v| v.is_finite()),
+            "samples must be finite"
+        );
         Empirical { values }
     }
 
@@ -285,7 +297,10 @@ pub struct PoissonProcess {
 impl PoissonProcess {
     /// Creates a process with `rate` events per second, starting at t = 0.
     pub fn new(rate: f64) -> Self {
-        PoissonProcess { inter: Exponential::new(rate), now: 0.0 }
+        PoissonProcess {
+            inter: Exponential::new(rate),
+            now: 0.0,
+        }
     }
 
     /// Advances to and returns the next arrival time (seconds).

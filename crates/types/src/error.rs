@@ -51,7 +51,11 @@ impl fmt::Display for SpiderError {
             SpiderError::UnknownChannel(c) => write!(f, "unknown channel {c}"),
             SpiderError::NotAdjacent(a, b) => write!(f, "nodes {a} and {b} share no channel"),
             SpiderError::NoRoute(a, b) => write!(f, "no route from {a} to {b}"),
-            SpiderError::InsufficientBalance { channel, requested, available } => write!(
+            SpiderError::InsufficientBalance {
+                channel,
+                requested,
+                available,
+            } => write!(
                 f,
                 "insufficient balance on {channel}: requested {requested} drops, have {available}"
             ),
@@ -75,7 +79,10 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert_eq!(SpiderError::UnknownNode(NodeId(3)).to_string(), "unknown node n3");
+        assert_eq!(
+            SpiderError::UnknownNode(NodeId(3)).to_string(),
+            "unknown node n3"
+        );
         assert_eq!(
             SpiderError::NoRoute(NodeId(1), NodeId(2)).to_string(),
             "no route from n1 to n2"
@@ -89,7 +96,10 @@ mod tests {
             e.to_string(),
             "insufficient balance on ch0: requested 10 drops, have 5"
         );
-        assert_eq!(SpiderError::Infeasible.to_string(), "linear program is infeasible");
+        assert_eq!(
+            SpiderError::Infeasible.to_string(),
+            "linear program is infeasible"
+        );
     }
 
     #[test]

@@ -10,9 +10,7 @@ use std::fmt;
 /// Identifies a node (a Spider router and/or end-host) in the network.
 ///
 /// Node ids are dense indices `0..n`, assigned by the topology.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct NodeId(pub u32);
 
@@ -41,9 +39,7 @@ impl fmt::Display for NodeId {
 /// Channel ids are dense indices `0..m`, assigned by the topology. A channel
 /// between `u` and `v` carries funds in both directions; a direction is
 /// selected with [`Direction`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct ChannelId(pub u32);
 
@@ -71,9 +67,7 @@ impl fmt::Display for ChannelId {
 ///
 /// The topology stores each channel with a canonical `(u, v)` endpoint order
 /// (`u < v`); `Forward` means funds moving `u → v`, `Backward` means `v → u`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Direction {
     /// From the canonical first endpoint to the second (`u → v`).
     Forward,
@@ -112,9 +106,7 @@ impl fmt::Display for Direction {
 
 /// Identifies an end-to-end payment (which may be split into many
 /// transaction units).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct PaymentId(pub u64);
 
@@ -128,9 +120,7 @@ impl fmt::Display for PaymentId {
 ///
 /// The sender generates a fresh hash-lock key per unit (§4.1 of the paper),
 /// so the unit id is also the identity of the HTLC along its path.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct UnitId {
     /// The payment this unit belongs to.
     pub payment: PaymentId,
@@ -184,7 +174,13 @@ mod tests {
     fn unit_id_identity() {
         let u = UnitId::new(PaymentId(9), 3);
         assert_eq!(u.to_string(), "pay9#3");
-        assert_eq!(u, UnitId { payment: PaymentId(9), seq: 3 });
+        assert_eq!(
+            u,
+            UnitId {
+                payment: PaymentId(9),
+                seq: 3
+            }
+        );
         assert_ne!(u, UnitId::new(PaymentId(9), 4));
     }
 

@@ -21,9 +21,11 @@ pub mod ids;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod unit;
 
 pub use amount::{Amount, SignedAmount, DROPS_PER_XRP};
 pub use error::{Result, SpiderError};
 pub use ids::{ChannelId, Direction, NodeId, PaymentId, UnitId};
 pub use rng::DetRng;
 pub use time::{SimDuration, SimTime};
+pub use unit::{DropReason, MarkStamp};

@@ -26,7 +26,10 @@ pub struct DetRng {
 impl DetRng {
     /// Creates a generator from an experiment seed.
     pub fn new(seed: u64) -> Self {
-        DetRng { seed, inner: SmallRng::seed_from_u64(seed) }
+        DetRng {
+            seed,
+            inner: SmallRng::seed_from_u64(seed),
+        }
     }
 
     /// The seed this generator was created with.
@@ -120,9 +123,8 @@ impl DetRng {
         assert!(!weights.is_empty(), "empty weights");
         let total: f64 = weights
             .iter()
-            .map(|w| {
+            .inspect(|&w| {
                 assert!(w.is_finite() && *w >= 0.0, "invalid weight {w}");
-                w
             })
             .sum();
         assert!(total > 0.0, "all weights zero");
@@ -134,7 +136,10 @@ impl DetRng {
             target -= w;
         }
         // Floating-point slack: fall back to the last positive weight.
-        weights.iter().rposition(|w| *w > 0.0).expect("positive weight exists")
+        weights
+            .iter()
+            .rposition(|w| *w > 0.0)
+            .expect("positive weight exists")
     }
 }
 

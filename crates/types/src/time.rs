@@ -233,8 +233,13 @@ mod tests {
 
     #[test]
     fn far_future_checked_add() {
-        assert_eq!(SimTime::FAR_FUTURE.checked_add(SimDuration::from_micros(1)), None);
-        assert!(SimTime::ZERO.checked_add(SimDuration::from_secs(1)).is_some());
+        assert_eq!(
+            SimTime::FAR_FUTURE.checked_add(SimDuration::from_micros(1)),
+            None
+        );
+        assert!(SimTime::ZERO
+            .checked_add(SimDuration::from_secs(1))
+            .is_some());
     }
 
     #[test]

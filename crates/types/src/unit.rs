@@ -1,0 +1,103 @@
+//! Transaction-unit price/marking metadata (§5's decentralized signaling).
+//!
+//! In the online Spider protocol, routers do not drop transaction units
+//! that find an empty channel direction — they queue them, compute a local
+//! *price* from the queueing delay and the channel's flow imbalance
+//! (the `x_u − x_v` term of §5.3), and **mark** transiting units when the
+//! local signal crosses a threshold. The sender's per-path rate controller
+//! backs off on marked acknowledgements and probes upward on clean ones.
+//!
+//! [`MarkStamp`] is the piece of state a unit accumulates on its way:
+//! each hop folds its local signal in with [`MarkStamp::absorb`], and the
+//! final stamp travels back to the sender on the unit's acknowledgement.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimDuration;
+
+/// Price-signal metadata carried by one transaction unit across its path.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MarkStamp {
+    /// Set when any hop's local congestion signal crossed its marking
+    /// threshold (the router "marks the packet").
+    pub marked: bool,
+    /// Sum of per-hop prices along the path — the path price `∑ z_e` the
+    /// sender's controller steers on.
+    pub price: f64,
+    /// Largest single-hop queueing delay the unit experienced.
+    pub max_queue_delay: SimDuration,
+}
+
+impl MarkStamp {
+    /// A fresh, unmarked stamp (what a unit carries at injection).
+    pub const CLEAR: MarkStamp = MarkStamp {
+        marked: false,
+        price: 0.0,
+        max_queue_delay: SimDuration::ZERO,
+    };
+
+    /// Folds one hop's local signal into the stamp.
+    pub fn absorb(&mut self, hop_price: f64, hop_marked: bool, queue_delay: SimDuration) {
+        self.marked |= hop_marked;
+        self.price += hop_price;
+        if queue_delay > self.max_queue_delay {
+            self.max_queue_delay = queue_delay;
+        }
+    }
+}
+
+impl Default for MarkStamp {
+    fn default() -> Self {
+        MarkStamp::CLEAR
+    }
+}
+
+/// Why a transaction unit was dropped before reaching its destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DropReason {
+    /// The unit waited in a router queue longer than the configured bound.
+    QueueTimeout,
+    /// The router queue it needed was full on arrival.
+    QueueOverflow,
+    /// Its payment's deadline passed while it was still in flight.
+    Expired,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clear_stamp_is_neutral() {
+        let s = MarkStamp::CLEAR;
+        assert!(!s.marked);
+        assert_eq!(s.price, 0.0);
+        assert_eq!(s.max_queue_delay, SimDuration::ZERO);
+        assert_eq!(MarkStamp::default(), s);
+    }
+
+    #[test]
+    fn absorb_accumulates_price_and_mark() {
+        let mut s = MarkStamp::CLEAR;
+        s.absorb(0.25, false, SimDuration::from_millis(5));
+        assert!(!s.marked);
+        s.absorb(0.5, true, SimDuration::from_millis(80));
+        s.absorb(0.125, false, SimDuration::from_millis(3));
+        assert!(s.marked, "a single marked hop marks the unit");
+        assert!((s.price - 0.875).abs() < 1e-12);
+        assert_eq!(s.max_queue_delay, SimDuration::from_millis(80));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut s = MarkStamp::CLEAR;
+        s.absorb(1.5, true, SimDuration::from_millis(42));
+        let v = serde::Serialize::to_value(&s);
+        let back: MarkStamp = serde::Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, s);
+        let r = DropReason::QueueTimeout;
+        let v = serde::Serialize::to_value(&r);
+        let back: DropReason = serde::Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, r);
+    }
+}

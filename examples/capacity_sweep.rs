@@ -15,8 +15,10 @@ use spider_sim::{SimConfig, SizeDistribution, WorkloadConfig};
 use spider_types::SimDuration;
 
 fn main() {
-    let schemes =
-        [SchemeConfig::SpiderWaterfilling { paths: 4 }, SchemeConfig::ShortestPath];
+    let schemes = [
+        SchemeConfig::SpiderWaterfilling { paths: 4 },
+        SchemeConfig::ShortestPath,
+    ];
     println!(
         "{:>14} {:>24} {:>18}",
         "capacity (XRP)", "spider-waterfilling (%)", "shortest-path (%)"
@@ -30,7 +32,10 @@ fn main() {
                 size: SizeDistribution::RippleIsp,
                 sender_skew_scale: 8.0,
             },
-            sim: SimConfig { horizon: SimDuration::from_secs(6), ..SimConfig::default() },
+            sim: SimConfig {
+                horizon: SimDuration::from_secs(6),
+                ..SimConfig::default()
+            },
             scheme: schemes[0],
             seed: 7,
         };

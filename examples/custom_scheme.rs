@@ -31,12 +31,18 @@ impl Router for HotPotato {
     fn route(&mut self, req: &RouteRequest, view: &NetworkView<'_>) -> Vec<RouteProposal> {
         let paths = k_edge_disjoint_paths(view.topo, req.src, req.dst, 4);
         let best = paths.into_iter().max_by_key(|p| {
-            let first_hop = view.topo.channel_between(p.nodes[0], p.nodes[1]).expect("adjacent");
+            let first_hop = view
+                .topo
+                .channel_between(p.nodes[0], p.nodes[1])
+                .expect("adjacent");
             let dir = view.topo.channel(first_hop).direction_from(p.nodes[0]);
             view.available(first_hop, dir)
         });
         match best {
-            Some(p) => vec![RouteProposal { path: p.nodes, amount: req.remaining }],
+            Some(p) => vec![RouteProposal {
+                path: p.nodes,
+                amount: req.remaining,
+            }],
             None => Vec::new(),
         }
     }
@@ -44,14 +50,19 @@ impl Router for HotPotato {
 
 fn main() {
     let cfg = ExperimentConfig {
-        topology: TopologyConfig::Isp { capacity_xrp: 4_000 },
+        topology: TopologyConfig::Isp {
+            capacity_xrp: 4_000,
+        },
         workload: WorkloadConfig {
             count: 12_000,
             rate_per_sec: 1_000.0,
             size: SizeDistribution::RippleIsp,
             sender_skew_scale: 8.0,
         },
-        sim: SimConfig { horizon: SimDuration::from_secs(13), ..SimConfig::default() },
+        sim: SimConfig {
+            horizon: SimDuration::from_secs(13),
+            ..SimConfig::default()
+        },
         scheme: SchemeConfig::SpiderWaterfilling { paths: 4 },
         seed: 3,
     };

@@ -20,7 +20,12 @@ fn main() {
 
     println!("== The payment graph (Fig. 4a) ==");
     for e in demands.edges() {
-        println!("  node {} wants to pay node {} at {} unit/s", e.src.0 + 1, e.dst.0 + 1, e.rate);
+        println!(
+            "  node {} wants to pay node {} at {} unit/s",
+            e.src.0 + 1,
+            e.dst.0 + 1,
+            e.rate
+        );
     }
     println!("  total demand: {} units/s", demands.total_demand());
 
@@ -38,17 +43,34 @@ fn main() {
     println!("  throughput: {} units/s", multi.throughput);
     for f in &multi.flows {
         let hops: Vec<String> = f.path.nodes.iter().map(|n| (n.0 + 1).to_string()).collect();
-        println!("    {} → {}: {:.1} unit/s via {}", f.src.0 + 1, f.dst.0 + 1, f.rate, hops.join("→"));
+        println!(
+            "    {} → {}: {:.1} unit/s via {}",
+            f.src.0 + 1,
+            f.dst.0 + 1,
+            f.rate,
+            hops.join("→")
+        );
     }
     println!("  note demand 2→4 splitting over 2→4 and 2→3→4: the detour");
     println!("  counterbalances demands 3→2 and 4→3 on channels 2-3 and 3-4.");
 
     println!("\n== Why 8 is fundamental (Prop. 1, Fig. 5) ==");
     let dec = decompose(&demands, 1e-6);
-    println!("  max circulation ν(C*) = {} units/s", dec.circulation_value);
-    println!("  DAG residue           = {} units/s (unroutable without on-chain rebalancing)", dec.dag.total_demand());
+    println!(
+        "  max circulation ν(C*) = {} units/s",
+        dec.circulation_value
+    );
+    println!(
+        "  DAG residue           = {} units/s (unroutable without on-chain rebalancing)",
+        dec.dag.total_demand()
+    );
     for e in dec.dag.edges() {
-        println!("    stranded: {} → {} at {} unit/s", e.src.0 + 1, e.dst.0 + 1, e.rate);
+        println!(
+            "    stranded: {} → {} at {} unit/s",
+            e.src.0 + 1,
+            e.dst.0 + 1,
+            e.rate
+        );
     }
 
     assert_eq!(sp.throughput.round() as i64, 5);

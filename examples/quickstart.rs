@@ -14,30 +14,50 @@ use spider_types::SimDuration;
 
 fn main() {
     let config = ExperimentConfig {
-        topology: TopologyConfig::Isp { capacity_xrp: 30_000 },
+        topology: TopologyConfig::Isp {
+            capacity_xrp: 30_000,
+        },
         workload: WorkloadConfig {
             count: 5_000,
             rate_per_sec: 1_000.0,
             size: SizeDistribution::RippleIsp,
             sender_skew_scale: 8.0,
         },
-        sim: SimConfig { horizon: SimDuration::from_secs(6), ..SimConfig::default() },
+        sim: SimConfig {
+            horizon: SimDuration::from_secs(6),
+            ..SimConfig::default()
+        },
         scheme: SchemeConfig::SpiderWaterfilling { paths: 4 },
         seed: 42,
     };
 
-    println!("simulating {} transactions on the ISP topology…", config.workload.count);
+    println!(
+        "simulating {} transactions on the ISP topology…",
+        config.workload.count
+    );
     let report = config.run().expect("experiment runs");
 
     println!("\n{}", report.summary());
     println!("\ndetail:");
-    println!("  success ratio        {:.2} %", 100.0 * report.success_ratio());
-    println!("  success volume       {:.2} %", 100.0 * report.success_volume());
+    println!(
+        "  success ratio        {:.2} %",
+        100.0 * report.success_ratio()
+    );
+    println!(
+        "  success volume       {:.2} %",
+        100.0 * report.success_volume()
+    );
     println!(
         "  avg completion time  {:.3} s",
         report.avg_completion_time().unwrap_or(f64::NAN)
     );
-    println!("  avg path length      {:.2} hops", report.avg_path_length().unwrap_or(f64::NAN));
-    println!("  unit lock rate       {:.2} %", 100.0 * report.unit_lock_rate());
+    println!(
+        "  avg path length      {:.2} hops",
+        report.avg_path_length().unwrap_or(f64::NAN)
+    );
+    println!(
+        "  unit lock rate       {:.2} %",
+        100.0 * report.unit_lock_rate()
+    );
     println!("  queue retries        {}", report.retries);
 }

@@ -18,14 +18,20 @@ use spider_types::{DetRng, SimDuration};
 fn main() {
     let nodes = 300;
     let cfg = ExperimentConfig {
-        topology: TopologyConfig::RippleLike { nodes, capacity_xrp: 6_000 },
+        topology: TopologyConfig::RippleLike {
+            nodes,
+            capacity_xrp: 6_000,
+        },
         workload: WorkloadConfig {
             count: 12_000,
             rate_per_sec: 700.0,
             size: SizeDistribution::RippleFull,
             sender_skew_scale: nodes as f64 / 8.0,
         },
-        sim: SimConfig { horizon: SimDuration::from_secs(19), ..SimConfig::default() },
+        sim: SimConfig {
+            horizon: SimDuration::from_secs(19),
+            ..SimConfig::default()
+        },
         scheme: SchemeConfig::SpiderWaterfilling { paths: 4 },
         seed: 11,
     };

@@ -19,7 +19,10 @@ pub fn small_isp_experiment(seed: u64, capacity_xrp: u64) -> ExperimentConfig {
             size: SizeDistribution::RippleIsp,
             sender_skew_scale: 8.0,
         },
-        sim: SimConfig { horizon: SimDuration::from_secs(5), ..SimConfig::default() },
+        sim: SimConfig {
+            horizon: SimDuration::from_secs(5),
+            ..SimConfig::default()
+        },
         scheme: SchemeConfig::SpiderWaterfilling { paths: 4 },
         seed,
     }

@@ -23,9 +23,11 @@ fn run_and_check(scheme: SchemeConfig, seed: u64, capacity: Amount) {
     );
     let demands = demand_graph(&workload, topo.node_count());
     let router = scheme.build(&topo, &demands, 0.5);
-    let total_before: Amount =
-        topo.channels().map(|(_, c)| c.capacity).sum();
-    let sim_config = SimConfig { horizon: SimDuration::from_secs(4), ..SimConfig::default() };
+    let total_before: Amount = topo.channels().map(|(_, c)| c.capacity).sum();
+    let sim_config = SimConfig {
+        horizon: SimDuration::from_secs(4),
+        ..SimConfig::default()
+    };
     let mut sim = Simulation::new(topo, workload, router, sim_config).expect("builds");
     let report = sim.run();
 
@@ -33,7 +35,11 @@ fn run_and_check(scheme: SchemeConfig, seed: u64, capacity: Amount) {
     sim.check_conservation();
     // Global conservation.
     let total_after: Amount = sim.channel_states().iter().map(|c| c.total()).sum();
-    assert_eq!(total_before, total_after, "{}: money created or destroyed", report.scheme);
+    assert_eq!(
+        total_before, total_after,
+        "{}: money created or destroyed",
+        report.scheme
+    );
     // No negative balances can exist by construction (Amount is unsigned),
     // but in-flight must have fully drained or be accounted: available
     // across the network plus inflight equals escrow, already checked.
@@ -43,13 +49,20 @@ fn run_and_check(scheme: SchemeConfig, seed: u64, capacity: Amount) {
 
 #[test]
 fn conservation_spider_waterfilling() {
-    run_and_check(SchemeConfig::SpiderWaterfilling { paths: 4 }, 1, Amount::from_xrp(8_000));
+    run_and_check(
+        SchemeConfig::SpiderWaterfilling { paths: 4 },
+        1,
+        Amount::from_xrp(8_000),
+    );
 }
 
 #[test]
 fn conservation_spider_lp() {
     run_and_check(
-        SchemeConfig::SpiderLp { paths: 4, solver: spider_core::scheme::LpSolver::Auto },
+        SchemeConfig::SpiderLp {
+            paths: 4,
+            solver: spider_core::scheme::LpSolver::Auto,
+        },
         2,
         Amount::from_xrp(8_000),
     );
@@ -67,19 +80,31 @@ fn conservation_max_flow() {
 
 #[test]
 fn conservation_silentwhispers() {
-    run_and_check(SchemeConfig::SilentWhispers { landmarks: 3 }, 5, Amount::from_xrp(8_000));
+    run_and_check(
+        SchemeConfig::SilentWhispers { landmarks: 3 },
+        5,
+        Amount::from_xrp(8_000),
+    );
 }
 
 #[test]
 fn conservation_speedymurmurs() {
-    run_and_check(SchemeConfig::SpeedyMurmurs { trees: 3 }, 6, Amount::from_xrp(8_000));
+    run_and_check(
+        SchemeConfig::SpeedyMurmurs { trees: 3 },
+        6,
+        Amount::from_xrp(8_000),
+    );
 }
 
 #[test]
 fn conservation_under_extreme_scarcity() {
     // Almost-empty channels: nearly everything fails, and still no drop is
     // lost anywhere.
-    run_and_check(SchemeConfig::SpiderWaterfilling { paths: 4 }, 7, Amount::from_xrp(50));
+    run_and_check(
+        SchemeConfig::SpiderWaterfilling { paths: 4 },
+        7,
+        Amount::from_xrp(50),
+    );
 }
 
 #[test]
@@ -98,7 +123,10 @@ fn one_way_traffic_ends_fully_imbalanced_but_conserved() {
         .collect();
     let demands = spider_paygraph::PaymentGraph::new(2);
     let router = SchemeConfig::ShortestPath.build(&topo, &demands, 0.5);
-    let cfg = SimConfig { horizon: SimDuration::from_secs(30), ..SimConfig::default() };
+    let cfg = SimConfig {
+        horizon: SimDuration::from_secs(30),
+        ..SimConfig::default()
+    };
     let mut sim = Simulation::new(topo, Workload { txns }, router, cfg).expect("builds");
     let report = sim.run();
     sim.check_conservation();

@@ -9,7 +9,9 @@ use spider_types::SimDuration;
 #[test]
 fn every_paper_scheme_runs_and_reports_sanely() {
     let cfg = small_isp_experiment(1, 10_000);
-    let reports = cfg.run_schemes(&SchemeConfig::paper_lineup()).expect("all schemes run");
+    let reports = cfg
+        .run_schemes(&SchemeConfig::paper_lineup())
+        .expect("all schemes run");
     assert_eq!(reports.len(), 6);
     for r in &reports {
         assert_eq!(r.attempted_payments, 1_500, "{}", r.scheme);
@@ -51,7 +53,10 @@ fn atomic_schemes_never_partially_deliver() {
     let mut cfg = small_isp_experiment(11, 4_000);
     cfg.scheme = SchemeConfig::SilentWhispers { landmarks: 3 };
     let r = cfg.run().expect("runs");
-    assert!(r.completed_payments < r.attempted_payments, "need some failures for the test");
+    assert!(
+        r.completed_payments < r.attempted_payments,
+        "need some failures for the test"
+    );
     // Re-run and cross-check volumes through a second scheme-independent
     // accounting: success_volume × attempted == delivered.
     let reconstructed = r.attempted_volume.mul_f64(r.success_volume());
@@ -96,11 +101,17 @@ fn paper_example_topology_runs_all_schemes() {
     let cfg = ExperimentConfig {
         topology: TopologyConfig::PaperExample { capacity_xrp: 500 },
         workload: WorkloadConfig::small(400, 200.0),
-        sim: SimConfig { horizon: SimDuration::from_secs(4), ..SimConfig::default() },
+        sim: SimConfig {
+            horizon: SimDuration::from_secs(4),
+            ..SimConfig::default()
+        },
         scheme: SchemeConfig::ShortestPath,
         seed: 23,
     };
-    for r in cfg.run_schemes(&SchemeConfig::paper_lineup()).expect("schemes run") {
+    for r in cfg
+        .run_schemes(&SchemeConfig::paper_lineup())
+        .expect("schemes run")
+    {
         assert!(r.success_ratio() > 0.0, "{} delivered nothing", r.scheme);
     }
 }
@@ -108,9 +119,15 @@ fn paper_example_topology_runs_all_schemes() {
 #[test]
 fn ripple_like_topology_runs() {
     let cfg = ExperimentConfig {
-        topology: TopologyConfig::RippleLike { nodes: 120, capacity_xrp: 10_000 },
+        topology: TopologyConfig::RippleLike {
+            nodes: 120,
+            capacity_xrp: 10_000,
+        },
         workload: WorkloadConfig::small(800, 400.0),
-        sim: SimConfig { horizon: SimDuration::from_secs(4), ..SimConfig::default() },
+        sim: SimConfig {
+            horizon: SimDuration::from_secs(4),
+            ..SimConfig::default()
+        },
         scheme: SchemeConfig::SpiderWaterfilling { paths: 4 },
         seed: 29,
     };

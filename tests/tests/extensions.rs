@@ -22,10 +22,11 @@ fn spider_pricing_runs_end_to_end() {
 }
 
 #[test]
-fn extended_lineup_includes_pricing() {
+fn extended_lineup_includes_pricing_and_protocol() {
     let lineup = SchemeConfig::extended_lineup();
-    assert_eq!(lineup.len(), 7);
+    assert_eq!(lineup.len(), 8);
     assert!(lineup.iter().any(|s| s.name() == "spider-pricing"));
+    assert!(lineup.iter().any(|s| s.name() == "spider-protocol"));
 }
 
 #[test]
@@ -38,7 +39,10 @@ fn pricing_extracts_more_volume_per_unit_imbalance() {
     base.workload.count = 3_000;
     base.workload.sender_skew_scale = 4.0;
     let reports = base
-        .run_schemes(&[SchemeConfig::SpiderPricing { paths: 4 }, SchemeConfig::ShortestPath])
+        .run_schemes(&[
+            SchemeConfig::SpiderPricing { paths: 4 },
+            SchemeConfig::ShortestPath,
+        ])
         .expect("schemes run");
     let efficiency = |r: &spider_sim::SimReport| {
         let imb = *r.imbalance_series.last().expect("sampled");
@@ -58,10 +62,17 @@ fn pricing_extracts_more_volume_per_unit_imbalance() {
 fn imbalance_series_is_sampled_and_bounded() {
     let cfg = small_isp_experiment(41, 10_000);
     let r = cfg.run().expect("runs");
-    assert!(r.imbalance_series.len() >= 4, "one sample per second expected");
+    assert!(
+        r.imbalance_series.len() >= 4,
+        "one sample per second expected"
+    );
     assert!(r.imbalance_series.iter().all(|x| (0.0..=1.0).contains(x)));
     // Channels start perfectly balanced.
-    assert!(r.imbalance_series[0] < 0.05, "first sample {}", r.imbalance_series[0]);
+    assert!(
+        r.imbalance_series[0] < 0.05,
+        "first sample {}",
+        r.imbalance_series[0]
+    );
 }
 
 #[test]
@@ -81,7 +92,10 @@ fn windowed_wrapper_runs_in_simulation() {
     let demands = demand_graph(&workload, topo.node_count());
     let _ = &demands;
     let router = Windowed::new(SpiderWaterfilling::new(4), WindowConfig::default());
-    let cfg = SimConfig { horizon: SimDuration::from_secs(4), ..SimConfig::default() };
+    let cfg = SimConfig {
+        horizon: SimDuration::from_secs(4),
+        ..SimConfig::default()
+    };
     let mut sim = Simulation::new(topo, workload, Box::new(router), cfg).expect("builds");
     let r = sim.run();
     sim.check_conservation();

@@ -1,0 +1,286 @@
+//! Offline stand-in for [rand](https://docs.rs/rand).
+//!
+//! Provides the subset `spider-types::rng` uses: [`rngs::SmallRng`]
+//! (xoshiro256++, the algorithm rand's own 64-bit `SmallRng` uses),
+//! [`SeedableRng::seed_from_u64`], the infallible [`Rng`] core API, the
+//! [`RngExt`] convenience layer (`random`, `random_range`), and the
+//! [`rand_core::TryRng`] fallible trait whose blanket impl lifts any
+//! infallible generator into [`Rng`]/[`RngExt`].
+//!
+//! The streams are deterministic and stable across platforms and releases
+//! of this shim; they do not match upstream rand's bit streams.
+
+#![forbid(unsafe_code)]
+
+use std::convert::Infallible;
+use std::ops::Range;
+
+/// Fallible generation core, mirroring `rand_core`.
+pub mod rand_core {
+    /// A random source that may fail.
+    pub trait TryRng {
+        /// Error produced on failure (use `Infallible` for none).
+        type Error;
+        /// Next 32 random bits.
+        fn try_next_u32(&mut self) -> Result<u32, Self::Error>;
+        /// Next 64 random bits.
+        fn try_next_u64(&mut self) -> Result<u64, Self::Error>;
+        /// Fills `dst` with random bytes.
+        fn try_fill_bytes(&mut self, dst: &mut [u8]) -> Result<(), Self::Error>;
+    }
+}
+
+/// Infallible random source.
+pub trait Rng {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dst` with random bytes.
+    fn fill_bytes(&mut self, dst: &mut [u8]);
+}
+
+impl<T: rand_core::TryRng<Error = Infallible>> Rng for T {
+    fn next_u32(&mut self) -> u32 {
+        match self.try_next_u32() {
+            Ok(v) => v,
+        }
+    }
+    fn next_u64(&mut self) -> u64 {
+        match self.try_next_u64() {
+            Ok(v) => v,
+        }
+    }
+    fn fill_bytes(&mut self, dst: &mut [u8]) {
+        match self.try_fill_bytes(dst) {
+            Ok(()) => {}
+        }
+    }
+}
+
+/// Types samplable uniformly from an RNG's raw bits.
+pub trait Random: Sized {
+    /// Draws one value.
+    fn random_from<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Random for u32 {
+    fn random_from<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Random for u64 {
+    fn random_from<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Random for bool {
+    fn random_from<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Random for f64 {
+    fn random_from<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits → [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Random for f32 {
+    fn random_from<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges samplable uniformly.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! sample_uint_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                // Multiply-shift: maps 64 random bits onto [0, span) with
+                // bias < 2^-64 per draw — deterministic and branch-free.
+                let draw = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                self.start + draw as $t
+            }
+        }
+    )*};
+}
+sample_uint_range!(u8, u16, u32, u64, usize);
+
+macro_rules! sample_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = self.end.wrapping_sub(self.start) as u64;
+                let draw = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                self.start.wrapping_add(draw as $t)
+            }
+        }
+    )*};
+}
+sample_int_range!(i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + f64::random_from(rng) * (self.end - self.start)
+    }
+}
+
+/// Convenience sampling layer over [`Rng`].
+pub trait RngExt: Rng {
+    /// Uniform draw of `T` from the generator's raw bits.
+    fn random<T: Random>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::random_from(self)
+    }
+
+    /// Uniform draw from a half-open range.
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<T: Rng + ?Sized> RngExt for T {}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{rand_core::TryRng, SeedableRng};
+    use std::convert::Infallible;
+
+    /// xoshiro256++ — the small, fast, non-cryptographic generator.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, the reference seeding procedure.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            SmallRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl SmallRng {
+        #[inline]
+        fn step(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl TryRng for SmallRng {
+        type Error = Infallible;
+
+        fn try_next_u32(&mut self) -> Result<u32, Infallible> {
+            Ok((self.step() >> 32) as u32)
+        }
+        fn try_next_u64(&mut self) -> Result<u64, Infallible> {
+            Ok(self.step())
+        }
+        fn try_fill_bytes(&mut self, dst: &mut [u8]) -> Result<(), Infallible> {
+            for chunk in dst.chunks_mut(8) {
+                let bytes = self.step().to_le_bytes();
+                chunk.copy_from_slice(&bytes[..chunk.len()]);
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(1);
+        let mut c = SmallRng::seed_from_u64(2);
+        let sa: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let sb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let sc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(sa, sb);
+        assert_ne!(sa, sc);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SmallRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x: f64 = r.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_bounds_hold() {
+        let mut r = SmallRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            let v = r.random_range(10usize..20);
+            assert!((10..20).contains(&v));
+        }
+        assert_eq!(r.random_range(5u64..6), 5);
+    }
+
+    #[test]
+    fn fill_bytes_covers_tail() {
+        let mut r = SmallRng::seed_from_u64(5);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn range_distribution_roughly_uniform() {
+        let mut r = SmallRng::seed_from_u64(6);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[r.random_range(0usize..10)] += 1;
+        }
+        for c in counts {
+            assert!((8_000..12_000).contains(&c), "count {c}");
+        }
+    }
+}

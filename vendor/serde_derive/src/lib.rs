@@ -1,0 +1,430 @@
+//! Derive macros for the vendored serde shim.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes this workspace uses, parsing the item's token stream directly
+//! (the offline build environment has no `syn`/`quote`):
+//!
+//! * structs with named fields → externally ordered JSON objects;
+//! * tuple structs (including `#[serde(transparent)]` newtypes) → the inner
+//!   value for a single field, an array otherwise;
+//! * enums with unit variants (→ `"Variant"`) and struct variants
+//!   (→ `{"Variant": {...}}`), serde's externally-tagged representation.
+//!
+//! Generics are not supported — no derived type in this workspace needs
+//! them — and unsupported shapes fail the build with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+struct Item {
+    name: String,
+    is_enum: bool,
+    transparent: bool,
+    /// For structs: single entry keyed "". For enums: one entry per variant.
+    bodies: Vec<(String, Fields)>,
+}
+
+/// Derives the shim's `Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives the shim's `Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---- parsing ---------------------------------------------------------------
+
+/// Skips attributes (`#[...]`) at `i`, returning whether any was
+/// `#[serde(transparent)]`.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut transparent = false;
+    while *i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[*i] {
+            if p.as_char() == '#' {
+                if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+                    if g.delimiter() == Delimiter::Bracket {
+                        let text = g.stream().to_string();
+                        if text.starts_with("serde") && text.contains("transparent") {
+                            transparent = true;
+                        }
+                        *i += 2;
+                        continue;
+                    }
+                }
+            }
+        }
+        break;
+    }
+    transparent
+}
+
+/// Skips a visibility modifier (`pub`, `pub(crate)`, …) at `i`.
+fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(&tokens[*i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        *i += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                *i += 1;
+            }
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut transparent = skip_attrs(&tokens, &mut i);
+    skip_vis(&tokens, &mut i);
+    let kw = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected struct/enum, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive: generic type `{name}` is not supported");
+    }
+    match kw.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let (named, t) = parse_named_fields(g.stream());
+                    transparent |= t;
+                    Fields::Named(named)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("serde shim derive: unsupported struct body {other:?}"),
+            };
+            Item {
+                name,
+                is_enum: false,
+                transparent,
+                bodies: vec![(String::new(), fields)],
+            }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde shim derive: expected enum body, found {other:?}"),
+            };
+            Item {
+                name,
+                is_enum: true,
+                transparent: false,
+                bodies: parse_variants(body),
+            }
+        }
+        other => panic!("serde shim derive: unsupported item kind `{other}`"),
+    }
+}
+
+/// Parses `{ field: Type, ... }` into field names; detects a field-level
+/// `#[serde(transparent)]` (not used in this workspace, but harmless).
+fn parse_named_fields(body: TokenStream) -> (Vec<String>, bool) {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    let mut transparent = false;
+    while i < tokens.len() {
+        transparent |= skip_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_vis(&tokens, &mut i);
+        match &tokens[i] {
+            TokenTree::Ident(id) => fields.push(id.to_string()),
+            other => panic!("serde shim derive: expected field name, found {other}"),
+        }
+        i += 1;
+        assert!(
+            matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ':'),
+            "serde shim derive: expected `:` after field name"
+        );
+        i += 1;
+        // Consume the type: everything up to a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    (fields, transparent)
+}
+
+/// Counts the fields of a tuple struct / variant body `(A, B, ...)`.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut depth = 0i32;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => count += 1,
+            _ => {}
+        }
+    }
+    // Tolerate a trailing comma.
+    if matches!(tokens.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<(String, Fields)> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde shim derive: expected variant name, found {other}"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()).0)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push((name, fields));
+    }
+    variants
+}
+
+// ---- code generation -------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if item.is_enum {
+        let mut arms = String::new();
+        for (variant, fields) in &item.bodies {
+            match fields {
+                Fields::Unit => {
+                    arms.push_str(&format!(
+                        "{name}::{variant} => ::serde::Value::Str(::std::string::String::from(\"{variant}\")),\n"
+                    ));
+                }
+                Fields::Named(fs) => {
+                    let bindings = fs.join(", ");
+                    let mut pushes = String::new();
+                    for f in fs {
+                        pushes.push_str(&format!(
+                            "__fields.push((::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({f})));\n"
+                        ));
+                    }
+                    arms.push_str(&format!(
+                        "{name}::{variant} {{ {bindings} }} => {{\n\
+                         let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{variant}\"), ::serde::Value::Object(__fields))])\n\
+                         }},\n"
+                    ));
+                }
+                Fields::Tuple(n) => {
+                    let bindings: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                    let binding_list = bindings.join(", ");
+                    let inner = if *n == 1 {
+                        "::serde::Serialize::to_value(__f0)".to_string()
+                    } else {
+                        let elems: Vec<String> = bindings
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        format!("::serde::Value::Array(::std::vec![{}])", elems.join(", "))
+                    };
+                    arms.push_str(&format!(
+                        "{name}::{variant}({binding_list}) => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{variant}\"), {inner})]),\n"
+                    ));
+                }
+            }
+        }
+        format!("match self {{\n{arms}\n}}")
+    } else {
+        match &item.bodies[0].1 {
+            Fields::Unit => "::serde::Value::Null".to_string(),
+            Fields::Named(fs) if item.transparent && fs.len() == 1 => {
+                format!("::serde::Serialize::to_value(&self.{})", fs[0])
+            }
+            Fields::Named(fs) => {
+                let mut pushes = String::new();
+                for f in fs {
+                    pushes.push_str(&format!(
+                        "__fields.push((::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f})));\n"
+                    ));
+                }
+                format!(
+                    "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                     {pushes}\
+                     ::serde::Value::Object(__fields)"
+                )
+            }
+            Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+            Fields::Tuple(n) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Array(::std::vec![{}])", elems.join(", "))
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if item.is_enum {
+        let mut unit_arms = String::new();
+        let mut tagged_arms = String::new();
+        for (variant, fields) in &item.bodies {
+            match fields {
+                Fields::Unit => {
+                    unit_arms.push_str(&format!(
+                        "\"{variant}\" => ::std::result::Result::Ok({name}::{variant}),\n"
+                    ));
+                }
+                Fields::Named(fs) => {
+                    let mut inits = String::new();
+                    for f in fs {
+                        inits.push_str(&format!(
+                            "{f}: ::serde::Deserialize::from_value(::serde::Value::get_field(__inner_fields, \"{f}\"))?,\n"
+                        ));
+                    }
+                    tagged_arms.push_str(&format!(
+                        "\"{variant}\" => {{\n\
+                         let __inner_fields = __inner.as_object().ok_or_else(|| ::serde::DeError::new(\"expected object for variant {variant}\"))?;\n\
+                         ::std::result::Result::Ok({name}::{variant} {{ {inits} }})\n\
+                         }},\n"
+                    ));
+                }
+                Fields::Tuple(1) => {
+                    tagged_arms.push_str(&format!(
+                        "\"{variant}\" => ::std::result::Result::Ok({name}::{variant}(::serde::Deserialize::from_value(__inner)?)),\n"
+                    ));
+                }
+                Fields::Tuple(n) => {
+                    let mut inits = Vec::new();
+                    for idx in 0..*n {
+                        inits.push(format!(
+                            "::serde::Deserialize::from_value(&__items[{idx}])?"
+                        ));
+                    }
+                    tagged_arms.push_str(&format!(
+                        "\"{variant}\" => {{\n\
+                         let __items = __inner.as_array().ok_or_else(|| ::serde::DeError::new(\"expected array for variant {variant}\"))?;\n\
+                         if __items.len() != {n} {{ return ::std::result::Result::Err(::serde::DeError::new(\"wrong arity for variant {variant}\")); }}\n\
+                         ::std::result::Result::Ok({name}::{variant}({inits}))\n\
+                         }},\n",
+                        inits = inits.join(", ")
+                    ));
+                }
+            }
+        }
+        format!(
+            "match __v {{\n\
+             ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+             {unit_arms}\
+             __other => ::std::result::Result::Err(::serde::DeError::new(::std::format!(\"unknown unit variant `{{__other}}` for {name}\"))),\n\
+             }},\n\
+             ::serde::Value::Object(__kv) if __kv.len() == 1 => {{\n\
+             let (__tag, __inner) = &__kv[0];\n\
+             match __tag.as_str() {{\n\
+             {tagged_arms}\
+             __other => ::std::result::Result::Err(::serde::DeError::new(::std::format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+             }}\n\
+             }},\n\
+             _ => ::std::result::Result::Err(::serde::DeError::new(\"expected string or single-key object for enum {name}\")),\n\
+             }}"
+        )
+    } else {
+        match &item.bodies[0].1 {
+            Fields::Unit => format!("::std::result::Result::Ok({name})"),
+            Fields::Named(fs) if item.transparent && fs.len() == 1 => format!(
+                "::std::result::Result::Ok({name} {{ {f}: ::serde::Deserialize::from_value(__v)? }})",
+                f = fs[0]
+            ),
+            Fields::Named(fs) => {
+                let mut inits = String::new();
+                for f in fs {
+                    inits.push_str(&format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::Value::get_field(__fields, \"{f}\"))?,\n"
+                    ));
+                }
+                format!(
+                    "let __fields = __v.as_object().ok_or_else(|| ::serde::DeError::new(\"expected object for {name}\"))?;\n\
+                     ::std::result::Result::Ok({name} {{ {inits} }})"
+                )
+            }
+            Fields::Tuple(1) => format!(
+                "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+            ),
+            Fields::Tuple(n) => {
+                let inits: Vec<String> = (0..*n)
+                    .map(|idx| format!("::serde::Deserialize::from_value(&__items[{idx}])?"))
+                    .collect();
+                format!(
+                    "let __items = __v.as_array().ok_or_else(|| ::serde::DeError::new(\"expected array for {name}\"))?;\n\
+                     if __items.len() != {n} {{ return ::std::result::Result::Err(::serde::DeError::new(\"wrong arity for {name}\")); }}\n\
+                     ::std::result::Result::Ok({name}({inits}))",
+                    inits = inits.join(", ")
+                )
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
