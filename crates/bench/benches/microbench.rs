@@ -10,7 +10,7 @@ use spider_lp::primal_dual::{solve_problem, PrimalDualConfig};
 use spider_maxflow::FlowNetwork;
 use spider_paygraph::decompose::decompose;
 use spider_paygraph::generate::skewed_demand;
-use spider_sim::{ChannelState, NetworkView, RouteRequest, Router};
+use spider_sim::{ChannelState, NetworkView, PathTable, RouteRequest, Router};
 use spider_topology::gen;
 use spider_types::{Amount, DetRng, NodeId, PaymentId, SimTime};
 use std::hint::black_box;
@@ -101,33 +101,111 @@ fn bench_routing(c: &mut Criterion) {
     let mut g = c.benchmark_group("route-call-isp");
     g.bench_function("spider_waterfilling", |b| {
         let mut r = spider_routing::SpiderWaterfilling::new(4);
+        let paths = PathTable::new();
         let view = NetworkView {
             topo: &topo,
             channels: &channels,
+            paths: &paths,
             now: SimTime::ZERO,
         };
         r.route(&req, &view); // warm the path cache, as in steady state
         b.iter(|| black_box(r.route(&req, &view)))
     });
-    g.bench_function("max_flow", |b| {
-        let mut r = spider_routing::MaxFlow::new();
+    g.bench_function("shortest_path_cached", |b| {
+        let mut r = spider_routing::ShortestPath::new();
+        let paths = PathTable::new();
         let view = NetworkView {
             topo: &topo,
             channels: &channels,
+            paths: &paths,
+            now: SimTime::ZERO,
+        };
+        r.route(&req, &view);
+        b.iter(|| black_box(r.route(&req, &view)))
+    });
+    g.bench_function("max_flow", |b| {
+        let mut r = spider_routing::MaxFlow::new();
+        let paths = PathTable::new();
+        let view = NetworkView {
+            topo: &topo,
+            channels: &channels,
+            paths: &paths,
             now: SimTime::ZERO,
         };
         b.iter(|| black_box(r.route(&req, &view)))
     });
     g.bench_function("speedymurmurs", |b| {
         let mut r = spider_routing::SpeedyMurmurs::new(&topo, 3);
+        let paths = PathTable::new();
         let view = NetworkView {
             topo: &topo,
             channels: &channels,
+            paths: &paths,
             now: SimTime::ZERO,
         };
         b.iter(|| black_box(r.route(&req, &view)))
     });
     g.finish();
+}
+
+/// The per-unit hot path: bottleneck probing over interned hops vs the
+/// legacy per-hop `channel_between` walk.
+fn bench_path_bottleneck(c: &mut Criterion) {
+    let topo = gen::isp_topology(Amount::from_xrp(30_000));
+    let channels: Vec<ChannelState> = topo
+        .channels()
+        .map(|(_, ch)| ChannelState::split_equally(ch.capacity))
+        .collect();
+    let paths = PathTable::new();
+    let view = NetworkView {
+        topo: &topo,
+        channels: &channels,
+        paths: &paths,
+        now: SimTime::ZERO,
+    };
+    let nodes = topo
+        .shortest_path(NodeId(8), NodeId(20))
+        .expect("reachable");
+    let id = view.intern(&nodes);
+    let mut g = c.benchmark_group("path-bottleneck-isp");
+    g.bench_function("interned_hops", |b| {
+        b.iter(|| black_box(view.bottleneck(black_box(id))))
+    });
+    g.bench_function("node_walk_channel_between", |b| {
+        b.iter(|| black_box(view.path_bottleneck(black_box(&nodes))))
+    });
+    g.finish();
+}
+
+/// One engine step in isolation: a single payment's arrival → lock →
+/// settle cycle, dominated by event dispatch and channel updates.
+fn bench_engine_step(c: &mut Criterion) {
+    use spider_sim::{SimConfig, Simulation, TxnSpec, Workload};
+    use spider_types::SimDuration;
+    let make = || {
+        let topo = gen::isp_topology(Amount::from_xrp(30_000));
+        let router = Box::new(spider_routing::ShortestPath::new());
+        let workload = Workload {
+            txns: vec![TxnSpec {
+                time: SimTime::from_micros(1_000),
+                src: NodeId(8),
+                dst: NodeId(20),
+                amount: Amount::from_xrp(100),
+            }],
+        };
+        let cfg = SimConfig {
+            horizon: SimDuration::from_secs(2),
+            ..SimConfig::default()
+        };
+        Simulation::new(topo, workload, router, cfg).expect("builds")
+    };
+    c.bench_function("engine_step_single_payment", |b| {
+        b.iter_batched(
+            make,
+            |mut sim| black_box(sim.run()),
+            criterion::BatchSize::SmallInput,
+        )
+    });
 }
 
 fn bench_end_to_end(c: &mut Criterion) {
@@ -158,6 +236,8 @@ criterion_group!(
     bench_lp,
     bench_decompose,
     bench_routing,
+    bench_path_bottleneck,
+    bench_engine_step,
     bench_end_to_end
 );
 criterion_main!(benches);

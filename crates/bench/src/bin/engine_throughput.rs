@@ -1,0 +1,391 @@
+//! Engine-throughput benchmark: wall-clock cost of the simulation engine
+//! itself on the two §6.1 topologies, in both queueing modes.
+//!
+//! Unlike the figure bins (which care about *routing* quality), this bin
+//! measures how fast the event loop chews through a fixed, deterministic
+//! workload — the quantity the hot-path work (path interning, slab
+//! recycling, analytic waterfilling, bitset path oracles) is judged
+//! against. It emits `BENCH_engine.json` with one record per
+//! configuration: events/sec, units/sec, wall seconds, peak live
+//! events/units, plus the pre-refactor baseline wall time recorded in
+//! `baselines/engine_pre_refactor.json` and the resulting speedup.
+//!
+//! Because the hot-path work is semantics-preserving, every configuration
+//! also cross-checks its outcomes (completed payments, delivered volume,
+//! locked units) against the baseline record; `matches_baseline` goes
+//! false — loudly — if a "performance" change ever alters results.
+//!
+//! ```sh
+//! cargo run --release -p spider-bench --bin engine_throughput -- --out .
+//! # CI smoke (ISP only, short horizon, no baseline comparison):
+//! cargo run --release -p spider-bench --bin engine_throughput -- --quick --out .
+//! ```
+
+use spider_core::experiment::demand_graph;
+use spider_core::{ExperimentConfig, SchemeConfig, TopologyConfig};
+use spider_sim::{
+    QueueConfig, QueueingMode, SimConfig, SimReport, Simulation, SizeDistribution, SlabStats,
+    Workload, WorkloadConfig,
+};
+use spider_types::{Amount, DetRng, SimDuration};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// The pre-refactor wall times and outcomes, measured on this grid at the
+/// commit before the hot-path overhaul (seed 42, default scale).
+const BASELINE_JSON: &str = include_str!("../../baselines/engine_pre_refactor.json");
+
+/// One measured configuration.
+struct BenchCase {
+    name: &'static str,
+    topology: &'static str,
+    mode: &'static str,
+    cfg: ExperimentConfig,
+}
+
+/// The measured result of one case.
+struct BenchRun {
+    case: &'static str,
+    topology: &'static str,
+    mode: &'static str,
+    scheme: String,
+    wall_seconds: f64,
+    report: SimReport,
+    slab: SlabStats,
+}
+
+fn isp_base(count: usize, seed: u64) -> ExperimentConfig {
+    let rate = 1_000.0;
+    ExperimentConfig {
+        topology: TopologyConfig::Isp {
+            capacity_xrp: 30_000,
+        },
+        workload: WorkloadConfig {
+            count,
+            rate_per_sec: rate,
+            size: SizeDistribution::RippleIsp,
+            sender_skew_scale: 8.0,
+        },
+        sim: SimConfig {
+            horizon: SimDuration::from_secs_f64(count as f64 / rate + 1.0),
+            mtu: Amount::from_xrp(10),
+            ..SimConfig::default()
+        },
+        scheme: SchemeConfig::ShortestPath,
+        seed,
+    }
+}
+
+fn ripple_base(count: usize, seed: u64) -> ExperimentConfig {
+    let rate = 75_000.0 / 85.0;
+    ExperimentConfig {
+        topology: TopologyConfig::RippleLike {
+            nodes: spider_topology::gen::RIPPLE_NODES,
+            capacity_xrp: 30_000,
+        },
+        workload: WorkloadConfig {
+            count,
+            rate_per_sec: rate,
+            size: SizeDistribution::RippleFull,
+            sender_skew_scale: spider_topology::gen::RIPPLE_NODES as f64 / 8.0,
+        },
+        sim: SimConfig {
+            horizon: SimDuration::from_secs_f64(count as f64 / rate + 1.0),
+            mtu: Amount::from_xrp(20),
+            ..SimConfig::default()
+        },
+        scheme: SchemeConfig::ShortestPath,
+        seed,
+    }
+}
+
+fn with_scheme(mut cfg: ExperimentConfig, scheme: SchemeConfig, queued: bool) -> ExperimentConfig {
+    cfg.scheme = scheme;
+    if queued {
+        cfg.sim.queueing = QueueingMode::PerChannelFifo(QueueConfig::default());
+    }
+    cfg
+}
+
+/// The fixed measurement grid: ISP and the 3,774-node Ripple-like graph,
+/// lockstep and per-channel-FIFO queueing, over the schemes that exercise
+/// each hot path (cached shortest paths, analytic waterfilling, the §5
+/// queue machinery). `--quick` trims to the ISP cases at a short horizon
+/// for CI smoke runs; quick results are not baseline-comparable.
+fn cases(seed: u64, quick: bool) -> Vec<BenchCase> {
+    let isp_count = if quick { 3_000 } else { 20_000 };
+    let ripple_count = 10_000;
+    let mut v = vec![
+        BenchCase {
+            name: "isp-lockstep-shortest",
+            topology: "isp",
+            mode: "lockstep",
+            cfg: with_scheme(isp_base(isp_count, seed), SchemeConfig::ShortestPath, false),
+        },
+        BenchCase {
+            name: "isp-lockstep-waterfilling",
+            topology: "isp",
+            mode: "lockstep",
+            cfg: with_scheme(
+                isp_base(isp_count, seed),
+                SchemeConfig::SpiderWaterfilling { paths: 4 },
+                false,
+            ),
+        },
+        BenchCase {
+            name: "isp-fifo-protocol",
+            topology: "isp",
+            mode: "per-channel-fifo",
+            cfg: with_scheme(
+                isp_base(isp_count, seed),
+                SchemeConfig::SpiderProtocol { paths: 4 },
+                true,
+            ),
+        },
+    ];
+    if !quick {
+        v.push(BenchCase {
+            name: "ripple-lockstep-shortest",
+            topology: "ripple-3774",
+            mode: "lockstep",
+            cfg: with_scheme(
+                ripple_base(ripple_count, seed),
+                SchemeConfig::ShortestPath,
+                false,
+            ),
+        });
+        v.push(BenchCase {
+            name: "ripple-fifo-protocol",
+            topology: "ripple-3774",
+            mode: "per-channel-fifo",
+            cfg: with_scheme(
+                ripple_base(ripple_count, seed),
+                SchemeConfig::SpiderProtocol { paths: 4 },
+                true,
+            ),
+        });
+    }
+    v
+}
+
+/// Builds everything outside the timed section, then times `sim.run()`.
+fn run_case(case: &BenchCase) -> BenchRun {
+    let cfg = &case.cfg;
+    let rng = DetRng::new(cfg.seed);
+    let topo = cfg.topology.build(&rng).expect("topology builds");
+    let mut wrng = rng.fork("workload");
+    let workload = Workload::generate(topo.node_count(), &cfg.workload, &mut wrng);
+    let demands = demand_graph(&workload, topo.node_count());
+    let router = cfg
+        .scheme
+        .build(&topo, &demands, cfg.sim.confirmation_delay.as_secs_f64());
+    let mut sim =
+        Simulation::new(topo, workload, router, cfg.effective_sim()).expect("simulation builds");
+    let t0 = Instant::now();
+    let report = sim.run();
+    let wall_seconds = t0.elapsed().as_secs_f64();
+    sim.check_conservation();
+    BenchRun {
+        case: case.name,
+        topology: case.topology,
+        mode: case.mode,
+        scheme: report.scheme.clone(),
+        wall_seconds,
+        slab: sim.slab_stats(),
+        report,
+    }
+}
+
+/// Units the engine processed: lock attempts in lockstep mode, units
+/// accepted for forwarding in queueing mode (`units_failed` is not added
+/// there — it mixes ingress rejections with mid-path drops of units
+/// already counted by `units_injected`).
+fn units_processed(r: &BenchRun) -> u64 {
+    match r.mode {
+        "lockstep" => r.report.units_locked + r.report.units_failed,
+        _ => r.slab.units_injected,
+    }
+}
+
+/// The baseline record for a config name, if the committed baseline has
+/// one: `(wall_seconds, completed, delivered_drops, units_locked)`.
+fn baseline_for(name: &str) -> Option<(f64, u64, u64, u64)> {
+    let root = serde_json::parse(BASELINE_JSON).ok()?;
+    let runs = root["runs"].as_array()?;
+    runs.iter()
+        .find(|r| r["config"].as_str() == Some(name))
+        .map(|r| {
+            (
+                r["wall_seconds"].as_f64().expect("baseline wall"),
+                r["completed_payments"].as_u64().expect("baseline count"),
+                r["delivered_drops"].as_u64().expect("baseline drops"),
+                r["units_locked"].as_u64().expect("baseline units"),
+            )
+        })
+}
+
+fn json_record(r: &BenchRun, compare_baseline: bool, drifted: &mut bool) -> String {
+    let events_per_sec = r.slab.events_executed as f64 / r.wall_seconds.max(1e-9);
+    let units_per_sec = units_processed(r) as f64 / r.wall_seconds.max(1e-9);
+    let mut s = String::new();
+    write!(
+        s,
+        "{{\"config\":\"{}\",\"topology\":\"{}\",\"mode\":\"{}\",\"scheme\":\"{}\",\
+         \"wall_seconds\":{:.4},\"events_executed\":{},\"events_per_sec\":{:.0},\
+         \"units_processed\":{},\"units_per_sec\":{:.0},\
+         \"peak_live_events\":{},\"peak_live_units\":{},\"interned_paths\":{},\
+         \"attempted_payments\":{},\"completed_payments\":{},\"delivered_drops\":{},\
+         \"units_locked\":{},\"units_failed\":{},\"units_dropped\":{},\"retries\":{}",
+        r.case,
+        r.topology,
+        r.mode,
+        r.scheme,
+        r.wall_seconds,
+        r.slab.events_executed,
+        events_per_sec,
+        units_processed(r),
+        units_per_sec,
+        r.slab.peak_live_events,
+        r.slab.peak_live_units,
+        r.slab.interned_paths,
+        r.report.attempted_payments,
+        r.report.completed_payments,
+        r.report.delivered_volume.drops(),
+        r.report.units_locked,
+        r.report.units_failed,
+        r.report.units_dropped,
+        r.report.retries,
+    )
+    .expect("write to string");
+    // Quick runs trim the workload and non-default seeds change it, so
+    // the recorded full-scale baseline only applies at seed 42.
+    match compare_baseline.then(|| baseline_for(r.case)).flatten() {
+        Some((base_wall, completed, delivered, locked)) => {
+            // Identical workload + identical decisions ⇒ identical event
+            // count, so events/sec speedup is the wall-time ratio.
+            let baseline_eps = r.slab.events_executed as f64 / base_wall.max(1e-9);
+            let matches = r.report.completed_payments == completed
+                && r.report.delivered_volume.drops() == delivered
+                && r.report.units_locked == locked;
+            if !matches {
+                *drifted = true;
+                eprintln!(
+                    "ERROR: {} outcomes drifted from the pre-refactor baseline \
+                     (completed {} vs {}, delivered {} vs {}, locked {} vs {})",
+                    r.case,
+                    r.report.completed_payments,
+                    completed,
+                    r.report.delivered_volume.drops(),
+                    delivered,
+                    r.report.units_locked,
+                    locked,
+                );
+            }
+            write!(
+                s,
+                ",\"baseline_wall_seconds\":{:.4},\"baseline_events_per_sec\":{:.0},\
+                 \"speedup\":{:.2},\"matches_baseline\":{}}}",
+                base_wall,
+                baseline_eps,
+                base_wall / r.wall_seconds.max(1e-9),
+                matches,
+            )
+        }
+        None => write!(
+            s,
+            ",\"baseline_wall_seconds\":null,\"baseline_events_per_sec\":null,\
+             \"speedup\":null,\"matches_baseline\":null}}"
+        ),
+    }
+    .expect("write to string");
+    s
+}
+
+fn main() {
+    let mut quick = false;
+    let mut seed = 42u64;
+    let mut out_dir = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed requires an integer");
+            }
+            "--out" => out_dir = PathBuf::from(args.next().expect("--out requires a path")),
+            "--help" | "-h" => {
+                eprintln!("options: --quick  --seed N  --out DIR");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown option {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+    let compare_baseline = !quick && seed == 42;
+    if !quick && seed != 42 {
+        eprintln!("note: the baseline was recorded at seed 42; skipping baseline comparison");
+    }
+
+    let mut records = Vec::new();
+    let mut speedups: Vec<f64> = Vec::new();
+    let mut drifted = false;
+    for case in cases(seed, quick) {
+        eprintln!("running {}…", case.name);
+        let run = run_case(&case);
+        let eps = run.slab.events_executed as f64 / run.wall_seconds.max(1e-9);
+        let speedup = compare_baseline
+            .then(|| baseline_for(run.case))
+            .flatten()
+            .map(|(base_wall, ..)| base_wall / run.wall_seconds.max(1e-9));
+        eprintln!(
+            "  {}: {:.2}s wall, {:.0} events/s, peak live events {}, peak live units {}{}",
+            run.case,
+            run.wall_seconds,
+            eps,
+            run.slab.peak_live_events,
+            run.slab.peak_live_units,
+            speedup
+                .map(|s| format!(", {s:.2}x vs pre-refactor"))
+                .unwrap_or_default(),
+        );
+        if let Some(s) = speedup {
+            speedups.push(s);
+        }
+        records.push(json_record(&run, compare_baseline, &mut drifted));
+    }
+    let geomean = (!speedups.is_empty()).then(|| {
+        let log_sum: f64 = speedups.iter().map(|s| s.ln()).sum();
+        (log_sum / speedups.len() as f64).exp()
+    });
+    let doc = format!(
+        "{{\"bench\":\"engine_throughput\",\"seed\":{seed},\"quick\":{quick},\
+         \"geomean_speedup\":{},\"runs\":[\n{}\n]}}\n",
+        geomean
+            .map(|g| format!("{g:.2}"))
+            .unwrap_or_else(|| "null".to_string()),
+        records.join(",\n"),
+    );
+    print!("{doc}");
+    if let Some(g) = geomean {
+        eprintln!("geomean speedup vs pre-refactor baseline: {g:.2}x");
+    }
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+    let path = out_dir.join("BENCH_engine.json");
+    std::fs::write(&path, &doc).expect("write BENCH_engine.json");
+    eprintln!("wrote {}", path.display());
+    // Validate that what we wrote parses (the CI smoke step relies on it).
+    serde_json::parse(&doc).expect("BENCH_engine.json is well-formed JSON");
+    // A perf benchmark whose outcomes drifted from the recorded baseline
+    // is measuring a *different* simulation: fail loudly (at seed 42 only
+    // — other seeds run different workloads than the baseline recorded).
+    if drifted {
+        eprintln!("engine outcomes no longer match the pre-refactor baseline; failing");
+        std::process::exit(1);
+    }
+}

@@ -5,6 +5,10 @@
 //! Sweeps per-channel capacity from 10,000 to 100,000 XRP for all six
 //! schemes and reports both success metrics at each point.
 //!
+//! The whole (capacity × scheme) grid is fanned across worker threads in
+//! one [`run_sweep`] call, so the machine stays saturated instead of
+//! processing one capacity's six schemes at a time.
+//!
 //! Expected shape (paper): every scheme improves with capacity; Spider
 //! (Waterfilling) reaches any given success level with the least capital;
 //! Spider (LP) is the least sensitive to capacity ("it does a better job
@@ -12,24 +16,35 @@
 
 use spider_bench::{emit, isp_experiment, paper_schemes, HarnessArgs};
 use spider_core::output::FigureRow;
+use spider_core::{run_sweep, seed_scheme_grid};
 
 fn main() {
     let args = HarnessArgs::parse();
     let capacities: &[u64] = &[10_000, 20_000, 30_000, 50_000, 75_000, 100_000];
-    let mut rows: Vec<FigureRow> = Vec::new();
+    let schemes = paper_schemes();
 
+    let mut jobs = Vec::new();
     for &capacity in capacities {
-        eprintln!("running capacity {capacity} XRP (6 schemes)…");
         let cfg = isp_experiment(capacity, args.full, args.seed);
-        let reports = cfg.run_schemes(&paper_schemes()).expect("experiment runs");
-        for r in &reports {
-            rows.push(FigureRow::new(
-                "fig7-isp",
-                "capacity_xrp",
-                capacity as f64,
-                r,
-            ));
-        }
+        jobs.extend(seed_scheme_grid(&cfg, &[args.seed], &schemes));
+    }
+    eprintln!(
+        "running {} jobs ({} capacities × {} schemes)…",
+        jobs.len(),
+        capacities.len(),
+        schemes.len()
+    );
+    let reports = run_sweep(&jobs).expect("experiments run");
+
+    let mut rows: Vec<FigureRow> = Vec::new();
+    for (i, r) in reports.iter().enumerate() {
+        let capacity = capacities[i / schemes.len()];
+        rows.push(FigureRow::new(
+            "fig7-isp",
+            "capacity_xrp",
+            capacity as f64,
+            r,
+        ));
     }
 
     emit("fig7_capacity_sweep", &rows, &args.out_dir);

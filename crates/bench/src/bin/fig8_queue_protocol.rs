@@ -2,7 +2,8 @@
 //! §5 decentralized protocol under router queueing vs the transport-layer
 //! baselines, on the fig6 topologies at 30,000 XRP per channel.
 //!
-//! Four runs per topology, all on the identical workload and seed:
+//! Four runs per topology, all on the identical workload and seed,
+//! dispatched together through [`run_sweep`]:
 //!
 //! * `spider-protocol` — queues + price marking + per-path AIMD
 //!   (`QueueingMode::PerChannelFifo`);
@@ -24,9 +25,9 @@
 use spider_bench::{emit, isp_experiment, ripple_experiment, HarnessArgs};
 use spider_core::congestion::{WindowConfig, Windowed};
 use spider_core::output::FigureRow;
-use spider_core::SchemeConfig;
+use spider_core::{run_sweep, SchemeConfig, SweepJob};
 use spider_routing::{ShortestPath, SpiderWaterfilling};
-use spider_sim::{QueueConfig, QueueingMode, Router, SimReport};
+use spider_sim::{QueueConfig, QueueingMode};
 
 fn main() {
     let only = std::env::var("SPIDER_FIG8_ONLY").ok();
@@ -50,40 +51,42 @@ fn main() {
         let mut queued = base.clone();
         queued.sim.queueing = QueueingMode::PerChannelFifo(QueueConfig::default());
 
-        // 1. The §5 protocol, through the scheme registry.
+        // 1. the §5 protocol through the scheme registry; 2./3. the
+        // AIMD-window baselines in the same queueing mode; 4. plain
+        // lockstep shortest-path for reference.
         let mut protocol_cfg = queued.clone();
         protocol_cfg.scheme = SchemeConfig::SpiderProtocol { paths: 4 };
-        let mut reports: Vec<(String, SimReport)> = Vec::new();
-        let r = protocol_cfg.run().expect("protocol runs");
-        reports.push((r.scheme.clone(), r));
-
-        // 2./3. The AIMD-window baselines, same seed and queueing mode.
-        let baselines: Vec<(&str, Box<dyn Router>)> = vec![
-            (
-                "shortest-path+window",
-                Box::new(Windowed::new(ShortestPath::new(), WindowConfig::default())),
-            ),
-            (
-                "spider-waterfilling+window",
-                Box::new(Windowed::new(
-                    SpiderWaterfilling::new(4),
-                    WindowConfig::default(),
-                )),
-            ),
-        ];
-        for (name, router) in baselines {
-            let r = queued.run_with_router(router).expect("baseline runs");
-            reports.push((name.to_string(), r));
-        }
-
-        // 4. Plain lockstep shortest-path for reference.
         let mut plain = base.clone();
         plain.scheme = SchemeConfig::ShortestPath;
-        let r = plain.run().expect("reference runs");
-        reports.push(("shortest-path".to_string(), r));
+        let names = [
+            "spider-protocol",
+            "shortest-path+window",
+            "spider-waterfilling+window",
+            "shortest-path",
+        ];
+        let jobs = vec![
+            SweepJob::Scheme(protocol_cfg),
+            SweepJob::Custom {
+                cfg: queued.clone(),
+                build: Box::new(|| {
+                    Box::new(Windowed::new(ShortestPath::new(), WindowConfig::default()))
+                }),
+            },
+            SweepJob::Custom {
+                cfg: queued.clone(),
+                build: Box::new(|| {
+                    Box::new(Windowed::new(
+                        SpiderWaterfilling::new(4),
+                        WindowConfig::default(),
+                    ))
+                }),
+            },
+            SweepJob::Scheme(plain),
+        ];
+        let reports = run_sweep(&jobs).expect("experiments run");
 
-        for (name, mut r) in reports {
-            r.scheme = name;
+        for (name, mut r) in names.into_iter().zip(reports) {
+            r.scheme = name.to_string();
             let row = FigureRow::new(label, "capacity_xrp", capacity as f64, &r);
             println!("{}", spider_core::output::to_csv_row(&row));
             if r.units_marked > 0 || r.units_queued > 0 {

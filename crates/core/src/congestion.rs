@@ -161,8 +161,10 @@ impl<R: Router> Router for Windowed<R> {
     }
 
     fn on_unit_outcome(&mut self, outcome: &UnitOutcome, view: &NetworkView<'_>) {
-        let src = *outcome.path.first().expect("non-empty path");
-        let dst = *outcome.path.last().expect("non-empty path");
+        let (src, dst) = {
+            let entry = view.path(outcome.path);
+            (entry.source(), entry.dest())
+        };
         // In ack-driven (queueing) operation, a positive outcome is only
         // queue admission — growth waits for the ack. Rejections remain a
         // hard back-off signal in both modes.
@@ -177,8 +179,10 @@ impl<R: Router> Router for Windowed<R> {
         // mark bit, so the window reacts to it (a marked or dropped unit
         // backs the pair off even though its initial admission succeeded).
         self.ack_driven = true;
-        let src = *ack.path.first().expect("non-empty path");
-        let dst = *ack.path.last().expect("non-empty path");
+        let (src, dst) = {
+            let entry = view.path(ack.path);
+            (entry.source(), entry.dest())
+        };
         self.adjust(src, dst, ack.delivered && !ack.stamp.marked);
         self.inner.on_unit_ack(ack, view);
     }
@@ -188,7 +192,7 @@ impl<R: Router> Router for Windowed<R> {
 mod tests {
     use super::*;
     use spider_routing::ShortestPath;
-    use spider_sim::ChannelState;
+    use spider_sim::{ChannelState, PathTable};
     use spider_types::{PaymentId, SimTime};
 
     fn xrp(x: u64) -> Amount {
@@ -216,10 +220,10 @@ mod tests {
         }
     }
 
-    fn outcome(locked: bool) -> UnitOutcome {
+    fn outcome(view: &NetworkView<'_>, locked: bool) -> UnitOutcome {
         UnitOutcome {
             payment: PaymentId(0),
-            path: vec![NodeId(0), NodeId(1), NodeId(2)],
+            path: view.intern(&[NodeId(0), NodeId(1), NodeId(2)]),
             amount: xrp(10),
             locked,
         }
@@ -228,9 +232,11 @@ mod tests {
     #[test]
     fn clamps_to_window() {
         let (t, ch) = view_fixture();
+        let paths = PathTable::new();
         let view = NetworkView {
             topo: &t,
             channels: &ch,
+            paths: &paths,
             now: SimTime::ZERO,
         };
         let mut w = Windowed::new(
@@ -247,9 +253,11 @@ mod tests {
     #[test]
     fn aimd_dynamics() {
         let (t, ch) = view_fixture();
+        let paths = PathTable::new();
         let view = NetworkView {
             topo: &t,
             channels: &ch,
+            paths: &paths,
             now: SimTime::ZERO,
         };
         let mut w = Windowed::new(
@@ -263,18 +271,18 @@ mod tests {
                 ..WindowConfig::default()
             },
         );
-        w.on_unit_outcome(&outcome(true), &view);
+        w.on_unit_outcome(&outcome(&view, true), &view);
         assert_eq!(w.window(NodeId(0), NodeId(2)), xrp(110));
-        w.on_unit_outcome(&outcome(false), &view);
+        w.on_unit_outcome(&outcome(&view, false), &view);
         assert_eq!(w.window(NodeId(0), NodeId(2)), xrp(55));
         // Ceiling.
         for _ in 0..20 {
-            w.on_unit_outcome(&outcome(true), &view);
+            w.on_unit_outcome(&outcome(&view, true), &view);
         }
         assert_eq!(w.window(NodeId(0), NodeId(2)), xrp(150));
         // Floor.
         for _ in 0..20 {
-            w.on_unit_outcome(&outcome(false), &view);
+            w.on_unit_outcome(&outcome(&view, false), &view);
         }
         assert_eq!(w.window(NodeId(0), NodeId(2)), xrp(5));
     }
@@ -282,13 +290,15 @@ mod tests {
     #[test]
     fn window_is_per_pair() {
         let (t, ch) = view_fixture();
+        let paths = PathTable::new();
         let view = NetworkView {
             topo: &t,
             channels: &ch,
+            paths: &paths,
             now: SimTime::ZERO,
         };
         let mut w = Windowed::new(ShortestPath::new(), WindowConfig::default());
-        w.on_unit_outcome(&outcome(false), &view);
+        w.on_unit_outcome(&outcome(&view, false), &view);
         assert!(w.window(NodeId(0), NodeId(2)) < WindowConfig::default().initial);
         assert_eq!(
             w.window(NodeId(1), NodeId(2)),
@@ -299,9 +309,11 @@ mod tests {
     #[test]
     fn zero_window_returns_no_proposals() {
         let (t, ch) = view_fixture();
+        let paths = PathTable::new();
         let view = NetworkView {
             topo: &t,
             channels: &ch,
+            paths: &paths,
             now: SimTime::ZERO,
         };
         let mut w = Windowed::new(ShortestPath::new(), WindowConfig::default());
@@ -318,10 +330,21 @@ mod tests {
 
     #[test]
     fn eviction_cap_bounds_the_table() {
-        let (t, ch) = view_fixture();
+        // Ten disjoint channels give ten distinct (sender, receiver) pairs.
+        let mut b = spider_topology::Topology::builder(20);
+        for i in 0..10u32 {
+            b.channel(NodeId(i), NodeId(i + 10), xrp(10)).unwrap();
+        }
+        let t = b.build();
+        let ch: Vec<ChannelState> = t
+            .channels()
+            .map(|(_, c)| ChannelState::split_equally(c.capacity))
+            .collect();
+        let paths = PathTable::new();
         let view = NetworkView {
             topo: &t,
             channels: &ch,
+            paths: &paths,
             now: SimTime::ZERO,
         };
         let mut w = Windowed::new(
@@ -334,7 +357,7 @@ mod tests {
         for i in 0..10u32 {
             let o = UnitOutcome {
                 payment: PaymentId(0),
-                path: vec![NodeId(i), NodeId(i + 100)],
+                path: view.intern(&[NodeId(i), NodeId(i + 10)]),
                 amount: xrp(1),
                 locked: false,
             };
@@ -343,19 +366,21 @@ mod tests {
         assert_eq!(w.tracked_pairs(), 4, "table bounded at the cap");
         // Oldest pairs were evicted and read back as the initial window.
         assert_eq!(
-            w.window(NodeId(0), NodeId(100)),
+            w.window(NodeId(0), NodeId(10)),
             WindowConfig::default().initial
         );
         // Newest still hold their decayed state.
-        assert!(w.window(NodeId(9), NodeId(109)) < WindowConfig::default().initial);
+        assert!(w.window(NodeId(9), NodeId(19)) < WindowConfig::default().initial);
     }
 
     #[test]
     fn marked_ack_backs_off_like_a_failure() {
         let (t, ch) = view_fixture();
+        let paths = PathTable::new();
         let view = NetworkView {
             topo: &t,
             channels: &ch,
+            paths: &paths,
             now: SimTime::ZERO,
         };
         let mut w = Windowed::new(ShortestPath::new(), WindowConfig::default());
@@ -363,7 +388,7 @@ mod tests {
         stamp.absorb(1.0, true, spider_types::SimDuration::from_millis(200));
         let ack = spider_sim::UnitAck {
             payment: PaymentId(0),
-            path: vec![NodeId(0), NodeId(1), NodeId(2)],
+            path: view.intern(&[NodeId(0), NodeId(1), NodeId(2)]),
             amount: xrp(10),
             delivered: true,
             stamp,

@@ -186,25 +186,108 @@ impl ExperimentConfig {
     /// Runs several schemes on the *identical* topology and workload (same
     /// seed), in parallel, returning reports in scheme order.
     pub fn run_schemes(&self, schemes: &[SchemeConfig]) -> Result<Vec<SimReport>> {
-        let mut configs = Vec::with_capacity(schemes.len());
-        for &scheme in schemes {
-            configs.push(ExperimentConfig {
-                scheme,
-                ..self.clone()
-            });
-        }
-        let mut out: Vec<Option<Result<SimReport>>> = (0..configs.len()).map(|_| None).collect();
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for cfg in &configs {
-                handles.push(scope.spawn(move || cfg.run()));
-            }
-            for (slot, h) in out.iter_mut().zip(handles) {
-                *slot = Some(h.join().expect("experiment thread panicked"));
-            }
-        });
-        out.into_iter().map(|r| r.expect("slot filled")).collect()
+        let jobs: Vec<SweepJob> = schemes
+            .iter()
+            .map(|&scheme| {
+                SweepJob::Scheme(ExperimentConfig {
+                    scheme,
+                    ..self.clone()
+                })
+            })
+            .collect();
+        run_sweep(&jobs)
     }
+}
+
+/// One unit of work for [`run_sweep`].
+pub enum SweepJob {
+    /// Run the config's scheme through the [`SchemeConfig`] registry.
+    Scheme(ExperimentConfig),
+    /// Run the config against a caller-built router (e.g. the
+    /// [`Windowed`](crate::congestion::Windowed) wrapper). The router is
+    /// constructed *inside* the worker thread, so the factory — not the
+    /// router — must be `Send + Sync`.
+    Custom {
+        /// Topology, workload, engine parameters and seed (the `scheme`
+        /// field is ignored).
+        cfg: ExperimentConfig,
+        /// Builds the router on the worker thread.
+        build: Box<dyn Fn() -> Box<dyn spider_sim::Router> + Send + Sync>,
+    },
+}
+
+impl SweepJob {
+    fn run(&self) -> Result<SimReport> {
+        match self {
+            SweepJob::Scheme(cfg) => cfg.run(),
+            SweepJob::Custom { cfg, build } => cfg.run_with_router(build()),
+        }
+    }
+}
+
+/// Runs a batch of experiment jobs across `std::thread::scope` workers —
+/// one per available core, capped by the job count — pulling from a
+/// shared atomic work queue. Results come back in job order, so callers
+/// can zip them against their grid. Every job is seeded independently;
+/// scheduling order cannot affect results.
+///
+/// This is the fan-out engine behind the figure binaries: a
+/// (seed × scheme) or (capacity × scheme) grid saturates the machine
+/// instead of running one batch of schemes at a time.
+pub fn run_sweep(jobs: &[SweepJob]) -> Result<Vec<SimReport>> {
+    let n = jobs.len();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut out: Vec<Option<Result<SimReport>>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..workers {
+            let next = &next;
+            handles.push(scope.spawn(move || {
+                let mut local = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    local.push((i, jobs[i].run()));
+                }
+                local
+            }));
+        }
+        for h in handles {
+            for (i, r) in h.join().expect("sweep worker panicked") {
+                out[i] = Some(r);
+            }
+        }
+    });
+    out.into_iter().map(|r| r.expect("every job ran")).collect()
+}
+
+/// The (seed × scheme) job grid, seed-major: the row for seed `s` and
+/// scheme `c` lands at index `s_idx * schemes.len() + c_idx`.
+pub fn seed_scheme_grid(
+    base: &ExperimentConfig,
+    seeds: &[u64],
+    schemes: &[SchemeConfig],
+) -> Vec<SweepJob> {
+    let mut jobs = Vec::with_capacity(seeds.len() * schemes.len());
+    for &seed in seeds {
+        for &scheme in schemes {
+            jobs.push(SweepJob::Scheme(ExperimentConfig {
+                seed,
+                scheme,
+                ..base.clone()
+            }));
+        }
+    }
+    jobs
 }
 
 /// Converts a workload into the long-term demand matrix (XRP/s) that
@@ -315,6 +398,55 @@ mod tests {
         assert_eq!(reports[0].attempted_volume, reports[1].attempted_volume);
         assert_eq!(reports[0].scheme, "shortest-path");
         assert_eq!(reports[1].scheme, "spider-waterfilling");
+    }
+
+    #[test]
+    fn run_sweep_preserves_job_order_and_determinism() {
+        let base = ExperimentConfig {
+            topology: TopologyConfig::Isp {
+                capacity_xrp: 2_000,
+            },
+            workload: WorkloadConfig::small(200, 100.0),
+            sim: quick_sim(),
+            scheme: SchemeConfig::ShortestPath,
+            seed: 0,
+        };
+        let seeds = [3u64, 11];
+        let schemes = [
+            SchemeConfig::ShortestPath,
+            SchemeConfig::SpiderWaterfilling { paths: 4 },
+        ];
+        let jobs = seed_scheme_grid(&base, &seeds, &schemes);
+        assert_eq!(jobs.len(), 4);
+        let swept = run_sweep(&jobs).unwrap();
+        // Same grid run sequentially must match the parallel sweep
+        // element-wise (worker scheduling cannot leak into results).
+        for (i, report) in swept.iter().enumerate() {
+            let (seed, scheme) = (seeds[i / schemes.len()], schemes[i % schemes.len()]);
+            let solo = ExperimentConfig {
+                seed,
+                scheme,
+                ..base.clone()
+            }
+            .run()
+            .unwrap();
+            assert_eq!(report.scheme, solo.scheme);
+            assert_eq!(report.completed_payments, solo.completed_payments);
+            assert_eq!(report.delivered_volume, solo.delivered_volume);
+        }
+        // Custom jobs run the caller's router.
+        let custom = run_sweep(&[SweepJob::Custom {
+            cfg: base.clone(),
+            build: Box::new(|| {
+                Box::new(crate::congestion::Windowed::new(
+                    spider_routing::ShortestPath::new(),
+                    crate::congestion::WindowConfig::default(),
+                ))
+            }),
+        }])
+        .unwrap();
+        assert_eq!(custom.len(), 1);
+        assert_eq!(custom[0].scheme, "shortest-path");
     }
 
     #[test]

@@ -31,5 +31,5 @@ pub mod experiment;
 pub mod output;
 pub mod scheme;
 
-pub use experiment::{ExperimentConfig, TopologyConfig};
+pub use experiment::{run_sweep, seed_scheme_grid, ExperimentConfig, SweepJob, TopologyConfig};
 pub use scheme::SchemeConfig;

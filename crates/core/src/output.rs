@@ -137,6 +137,7 @@ mod tests {
             throughput_series: vec![],
             imbalance_series: vec![],
             queue_occupancy_series: vec![],
+            queue_depth_series: vec![],
             horizon: SimDuration::from_secs(10),
         }
     }

@@ -62,50 +62,90 @@ impl Path {
         topo.path_channels(&self.nodes)
             .expect("path follows topology edges")
     }
+
+    /// Allocation-free variant of [`Path::channels`]: iterates the hops
+    /// without materializing a vector. Panics on non-adjacent nodes.
+    pub fn channels_iter<'a>(
+        &'a self,
+        topo: &'a Topology,
+    ) -> impl Iterator<Item = (ChannelId, Direction)> + 'a {
+        self.nodes.windows(2).map(move |w| {
+            let id = topo
+                .channel_between(w[0], w[1])
+                .expect("path follows topology edges");
+            (id, topo.channel(id).direction_from(w[0]))
+        })
+    }
 }
 
-/// BFS shortest path avoiding the given channels and nodes. Adjacency lists
-/// are sorted, so the result is deterministic (smallest-id tie-breaks).
-fn bfs_avoiding(
-    topo: &Topology,
-    src: NodeId,
-    dst: NodeId,
-    banned_channels: &HashSet<ChannelId>,
-    banned_nodes: &HashSet<NodeId>,
-) -> Option<Path> {
-    if banned_nodes.contains(&src) || banned_nodes.contains(&dst) {
-        return None;
-    }
-    if src == dst {
-        return Some(Path::new(vec![src]));
-    }
-    let mut parent: Vec<Option<NodeId>> = vec![None; topo.node_count()];
-    let mut seen = vec![false; topo.node_count()];
-    seen[src.index()] = true;
-    let mut queue = VecDeque::from([src]);
-    while let Some(u) = queue.pop_front() {
-        for adj in topo.neighbors(u) {
-            if banned_channels.contains(&adj.channel) || banned_nodes.contains(&adj.neighbor) {
-                continue;
-            }
-            if !seen[adj.neighbor.index()] {
-                seen[adj.neighbor.index()] = true;
-                parent[adj.neighbor.index()] = Some(u);
-                if adj.neighbor == dst {
-                    let mut nodes = vec![dst];
-                    let mut cur = dst;
-                    while let Some(p) = parent[cur.index()] {
-                        nodes.push(p);
-                        cur = p;
-                    }
-                    nodes.reverse();
-                    return Some(Path::new(nodes));
-                }
-                queue.push_back(adj.neighbor);
-            }
+/// Reusable BFS state with dense ban flags.
+///
+/// The oracles below run BFS once per candidate path per pair; hashing a
+/// `HashSet<ChannelId>` per traversed edge dominated their profile at
+/// Ripple scale (3,774 nodes, ~12.5k channels). Dense `Vec<bool>` bans
+/// keyed by the ids' dense indices make the membership test a load, and
+/// the buffers are reused across calls within one oracle invocation.
+/// Traversal order is unchanged, so results are bit-identical.
+struct BfsWorkspace {
+    banned_channel: Vec<bool>,
+    banned_node: Vec<bool>,
+    parent: Vec<Option<NodeId>>,
+    seen: Vec<bool>,
+    queue: VecDeque<NodeId>,
+}
+
+impl BfsWorkspace {
+    fn new(topo: &Topology) -> Self {
+        BfsWorkspace {
+            banned_channel: vec![false; topo.channel_count()],
+            banned_node: vec![false; topo.node_count()],
+            parent: vec![None; topo.node_count()],
+            seen: vec![false; topo.node_count()],
+            queue: VecDeque::new(),
         }
     }
-    None
+
+    /// BFS shortest path from `src` to `dst` honoring the ban flags.
+    /// Adjacency lists are sorted, so the result is deterministic
+    /// (smallest-id tie-breaks).
+    fn bfs(&mut self, topo: &Topology, src: NodeId, dst: NodeId) -> Option<Path> {
+        if self.banned_node[src.index()] || self.banned_node[dst.index()] {
+            return None;
+        }
+        if src == dst {
+            return Some(Path::new(vec![src]));
+        }
+        self.parent.fill(None);
+        self.seen.fill(false);
+        self.seen[src.index()] = true;
+        self.queue.clear();
+        self.queue.push_back(src);
+        while let Some(u) = self.queue.pop_front() {
+            for adj in topo.neighbors(u) {
+                if self.banned_channel[adj.channel.index()]
+                    || self.banned_node[adj.neighbor.index()]
+                {
+                    continue;
+                }
+                if !self.seen[adj.neighbor.index()] {
+                    self.seen[adj.neighbor.index()] = true;
+                    self.parent[adj.neighbor.index()] = Some(u);
+                    if adj.neighbor == dst {
+                        let mut nodes = vec![dst];
+                        let mut cur = dst;
+                        while let Some(p) = self.parent[cur.index()] {
+                            nodes.push(p);
+                            cur = p;
+                        }
+                        nodes.reverse();
+                        return Some(Path::new(nodes));
+                    }
+                    self.queue.push_back(adj.neighbor);
+                }
+            }
+        }
+        None
+    }
 }
 
 /// Yen's algorithm: up to `k` loopless shortest paths by hop count, in
@@ -114,8 +154,9 @@ pub fn k_shortest_paths(topo: &Topology, src: NodeId, dst: NodeId, k: usize) -> 
     if k == 0 || src == dst {
         return Vec::new();
     }
+    let mut ws = BfsWorkspace::new(topo);
     let mut accepted: Vec<Path> = Vec::new();
-    let Some(first) = bfs_avoiding(topo, src, dst, &HashSet::new(), &HashSet::new()) else {
+    let Some(first) = ws.bfs(topo, src, dst) else {
         return Vec::new();
     };
     accepted.push(first);
@@ -126,19 +167,28 @@ pub fn k_shortest_paths(topo: &Topology, src: NodeId, dst: NodeId, k: usize) -> 
         for i in 0..prev.hop_count() {
             let spur_node = prev.nodes[i];
             let root = &prev.nodes[..=i];
-            // Ban the outgoing channel of every accepted path sharing this root.
-            let mut banned_channels = HashSet::new();
+            // Ban the outgoing channel of every accepted path sharing this
+            // root, and the root nodes except the spur node (looplessness).
+            let mut set_channels: Vec<ChannelId> = Vec::new();
             for p in &accepted {
                 if p.nodes.len() > i + 1 && p.nodes[..=i] == *root {
                     if let Some(c) = topo.channel_between(p.nodes[i], p.nodes[i + 1]) {
-                        banned_channels.insert(c);
+                        ws.banned_channel[c.index()] = true;
+                        set_channels.push(c);
                     }
                 }
             }
-            // Ban root nodes except the spur node, to keep paths loopless.
-            let banned_nodes: HashSet<NodeId> = root[..i].iter().copied().collect();
-            if let Some(spur) = bfs_avoiding(topo, spur_node, dst, &banned_channels, &banned_nodes)
-            {
+            for n in &root[..i] {
+                ws.banned_node[n.index()] = true;
+            }
+            let spur = ws.bfs(topo, spur_node, dst);
+            for c in set_channels {
+                ws.banned_channel[c.index()] = false;
+            }
+            for n in &root[..i] {
+                ws.banned_node[n.index()] = false;
+            }
+            if let Some(spur) = spur {
                 let mut nodes = root[..i].to_vec();
                 nodes.extend(spur.nodes);
                 let cand = Path::new(nodes);
@@ -164,14 +214,14 @@ pub fn k_shortest_paths(topo: &Topology, src: NodeId, dst: NodeId, k: usize) -> 
 /// shortest path and deleting its channels (§6.1's "4 disjoint shortest
 /// paths" between every pair).
 pub fn k_edge_disjoint_paths(topo: &Topology, src: NodeId, dst: NodeId, k: usize) -> Vec<Path> {
-    let mut banned = HashSet::new();
+    let mut ws = BfsWorkspace::new(topo);
     let mut out = Vec::new();
     while out.len() < k {
-        let Some(p) = bfs_avoiding(topo, src, dst, &banned, &HashSet::new()) else {
+        let Some(p) = ws.bfs(topo, src, dst) else {
             break;
         };
-        for (c, _) in p.channels(topo) {
-            banned.insert(c);
+        for (c, _) in p.channels_iter(topo) {
+            ws.banned_channel[c.index()] = true;
         }
         out.push(p);
     }

@@ -21,10 +21,9 @@
 
 use crate::price::PathPriceEstimator;
 use crate::rate::{PathController, RateConfig};
-use spider_lp::paths::Path;
 use spider_routing::{PathCache, PathPolicy};
 use spider_sim::{NetworkView, RouteProposal, RouteRequest, Router, UnitAck, UnitOutcome};
-use spider_types::{Amount, NodeId};
+use spider_types::{Amount, NodeId, PathId};
 use std::collections::HashMap;
 
 /// Tunables of the protocol sender.
@@ -49,9 +48,11 @@ impl Default for ProtocolConfig {
     }
 }
 
-/// Per-(sender, receiver) protocol state.
+/// Per-(sender, receiver) protocol state. Candidate paths are interned
+/// ids, so matching an acknowledged path against the candidate set is an
+/// integer comparison instead of a node-vector equality walk.
 struct PairState {
-    paths: Vec<Path>,
+    paths: Vec<PathId>,
     controllers: Vec<PathController>,
     prices: Vec<PathPriceEstimator>,
 }
@@ -106,13 +107,14 @@ impl ProtocolRouter {
     fn pair_mut(
         &mut self,
         topo: &spider_topology::Topology,
+        table: &spider_sim::PathTable,
         src: NodeId,
         dst: NodeId,
     ) -> &mut PairState {
         let cache = &mut self.cache;
         let cfg = &self.cfg;
         self.pairs.entry((src, dst)).or_insert_with(|| {
-            let paths = cache.get(topo, src, dst).to_vec();
+            let paths = cache.get(topo, table, src, dst).to_vec();
             let controllers = paths
                 .iter()
                 .map(|_| PathController::new(&cfg.rate))
@@ -129,9 +131,9 @@ impl ProtocolRouter {
         })
     }
 
-    /// Index of the pair's candidate path with exactly these nodes.
-    fn path_index(state: &PairState, path: &[NodeId]) -> Option<usize> {
-        state.paths.iter().position(|p| p.nodes == path)
+    /// Index of the pair's candidate path with this interned id.
+    fn path_index(state: &PairState, path: PathId) -> Option<usize> {
+        state.paths.iter().position(|&p| p == path)
     }
 }
 
@@ -141,24 +143,28 @@ impl Router for ProtocolRouter {
     }
 
     fn route(&mut self, req: &RouteRequest, view: &NetworkView<'_>) -> Vec<RouteProposal> {
-        let mtu = req.mtu;
-        let state = self.pair_mut(view.topo, req.src, req.dst);
+        let state = self.pair_mut(view.topo, view.paths, req.src, req.dst);
         if state.paths.is_empty() {
             return Vec::new();
         }
-        // Fill windows cheapest-path-first, one MTU unit at a time, against
-        // a request-local copy of each path's remaining budget. A path the
-        // sender's probe shows as currently dead (zero bottleneck) is
-        // skipped this round — §5.3.1's hosts measure available capacity
-        // on their candidate paths, and pushing units at a dead path only
-        // converts them into queue drops.
+        // Fill windows cheapest-path-first against a request-local copy of
+        // each path's remaining budget. Prices are fixed for the duration
+        // of one request, so the cheapest eligible path absorbs its whole
+        // budget at once (identical to the per-MTU reference loop, without
+        // the O(units) rescans). A path the sender's probe shows as
+        // currently dead (zero bottleneck) is skipped this round — §5.3.1's
+        // hosts measure available capacity on their candidate paths, and
+        // pushing units at a dead path only converts them into queue drops.
         let mut budgets: Vec<Amount> = state
             .controllers
             .iter()
             .zip(&state.paths)
-            .map(|(c, p)| match view.path_bottleneck(&p.nodes) {
-                Some(b) if !b.is_zero() => c.budget(),
-                _ => Amount::ZERO,
+            .map(|(c, &p)| {
+                if view.bottleneck(p).is_zero() {
+                    Amount::ZERO
+                } else {
+                    c.budget()
+                }
             })
             .collect();
         let mut allocated: Vec<Amount> = vec![Amount::ZERO; state.paths.len()];
@@ -179,31 +185,26 @@ impl Router for ProtocolRouter {
                 }
             }
             let Some((_, i)) = best else { break };
-            let unit = mtu.min(remaining).min(budgets[i]);
-            allocated[i] += unit;
-            budgets[i] -= unit;
-            remaining -= unit;
+            let take = budgets[i].min(remaining);
+            allocated[i] += take;
+            budgets[i] -= take;
+            remaining -= take;
         }
         state
             .paths
             .iter()
             .zip(allocated)
             .filter(|(_, a)| !a.is_zero())
-            .map(|(p, amount)| RouteProposal {
-                path: p.nodes.clone(),
-                amount,
-            })
+            .map(|(&path, amount)| RouteProposal { path, amount })
             .collect()
     }
 
-    fn on_unit_outcome(&mut self, outcome: &UnitOutcome, _view: &NetworkView<'_>) {
-        let (Some(&src), Some(&dst)) = (outcome.path.first(), outcome.path.last()) else {
+    fn on_unit_outcome(&mut self, outcome: &UnitOutcome, view: &NetworkView<'_>) {
+        let entry = view.path(outcome.path);
+        let Some(state) = self.pairs.get_mut(&(entry.source(), entry.dest())) else {
             return;
         };
-        let Some(state) = self.pairs.get_mut(&(src, dst)) else {
-            return;
-        };
-        let Some(i) = Self::path_index(state, &outcome.path) else {
+        let Some(i) = Self::path_index(state, outcome.path) else {
             return;
         };
         if outcome.locked {
@@ -213,14 +214,12 @@ impl Router for ProtocolRouter {
         }
     }
 
-    fn on_unit_ack(&mut self, ack: &UnitAck, _view: &NetworkView<'_>) {
-        let (Some(&src), Some(&dst)) = (ack.path.first(), ack.path.last()) else {
+    fn on_unit_ack(&mut self, ack: &UnitAck, view: &NetworkView<'_>) {
+        let entry = view.path(ack.path);
+        let Some(state) = self.pairs.get_mut(&(entry.source(), entry.dest())) else {
             return;
         };
-        let Some(state) = self.pairs.get_mut(&(src, dst)) else {
-            return;
-        };
-        let Some(i) = Self::path_index(state, &ack.path) else {
+        let Some(i) = Self::path_index(state, ack.path) else {
             return;
         };
         state.controllers[i].on_ack(ack.amount, ack.delivered, ack.stamp.marked, &self.cfg.rate);
@@ -231,7 +230,7 @@ impl Router for ProtocolRouter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spider_sim::ChannelState;
+    use spider_sim::{ChannelState, PathTable};
     use spider_types::{MarkStamp, PaymentId, SimDuration, SimTime};
 
     fn xrp(x: u64) -> Amount {
@@ -271,7 +270,7 @@ mod tests {
         s
     }
 
-    fn ack(path: Vec<NodeId>, amount: Amount, delivered: bool, stamp: MarkStamp) -> UnitAck {
+    fn ack(path: PathId, amount: Amount, delivered: bool, stamp: MarkStamp) -> UnitAck {
         UnitAck {
             payment: PaymentId(0),
             path,
@@ -286,9 +285,11 @@ mod tests {
     #[test]
     fn splits_across_paths_within_windows() {
         let (t, ch) = two_routes();
+        let paths = PathTable::new();
         let view = NetworkView {
             topo: &t,
             channels: &ch,
+            paths: &paths,
             now: SimTime::ZERO,
         };
         let cfg = ProtocolConfig {
@@ -309,9 +310,11 @@ mod tests {
     #[test]
     fn inflight_consumes_budget_until_acked() {
         let (t, ch) = two_routes();
+        let paths = PathTable::new();
         let view = NetworkView {
             topo: &t,
             channels: &ch,
+            paths: &paths,
             now: SimTime::ZERO,
         };
         let cfg = ProtocolConfig {
@@ -326,10 +329,10 @@ mod tests {
         assert_eq!(props.iter().map(|p| p.amount).sum::<Amount>(), xrp(60));
         // Report every proposed unit as accepted.
         for p in &props {
-            for unit in p.amount.split_mtu(xrp(10)) {
+            for unit in p.amount.mtu_chunks(xrp(10)) {
                 let o = UnitOutcome {
                     payment: PaymentId(0),
-                    path: p.path.clone(),
+                    path: p.path,
                     amount: unit,
                     locked: true,
                 };
@@ -340,7 +343,7 @@ mod tests {
         let empty = r.route(&req(0, 3, xrp(100), xrp(10)), &view);
         assert!(empty.is_empty(), "in-flight value must consume the window");
         // Acking releases budget (and clean acks grow it).
-        let path = props[0].path.clone();
+        let path = props[0].path;
         r.on_unit_ack(&ack(path, xrp(10), true, MarkStamp::CLEAR), &view);
         let again = r.route(&req(0, 3, xrp(100), xrp(10)), &view);
         assert!(!again.is_empty());
@@ -349,15 +352,17 @@ mod tests {
     #[test]
     fn marked_acks_shrink_the_marked_path_only() {
         let (t, ch) = two_routes();
+        let paths = PathTable::new();
         let view = NetworkView {
             topo: &t,
             channels: &ch,
+            paths: &paths,
             now: SimTime::ZERO,
         };
         let mut r = ProtocolRouter::new(4);
         // Initialize pair state.
         let props = r.route(&req(0, 3, xrp(1), xrp(1)), &view);
-        let marked_path = props[0].path.clone();
+        let marked_path = props[0].path;
         let w0 = r.path_window(NodeId(0), NodeId(3), 0).unwrap();
         let w1 = r.path_window(NodeId(0), NodeId(3), 1).unwrap();
         r.on_unit_ack(&ack(marked_path, xrp(1), true, marked_stamp()), &view);
@@ -370,17 +375,19 @@ mod tests {
     #[test]
     fn allocation_prefers_the_cheaper_path() {
         let (t, ch) = two_routes();
+        let paths = PathTable::new();
         let view = NetworkView {
             topo: &t,
             channels: &ch,
+            paths: &paths,
             now: SimTime::ZERO,
         };
         let mut r = ProtocolRouter::new(4);
         let props = r.route(&req(0, 3, xrp(1), xrp(1)), &view);
         // Make path 0 expensive.
-        let p0 = props[0].path.clone();
+        let p0 = props[0].path;
         for _ in 0..4 {
-            r.on_unit_ack(&ack(p0.clone(), Amount::ZERO, true, marked_stamp()), &view);
+            r.on_unit_ack(&ack(p0, Amount::ZERO, true, marked_stamp()), &view);
         }
         // A small request now goes entirely to the other path.
         let props = r.route(&req(0, 3, xrp(5), xrp(5)), &view);
@@ -397,9 +404,11 @@ mod tests {
             .channels()
             .map(|(_, c)| ChannelState::split_equally(c.capacity))
             .collect();
+        let paths = PathTable::new();
         let view = NetworkView {
             topo: &t,
             channels: &ch,
+            paths: &paths,
             now: SimTime::ZERO,
         };
         let mut r = ProtocolRouter::new(4);

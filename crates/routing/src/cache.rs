@@ -2,12 +2,16 @@
 //!
 //! Every source-routed scheme restricts itself to a small candidate set per
 //! pair (§5.3.1); computing it once per pair and caching matches how real
-//! hosts would remember their probed paths.
+//! hosts would remember their probed paths. Candidates are interned into
+//! the simulation's shared [`PathTable`] on first computation, so every
+//! scheme resolves a pair's paths to `(ChannelId, Direction)` arrays
+//! exactly once and thereafter trades in copyable [`PathId`]s.
 
-use spider_lp::paths::{k_edge_disjoint_paths, k_shortest_paths, Path};
+use spider_lp::paths::{k_edge_disjoint_paths, k_shortest_paths};
+use spider_sim::PathTable;
 use spider_topology::Topology;
-use spider_types::NodeId;
-use std::collections::BTreeMap;
+use spider_types::{NodeId, PathId};
+use std::collections::HashMap;
 
 /// Candidate-set policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -16,13 +20,22 @@ pub enum PathPolicy {
     EdgeDisjoint(usize),
     /// Yen's k shortest loopless paths.
     KShortest(usize),
+    /// The single BFS shortest path (the packet-switched baseline).
+    Shortest,
 }
 
 /// Lazily computed per-pair candidate paths.
 #[derive(Debug, Clone)]
 pub struct PathCache {
     policy: PathPolicy,
-    cache: BTreeMap<(NodeId, NodeId), Vec<Path>>,
+    cache: HashMap<(NodeId, NodeId), Vec<PathId>>,
+    /// Per-source BFS parent trees ([`PathPolicy::Shortest`] only,
+    /// computed by [`Topology::bfs_parents`] — the same traversal
+    /// `Topology::shortest_path` derives from): one tree yields the
+    /// identical smallest-id shortest path to *every* destination, so a
+    /// sender pays for one traversal no matter how many receivers it
+    /// routes to.
+    bfs_trees: HashMap<NodeId, Vec<u32>>,
 }
 
 impl PathCache {
@@ -30,18 +43,44 @@ impl PathCache {
     pub fn new(policy: PathPolicy) -> Self {
         PathCache {
             policy,
-            cache: BTreeMap::new(),
+            cache: HashMap::new(),
+            bfs_trees: HashMap::new(),
         }
     }
 
-    /// The candidate paths for `(src, dst)`, computing them on first use.
-    pub fn get(&mut self, topo: &Topology, src: NodeId, dst: NodeId) -> &[Path] {
-        self.cache
-            .entry((src, dst))
-            .or_insert_with(|| match self.policy {
-                PathPolicy::EdgeDisjoint(k) => k_edge_disjoint_paths(topo, src, dst, k),
-                PathPolicy::KShortest(k) => k_shortest_paths(topo, src, dst, k),
-            })
+    /// The candidate paths for `(src, dst)`, computing and interning them
+    /// on first use.
+    pub fn get(
+        &mut self,
+        topo: &Topology,
+        paths: &PathTable,
+        src: NodeId,
+        dst: NodeId,
+    ) -> &[PathId] {
+        let policy = self.policy;
+        let trees = &mut self.bfs_trees;
+        self.cache.entry((src, dst)).or_insert_with(|| {
+            let candidates: Vec<Vec<NodeId>> = match policy {
+                PathPolicy::EdgeDisjoint(k) => k_edge_disjoint_paths(topo, src, dst, k)
+                    .into_iter()
+                    .map(|p| p.nodes)
+                    .collect(),
+                PathPolicy::KShortest(k) => k_shortest_paths(topo, src, dst, k)
+                    .into_iter()
+                    .map(|p| p.nodes)
+                    .collect(),
+                PathPolicy::Shortest => {
+                    let tree = trees.entry(src).or_insert_with(|| topo.bfs_parents(src));
+                    Topology::path_from_parents(tree, src, dst)
+                        .into_iter()
+                        .collect()
+                }
+            };
+            candidates
+                .iter()
+                .map(|nodes| paths.intern(topo, nodes))
+                .collect()
+        })
     }
 
     /// Number of cached pairs.
@@ -62,34 +101,70 @@ mod tests {
     use spider_types::Amount;
 
     #[test]
-    fn caches_per_pair() {
+    fn caches_per_pair_and_shares_interned_ids() {
         let t = gen::isp_topology(Amount::from_xrp(100));
+        let table = PathTable::new();
         let mut c = PathCache::new(PathPolicy::EdgeDisjoint(4));
         assert!(c.is_empty());
-        let p1 = c.get(&t, NodeId(8), NodeId(20)).to_vec();
+        let p1 = c.get(&t, &table, NodeId(8), NodeId(20)).to_vec();
         assert_eq!(c.len(), 1);
-        let p2 = c.get(&t, NodeId(8), NodeId(20)).to_vec();
+        let interned_after_first = table.len();
+        let p2 = c.get(&t, &table, NodeId(8), NodeId(20)).to_vec();
         assert_eq!(c.len(), 1);
         assert_eq!(p1, p2);
-        c.get(&t, NodeId(20), NodeId(8));
+        assert_eq!(table.len(), interned_after_first, "no re-interning");
+        c.get(&t, &table, NodeId(20), NodeId(8));
         assert_eq!(c.len(), 2);
     }
 
     #[test]
     fn policies_differ() {
         let t = gen::isp_topology(Amount::from_xrp(100));
+        let table = PathTable::new();
         let mut dis = PathCache::new(PathPolicy::EdgeDisjoint(4));
         let mut yen = PathCache::new(PathPolicy::KShortest(4));
-        let d = dis.get(&t, NodeId(0), NodeId(7)).to_vec();
-        let y = yen.get(&t, NodeId(0), NodeId(7)).to_vec();
+        let d = dis.get(&t, &table, NodeId(0), NodeId(7)).to_vec();
+        let y = yen.get(&t, &table, NodeId(0), NodeId(7)).to_vec();
         assert_eq!(d.len(), 4);
         assert_eq!(y.len(), 4);
         // Yen's set may share edges; the disjoint set may not.
         let mut used = std::collections::HashSet::new();
-        for p in &d {
-            for (c, _) in p.channels(&t) {
+        for id in &d {
+            for &(c, _) in table.entry(*id).hops() {
                 assert!(used.insert(c));
             }
         }
+    }
+
+    #[test]
+    fn shortest_policy_matches_topology_bfs() {
+        // The per-source BFS tree must reproduce `Topology::shortest_path`
+        // exactly (same smallest-id tie-breaks) for every destination.
+        let t = gen::isp_topology(Amount::from_xrp(100));
+        let table = PathTable::new();
+        let mut c = PathCache::new(PathPolicy::Shortest);
+        for src in [0u32, 3, 8, 31] {
+            for dst in 0..32u32 {
+                if src == dst {
+                    continue;
+                }
+                let ids = c.get(&t, &table, NodeId(src), NodeId(dst)).to_vec();
+                assert_eq!(ids.len(), 1);
+                assert_eq!(
+                    table.entry(ids[0]).nodes(),
+                    t.shortest_path(NodeId(src), NodeId(dst)).unwrap(),
+                    "pair {src}->{dst}"
+                );
+            }
+        }
+        // Unreachable pairs cache an empty set.
+        let mut b = spider_topology::Topology::builder(3);
+        b.channel(NodeId(0), NodeId(1), Amount::from_xrp(1))
+            .unwrap();
+        let t2 = b.build();
+        let table2 = PathTable::new();
+        let mut c2 = PathCache::new(PathPolicy::Shortest);
+        assert!(c2.get(&t2, &table2, NodeId(0), NodeId(2)).is_empty());
+        assert_eq!(c2.len(), 1, "negative result is cached too");
     }
 }

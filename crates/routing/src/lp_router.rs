@@ -149,7 +149,7 @@ impl Router for SpiderLp {
         "spider-lp"
     }
 
-    fn route(&mut self, req: &RouteRequest, _view: &NetworkView<'_>) -> Vec<RouteProposal> {
+    fn route(&mut self, req: &RouteRequest, view: &NetworkView<'_>) -> Vec<RouteProposal> {
         let Some(paths) = self.weights.get(&(req.src, req.dst)) else {
             return Vec::new(); // LP gave this commodity zero rate
         };
@@ -177,7 +177,7 @@ impl Router for SpiderLp {
         for (path, w) in paths {
             let amt = budget.mul_f64(*w);
             proposals.push(RouteProposal {
-                path: path.clone(),
+                path: view.intern(path),
                 amount: amt,
             });
             assigned = assigned.saturating_add(amt);
@@ -207,7 +207,7 @@ impl Router for SpiderLp {
 mod tests {
     use super::*;
     use spider_paygraph::examples;
-    use spider_sim::ChannelState;
+    use spider_sim::{ChannelState, PathTable};
     use spider_topology::gen;
     use spider_types::{PaymentId, SimTime};
 
@@ -252,9 +252,11 @@ mod tests {
         let mut r = router();
         let topo = gen::paper_example_topology(BIG);
         let ch = view_of(&topo);
+        let paths = PathTable::new();
         let view = NetworkView {
             topo: &topo,
             channels: &ch,
+            paths: &paths,
             now: SimTime::ZERO,
         };
         // Pair (2→4) (ids 1→3) carries weight in the optimum.
@@ -264,8 +266,8 @@ mod tests {
         let total: Amount = props.iter().map(|p| p.amount).sum();
         assert_eq!(total, amount);
         for p in &props {
-            assert_eq!(p.path.first(), Some(&NodeId(1)));
-            assert_eq!(p.path.last(), Some(&NodeId(3)));
+            assert_eq!(view.path(p.path).source(), NodeId(1));
+            assert_eq!(view.path(p.path).dest(), NodeId(3));
         }
     }
 
@@ -274,9 +276,11 @@ mod tests {
         let mut r = router();
         let topo = gen::paper_example_topology(BIG);
         let ch = view_of(&topo);
+        let paths = PathTable::new();
         let view = NetworkView {
             topo: &topo,
             channels: &ch,
+            paths: &paths,
             now: SimTime::ZERO,
         };
         // (5→3) (ids 4→2) is pure-DAG demand in the example: the balanced
@@ -319,9 +323,11 @@ mod tests {
         let demands = examples::paper_example_demands();
         let mut r = SpiderLp::new(&topo, &demands, 0.5, 4, LpSolverKind::Simplex);
         let ch = view_of(&topo);
+        let paths = PathTable::new();
         let view = NetworkView {
             topo: &topo,
             channels: &ch,
+            paths: &paths,
             now: SimTime::ZERO,
         };
         // Pair (4→1) (ids 3→0) has demand 2 but the optimum routes only 1:
@@ -343,9 +349,11 @@ mod tests {
         let demands = examples::paper_example_demands();
         let mut r = SpiderLp::new(&topo, &demands, 0.5, 4, LpSolverKind::Simplex);
         let ch = view_of(&topo);
+        let paths = PathTable::new();
         let view = NetworkView {
             topo: &topo,
             channels: &ch,
+            paths: &paths,
             now: SimTime::ZERO,
         };
         // Simulate the engine having already assigned 5 of 10 XRP: the

@@ -61,7 +61,10 @@ impl Router for MaxFlow {
                 break;
             }
             let take = Amount::from_drops(amt).min(remaining);
-            proposals.push(RouteProposal { path, amount: take });
+            proposals.push(RouteProposal {
+                path: view.intern(&path),
+                amount: take,
+            });
             remaining -= take;
         }
         debug_assert!(remaining.is_zero(), "decomposition covers the max flow");
@@ -72,7 +75,7 @@ impl Router for MaxFlow {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spider_sim::ChannelState;
+    use spider_sim::{ChannelState, PathTable};
     use spider_types::{NodeId, PaymentId, SimTime};
 
     fn xrp(x: u64) -> Amount {
@@ -109,9 +112,11 @@ mod tests {
     #[test]
     fn splits_over_multiple_paths() {
         let (t, ch) = double_path();
+        let paths = PathTable::new();
         let view = NetworkView {
             topo: &t,
             channels: &ch,
+            paths: &paths,
             now: SimTime::ZERO,
         };
         // 8 XRP exceeds any single path's 5 XRP, but max flow is 10.
@@ -123,9 +128,11 @@ mod tests {
     #[test]
     fn fails_when_max_flow_insufficient() {
         let (t, ch) = double_path();
+        let paths = PathTable::new();
         let view = NetworkView {
             topo: &t,
             channels: &ch,
+            paths: &paths,
             now: SimTime::ZERO,
         };
         let props = MaxFlow::new().route(&req(0, 3, xrp(11)), &view);
@@ -139,14 +146,19 @@ mod tests {
         let c01 = t.channel_between(NodeId(0), NodeId(1)).unwrap();
         let avail = ch[c01.index()].available(Direction::Forward);
         assert!(ch[c01.index()].lock(Direction::Forward, avail));
+        let paths = PathTable::new();
         let view = NetworkView {
             topo: &t,
             channels: &ch,
+            paths: &paths,
             now: SimTime::ZERO,
         };
         let props = MaxFlow::new().route(&req(0, 3, xrp(5)), &view);
         assert_eq!(props.len(), 1);
-        assert_eq!(props[0].path, vec![NodeId(0), NodeId(2), NodeId(3)]);
+        assert_eq!(
+            view.path(props[0].path).nodes(),
+            vec![NodeId(0), NodeId(2), NodeId(3)]
+        );
     }
 
     #[test]

@@ -4,19 +4,32 @@
 //! another baseline for our packet-switched network" (§6.1). The scheme
 //! proposes the single BFS shortest path for the full remainder; the
 //! engine packetizes into MTU units and queues what does not fit.
+//!
+//! The path is computed once per pair through the shared [`PathCache`]
+//! (the topology is static, so BFS per request was pure waste) and handed
+//! to the engine as an interned [`PathId`](spider_types::PathId).
 
+use crate::cache::{PathCache, PathPolicy};
 use spider_sim::{NetworkView, RouteProposal, RouteRequest, Router};
 
 /// Non-atomic single-shortest-path routing.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ShortestPath {
-    _private: (),
+    cache: PathCache,
+}
+
+impl Default for ShortestPath {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl ShortestPath {
     /// Creates the baseline router.
     pub fn new() -> Self {
-        ShortestPath { _private: () }
+        ShortestPath {
+            cache: PathCache::new(PathPolicy::Shortest),
+        }
     }
 }
 
@@ -26,8 +39,12 @@ impl Router for ShortestPath {
     }
 
     fn route(&mut self, req: &RouteRequest, view: &NetworkView<'_>) -> Vec<RouteProposal> {
-        match view.topo.shortest_path(req.src, req.dst) {
-            Some(path) => vec![RouteProposal {
+        match self
+            .cache
+            .get(view.topo, view.paths, req.src, req.dst)
+            .first()
+        {
+            Some(&path) => vec![RouteProposal {
                 path,
                 amount: req.remaining,
             }],
@@ -39,7 +56,7 @@ impl Router for ShortestPath {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spider_sim::ChannelState;
+    use spider_sim::{ChannelState, PathTable};
     use spider_types::{Amount, NodeId, PaymentId, SimTime};
 
     #[test]
@@ -49,9 +66,11 @@ mod tests {
             .channels()
             .map(|(_, c)| ChannelState::split_equally(c.capacity))
             .collect();
+        let paths = PathTable::new();
         let view = NetworkView {
             topo: &t,
             channels: &channels,
+            paths: &paths,
             now: SimTime::ZERO,
         };
         let mut r = ShortestPath::new();
@@ -67,11 +86,15 @@ mod tests {
         let props = r.route(&req, &view);
         assert_eq!(props.len(), 1);
         assert_eq!(
-            props[0].path,
+            view.path(props[0].path).nodes(),
             vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]
         );
         assert_eq!(props[0].amount, Amount::from_xrp(2));
         assert!(!r.atomic());
+        // The second request hits the cache, not BFS: same interned id.
+        let again = r.route(&req, &view);
+        assert_eq!(again[0].path, props[0].path);
+        assert_eq!(paths.len(), 1);
     }
 
     #[test]
@@ -84,9 +107,11 @@ mod tests {
             .channels()
             .map(|(_, c)| ChannelState::split_equally(c.capacity))
             .collect();
+        let paths = PathTable::new();
         let view = NetworkView {
             topo: &t,
             channels: &channels,
+            paths: &paths,
             now: SimTime::ZERO,
         };
         let req = RouteRequest {

@@ -91,7 +91,7 @@ impl Router for SilentWhispers {
             .into_iter()
             .enumerate()
             .map(|(i, path)| RouteProposal {
-                path,
+                path: view.intern(&path),
                 amount: if i == 0 { share + remainder } else { share },
             })
             .filter(|p| !p.amount.is_zero())
@@ -102,7 +102,7 @@ impl Router for SilentWhispers {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spider_sim::ChannelState;
+    use spider_sim::{ChannelState, PathTable};
     use spider_topology::gen;
     use spider_types::{PaymentId, SimTime};
 
@@ -148,9 +148,11 @@ mod tests {
             .channels()
             .map(|(_, c)| ChannelState::split_equally(c.capacity))
             .collect();
+        let paths = PathTable::new();
         let view = NetworkView {
             topo: &t,
             channels: &ch,
+            paths: &paths,
             now: SimTime::ZERO,
         };
         let mut sw = SilentWhispers::new(&t, 3);
@@ -159,13 +161,14 @@ mod tests {
         assert!(!props.is_empty());
         assert_eq!(props.iter().map(|p| p.amount).sum::<Amount>(), amount);
         for p in &props {
-            assert_eq!(p.path.first(), Some(&NodeId(8)));
-            assert_eq!(p.path.last(), Some(&NodeId(20)));
+            assert_eq!(view.path(p.path).source(), NodeId(8));
+            assert_eq!(view.path(p.path).dest(), NodeId(20));
             // Loopless.
-            let mut s = p.path.clone();
+            let nodes = view.path(p.path).nodes().to_vec();
+            let mut s = nodes.clone();
             s.sort_unstable();
             s.dedup();
-            assert_eq!(s.len(), p.path.len());
+            assert_eq!(s.len(), nodes.len());
         }
     }
 
@@ -176,16 +179,18 @@ mod tests {
             .channels()
             .map(|(_, c)| ChannelState::split_equally(c.capacity))
             .collect();
+        let paths = PathTable::new();
         let view = NetworkView {
             topo: &t,
             channels: &ch,
+            paths: &paths,
             now: SimTime::ZERO,
         };
         // Landmark will be node 1 (highest degree); route 1 → 2.
         let mut sw = SilentWhispers::new(&t, 1);
         let props = sw.route(&req(1, 2, xrp(1)), &view);
         assert_eq!(props.len(), 1);
-        assert_eq!(props[0].path, vec![NodeId(1), NodeId(2)]);
+        assert_eq!(view.path(props[0].path).nodes(), vec![NodeId(1), NodeId(2)]);
     }
 
     #[test]
@@ -198,9 +203,11 @@ mod tests {
             .channels()
             .map(|(_, c)| ChannelState::split_equally(c.capacity))
             .collect();
+        let paths = PathTable::new();
         let view = NetworkView {
             topo: &t,
             channels: &ch,
+            paths: &paths,
             now: SimTime::ZERO,
         };
         let mut sw = SilentWhispers::new(&t, 2);

@@ -166,7 +166,10 @@ impl Router for SpeedyMurmurs {
                 continue;
             }
             match self.greedy_path(tree, view, req.src, req.dst, amount) {
-                Some(path) => proposals.push(RouteProposal { path, amount }),
+                Some(path) => proposals.push(RouteProposal {
+                    path: view.intern(&path),
+                    amount,
+                }),
                 // Any stuck share fails the whole (atomic) payment.
                 None => return Vec::new(),
             }
@@ -178,7 +181,7 @@ impl Router for SpeedyMurmurs {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spider_sim::ChannelState;
+    use spider_sim::{ChannelState, PathTable};
     use spider_topology::gen;
     use spider_types::{Direction, PaymentId, SimTime};
 
@@ -226,9 +229,11 @@ mod tests {
     fn routes_along_decreasing_distance() {
         let t = gen::isp_topology(xrp(100));
         let ch = split(&t);
+        let paths = PathTable::new();
         let view = NetworkView {
             topo: &t,
             channels: &ch,
+            paths: &paths,
             now: SimTime::ZERO,
         };
         let mut sm = SpeedyMurmurs::new(&t, 3);
@@ -236,13 +241,14 @@ mod tests {
         assert!(!props.is_empty());
         assert_eq!(props.iter().map(|p| p.amount).sum::<Amount>(), xrp(3));
         for p in &props {
-            assert_eq!(p.path.first(), Some(&NodeId(8)));
-            assert_eq!(p.path.last(), Some(&NodeId(25)));
+            assert_eq!(view.path(p.path).source(), NodeId(8));
+            assert_eq!(view.path(p.path).dest(), NodeId(25));
             // Loop-free by construction.
-            let mut s = p.path.clone();
+            let nodes = view.path(p.path).nodes().to_vec();
+            let mut s = nodes.clone();
             s.sort_unstable();
             s.dedup();
-            assert_eq!(s.len(), p.path.len());
+            assert_eq!(s.len(), nodes.len());
         }
     }
 
@@ -254,9 +260,11 @@ mod tests {
         let c12 = t.channel_between(NodeId(1), NodeId(2)).unwrap();
         let avail = ch[c12.index()].available(Direction::Forward);
         assert!(ch[c12.index()].lock(Direction::Forward, avail));
+        let paths = PathTable::new();
         let view = NetworkView {
             topo: &t,
             channels: &ch,
+            paths: &paths,
             now: SimTime::ZERO,
         };
         let mut sm = SpeedyMurmurs::new(&t, 1);
@@ -272,9 +280,11 @@ mod tests {
         let c12 = t.channel_between(NodeId(1), NodeId(2)).unwrap();
         let avail = ch[c12.index()].available(Direction::Forward);
         assert!(ch[c12.index()].lock(Direction::Forward, avail));
+        let paths = PathTable::new();
         let view = NetworkView {
             topo: &t,
             channels: &ch,
+            paths: &paths,
             now: SimTime::ZERO,
         };
         let mut sm = SpeedyMurmurs::new(&t, 2);
@@ -285,9 +295,11 @@ mod tests {
     fn shares_sum_with_remainder() {
         let t = gen::isp_topology(xrp(100));
         let ch = split(&t);
+        let paths = PathTable::new();
         let view = NetworkView {
             topo: &t,
             channels: &ch,
+            paths: &paths,
             now: SimTime::ZERO,
         };
         let mut sm = SpeedyMurmurs::new(&t, 3);

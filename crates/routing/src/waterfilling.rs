@@ -7,14 +7,141 @@
 //! on the path with highest capacity until its capacity is the same as the
 //! second-highest-capacity path; then it transmits on both … and so on."
 //!
-//! We allocate the payment in MTU-sized units, each to the candidate path
-//! with the largest *residual* bottleneck (current available balance minus
-//! what this payment already put on it) — the discrete version of the
-//! waterfilling dynamics, restricted to the paper's 4 edge-disjoint paths.
+//! The discrete reference dynamics allocate the payment in MTU-sized
+//! units, each to the candidate path with the largest *residual*
+//! bottleneck (ties: lowest index, i.e. the shorter path). A large payment
+//! over a small MTU makes that loop O(units × k); [`waterfill`] computes
+//! the identical allocation in closed form by binary-searching the water
+//! level over the k residual progressions — O(k log max-residual).
 
 use crate::cache::{PathCache, PathPolicy};
 use spider_sim::{NetworkView, RouteProposal, RouteRequest, Router};
 use spider_types::Amount;
+
+/// The exact fixed point of the discrete waterfilling loop.
+///
+/// Reference semantics being reproduced: repeatedly pick the path with
+/// the largest current residual (ties to the lowest index) and allocate
+/// `min(mtu, remaining, residual)` to it, until `remaining` or every
+/// residual is exhausted.
+///
+/// Each path's residual walks the arithmetic progression
+/// `b_i, b_i − mtu, b_i − 2·mtu, …`, and the loop consumes chunks in
+/// globally non-increasing residual order (ties by index). The final
+/// allocation is therefore determined by a *water level* `v*` — the
+/// lowest residual value at which a chunk is still taken — found here by
+/// binary search, with the partial boundary chunk resolved in index
+/// order, exactly as the loop would.
+pub fn waterfill(residuals: &[Amount], remaining: Amount, mtu: Amount) -> Vec<Amount> {
+    let m = mtu.drops();
+    assert!(m > 0, "MTU must be positive");
+    let r_total = remaining.drops();
+    let b: Vec<u64> = residuals.iter().map(|a| a.drops()).collect();
+    if r_total == 0 {
+        return vec![Amount::ZERO; b.len()];
+    }
+    let capacity: u128 = b.iter().map(|&x| x as u128).sum();
+    if capacity <= r_total as u128 {
+        // The loop runs every residual dry.
+        return residuals.to_vec();
+    }
+    // Fast path: if the whole request fits strictly inside the gap
+    // between the widest path and the runner-up, every chunk goes to the
+    // widest path (it stays the strict maximum throughout) — one O(k)
+    // scan, no search. This is the overwhelming common case under SRPT,
+    // which retries small remainders first.
+    {
+        let (mut best, mut r1, mut r2) = (0usize, 0u64, 0u64);
+        for (i, &bi) in b.iter().enumerate() {
+            if bi > r1 {
+                r2 = r1;
+                r1 = bi;
+                best = i;
+            } else if bi > r2 {
+                r2 = bi;
+            }
+        }
+        if r1 > r_total && r1 - r_total > r2 {
+            let mut alloc = vec![Amount::ZERO; b.len()];
+            alloc[best] = remaining;
+            return alloc;
+        }
+    }
+    // Small requests take fewer chunks than the water-level search costs;
+    // run the reference dynamics directly (identical output, and the
+    // common case under SRPT, which retries small remainders first).
+    if r_total.div_ceil(m) <= 64 {
+        let mut residual = b;
+        let mut alloc = vec![0u64; residual.len()];
+        let mut rem = r_total;
+        while rem > 0 {
+            let Some(best) = (0..residual.len())
+                .filter(|&i| residual[i] > 0)
+                .max_by(|&a, &b| residual[a].cmp(&residual[b]).then(b.cmp(&a)))
+            else {
+                break;
+            };
+            let unit = m.min(rem).min(residual[best]);
+            alloc[best] += unit;
+            residual[best] -= unit;
+            rem -= unit;
+        }
+        return alloc.into_iter().map(Amount::from_drops).collect();
+    }
+    // Allocation from all chunks whose starting residual exceeds `v`:
+    // path i contributes ceil((b_i − v) / m) chunks of m, capped at b_i
+    // (the last progression term is a partial chunk).
+    let above = |v: u64| -> u128 {
+        b.iter()
+            .map(|&bi| {
+                if bi > v {
+                    let n = (bi - v).div_ceil(m) as u128;
+                    (n * m as u128).min(bi as u128)
+                } else {
+                    0
+                }
+            })
+            .sum()
+    };
+    // Water level v* = the largest v ≥ 1 whose chunks-at-or-above cover
+    // the request: above(v−1) counts chunks with starting residual ≥ v.
+    // above(0) = capacity > remaining guarantees the invariant at lo = 1.
+    let (mut lo, mut hi) = (1u64, b.iter().copied().max().unwrap_or(0));
+    while lo < hi {
+        let mid = lo + (hi - lo).div_ceil(2);
+        if above(mid - 1) >= r_total as u128 {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    let v_star = lo;
+    // Chunks strictly above the water level are taken in full…
+    let mut alloc = vec![0u64; b.len()];
+    let mut cum = 0u64;
+    for (a, &bi) in alloc.iter_mut().zip(&b) {
+        if bi > v_star {
+            let n = (bi - v_star).div_ceil(m);
+            *a = (n * m).min(bi);
+            cum += *a;
+        }
+    }
+    debug_assert!(cum < r_total);
+    // …then the chunks *at* the water level go in index order (the loop's
+    // tie-break), the last one truncated to the remaining budget.
+    for (a, &bi) in alloc.iter_mut().zip(&b) {
+        if cum == r_total {
+            break;
+        }
+        if bi >= v_star && (bi - v_star) % m == 0 {
+            let chunk = m.min(v_star).min(r_total - cum);
+            *a += chunk;
+            cum += chunk;
+        }
+    }
+    debug_assert_eq!(cum, r_total, "water level must cover the request");
+    alloc.into_iter().map(Amount::from_drops).collect()
+}
 
 /// Spider's waterfilling router (non-atomic).
 #[derive(Debug)]
@@ -39,39 +166,18 @@ impl Router for SpiderWaterfilling {
     }
 
     fn route(&mut self, req: &RouteRequest, view: &NetworkView<'_>) -> Vec<RouteProposal> {
-        let paths = self.cache.get(view.topo, req.src, req.dst);
+        let paths = self.cache.get(view.topo, view.paths, req.src, req.dst);
         if paths.is_empty() {
             return Vec::new();
         }
-        // Current bottleneck per candidate path.
-        let mut residual: Vec<Amount> = paths
-            .iter()
-            .map(|p| view.path_bottleneck(&p.nodes).unwrap_or(Amount::ZERO))
-            .collect();
-        let mut allocated: Vec<Amount> = vec![Amount::ZERO; paths.len()];
-        let mut remaining = req.remaining;
-        while !remaining.is_zero() {
-            // Highest residual capacity wins the next unit (ties: lowest
-            // index, i.e. the shorter path).
-            let Some(best) = (0..paths.len())
-                .filter(|&i| !residual[i].is_zero())
-                .max_by(|&a, &b| residual[a].cmp(&residual[b]).then(b.cmp(&a)))
-            else {
-                break;
-            };
-            let unit = req.mtu.min(remaining).min(residual[best]);
-            allocated[best] += unit;
-            residual[best] -= unit;
-            remaining -= unit;
-        }
+        // Current bottleneck per candidate path, over pre-resolved hops.
+        let residuals: Vec<Amount> = paths.iter().map(|&id| view.bottleneck(id)).collect();
+        let allocated = waterfill(&residuals, req.remaining, req.mtu);
         paths
             .iter()
             .zip(allocated)
             .filter(|(_, a)| !a.is_zero())
-            .map(|(p, amount)| RouteProposal {
-                path: p.nodes.clone(),
-                amount,
-            })
+            .map(|(&path, amount)| RouteProposal { path, amount })
             .collect()
     }
 }
@@ -79,8 +185,8 @@ impl Router for SpiderWaterfilling {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spider_sim::ChannelState;
-    use spider_types::{Direction, NodeId, PaymentId, SimTime};
+    use spider_sim::{ChannelState, PathTable};
+    use spider_types::{DetRng, Direction, NodeId, PaymentId, SimTime};
 
     fn xrp(x: u64) -> Amount {
         Amount::from_xrp(x)
@@ -114,12 +220,91 @@ mod tests {
         (t, ch)
     }
 
+    /// The pre-closed-form reference dynamics, kept verbatim for the
+    /// equivalence tests below.
+    fn reference_waterfill(residuals: &[Amount], remaining: Amount, mtu: Amount) -> Vec<Amount> {
+        let mut residual = residuals.to_vec();
+        let mut allocated = vec![Amount::ZERO; residuals.len()];
+        let mut remaining = remaining;
+        while !remaining.is_zero() {
+            let Some(best) = (0..residual.len())
+                .filter(|&i| !residual[i].is_zero())
+                .max_by(|&a, &b| residual[a].cmp(&residual[b]).then(b.cmp(&a)))
+            else {
+                break;
+            };
+            let unit = mtu.min(remaining).min(residual[best]);
+            allocated[best] += unit;
+            residual[best] -= unit;
+            remaining -= unit;
+        }
+        allocated
+    }
+
+    fn path_nodes(view: &NetworkView<'_>, p: &RouteProposal) -> Vec<NodeId> {
+        view.path(p.path).nodes().to_vec()
+    }
+
+    #[test]
+    fn closed_form_matches_reference_loop_exhaustively() {
+        // Deterministic fuzz over residual sets, MTUs, and request sizes,
+        // including exact ties and non-multiple remainders.
+        let mut rng = DetRng::new(99);
+        for case in 0..2_000 {
+            let k = 1 + rng.index(6);
+            let residuals: Vec<Amount> = (0..k)
+                .map(|_| {
+                    Amount::from_drops(if rng.chance(0.2) {
+                        0
+                    } else {
+                        rng.range_u64(1, 500)
+                    })
+                })
+                .collect();
+            let mtu = Amount::from_drops(rng.range_u64(1, 40));
+            let remaining = Amount::from_drops(rng.range_u64(1, 1_200));
+            let fast = waterfill(&residuals, remaining, mtu);
+            let slow = reference_waterfill(&residuals, remaining, mtu);
+            assert_eq!(
+                fast, slow,
+                "case {case}: residuals {residuals:?} remaining {remaining:?} mtu {mtu:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn closed_form_handles_edge_cases() {
+        let b = |xs: &[u64]| {
+            xs.iter()
+                .map(|&x| Amount::from_drops(x))
+                .collect::<Vec<_>>()
+        };
+        // Capacity below the request: everything drains.
+        assert_eq!(
+            waterfill(&b(&[5, 3]), Amount::from_drops(100), Amount::from_drops(4)),
+            b(&[5, 3])
+        );
+        // Exact ties resolve toward the lowest index.
+        assert_eq!(
+            waterfill(&b(&[10, 10]), Amount::from_drops(3), Amount::from_drops(3)),
+            b(&[3, 0])
+        );
+        // Zero request, zero residuals.
+        assert_eq!(waterfill(&b(&[10]), Amount::ZERO, Amount::DROP), b(&[0]));
+        assert_eq!(
+            waterfill(&[], Amount::from_drops(5), Amount::DROP),
+            Vec::<Amount>::new()
+        );
+    }
+
     #[test]
     fn prefers_widest_path_first() {
         let (t, ch) = diamond();
+        let paths = PathTable::new();
         let view = NetworkView {
             topo: &t,
             channels: &ch,
+            paths: &paths,
             now: SimTime::ZERO,
         };
         let mut r = SpiderWaterfilling::new(4);
@@ -127,16 +312,21 @@ mod tests {
         // (residuals: direct 2, via-1 10, via-2 6).
         let props = r.route(&req(0, 3, xrp(3), xrp(1)), &view);
         assert_eq!(props.len(), 1);
-        assert_eq!(props[0].path, vec![NodeId(0), NodeId(1), NodeId(3)]);
+        assert_eq!(
+            path_nodes(&view, &props[0]),
+            vec![NodeId(0), NodeId(1), NodeId(3)]
+        );
         assert_eq!(props[0].amount, xrp(3));
     }
 
     #[test]
     fn spreads_across_paths_when_large() {
         let (t, ch) = diamond();
+        let paths = PathTable::new();
         let view = NetworkView {
             topo: &t,
             channels: &ch,
+            paths: &paths,
             now: SimTime::ZERO,
         };
         let mut r = SpiderWaterfilling::new(4);
@@ -151,7 +341,7 @@ mod tests {
         // The widest path must carry the largest share.
         let via1 = props
             .iter()
-            .find(|p| p.path == vec![NodeId(0), NodeId(1), NodeId(3)])
+            .find(|p| path_nodes(&view, p) == vec![NodeId(0), NodeId(1), NodeId(3)])
             .expect("widest path used");
         for p in &props {
             assert!(via1.amount >= p.amount);
@@ -161,9 +351,11 @@ mod tests {
     #[test]
     fn allocation_capped_by_total_capacity() {
         let (t, ch) = diamond();
+        let paths = PathTable::new();
         let view = NetworkView {
             topo: &t,
             channels: &ch,
+            paths: &paths,
             now: SimTime::ZERO,
         };
         let mut r = SpiderWaterfilling::new(4);
@@ -180,14 +372,18 @@ mod tests {
         let direct = t.channel_between(NodeId(0), NodeId(3)).unwrap();
         let avail = ch[direct.index()].available(Direction::Forward);
         assert!(ch[direct.index()].lock(Direction::Forward, avail));
+        let paths = PathTable::new();
         let view = NetworkView {
             topo: &t,
             channels: &ch,
+            paths: &paths,
             now: SimTime::ZERO,
         };
         let mut r = SpiderWaterfilling::new(4);
         let props = r.route(&req(0, 3, xrp(16), xrp(1)), &view);
-        assert!(props.iter().all(|p| p.path != vec![NodeId(0), NodeId(3)]));
+        assert!(props
+            .iter()
+            .all(|p| path_nodes(&view, p) != vec![NodeId(0), NodeId(3)]));
         let total: Amount = props.iter().map(|p| p.amount).sum();
         assert_eq!(total, xrp(16));
     }
@@ -201,9 +397,11 @@ mod tests {
             .channels()
             .map(|(_, c)| ChannelState::split_equally(c.capacity))
             .collect();
+        let paths = PathTable::new();
         let view = NetworkView {
             topo: &t,
             channels: &ch,
+            paths: &paths,
             now: SimTime::ZERO,
         };
         assert!(SpiderWaterfilling::new(4)

@@ -91,6 +91,13 @@ pub struct QueueConfig {
     pub queue_price_weight: f64,
     /// Weight of the normalized flow imbalance in the stamped price.
     pub imbalance_price_weight: f64,
+    /// Record the per-channel queue-depth time series (one sample per
+    /// simulated second) into
+    /// [`SimReport::queue_depth_series`](crate::SimReport). Off by
+    /// default: the engine then skips the per-channel scan entirely, so
+    /// the telemetry costs nothing unless asked for (Fig. 10-style queue
+    /// dynamics plots).
+    pub sample_queue_depths: bool,
 }
 
 impl Default for QueueConfig {
@@ -104,6 +111,7 @@ impl Default for QueueConfig {
             max_queue_units: 4_096,
             queue_price_weight: 1.0,
             imbalance_price_weight: 0.5,
+            sample_queue_depths: false,
         }
     }
 }

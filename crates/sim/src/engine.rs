@@ -13,16 +13,28 @@
 //!
 //! Ties in event time are broken by insertion sequence, so runs are fully
 //! deterministic.
+//!
+//! ## Hot-path layout
+//!
+//! Paths are interned once into the shared [`PathTable`]: every event,
+//! unit, and router callback carries a copyable [`PathId`] whose hops were
+//! resolved to `(ChannelId, Direction)` exactly once. Event and unit slab
+//! slots are recycled through free lists as soon as their last reference
+//! (the pending heap entry, the in-flight unit) dies, so resident memory
+//! is bounded by *in-flight* work rather than by everything ever
+//! scheduled; [`Simulation::slab_stats`] exposes the high-water marks the
+//! throughput benchmarks track.
 
 use crate::channel::ChannelState;
 use crate::config::{QueueConfig, QueueingMode, SchedulingPolicy, SimConfig};
 use crate::metrics::{MetricsCollector, SimReport};
+use crate::paths::PathTable;
 use crate::queue::local_signal;
 use crate::router::{NetworkView, RouteRequest, Router, UnitAck, UnitOutcome};
 use crate::workload::Workload;
 use spider_topology::Topology;
 use spider_types::{
-    Amount, ChannelId, Direction, DropReason, MarkStamp, NodeId, PaymentId, SimTime,
+    Amount, ChannelId, Direction, DropReason, MarkStamp, NodeId, PathId, PaymentId, SimTime,
 };
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -58,7 +70,7 @@ enum EventKind {
     Settle {
         payment: usize,
         amount: Amount,
-        hops: Vec<(ChannelId, Direction)>,
+        path: PathId,
     },
     Poll,
     /// Periodic scan for depleted channel directions (on-chain
@@ -88,14 +100,19 @@ enum EventKind {
 
 /// A transaction unit traveling hop by hop under
 /// [`QueueingMode::PerChannelFifo`].
+///
+/// An alive unit always has exactly one pending event (`HopArrive`,
+/// `QueueTimeout`, or `UnitDeliver`); retiring a unit therefore happens
+/// only after that event was consumed or canceled, which is what makes
+/// the slab slot safely recyclable.
 #[derive(Debug)]
 struct UnitState {
     payment: usize,
     amount: Amount,
-    path: Vec<NodeId>,
-    hops: Vec<(ChannelId, Direction)>,
-    /// Hops already locked; the unit currently sits before `hops[next_hop]`
-    /// (or at the destination when `next_hop == hops.len()`).
+    /// Interned path; hops resolve through the shared [`PathTable`].
+    path: PathId,
+    /// Hops already locked; the unit currently sits before hop `next_hop`
+    /// (or at the destination when `next_hop == hop_count`).
     next_hop: usize,
     injected_at: SimTime,
     /// When the unit joined its current queue (valid while queued).
@@ -107,9 +124,38 @@ struct UnitState {
     stamp: MarkStamp,
     /// Why the unit was dropped (set just before its nack).
     drop_reason: Option<DropReason>,
-    /// Settled or dropped; dead slab entries are never revisited (their
-    /// path/hop allocations are reclaimed on retirement).
+    /// Settled or dropped; the slot is back on the free list.
     done: bool,
+}
+
+/// Slab occupancy and lifetime counters (see [`Simulation::slab_stats`]).
+///
+/// The invariant the regression tests assert: `event_slots` and
+/// `unit_slots` track the *peak in-flight* population, not the total ever
+/// scheduled — a long run must not grow them linearly with
+/// `events_scheduled` / `units_injected`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SlabStats {
+    /// Events ever pushed onto the calendar.
+    pub events_scheduled: u64,
+    /// Events popped and executed (canceled events excluded).
+    pub events_executed: u64,
+    /// Event slab slots allocated (recycled slots are not re-counted).
+    pub event_slots: usize,
+    /// Event slots occupied right now.
+    pub live_events: usize,
+    /// High-water mark of occupied event slots.
+    pub peak_live_events: usize,
+    /// Hop-by-hop units ever injected (queueing mode).
+    pub units_injected: u64,
+    /// Unit slab slots allocated.
+    pub unit_slots: usize,
+    /// Unit slots occupied right now.
+    pub live_units: usize,
+    /// High-water mark of occupied unit slots.
+    pub peak_live_units: usize,
+    /// Distinct paths interned into the shared table.
+    pub interned_paths: usize,
 }
 
 /// The simulator.
@@ -123,6 +169,11 @@ pub struct Simulation {
     pending: Vec<usize>,
     events: BinaryHeap<Reverse<(SimTime, u64, usize)>>,
     event_store: Vec<Option<EventKind>>,
+    /// Event slots whose heap entry has been consumed; reused by the next
+    /// `schedule`. Slots canceled in place (`event_store[id] = None`) are
+    /// reclaimed when their heap entry pops, never earlier, so a pending
+    /// heap entry always refers to the event that scheduled it.
+    free_events: Vec<usize>,
     seq: u64,
     now: SimTime,
     metrics: MetricsCollector,
@@ -137,9 +188,18 @@ pub struct Simulation {
     queues: Vec<[VecDeque<usize>; 2]>,
     /// Slab of hop-by-hop units (queueing mode only).
     units: Vec<UnitState>,
+    /// Retired unit slots awaiting reuse.
+    free_units: Vec<usize>,
     /// Cumulative volume serviced per channel direction (the `x_u − x_v`
     /// flow-imbalance observable of §5.3).
     flow: Vec<[Amount; 2]>,
+    /// The shared path interner (routers reach it via [`NetworkView`]).
+    paths: PathTable,
+    events_scheduled: u64,
+    events_executed: u64,
+    peak_live_events: usize,
+    units_injected: u64,
+    peak_live_units: usize,
 }
 
 impl Simulation {
@@ -166,16 +226,22 @@ impl Simulation {
             .map(|_| [VecDeque::new(), VecDeque::new()])
             .collect();
         let flow = vec![[Amount::ZERO; 2]; channels.len()];
+        // Pre-size the calendar and payment slab from the workload: every
+        // transaction contributes one arrival plus (at steady state) a
+        // bounded number of in-flight settles/hops.
+        let n_txns = workload.txns.len();
+        let event_capacity = n_txns + n_txns / 2 + 16;
         Ok(Simulation {
             topo,
             channels,
             config,
             router,
             workload,
-            payments: Vec::new(),
+            payments: Vec::with_capacity(n_txns),
             pending: Vec::new(),
-            events: BinaryHeap::new(),
-            event_store: Vec::new(),
+            events: BinaryHeap::with_capacity(event_capacity),
+            event_store: Vec::with_capacity(event_capacity),
+            free_events: Vec::new(),
             seq: 0,
             now: SimTime::ZERO,
             metrics: MetricsCollector::new(),
@@ -184,7 +250,14 @@ impl Simulation {
             qcfg,
             queues,
             units: Vec::new(),
+            free_units: Vec::new(),
             flow,
+            paths: PathTable::new(),
+            events_scheduled: 0,
+            events_executed: 0,
+            peak_live_events: 0,
+            units_injected: 0,
+            peak_live_units: 0,
         })
     }
 
@@ -195,11 +268,34 @@ impl Simulation {
         self.qcfg.is_some() && !self.router.atomic()
     }
 
-    fn schedule(&mut self, at: SimTime, kind: EventKind) {
-        let id = self.event_store.len();
-        self.event_store.push(Some(kind));
+    /// Schedules an event, reusing a retired slab slot when one is free,
+    /// and returns its id (needed by callers that may cancel it).
+    fn schedule(&mut self, at: SimTime, kind: EventKind) -> usize {
+        let id = match self.free_events.pop() {
+            Some(id) => {
+                debug_assert!(self.event_store[id].is_none());
+                self.event_store[id] = Some(kind);
+                id
+            }
+            None => {
+                self.event_store.push(Some(kind));
+                self.event_store.len() - 1
+            }
+        };
         self.events.push(Reverse((at, self.seq, id)));
         self.seq += 1;
+        self.events_scheduled += 1;
+        let live = self.event_store.len() - self.free_events.len();
+        if live > self.peak_live_events {
+            self.peak_live_events = live;
+        }
+        id
+    }
+
+    /// Cancels a pending event in place. The slot itself is reclaimed when
+    /// the calendar entry pops (so the heap never refers to a reused slot).
+    fn cancel_event(&mut self, id: usize) {
+        self.event_store[id] = None;
     }
 
     /// Runs to the horizon and produces the report. The simulation object
@@ -223,6 +319,7 @@ impl Simulation {
             let view = NetworkView {
                 topo: &self.topo,
                 channels: &self.channels,
+                paths: &self.paths,
                 now: self.now,
             };
             self.router.initialize(&view);
@@ -233,17 +330,22 @@ impl Simulation {
                 break;
             }
             self.now = t;
-            // Canceled events (atomic rollback) leave a `None` behind.
-            let Some(kind) = self.event_store[id].take() else {
+            // The heap entry is consumed: the slot is reusable from here on.
+            let kind = self.event_store[id].take();
+            self.free_events.push(id);
+            // Canceled events (atomic rollback, serviced timeouts) leave a
+            // `None` behind.
+            let Some(kind) = kind else {
                 continue;
             };
+            self.events_executed += 1;
             match kind {
                 EventKind::Arrival(i) => self.on_arrival(i),
                 EventKind::Settle {
                     payment,
                     amount,
-                    hops,
-                } => self.on_settle(payment, amount, &hops),
+                    path,
+                } => self.on_settle(payment, amount, path),
                 EventKind::Poll => {
                     self.on_poll();
                     let next = self.now + self.config.poll_interval;
@@ -286,6 +388,29 @@ impl Simulation {
     /// The topology being simulated.
     pub fn topology(&self) -> &Topology {
         &self.topo
+    }
+
+    /// The shared path interner (for inspection after a run).
+    pub fn paths(&self) -> &PathTable {
+        &self.paths
+    }
+
+    /// Slab occupancy and event-loop counters: the quantities the
+    /// engine-throughput benchmark and the slab-bound regression tests
+    /// observe.
+    pub fn slab_stats(&self) -> SlabStats {
+        SlabStats {
+            events_scheduled: self.events_scheduled,
+            events_executed: self.events_executed,
+            event_slots: self.event_store.len(),
+            live_events: self.event_store.len() - self.free_events.len(),
+            peak_live_events: self.peak_live_events,
+            units_injected: self.units_injected,
+            unit_slots: self.units.len(),
+            live_units: self.units.len() - self.free_units.len(),
+            peak_live_units: self.peak_live_units,
+            interned_paths: self.paths.len(),
+        }
     }
 
     /// Units currently resident in router queues (queueing mode; zero in
@@ -346,6 +471,7 @@ impl Simulation {
             let view = NetworkView {
                 topo: &self.topo,
                 channels: &self.channels,
+                paths: &self.paths,
                 now: self.now,
             };
             self.router.route(&req, &view)
@@ -356,10 +482,9 @@ impl Simulation {
         }
         let atomic = self.router.atomic();
         let mut budget = unassigned;
-        // Units locked in this attempt: (amount, hops, settle event id),
+        // Units locked in this attempt: (amount, path, settle event id),
         // kept for atomic rollback.
-        type LockedUnit = (Amount, Vec<(ChannelId, Direction)>, usize);
-        let mut locked_units: Vec<LockedUnit> = Vec::new();
+        let mut locked_units: Vec<(Amount, PathId, usize)> = Vec::new();
         let mut aborted = false;
 
         'proposals: for prop in proposals
@@ -369,24 +494,17 @@ impl Simulation {
             if budget.is_zero() {
                 break;
             }
-            let Ok(hops) = self.topo.path_channels(&prop.path) else {
-                // Router produced an off-topology path; treat as failure.
-                self.metrics
-                    .unit_lock(prop.path.len().saturating_sub(1), false);
-                if atomic {
-                    aborted = true;
-                    break 'proposals;
+            {
+                let entry = self.paths.entry(prop.path);
+                if entry.hop_count() == 0 || entry.source() != self.payments[pid].src {
+                    continue;
                 }
-                continue;
-            };
-            if hops.is_empty() || prop.path[0] != self.payments[pid].src {
-                continue;
             }
             let want = prop.amount.min(budget);
-            for unit in want.split_mtu(self.config.mtu) {
-                match self.try_lock_unit(pid, unit, &prop.path, &hops) {
+            for unit in want.mtu_chunks(self.config.mtu) {
+                match self.try_lock_unit(pid, unit, prop.path) {
                     Some(event_id) => {
-                        locked_units.push((unit, hops.clone(), event_id));
+                        locked_units.push((unit, prop.path, event_id));
                         budget -= unit;
                     }
                     None if atomic => {
@@ -401,9 +519,10 @@ impl Simulation {
         if atomic && (aborted || !budget.is_zero()) {
             // All-or-nothing: roll back every unit locked in this attempt
             // and cancel its scheduled settlement.
-            for (amount, hops, event_id) in locked_units {
-                self.event_store[event_id] = None;
-                for (c, dir) in hops {
+            for (amount, path, event_id) in locked_units {
+                self.cancel_event(event_id);
+                let entry = self.paths.entry(path);
+                for &(c, dir) in entry.hops() {
                     self.channels[c.index()].refund(dir, amount);
                 }
                 self.payments[pid].inflight -= amount;
@@ -412,16 +531,12 @@ impl Simulation {
         }
     }
 
-    /// Attempts to lock one unit along `hops`; on success schedules its
+    /// Attempts to lock one unit along the path; on success schedules its
     /// settlement (returning the settle event's id) and updates payment
     /// accounting.
-    fn try_lock_unit(
-        &mut self,
-        pid: usize,
-        amount: Amount,
-        path: &[NodeId],
-        hops: &[(ChannelId, Direction)],
-    ) -> Option<usize> {
+    fn try_lock_unit(&mut self, pid: usize, amount: Amount, path: PathId) -> Option<usize> {
+        let entry = self.paths.entry(path);
+        let hops = entry.hops();
         // Lock hop by hop; roll back on the first failure.
         let mut locked = 0;
         let mut ok = true;
@@ -442,26 +557,26 @@ impl Simulation {
         {
             let outcome = UnitOutcome {
                 payment: PaymentId(pid as u64),
-                path: path.to_vec(),
+                path,
                 amount,
                 locked: ok,
             };
             let view = NetworkView {
                 topo: &self.topo,
                 channels: &self.channels,
+                paths: &self.paths,
                 now: self.now,
             };
             self.router.on_unit_outcome(&outcome, &view);
         }
         if ok {
             self.payments[pid].inflight += amount;
-            let event_id = self.event_store.len();
-            self.schedule(
+            let event_id = self.schedule(
                 self.now + self.config.confirmation_delay,
                 EventKind::Settle {
                     payment: pid,
                     amount,
-                    hops: hops.to_vec(),
+                    path,
                 },
             );
             Some(event_id)
@@ -470,14 +585,15 @@ impl Simulation {
         }
     }
 
-    fn on_settle(&mut self, pid: usize, amount: Amount, hops: &[(ChannelId, Direction)]) {
+    fn on_settle(&mut self, pid: usize, amount: Amount, path: PathId) {
+        let entry = self.paths.entry(path);
         let expired_rollback = {
             let p = &self.payments[pid];
             // Atomic rollback flag or key withheld past the deadline.
             p.expired || self.now > p.deadline
         };
         if expired_rollback {
-            for &(c, dir) in hops {
+            for &(c, dir) in entry.hops() {
                 self.channels[c.index()].refund(dir, amount);
             }
             let p = &mut self.payments[pid];
@@ -485,7 +601,7 @@ impl Simulation {
             p.expired = true;
             return;
         }
-        for &(c, dir) in hops {
+        for &(c, dir) in entry.hops() {
             self.channels[c.index()].settle(dir, amount);
         }
         let p = &mut self.payments[pid];
@@ -516,29 +632,28 @@ impl Simulation {
             if budget.is_zero() {
                 break;
             }
-            let Ok(hops) = self.topo.path_channels(&prop.path) else {
-                self.metrics
-                    .unit_lock(prop.path.len().saturating_sub(1), false);
-                continue;
-            };
-            if hops.is_empty() || prop.path[0] != self.payments[pid].src {
-                continue;
+            {
+                let entry = self.paths.entry(prop.path);
+                if entry.hop_count() == 0 || entry.source() != self.payments[pid].src {
+                    continue;
+                }
             }
             let want = prop.amount.min(budget);
-            for unit in want.split_mtu(self.config.mtu) {
-                let accepted = self.inject_unit(pid, unit, &prop.path, &hops);
+            for unit in want.mtu_chunks(self.config.mtu) {
+                let accepted = self.inject_unit(pid, unit, prop.path);
                 if accepted {
                     budget -= unit;
                 }
                 let outcome = UnitOutcome {
                     payment: PaymentId(pid as u64),
-                    path: prop.path.clone(),
+                    path: prop.path,
                     amount: unit,
                     locked: accepted,
                 };
                 let view = NetworkView {
                     topo: &self.topo,
                     channels: &self.channels,
+                    paths: &self.paths,
                     now: self.now,
                 };
                 self.router.on_unit_outcome(&outcome, &view);
@@ -546,30 +661,44 @@ impl Simulation {
         }
     }
 
+    /// Claims a unit slab slot, recycling a retired one when available.
+    fn alloc_unit(&mut self, unit: UnitState) -> usize {
+        self.units_injected += 1;
+        let uid = match self.free_units.pop() {
+            Some(i) => {
+                debug_assert!(self.units[i].done, "free list holds only dead units");
+                self.units[i] = unit;
+                i
+            }
+            None => {
+                self.units.push(unit);
+                self.units.len() - 1
+            }
+        };
+        let live = self.units.len() - self.free_units.len();
+        if live > self.peak_live_units {
+            self.peak_live_units = live;
+        }
+        uid
+    }
+
     /// Injects one unit at its first hop: it either starts forwarding,
     /// joins the first hop's queue, or is rejected outright when that queue
     /// is full. Returns whether the unit was accepted.
-    fn inject_unit(
-        &mut self,
-        pid: usize,
-        amount: Amount,
-        path: &[NodeId],
-        hops: &[(ChannelId, Direction)],
-    ) -> bool {
-        let (c, d) = hops[0];
+    fn inject_unit(&mut self, pid: usize, amount: Amount, path: PathId) -> bool {
+        let entry = self.paths.entry(path);
+        let (c, d) = entry.hops()[0];
         let queue_len = self.queues[c.index()][d.index()].len();
         let can_cross = queue_len == 0 && self.channels[c.index()].available(d) >= amount;
         if !can_cross && queue_len >= self.qcfg.as_ref().expect("queueing mode").max_queue_units {
             // Rejected at the ingress: never accepted, so no ack follows.
-            self.metrics.unit_lock(hops.len(), false);
+            self.metrics.unit_lock(entry.hop_count(), false);
             return false;
         }
-        let uid = self.units.len();
-        self.units.push(UnitState {
+        let uid = self.alloc_unit(UnitState {
             payment: pid,
             amount,
-            path: path.to_vec(),
-            hops: hops.to_vec(),
+            path,
             next_hop: 0,
             injected_at: self.now,
             enqueued_at: self.now,
@@ -593,8 +722,7 @@ impl Simulation {
     fn enqueue_unit(&mut self, uid: usize, c: ChannelId, d: Direction) {
         self.queues[c.index()][d.index()].push_back(uid);
         let timeout = self.now + self.qcfg.as_ref().expect("queueing mode").max_queue_delay;
-        let event_id = self.event_store.len();
-        self.schedule(timeout, EventKind::QueueTimeout { unit: uid });
+        let event_id = self.schedule(timeout, EventKind::QueueTimeout { unit: uid });
         let u = &mut self.units[uid];
         u.enqueued_at = self.now;
         u.timeout_event = Some(event_id);
@@ -603,7 +731,8 @@ impl Simulation {
     /// Locks the unit's next hop (the caller has verified balance), stamps
     /// the router's local price signal, and schedules the unit onward.
     fn lock_hop(&mut self, uid: usize, queue_delay: spider_types::SimDuration) {
-        let (c, d) = self.units[uid].hops[self.units[uid].next_hop];
+        let entry = self.paths.entry(self.units[uid].path);
+        let (c, d) = entry.hops()[self.units[uid].next_hop];
         let amount = self.units[uid].amount;
         let locked = self.channels[c.index()].lock(d, amount);
         debug_assert!(locked, "lock_hop caller must verify balance");
@@ -629,9 +758,8 @@ impl Simulation {
                 .unit_queued(queue_delay.as_secs_f64(), first_wait);
         }
         u.next_hop += 1;
-        if u.next_hop == u.hops.len() {
-            let hops = u.hops.len();
-            self.metrics.unit_lock(hops, true);
+        if u.next_hop == entry.hop_count() {
+            self.metrics.unit_lock(entry.hop_count(), true);
             self.schedule(
                 self.now + self.config.confirmation_delay,
                 EventKind::UnitDeliver { unit: uid },
@@ -651,7 +779,8 @@ impl Simulation {
             self.drop_unit(uid, DropReason::Expired);
             return;
         }
-        let (c, d) = self.units[uid].hops[self.units[uid].next_hop];
+        let entry = self.paths.entry(self.units[uid].path);
+        let (c, d) = entry.hops()[self.units[uid].next_hop];
         let amount = self.units[uid].amount;
         let queue_len = self.queues[c.index()][d.index()].len();
         if queue_len == 0 && self.channels[c.index()].available(d) >= amount {
@@ -675,9 +804,9 @@ impl Simulation {
             return;
         }
         let amount = self.units[uid].amount;
+        let entry = self.paths.entry(self.units[uid].path);
         let mut released: VecDeque<(ChannelId, Direction)> = VecDeque::new();
-        for i in 0..self.units[uid].hops.len() {
-            let (c, d) = self.units[uid].hops[i];
+        for &(c, d) in entry.hops() {
             self.channels[c.index()].settle(d, amount);
             released.push_back((c, d.reverse()));
         }
@@ -721,18 +850,18 @@ impl Simulation {
         reason: DropReason,
     ) -> VecDeque<(ChannelId, Direction)> {
         if let Some(ev) = self.units[uid].timeout_event.take() {
-            self.event_store[ev] = None;
+            self.cancel_event(ev);
         }
+        let entry = self.paths.entry(self.units[uid].path);
         // Remove from its current queue, if present.
         let next = self.units[uid].next_hop;
-        if next < self.units[uid].hops.len() {
-            let (c, d) = self.units[uid].hops[next];
+        if next < entry.hop_count() {
+            let (c, d) = entry.hops()[next];
             self.queues[c.index()][d.index()].retain(|&q| q != uid);
         }
         let amount = self.units[uid].amount;
         let mut released: VecDeque<(ChannelId, Direction)> = VecDeque::new();
-        for i in 0..next {
-            let (c, d) = self.units[uid].hops[i];
+        for &(c, d) in &entry.hops()[..next] {
             self.channels[c.index()].refund(d, amount);
             released.push_back((c, d));
         }
@@ -744,8 +873,8 @@ impl Simulation {
         // A unit that never finished locking its path counts as a failed
         // lock; one that fully locked was already counted as a success
         // (it reached the destination) and is only recorded as dropped.
-        if next < self.units[uid].hops.len() {
-            self.metrics.unit_lock(self.units[uid].hops.len(), false);
+        if next < entry.hop_count() {
+            self.metrics.unit_lock(entry.hop_count(), false);
         }
         self.metrics.unit_dropped();
         self.ack_unit(uid, false);
@@ -759,13 +888,14 @@ impl Simulation {
         released
     }
 
-    /// Frees a dead unit's heap allocations; the slab entry itself stays
-    /// (events referencing it check `done`), but multi-million-unit runs
-    /// must not keep every path alive to the end of the horizon.
+    /// Returns a dead unit's slab slot to the free list. Safe because an
+    /// alive unit has exactly one pending event, and every retirement site
+    /// runs only after that event was consumed or canceled — no stale
+    /// calendar entry can reach a recycled slot.
     fn retire_unit(&mut self, uid: usize) {
-        let u = &mut self.units[uid];
-        u.path = Vec::new();
-        u.hops = Vec::new();
+        debug_assert!(self.units[uid].done);
+        debug_assert!(self.units[uid].timeout_event.is_none());
+        self.free_units.push(uid);
     }
 
     /// Sends the unit's end-to-end acknowledgement to the router.
@@ -774,7 +904,7 @@ impl Simulation {
         self.metrics.unit_acked(u.stamp.marked);
         let ack = UnitAck {
             payment: PaymentId(u.payment as u64),
-            path: u.path.clone(),
+            path: u.path,
             amount: u.amount,
             delivered,
             stamp: u.stamp,
@@ -784,6 +914,7 @@ impl Simulation {
         let view = NetworkView {
             topo: &self.topo,
             channels: &self.channels,
+            paths: &self.paths,
             now: self.now,
         };
         self.router.on_unit_ack(&ack, &view);
@@ -811,7 +942,7 @@ impl Simulation {
                 }
                 self.queues[c.index()][d.index()].pop_front();
                 if let Some(ev) = self.units[uid].timeout_event.take() {
-                    self.event_store[ev] = None;
+                    self.cancel_event(ev);
                 }
                 let queue_delay = self.now - self.units[uid].enqueued_at;
                 self.lock_hop(uid, queue_delay);
@@ -829,9 +960,17 @@ impl Simulation {
             }
             let n = self.channels.len().max(1) as f64;
             self.metrics.imbalance_sample(sum / n);
-            if self.qcfg.is_some() {
+            if let Some(qc) = &self.qcfg {
                 let queued: usize = self.queues.iter().map(|q| q[0].len() + q[1].len()).sum();
                 self.metrics.queue_occupancy_sample(queued as f64);
+                if qc.sample_queue_depths {
+                    let depths: Vec<u32> = self
+                        .queues
+                        .iter()
+                        .map(|q| (q[0].len() + q[1].len()) as u32)
+                        .collect();
+                    self.metrics.queue_depth_sample(depths);
+                }
             }
             self.next_imbalance_sample = self.now + spider_types::SimDuration::from_secs(1);
         }
@@ -945,7 +1084,7 @@ mod tests {
         ) -> Vec<crate::router::RouteProposal> {
             match view.topo.shortest_path(req.src, req.dst) {
                 Some(path) => vec![crate::router::RouteProposal {
-                    path,
+                    path: view.intern(&path),
                     amount: req.remaining,
                 }],
                 None => Vec::new(),
@@ -1179,6 +1318,34 @@ mod tests {
         assert!(r.attempted_payments == 2_000);
         assert!(r.delivered_volume <= r.attempted_volume);
     }
+
+    #[test]
+    fn event_slab_is_bounded_by_in_flight_events() {
+        // A long run whose unit churn (one settle event per MTU unit)
+        // vastly exceeds the in-flight population: the slab must recycle
+        // dead slots instead of growing with the total ever scheduled.
+        // 60 alternating 100-XRP payments at 1-XRP MTU → ~6,000 settle
+        // events, of which only a confirmation-window's worth is ever
+        // simultaneously pending.
+        let t = gen::line(2, xrp(20_000));
+        let mut cfg = base_config();
+        cfg.mtu = xrp(1);
+        cfg.horizon = spider_types::SimDuration::from_secs(40);
+        let txns: Vec<TxnSpec> = (0..60)
+            .map(|i| txn(i * 500, (i % 2) as u32, ((i + 1) % 2) as u32, xrp(100)))
+            .collect();
+        let (r, sim) = run_sim(t, txns, false, cfg);
+        assert_eq!(r.completed_payments, 60);
+        let stats = sim.slab_stats();
+        assert!(stats.events_scheduled > 6_000, "{stats:?}");
+        assert!(
+            stats.event_slots < (stats.events_scheduled / 4) as usize,
+            "event slab grew with total events: {stats:?}"
+        );
+        assert_eq!(stats.event_slots, stats.peak_live_events, "{stats:?}");
+        // The interner deduplicates: both directions of the one pair.
+        assert_eq!(stats.interned_paths, 2, "{stats:?}");
+    }
 }
 
 #[cfg(test)]
@@ -1201,7 +1368,7 @@ mod queueing_tests {
         ) -> Vec<crate::router::RouteProposal> {
             match view.topo.shortest_path(req.src, req.dst) {
                 Some(path) => vec![crate::router::RouteProposal {
-                    path,
+                    path: view.intern(&path),
                     amount: req.remaining,
                 }],
                 None => Vec::new(),
@@ -1225,7 +1392,7 @@ mod queueing_tests {
         ) -> Vec<crate::router::RouteProposal> {
             match view.topo.shortest_path(req.src, req.dst) {
                 Some(path) => vec![crate::router::RouteProposal {
-                    path,
+                    path: view.intern(&path),
                     amount: req.remaining,
                 }],
                 None => Vec::new(),
@@ -1235,7 +1402,7 @@ mod queueing_tests {
             self.outcomes.borrow_mut().push(outcome.locked);
         }
         fn on_unit_ack(&mut self, ack: &UnitAck, _view: &NetworkView<'_>) {
-            self.acks.borrow_mut().push(ack.clone());
+            self.acks.borrow_mut().push(*ack);
         }
     }
 
@@ -1498,6 +1665,58 @@ mod queueing_tests {
         );
         assert_eq!(queued.completed_payments, 3);
     }
+
+    #[test]
+    fn unit_slab_recycles_dead_slots() {
+        // Heavy churn through a narrow line: far more units are injected
+        // than are ever simultaneously alive, so the slab must stay small.
+        let t = gen::line(3, xrp(40));
+        let mut txns = Vec::new();
+        for i in 0..60 {
+            txns.push(txn(i * 250, 0, 2, xrp(4)));
+            txns.push(txn(i * 250 + 100, 2, 0, xrp(4)));
+        }
+        let (r, sim) = run_queue_sim(t, txns, qconfig(QueueConfig::default()));
+        let stats = sim.slab_stats();
+        assert!(r.units_locked > 100);
+        assert!(stats.units_injected > 200, "{stats:?}");
+        assert_eq!(stats.unit_slots, stats.peak_live_units, "{stats:?}");
+        assert!(
+            stats.unit_slots < (stats.units_injected / 2) as usize,
+            "unit slab grew with total units: {stats:?}"
+        );
+        assert_eq!(stats.live_units, sim.queued_units());
+    }
+
+    #[test]
+    fn queue_depth_sampling_is_off_by_default_and_per_channel_when_on() {
+        let t = gen::line(3, xrp(10));
+        let txns = vec![txn(0, 0, 2, xrp(9))];
+        let mut cfg = qconfig(QueueConfig {
+            max_queue_delay: SimDuration::from_secs(3_600),
+            marking_delay: SimDuration::from_secs(3_000),
+            ..QueueConfig::default()
+        });
+        cfg.horizon = SimDuration::from_secs(3);
+        cfg.deadline = None;
+        let (r, _) = run_queue_sim(gen::line(3, xrp(10)), txns.clone(), cfg.clone());
+        assert!(
+            r.queue_depth_series.is_empty(),
+            "sampling must cost nothing when off"
+        );
+        let QueueingMode::PerChannelFifo(qc) = &mut cfg.queueing else {
+            unreachable!()
+        };
+        qc.sample_queue_depths = true;
+        let (r, sim) = run_queue_sim(t, txns, cfg);
+        assert!(!r.queue_depth_series.is_empty());
+        for sample in &r.queue_depth_series {
+            assert_eq!(sample.len(), sim.topology().channel_count());
+        }
+        // The stuck remainder sits in channel 1's queue at the horizon.
+        let last = r.queue_depth_series.last().unwrap();
+        assert_eq!(last.iter().sum::<u32>() as usize, sim.queued_units());
+    }
 }
 
 #[cfg(test)]
@@ -1519,7 +1738,7 @@ mod rebalancing_tests {
         ) -> Vec<crate::router::RouteProposal> {
             match view.topo.shortest_path(req.src, req.dst) {
                 Some(path) => vec![crate::router::RouteProposal {
-                    path,
+                    path: view.intern(&path),
                     amount: req.remaining,
                 }],
                 None => Vec::new(),

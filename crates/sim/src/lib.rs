@@ -26,13 +26,15 @@ pub mod channel;
 pub mod config;
 pub mod engine;
 pub mod metrics;
+pub mod paths;
 pub mod queue;
 pub mod router;
 pub mod workload;
 
 pub use channel::ChannelState;
 pub use config::{QueueConfig, QueueingMode, SchedulingPolicy, SimConfig};
-pub use engine::Simulation;
+pub use engine::{Simulation, SlabStats};
 pub use metrics::SimReport;
+pub use paths::{PathEntry, PathTable};
 pub use router::{NetworkView, RouteProposal, RouteRequest, Router, UnitAck, UnitOutcome};
 pub use workload::{SizeDistribution, TxnSpec, Workload, WorkloadConfig};

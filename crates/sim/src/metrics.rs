@@ -56,6 +56,11 @@ pub struct SimReport {
     /// Total transaction units resident in router queues, sampled once per
     /// second (§5 queueing mode; all zeros in lockstep mode).
     pub queue_occupancy_series: Vec<f64>,
+    /// Per-channel queue depths (both directions summed), sampled once per
+    /// second — empty unless
+    /// [`QueueConfig::sample_queue_depths`](crate::QueueConfig) is set.
+    /// Outer index: sample; inner index: [`ChannelId`](spider_types::ChannelId).
+    pub queue_depth_series: Vec<Vec<u32>>,
     /// Wall-clock-free simulated horizon actually processed.
     pub horizon: SimDuration,
 }
@@ -148,6 +153,7 @@ pub struct MetricsCollector {
     throughput_buckets: Vec<f64>,
     imbalance_samples: Vec<f64>,
     queue_occupancy_samples: Vec<f64>,
+    queue_depth_samples: Vec<Vec<u32>>,
 }
 
 impl MetricsCollector {
@@ -231,6 +237,12 @@ impl MetricsCollector {
         self.queue_occupancy_samples.push(total_queued);
     }
 
+    /// Records one per-channel queue-depth sample (both directions summed,
+    /// indexed by channel id).
+    pub fn queue_depth_sample(&mut self, depths: Vec<u32>) {
+        self.queue_depth_samples.push(depths);
+    }
+
     /// Finalizes into a report.
     pub fn finish(self, scheme: &str, horizon: SimDuration) -> SimReport {
         SimReport {
@@ -254,6 +266,7 @@ impl MetricsCollector {
             throughput_series: self.throughput_buckets,
             imbalance_series: self.imbalance_samples,
             queue_occupancy_series: self.queue_occupancy_samples,
+            queue_depth_series: self.queue_depth_samples,
             horizon,
         }
     }

@@ -1,0 +1,187 @@
+//! The shared path interner.
+//!
+//! Every routed path in a simulation is interned exactly once into a
+//! [`PathTable`]: the node sequence is stored next to its pre-resolved
+//! `(ChannelId, Direction)` hop array, and everything downstream — route
+//! proposals, per-unit state, settle events, acknowledgements — carries a
+//! copyable [`PathId`] instead of cloning node vectors and re-running
+//! `channel_between` per hop per unit.
+//!
+//! The table lives on the [`Simulation`](crate::Simulation) and is exposed
+//! to routers through [`NetworkView`](crate::NetworkView), so routing and
+//! the engine resolve against the same dense id space. Interning is
+//! idempotent: the same node sequence always yields the same id, which is
+//! what lets adaptive routers compare an acknowledged path against their
+//! candidate set with a single integer comparison.
+//!
+//! Entries are handed out as `Rc<PathEntry>` clones, so callers can hold a
+//! resolved path across arbitrary engine mutations without borrowing the
+//! table.
+
+use spider_topology::Topology;
+use spider_types::{ChannelId, Direction, NodeId, PathId, Result};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// One interned path: the node sequence and its hops, resolved once.
+/// The node slice is shared with the table's dedup index, so each path's
+/// nodes are stored exactly once.
+#[derive(Debug, PartialEq, Eq)]
+pub struct PathEntry {
+    nodes: Rc<[NodeId]>,
+    hops: Vec<(ChannelId, Direction)>,
+}
+
+impl PathEntry {
+    /// The node sequence, source first.
+    #[inline]
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// The pre-resolved channel hops, in travel order.
+    #[inline]
+    pub fn hops(&self) -> &[(ChannelId, Direction)] {
+        &self.hops
+    }
+
+    /// Number of hops (edges).
+    #[inline]
+    pub fn hop_count(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// Source node.
+    #[inline]
+    pub fn source(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// Destination node.
+    #[inline]
+    pub fn dest(&self) -> NodeId {
+        *self.nodes.last().expect("paths are non-empty")
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    entries: Vec<Rc<PathEntry>>,
+    index: HashMap<Rc<[NodeId]>, PathId>,
+}
+
+/// Append-only, deduplicating store of resolved paths.
+///
+/// Uses interior mutability so routers can intern through the shared
+/// [`NetworkView`](crate::NetworkView) reference; lookups hand out
+/// `Rc<PathEntry>` clones and never hold a borrow across caller code.
+#[derive(Debug, Default)]
+pub struct PathTable {
+    inner: RefCell<Inner>,
+}
+
+impl PathTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        PathTable::default()
+    }
+
+    /// Interns a node path, resolving its hops against `topo` on first
+    /// sight. Returns an error if consecutive nodes are not adjacent.
+    pub fn try_intern(&self, topo: &Topology, nodes: &[NodeId]) -> Result<PathId> {
+        debug_assert!(!nodes.is_empty(), "cannot intern an empty path");
+        if let Some(&id) = self.inner.borrow().index.get(nodes) {
+            return Ok(id);
+        }
+        let hops = topo.path_channels(nodes)?;
+        let mut inner = self.inner.borrow_mut();
+        let id = PathId::from_index(inner.entries.len());
+        let nodes: Rc<[NodeId]> = Rc::from(nodes);
+        inner.entries.push(Rc::new(PathEntry {
+            nodes: Rc::clone(&nodes),
+            hops,
+        }));
+        inner.index.insert(nodes, id);
+        Ok(id)
+    }
+
+    /// Interns a node path known to follow topology edges. Panics
+    /// otherwise — routers that can produce off-topology candidates should
+    /// use [`PathTable::try_intern`].
+    pub fn intern(&self, topo: &Topology, nodes: &[NodeId]) -> PathId {
+        self.try_intern(topo, nodes)
+            .expect("path follows topology edges")
+    }
+
+    /// The entry for an interned id (a cheap `Rc` clone).
+    #[inline]
+    pub fn entry(&self, id: PathId) -> Rc<PathEntry> {
+        Rc::clone(&self.inner.borrow().entries[id.index()])
+    }
+
+    /// Number of distinct paths interned.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().entries.len()
+    }
+
+    /// True when nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spider_topology::gen;
+    use spider_types::Amount;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn interning_is_idempotent() {
+        let t = gen::line(4, Amount::from_xrp(10));
+        let table = PathTable::new();
+        let a = table.intern(&t, &[n(0), n(1), n(2)]);
+        let b = table.intern(&t, &[n(0), n(1), n(2)]);
+        assert_eq!(a, b);
+        assert_eq!(table.len(), 1);
+        let c = table.intern(&t, &[n(2), n(1), n(0)]);
+        assert_ne!(a, c, "direction matters");
+        assert_eq!(table.len(), 2);
+    }
+
+    #[test]
+    fn entry_resolves_hops_once() {
+        let t = gen::line(3, Amount::from_xrp(10));
+        let table = PathTable::new();
+        let id = table.intern(&t, &[n(0), n(1), n(2)]);
+        let e = table.entry(id);
+        assert_eq!(e.nodes(), &[n(0), n(1), n(2)]);
+        assert_eq!(e.hop_count(), 2);
+        assert_eq!(e.source(), n(0));
+        assert_eq!(e.dest(), n(2));
+        assert_eq!(e.hops(), t.path_channels(&[n(0), n(1), n(2)]).unwrap());
+    }
+
+    #[test]
+    fn off_topology_paths_are_rejected() {
+        let t = gen::line(3, Amount::from_xrp(10));
+        let table = PathTable::new();
+        assert!(table.try_intern(&t, &[n(0), n(2)]).is_err());
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn single_node_path_has_no_hops() {
+        let t = gen::line(2, Amount::from_xrp(10));
+        let table = PathTable::new();
+        let id = table.intern(&t, &[n(1)]);
+        let e = table.entry(id);
+        assert_eq!(e.hop_count(), 0);
+        assert_eq!(e.source(), e.dest());
+    }
+}

@@ -7,10 +7,13 @@
 //! host gets by probing its candidate paths.
 
 use crate::channel::ChannelState;
+use crate::paths::{PathEntry, PathTable};
 use spider_topology::Topology;
 use spider_types::{
-    Amount, ChannelId, Direction, DropReason, MarkStamp, NodeId, PaymentId, SimDuration, SimTime,
+    Amount, ChannelId, Direction, DropReason, MarkStamp, NodeId, PathId, PaymentId, Result,
+    SimDuration, SimTime,
 };
+use std::rc::Rc;
 
 /// Read-only view of the network given to routers.
 pub struct NetworkView<'a> {
@@ -18,6 +21,9 @@ pub struct NetworkView<'a> {
     pub topo: &'a Topology,
     /// Per-channel balance state (indexed by [`ChannelId`]).
     pub channels: &'a [ChannelState],
+    /// The simulation's shared path interner: routers intern candidate
+    /// paths here and hand back [`PathId`]s in their proposals.
+    pub paths: &'a PathTable,
     /// Current simulation time.
     pub now: SimTime,
 }
@@ -28,8 +34,41 @@ impl<'a> NetworkView<'a> {
         self.channels[channel.index()].available(dir)
     }
 
+    /// Interns a node path known to follow topology edges (panics
+    /// otherwise; use [`NetworkView::try_intern`] for candidates that may
+    /// be off-topology).
+    #[inline]
+    pub fn intern(&self, nodes: &[NodeId]) -> PathId {
+        self.paths.intern(self.topo, nodes)
+    }
+
+    /// Fallible interning for paths that may not follow topology edges.
+    #[inline]
+    pub fn try_intern(&self, nodes: &[NodeId]) -> Result<PathId> {
+        self.paths.try_intern(self.topo, nodes)
+    }
+
+    /// The interned entry behind a [`PathId`] (a cheap `Rc` clone).
+    #[inline]
+    pub fn path(&self, id: PathId) -> Rc<PathEntry> {
+        self.paths.entry(id)
+    }
+
+    /// The bottleneck (minimum available balance) along an interned path,
+    /// computed over its pre-resolved hops — no per-hop adjacency lookups.
+    pub fn bottleneck(&self, id: PathId) -> Amount {
+        let entry = self.paths.entry(id);
+        let mut min = Amount::MAX;
+        for &(c, dir) in entry.hops() {
+            min = min.min(self.available(c, dir));
+        }
+        min
+    }
+
     /// The bottleneck (minimum available balance) along a node path, or
-    /// `None` if consecutive nodes are not adjacent.
+    /// `None` if consecutive nodes are not adjacent. Prefer
+    /// [`NetworkView::bottleneck`] on interned paths — it skips the
+    /// per-hop `channel_between` resolution this does.
     pub fn path_bottleneck(&self, path: &[NodeId]) -> Option<Amount> {
         let mut min = Amount::MAX;
         for w in path.windows(2) {
@@ -62,21 +101,29 @@ pub struct RouteRequest {
 }
 
 /// One `(path, amount)` proposal from a router.
-#[derive(Debug, Clone)]
+///
+/// A `PathId` is valid by construction (interning resolves the hops), so
+/// the engine trusts proposals blindly. Routers whose candidate paths
+/// might go stale or skip edges (recomputed against a different topology,
+/// assembled from external state) should intern through
+/// [`NetworkView::try_intern`] and drop failures instead of letting
+/// [`NetworkView::intern`] panic.
+#[derive(Debug, Clone, Copy)]
 pub struct RouteProposal {
-    /// Node path from source to destination (inclusive).
-    pub path: Vec<NodeId>,
+    /// Interned path from source to destination (resolve via
+    /// [`NetworkView::path`]).
+    pub path: PathId,
     /// Amount to send along it.
     pub amount: Amount,
 }
 
 /// Outcome notification for adaptive routers.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct UnitOutcome {
     /// The payment the unit belonged to.
     pub payment: PaymentId,
     /// The path attempted.
-    pub path: Vec<NodeId>,
+    pub path: PathId,
     /// The unit value.
     pub amount: Amount,
     /// Whether funds were successfully locked end-to-end (settlement then
@@ -92,12 +139,12 @@ pub struct UnitOutcome {
 /// queue overflow mid-path, or payment expiry). The [`MarkStamp`] carries
 /// the price and mark bit routers along the path stamped onto the unit;
 /// dropped units always come back marked.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct UnitAck {
     /// The payment the unit belonged to.
     pub payment: PaymentId,
-    /// The node path the unit was injected on.
-    pub path: Vec<NodeId>,
+    /// The interned path the unit was injected on.
+    pub path: PathId,
     /// The unit value.
     pub amount: Amount,
     /// True iff the unit settled end-to-end.
@@ -165,9 +212,11 @@ mod tests {
             .channels()
             .map(|(_, c)| ChannelState::split_equally(c.capacity))
             .collect();
+        let paths = PathTable::new();
         let view = NetworkView {
             topo: &t,
             channels: &channels,
+            paths: &paths,
             now: SimTime::ZERO,
         };
         let b = view
@@ -175,6 +224,10 @@ mod tests {
             .unwrap();
         assert_eq!(b, Amount::from_xrp(5));
         assert!(view.path_bottleneck(&[NodeId(0), NodeId(2)]).is_none());
+        // Interned paths give the same bottleneck without adjacency lookups.
+        let id = view.intern(&[NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(view.bottleneck(id), Amount::from_xrp(5));
+        assert!(view.try_intern(&[NodeId(0), NodeId(2)]).is_err());
     }
 
     #[test]
@@ -186,9 +239,11 @@ mod tests {
             .collect();
         assert!(channels[0].lock(Direction::Forward, Amount::from_xrp(5)));
         channels[0].settle(Direction::Forward, Amount::from_xrp(5));
+        let paths = PathTable::new();
         let view = NetworkView {
             topo: &t,
             channels: &channels,
+            paths: &paths,
             now: SimTime::ZERO,
         };
         let c = ChannelId(0);

@@ -205,41 +205,59 @@ impl Topology {
         dist
     }
 
-    /// One shortest path (by hop count) from `src` to `dst`, as the list of
-    /// visited nodes including both endpoints. Ties are broken toward the
-    /// smallest neighbor id, deterministically.
-    pub fn shortest_path(&self, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
-        if src == dst {
-            return Some(vec![src]);
-        }
-        let mut parent: Vec<Option<NodeId>> = vec![None; self.node_count];
-        let mut seen = vec![false; self.node_count];
-        seen[src.index()] = true;
+    /// Full BFS parent tree from `src`: entry `i` is the predecessor of
+    /// node `i` on its shortest path from `src` (`u32::MAX` = unreached;
+    /// the source points at itself). Ties are broken toward the smallest
+    /// neighbor id, deterministically. One tree serves *every*
+    /// destination, which is what lets the shortest-path routing cache
+    /// pay for a single traversal per sender.
+    pub fn bfs_parents(&self, src: NodeId) -> Vec<u32> {
+        let mut parent = vec![u32::MAX; self.node_count];
+        parent[src.index()] = src.0;
         let mut queue = VecDeque::from([src]);
         while let Some(u) = queue.pop_front() {
-            if u == dst {
-                break;
-            }
             for adj in self.neighbors(u) {
-                if !seen[adj.neighbor.index()] {
-                    seen[adj.neighbor.index()] = true;
-                    parent[adj.neighbor.index()] = Some(u);
+                if parent[adj.neighbor.index()] == u32::MAX {
+                    parent[adj.neighbor.index()] = u.0;
                     queue.push_back(adj.neighbor);
                 }
             }
         }
-        if !seen[dst.index()] {
+        parent
+    }
+
+    /// Reads the `src → dst` path out of a tree from
+    /// [`Topology::bfs_parents`]; `None` when `dst` is unreached, or when
+    /// `src` is not on `dst`'s ancestor chain (a tree rooted elsewhere).
+    pub fn path_from_parents(parents: &[u32], src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+        if parents[dst.index()] == u32::MAX {
             return None;
         }
         let mut path = vec![dst];
         let mut cur = dst;
-        while let Some(p) = parent[cur.index()] {
-            path.push(p);
+        while cur != src {
+            let p = NodeId(parents[cur.index()]);
+            if p == cur {
+                // Reached the tree's root without meeting `src`.
+                return None;
+            }
             cur = p;
+            path.push(cur);
         }
         path.reverse();
-        debug_assert_eq!(path[0], src);
         Some(path)
+    }
+
+    /// One shortest path (by hop count) from `src` to `dst`, as the list of
+    /// visited nodes including both endpoints. Ties are broken toward the
+    /// smallest neighbor id, deterministically. Derived from
+    /// [`Topology::bfs_parents`], so per-pair and per-source-tree callers
+    /// agree by construction.
+    pub fn shortest_path(&self, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+        if src == dst {
+            return Some(vec![src]);
+        }
+        Self::path_from_parents(&self.bfs_parents(src), src, dst)
     }
 
     /// Converts a node path (as returned by [`Topology::shortest_path`])
@@ -482,6 +500,24 @@ mod tests {
         assert_eq!(t.shortest_path(n(0), n(3)).unwrap(), vec![n(0), n(1), n(3)]);
         assert_eq!(t.shortest_path(n(0), n(4)), None);
         assert_eq!(t.shortest_path(n(2), n(2)).unwrap(), vec![n(2)]);
+    }
+
+    #[test]
+    fn parent_tree_serves_every_destination() {
+        let t = small();
+        let tree = t.bfs_parents(n(0));
+        for dst in [1u32, 2, 3] {
+            assert_eq!(
+                Topology::path_from_parents(&tree, n(0), n(dst)),
+                t.shortest_path(n(0), n(dst)),
+                "dst {dst}"
+            );
+        }
+        // Unreached destination.
+        assert_eq!(Topology::path_from_parents(&tree, n(0), n(4)), None);
+        // Misuse: `src` not on `dst`'s ancestor chain in a tree rooted
+        // elsewhere must return None, not loop.
+        assert_eq!(Topology::path_from_parents(&tree, n(2), n(3)), None);
     }
 
     #[test]

@@ -148,6 +148,18 @@ impl Amount {
         units
     }
 
+    /// Allocation-free variant of [`Amount::split_mtu`]: iterates the same
+    /// chunks without materializing a vector (the engine packetizes every
+    /// proposal, so this runs once per routed unit). Panics if `mtu` is
+    /// zero.
+    pub fn mtu_chunks(self, mtu: Amount) -> MtuChunks {
+        assert!(!mtu.is_zero(), "MTU must be positive");
+        MtuChunks {
+            remaining: self.0,
+            mtu: mtu.0,
+        }
+    }
+
     /// Converts to a signed amount. Panics if the value exceeds `i64::MAX`
     /// drops (≈ 9.2 trillion XRP — far beyond any simulated economy).
     #[inline]
@@ -155,6 +167,33 @@ impl Amount {
         SignedAmount(i64::try_from(self.0).expect("amount exceeds i64::MAX drops"))
     }
 }
+
+/// Iterator over MTU-sized chunks of an amount (see [`Amount::mtu_chunks`]).
+#[derive(Debug, Clone)]
+pub struct MtuChunks {
+    remaining: u64,
+    mtu: u64,
+}
+
+impl Iterator for MtuChunks {
+    type Item = Amount;
+
+    fn next(&mut self) -> Option<Amount> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let u = self.remaining.min(self.mtu);
+        self.remaining -= u;
+        Some(Amount(u))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.remaining.div_ceil(self.mtu) as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for MtuChunks {}
 
 impl Add for Amount {
     type Output = Amount;
@@ -377,6 +416,20 @@ mod tests {
         let parts = Amount::from_xrp(9).split_mtu(Amount::from_xrp(3));
         assert_eq!(parts.len(), 3);
         assert!(parts.iter().all(|p| *p == Amount::from_xrp(3)));
+    }
+
+    #[test]
+    fn mtu_chunks_matches_split_mtu() {
+        for (total, mtu) in [
+            (Amount::from_drops(10_500_000), Amount::from_xrp(3)),
+            (Amount::from_xrp(9), Amount::from_xrp(3)),
+            (Amount::ZERO, Amount::DROP),
+            (Amount::from_drops(1), Amount::from_xrp(10)),
+        ] {
+            let iter: Vec<Amount> = total.mtu_chunks(mtu).collect();
+            assert_eq!(iter, total.split_mtu(mtu));
+            assert_eq!(total.mtu_chunks(mtu).len(), iter.len());
+        }
     }
 
     #[test]

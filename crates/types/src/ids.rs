@@ -104,6 +104,37 @@ impl fmt::Display for Direction {
     }
 }
 
+/// Identifies an interned path: a dense index into a simulation's shared
+/// path table, where the node sequence and its pre-resolved
+/// `(ChannelId, Direction)` hops are stored exactly once.
+///
+/// Routers and the engine exchange `PathId`s instead of cloning node
+/// vectors; resolving a hop sequence costs one index instead of a
+/// `channel_between` lookup per hop per unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct PathId(pub u32);
+
+impl PathId {
+    /// The underlying dense index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a path id from a dense index.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        PathId(u32::try_from(i).expect("path index exceeds u32"))
+    }
+}
+
+impl fmt::Display for PathId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
 /// Identifies an end-to-end payment (which may be split into many
 /// transaction units).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]

@@ -40,7 +40,7 @@ impl Router for HotPotato {
         });
         match best {
             Some(p) => vec![RouteProposal {
-                path: p.nodes,
+                path: view.intern(&p.nodes),
                 amount: req.remaining,
             }],
             None => Vec::new(),

@@ -1,0 +1,243 @@
+//! Golden determinism tests: exact `SimReport` outcomes recorded on the
+//! pre-interner engine (PR 1 tree) for fixed seeds.
+//!
+//! The hot-path overhaul (path interning, slab recycling, analytic
+//! waterfilling, cached shortest paths) must be *bit-identical* in its
+//! observable outcomes: it changes how fast decisions are computed, never
+//! which decisions are made. Any drift in these numbers means a semantic
+//! change snuck into the refactor.
+
+use spider_core::{ExperimentConfig, SchemeConfig, TopologyConfig};
+use spider_sim::{SimConfig, SizeDistribution, WorkloadConfig};
+use spider_types::SimDuration;
+
+/// The capacity-constrained small ISP experiment the goldens were recorded
+/// on (heavy retry pressure exercises every hot path).
+fn golden_experiment(seed: u64, scheme: SchemeConfig) -> ExperimentConfig {
+    ExperimentConfig {
+        topology: TopologyConfig::Isp {
+            capacity_xrp: 4_000,
+        },
+        workload: WorkloadConfig {
+            count: 1_500,
+            rate_per_sec: 500.0,
+            size: SizeDistribution::RippleIsp,
+            sender_skew_scale: 8.0,
+        },
+        sim: SimConfig {
+            horizon: SimDuration::from_secs(5),
+            ..SimConfig::default()
+        },
+        scheme,
+        seed,
+    }
+}
+
+/// One recorded outcome.
+struct Golden {
+    seed: u64,
+    completed: u64,
+    delivered_drops: u64,
+    units_locked: u64,
+    units_failed: u64,
+    retries: u64,
+    units_acked: u64,
+    units_marked: u64,
+    units_dropped: u64,
+    units_queued: u64,
+}
+
+fn check(scheme: SchemeConfig, golden: &[Golden]) {
+    for g in golden {
+        let r = golden_experiment(g.seed, scheme).run().expect("runs");
+        assert_eq!(r.completed_payments, g.completed, "seed {}", g.seed);
+        assert_eq!(
+            r.delivered_volume.drops(),
+            g.delivered_drops,
+            "seed {}",
+            g.seed
+        );
+        assert_eq!(r.units_locked, g.units_locked, "seed {}", g.seed);
+        assert_eq!(r.units_failed, g.units_failed, "seed {}", g.seed);
+        assert_eq!(r.retries, g.retries, "seed {}", g.seed);
+        assert_eq!(r.units_acked, g.units_acked, "seed {}", g.seed);
+        assert_eq!(r.units_marked, g.units_marked, "seed {}", g.seed);
+        assert_eq!(r.units_dropped, g.units_dropped, "seed {}", g.seed);
+        assert_eq!(r.units_queued, g.units_queued, "seed {}", g.seed);
+    }
+}
+
+#[test]
+fn shortest_path_outcomes_match_pre_refactor_goldens() {
+    check(
+        SchemeConfig::ShortestPath,
+        &[
+            Golden {
+                seed: 7,
+                completed: 1271,
+                delivered_drops: 192_064_151_469,
+                units_locked: 19_900,
+                units_failed: 166_992,
+                retries: 7_628,
+                units_acked: 0,
+                units_marked: 0,
+                units_dropped: 0,
+                units_queued: 0,
+            },
+            Golden {
+                seed: 23,
+                completed: 1210,
+                delivered_drops: 179_990_858_251,
+                units_locked: 18_695,
+                units_failed: 228_159,
+                retries: 10_377,
+                units_acked: 0,
+                units_marked: 0,
+                units_dropped: 0,
+                units_queued: 0,
+            },
+        ],
+    );
+}
+
+#[test]
+fn waterfilling_outcomes_match_pre_refactor_goldens() {
+    check(
+        SchemeConfig::SpiderWaterfilling { paths: 4 },
+        &[
+            Golden {
+                seed: 7,
+                completed: 1447,
+                delivered_drops: 230_675_270_516,
+                units_locked: 23_810,
+                units_failed: 0,
+                retries: 1_545,
+                units_acked: 0,
+                units_marked: 0,
+                units_dropped: 0,
+                units_queued: 0,
+            },
+            Golden {
+                seed: 23,
+                completed: 1378,
+                delivered_drops: 213_391_219_630,
+                units_locked: 22_100,
+                units_failed: 0,
+                retries: 4_062,
+                units_acked: 0,
+                units_marked: 0,
+                units_dropped: 0,
+                units_queued: 0,
+            },
+        ],
+    );
+}
+
+#[test]
+fn spider_protocol_outcomes_match_pre_refactor_goldens() {
+    check(
+        SchemeConfig::SpiderProtocol { paths: 4 },
+        &[
+            Golden {
+                seed: 7,
+                completed: 1325,
+                delivered_drops: 218_127_445_565,
+                units_locked: 22_861,
+                units_failed: 2_355,
+                retries: 1_586,
+                units_acked: 24_959,
+                units_marked: 8_369,
+                units_dropped: 2_355,
+                units_queued: 2_988,
+            },
+            Golden {
+                seed: 23,
+                completed: 1239,
+                delivered_drops: 207_952_059_002,
+                units_locked: 21_593,
+                units_failed: 3_726,
+                retries: 2_742,
+                units_acked: 25_239,
+                units_marked: 9_484,
+                units_dropped: 3_726,
+                units_queued: 2_193,
+            },
+        ],
+    );
+}
+
+/// The Ripple-like family golden: recorded on the PR 2 tree (whose
+/// equivalence to the pre-interner engine was established by the seed-42
+/// full-scale baseline in `crates/bench/baselines/` and the ISP goldens
+/// above), pinning the scale-free-topology code paths — generator,
+/// largest-component extraction, per-source BFS trees, edge-disjoint
+/// oracles — that the ISP goldens cannot reach.
+fn ripple_golden_experiment(seed: u64, scheme: SchemeConfig) -> ExperimentConfig {
+    ExperimentConfig {
+        topology: TopologyConfig::RippleLike {
+            nodes: 1_200,
+            capacity_xrp: 1_000,
+        },
+        workload: WorkloadConfig {
+            count: 2_000,
+            rate_per_sec: 400.0,
+            size: SizeDistribution::RippleFull,
+            sender_skew_scale: 150.0,
+        },
+        sim: SimConfig {
+            horizon: SimDuration::from_secs(6),
+            ..SimConfig::default()
+        },
+        scheme,
+        seed,
+    }
+}
+
+#[test]
+fn ripple_like_outcomes_match_recorded_goldens() {
+    for (scheme, g) in [
+        (
+            SchemeConfig::ShortestPath,
+            Golden {
+                seed: 13,
+                completed: 925,
+                delivered_drops: 253_841_755_436,
+                units_locked: 26_312,
+                units_failed: 1_266_798,
+                retries: 33_942,
+                units_acked: 0,
+                units_marked: 0,
+                units_dropped: 0,
+                units_queued: 0,
+            },
+        ),
+        (
+            SchemeConfig::SpiderProtocol { paths: 4 },
+            Golden {
+                seed: 13,
+                completed: 1_156,
+                delivered_drops: 393_073_297_703,
+                units_locked: 41_155,
+                units_failed: 15_935,
+                retries: 7_985,
+                units_acked: 55_938,
+                units_marked: 34_493,
+                units_dropped: 15_951,
+                units_queued: 9_421,
+            },
+        ),
+    ] {
+        let r = ripple_golden_experiment(g.seed, scheme)
+            .run()
+            .expect("runs");
+        assert_eq!(r.completed_payments, g.completed, "{scheme:?}");
+        assert_eq!(r.delivered_volume.drops(), g.delivered_drops, "{scheme:?}");
+        assert_eq!(r.units_locked, g.units_locked, "{scheme:?}");
+        assert_eq!(r.units_failed, g.units_failed, "{scheme:?}");
+        assert_eq!(r.retries, g.retries, "{scheme:?}");
+        assert_eq!(r.units_acked, g.units_acked, "{scheme:?}");
+        assert_eq!(r.units_marked, g.units_marked, "{scheme:?}");
+        assert_eq!(r.units_dropped, g.units_dropped, "{scheme:?}");
+        assert_eq!(r.units_queued, g.units_queued, "{scheme:?}");
+    }
+}
