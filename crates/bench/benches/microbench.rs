@@ -52,6 +52,28 @@ fn bench_paths(c: &mut Criterion) {
     g.bench_function("edge_disjoint_k4", |b| {
         b.iter(|| black_box(k_edge_disjoint_paths(&topo, NodeId(8), NodeId(20), 4)))
     });
+    // The per-source batched fill vs the per-pair oracle, over every
+    // destination of one source — the candidate-prefill hot loop.
+    let dsts: Vec<NodeId> = (0..topo.node_count() as u32)
+        .filter(|&d| d != 8)
+        .map(NodeId)
+        .collect();
+    g.bench_function("edge_disjoint_k4_all_dsts_per_pair", |b| {
+        b.iter(|| {
+            for &d in &dsts {
+                black_box(k_edge_disjoint_paths(&topo, NodeId(8), d, 4));
+            }
+        })
+    });
+    g.bench_function("edge_disjoint_k4_all_dsts_source_oracle", |b| {
+        let csr = spider_lp::paths::CsrGraph::new(&topo);
+        b.iter(|| {
+            let mut oracle = spider_lp::paths::SourceOracle::new(&topo, &csr, NodeId(8));
+            for &d in &dsts {
+                black_box(oracle.edge_disjoint(d, 4));
+            }
+        })
+    });
     g.finish();
 }
 

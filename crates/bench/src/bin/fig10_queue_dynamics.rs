@@ -1,0 +1,122 @@
+//! Fig. 10-style queue dynamics: per-channel router-queue depths over
+//! time under the §5 decentralized protocol.
+//!
+//! The paper's Fig. 10 shows how Spider's router queues build and drain
+//! as the price signal steers senders away from congested channels. This
+//! bin runs `spider-protocol` on the capacity-constrained ISP topology
+//! with [`QueueConfig::sample_queue_depths`] enabled and emits the
+//! recorded [`SimReport::queue_depth_series`] as a time series: one row
+//! per simulated second with the total queued units, plus the depth of
+//! the eight channels with the highest peak depth (named by their
+//! endpoint pair).
+//!
+//! ```sh
+//! cargo run --release -p spider-bench --bin fig10_queue_dynamics -- --out out
+//! # writes out/fig10_queue_dynamics.csv (+ .jsonl)
+//! ```
+//!
+//! Expected shape: queues grow during the initial pricing transient, then
+//! oscillate around a modest level instead of diverging — the marking
+//! feedback keeps them bounded while throughput stays high.
+
+use spider_bench::HarnessArgs;
+use spider_core::{ExperimentConfig, SchemeConfig, TopologyConfig};
+use spider_sim::{QueueConfig, QueueingMode, SimConfig, SizeDistribution, WorkloadConfig};
+use spider_types::{Amount, SimDuration};
+use std::fmt::Write as _;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let (count, rate) = if args.full {
+        (200_000usize, 1_000.0)
+    } else {
+        (20_000usize, 1_000.0)
+    };
+    let qc = QueueConfig {
+        sample_queue_depths: true,
+        ..QueueConfig::default()
+    };
+    let cfg = ExperimentConfig {
+        // Constrained capacity so queues actually form.
+        topology: TopologyConfig::Isp {
+            capacity_xrp: 4_000,
+        },
+        workload: WorkloadConfig {
+            count,
+            rate_per_sec: rate,
+            size: SizeDistribution::RippleIsp,
+            sender_skew_scale: 8.0,
+        },
+        sim: SimConfig {
+            horizon: SimDuration::from_secs_f64(count as f64 / rate + 1.0),
+            mtu: Amount::from_xrp(10),
+            queueing: QueueingMode::PerChannelFifo(qc),
+            ..SimConfig::default()
+        },
+        scheme: SchemeConfig::SpiderProtocol { paths: 4 },
+        seed: args.seed,
+    };
+    eprintln!(
+        "running spider-protocol on isp (capacity 4,000 XRP, {count} txns, queue sampling on)…"
+    );
+    let topo = cfg
+        .topology
+        .build(&spider_types::DetRng::new(cfg.seed))
+        .expect("topology builds");
+    let report = cfg.run().expect("experiment runs");
+    let series = &report.queue_depth_series;
+    assert!(
+        !series.is_empty(),
+        "queue depth sampling must produce samples"
+    );
+
+    // The eight busiest channels by peak depth carry the story.
+    let n_channels = series[0].len();
+    let mut peak: Vec<(u32, usize)> = (0..n_channels)
+        .map(|c| (series.iter().map(|s| s[c]).max().unwrap_or(0), c))
+        .collect();
+    peak.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    let top: Vec<usize> = peak.iter().take(8).map(|&(_, c)| c).collect();
+    let name = |c: usize| {
+        let ch = topo.channel(spider_types::ChannelId::from_index(c));
+        format!("{}-{}", ch.u, ch.v)
+    };
+
+    let mut csv = String::from("t_s,total_queued");
+    for &c in &top {
+        write!(csv, ",depth_{}", name(c)).expect("write header");
+    }
+    csv.push('\n');
+    let mut jsonl = String::new();
+    for (t, sample) in series.iter().enumerate() {
+        let total: u64 = sample.iter().map(|&d| d as u64).sum();
+        write!(csv, "{t},{total}").expect("write row");
+        write!(jsonl, "{{\"t_s\":{t},\"total_queued\":{total}").expect("write row");
+        for &c in &top {
+            write!(csv, ",{}", sample[c]).expect("write row");
+            write!(jsonl, ",\"{}\":{}", name(c), sample[c]).expect("write row");
+        }
+        csv.push('\n');
+        jsonl.push_str("}\n");
+    }
+    print!("{csv}");
+    eprintln!(
+        "success ratio {:.3}, marking rate {:.3}, peak total queued {}",
+        report.success_ratio(),
+        report.marking_rate(),
+        series
+            .iter()
+            .map(|s| s.iter().map(|&d| d as u64).sum::<u64>())
+            .max()
+            .unwrap_or(0),
+    );
+    if let Some(dir) = &args.out_dir {
+        std::fs::create_dir_all(dir).expect("create output directory");
+        std::fs::write(dir.join("fig10_queue_dynamics.csv"), &csv).expect("write csv");
+        std::fs::write(dir.join("fig10_queue_dynamics.jsonl"), &jsonl).expect("write jsonl");
+        eprintln!(
+            "wrote {}/{{fig10_queue_dynamics.csv,fig10_queue_dynamics.jsonl}}",
+            dir.display()
+        );
+    }
+}

@@ -1,0 +1,302 @@
+//! Candidate-path fill benchmark: wall-clock cost of computing every
+//! (src, dst) pair's candidate set on the 3,774-node Ripple-like graph.
+//!
+//! ROADMAP's hot-path analysis found `ripple-fifo-protocol` wall time
+//! dominated by the lazy per-pair `k_edge_disjoint_paths` fill (4 BFS plus
+//! a workspace allocation per pair). This bin measures the replacement —
+//! the batched per-source `PathOracle` behind `PathCache::prefill` — on
+//! the exact pair list of the seed-42 ripple workload, next to a live
+//! re-measurement of the lazy fill, and judges it against the committed
+//! pre-oracle numbers in `baselines/pathfill_lazy.json`.
+//!
+//! Every configuration also cross-checks the prefetched candidate sets
+//! against the lazy cache pair by pair (`matches_lazy`); the bin fails
+//! loudly if the batched oracle ever returns different paths — it is a
+//! *throughput* change, never a routing change.
+//!
+//! ```sh
+//! cargo run --release -p spider-bench --bin pathfill_throughput -- --out .
+//! # CI smoke (400-node graph, no baseline comparison):
+//! cargo run --release -p spider-bench --bin pathfill_throughput -- --quick --out .
+//! ```
+
+use spider_routing::{PathCache, PathPolicy};
+use spider_sim::{PathTable, SizeDistribution, Workload, WorkloadConfig};
+use spider_types::{Amount, DetRng, NodeId};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// The lazy per-pair fill throughput recorded on the pre-oracle tree
+/// (seed 42, single core).
+const BASELINE_JSON: &str = include_str!("../../baselines/pathfill_lazy.json");
+
+struct Case {
+    name: &'static str,
+    policy: PathPolicy,
+}
+
+struct Run {
+    name: &'static str,
+    pairs: usize,
+    paths_interned: usize,
+    lazy_wall: f64,
+    batched_wall: f64,
+    matches_lazy: bool,
+}
+
+fn cases() -> Vec<Case> {
+    vec![
+        Case {
+            name: "edge-disjoint-k4",
+            policy: PathPolicy::EdgeDisjoint(4),
+        },
+        Case {
+            name: "yen-k4",
+            policy: PathPolicy::KShortest(4),
+        },
+        Case {
+            name: "shortest",
+            policy: PathPolicy::Shortest,
+        },
+    ]
+}
+
+/// The workload pair list: distinct (src, dst) in first-arrival order —
+/// exactly what `Simulation::run` hands to `Router::prewarm`.
+fn pair_list(
+    seed: u64,
+    quick: bool,
+) -> (
+    spider_topology::Topology,
+    Vec<(NodeId, NodeId)>,
+    &'static str,
+) {
+    let (nodes, count, topology) = if quick {
+        (400, 2_000, "ripple-400")
+    } else {
+        (spider_topology::gen::RIPPLE_NODES, 10_000, "ripple-3774")
+    };
+    let rng = DetRng::new(seed);
+    let mut trng = rng.fork("topology");
+    let raw = spider_topology::gen::ripple_like(nodes, Amount::from_xrp(30_000), &mut trng);
+    let topo = spider_topology::analysis::largest_component(&raw);
+    let mut wrng = rng.fork("workload");
+    let wl = Workload::generate(
+        topo.node_count(),
+        &WorkloadConfig {
+            count,
+            rate_per_sec: 75_000.0 / 85.0,
+            size: SizeDistribution::RippleFull,
+            sender_skew_scale: nodes as f64 / 8.0,
+        },
+        &mut wrng,
+    );
+    let pairs = wl.distinct_pairs(None);
+    (topo, pairs, topology)
+}
+
+/// Wall-clock measurements take the fastest of `REPS` runs: the minimum
+/// is the least-noise estimator of the true cost on a shared box, and it
+/// is applied to the lazy and the batched side alike.
+const REPS: usize = 3;
+
+fn run_case(case: &Case, topo: &spider_topology::Topology, pairs: &[(NodeId, NodeId)]) -> Run {
+    // Lazy reference: one `PathCache::get` per pair, in pair order.
+    let mut lazy_wall = f64::INFINITY;
+    let mut lazy_state = None;
+    for _ in 0..REPS {
+        let lazy_table = PathTable::new();
+        let mut lazy = PathCache::new(case.policy);
+        let t0 = Instant::now();
+        for &(s, d) in pairs {
+            lazy.get(topo, &lazy_table, s, d);
+        }
+        lazy_wall = lazy_wall.min(t0.elapsed().as_secs_f64());
+        lazy_state = Some((lazy, lazy_table));
+    }
+    let (mut lazy, lazy_table) = lazy_state.expect("at least one rep");
+
+    // Batched: one `prefill` over the whole pair list.
+    let mut batched_wall = f64::INFINITY;
+    let mut batched_state = None;
+    for _ in 0..REPS {
+        let table = PathTable::new();
+        let mut cache = PathCache::new(case.policy);
+        let t0 = Instant::now();
+        cache.prefill(topo, &table, pairs);
+        batched_wall = batched_wall.min(t0.elapsed().as_secs_f64());
+        batched_state = Some((cache, table));
+    }
+    let (mut cache, table) = batched_state.expect("at least one rep");
+
+    // Candidate sets — and the PathIds this fill order assigns — must be
+    // bit-identical to the lazy path. Ids are compared *and* resolved to
+    // their node sequences: two independently-interned tables can hand
+    // out equal ids for different paths, so the id check alone could miss
+    // a same-position drift.
+    let mut matches_lazy = table.len() == lazy_table.len();
+    'pairs: for &(s, d) in pairs {
+        let batched_ids = cache.get(topo, &table, s, d).to_vec();
+        let lazy_ids = lazy.get(topo, &lazy_table, s, d);
+        if batched_ids != lazy_ids {
+            matches_lazy = false;
+        } else {
+            for (&b, &l) in batched_ids.iter().zip(lazy_ids) {
+                if table.entry(b).nodes() != lazy_table.entry(l).nodes() {
+                    matches_lazy = false;
+                    break;
+                }
+            }
+        }
+        if !matches_lazy {
+            eprintln!("ERROR: {}: candidate set for {s}->{d} drifted", case.name);
+            break 'pairs;
+        }
+    }
+    Run {
+        name: case.name,
+        pairs: pairs.len(),
+        paths_interned: table.len(),
+        lazy_wall,
+        batched_wall,
+        matches_lazy,
+    }
+}
+
+/// The committed baseline pairs/sec for a config, if recorded.
+fn baseline_pairs_per_sec(topology: &str, name: &str) -> Option<f64> {
+    let root = serde_json::parse(BASELINE_JSON).ok()?;
+    let full = format!("{topology}-{name}");
+    root["runs"].as_array()?.iter().find_map(|r| {
+        (r["config"].as_str() == Some(full.as_str()))
+            .then(|| r["pairs_per_sec"].as_f64().expect("baseline throughput"))
+    })
+}
+
+fn main() {
+    let mut quick = false;
+    let mut seed = 42u64;
+    let mut out_dir = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed requires an integer");
+            }
+            "--out" => out_dir = PathBuf::from(args.next().expect("--out requires a path")),
+            "--help" | "-h" => {
+                eprintln!("options: --quick  --seed N  --out DIR");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown option {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+    // The baseline was recorded on the full-scale seed-42 pair list.
+    let compare_baseline = !quick && seed == 42;
+    if !quick && seed != 42 {
+        eprintln!("note: the baseline was recorded at seed 42; skipping baseline comparison");
+    }
+
+    let (topo, pairs, topology) = pair_list(seed, quick);
+    eprintln!(
+        "{topology}: {} nodes, {} channels, {} distinct pairs",
+        topo.node_count(),
+        topo.channel_count(),
+        pairs.len()
+    );
+
+    let mut records = Vec::new();
+    let mut speedups: Vec<f64> = Vec::new();
+    let mut drifted = false;
+    for case in cases() {
+        eprintln!("running {topology}-{}…", case.name);
+        let run = run_case(&case, &topo, &pairs);
+        if !run.matches_lazy {
+            drifted = true;
+        }
+        let lazy_pps = run.pairs as f64 / run.lazy_wall.max(1e-9);
+        let batched_pps = run.pairs as f64 / run.batched_wall.max(1e-9);
+        let baseline = compare_baseline
+            .then(|| baseline_pairs_per_sec(topology, run.name))
+            .flatten();
+        let speedup = baseline.map(|b| batched_pps / b);
+        eprintln!(
+            "  lazy {:.3}s ({:.0} pairs/s) → batched {:.3}s ({:.0} pairs/s){}",
+            run.lazy_wall,
+            lazy_pps,
+            run.batched_wall,
+            batched_pps,
+            speedup
+                .map(|s| format!(", {s:.2}x vs committed lazy baseline"))
+                .unwrap_or_default(),
+        );
+        if let Some(s) = speedup {
+            speedups.push(s);
+        }
+        let mut s = String::new();
+        write!(
+            s,
+            "{{\"config\":\"{topology}-{}\",\"topology\":\"{topology}\",\"policy\":\"{}\",\
+             \"pairs\":{},\"paths_interned\":{},\
+             \"lazy_wall_seconds\":{:.4},\"lazy_pairs_per_sec\":{:.0},\
+             \"batched_wall_seconds\":{:.4},\"batched_pairs_per_sec\":{:.0},\
+             \"live_speedup\":{:.2},\
+             \"baseline_pairs_per_sec\":{},\"speedup_vs_baseline\":{},\
+             \"matches_lazy\":{}}}",
+            run.name,
+            run.name,
+            run.pairs,
+            run.paths_interned,
+            run.lazy_wall,
+            lazy_pps,
+            run.batched_wall,
+            batched_pps,
+            batched_pps / lazy_pps.max(1e-9),
+            baseline
+                .map(|b| format!("{b:.0}"))
+                .unwrap_or_else(|| "null".to_string()),
+            speedup
+                .map(|v| format!("{v:.2}"))
+                .unwrap_or_else(|| "null".to_string()),
+            run.matches_lazy,
+        )
+        .expect("write to string");
+        records.push(s);
+    }
+    let geomean = (!speedups.is_empty()).then(|| {
+        let log_sum: f64 = speedups.iter().map(|s| s.ln()).sum();
+        (log_sum / speedups.len() as f64).exp()
+    });
+    let doc = format!(
+        "{{\"bench\":\"pathfill_throughput\",\"seed\":{seed},\"quick\":{quick},\
+         \"geomean_speedup\":{},\"runs\":[\n{}\n]}}\n",
+        geomean
+            .map(|g| format!("{g:.2}"))
+            .unwrap_or_else(|| "null".to_string()),
+        records.join(",\n"),
+    );
+    print!("{doc}");
+    if let Some(g) = geomean {
+        eprintln!("geomean pair-fill speedup vs committed lazy baseline: {g:.2}x");
+    }
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+    let path = out_dir.join("BENCH_pathfill.json");
+    std::fs::write(&path, &doc).expect("write BENCH_pathfill.json");
+    eprintln!("wrote {}", path.display());
+    // Validate that what we wrote parses (the CI smoke step relies on it).
+    serde_json::parse(&doc).expect("BENCH_pathfill.json is well-formed JSON");
+    // A fill whose candidate sets drifted from the lazy oracle is not a
+    // faster oracle — it is a different one. Fail loudly.
+    if drifted {
+        eprintln!("batched candidate sets no longer match the lazy oracle; failing");
+        std::process::exit(1);
+    }
+}

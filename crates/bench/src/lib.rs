@@ -12,6 +12,10 @@
 //! | `rebalancing_curve` | §5.2.3 — t(B): throughput vs rebalancing budget |
 //! | `primal_dual_convergence` | §5.3 — decentralized algorithm vs LP optimum |
 //! | `ablation_packet_switching` | §6.2 — packet switching + SRPT vs atomic delivery |
+//! | `fig8_queue_protocol` | §5 protocol under queueing vs transport baselines |
+//! | `fig10_queue_dynamics` | Fig. 10 — per-channel queue depths over time |
+//! | `engine_throughput` | engine events/sec vs the pre-refactor baseline |
+//! | `pathfill_throughput` | batched candidate prefill vs the lazy per-pair fill |
 //!
 //! Every binary accepts `--full` (paper-scale parameters — slower),
 //! `--seed N`, and `--out DIR` (write CSV + JSON-lines there). Defaults are

@@ -148,6 +148,14 @@ impl<R: Router> Router for Windowed<R> {
         self.inner.initialize(view);
     }
 
+    fn wants_prewarm(&self) -> bool {
+        self.inner.wants_prewarm()
+    }
+
+    fn prewarm(&mut self, pairs: &[(NodeId, NodeId)], view: &NetworkView<'_>) {
+        self.inner.prewarm(pairs, view);
+    }
+
     fn route(&mut self, req: &RouteRequest, view: &NetworkView<'_>) -> Vec<RouteProposal> {
         let window = self.window(req.src, req.dst);
         let clamped = RouteRequest {

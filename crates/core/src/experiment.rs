@@ -153,6 +153,14 @@ impl ExperimentConfig {
     /// Runs the experiment end to end: build topology, generate workload,
     /// estimate the demand matrix (for Spider (LP)), instantiate the
     /// scheme, simulate, and verify fund conservation.
+    ///
+    /// Simulations start with warm candidate caches: the engine hands the
+    /// workload's distinct (src, dst) pairs to
+    /// [`Router::prewarm`](spider_sim::Router::prewarm), and the
+    /// source-routed schemes batch-fill their per-pair path sets through
+    /// `spider_routing::PathCache::prefill` instead of paying k BFS
+    /// traversals per pair on the routing hot path (see
+    /// `BENCH_pathfill.json`).
     pub fn run(&self) -> Result<SimReport> {
         let rng = DetRng::new(self.seed);
         let topo = self.topology.build(&rng)?;

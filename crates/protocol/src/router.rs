@@ -142,6 +142,14 @@ impl Router for ProtocolRouter {
         "spider-protocol"
     }
 
+    fn wants_prewarm(&self) -> bool {
+        true
+    }
+
+    fn prewarm(&mut self, pairs: &[(NodeId, NodeId)], view: &NetworkView<'_>) {
+        self.cache.prefill(view.topo, view.paths, pairs);
+    }
+
     fn route(&mut self, req: &RouteRequest, view: &NetworkView<'_>) -> Vec<RouteProposal> {
         let state = self.pair_mut(view.topo, view.paths, req.src, req.dst);
         if state.paths.is_empty() {

@@ -83,6 +83,46 @@ impl PathCache {
         })
     }
 
+    /// Precomputes and interns the candidate sets of every listed pair,
+    /// so later [`PathCache::get`] calls are pure lookups.
+    ///
+    /// Pairs are filled *per source* through a batched
+    /// [`PathOracle`](crate::PathOracle) — one BFS tree and one reusable
+    /// workspace per source, sources fanned across worker threads — then
+    /// interned into `paths` on this thread in pair order (first
+    /// occurrence wins; already-cached pairs are skipped). Candidate sets,
+    /// and the `PathId`s a given get-order produces, are bit-identical to
+    /// the lazy path; only the fill cost changes (see
+    /// `BENCH_pathfill.json`).
+    pub fn prefill(&mut self, topo: &Topology, paths: &PathTable, pairs: &[(NodeId, NodeId)]) {
+        let mut todo: Vec<(NodeId, NodeId)> = Vec::new();
+        let mut queued: std::collections::HashSet<(NodeId, NodeId)> =
+            std::collections::HashSet::new();
+        for &pair in pairs {
+            if !self.cache.contains_key(&pair) && queued.insert(pair) {
+                todo.push(pair);
+            }
+        }
+        if todo.is_empty() {
+            return;
+        }
+        let filled = crate::PathOracle::new(topo, self.policy).fill(&todo);
+        // One interning pass over every candidate of every pair (the
+        // table borrow is taken once), then slice the flat id list back
+        // into per-pair entries.
+        let ids = paths.intern_batch(
+            topo,
+            filled
+                .iter()
+                .flat_map(|cands| cands.iter().map(|p| p.nodes.as_slice())),
+        );
+        let mut cursor = ids.into_iter();
+        for (pair, candidates) in todo.into_iter().zip(filled) {
+            let ids: Vec<_> = cursor.by_ref().take(candidates.len()).collect();
+            self.cache.insert(pair, ids);
+        }
+    }
+
     /// Number of cached pairs.
     pub fn len(&self) -> usize {
         self.cache.len()

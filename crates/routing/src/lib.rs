@@ -21,6 +21,7 @@
 pub mod cache;
 pub mod lp_router;
 pub mod maxflow_router;
+pub mod oracle;
 pub mod pricing;
 pub mod shortest;
 pub mod silentwhispers;
@@ -30,6 +31,7 @@ pub mod waterfilling;
 pub use cache::{PathCache, PathPolicy};
 pub use lp_router::{LpSolverKind, SpiderLp};
 pub use maxflow_router::MaxFlow;
+pub use oracle::PathOracle;
 pub use pricing::{PricingConfig, SpiderPricing};
 pub use shortest::ShortestPath;
 pub use silentwhispers::SilentWhispers;

@@ -93,6 +93,18 @@ impl Router for SpiderPricing {
         "spider-pricing"
     }
 
+    fn wants_prewarm(&self) -> bool {
+        true
+    }
+
+    fn prewarm(
+        &mut self,
+        pairs: &[(spider_types::NodeId, spider_types::NodeId)],
+        view: &NetworkView<'_>,
+    ) {
+        self.cache.prefill(view.topo, view.paths, pairs);
+    }
+
     fn route(&mut self, req: &RouteRequest, view: &NetworkView<'_>) -> Vec<RouteProposal> {
         // Copy the (small) candidate id set so the cache borrow ends
         // before pricing, which borrows `self` immutably.

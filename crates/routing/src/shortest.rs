@@ -38,6 +38,18 @@ impl Router for ShortestPath {
         "shortest-path"
     }
 
+    fn wants_prewarm(&self) -> bool {
+        true
+    }
+
+    fn prewarm(
+        &mut self,
+        pairs: &[(spider_types::NodeId, spider_types::NodeId)],
+        view: &NetworkView<'_>,
+    ) {
+        self.cache.prefill(view.topo, view.paths, pairs);
+    }
+
     fn route(&mut self, req: &RouteRequest, view: &NetworkView<'_>) -> Vec<RouteProposal> {
         match self
             .cache

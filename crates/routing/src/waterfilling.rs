@@ -165,6 +165,18 @@ impl Router for SpiderWaterfilling {
         "spider-waterfilling"
     }
 
+    fn wants_prewarm(&self) -> bool {
+        true
+    }
+
+    fn prewarm(
+        &mut self,
+        pairs: &[(spider_types::NodeId, spider_types::NodeId)],
+        view: &NetworkView<'_>,
+    ) {
+        self.cache.prefill(view.topo, view.paths, pairs);
+    }
+
     fn route(&mut self, req: &RouteRequest, view: &NetworkView<'_>) -> Vec<RouteProposal> {
         let paths = self.cache.get(view.topo, view.paths, req.src, req.dst);
         if paths.is_empty() {

@@ -323,6 +323,16 @@ impl Simulation {
                 now: self.now,
             };
             self.router.initialize(&view);
+            // Hand the router the distinct pairs it will be asked to
+            // route, in first-arrival order (the order the lazy per-pair
+            // caches would have seen them), so candidate sets are
+            // precomputed in one batched pass instead of per pair on the
+            // routing hot path. Skipped when the scheme keeps the
+            // default no-op hook.
+            if self.router.wants_prewarm() {
+                let pairs = self.workload.distinct_pairs(Some(horizon));
+                self.router.prewarm(&pairs, &view);
+            }
         }
 
         while let Some(Reverse((t, _, id))) = self.events.pop() {

@@ -114,6 +114,39 @@ impl PathTable {
             .expect("path follows topology edges")
     }
 
+    /// Interns a batch of node paths known to follow topology edges,
+    /// holding the table borrow once across the whole batch instead of
+    /// re-borrowing per path. Used by the batched candidate-path oracle to
+    /// bulk-load worker-thread results; ids come back in input order, with
+    /// duplicates resolving to the same id exactly as
+    /// [`PathTable::intern`] would assign them one at a time.
+    pub fn intern_batch<'a>(
+        &self,
+        topo: &Topology,
+        seqs: impl IntoIterator<Item = &'a [NodeId]>,
+    ) -> Vec<PathId> {
+        let mut inner = self.inner.borrow_mut();
+        seqs.into_iter()
+            .map(|nodes| {
+                debug_assert!(!nodes.is_empty(), "cannot intern an empty path");
+                if let Some(&id) = inner.index.get(nodes) {
+                    return id;
+                }
+                let hops = topo
+                    .path_channels(nodes)
+                    .expect("path follows topology edges");
+                let id = PathId::from_index(inner.entries.len());
+                let nodes: Rc<[NodeId]> = Rc::from(nodes);
+                inner.entries.push(Rc::new(PathEntry {
+                    nodes: Rc::clone(&nodes),
+                    hops,
+                }));
+                inner.index.insert(nodes, id);
+                id
+            })
+            .collect()
+    }
+
     /// The entry for an interned id (a cheap `Rc` clone).
     #[inline]
     pub fn entry(&self, id: PathId) -> Rc<PathEntry> {
@@ -173,6 +206,28 @@ mod tests {
         let table = PathTable::new();
         assert!(table.try_intern(&t, &[n(0), n(2)]).is_err());
         assert!(table.is_empty());
+    }
+
+    #[test]
+    fn intern_batch_matches_one_at_a_time() {
+        let t = gen::line(4, Amount::from_xrp(10));
+        let batch_table = PathTable::new();
+        let seqs: Vec<Vec<NodeId>> = vec![
+            vec![n(0), n(1), n(2)],
+            vec![n(1), n(2)],
+            vec![n(0), n(1), n(2)], // duplicate
+            vec![n(3), n(2)],
+        ];
+        let batch_ids = batch_table.intern_batch(&t, seqs.iter().map(|s| s.as_slice()));
+        let one_table = PathTable::new();
+        let one_ids: Vec<PathId> = seqs.iter().map(|s| one_table.intern(&t, s)).collect();
+        assert_eq!(batch_ids, one_ids);
+        assert_eq!(batch_table.len(), one_table.len());
+        assert_eq!(batch_table.len(), 3, "duplicate dedups");
+        // A later batch sees earlier interning.
+        let more = batch_table.intern_batch(&t, [&seqs[1][..], &[n(2), n(3)][..]]);
+        assert_eq!(more[0], batch_ids[1]);
+        assert_eq!(batch_table.len(), 4);
     }
 
     #[test]

@@ -175,6 +175,24 @@ pub trait Router {
     /// Called once with the initial network state before any payment.
     fn initialize(&mut self, _view: &NetworkView<'_>) {}
 
+    /// True when this scheme implements [`Router::prewarm`]; the engine
+    /// only collects the workload's pair list when someone will use it.
+    /// Wrappers must forward to their inner scheme.
+    fn wants_prewarm(&self) -> bool {
+        false
+    }
+
+    /// Called once after [`Router::initialize`] with every distinct
+    /// `(src, dst)` pair the workload will route, in first-arrival order
+    /// — only when [`Router::wants_prewarm`] returns true. Schemes with
+    /// per-pair candidate caches warm them here in one batched,
+    /// per-source pass (`spider_routing::PathCache::prefill`) instead of
+    /// paying k BFS traversals per pair on the routing hot path. Purely a
+    /// performance hook: candidate sets (and outcomes) must be identical
+    /// with or without it. Wrappers must forward to their inner scheme.
+    /// Default: no-op.
+    fn prewarm(&mut self, _pairs: &[(NodeId, NodeId)], _view: &NetworkView<'_>) {}
+
     /// Proposes how to route `req.remaining`. Proposals are attempted in
     /// order; those that fail to lock are skipped (non-atomic) or abort the
     /// payment (atomic schemes).

@@ -179,6 +179,21 @@ impl Workload {
         Workload { txns }
     }
 
+    /// The distinct `(src, dst)` pairs of arrivals at or before `horizon`
+    /// (every arrival when `None`), in first-arrival order — the list
+    /// [`Simulation::run`](crate::Simulation::run) hands to
+    /// [`Router::prewarm`](crate::Router::prewarm), shared with the
+    /// pathfill benchmark so both measure the same fill.
+    pub fn distinct_pairs(&self, horizon: Option<SimTime>) -> Vec<(NodeId, NodeId)> {
+        let mut seen = std::collections::HashSet::new();
+        self.txns
+            .iter()
+            .filter(|t| horizon.is_none_or(|h| t.time <= h))
+            .map(|t| (t.src, t.dst))
+            .filter(|p| seen.insert(*p))
+            .collect()
+    }
+
     /// Total value of all transactions.
     pub fn total_volume(&self) -> Amount {
         self.txns.iter().map(|t| t.amount).sum()
@@ -312,6 +327,24 @@ mod tests {
         let mut rng = DetRng::new(9);
         let s = SizeDistribution::Constant { xrp: 2.5 };
         assert_eq!(s.sample(&mut rng), Amount::from_xrp_f64(2.5));
+    }
+
+    #[test]
+    fn distinct_pairs_first_arrival_order_and_horizon() {
+        let cfg = WorkloadConfig::small(300, 100.0);
+        let w = Workload::generate(6, &cfg, &mut DetRng::new(2));
+        let all = w.distinct_pairs(None);
+        // First-seen order, no duplicates.
+        let mut seen = std::collections::HashSet::new();
+        for p in &all {
+            assert!(seen.insert(*p), "duplicate pair {p:?}");
+        }
+        assert_eq!(all[0], (w.txns[0].src, w.txns[0].dst));
+        // A horizon cutting the workload keeps a prefix-subset.
+        let cut = w.txns[100].time;
+        let early = w.distinct_pairs(Some(cut));
+        assert!(early.len() <= all.len());
+        assert_eq!(early, all[..early.len()], "horizon keeps first-seen prefix");
     }
 
     #[test]

@@ -117,6 +117,73 @@ proptest! {
             "LP {lp} exceeded circulation bound {nu}");
     }
 
+    /// `PathCache::prefill` is purely a throughput change: over random
+    /// topologies, seeds, and every `PathPolicy`, prefilling a pair list
+    /// and then reading it back yields exactly the `PathId` sets the
+    /// purely lazy cache produces for the same get order, each path is
+    /// interned exactly once (table sizes match, and a second prefill or
+    /// the subsequent gets intern nothing new), and degenerate
+    /// `src == dst` pairs resolve to empty candidate sets.
+    #[test]
+    fn prefill_matches_lazy_path_cache(
+        seed in 0u64..400,
+        nodes in 4usize..24,
+        m in 1usize..3,
+        policy_idx in 0usize..3,
+        k in 1usize..5,
+        n_pairs in 1usize..24,
+    ) {
+        use spider_routing::{PathCache, PathPolicy};
+        use spider_sim::PathTable;
+        let mut rng = spider_types::DetRng::new(seed);
+        let topo = gen::barabasi_albert(nodes, m, Amount::from_xrp(100), &mut rng);
+        let policy = match policy_idx {
+            0 => PathPolicy::EdgeDisjoint(k),
+            1 => PathPolicy::KShortest(k),
+            _ => PathPolicy::Shortest,
+        };
+        // Random pairs, duplicates and self-pairs included.
+        let pairs: Vec<(NodeId, NodeId)> = (0..n_pairs)
+            .map(|_| {
+                (
+                    NodeId(rng.index(topo.node_count()) as u32),
+                    NodeId(rng.index(topo.node_count()) as u32),
+                )
+            })
+            .collect();
+
+        let lazy_table = PathTable::new();
+        let mut lazy = PathCache::new(policy);
+        let lazy_ids: Vec<Vec<_>> = pairs
+            .iter()
+            .map(|&(s, d)| lazy.get(&topo, &lazy_table, s, d).to_vec())
+            .collect();
+
+        let table = PathTable::new();
+        let mut warm = PathCache::new(policy);
+        warm.prefill(&topo, &table, &pairs);
+        let interned_after_prefill = table.len();
+        prop_assert_eq!(interned_after_prefill, lazy_table.len(), "same distinct paths");
+        // Idempotent: nothing new to compute or intern.
+        warm.prefill(&topo, &table, &pairs);
+        prop_assert_eq!(table.len(), interned_after_prefill);
+        for (&(s, d), want) in pairs.iter().zip(&lazy_ids) {
+            let got = warm.get(&topo, &table, s, d).to_vec();
+            prop_assert_eq!(&got, want, "pair {}->{}", s, d);
+            // Equal ids from two independently-interned tables do not by
+            // themselves prove equal paths — resolve and compare.
+            for (&g, &w) in got.iter().zip(want) {
+                let ge = table.entry(g);
+                let we = lazy_table.entry(w);
+                prop_assert_eq!(ge.nodes(), we.nodes(), "pair {}->{}", s, d);
+            }
+            if s == d && policy != PathPolicy::Shortest {
+                prop_assert!(got.is_empty(), "degenerate pair has no candidates");
+            }
+        }
+        prop_assert_eq!(table.len(), interned_after_prefill, "gets are pure lookups");
+    }
+
     /// Yen's paths are simple, ordered by length, and within k.
     #[test]
     fn yen_path_invariants(seed in 0u64..500, k in 1usize..6) {
