@@ -244,6 +244,7 @@ fn bench_end_to_end(c: &mut Criterion) {
             ..SimConfig::default()
         },
         scheme: SchemeConfig::SpiderWaterfilling { paths: 4 },
+        dynamics: None,
         seed: 1,
     };
     c.bench_function("sim_1k_payments_isp", |b| {

@@ -1,0 +1,135 @@
+//! Scheme resilience under live topology churn (`spider-dynamics`).
+//!
+//! Runs every registered scheme ([`SchemeConfig::extended_lineup`]) on the
+//! ISP and Ripple-like topologies across a sweep of churn intensities
+//! (`0 ×` = the paper's frozen snapshot, then increasingly violent
+//! schedules of channel closes/reopens, capacity resizes, node
+//! leave/join cycles, mid-run channel spawns and flap traces), all on the
+//! identical workload and seed per topology, fanned through
+//! [`run_sweep`].
+//!
+//! Output: the usual `FigureRow` CSV/JSONL schema (`parameter =
+//! churn_intensity`), plus per-run disruption detail on stderr — units
+//! failed back by closes, payments that never recovered, and the
+//! time-to-recover throughput after each event
+//! ([`SimReport::churn_recovery_times`]).
+//!
+//! Expected shape: cache-repairing schemes (waterfilling, shortest-path,
+//! pricing, the §5 protocol) degrade gracefully with intensity, while the
+//! static offline schemes (Spider (LP), SilentWhispers, SpeedyMurmurs —
+//! whose precomputed state this bin deliberately leaves unrepaired) fall
+//! off faster; that gap *is* the value of incremental repair.
+//!
+//! ```sh
+//! cargo run --release -p spider-bench --bin churn_resilience -- --out out
+//! cargo run --release -p spider-bench --bin churn_resilience -- --smoke --out out  # CI
+//! ```
+
+use spider_bench::{emit, isp_experiment, ripple_experiment, HarnessArgs};
+use spider_core::output::FigureRow;
+use spider_core::{run_sweep, ExperimentConfig, SchemeConfig, SweepJob};
+use spider_dynamics::DynamicsConfig;
+use spider_sim::SimReport;
+
+/// The base (1×) churn schedule the intensity knob scales.
+fn base_dynamics(horizon_secs: f64) -> DynamicsConfig {
+    DynamicsConfig {
+        close_rate_per_sec: 0.4,
+        reopen_mean_secs: Some(3.0),
+        resize_rate_per_sec: 0.2,
+        resize_factor_range: [0.5, 2.0],
+        node_leave_rate_per_sec: 0.04,
+        spawn_fraction: 0.04,
+        flap_channels: 2,
+        flap_period_secs: 5.0,
+        horizon_secs,
+    }
+}
+
+fn scaled_experiment(base: &ExperimentConfig, intensity: f64) -> ExperimentConfig {
+    let horizon = base.sim.horizon.as_secs_f64();
+    ExperimentConfig {
+        dynamics: (intensity > 0.0).then(|| base_dynamics(horizon).scaled(intensity)),
+        ..base.clone()
+    }
+}
+
+fn report_detail(r: &SimReport, intensity: f64) {
+    if r.topology_events == 0 {
+        return;
+    }
+    let recoveries = r.churn_recovery_times(3, 0.9);
+    let recovered: Vec<f64> = recoveries.iter().flatten().copied().collect();
+    let mean_recovery = if recovered.is_empty() {
+        f64::NAN
+    } else {
+        recovered.iter().sum::<f64>() / recovered.len() as f64
+    };
+    eprintln!(
+        "  {:<22} x{intensity}: events={} closed={} opened={} resized={} \
+         units_churn_dropped={} payments_failed_churn={} mean_recovery_s={:.1} unrecovered={}",
+        r.scheme,
+        r.topology_events,
+        r.churn_channels_closed,
+        r.churn_channels_opened,
+        r.churn_channels_resized,
+        r.units_dropped_churn,
+        r.payments_failed_churn,
+        mean_recovery,
+        recoveries.iter().filter(|t| t.is_none()).count(),
+    );
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let intensities = [0.0, 0.5, 1.0, 2.0];
+    let schemes = SchemeConfig::extended_lineup();
+    let mut rows: Vec<FigureRow> = Vec::new();
+
+    for (label, mut base) in [
+        ("churn-isp", isp_experiment(4_000, args.full, args.seed)),
+        (
+            "churn-ripple",
+            ripple_experiment(4_000, args.full, args.seed),
+        ),
+    ] {
+        if args.smoke {
+            // CI scale: a few seconds per topology while still firing
+            // real churn through every scheme.
+            base.workload.count = 800;
+            base.sim.horizon =
+                spider_types::SimDuration::from_secs_f64(800.0 / base.workload.rate_per_sec + 1.0);
+            if let spider_core::TopologyConfig::RippleLike { nodes, .. } = &mut base.topology {
+                *nodes = 120;
+            }
+        }
+        eprintln!(
+            "running {label} ({} txns, {} schemes x {} intensities)…",
+            base.workload.count,
+            schemes.len(),
+            intensities.len()
+        );
+        let base = &base;
+        let jobs: Vec<SweepJob> = intensities
+            .iter()
+            .flat_map(|&i| {
+                schemes.iter().map(move |&scheme| {
+                    SweepJob::Scheme(ExperimentConfig {
+                        scheme,
+                        ..scaled_experiment(base, i)
+                    })
+                })
+            })
+            .collect();
+        let reports = run_sweep(&jobs).expect("experiments run");
+        for (j, r) in reports.iter().enumerate() {
+            let intensity = intensities[j / schemes.len()];
+            let row = FigureRow::new(label, "churn_intensity", intensity, r);
+            println!("{}", spider_core::output::to_csv_row(&row));
+            report_detail(r, intensity);
+            rows.push(row);
+        }
+    }
+
+    emit("churn_resilience", &rows, &args.out_dir);
+}

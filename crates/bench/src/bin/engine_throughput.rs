@@ -73,6 +73,7 @@ fn isp_base(count: usize, seed: u64) -> ExperimentConfig {
             ..SimConfig::default()
         },
         scheme: SchemeConfig::ShortestPath,
+        dynamics: None,
         seed,
     }
 }
@@ -96,6 +97,7 @@ fn ripple_base(count: usize, seed: u64) -> ExperimentConfig {
             ..SimConfig::default()
         },
         scheme: SchemeConfig::ShortestPath,
+        dynamics: None,
         seed,
     }
 }
@@ -139,7 +141,7 @@ fn cases(seed: u64, quick: bool) -> Vec<BenchCase> {
             mode: "per-channel-fifo",
             cfg: with_scheme(
                 isp_base(isp_count, seed),
-                SchemeConfig::SpiderProtocol { paths: 4 },
+                SchemeConfig::spider_protocol(4),
                 true,
             ),
         },
@@ -161,7 +163,7 @@ fn cases(seed: u64, quick: bool) -> Vec<BenchCase> {
             mode: "per-channel-fifo",
             cfg: with_scheme(
                 ripple_base(ripple_count, seed),
-                SchemeConfig::SpiderProtocol { paths: 4 },
+                SchemeConfig::spider_protocol(4),
                 true,
             ),
         });

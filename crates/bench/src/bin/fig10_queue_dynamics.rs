@@ -1,26 +1,33 @@
-//! Fig. 10-style queue dynamics: per-channel router-queue depths over
-//! time under the §5 decentralized protocol.
+//! Fig. 10-style queue dynamics: per-channel router-queue depths **and
+//! delivered throughput on the same time axis**, for the §5 decentralized
+//! protocol against the windowed transport baselines.
 //!
 //! The paper's Fig. 10 shows how Spider's router queues build and drain
 //! as the price signal steers senders away from congested channels. This
-//! bin runs `spider-protocol` on the capacity-constrained ISP topology
-//! with [`QueueConfig::sample_queue_depths`] enabled and emits the
-//! recorded [`SimReport::queue_depth_series`] as a time series: one row
-//! per simulated second with the total queued units, plus the depth of
-//! the eight channels with the highest peak depth (named by their
-//! endpoint pair).
+//! bin runs three schemes on the identical capacity-constrained ISP
+//! workload with [`QueueConfig::sample_queue_depths`] enabled:
+//!
+//! * `spider-protocol` — queues + marking + per-path AIMD;
+//! * `shortest-path+window` — the coarse per-pair AIMD window, same
+//!   queueing mode (the controller the protocol replaces);
+//! * `spider-waterfilling+window` — the balance-probing upper baseline.
+//!
+//! and emits one row per simulated second: each scheme's delivered XRP/s
+//! (`SimReport::throughput_series`) and total queued units, plus the
+//! depth of the protocol run's eight busiest channels (by peak depth,
+//! named by endpoint pair). Overlaying throughput on the queue axis is
+//! what shows the §5 story: queues absorb bursts *without* a throughput
+//! collapse, while the marking feedback keeps them bounded.
 //!
 //! ```sh
 //! cargo run --release -p spider-bench --bin fig10_queue_dynamics -- --out out
 //! # writes out/fig10_queue_dynamics.csv (+ .jsonl)
 //! ```
-//!
-//! Expected shape: queues grow during the initial pricing transient, then
-//! oscillate around a modest level instead of diverging — the marking
-//! feedback keeps them bounded while throughput stays high.
 
 use spider_bench::HarnessArgs;
-use spider_core::{ExperimentConfig, SchemeConfig, TopologyConfig};
+use spider_core::congestion::{WindowConfig, Windowed};
+use spider_core::{run_sweep, ExperimentConfig, SchemeConfig, SweepJob, TopologyConfig};
+use spider_routing::{ShortestPath, SpiderWaterfilling};
 use spider_sim::{QueueConfig, QueueingMode, SimConfig, SizeDistribution, WorkloadConfig};
 use spider_types::{Amount, SimDuration};
 use std::fmt::Write as _;
@@ -53,24 +60,48 @@ fn main() {
             queueing: QueueingMode::PerChannelFifo(qc),
             ..SimConfig::default()
         },
-        scheme: SchemeConfig::SpiderProtocol { paths: 4 },
+        scheme: SchemeConfig::spider_protocol(4),
+        dynamics: None,
         seed: args.seed,
     };
-    eprintln!(
-        "running spider-protocol on isp (capacity 4,000 XRP, {count} txns, queue sampling on)…"
-    );
+    eprintln!("running 3 schemes on isp (capacity 4,000 XRP, {count} txns, queue sampling on)…");
     let topo = cfg
         .topology
         .build(&spider_types::DetRng::new(cfg.seed))
         .expect("topology builds");
-    let report = cfg.run().expect("experiment runs");
-    let series = &report.queue_depth_series;
+    let names = [
+        "spider-protocol",
+        "shortest-path+window",
+        "spider-waterfilling+window",
+    ];
+    let jobs = vec![
+        SweepJob::Scheme(cfg.clone()),
+        SweepJob::Custom {
+            cfg: cfg.clone(),
+            build: Box::new(|| {
+                Box::new(Windowed::new(ShortestPath::new(), WindowConfig::default()))
+            }),
+        },
+        SweepJob::Custom {
+            cfg: cfg.clone(),
+            build: Box::new(|| {
+                Box::new(Windowed::new(
+                    SpiderWaterfilling::new(4),
+                    WindowConfig::default(),
+                ))
+            }),
+        },
+    ];
+    let reports = run_sweep(&jobs).expect("experiments run");
+    let protocol = &reports[0];
+    let series = &protocol.queue_depth_series;
     assert!(
         !series.is_empty(),
         "queue depth sampling must produce samples"
     );
 
-    // The eight busiest channels by peak depth carry the story.
+    // The protocol run's eight busiest channels by peak depth carry the
+    // story.
     let n_channels = series[0].len();
     let mut peak: Vec<(u32, usize)> = (0..n_channels)
         .map(|c| (series.iter().map(|s| s[c]).max().unwrap_or(0), c))
@@ -81,35 +112,64 @@ fn main() {
         let ch = topo.channel(spider_types::ChannelId::from_index(c));
         format!("{}-{}", ch.u, ch.v)
     };
+    let col = |scheme: &str| scheme.replace(['-', '+'], "_");
 
-    let mut csv = String::from("t_s,total_queued");
+    // One row per second, all three schemes on the same time axis.
+    let rows = reports
+        .iter()
+        .map(|r| {
+            r.throughput_series
+                .len()
+                .max(r.queue_occupancy_series.len())
+        })
+        .max()
+        .unwrap_or(0)
+        .max(series.len());
+    let mut csv = String::from("t_s");
+    for n in names {
+        write!(csv, ",thrpt_xrp_{0},queued_units_{0}", col(n)).expect("write header");
+    }
     for &c in &top {
         write!(csv, ",depth_{}", name(c)).expect("write header");
     }
     csv.push('\n');
     let mut jsonl = String::new();
-    for (t, sample) in series.iter().enumerate() {
-        let total: u64 = sample.iter().map(|&d| d as u64).sum();
-        write!(csv, "{t},{total}").expect("write row");
-        write!(jsonl, "{{\"t_s\":{t},\"total_queued\":{total}").expect("write row");
+    for t in 0..rows {
+        write!(csv, "{t}").expect("write row");
+        write!(jsonl, "{{\"t_s\":{t}").expect("write row");
+        for (n, r) in names.iter().zip(&reports) {
+            let thrpt = r.throughput_series.get(t).copied().unwrap_or(0.0);
+            let queued = r.queue_occupancy_series.get(t).copied().unwrap_or(0.0);
+            write!(csv, ",{thrpt:.1},{queued:.0}").expect("write row");
+            write!(
+                jsonl,
+                ",\"thrpt_xrp_{0}\":{thrpt:.1},\"queued_units_{0}\":{queued:.0}",
+                col(n)
+            )
+            .expect("write row");
+        }
+        let sample = series.get(t);
         for &c in &top {
-            write!(csv, ",{}", sample[c]).expect("write row");
-            write!(jsonl, ",\"{}\":{}", name(c), sample[c]).expect("write row");
+            let depth = sample.map(|s| s[c]).unwrap_or(0);
+            write!(csv, ",{depth}").expect("write row");
+            write!(jsonl, ",\"{}\":{depth}", name(c)).expect("write row");
         }
         csv.push('\n');
         jsonl.push_str("}\n");
     }
     print!("{csv}");
-    eprintln!(
-        "success ratio {:.3}, marking rate {:.3}, peak total queued {}",
-        report.success_ratio(),
-        report.marking_rate(),
-        series
-            .iter()
-            .map(|s| s.iter().map(|&d| d as u64).sum::<u64>())
-            .max()
-            .unwrap_or(0),
-    );
+    for (n, r) in names.iter().zip(&reports) {
+        eprintln!(
+            "{n}: success ratio {:.3}, marking rate {:.3}, peak total queued {}",
+            r.success_ratio(),
+            r.marking_rate(),
+            r.queue_occupancy_series
+                .iter()
+                .map(|&d| d as u64)
+                .max()
+                .unwrap_or(0),
+        );
+    }
     if let Some(dir) = &args.out_dir {
         std::fs::create_dir_all(dir).expect("create output directory");
         std::fs::write(dir.join("fig10_queue_dynamics.csv"), &csv).expect("write csv");

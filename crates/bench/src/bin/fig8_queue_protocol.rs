@@ -21,13 +21,53 @@
 //!
 //! Emits the same CSV/JSONL `FigureRow` schema as `fig6_success`, so
 //! results are machine-comparable across PRs.
+//!
+//! `SPIDER_FIG8_SWEEP=1` additionally sweeps the protocol's AIMD step
+//! parameters (`SchemeConfig::SpiderProtocol { tuning }`) on the ISP
+//! topology — a (increase × decrease-factor) grid emitted as
+//! `fig8_aimd_sweep` rows, the first step on the ROADMAP
+//! rate-control-tuning item.
 
 use spider_bench::{emit, isp_experiment, ripple_experiment, HarnessArgs};
 use spider_core::congestion::{WindowConfig, Windowed};
 use spider_core::output::FigureRow;
-use spider_core::{run_sweep, SchemeConfig, SweepJob};
+use spider_core::scheme::ProtocolTuning;
+use spider_core::{run_sweep, ExperimentConfig, SchemeConfig, SweepJob};
 use spider_routing::{ShortestPath, SpiderWaterfilling};
 use spider_sim::{QueueConfig, QueueingMode};
+
+/// The AIMD (additive increase XRP × multiplicative decrease) grid swept
+/// by `SPIDER_FIG8_SWEEP=1`, bracketing the defaults (10, 0.7).
+const SWEEP_INCREASE_XRP: [f64; 3] = [5.0, 10.0, 20.0];
+const SWEEP_DECREASE: [f64; 3] = [0.5, 0.7, 0.9];
+
+fn aimd_sweep(base: &ExperimentConfig, rows: &mut Vec<FigureRow>) {
+    let mut jobs = Vec::new();
+    let mut labels = Vec::new();
+    for inc in SWEEP_INCREASE_XRP {
+        for dec in SWEEP_DECREASE {
+            let mut cfg = base.clone();
+            cfg.scheme = SchemeConfig::SpiderProtocol {
+                paths: 4,
+                tuning: Some(ProtocolTuning {
+                    increase_xrp: Some(inc),
+                    decrease_factor: Some(dec),
+                    ..ProtocolTuning::default()
+                }),
+            };
+            jobs.push(SweepJob::Scheme(cfg));
+            labels.push((inc, dec));
+        }
+    }
+    eprintln!("sweeping {} AIMD settings on fig8-isp…", jobs.len());
+    let reports = run_sweep(&jobs).expect("sweep runs");
+    for ((inc, dec), mut r) in labels.into_iter().zip(reports) {
+        r.scheme = format!("spider-protocol[i{inc},d{dec}]");
+        let row = FigureRow::new("fig8-aimd-isp", "aimd_increase_xrp", inc, &r);
+        println!("{}", spider_core::output::to_csv_row(&row));
+        rows.push(row);
+    }
+}
 
 fn main() {
     let only = std::env::var("SPIDER_FIG8_ONLY").ok();
@@ -55,7 +95,7 @@ fn main() {
         // AIMD-window baselines in the same queueing mode; 4. plain
         // lockstep shortest-path for reference.
         let mut protocol_cfg = queued.clone();
-        protocol_cfg.scheme = SchemeConfig::SpiderProtocol { paths: 4 };
+        protocol_cfg.scheme = SchemeConfig::spider_protocol(4);
         let mut plain = base.clone();
         plain.scheme = SchemeConfig::ShortestPath;
         let names = [
@@ -100,6 +140,12 @@ fn main() {
                 );
             }
             rows.push(row);
+        }
+
+        if label == "fig8-isp" && std::env::var("SPIDER_FIG8_SWEEP").is_ok() {
+            let mut sweep_rows = Vec::new();
+            aimd_sweep(&queued, &mut sweep_rows);
+            emit("fig8_aimd_sweep", &sweep_rows, &args.out_dir);
         }
     }
 

@@ -37,6 +37,9 @@ use std::path::PathBuf;
 pub struct HarnessArgs {
     /// Paper-scale parameters (200k / 75k transactions, full Ripple size).
     pub full: bool,
+    /// CI-smoke scale: tiny workloads that finish in seconds while still
+    /// exercising every code path and output schema.
+    pub smoke: bool,
     /// Master seed.
     pub seed: u64,
     /// Where to write CSV/JSONL outputs (also printed to stdout).
@@ -44,10 +47,12 @@ pub struct HarnessArgs {
 }
 
 impl HarnessArgs {
-    /// Parses `--full`, `--seed N`, `--out DIR` from `std::env::args`.
+    /// Parses `--full`, `--smoke`, `--seed N`, `--out DIR` from
+    /// `std::env::args`.
     pub fn parse() -> Self {
         let mut args = HarnessArgs {
             full: false,
+            smoke: false,
             seed: 42,
             out_dir: None,
         };
@@ -55,6 +60,7 @@ impl HarnessArgs {
         while let Some(a) = iter.next() {
             match a.as_str() {
                 "--full" => args.full = true,
+                "--smoke" => args.smoke = true,
                 "--seed" => {
                     args.seed = iter
                         .next()
@@ -65,7 +71,7 @@ impl HarnessArgs {
                     args.out_dir = Some(PathBuf::from(iter.next().expect("--out requires a path")));
                 }
                 "--help" | "-h" => {
-                    eprintln!("options: --full  --seed N  --out DIR");
+                    eprintln!("options: --full  --smoke  --seed N  --out DIR");
                     std::process::exit(0);
                 }
                 other => {
@@ -112,6 +118,7 @@ pub fn isp_experiment(capacity_xrp: u64, full: bool, seed: u64) -> ExperimentCon
             ..SimConfig::default()
         },
         scheme: SchemeConfig::ShortestPath, // overridden per run
+        dynamics: None,
         seed,
     }
 }
@@ -147,6 +154,7 @@ pub fn ripple_experiment(capacity_xrp: u64, full: bool, seed: u64) -> Experiment
             ..SimConfig::default()
         },
         scheme: SchemeConfig::ShortestPath,
+        dynamics: None,
         seed,
     }
 }

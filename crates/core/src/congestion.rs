@@ -156,6 +156,12 @@ impl<R: Router> Router for Windowed<R> {
         self.inner.prewarm(pairs, view);
     }
 
+    fn on_topology_change(&mut self, update: &spider_sim::TopologyUpdate, view: &NetworkView<'_>) {
+        // Windowing is per-pair, not per-path: the windows stay valid
+        // across path-set changes, only the inner scheme needs repair.
+        self.inner.on_topology_change(update, view);
+    }
+
     fn route(&mut self, req: &RouteRequest, view: &NetworkView<'_>) -> Vec<RouteProposal> {
         let window = self.window(req.src, req.dst);
         let clamped = RouteRequest {

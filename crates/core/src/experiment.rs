@@ -2,6 +2,7 @@
 
 use crate::scheme::SchemeConfig;
 use serde::{Deserialize, Serialize};
+use spider_dynamics::{ChurnSchedule, DynamicsConfig};
 use spider_paygraph::PaymentGraph;
 use spider_sim::{SimConfig, SimReport, Simulation, Workload, WorkloadConfig};
 use spider_topology::{analysis, gen, Topology};
@@ -116,6 +117,11 @@ pub struct ExperimentConfig {
     pub sim: SimConfig,
     /// The routing scheme under test.
     pub scheme: SchemeConfig,
+    /// Optional topology churn: a deterministic schedule of channel
+    /// open/close/resize and node leave/join events generated from this
+    /// config (via the `dynamics` fork of the experiment RNG) and applied
+    /// mid-run. `None` = the paper's frozen-snapshot evaluation.
+    pub dynamics: Option<DynamicsConfig>,
     /// Master seed; every random choice derives from it.
     pub seed: u64,
 }
@@ -129,6 +135,7 @@ impl Default for ExperimentConfig {
             workload: WorkloadConfig::small(1_000, 200.0),
             sim: SimConfig::default(),
             scheme: SchemeConfig::SpiderWaterfilling { paths: 4 },
+            dynamics: None,
             seed: 0,
         }
     }
@@ -171,9 +178,20 @@ impl ExperimentConfig {
             .scheme
             .build(&topo, &demands, self.sim.confirmation_delay.as_secs_f64());
         let mut sim = Simulation::new(topo, workload, router, self.effective_sim())?;
+        self.install_dynamics(&mut sim, &rng)?;
         let report = sim.run();
         sim.check_conservation();
         Ok(report)
+    }
+
+    /// Generates and installs the churn schedule, when configured.
+    fn install_dynamics(&self, sim: &mut Simulation, rng: &DetRng) -> Result<()> {
+        if let Some(dyn_cfg) = &self.dynamics {
+            let mut drng = rng.fork("dynamics");
+            let schedule = ChurnSchedule::generate(sim.topology(), dyn_cfg, &mut drng)?;
+            sim.set_topology_events(schedule.events);
+        }
+        Ok(())
     }
 
     /// Runs the experiment's topology and workload against a caller-built
@@ -186,6 +204,7 @@ impl ExperimentConfig {
         let mut wrng = rng.fork("workload");
         let workload = Workload::generate(topo.node_count(), &self.workload, &mut wrng);
         let mut sim = Simulation::new(topo, workload, router, self.sim.clone())?;
+        self.install_dynamics(&mut sim, &rng)?;
         let report = sim.run();
         sim.check_conservation();
         Ok(report)
@@ -332,6 +351,7 @@ mod tests {
             workload: WorkloadConfig::small(300, 100.0),
             sim: quick_sim(),
             scheme: SchemeConfig::SpiderWaterfilling { paths: 4 },
+            dynamics: None,
             seed: 1,
         }
         .run()
@@ -355,6 +375,7 @@ mod tests {
             workload: WorkloadConfig::small(300, 150.0),
             sim: quick_sim(),
             scheme: SchemeConfig::ShortestPath,
+            dynamics: None,
             seed: 9,
         };
         let a = cfg.run().unwrap();
@@ -376,6 +397,7 @@ mod tests {
             workload,
             sim: quick_sim(),
             scheme: SchemeConfig::ShortestPath,
+            dynamics: None,
             seed: 1,
         };
         let a = base.run().unwrap();
@@ -393,6 +415,7 @@ mod tests {
             workload: WorkloadConfig::small(200, 100.0),
             sim: quick_sim(),
             scheme: SchemeConfig::ShortestPath,
+            dynamics: None,
             seed: 5,
         };
         let reports = cfg
@@ -417,6 +440,7 @@ mod tests {
             workload: WorkloadConfig::small(200, 100.0),
             sim: quick_sim(),
             scheme: SchemeConfig::ShortestPath,
+            dynamics: None,
             seed: 0,
         };
         let seeds = [3u64, 11];

@@ -32,4 +32,4 @@ pub mod output;
 pub mod scheme;
 
 pub use experiment::{run_sweep, seed_scheme_grid, ExperimentConfig, SweepJob, TopologyConfig};
-pub use scheme::SchemeConfig;
+pub use scheme::{ProtocolTuning, SchemeConfig};

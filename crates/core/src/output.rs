@@ -132,6 +132,13 @@ mod tests {
             units_marked: 0,
             units_dropped: 0,
             units_queued: 0,
+            topology_events: 0,
+            churn_channels_closed: 0,
+            churn_channels_opened: 0,
+            churn_channels_resized: 0,
+            units_dropped_churn: 0,
+            payments_failed_churn: 0,
+            topology_event_times_s: vec![],
             queue_delay_sum_s: 0.0,
             completion_times: vec![0.5, 0.7],
             throughput_series: vec![],

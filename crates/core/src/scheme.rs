@@ -2,13 +2,14 @@
 
 use serde::{Deserialize, Serialize};
 use spider_paygraph::PaymentGraph;
-use spider_protocol::ProtocolRouter;
+use spider_protocol::{ProtocolConfig, ProtocolRouter, RateConfig};
 use spider_routing::{
     LpSolverKind, MaxFlow, ShortestPath, SilentWhispers, SpeedyMurmurs, SpiderLp,
     SpiderWaterfilling,
 };
 use spider_sim::Router;
 use spider_topology::Topology;
+use spider_types::Amount;
 
 /// Which offline solver Spider (LP) uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -31,8 +32,59 @@ impl From<LpSolver> for LpSolverKind {
     }
 }
 
+/// Overrides for the `spider-protocol` sender tunables (AIMD window steps
+/// and price smoothing). Every field is optional; `None` keeps the
+/// defaults of [`RateConfig`]/[`ProtocolConfig`], and omitted fields
+/// deserialize as `None`, so configs written before these knobs existed
+/// keep their meaning.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ProtocolTuning {
+    /// Initial per-path AIMD window, XRP.
+    pub initial_window_xrp: Option<f64>,
+    /// Additive window increase per clean delivered ack, XRP.
+    pub increase_xrp: Option<f64>,
+    /// Multiplicative decrease factor on a marked/failed ack (0 < f < 1).
+    pub decrease_factor: Option<f64>,
+    /// Window floor, XRP.
+    pub min_window_xrp: Option<f64>,
+    /// Window ceiling, XRP.
+    pub max_window_xrp: Option<f64>,
+    /// EWMA weight of each new path-price observation (0 < γ ≤ 1).
+    pub price_gamma: Option<f64>,
+    /// Price attributed to a dropped unit.
+    pub nack_price: Option<f64>,
+}
+
+impl ProtocolTuning {
+    /// The `spider-protocol` sender configuration with these overrides
+    /// applied on top of the defaults.
+    pub fn to_config(self) -> ProtocolConfig {
+        let mut cfg = ProtocolConfig::default();
+        let rate = RateConfig::default();
+        let amt =
+            |xrp: Option<f64>, default: Amount| xrp.map(Amount::from_xrp_f64).unwrap_or(default);
+        cfg.rate = RateConfig {
+            initial_window: amt(self.initial_window_xrp, rate.initial_window),
+            increase: amt(self.increase_xrp, rate.increase),
+            decrease_factor: self.decrease_factor.unwrap_or(rate.decrease_factor),
+            min_window: amt(self.min_window_xrp, rate.min_window),
+            max_window: amt(self.max_window_xrp, rate.max_window),
+        };
+        if let Some(g) = self.price_gamma {
+            cfg.price_gamma = g;
+        }
+        if let Some(p) = self.nack_price {
+            cfg.nack_price = p;
+        }
+        cfg
+    }
+}
+
 /// A routing scheme, as configured in an experiment file.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// (`Eq` ended with the `f64` protocol tunables; `PartialEq` remains for
+/// config round-trip checks.)
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum SchemeConfig {
     /// Spider (Waterfilling) over `paths` edge-disjoint paths.
     SpiderWaterfilling {
@@ -73,10 +125,20 @@ pub enum SchemeConfig {
     SpiderProtocol {
         /// Candidate edge-disjoint paths per pair (paper: 4).
         paths: usize,
+        /// Optional AIMD/price tunable overrides (`None` = defaults).
+        tuning: Option<ProtocolTuning>,
     },
 }
 
 impl SchemeConfig {
+    /// The §5 protocol scheme with default tunables (the common case).
+    pub fn spider_protocol(paths: usize) -> SchemeConfig {
+        SchemeConfig::SpiderProtocol {
+            paths,
+            tuning: None,
+        }
+    }
+
     /// The paper's six-scheme lineup (Fig. 6 legend order).
     pub fn paper_lineup() -> Vec<SchemeConfig> {
         vec![
@@ -96,7 +158,7 @@ impl SchemeConfig {
     pub fn extended_lineup() -> Vec<SchemeConfig> {
         let mut v = Self::paper_lineup();
         v.push(SchemeConfig::SpiderPricing { paths: 4 });
-        v.push(SchemeConfig::SpiderProtocol { paths: 4 });
+        v.push(SchemeConfig::spider_protocol(4));
         v
     }
 
@@ -141,7 +203,10 @@ impl SchemeConfig {
             SchemeConfig::SpiderPricing { paths } => {
                 Box::new(spider_routing::SpiderPricing::new(paths))
             }
-            SchemeConfig::SpiderProtocol { paths } => Box::new(ProtocolRouter::new(paths)),
+            SchemeConfig::SpiderProtocol { paths, tuning } => Box::new(match tuning {
+                Some(t) => ProtocolRouter::with_config(paths, t.to_config()),
+                None => ProtocolRouter::new(paths),
+            }),
         }
     }
 }
@@ -191,7 +256,7 @@ mod tests {
     fn protocol_scheme_builds_and_is_nonatomic() {
         let topo = gen::paper_example_topology(Amount::from_xrp(1000));
         let demands = spider_paygraph::examples::paper_example_demands();
-        let cfg = SchemeConfig::SpiderProtocol { paths: 4 };
+        let cfg = SchemeConfig::spider_protocol(4);
         let router = cfg.build(&topo, &demands, 0.5);
         assert_eq!(router.name(), "spider-protocol");
         assert!(!router.atomic());

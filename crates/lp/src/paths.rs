@@ -25,6 +25,11 @@ use spider_topology::Topology;
 use spider_types::{ChannelId, Direction, NodeId};
 use std::collections::HashSet;
 
+// (Channel liveness: every oracle in this module searches only *enabled*
+// channels — see [`CsrGraph::set_channel_enabled`] — so candidate sets on
+// a churned network are exactly what a cold build over the live subgraph
+// would produce, without reflattening anything.)
+
 /// A loop-free path through the topology (node sequence, both endpoints
 /// included).
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -125,6 +130,14 @@ pub struct CsrGraph {
     hub_row: Vec<u32>,
     /// Adjacency bitset rows of high-degree nodes.
     hub_bits: Vec<u64>,
+    /// Channels disabled by topology churn (bitset by channel id). The
+    /// CSR arrays are never reflattened; every search tier checks this
+    /// mask (hub rows have the endpoint bits of disabled edges cleared,
+    /// so whole-word ORs stay exact for free).
+    disabled_bits: Vec<u64>,
+    /// Per node: how many of its incident channels are disabled (powers
+    /// the check-free row tier and the hub feasibility shortcut).
+    disabled_deg: Vec<u32>,
 }
 
 impl CsrGraph {
@@ -156,6 +169,7 @@ impl CsrGraph {
             }
             offsets.push(entries.len() as u32);
         }
+        let n_channels = topo.channel_count();
         CsrGraph {
             offsets,
             entries,
@@ -163,7 +177,65 @@ impl CsrGraph {
             words,
             hub_row,
             hub_bits,
+            disabled_bits: vec![0; n_channels.div_ceil(64)],
+            disabled_deg: vec![0; n],
         }
+    }
+
+    /// Enables or disables one channel in O(1) — no reflattening. A
+    /// disabled channel is invisible to every oracle rooted on this graph:
+    /// CSR-row sweeps skip it, hub bitset rows have its endpoint bits
+    /// cleared, feasibility probes discount it. Results over the enabled
+    /// subgraph are bit-identical (as node sequences) to a cold build of
+    /// the filtered topology.
+    pub fn set_channel_enabled(&mut self, topo: &Topology, c: ChannelId, enabled: bool) {
+        let ci = c.index() as u32;
+        let currently_enabled = !bit_get(&self.disabled_bits, ci);
+        if currently_enabled == enabled {
+            return;
+        }
+        let ch = topo.channel(c);
+        let (u, v) = (ch.u.0, ch.v.0);
+        if enabled {
+            bit_clear(&mut self.disabled_bits, ci);
+            self.disabled_deg[u as usize] -= 1;
+            self.disabled_deg[v as usize] -= 1;
+        } else {
+            bit_set(&mut self.disabled_bits, ci);
+            self.disabled_deg[u as usize] += 1;
+            self.disabled_deg[v as usize] += 1;
+        }
+        // Keep hub bitset rows exact: cleared bits mean whole-word ORs can
+        // never traverse a disabled edge, so no per-search correction is
+        // ever needed for liveness.
+        for (a, b) in [(u, v), (v, u)] {
+            let off = self.hub_row[a as usize];
+            if off != u32::MAX {
+                let row = &mut self.hub_bits[off as usize..off as usize + self.words];
+                if enabled {
+                    bit_set(row, b);
+                } else {
+                    bit_clear(row, b);
+                }
+            }
+        }
+    }
+
+    /// True when the channel is enabled (the default for every channel).
+    pub fn channel_enabled(&self, c: ChannelId) -> bool {
+        !bit_get(&self.disabled_bits, c.index() as u32)
+    }
+
+    /// Disabled-channel probe by raw channel index.
+    #[inline]
+    fn is_disabled(&self, c: u32) -> bool {
+        bit_get(&self.disabled_bits, c)
+    }
+
+    /// How many of `u`'s incident channels are disabled.
+    #[inline]
+    fn disabled_at(&self, u: u32) -> usize {
+        self.disabled_deg[u as usize] as usize
     }
 
     /// Number of nodes.
@@ -338,10 +410,11 @@ impl BfsWorkspace {
     /// means one is necessarily free.
     fn has_unbanned_channel(&self, csr: &CsrGraph, u: u32, banned_count: usize) -> bool {
         let row = csr.row(u);
-        row.len() > banned_count
-            || row
-                .iter()
-                .any(|&e| self.banned_channel[CsrGraph::channel(e) as usize] != self.ban_epoch)
+        row.len() > banned_count + csr.disabled_at(u)
+            || row.iter().any(|&e| {
+                let c = CsrGraph::channel(e);
+                self.banned_channel[c as usize] != self.ban_epoch && !csr.is_disabled(c)
+            })
     }
 
     /// A cleared bitset buffer of `words` words, recycled when possible.
@@ -360,7 +433,9 @@ impl BfsWorkspace {
     /// — the exact membership test for the next reverse-sweep layer.
     fn linked_to_frontier(&self, csr: &CsrGraph, node: u32, frontier: &[u64]) -> bool {
         csr.row(node).iter().any(|&e| {
-            self.banned_channel[CsrGraph::channel(e) as usize] != self.ban_epoch
+            let c = CsrGraph::channel(e);
+            self.banned_channel[c as usize] != self.ban_epoch
+                && !csr.is_disabled(c)
                 && bit_get(frontier, CsrGraph::neighbor(e))
         })
     }
@@ -439,16 +514,17 @@ impl BfsWorkspace {
                                 *n |= r;
                             }
                         }
-                        None if !bit_get(&self.ban_touched_bits, u) => {
-                            // No banned channel touches `u`: fold its row
-                            // in without per-edge ban checks.
+                        None if !bit_get(&self.ban_touched_bits, u) && csr.disabled_at(u) == 0 => {
+                            // Neither a ban nor a disabled channel touches
+                            // `u`: fold its row in without per-edge checks.
                             for &v in csr.neighbor_row(u) {
                                 bit_set(&mut next, v);
                             }
                         }
                         None => {
                             for &e in csr.row(u) {
-                                if self.banned_channel[CsrGraph::channel(e) as usize] != ban {
+                                let c = CsrGraph::channel(e);
+                                if self.banned_channel[c as usize] != ban && !csr.is_disabled(c) {
                                     bit_set(&mut next, CsrGraph::neighbor(e));
                                 }
                             }
@@ -558,7 +634,10 @@ impl BfsWorkspace {
                     for &e in csr.row(cur) {
                         let v = CsrGraph::neighbor(e);
                         let c = CsrGraph::channel(e);
-                        if self.banned_channel[c as usize] != ban && bit_get(layer, v) {
+                        if self.banned_channel[c as usize] != ban
+                            && !csr.is_disabled(c)
+                            && bit_get(layer, v)
+                        {
                             step = Some((v, c));
                             break;
                         }
@@ -676,6 +755,9 @@ impl<'a> SourceOracle<'a> {
             let u = self.ws.fifo[head];
             head += 1;
             for &e in self.csr.row(u) {
+                if self.csr.is_disabled(CsrGraph::channel(e)) {
+                    continue;
+                }
                 let v = CsrGraph::neighbor(e);
                 if self.ws.seen[v as usize] != epoch {
                     self.ws.seen[v as usize] = epoch;
@@ -1328,6 +1410,86 @@ mod tests {
                     reference_edge_disjoint(t, src, dst, k),
                     "{src}->{dst} k={k} on {} nodes",
                     t.node_count()
+                );
+            }
+        }
+    }
+
+    /// A masked `CsrGraph` (channels disabled in place, no reflattening)
+    /// must answer every oracle exactly like a cold build of the filtered
+    /// topology — compared as node sequences, since channel ids shift in
+    /// the rebuilt graph. Random masks over hub-heavy graphs exercise the
+    /// cleared hub-bitset rows, the check-free-tier gating, and the
+    /// feasibility shortcuts.
+    #[test]
+    fn disabled_channels_match_cold_filtered_rebuild() {
+        use spider_types::DetRng;
+        let mut rng = DetRng::new(2026);
+        let graphs = vec![
+            diamond(),
+            gen::isp_topology(CAP),
+            gen::barabasi_albert(250, 3, CAP, &mut rng),
+        ];
+        for t in &graphs {
+            for _case in 0..6 {
+                // Disable a random ~20 % of channels.
+                let disabled: Vec<ChannelId> = t
+                    .channels()
+                    .map(|(id, _)| id)
+                    .filter(|_| rng.chance(0.2))
+                    .collect();
+                let mut csr = CsrGraph::new(t);
+                for &c in &disabled {
+                    csr.set_channel_enabled(t, c, false);
+                }
+                // Cold rebuild without the disabled channels.
+                let disabled_set: HashSet<ChannelId> = disabled.iter().copied().collect();
+                let mut b = Topology::builder(t.node_count());
+                for (id, ch) in t.channels() {
+                    if !disabled_set.contains(&id) {
+                        b.channel(ch.u, ch.v, ch.capacity).unwrap();
+                    }
+                }
+                let filtered = b.build();
+                let fcsr = CsrGraph::new(&filtered);
+                for _ in 0..40 {
+                    let src = NodeId(rng.index(t.node_count()) as u32);
+                    let dst = NodeId(rng.index(t.node_count()) as u32);
+                    if src == dst {
+                        continue;
+                    }
+                    let k = 1 + rng.index(4);
+                    let mut masked = SourceOracle::new(t, &csr, src);
+                    let mut cold = SourceOracle::new(&filtered, &fcsr, src);
+                    let as_nodes =
+                        |ps: Vec<Path>| ps.into_iter().map(|p| p.nodes).collect::<Vec<_>>();
+                    assert_eq!(
+                        as_nodes(masked.edge_disjoint(dst, k)),
+                        as_nodes(cold.edge_disjoint(dst, k)),
+                        "edge-disjoint {src}->{dst} k={k}"
+                    );
+                    assert_eq!(
+                        as_nodes(masked.k_shortest(dst, k)),
+                        as_nodes(cold.k_shortest(dst, k)),
+                        "yen {src}->{dst} k={k}"
+                    );
+                    assert_eq!(
+                        masked.shortest(dst).map(|p| p.nodes),
+                        cold.shortest(dst).map(|p| p.nodes),
+                        "shortest {src}->{dst}"
+                    );
+                }
+                // Re-enabling restores the unmasked answers.
+                for &c in &disabled {
+                    csr.set_channel_enabled(t, c, true);
+                }
+                assert!(t.channels().all(|(id, _)| csr.channel_enabled(id)));
+                let full = CsrGraph::new(t);
+                let src = NodeId(0);
+                let dst = NodeId((t.node_count() - 1) as u32);
+                assert_eq!(
+                    SourceOracle::new(t, &csr, src).edge_disjoint(dst, 4),
+                    SourceOracle::new(t, &full, src).edge_disjoint(dst, 4),
                 );
             }
         }

@@ -22,7 +22,9 @@
 use crate::price::PathPriceEstimator;
 use crate::rate::{PathController, RateConfig};
 use spider_routing::{PathCache, PathPolicy};
-use spider_sim::{NetworkView, RouteProposal, RouteRequest, Router, UnitAck, UnitOutcome};
+use spider_sim::{
+    NetworkView, RouteProposal, RouteRequest, Router, TopologyUpdate, UnitAck, UnitOutcome,
+};
 use spider_types::{Amount, NodeId, PathId};
 use std::collections::HashMap;
 
@@ -135,6 +137,42 @@ impl ProtocolRouter {
     fn path_index(state: &PairState, path: PathId) -> Option<usize> {
         state.paths.iter().position(|&p| p == path)
     }
+
+    /// Migrates a pair's controller/price state onto a repaired candidate
+    /// set: surviving paths keep their AIMD window, in-flight accounting
+    /// and smoothed price (by interned id, wherever they land in the new
+    /// ordering); retired paths drop theirs (late acks for them are
+    /// ignored by the id lookup); new paths start fresh controllers.
+    fn migrate_pair(&mut self, pair: (NodeId, NodeId), new_paths: Vec<PathId>) {
+        let Some(old) = self.pairs.remove(&pair) else {
+            return;
+        };
+        let mut controllers = Vec::with_capacity(new_paths.len());
+        let mut prices = Vec::with_capacity(new_paths.len());
+        for &p in &new_paths {
+            match old.paths.iter().position(|&q| q == p) {
+                Some(i) => {
+                    controllers.push(old.controllers[i].clone());
+                    prices.push(old.prices[i].clone());
+                }
+                None => {
+                    controllers.push(PathController::new(&self.cfg.rate));
+                    prices.push(PathPriceEstimator::new(
+                        self.cfg.price_gamma,
+                        self.cfg.nack_price,
+                    ));
+                }
+            }
+        }
+        self.pairs.insert(
+            pair,
+            PairState {
+                paths: new_paths,
+                controllers,
+                prices,
+            },
+        );
+    }
 }
 
 impl Router for ProtocolRouter {
@@ -148,6 +186,20 @@ impl Router for ProtocolRouter {
 
     fn prewarm(&mut self, pairs: &[(NodeId, NodeId)], view: &NetworkView<'_>) {
         self.cache.prefill(view.topo, view.paths, pairs);
+    }
+
+    fn on_topology_change(&mut self, update: &TopologyUpdate, view: &NetworkView<'_>) {
+        let repaired = self.cache.on_topology_change(view.topo, view.paths, update);
+        for pair in repaired {
+            if !self.pairs.contains_key(&pair) {
+                continue; // never routed; nothing to migrate
+            }
+            let new_paths = self
+                .cache
+                .get(view.topo, view.paths, pair.0, pair.1)
+                .to_vec();
+            self.migrate_pair(pair, new_paths);
+        }
     }
 
     fn route(&mut self, req: &RouteRequest, view: &NetworkView<'_>) -> Vec<RouteProposal> {
@@ -421,6 +473,58 @@ mod tests {
         };
         let mut r = ProtocolRouter::new(4);
         assert!(r.route(&req(0, 2, xrp(1), xrp(1)), &view).is_empty());
+    }
+
+    #[test]
+    fn topology_change_migrates_surviving_path_state() {
+        let (t, ch) = two_routes();
+        let paths = PathTable::new();
+        let view = NetworkView {
+            topo: &t,
+            channels: &ch,
+            paths: &paths,
+            now: SimTime::ZERO,
+        };
+        let mut r = ProtocolRouter::new(4);
+        let props = r.route(&req(0, 3, xrp(1), xrp(1)), &view);
+        assert_eq!(r.pairs[&(NodeId(0), NodeId(3))].paths.len(), 2);
+        // Make path 0 (via node 1) expensive and remember its state.
+        let p0 = props[0].path;
+        r.on_unit_ack(&ack(p0, Amount::ZERO, true, marked_stamp()), &view);
+        let surviving_price = r.path_price(NodeId(0), NodeId(3), 0).unwrap();
+        let surviving_window = r.path_window(NodeId(0), NodeId(3), 0).unwrap();
+        assert!(surviving_price > 0.0);
+        // Close a channel on the *other* candidate (via node 2).
+        let closed = t.channel_between(NodeId(0), NodeId(2)).unwrap();
+        let update = spider_sim::TopologyUpdate {
+            closed: vec![closed],
+            ..Default::default()
+        };
+        r.on_topology_change(&update, &view);
+        let state = &r.pairs[&(NodeId(0), NodeId(3))];
+        assert_eq!(state.paths.len(), 1, "only the surviving route remains");
+        assert_eq!(state.paths[0], p0, "surviving path keeps its interned id");
+        assert_eq!(r.path_price(NodeId(0), NodeId(3), 0), Some(surviving_price));
+        assert_eq!(
+            r.path_window(NodeId(0), NodeId(3), 0),
+            Some(surviving_window)
+        );
+        // Reopen: the pair regains both candidates; the survivor keeps its
+        // state, the reborn path starts fresh.
+        let update = spider_sim::TopologyUpdate {
+            opened: vec![closed],
+            ..Default::default()
+        };
+        r.on_topology_change(&update, &view);
+        let state = &r.pairs[&(NodeId(0), NodeId(3))];
+        assert_eq!(state.paths.len(), 2);
+        let i0 = state.paths.iter().position(|&p| p == p0).unwrap();
+        assert_eq!(
+            r.path_price(NodeId(0), NodeId(3), i0),
+            Some(surviving_price)
+        );
+        let fresh = 1 - i0;
+        assert_eq!(r.path_price(NodeId(0), NodeId(3), fresh), Some(0.0));
     }
 
     #[test]

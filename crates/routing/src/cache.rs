@@ -1,4 +1,4 @@
-//! Shared lazily-populated per-pair path cache.
+//! Shared per-pair candidate-path cache with incremental churn repair.
 //!
 //! Every source-routed scheme restricts itself to a small candidate set per
 //! pair (§5.3.1); computing it once per pair and caching matches how real
@@ -6,11 +6,22 @@
 //! the simulation's shared [`PathTable`] on first computation, so every
 //! scheme resolves a pair's paths to `(ChannelId, Direction)` arrays
 //! exactly once and thereafter trades in copyable [`PathId`]s.
+//!
+//! Under topology churn ([`PathCache::on_topology_change`]) the cache
+//! repairs itself **incrementally**: a channel close drops only the pairs
+//! whose cached candidates traverse it (removing an edge no candidate uses
+//! provably cannot change any oracle's answer — see the module tests), a
+//! channel open invalidates every cached pair (a new edge can improve any
+//! pair), and a capacity resize invalidates nothing (the oracles are
+//! hop-count-based). Dropped pairs are batch-refilled through
+//! [`PathOracle`](crate::PathOracle) over one retained
+//! [`CsrGraph`] whose channels are enabled/disabled in O(1) per event —
+//! the graph is flattened exactly once per cache lifetime.
 
-use spider_lp::paths::{k_edge_disjoint_paths, k_shortest_paths};
-use spider_sim::PathTable;
+use spider_lp::paths::{k_edge_disjoint_paths, k_shortest_paths, CsrGraph, SourceOracle};
+use spider_sim::{PathTable, TopologyUpdate};
 use spider_topology::Topology;
-use spider_types::{NodeId, PathId};
+use spider_types::{ChannelId, NodeId, PathId};
 use std::collections::HashMap;
 
 /// Candidate-set policy.
@@ -24,7 +35,7 @@ pub enum PathPolicy {
     Shortest,
 }
 
-/// Lazily computed per-pair candidate paths.
+/// Lazily computed per-pair candidate paths, churn-repairable.
 #[derive(Debug, Clone)]
 pub struct PathCache {
     policy: PathPolicy,
@@ -34,8 +45,15 @@ pub struct PathCache {
     /// `Topology::shortest_path` derives from): one tree yields the
     /// identical smallest-id shortest path to *every* destination, so a
     /// sender pays for one traversal no matter how many receivers it
-    /// routes to.
+    /// routes to. Only usable while no channel is closed (trees are a
+    /// full-graph cache; churn invalidates them wholesale).
     bfs_trees: HashMap<NodeId, Vec<u32>>,
+    /// Channels currently closed by churn (`true` = closed). Empty until
+    /// the first topology change.
+    closed: Vec<bool>,
+    /// The retained flattened graph, built on first batched fill and kept
+    /// in sync with `closed` through O(1) channel toggles.
+    csr: Option<CsrGraph>,
 }
 
 impl PathCache {
@@ -45,11 +63,13 @@ impl PathCache {
             policy,
             cache: HashMap::new(),
             bfs_trees: HashMap::new(),
+            closed: Vec::new(),
+            csr: None,
         }
     }
 
     /// The candidate paths for `(src, dst)`, computing and interning them
-    /// on first use.
+    /// on first use (against the current channel-liveness mask).
     pub fn get(
         &mut self,
         topo: &Topology,
@@ -57,10 +77,40 @@ impl PathCache {
         src: NodeId,
         dst: NodeId,
     ) -> &[PathId] {
-        let policy = self.policy;
-        let trees = &mut self.bfs_trees;
-        self.cache.entry((src, dst)).or_insert_with(|| {
-            let candidates: Vec<Vec<NodeId>> = match policy {
+        // Split borrows so the hit path stays one hash lookup (the
+        // `entry` API) while the miss closure computes through the other
+        // fields.
+        let PathCache {
+            policy,
+            cache,
+            bfs_trees,
+            closed,
+            csr,
+        } = self;
+        cache.entry((src, dst)).or_insert_with(|| {
+            let candidates = Self::compute(*policy, bfs_trees, closed, csr, topo, src, dst);
+            candidates
+                .iter()
+                .map(|nodes| paths.intern(topo, nodes))
+                .collect()
+        })
+    }
+
+    /// One pair's candidate node sequences under the live mask.
+    #[allow(clippy::too_many_arguments)]
+    fn compute(
+        policy: PathPolicy,
+        bfs_trees: &mut HashMap<NodeId, Vec<u32>>,
+        closed: &[bool],
+        csr: &mut Option<CsrGraph>,
+        topo: &Topology,
+        src: NodeId,
+        dst: NodeId,
+    ) -> Vec<Vec<NodeId>> {
+        if !closed.iter().any(|&c| c) {
+            // Static topology: the PR 3 fast paths, bit-identical to the
+            // masked oracle with an empty mask.
+            return match policy {
                 PathPolicy::EdgeDisjoint(k) => k_edge_disjoint_paths(topo, src, dst, k)
                     .into_iter()
                     .map(|p| p.nodes)
@@ -70,16 +120,46 @@ impl PathCache {
                     .map(|p| p.nodes)
                     .collect(),
                 PathPolicy::Shortest => {
-                    let tree = trees.entry(src).or_insert_with(|| topo.bfs_parents(src));
+                    let tree = bfs_trees
+                        .entry(src)
+                        .or_insert_with(|| topo.bfs_parents(src));
                     Topology::path_from_parents(tree, src, dst)
                         .into_iter()
                         .collect()
                 }
             };
-            candidates
-                .iter()
-                .map(|nodes| paths.intern(topo, nodes))
-                .collect()
+        }
+        let csr = Self::synced_csr(csr, topo, closed);
+        let mut oracle = SourceOracle::new(topo, csr, src);
+        match policy {
+            PathPolicy::EdgeDisjoint(k) => oracle
+                .edge_disjoint(dst, k)
+                .into_iter()
+                .map(|p| p.nodes)
+                .collect(),
+            PathPolicy::KShortest(k) => oracle
+                .k_shortest(dst, k)
+                .into_iter()
+                .map(|p| p.nodes)
+                .collect(),
+            PathPolicy::Shortest => oracle.shortest(dst).map(|p| p.nodes).into_iter().collect(),
+        }
+    }
+
+    /// The retained CSR graph, built on first use and synced to `closed`.
+    fn synced_csr<'a>(
+        slot: &'a mut Option<CsrGraph>,
+        topo: &Topology,
+        closed: &[bool],
+    ) -> &'a mut CsrGraph {
+        slot.get_or_insert_with(|| {
+            let mut csr = CsrGraph::new(topo);
+            for (i, &c) in closed.iter().enumerate() {
+                if c {
+                    csr.set_channel_enabled(topo, ChannelId::from_index(i), false);
+                }
+            }
+            csr
         })
     }
 
@@ -103,10 +183,20 @@ impl PathCache {
                 todo.push(pair);
             }
         }
+        self.fill_pairs(topo, paths, &todo);
+    }
+
+    /// Batch-fills `todo` (must not already be cached) through the
+    /// retained CSR graph and interns the results in pair order.
+    fn fill_pairs(&mut self, topo: &Topology, paths: &PathTable, todo: &[(NodeId, NodeId)]) {
         if todo.is_empty() {
             return;
         }
-        let filled = crate::PathOracle::new(topo, self.policy).fill(&todo);
+        let policy = self.policy;
+        let filled = {
+            let csr = Self::synced_csr(&mut self.csr, topo, &self.closed);
+            crate::PathOracle::with_csr(topo, csr, policy).fill(todo)
+        };
         // One interning pass over every candidate of every pair (the
         // table borrow is taken once), then slice the flat id list back
         // into per-pair entries.
@@ -117,10 +207,84 @@ impl PathCache {
                 .flat_map(|cands| cands.iter().map(|p| p.nodes.as_slice())),
         );
         let mut cursor = ids.into_iter();
-        for (pair, candidates) in todo.into_iter().zip(filled) {
+        for (&pair, candidates) in todo.iter().zip(filled) {
             let ids: Vec<_> = cursor.by_ref().take(candidates.len()).collect();
             self.cache.insert(pair, ids);
         }
+    }
+
+    /// Repairs the cache after a topology-churn event: updates the
+    /// channel-liveness mask (O(1) toggles on the retained CSR graph),
+    /// drops exactly the pairs whose candidate sets may have changed, and
+    /// batch-refills them. Returns the repaired pairs (sorted, so callers
+    /// migrating per-path state iterate deterministically).
+    ///
+    /// Invalidation rules, each exact for the hop-count oracles:
+    ///
+    /// * **close** — only pairs whose cached candidates traverse a closed
+    ///   channel: removing an edge used by no candidate leaves every
+    ///   successively-chosen lex-min path both feasible and minimal, so
+    ///   the oracle's answer is unchanged;
+    /// * **open** — every cached pair: a new edge can shorten or add a
+    ///   candidate for pairs whose current candidates never touch it;
+    /// * **resize** — nothing: candidate selection ignores capacity.
+    pub fn on_topology_change(
+        &mut self,
+        topo: &Topology,
+        paths: &PathTable,
+        update: &TopologyUpdate,
+    ) -> Vec<(NodeId, NodeId)> {
+        if update.connectivity_changed() && self.closed.is_empty() {
+            self.closed = vec![false; topo.channel_count()];
+        }
+        for &c in &update.closed {
+            self.closed[c.index()] = true;
+            if let Some(csr) = self.csr.as_mut() {
+                csr.set_channel_enabled(topo, c, false);
+            }
+        }
+        for &c in &update.opened {
+            self.closed[c.index()] = false;
+            if let Some(csr) = self.csr.as_mut() {
+                csr.set_channel_enabled(topo, c, true);
+            }
+        }
+        if !update.connectivity_changed() {
+            return Vec::new();
+        }
+        // Per-source BFS trees are a whole-graph cache; any connectivity
+        // change invalidates them wholesale (they are cheap to rebuild).
+        self.bfs_trees.clear();
+        let mut dropped: Vec<(NodeId, NodeId)> = if !update.opened.is_empty() {
+            self.cache.keys().copied().collect()
+        } else {
+            self.cache
+                .iter()
+                .filter(|(_, ids)| {
+                    ids.iter().any(|&id| {
+                        paths
+                            .entry(id)
+                            .hops()
+                            .iter()
+                            .any(|&(c, _)| update.closed.contains(&c))
+                    })
+                })
+                .map(|(&pair, _)| pair)
+                .collect()
+        };
+        // HashMap iteration order is arbitrary; sort so the refill (and
+        // therefore PathId interning) order is deterministic.
+        dropped.sort_unstable();
+        for pair in &dropped {
+            self.cache.remove(pair);
+        }
+        self.fill_pairs(topo, paths, &dropped);
+        dropped
+    }
+
+    /// True when `channel` is currently closed in this cache's mask.
+    pub fn channel_closed(&self, channel: ChannelId) -> bool {
+        self.closed.get(channel.index()).copied().unwrap_or(false)
     }
 
     /// Number of cached pairs.
@@ -206,5 +370,132 @@ mod tests {
         let mut c2 = PathCache::new(PathPolicy::Shortest);
         assert!(c2.get(&t2, &table2, NodeId(0), NodeId(2)).is_empty());
         assert_eq!(c2.len(), 1, "negative result is cached too");
+    }
+
+    /// Resolve a cache's candidates to node sequences for comparison
+    /// across caches whose interning orders (and therefore PathIds) differ.
+    fn resolved(
+        cache: &mut PathCache,
+        topo: &Topology,
+        table: &PathTable,
+        pairs: &[(NodeId, NodeId)],
+    ) -> Vec<Vec<Vec<NodeId>>> {
+        pairs
+            .iter()
+            .map(|&(s, d)| {
+                cache
+                    .get(topo, table, s, d)
+                    .iter()
+                    .map(|&id| table.entry(id).nodes().to_vec())
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn close_repair_equals_cold_rebuild_and_is_targeted() {
+        let t = gen::isp_topology(Amount::from_xrp(100));
+        let table = PathTable::new();
+        let mut warm = PathCache::new(PathPolicy::EdgeDisjoint(4));
+        let pairs: Vec<(NodeId, NodeId)> = (0..16u32)
+            .flat_map(|s| [(NodeId(s), NodeId(s + 16)), (NodeId(s + 16), NodeId(s))])
+            .collect();
+        warm.prefill(&t, &table, &pairs);
+        // Close one channel used by somebody's candidate set.
+        let victim = table
+            .entry(warm.get(&t, &table, pairs[0].0, pairs[0].1)[0])
+            .hops()[0]
+            .0;
+        let update = TopologyUpdate {
+            closed: vec![victim],
+            ..TopologyUpdate::default()
+        };
+        let repaired = warm.on_topology_change(&t, &table, &update);
+        assert!(!repaired.is_empty(), "the traversed pair must be repaired");
+        assert!(
+            repaired.len() < pairs.len(),
+            "a close must not invalidate everything ({} of {})",
+            repaired.len(),
+            pairs.len()
+        );
+        assert!(warm.channel_closed(victim));
+        // Cold cache prewarmed on the final (masked) topology.
+        let cold_table = PathTable::new();
+        let mut cold = PathCache::new(PathPolicy::EdgeDisjoint(4));
+        cold.on_topology_change(&t, &cold_table, &update);
+        cold.prefill(&t, &cold_table, &pairs);
+        assert_eq!(
+            resolved(&mut warm, &t, &table, &pairs),
+            resolved(&mut cold, &t, &cold_table, &pairs),
+            "incremental repair must equal a cold rebuild"
+        );
+        // No repaired candidate traverses the closed channel.
+        for &(s, d) in &pairs {
+            for &id in warm.get(&t, &table, s, d) {
+                assert!(table.entry(id).hops().iter().all(|&(c, _)| c != victim));
+            }
+        }
+        // Reopen: everything returns to the unmasked answers.
+        let update = TopologyUpdate {
+            opened: vec![victim],
+            ..TopologyUpdate::default()
+        };
+        let repaired = warm.on_topology_change(&t, &table, &update);
+        assert_eq!(repaired.len(), pairs.len(), "opens invalidate every pair");
+        let fresh_table = PathTable::new();
+        let mut fresh = PathCache::new(PathPolicy::EdgeDisjoint(4));
+        fresh.prefill(&t, &fresh_table, &pairs);
+        assert_eq!(
+            resolved(&mut warm, &t, &table, &pairs),
+            resolved(&mut fresh, &t, &fresh_table, &pairs),
+        );
+    }
+
+    #[test]
+    fn resize_invalidates_nothing() {
+        let t = gen::isp_topology(Amount::from_xrp(100));
+        let table = PathTable::new();
+        let mut c = PathCache::new(PathPolicy::KShortest(3));
+        c.get(&t, &table, NodeId(1), NodeId(9));
+        let update = TopologyUpdate {
+            resized: vec![ChannelId(0), ChannelId(3)],
+            ..TopologyUpdate::default()
+        };
+        assert!(c.on_topology_change(&t, &table, &update).is_empty());
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn lazy_get_respects_the_mask() {
+        // A pair first requested *after* a close must be computed on the
+        // masked graph, for every policy.
+        let t = gen::isp_topology(Amount::from_xrp(100));
+        for policy in [
+            PathPolicy::EdgeDisjoint(4),
+            PathPolicy::KShortest(3),
+            PathPolicy::Shortest,
+        ] {
+            let table = PathTable::new();
+            let mut c = PathCache::new(policy);
+            // Close every channel incident to node 5's first neighbor hop
+            // on the 0→5 shortest path, forcing a different route.
+            let sp = t.shortest_path(NodeId(0), NodeId(5)).unwrap();
+            let first_hop = t.channel_between(sp[0], sp[1]).unwrap();
+            let update = TopologyUpdate {
+                closed: vec![first_hop],
+                ..TopologyUpdate::default()
+            };
+            c.on_topology_change(&t, &table, &update);
+            for &id in c.get(&t, &table, NodeId(0), NodeId(5)) {
+                assert!(
+                    table
+                        .entry(id)
+                        .hops()
+                        .iter()
+                        .all(|&(ch, _)| ch != first_hop),
+                    "{policy:?} lazily computed a path over a closed channel"
+                );
+            }
+        }
     }
 }

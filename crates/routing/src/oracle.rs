@@ -25,8 +25,26 @@ use spider_types::NodeId;
 /// Batched per-source candidate-path oracle over a fixed topology.
 pub struct PathOracle<'a> {
     topo: &'a Topology,
-    csr: CsrGraph,
+    csr: Csr<'a>,
     policy: PathPolicy,
+}
+
+/// The oracle either flattens the adjacency lists itself or borrows a
+/// caller-retained [`CsrGraph`] — the latter is how `PathCache` reuses one
+/// graph (with its O(1) channel enable/disable state) across every churn
+/// repair instead of reflattening per event.
+enum Csr<'a> {
+    Owned(CsrGraph),
+    Borrowed(&'a CsrGraph),
+}
+
+impl Csr<'_> {
+    fn get(&self) -> &CsrGraph {
+        match self {
+            Csr::Owned(c) => c,
+            Csr::Borrowed(c) => c,
+        }
+    }
 }
 
 /// Below this many pairs the thread fan-out costs more than it saves;
@@ -38,7 +56,18 @@ impl<'a> PathOracle<'a> {
     pub fn new(topo: &'a Topology, policy: PathPolicy) -> Self {
         PathOracle {
             topo,
-            csr: CsrGraph::new(topo),
+            csr: Csr::Owned(CsrGraph::new(topo)),
+            policy,
+        }
+    }
+
+    /// Builds the oracle over a caller-retained CSR graph — candidate
+    /// sets then respect whatever channels `csr` has disabled. `csr` must
+    /// be a [`CsrGraph`] of `topo`.
+    pub fn with_csr(topo: &'a Topology, csr: &'a CsrGraph, policy: PathPolicy) -> Self {
+        PathOracle {
+            topo,
+            csr: Csr::Borrowed(csr),
             policy,
         }
     }
@@ -83,7 +112,8 @@ impl<'a> PathOracle<'a> {
         if workers <= 1 {
             let mut oracle: Option<SourceOracle<'_>> = None;
             for (src, idxs) in &sources {
-                let o = oracle.get_or_insert_with(|| SourceOracle::new(self.topo, &self.csr, *src));
+                let o = oracle
+                    .get_or_insert_with(|| SourceOracle::new(self.topo, self.csr.get(), *src));
                 o.retarget(*src);
                 for &i in idxs {
                     out[i] = Some(self.candidates(o, pairs[i].1));
@@ -106,7 +136,7 @@ impl<'a> PathOracle<'a> {
                             }
                             let (src, idxs) = &sources[g];
                             let o = oracle.get_or_insert_with(|| {
-                                SourceOracle::new(self.topo, &self.csr, *src)
+                                SourceOracle::new(self.topo, self.csr.get(), *src)
                             });
                             o.retarget(*src);
                             for &i in idxs {

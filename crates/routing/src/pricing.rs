@@ -105,6 +105,10 @@ impl Router for SpiderPricing {
         self.cache.prefill(view.topo, view.paths, pairs);
     }
 
+    fn on_topology_change(&mut self, update: &spider_sim::TopologyUpdate, view: &NetworkView<'_>) {
+        self.cache.on_topology_change(view.topo, view.paths, update);
+    }
+
     fn route(&mut self, req: &RouteRequest, view: &NetworkView<'_>) -> Vec<RouteProposal> {
         // Copy the (small) candidate id set so the cache borrow ends
         // before pricing, which borrows `self` immutably.

@@ -10,7 +10,7 @@
 //! to the engine as an interned [`PathId`](spider_types::PathId).
 
 use crate::cache::{PathCache, PathPolicy};
-use spider_sim::{NetworkView, RouteProposal, RouteRequest, Router};
+use spider_sim::{NetworkView, RouteProposal, RouteRequest, Router, TopologyUpdate};
 
 /// Non-atomic single-shortest-path routing.
 #[derive(Debug)]
@@ -48,6 +48,10 @@ impl Router for ShortestPath {
         view: &NetworkView<'_>,
     ) {
         self.cache.prefill(view.topo, view.paths, pairs);
+    }
+
+    fn on_topology_change(&mut self, update: &TopologyUpdate, view: &NetworkView<'_>) {
+        self.cache.on_topology_change(view.topo, view.paths, update);
     }
 
     fn route(&mut self, req: &RouteRequest, view: &NetworkView<'_>) -> Vec<RouteProposal> {

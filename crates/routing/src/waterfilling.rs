@@ -15,7 +15,7 @@
 //! level over the k residual progressions — O(k log max-residual).
 
 use crate::cache::{PathCache, PathPolicy};
-use spider_sim::{NetworkView, RouteProposal, RouteRequest, Router};
+use spider_sim::{NetworkView, RouteProposal, RouteRequest, Router, TopologyUpdate};
 use spider_types::Amount;
 
 /// The exact fixed point of the discrete waterfilling loop.
@@ -175,6 +175,10 @@ impl Router for SpiderWaterfilling {
         view: &NetworkView<'_>,
     ) {
         self.cache.prefill(view.topo, view.paths, pairs);
+    }
+
+    fn on_topology_change(&mut self, update: &TopologyUpdate, view: &NetworkView<'_>) {
+        self.cache.on_topology_change(view.topo, view.paths, update);
     }
 
     fn route(&mut self, req: &RouteRequest, view: &NetworkView<'_>) -> Vec<RouteProposal> {

@@ -11,11 +11,18 @@ use spider_types::{Amount, Direction, SignedAmount};
 ///
 /// Invariant (fund conservation): `available[0] + available[1] +
 /// inflight[0] + inflight[1] == capacity` at all times.
+///
+/// A channel may be **closed** by topology churn: its balances freeze in
+/// place (still conserved, still refundable for in-flight unwinding) but
+/// [`ChannelState::available`] reports zero and [`ChannelState::lock`]
+/// refuses new locks, so no router or engine path can spend through it
+/// until it reopens.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ChannelState {
     capacity: Amount,
     available: [Amount; 2],
     inflight: [Amount; 2],
+    closed: bool,
 }
 
 impl ChannelState {
@@ -28,6 +35,7 @@ impl ChannelState {
             capacity,
             available: [capacity - half, half],
             inflight: [Amount::ZERO, Amount::ZERO],
+            closed: false,
         }
     }
 
@@ -37,6 +45,7 @@ impl ChannelState {
             capacity: fwd + bwd,
             available: [fwd, bwd],
             inflight: [Amount::ZERO, Amount::ZERO],
+            closed: false,
         }
     }
 
@@ -45,9 +54,66 @@ impl ChannelState {
         self.capacity
     }
 
-    /// Funds the sender in `dir` can spend right now.
+    /// Funds the sender in `dir` can spend right now — zero while the
+    /// channel is closed (the frozen balance is invisible to routing).
     pub fn available(&self, dir: Direction) -> Amount {
+        if self.closed {
+            Amount::ZERO
+        } else {
+            self.available[dir.index()]
+        }
+    }
+
+    /// The frozen-or-not balance on the `dir` side, ignoring liveness
+    /// (what the parties would take on-chain if they settled now).
+    pub fn balance(&self, dir: Direction) -> Amount {
         self.available[dir.index()]
+    }
+
+    /// True while the channel is closed by topology churn.
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// Closes the channel: balances freeze, locks are refused. The caller
+    /// (the engine) fails back in-flight units separately.
+    pub fn close(&mut self) {
+        self.closed = true;
+    }
+
+    /// Reopens a closed channel with the balances it froze with.
+    pub fn reopen(&mut self) {
+        self.closed = false;
+    }
+
+    /// Splices the channel toward `target` total capacity. Growth deposits
+    /// the delta split across both sides (odd drop to the forward side);
+    /// shrinkage withdraws from available balances only — forward side
+    /// first, then backward — never touching in-flight funds. Returns
+    /// `(deposited, withdrawn)`; the realized capacity change may fall
+    /// short of the target when too much value is in flight.
+    pub fn resize(&mut self, target: Amount) -> (Amount, Amount) {
+        if target >= self.capacity {
+            let delta = target - self.capacity;
+            let half = delta / 2;
+            self.available[0] += delta - half;
+            self.available[1] += half;
+            self.capacity += delta;
+            self.assert_conservation();
+            (delta, Amount::ZERO)
+        } else {
+            let mut want = self.capacity - target;
+            let mut withdrawn = Amount::ZERO;
+            for side in 0..2 {
+                let take = self.available[side].min(want);
+                self.available[side] -= take;
+                withdrawn += take;
+                want -= take;
+            }
+            self.capacity -= withdrawn;
+            self.assert_conservation();
+            (Amount::ZERO, withdrawn)
+        }
     }
 
     /// Funds currently locked for units traveling in `dir`.
@@ -65,6 +131,9 @@ impl ChannelState {
     /// (leaving state unchanged) when the sender lacks available funds.
     #[must_use]
     pub fn lock(&mut self, dir: Direction, amount: Amount) -> bool {
+        if self.closed {
+            return false;
+        }
         let d = dir.index();
         match self.available[d].checked_sub(amount) {
             Some(rest) => {
@@ -199,6 +268,57 @@ mod tests {
         c.deposit(Forward, xrp(5));
         assert_eq!(c.capacity(), xrp(7));
         assert_eq!(c.available(Forward), xrp(6));
+        assert_eq!(c.total(), c.capacity());
+    }
+
+    #[test]
+    fn close_freezes_and_reopen_restores() {
+        let mut c = ChannelState::with_balances(xrp(6), xrp(4));
+        assert!(c.lock(Forward, xrp(2)));
+        c.close();
+        assert!(c.is_closed());
+        assert_eq!(c.available(Forward), Amount::ZERO);
+        assert_eq!(c.available(Backward), Amount::ZERO);
+        assert_eq!(c.balance(Forward), xrp(4), "frozen balance still visible");
+        assert!(
+            !c.lock(Forward, Amount::DROP),
+            "closed channels refuse locks"
+        );
+        // In-flight funds still unwind while closed.
+        c.refund(Forward, xrp(2));
+        assert_eq!(c.total(), c.capacity());
+        c.reopen();
+        assert_eq!(c.available(Forward), xrp(6));
+        assert_eq!(c.available(Backward), xrp(4));
+    }
+
+    #[test]
+    fn resize_grows_and_shrinks_conserving() {
+        let mut c = ChannelState::with_balances(xrp(5), xrp(5));
+        let (dep, wd) = c.resize(xrp(13));
+        assert_eq!((dep, wd), (xrp(3), Amount::ZERO));
+        assert_eq!(c.capacity(), xrp(13));
+        assert_eq!(c.available(Forward), Amount::from_xrp_f64(6.5));
+        assert_eq!(c.available(Backward), Amount::from_xrp_f64(6.5));
+        let (dep, wd) = c.resize(xrp(4));
+        assert_eq!((dep, wd), (Amount::ZERO, xrp(9)));
+        assert_eq!(c.capacity(), xrp(4));
+        assert_eq!(c.total(), c.capacity());
+    }
+
+    #[test]
+    fn resize_never_claws_back_inflight() {
+        let mut c = ChannelState::with_balances(xrp(5), xrp(5));
+        assert!(c.lock(Forward, xrp(5)));
+        assert!(c.lock(Backward, xrp(3)));
+        // Only 2 XRP is available; a shrink to 1 XRP can withdraw at most
+        // that, leaving capacity = inflight 8 XRP.
+        let (_, wd) = c.resize(xrp(1));
+        assert_eq!(wd, xrp(2));
+        assert_eq!(c.capacity(), xrp(8));
+        assert_eq!(c.total(), c.capacity());
+        c.settle(Forward, xrp(5));
+        c.refund(Backward, xrp(3));
         assert_eq!(c.total(), c.capacity());
     }
 

@@ -30,11 +30,12 @@ use crate::config::{QueueConfig, QueueingMode, SchedulingPolicy, SimConfig};
 use crate::metrics::{MetricsCollector, SimReport};
 use crate::paths::PathTable;
 use crate::queue::local_signal;
-use crate::router::{NetworkView, RouteRequest, Router, UnitAck, UnitOutcome};
+use crate::router::{NetworkView, RouteRequest, Router, TopologyUpdate, UnitAck, UnitOutcome};
 use crate::workload::Workload;
 use spider_topology::Topology;
 use spider_types::{
     Amount, ChannelId, Direction, DropReason, MarkStamp, NodeId, PathId, PaymentId, SimTime,
+    TopologyChange, TopologyEvent,
 };
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -53,6 +54,9 @@ struct PaymentState {
     completed: bool,
     /// Deadline passed with work outstanding; remainder canceled.
     expired: bool,
+    /// Lost at least one in-flight unit to a channel close (topology
+    /// churn); if the payment never completes it counts as failed-by-churn.
+    churn_hit: bool,
 }
 
 impl PaymentState {
@@ -96,6 +100,9 @@ enum EventKind {
     QueueTimeout {
         unit: usize,
     },
+    /// A scheduled topology-churn event (index into
+    /// `Simulation::topo_events`) takes effect.
+    Topology(usize),
 }
 
 /// A transaction unit traveling hop by hop under
@@ -119,6 +126,9 @@ struct UnitState {
     enqueued_at: SimTime,
     /// Pending `QueueTimeout` event id, cancelable on service.
     timeout_event: Option<usize>,
+    /// Pending `HopArrive`/`UnitDeliver` event id while the unit travels,
+    /// cancelable when a channel close fails the unit back mid-flight.
+    hop_event: Option<usize>,
     /// True once the unit has waited in any queue (for metrics).
     waited: bool,
     stamp: MarkStamp,
@@ -195,6 +205,9 @@ pub struct Simulation {
     flow: Vec<[Amount; 2]>,
     /// The shared path interner (routers reach it via [`NetworkView`]).
     paths: PathTable,
+    /// Topology-churn schedule (sorted by instant; see
+    /// [`Simulation::set_topology_events`]).
+    topo_events: Vec<TopologyEvent>,
     events_scheduled: u64,
     events_executed: u64,
     peak_live_events: usize,
@@ -253,6 +266,7 @@ impl Simulation {
             free_units: Vec::new(),
             flow,
             paths: PathTable::new(),
+            topo_events: Vec::new(),
             events_scheduled: 0,
             events_executed: 0,
             peak_live_events: 0,
@@ -298,10 +312,47 @@ impl Simulation {
         self.event_store[id] = None;
     }
 
+    /// Installs a topology-churn schedule (see
+    /// [`TopologyEvent`]); call before [`Simulation::run`]. Events are
+    /// applied in `(at, list-order)` order. Entries at `t = 0` describe the
+    /// initial liveness state (channels that exist in the union topology
+    /// but have not opened yet) and are applied before any routing or
+    /// prewarm; later entries fire from the calendar mid-run.
+    pub fn set_topology_events(&mut self, mut events: Vec<TopologyEvent>) {
+        // Stable by instant: same-instant events keep their list order.
+        events.sort_by_key(|e| e.at);
+        self.topo_events = events;
+    }
+
     /// Runs to the horizon and produces the report. The simulation object
     /// remains inspectable afterwards (channel states, conservation).
     pub fn run(&mut self) -> SimReport {
         let horizon = SimTime::ZERO + self.config.horizon;
+        // Apply the initial-state slice of the churn schedule (t = 0)
+        // before anything routes: nothing is in flight, so no failback.
+        let mut initial = TopologyUpdate::default();
+        for i in 0..self.topo_events.len() {
+            if self.topo_events[i].at == SimTime::ZERO {
+                let change = self.topo_events[i].change;
+                self.apply_topology_change(change, &mut initial, false);
+            }
+        }
+        if !initial.is_empty() {
+            self.metrics.initial_topology_state(
+                initial.closed.len(),
+                initial.opened.len(),
+                initial.resized.len(),
+            );
+        }
+        // Mid-run churn fires from the calendar; scheduled before the
+        // arrivals so a change at instant t applies before payments
+        // arriving at t are routed.
+        for i in 0..self.topo_events.len() {
+            let at = self.topo_events[i].at;
+            if at > SimTime::ZERO && at <= horizon {
+                self.schedule(at, EventKind::Topology(i));
+            }
+        }
         // Seed events: arrivals within the horizon, plus the first poll.
         for i in 0..self.workload.txns.len() {
             let t = self.workload.txns[i].time;
@@ -323,6 +374,12 @@ impl Simulation {
                 now: self.now,
             };
             self.router.initialize(&view);
+            // The schedule's initial closes happened before the router
+            // existed; tell it now, so prewarmed candidate sets respect
+            // the t = 0 liveness state.
+            if !initial.is_empty() {
+                self.router.on_topology_change(&initial, &view);
+            }
             // Hand the router the distinct pairs it will be asked to
             // route, in first-arrival order (the order the lazy per-pair
             // caches would have seen them), so candidate sets are
@@ -385,8 +442,15 @@ impl Simulation {
                 EventKind::HopArrive { unit } => self.on_hop_arrive(unit),
                 EventKind::UnitDeliver { unit } => self.on_unit_deliver(unit),
                 EventKind::QueueTimeout { unit } => self.on_queue_timeout(unit),
+                EventKind::Topology(i) => self.on_topology_event(i),
             }
         }
+        let failed_by_churn = self
+            .payments
+            .iter()
+            .filter(|p| p.churn_hit && !p.completed)
+            .count() as u64;
+        self.metrics.payments_failed_churn(failed_by_churn);
         std::mem::take(&mut self.metrics).finish(self.router.name(), self.config.horizon)
     }
 
@@ -448,6 +512,7 @@ impl Simulation {
             attempts: 0,
             completed: false,
             expired: false,
+            churn_hit: false,
         });
         self.metrics.payment_arrived(spec.amount);
         self.attempt_payment(pid);
@@ -697,6 +762,17 @@ impl Simulation {
     /// is full. Returns whether the unit was accepted.
     fn inject_unit(&mut self, pid: usize, amount: Amount, path: PathId) -> bool {
         let entry = self.paths.entry(path);
+        // A path crossing a closed channel is rejected at the ingress
+        // (stale proposals can arrive in the same instant as a churn
+        // event); injecting would only convert the unit into a drop.
+        if entry
+            .hops()
+            .iter()
+            .any(|&(c, _)| self.channels[c.index()].is_closed())
+        {
+            self.metrics.unit_lock(entry.hop_count(), false);
+            return false;
+        }
         let (c, d) = entry.hops()[0];
         let queue_len = self.queues[c.index()][d.index()].len();
         let can_cross = queue_len == 0 && self.channels[c.index()].available(d) >= amount;
@@ -713,6 +789,7 @@ impl Simulation {
             injected_at: self.now,
             enqueued_at: self.now,
             timeout_event: None,
+            hop_event: None,
             waited: false,
             stamp: MarkStamp::CLEAR,
             drop_reason: None,
@@ -770,12 +847,14 @@ impl Simulation {
         u.next_hop += 1;
         if u.next_hop == entry.hop_count() {
             self.metrics.unit_lock(entry.hop_count(), true);
-            self.schedule(
+            let ev = self.schedule(
                 self.now + self.config.confirmation_delay,
                 EventKind::UnitDeliver { unit: uid },
             );
+            self.units[uid].hop_event = Some(ev);
         } else {
-            self.schedule(self.now + hop_delay, EventKind::HopArrive { unit: uid });
+            let ev = self.schedule(self.now + hop_delay, EventKind::HopArrive { unit: uid });
+            self.units[uid].hop_event = Some(ev);
         }
     }
 
@@ -784,6 +863,8 @@ impl Simulation {
         if self.units[uid].done {
             return;
         }
+        // This event just fired; it is no longer cancelable.
+        self.units[uid].hop_event = None;
         let pid = self.units[uid].payment;
         if self.payments[pid].expired || self.now > self.payments[pid].deadline {
             self.drop_unit(uid, DropReason::Expired);
@@ -792,6 +873,11 @@ impl Simulation {
         let entry = self.paths.entry(self.units[uid].path);
         let (c, d) = entry.hops()[self.units[uid].next_hop];
         let amount = self.units[uid].amount;
+        if self.channels[c.index()].is_closed() {
+            // The next hop closed while the unit was traveling toward it.
+            self.drop_unit(uid, DropReason::ChannelClosed);
+            return;
+        }
         let queue_len = self.queues[c.index()][d.index()].len();
         if queue_len == 0 && self.channels[c.index()].available(d) >= amount {
             self.lock_hop(uid, spider_types::SimDuration::ZERO);
@@ -808,6 +894,8 @@ impl Simulation {
         if self.units[uid].done {
             return;
         }
+        // This event just fired; it is no longer cancelable.
+        self.units[uid].hop_event = None;
         let pid = self.units[uid].payment;
         if self.payments[pid].expired || self.now > self.payments[pid].deadline {
             self.drop_unit(uid, DropReason::Expired);
@@ -862,6 +950,12 @@ impl Simulation {
         if let Some(ev) = self.units[uid].timeout_event.take() {
             self.cancel_event(ev);
         }
+        if let Some(ev) = self.units[uid].hop_event.take() {
+            // Traveling (or awaiting settlement) when a channel close
+            // failed it back: its pending hop event must not fire on a
+            // recycled slab slot.
+            self.cancel_event(ev);
+        }
         let entry = self.paths.entry(self.units[uid].path);
         // Remove from its current queue, if present.
         let next = self.units[uid].next_hop;
@@ -880,6 +974,10 @@ impl Simulation {
         self.units[uid].drop_reason = Some(reason);
         let pid = self.units[uid].payment;
         self.payments[pid].inflight -= amount;
+        if reason == DropReason::ChannelClosed {
+            self.payments[pid].churn_hit = true;
+            self.metrics.unit_dropped_churn();
+        }
         // A unit that never finished locking its path counts as a failed
         // lock; one that fully locked was already counted as a success
         // (it reached the destination) and is only recorded as dropped.
@@ -905,6 +1003,7 @@ impl Simulation {
     fn retire_unit(&mut self, uid: usize) {
         debug_assert!(self.units[uid].done);
         debug_assert!(self.units[uid].timeout_event.is_none());
+        debug_assert!(self.units[uid].hop_event.is_none());
         self.free_units.push(uid);
     }
 
@@ -1032,6 +1131,11 @@ impl Simulation {
             return;
         };
         for i in 0..self.channels.len() {
+            if self.channels[i].is_closed() {
+                // A closed channel's zero availability is not depletion;
+                // topping it up on-chain would strand the deposit.
+                continue;
+            }
             let capacity = self.channels[i].capacity();
             for dir in [Direction::Forward, Direction::Backward] {
                 if self.rebalance_pending[i][dir.index()] {
@@ -1056,6 +1160,180 @@ impl Simulation {
                 }
             }
         }
+    }
+
+    // ---- topology churn: live channel open/close/resize mid-run ----
+
+    /// Applies one scheduled churn event: mutate the channel states, fail
+    /// back in-flight units crossing closed channels, then notify the
+    /// router (which repairs its candidate caches incrementally).
+    fn on_topology_event(&mut self, i: usize) {
+        let change = self.topo_events[i].change;
+        let mut update = TopologyUpdate::default();
+        self.apply_topology_change(change, &mut update, true);
+        if update.is_empty() {
+            // Idempotent no-op (e.g. closing an already-closed channel).
+            return;
+        }
+        self.metrics.topology_event(
+            update.closed.len(),
+            update.opened.len(),
+            update.resized.len(),
+            self.now,
+        );
+        let view = NetworkView {
+            topo: &self.topo,
+            channels: &self.channels,
+            paths: &self.paths,
+            now: self.now,
+        };
+        self.router.on_topology_change(&update, &view);
+    }
+
+    /// Applies one [`TopologyChange`], recording what actually toggled in
+    /// `update`. `failback` is false only for `t = 0` initial-state
+    /// application, when nothing can be in flight.
+    fn apply_topology_change(
+        &mut self,
+        change: TopologyChange,
+        update: &mut TopologyUpdate,
+        failback: bool,
+    ) {
+        match change {
+            TopologyChange::ChannelClose { channel } => {
+                self.close_channel(channel, update, failback)
+            }
+            TopologyChange::ChannelOpen { channel } => self.open_channel(channel, update),
+            TopologyChange::ChannelResize {
+                channel,
+                new_capacity,
+            } => {
+                let ci = channel.index();
+                let (deposited, withdrawn) = self.channels[ci].resize(new_capacity);
+                if deposited.is_zero() && withdrawn.is_zero() {
+                    return;
+                }
+                update.resized.push(channel);
+                // Fresh balance may unblock queued units.
+                if !deposited.is_zero() && !self.channels[ci].is_closed() {
+                    self.drain_released(VecDeque::from([
+                        (channel, Direction::Forward),
+                        (channel, Direction::Backward),
+                    ]));
+                }
+            }
+            TopologyChange::NodeLeave { node } => {
+                let incident: Vec<ChannelId> = self
+                    .topo
+                    .neighbors(node)
+                    .iter()
+                    .map(|a| a.channel)
+                    .collect();
+                for c in incident {
+                    self.close_channel(c, update, failback);
+                }
+            }
+            TopologyChange::NodeJoin { node } => {
+                let incident: Vec<ChannelId> = self
+                    .topo
+                    .neighbors(node)
+                    .iter()
+                    .map(|a| a.channel)
+                    .collect();
+                for c in incident {
+                    self.open_channel(c, update);
+                }
+            }
+        }
+    }
+
+    /// Closes a channel and fails back every in-flight unit whose path
+    /// traverses it: hop-by-hop units are dropped wherever they are
+    /// (queued or mid-path) with every locked hop refunded; lockstep
+    /// units have their pending settlement canceled and refunded. Either
+    /// way the value returns to the payment's unassigned pool (atomic
+    /// payments cancel outright), so conservation holds at every instant.
+    fn close_channel(&mut self, channel: ChannelId, update: &mut TopologyUpdate, failback: bool) {
+        let ci = channel.index();
+        if self.channels[ci].is_closed() {
+            return;
+        }
+        self.channels[ci].close();
+        update.closed.push(channel);
+        if !failback {
+            return;
+        }
+        if self.hop_by_hop() {
+            for uid in 0..self.units.len() {
+                if self.units[uid].done {
+                    continue;
+                }
+                let traverses = self
+                    .paths
+                    .entry(self.units[uid].path)
+                    .hops()
+                    .iter()
+                    .any(|&(c, _)| c == channel);
+                if traverses {
+                    self.drop_unit(uid, DropReason::ChannelClosed);
+                }
+            }
+        } else {
+            let atomic = self.router.atomic();
+            for id in 0..self.event_store.len() {
+                let hit = matches!(
+                    &self.event_store[id],
+                    Some(EventKind::Settle { path, .. })
+                        if self.paths.entry(*path).hops().iter().any(|&(c, _)| c == channel)
+                );
+                if !hit {
+                    continue;
+                }
+                // Cancel in place (the heap entry reclaims the slot) and
+                // unwind the unit's locks.
+                let Some(EventKind::Settle {
+                    payment,
+                    amount,
+                    path,
+                }) = self.event_store[id].take()
+                else {
+                    unreachable!("matched above");
+                };
+                let entry = self.paths.entry(path);
+                for &(c, dir) in entry.hops() {
+                    self.channels[c.index()].refund(dir, amount);
+                }
+                let p = &mut self.payments[payment];
+                p.inflight -= amount;
+                p.churn_hit = true;
+                // Counted in both the total and the churn-specific drop
+                // counters, so `units_dropped_churn <= units_dropped`
+                // holds in every engine mode.
+                self.metrics.unit_dropped();
+                self.metrics.unit_dropped_churn();
+                if atomic {
+                    // All-or-nothing schemes cannot partially retry.
+                    p.expired = true;
+                } else if self.payments[payment].active() && !self.pending.contains(&payment) {
+                    self.pending.push(payment);
+                }
+            }
+        }
+    }
+
+    /// Reopens a closed channel; its frozen balances become spendable
+    /// again and its directions are drained in case senders are waiting.
+    fn open_channel(&mut self, channel: ChannelId, update: &mut TopologyUpdate) {
+        let ci = channel.index();
+        if !self.channels[ci].is_closed() {
+            return;
+        }
+        self.channels[ci].reopen();
+        update.opened.push(channel);
+        self.drain_released(VecDeque::from([
+            (channel, Direction::Forward),
+            (channel, Direction::Backward),
+        ]));
     }
 
     /// Verifies fund conservation on every channel (available + in-flight
@@ -1726,6 +2004,353 @@ mod queueing_tests {
         // The stuck remainder sits in channel 1's queue at the horizon.
         let last = r.queue_depth_series.last().unwrap();
         assert_eq!(last.iter().sum::<u32>() as usize, sim.queued_units());
+    }
+}
+
+#[cfg(test)]
+mod churn_tests {
+    use super::*;
+    use crate::config::QueueConfig;
+    use crate::workload::TxnSpec;
+    use spider_topology::gen;
+    use spider_types::SimDuration;
+
+    struct Direct;
+    impl Router for Direct {
+        fn name(&self) -> &'static str {
+            "direct"
+        }
+        fn route(
+            &mut self,
+            req: &RouteRequest,
+            view: &NetworkView<'_>,
+        ) -> Vec<crate::router::RouteProposal> {
+            match view.topo.shortest_path(req.src, req.dst) {
+                Some(path) => vec![crate::router::RouteProposal {
+                    path: view.intern(&path),
+                    amount: req.remaining,
+                }],
+                None => Vec::new(),
+            }
+        }
+    }
+
+    /// `(closed, opened)` channel lists of one recorded notification.
+    type RecordedUpdate = (Vec<ChannelId>, Vec<ChannelId>);
+
+    /// Records topology-change notifications for assertions.
+    struct ChangeRecorder {
+        updates: std::rc::Rc<std::cell::RefCell<Vec<RecordedUpdate>>>,
+    }
+    impl Router for ChangeRecorder {
+        fn name(&self) -> &'static str {
+            "change-recorder"
+        }
+        fn route(
+            &mut self,
+            req: &RouteRequest,
+            view: &NetworkView<'_>,
+        ) -> Vec<crate::router::RouteProposal> {
+            match view.topo.shortest_path(req.src, req.dst) {
+                Some(path) => vec![crate::router::RouteProposal {
+                    path: view.intern(&path),
+                    amount: req.remaining,
+                }],
+                None => Vec::new(),
+            }
+        }
+        fn on_topology_change(&mut self, update: &TopologyUpdate, _view: &NetworkView<'_>) {
+            self.updates
+                .borrow_mut()
+                .push((update.closed.clone(), update.opened.clone()));
+        }
+    }
+
+    fn xrp(x: u64) -> Amount {
+        Amount::from_xrp(x)
+    }
+
+    fn txn(t_ms: u64, src: u32, dst: u32, amount: Amount) -> TxnSpec {
+        TxnSpec {
+            time: SimTime::from_micros(t_ms * 1000),
+            src: NodeId(src),
+            dst: NodeId(dst),
+            amount,
+        }
+    }
+
+    fn close_at(t_ms: u64, c: u32) -> TopologyEvent {
+        TopologyEvent {
+            at: SimTime::from_micros(t_ms * 1000),
+            change: TopologyChange::ChannelClose {
+                channel: ChannelId(c),
+            },
+        }
+    }
+
+    fn open_at(t_ms: u64, c: u32) -> TopologyEvent {
+        TopologyEvent {
+            at: SimTime::from_micros(t_ms * 1000),
+            change: TopologyChange::ChannelOpen {
+                channel: ChannelId(c),
+            },
+        }
+    }
+
+    #[test]
+    fn lockstep_close_fails_back_inflight_and_blocks_traffic() {
+        // Payment locks at t=100ms; the only channel closes at t=300ms,
+        // before the 500ms settle: the unit must refund, the payment
+        // expire at its deadline, and conservation hold throughout.
+        let t = gen::line(2, xrp(10));
+        let mut cfg = SimConfig {
+            horizon: SimDuration::from_secs(10),
+            deadline: Some(SimDuration::from_secs(2)),
+            ..SimConfig::default()
+        };
+        cfg.mtu = xrp(5);
+        let mut sim = Simulation::new(
+            t,
+            Workload {
+                txns: vec![txn(100, 0, 1, xrp(3))],
+            },
+            Box::new(Direct),
+            cfg,
+        )
+        .unwrap();
+        sim.set_topology_events(vec![close_at(300, 0)]);
+        let r = sim.run();
+        sim.check_conservation();
+        assert_eq!(r.completed_payments, 0);
+        assert_eq!(r.delivered_volume, Amount::ZERO);
+        assert_eq!(r.topology_events, 1);
+        assert_eq!(r.churn_channels_closed, 1);
+        assert_eq!(r.units_dropped_churn, 1);
+        assert_eq!(r.payments_failed_churn, 1);
+        assert!(sim.channel_states()[0].is_closed());
+        assert_eq!(
+            sim.channel_states()[0].inflight(Direction::Forward),
+            Amount::ZERO,
+            "failback refunded the lock"
+        );
+    }
+
+    #[test]
+    fn reopen_restores_service_and_flap_is_counted() {
+        // Close 400ms..1s; a payment arriving at 500ms retries from the
+        // pending queue and completes after the reopen.
+        let t = gen::line(2, xrp(10));
+        let cfg = SimConfig {
+            horizon: SimDuration::from_secs(10),
+            deadline: Some(SimDuration::from_secs(5)),
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(
+            t,
+            Workload {
+                txns: vec![txn(500, 0, 1, xrp(2))],
+            },
+            Box::new(Direct),
+            cfg,
+        )
+        .unwrap();
+        sim.set_topology_events(vec![close_at(400, 0), open_at(1_000, 0)]);
+        let r = sim.run();
+        sim.check_conservation();
+        assert_eq!(r.completed_payments, 1, "service resumes after reopen");
+        assert!(r.retries > 0, "the closed window forces retries");
+        assert_eq!(r.topology_events, 2);
+        assert_eq!(r.churn_channels_opened, 1);
+        assert!(!sim.channel_states()[0].is_closed());
+    }
+
+    #[test]
+    fn queueing_close_drops_queued_and_traveling_units() {
+        // Wide first hop, narrow second: units queue at hop 1 holding
+        // hop-0 locks; closing channel 1 mid-run must fail them all back.
+        let mut b = Topology::builder(3);
+        b.channel(NodeId(0), NodeId(1), xrp(20)).unwrap();
+        b.channel(NodeId(1), NodeId(2), xrp(10)).unwrap();
+        let t = b.build();
+        let cfg = SimConfig {
+            horizon: SimDuration::from_secs(5),
+            mtu: xrp(1),
+            deadline: None,
+            queueing: crate::config::QueueingMode::PerChannelFifo(QueueConfig {
+                max_queue_delay: SimDuration::from_secs(3_600),
+                marking_delay: SimDuration::from_secs(3_000),
+                ..QueueConfig::default()
+            }),
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(
+            t,
+            Workload {
+                txns: vec![txn(0, 0, 2, xrp(8))],
+            },
+            Box::new(Direct),
+            cfg,
+        )
+        .unwrap();
+        sim.set_topology_events(vec![close_at(700, 1)]);
+        let r = sim.run();
+        sim.check_conservation();
+        assert_eq!(r.delivered_volume, xrp(5), "only pre-close units settle");
+        assert!(r.units_dropped_churn > 0, "queued units failed back");
+        assert_eq!(sim.queued_units(), 0, "the closed channel's queue drained");
+        for c in sim.channel_states() {
+            assert_eq!(c.inflight(Direction::Forward), Amount::ZERO);
+            assert_eq!(c.inflight(Direction::Backward), Amount::ZERO);
+        }
+    }
+
+    #[test]
+    fn resize_event_grows_capacity_midrun() {
+        let t = gen::line(2, xrp(10));
+        let cfg = SimConfig {
+            horizon: SimDuration::from_secs(10),
+            deadline: Some(SimDuration::from_secs(6)),
+            ..SimConfig::default()
+        };
+        // 8 XRP wants to cross a 5-XRP side; the resize to 30 XRP at t=1s
+        // deposits enough for the remainder to complete on retry.
+        let mut sim = Simulation::new(
+            t,
+            Workload {
+                txns: vec![txn(0, 0, 1, xrp(8))],
+            },
+            Box::new(Direct),
+            cfg,
+        )
+        .unwrap();
+        sim.set_topology_events(vec![TopologyEvent {
+            at: SimTime::from_secs(1),
+            change: TopologyChange::ChannelResize {
+                channel: ChannelId(0),
+                new_capacity: xrp(30),
+            },
+        }]);
+        let r = sim.run();
+        sim.check_conservation();
+        assert_eq!(r.completed_payments, 1);
+        assert_eq!(r.churn_channels_resized, 1);
+        assert_eq!(sim.channel_states()[0].capacity(), xrp(30));
+    }
+
+    #[test]
+    fn node_leave_closes_all_incident_channels_and_join_reopens() {
+        // Line 0-1-2: node 1 leaving severs everything.
+        let t = gen::line(3, xrp(10));
+        let updates = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let router = ChangeRecorder {
+            updates: std::rc::Rc::clone(&updates),
+        };
+        let cfg = SimConfig {
+            horizon: SimDuration::from_secs(8),
+            deadline: Some(SimDuration::from_secs(6)),
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(
+            t,
+            Workload {
+                txns: vec![txn(1_500, 0, 2, xrp(2))],
+            },
+            Box::new(router),
+            cfg,
+        )
+        .unwrap();
+        sim.set_topology_events(vec![
+            TopologyEvent {
+                at: SimTime::from_secs(1),
+                change: TopologyChange::NodeLeave { node: NodeId(1) },
+            },
+            TopologyEvent {
+                at: SimTime::from_secs(3),
+                change: TopologyChange::NodeJoin { node: NodeId(1) },
+            },
+        ]);
+        let r = sim.run();
+        sim.check_conservation();
+        assert_eq!(r.completed_payments, 1, "completes after the rejoin");
+        assert_eq!(r.churn_channels_closed, 2);
+        assert_eq!(r.churn_channels_opened, 2);
+        let got = updates.borrow();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].0.len(), 2, "leave closed both incident channels");
+        assert_eq!(got[1].1.len(), 2, "join reopened both");
+    }
+
+    #[test]
+    fn initial_closes_apply_before_prewarm_without_counting_as_events() {
+        // Channel closed at t=0 (a mid-run spawn): traffic fails until the
+        // open event, and the t=0 slice is not a mid-run topology event.
+        let t = gen::line(2, xrp(10));
+        let cfg = SimConfig {
+            horizon: SimDuration::from_secs(10),
+            deadline: Some(SimDuration::from_secs(4)),
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(
+            t,
+            Workload {
+                txns: vec![txn(100, 0, 1, xrp(2))],
+            },
+            Box::new(Direct),
+            cfg,
+        )
+        .unwrap();
+        sim.set_topology_events(vec![close_at(0, 0), open_at(2_000, 0)]);
+        let r = sim.run();
+        sim.check_conservation();
+        assert_eq!(r.completed_payments, 1);
+        assert_eq!(r.topology_events, 1, "only the open is a mid-run event");
+        assert_eq!(r.churn_channels_closed, 1);
+        assert_eq!(r.churn_channels_opened, 1);
+    }
+
+    #[test]
+    fn churn_runs_are_deterministic() {
+        let mut rng = spider_types::DetRng::new(17);
+        let w = Workload::generate(
+            32,
+            &crate::workload::WorkloadConfig::small(1_500, 400.0),
+            &mut rng,
+        );
+        let events = vec![
+            close_at(500, 3),
+            close_at(900, 20),
+            open_at(1_400, 3),
+            TopologyEvent {
+                at: SimTime::from_secs(2),
+                change: TopologyChange::NodeLeave { node: NodeId(5) },
+            },
+            open_at(2_600, 20),
+            TopologyEvent {
+                at: SimTime::from_secs(3),
+                change: TopologyChange::NodeJoin { node: NodeId(5) },
+            },
+        ];
+        let run = |w: Workload| {
+            let mut cfg = SimConfig {
+                horizon: SimDuration::from_secs(6),
+                ..SimConfig::default()
+            };
+            cfg.mtu = xrp(5);
+            let mut sim =
+                Simulation::new(gen::isp_topology(xrp(400)), w, Box::new(Direct), cfg).unwrap();
+            sim.set_topology_events(events.clone());
+            let r = sim.run();
+            sim.check_conservation();
+            r
+        };
+        let r1 = run(w.clone());
+        let r2 = run(w);
+        assert_eq!(r1.completed_payments, r2.completed_payments);
+        assert_eq!(r1.delivered_volume, r2.delivered_volume);
+        assert_eq!(r1.units_dropped_churn, r2.units_dropped_churn);
+        assert_eq!(r1.payments_failed_churn, r2.payments_failed_churn);
+        assert_eq!(r1.topology_event_times_s, r2.topology_event_times_s);
+        assert!(r1.units_dropped_churn > 0 || r1.retries > 0);
     }
 }
 

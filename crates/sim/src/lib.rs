@@ -36,5 +36,7 @@ pub use config::{QueueConfig, QueueingMode, SchedulingPolicy, SimConfig};
 pub use engine::{Simulation, SlabStats};
 pub use metrics::SimReport;
 pub use paths::{PathEntry, PathTable};
-pub use router::{NetworkView, RouteProposal, RouteRequest, Router, UnitAck, UnitOutcome};
+pub use router::{
+    NetworkView, RouteProposal, RouteRequest, Router, TopologyUpdate, UnitAck, UnitOutcome,
+};
 pub use workload::{SizeDistribution, TxnSpec, Workload, WorkloadConfig};

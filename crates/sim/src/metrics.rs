@@ -38,11 +38,31 @@ pub struct SimReport {
     /// Units marked by router price signaling (§5 queueing mode only).
     pub units_marked: u64,
     /// Units dropped in transit: queue timeout, queue overflow mid-path,
-    /// or payment expiry (§5 queueing mode only).
+    /// or payment expiry (§5 queueing mode), plus churn failbacks in
+    /// either mode — always ≥ [`SimReport::units_dropped_churn`].
     pub units_dropped: u64,
     /// Units that waited in at least one router queue before settling or
     /// dropping.
     pub units_queued: u64,
+    /// Topology-churn events that actually changed something (idempotent
+    /// no-ops excluded; `t = 0` initial-state events excluded).
+    pub topology_events: u64,
+    /// Channel open → closed transitions applied by churn.
+    pub churn_channels_closed: u64,
+    /// Channel closed → open transitions applied by churn.
+    pub churn_channels_opened: u64,
+    /// Channel capacity resizes applied by churn.
+    pub churn_channels_resized: u64,
+    /// In-flight units failed back because a channel on their path closed
+    /// (both engine modes).
+    pub units_dropped_churn: u64,
+    /// Payments that lost at least one in-flight unit to a channel close
+    /// and never completed — the headline disruption count.
+    pub payments_failed_churn: u64,
+    /// Instants (seconds) of the applied mid-run churn events, for
+    /// recovery-time analysis against [`SimReport::throughput_series`]
+    /// (see [`SimReport::churn_recovery_times`]).
+    pub topology_event_times_s: Vec<f64>,
     /// Total queueing delay accumulated across all hops of all units (s).
     pub queue_delay_sum_s: f64,
     /// Completion times of fully delivered payments, seconds.
@@ -106,6 +126,41 @@ impl SimReport {
         (self.units_queued > 0).then(|| self.queue_delay_sum_s / self.units_queued as f64)
     }
 
+    /// Per-churn-event recovery time: for each entry of
+    /// `topology_event_times_s`, the seconds until per-second delivered
+    /// throughput first returns to `threshold` × its pre-event baseline
+    /// (the mean over the `baseline_window_s` seconds before the event).
+    /// `None` when throughput never recovers within the recorded series;
+    /// `Some(0.0)` when the event caused no dip (or nothing was flowing
+    /// before it).
+    pub fn churn_recovery_times(
+        &self,
+        baseline_window_s: usize,
+        threshold: f64,
+    ) -> Vec<Option<f64>> {
+        let series = &self.throughput_series;
+        self.topology_event_times_s
+            .iter()
+            .map(|&te| {
+                let t = te as usize;
+                let lo = t.saturating_sub(baseline_window_s.max(1));
+                let window = &series[lo.min(series.len())..t.min(series.len())];
+                let baseline = spider_types::stats::mean(window).unwrap_or(0.0);
+                if baseline <= 0.0 {
+                    return Some(0.0);
+                }
+                let target = threshold * baseline;
+                // The event's own bucket is mostly pre-event volume (te is
+                // rarely integral); the first bucket that can witness
+                // recovery is the first one entirely after the event.
+                let start = te.ceil() as usize;
+                (start..series.len())
+                    .find(|&s| series[s] >= target)
+                    .map(|s| (s as f64 - te).max(0.0))
+            })
+            .collect()
+    }
+
     /// Fraction of unit lock attempts that succeeded.
     pub fn unit_lock_rate(&self) -> f64 {
         let total = self.units_locked + self.units_failed;
@@ -148,6 +203,13 @@ pub struct MetricsCollector {
     units_marked: u64,
     units_dropped: u64,
     units_queued: u64,
+    topology_events: u64,
+    churn_channels_closed: u64,
+    churn_channels_opened: u64,
+    churn_channels_resized: u64,
+    units_dropped_churn: u64,
+    payments_failed_churn: u64,
+    topology_event_times_s: Vec<f64>,
     queue_delay_sum_s: f64,
     completion_times: Vec<f64>,
     throughput_buckets: Vec<f64>,
@@ -232,6 +294,36 @@ impl MetricsCollector {
         self.queue_delay_sum_s += delay_s;
     }
 
+    /// Records one applied mid-run topology-churn event: how many channels
+    /// it closed / opened / resized, and when it fired.
+    pub fn topology_event(&mut self, closed: usize, opened: usize, resized: usize, at: SimTime) {
+        self.topology_events += 1;
+        self.churn_channels_closed += closed as u64;
+        self.churn_channels_opened += opened as u64;
+        self.churn_channels_resized += resized as u64;
+        self.topology_event_times_s.push(at.as_secs_f64());
+    }
+
+    /// Records channel-liveness transitions applied before the run starts
+    /// (`t = 0` schedule entries) — counted in the churn totals but not as
+    /// mid-run events.
+    pub fn initial_topology_state(&mut self, closed: usize, opened: usize, resized: usize) {
+        self.churn_channels_closed += closed as u64;
+        self.churn_channels_opened += opened as u64;
+        self.churn_channels_resized += resized as u64;
+    }
+
+    /// Records an in-flight unit failed back by a channel close.
+    pub fn unit_dropped_churn(&mut self) {
+        self.units_dropped_churn += 1;
+    }
+
+    /// Records the final count of payments that lost a unit to churn and
+    /// never completed.
+    pub fn payments_failed_churn(&mut self, count: u64) {
+        self.payments_failed_churn = count;
+    }
+
     /// Records one network-wide queue occupancy sample (total queued units).
     pub fn queue_occupancy_sample(&mut self, total_queued: f64) {
         self.queue_occupancy_samples.push(total_queued);
@@ -261,6 +353,13 @@ impl MetricsCollector {
             units_marked: self.units_marked,
             units_dropped: self.units_dropped,
             units_queued: self.units_queued,
+            topology_events: self.topology_events,
+            churn_channels_closed: self.churn_channels_closed,
+            churn_channels_opened: self.churn_channels_opened,
+            churn_channels_resized: self.churn_channels_resized,
+            units_dropped_churn: self.units_dropped_churn,
+            payments_failed_churn: self.payments_failed_churn,
+            topology_event_times_s: self.topology_event_times_s,
             queue_delay_sum_s: self.queue_delay_sum_s,
             completion_times: self.completion_times,
             throughput_series: self.throughput_buckets,
@@ -328,6 +427,33 @@ mod tests {
         assert_eq!(r.retries, 1);
         assert_eq!(r.avg_path_length(), Some(2.5));
         assert!((r.unit_lock_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recovery_time_reads_the_throughput_series() {
+        let mut m = MetricsCollector::new();
+        // Steady 10 XRP/s for 5 s, a churn event at t = 5 knocks
+        // throughput to 2 for two seconds, recovery at t = 7.
+        for (t, x) in [10.0, 10.0, 10.0, 10.0, 10.0, 2.0, 2.0, 9.5, 10.0]
+            .into_iter()
+            .enumerate()
+        {
+            m.unit_settled(Amount::from_xrp_f64(x), SimTime::from_secs(t as u64));
+        }
+        m.topology_event(1, 0, 0, SimTime::from_secs(5));
+        let r = m.finish("t", SimDuration::from_secs(9));
+        assert_eq!(r.topology_events, 1);
+        assert_eq!(r.churn_channels_closed, 1);
+        let rec = r.churn_recovery_times(3, 0.9);
+        assert_eq!(rec, vec![Some(2.0)]);
+        // An unrecoverable dip reports None.
+        let mut m = MetricsCollector::new();
+        for (t, x) in [10.0, 10.0, 1.0, 1.0].into_iter().enumerate() {
+            m.unit_settled(Amount::from_xrp_f64(x), SimTime::from_secs(t as u64));
+        }
+        m.topology_event(1, 0, 0, SimTime::from_secs(2));
+        let r = m.finish("t", SimDuration::from_secs(4));
+        assert_eq!(r.churn_recovery_times(2, 0.9), vec![None]);
     }
 
     #[test]

@@ -157,6 +157,34 @@ pub struct UnitAck {
     pub rtt: SimDuration,
 }
 
+/// Summary of one applied topology-churn event: the channels that
+/// actually changed state (idempotent no-ops are filtered out). Handed to
+/// [`Router::on_topology_change`] so schemes can repair candidate caches
+/// and per-path controller state incrementally.
+#[derive(Debug, Clone, Default)]
+pub struct TopologyUpdate {
+    /// Channels that transitioned open → closed.
+    pub closed: Vec<ChannelId>,
+    /// Channels that transitioned closed → open.
+    pub opened: Vec<ChannelId>,
+    /// Channels whose capacity was resized (connectivity unchanged — the
+    /// hop-count path oracles never need invalidation for these).
+    pub resized: Vec<ChannelId>,
+}
+
+impl TopologyUpdate {
+    /// True when the event changed nothing (every mutation was a no-op).
+    pub fn is_empty(&self) -> bool {
+        self.closed.is_empty() && self.opened.is_empty() && self.resized.is_empty()
+    }
+
+    /// True when connectivity changed (a cache built on hop counts may be
+    /// stale).
+    pub fn connectivity_changed(&self) -> bool {
+        !self.closed.is_empty() || !self.opened.is_empty()
+    }
+}
+
 /// A routing scheme.
 ///
 /// Implementations live in `spider-routing`; the engine drives them through
@@ -208,6 +236,16 @@ pub trait Router {
     /// per accepted unit with its delivery outcome and price stamp. Never
     /// called in lockstep mode.
     fn on_unit_ack(&mut self, _ack: &UnitAck, _view: &NetworkView<'_>) {}
+
+    /// Called after every applied topology-churn event (and once before
+    /// [`Router::prewarm`] when the schedule closes channels at `t = 0`),
+    /// with the channels that actually changed state. Schemes with
+    /// candidate-path caches repair them here (see
+    /// `spider_routing::PathCache::on_topology_change`); schemes with
+    /// per-path controller state migrate it across the path-set change.
+    /// Wrappers must forward to their inner scheme. Default: no-op —
+    /// proposals over dead channels then simply fail to lock.
+    fn on_topology_change(&mut self, _update: &TopologyUpdate, _view: &NetworkView<'_>) {}
 
     /// Atomic schemes deliver a payment in one attempt, entirely or not at
     /// all (SilentWhispers, SpeedyMurmurs, max-flow). Non-atomic schemes

@@ -17,6 +17,7 @@
 pub mod amount;
 pub mod distr;
 pub mod error;
+pub mod event;
 pub mod ids;
 pub mod rng;
 pub mod stats;
@@ -25,6 +26,7 @@ pub mod unit;
 
 pub use amount::{Amount, SignedAmount, DROPS_PER_XRP};
 pub use error::{Result, SpiderError};
+pub use event::{TopologyChange, TopologyEvent};
 pub use ids::{ChannelId, Direction, NodeId, PathId, PaymentId, UnitId};
 pub use rng::DetRng;
 pub use time::{SimDuration, SimTime};

@@ -61,6 +61,9 @@ pub enum DropReason {
     QueueOverflow,
     /// Its payment's deadline passed while it was still in flight.
     Expired,
+    /// A channel on its path closed (topology churn) while it was in
+    /// flight; every locked hop was refunded.
+    ChannelClosed,
 }
 
 #[cfg(test)]

@@ -37,6 +37,7 @@ fn main() {
                 ..SimConfig::default()
             },
             scheme: schemes[0],
+            dynamics: None,
             seed: 7,
         };
         let reports = cfg.run_schemes(&schemes).expect("experiments run");

@@ -64,6 +64,7 @@ fn main() {
             ..SimConfig::default()
         },
         scheme: SchemeConfig::SpiderWaterfilling { paths: 4 },
+        dynamics: None,
         seed: 3,
     };
 

@@ -33,6 +33,7 @@ fn main() {
             ..SimConfig::default()
         },
         scheme: SchemeConfig::SpiderWaterfilling { paths: 4 },
+        dynamics: None,
         seed: 11,
     };
 

@@ -24,6 +24,7 @@ pub fn small_isp_experiment(seed: u64, capacity_xrp: u64) -> ExperimentConfig {
             ..SimConfig::default()
         },
         scheme: SchemeConfig::SpiderWaterfilling { paths: 4 },
+        dynamics: None,
         seed,
     }
 }

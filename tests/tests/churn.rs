@@ -1,0 +1,267 @@
+//! Topology-churn integration tests: incremental `PathCache` repair must
+//! be indistinguishable from a cold rebuild on the final topology, and
+//! full simulations under churn must stay deterministic and conserving
+//! for every scheme.
+
+use proptest::prelude::*;
+use spider_core::{run_sweep, ExperimentConfig, SchemeConfig, SweepJob, TopologyConfig};
+use spider_dynamics::{ChurnSchedule, DynamicsConfig};
+use spider_routing::{PathCache, PathPolicy};
+use spider_sim::{PathTable, SimConfig, TopologyUpdate, WorkloadConfig};
+use spider_topology::{gen, Topology};
+use spider_types::{Amount, ChannelId, DetRng, NodeId, SimDuration};
+
+/// Resolve a cache's candidate sets to node sequences (PathIds differ
+/// between caches whose interning orders differ; node sequences must not).
+fn resolved(
+    cache: &mut PathCache,
+    topo: &Topology,
+    table: &PathTable,
+    pairs: &[(NodeId, NodeId)],
+) -> Vec<Vec<Vec<NodeId>>> {
+    pairs
+        .iter()
+        .map(|&(s, d)| {
+            cache
+                .get(topo, table, s, d)
+                .iter()
+                .map(|&id| table.entry(id).nodes().to_vec())
+                .collect()
+        })
+        .collect()
+}
+
+/// One churn step: close / open / (ignored-by-cache) resize over a channel.
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    Close(usize),
+    Open(usize),
+    Resize(usize),
+}
+
+fn apply_step(
+    step: Step,
+    live: &mut [bool],
+    topo: &Topology,
+    table: &PathTable,
+    cache: &mut PathCache,
+) {
+    let m = topo.channel_count();
+    let update = match step {
+        Step::Close(i) if live[i % m] => {
+            live[i % m] = false;
+            TopologyUpdate {
+                closed: vec![ChannelId::from_index(i % m)],
+                ..Default::default()
+            }
+        }
+        Step::Open(i) if !live[i % m] => {
+            live[i % m] = true;
+            TopologyUpdate {
+                opened: vec![ChannelId::from_index(i % m)],
+                ..Default::default()
+            }
+        }
+        Step::Resize(i) => TopologyUpdate {
+            resized: vec![ChannelId::from_index(i % m)],
+            ..Default::default()
+        },
+        // Idempotent no-op: the engine would not emit an update at all.
+        _ => return,
+    };
+    cache.on_topology_change(topo, table, &update);
+}
+
+proptest! {
+    /// After an arbitrary churn sequence, the incrementally-repaired
+    /// cache's candidate sets (resolved to node sequences) are
+    /// bit-identical to a cold cache prewarmed on the final topology —
+    /// across every `PathPolicy` variant.
+    #[test]
+    fn incremental_repair_equals_cold_rebuild(
+        seed in 0u64..1_000,
+        steps in proptest::collection::vec(
+            (0usize..3, 0usize..64), 1..12,
+        ),
+        policy_idx in 0usize..3,
+    ) {
+        let policy = [
+            PathPolicy::EdgeDisjoint(4),
+            PathPolicy::KShortest(3),
+            PathPolicy::Shortest,
+        ][policy_idx];
+        let mut rng = DetRng::new(seed);
+        let topo = gen::barabasi_albert(60, 2, Amount::from_xrp(100), &mut rng);
+        let mut pairs = Vec::new();
+        for _ in 0..24 {
+            let s = NodeId(rng.index(topo.node_count()) as u32);
+            let d = NodeId(rng.index(topo.node_count()) as u32);
+            if s != d {
+                pairs.push((s, d));
+            }
+        }
+        let table = PathTable::new();
+        let mut warm = PathCache::new(policy);
+        warm.prefill(&topo, &table, &pairs);
+        let mut live = vec![true; topo.channel_count()];
+        for &(kind, i) in &steps {
+            let step = match kind {
+                0 => Step::Close(i),
+                1 => Step::Open(i),
+                _ => Step::Resize(i),
+            };
+            apply_step(step, &mut live, &topo, &table, &mut warm);
+        }
+        // Cold cache: tell it the final mask in one update, then prewarm.
+        let closed: Vec<ChannelId> = live
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| !l)
+            .map(|(i, _)| ChannelId::from_index(i))
+            .collect();
+        let cold_table = PathTable::new();
+        let mut cold = PathCache::new(policy);
+        if !closed.is_empty() {
+            cold.on_topology_change(&topo, &cold_table, &TopologyUpdate {
+                closed,
+                ..Default::default()
+            });
+        }
+        cold.prefill(&topo, &cold_table, &pairs);
+        prop_assert_eq!(
+            resolved(&mut warm, &topo, &table, &pairs),
+            resolved(&mut cold, &topo, &cold_table, &pairs),
+            "policy {:?}, steps {:?}", policy, steps
+        );
+        // No surviving candidate traverses a closed channel.
+        for &(s, d) in &pairs {
+            for &id in warm.get(&topo, &table, s, d) {
+                for &(c, _) in table.entry(id).hops() {
+                    prop_assert!(live[c.index()], "candidate over closed channel");
+                }
+            }
+        }
+    }
+}
+
+fn churn_experiment(scheme: SchemeConfig, seed: u64) -> ExperimentConfig {
+    ExperimentConfig {
+        topology: TopologyConfig::Isp {
+            capacity_xrp: 2_000,
+        },
+        workload: WorkloadConfig::small(500, 150.0),
+        sim: SimConfig {
+            horizon: SimDuration::from_secs(5),
+            ..SimConfig::default()
+        },
+        scheme,
+        dynamics: Some(DynamicsConfig {
+            close_rate_per_sec: 1.0,
+            reopen_mean_secs: Some(1.5),
+            resize_rate_per_sec: 0.5,
+            node_leave_rate_per_sec: 0.2,
+            spawn_fraction: 0.05,
+            flap_channels: 2,
+            flap_period_secs: 2.0,
+            horizon_secs: 5.0,
+            ..DynamicsConfig::default()
+        }),
+        seed,
+    }
+}
+
+/// Every registered scheme survives a churn-heavy run with conservation
+/// intact (checked inside `run()`), and the same seed reproduces the
+/// same report bit for bit.
+#[test]
+fn all_schemes_deterministic_and_conserving_under_churn() {
+    let schemes = SchemeConfig::extended_lineup();
+    // Two identical jobs per scheme, fanned across cores in one sweep
+    // (every job seeds independently, so scheduling cannot leak in).
+    let jobs: Vec<SweepJob> = schemes
+        .iter()
+        .flat_map(|&s| {
+            [
+                SweepJob::Scheme(churn_experiment(s, 11)),
+                SweepJob::Scheme(churn_experiment(s, 11)),
+            ]
+        })
+        .collect();
+    let reports = run_sweep(&jobs).expect("sweep runs");
+    for pair in reports.chunks(2) {
+        let (a, b) = (&pair[0], &pair[1]);
+        assert_eq!(a.completed_payments, b.completed_payments, "{}", a.scheme);
+        assert_eq!(a.delivered_volume, b.delivered_volume, "{}", a.scheme);
+        assert_eq!(a.units_locked, b.units_locked, "{}", a.scheme);
+        assert_eq!(a.units_dropped_churn, b.units_dropped_churn, "{}", a.scheme);
+        assert_eq!(a.topology_events, b.topology_events, "{}", a.scheme);
+        assert_eq!(
+            a.topology_event_times_s, b.topology_event_times_s,
+            "{}",
+            a.scheme
+        );
+        assert!(
+            a.topology_events > 0,
+            "{}: churn must actually fire",
+            a.scheme
+        );
+        assert!(
+            a.attempted_payments == 500,
+            "{}: full workload attempted",
+            a.scheme
+        );
+    }
+}
+
+/// Churn hurts but does not zero out a repairing scheme: with moderate
+/// churn, waterfilling still delivers most of what the static run does.
+#[test]
+fn repairing_scheme_retains_most_throughput_under_churn() {
+    let scheme = SchemeConfig::SpiderWaterfilling { paths: 4 };
+    let churned = churn_experiment(scheme, 3).run().expect("runs");
+    let mut static_cfg = churn_experiment(scheme, 3);
+    static_cfg.dynamics = None;
+    let quiet = static_cfg.run().expect("runs");
+    assert!(churned.delivered_volume <= quiet.delivered_volume);
+    assert!(
+        churned.success_volume() > 0.4 * quiet.success_volume(),
+        "churned {:.3} vs quiet {:.3}",
+        churned.success_volume(),
+        quiet.success_volume()
+    );
+}
+
+/// An empty churn schedule is observationally identical to no schedule at
+/// all (the static-topology regression the determinism goldens also pin).
+#[test]
+fn zero_intensity_dynamics_changes_nothing() {
+    let scheme = SchemeConfig::ShortestPath;
+    let mut cfg = churn_experiment(scheme, 5);
+    cfg.dynamics = Some(DynamicsConfig::default().scaled(0.0));
+    let with_empty_schedule = cfg.run().expect("runs");
+    let mut cfg = churn_experiment(scheme, 5);
+    cfg.dynamics = None;
+    let without = cfg.run().expect("runs");
+    assert_eq!(
+        with_empty_schedule.completed_payments,
+        without.completed_payments
+    );
+    assert_eq!(
+        with_empty_schedule.delivered_volume,
+        without.delivered_volume
+    );
+    assert_eq!(with_empty_schedule.units_locked, without.units_locked);
+    assert_eq!(with_empty_schedule.topology_events, 0);
+}
+
+/// The generated schedule itself is a pure function of (topology, config,
+/// seed) — the piece `same seed ⇒ same report` rests on.
+#[test]
+fn schedule_generation_is_seed_deterministic() {
+    let topo = gen::isp_topology(Amount::from_xrp(100));
+    let cfg = DynamicsConfig::default();
+    let a = ChurnSchedule::generate(&topo, &cfg, &mut DetRng::new(42)).unwrap();
+    let b = ChurnSchedule::generate(&topo, &cfg, &mut DetRng::new(42)).unwrap();
+    assert_eq!(a, b);
+    assert!(a.midrun_events() > 0);
+}

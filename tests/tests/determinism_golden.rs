@@ -29,6 +29,7 @@ fn golden_experiment(seed: u64, scheme: SchemeConfig) -> ExperimentConfig {
             ..SimConfig::default()
         },
         scheme,
+        dynamics: None,
         seed,
     }
 }
@@ -136,7 +137,7 @@ fn waterfilling_outcomes_match_pre_refactor_goldens() {
 #[test]
 fn spider_protocol_outcomes_match_pre_refactor_goldens() {
     check(
-        SchemeConfig::SpiderProtocol { paths: 4 },
+        SchemeConfig::spider_protocol(4),
         &[
             Golden {
                 seed: 7,
@@ -189,6 +190,7 @@ fn ripple_golden_experiment(seed: u64, scheme: SchemeConfig) -> ExperimentConfig
             ..SimConfig::default()
         },
         scheme,
+        dynamics: None,
         seed,
     }
 }
@@ -212,7 +214,7 @@ fn ripple_like_outcomes_match_recorded_goldens() {
             },
         ),
         (
-            SchemeConfig::SpiderProtocol { paths: 4 },
+            SchemeConfig::spider_protocol(4),
             Golden {
                 seed: 13,
                 completed: 1_156,

@@ -106,6 +106,7 @@ fn paper_example_topology_runs_all_schemes() {
             ..SimConfig::default()
         },
         scheme: SchemeConfig::ShortestPath,
+        dynamics: None,
         seed: 23,
     };
     for r in cfg
@@ -129,6 +130,7 @@ fn ripple_like_topology_runs() {
             ..SimConfig::default()
         },
         scheme: SchemeConfig::SpiderWaterfilling { paths: 4 },
+        dynamics: None,
         seed: 29,
     };
     let r = cfg.run().expect("runs");

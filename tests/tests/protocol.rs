@@ -10,7 +10,7 @@ use spider_tests::small_isp_experiment;
 #[test]
 fn protocol_scheme_runs_end_to_end() {
     let mut cfg = small_isp_experiment(21, 8_000);
-    cfg.scheme = SchemeConfig::SpiderProtocol { paths: 4 };
+    cfg.scheme = SchemeConfig::spider_protocol(4);
     let r = cfg.run().expect("runs");
     assert_eq!(r.scheme, "spider-protocol");
     assert!(r.success_ratio() > 0.3, "ratio {}", r.success_ratio());
@@ -20,7 +20,7 @@ fn protocol_scheme_runs_end_to_end() {
 #[test]
 fn protocol_selection_auto_enables_queueing() {
     let mut cfg = small_isp_experiment(21, 8_000);
-    cfg.scheme = SchemeConfig::SpiderProtocol { paths: 4 };
+    cfg.scheme = SchemeConfig::spider_protocol(4);
     assert!(
         matches!(cfg.sim.queueing, QueueingMode::Lockstep),
         "user left the default"
@@ -40,7 +40,7 @@ fn protocol_selection_auto_enables_queueing() {
 #[test]
 fn protocol_runs_are_bit_reproducible_per_seed() {
     let mut cfg = small_isp_experiment(33, 6_000);
-    cfg.scheme = SchemeConfig::SpiderProtocol { paths: 4 };
+    cfg.scheme = SchemeConfig::spider_protocol(4);
     let a = cfg.run().expect("runs");
     let b = cfg.run().expect("runs");
     assert_eq!(a.completed_payments, b.completed_payments);
@@ -56,7 +56,7 @@ fn protocol_runs_are_bit_reproducible_per_seed() {
 fn constrained_capacity_produces_queueing_and_marking() {
     // Scarce capacity: queues must form and price marking must fire.
     let mut cfg = small_isp_experiment(29, 1_500);
-    cfg.scheme = SchemeConfig::SpiderProtocol { paths: 4 };
+    cfg.scheme = SchemeConfig::spider_protocol(4);
     let r = cfg.run().expect("runs");
     assert!(r.units_queued > 0, "queues never formed");
     assert!(r.units_marked > 0, "marking never fired");
@@ -73,7 +73,7 @@ fn constrained_capacity_produces_queueing_and_marking() {
 fn protocol_matches_or_beats_windowed_aimd_baseline() {
     for seed in [5, 17, 31] {
         let mut cfg = small_isp_experiment(seed, 4_000);
-        cfg.scheme = SchemeConfig::SpiderProtocol { paths: 4 };
+        cfg.scheme = SchemeConfig::spider_protocol(4);
         cfg.sim.queueing = QueueingMode::PerChannelFifo(QueueConfig::default());
         let protocol = cfg.run().expect("protocol runs");
         let windowed: SimReport = cfg

@@ -403,6 +403,32 @@ impl<T: Serialize> Serialize for [T] {
     }
 }
 
+// Fixed-size arrays serialize like `Vec` and deserialize with an exact
+// arity check — added for the `spider-dynamics` config shapes (e.g.
+// `[f64; 2]` ranges). The derive macros stay generics-free; these impls
+// are generic over `N` only, which the shim's trait layer supports.
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = v.as_array().ok_or_else(|| DeError::new("expected array"))?;
+        if items.len() != N {
+            return Err(DeError::new(format!(
+                "expected array of length {N}, found {}",
+                items.len()
+            )));
+        }
+        let parsed: Vec<T> = items.iter().map(T::from_value).collect::<Result<_, _>>()?;
+        parsed
+            .try_into()
+            .map_err(|_| DeError::new("array arity mismatch"))
+    }
+}
+
 impl<A: Serialize, B: Serialize> Serialize for (A, B) {
     fn to_value(&self) -> Value {
         Value::Array(vec![self.0.to_value(), self.1.to_value()])
@@ -533,6 +559,17 @@ mod tests {
         let some = Some(3u64).to_value();
         assert_eq!(Option::<u64>::from_value(&some).unwrap(), Some(3));
         assert_eq!(Option::<u64>::from_value(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn fixed_array_round_trip() {
+        let a = [0.25f64, 4.0];
+        let v = a.to_value();
+        let back: [f64; 2] = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, a);
+        // Wrong arity is rejected, matching serde's strictness.
+        assert!(<[f64; 3]>::from_value(&v).is_err());
+        assert!(<[u32; 2]>::from_value(&Value::Null).is_err());
     }
 
     #[test]
