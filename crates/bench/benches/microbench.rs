@@ -252,6 +252,135 @@ fn bench_end_to_end(c: &mut Criterion) {
     });
 }
 
+/// The engine calendar: bucketed calendar queue vs the binary heap it
+/// replaced, on an engine-shaped mix (steady near-future settles/hops
+/// plus occasional far-future timeouts), interleaved push/pop.
+fn bench_calendar(c: &mut Criterion) {
+    use spider_sim::CalendarQueue;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    const N: u64 = 50_000;
+    // Deterministic pseudo-random deltas: mostly < 1 s, every 16th ~ 10 s.
+    let delta = |i: u64| {
+        let h = i.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 40;
+        if i.is_multiple_of(16) {
+            10_000_000 + h
+        } else {
+            h % 1_000_000
+        }
+    };
+    let mut g = c.benchmark_group("calendar-queue");
+    g.bench_function("calendar_push_pop_50k", |b| {
+        b.iter(|| {
+            let mut q = CalendarQueue::new();
+            let mut now = 0u64;
+            for i in 0..N {
+                q.push(SimTime::from_micros(now + delta(i)), i, i as usize);
+                // Interleave: every other op pops (half the queue drains
+                // during the run, half at the end — the engine's shape).
+                if i % 2 == 1 {
+                    let (t, _, _) = q.pop().expect("non-empty");
+                    now = now.max(t.micros());
+                }
+            }
+            while let Some(e) = q.pop() {
+                black_box(e);
+            }
+        })
+    });
+    g.bench_function("binary_heap_push_pop_50k", |b| {
+        b.iter(|| {
+            let mut q: BinaryHeap<Reverse<(u64, u64, usize)>> = BinaryHeap::new();
+            let mut now = 0u64;
+            for i in 0..N {
+                q.push(Reverse((now + delta(i), i, i as usize)));
+                if i % 2 == 1 {
+                    let Reverse((t, _, _)) = q.pop().expect("non-empty");
+                    now = now.max(t);
+                }
+            }
+            while let Some(e) = q.pop() {
+                black_box(e);
+            }
+        })
+    });
+    g.finish();
+}
+
+/// A churn close's work discovery: per-channel index lookup vs the full
+/// slab scan it replaced. 100k live slots spread over 256 channels, each
+/// crossing 3 channels (a path) — the indexed close touches ~1/256th of
+/// what the scan walks.
+fn bench_channel_index_close(c: &mut Criterion) {
+    use spider_sim::ChannelIndex;
+    const SLOTS: u32 = 100_000;
+    const CHANNELS: usize = 256;
+    let hops = |s: u32| {
+        let h = (s as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        [
+            (h % CHANNELS as u64) as usize,
+            ((h >> 16) % CHANNELS as u64) as usize,
+            ((h >> 32) % CHANNELS as u64) as usize,
+        ]
+    };
+    // The slab the scan walks: each slot's crossed channels.
+    let slab: Vec<[usize; 3]> = (0..SLOTS).map(hops).collect();
+    let mut idx = ChannelIndex::new(CHANNELS);
+    for s in 0..SLOTS {
+        for ch in hops(s) {
+            idx.insert(ch, s, 0, |_, _| true);
+        }
+    }
+    let mut g = c.benchmark_group("churn-close-discovery");
+    let mut out = Vec::new();
+    g.bench_function("indexed_per_channel", |b| {
+        b.iter(|| {
+            idx.collect_live_sorted(black_box(37), |_, _| true, &mut out);
+            black_box(out.len())
+        })
+    });
+    g.bench_function("full_slab_scan", |b| {
+        b.iter(|| {
+            out.clear();
+            for (s, chans) in slab.iter().enumerate() {
+                if chans.contains(black_box(&37)) {
+                    out.push(s as u32);
+                }
+            }
+            black_box(out.len())
+        })
+    });
+    g.finish();
+}
+
+/// Churn cache invalidation: the reverse channel→pairs index vs scanning
+/// every cached pair's candidate hops (what `on_topology_change` did
+/// before the index).
+fn bench_cache_invalidation(c: &mut Criterion) {
+    use spider_routing::{PathCache, PathPolicy};
+    use spider_sim::PathTable;
+    let topo = gen::isp_topology(Amount::from_xrp(30_000));
+    let table = PathTable::new();
+    let mut cache = PathCache::new(PathPolicy::EdgeDisjoint(4));
+    let pairs: Vec<(NodeId, NodeId)> = (0..32u32)
+        .flat_map(|s| {
+            (0..32u32)
+                .filter(move |&d| d != s)
+                .map(move |d| (NodeId(s), NodeId(d)))
+        })
+        .collect();
+    cache.prefill(&topo, &table, &pairs);
+    let closed = [spider_types::ChannelId(11)];
+    let mut g = c.benchmark_group("cache-invalidation");
+    g.bench_function("reverse_index", |b| {
+        b.iter(|| black_box(cache.pairs_traversing(black_box(&closed))))
+    });
+    g.bench_function("full_cache_scan", |b| {
+        b.iter(|| black_box(cache.pairs_traversing_scan(&table, black_box(&closed))))
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_maxflow,
@@ -260,6 +389,9 @@ criterion_group!(
     bench_decompose,
     bench_routing,
     bench_path_bottleneck,
+    bench_calendar,
+    bench_channel_index_close,
+    bench_cache_invalidation,
     bench_engine_step,
     bench_end_to_end
 );

@@ -22,6 +22,10 @@
 //! ```sh
 //! cargo run --release -p spider-bench --bin fig10_queue_dynamics -- --out out
 //! # writes out/fig10_queue_dynamics.csv (+ .jsonl)
+//! # CI smoke (seconds) / the paper's own scale (full Ripple graph,
+//! # 200 s horizon, streamed arrivals):
+//! cargo run --release -p spider-bench --bin fig10_queue_dynamics -- --smoke --out out
+//! cargo run --release -p spider-bench --bin fig10_queue_dynamics -- --paper-scale --out out
 //! ```
 
 use spider_bench::HarnessArgs;
@@ -34,7 +38,17 @@ use std::fmt::Write as _;
 
 fn main() {
     let args = HarnessArgs::parse();
-    let (count, rate) = if args.full {
+    // Scale ladder: CI smoke (seconds) → default laptop scale → `--full`
+    // (the paper's 200 s ISP horizon) → `--paper-scale` (the full
+    // 3,774-node Ripple graph driven for 200 s; arrivals reach the
+    // engine as a lazy stream, so the calendar stays bounded by
+    // in-flight work).
+    let (count, rate) = if args.smoke {
+        (3_000usize, 1_000.0)
+    } else if args.paper_scale {
+        let rate = 75_000.0 / 85.0;
+        ((200.0 * rate) as usize, rate)
+    } else if args.full {
         (200_000usize, 1_000.0)
     } else {
         (20_000usize, 1_000.0)
@@ -43,20 +57,40 @@ fn main() {
         sample_queue_depths: true,
         ..QueueConfig::default()
     };
+    // Constrained capacity so queues actually form.
+    let (topology, capacity_xrp, mtu, skew, size) = if args.paper_scale {
+        (
+            TopologyConfig::RippleLike {
+                nodes: spider_topology::gen::RIPPLE_NODES,
+                capacity_xrp: 4_000,
+            },
+            4_000u64,
+            Amount::from_xrp(20),
+            spider_topology::gen::RIPPLE_NODES as f64 / 8.0,
+            SizeDistribution::RippleFull,
+        )
+    } else {
+        (
+            TopologyConfig::Isp {
+                capacity_xrp: 4_000,
+            },
+            4_000,
+            Amount::from_xrp(10),
+            8.0,
+            SizeDistribution::RippleIsp,
+        )
+    };
     let cfg = ExperimentConfig {
-        // Constrained capacity so queues actually form.
-        topology: TopologyConfig::Isp {
-            capacity_xrp: 4_000,
-        },
+        topology,
         workload: WorkloadConfig {
             count,
             rate_per_sec: rate,
-            size: SizeDistribution::RippleIsp,
-            sender_skew_scale: 8.0,
+            size,
+            sender_skew_scale: skew,
         },
         sim: SimConfig {
             horizon: SimDuration::from_secs_f64(count as f64 / rate + 1.0),
-            mtu: Amount::from_xrp(10),
+            mtu,
             queueing: QueueingMode::PerChannelFifo(qc),
             ..SimConfig::default()
         },
@@ -64,7 +98,14 @@ fn main() {
         dynamics: None,
         seed: args.seed,
     };
-    eprintln!("running 3 schemes on isp (capacity 4,000 XRP, {count} txns, queue sampling on)…");
+    eprintln!(
+        "running 3 schemes on {} (capacity {capacity_xrp} XRP, {count} txns, queue sampling on)…",
+        if args.paper_scale {
+            "ripple-3774"
+        } else {
+            "isp"
+        }
+    );
     let topo = cfg
         .topology
         .build(&spider_types::DetRng::new(cfg.seed))

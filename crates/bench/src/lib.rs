@@ -37,6 +37,10 @@ use std::path::PathBuf;
 pub struct HarnessArgs {
     /// Paper-scale parameters (200k / 75k transactions, full Ripple size).
     pub full: bool,
+    /// The paper's own measurement point: full Ripple topology driven for
+    /// a 200 s horizon (implies `full`; bins that support it extend the
+    /// Ripple workload from 85 s to 200 s). Enabled by `--paper-scale`.
+    pub paper_scale: bool,
     /// CI-smoke scale: tiny workloads that finish in seconds while still
     /// exercising every code path and output schema.
     pub smoke: bool,
@@ -47,11 +51,12 @@ pub struct HarnessArgs {
 }
 
 impl HarnessArgs {
-    /// Parses `--full`, `--smoke`, `--seed N`, `--out DIR` from
-    /// `std::env::args`.
+    /// Parses `--full`, `--paper-scale`, `--smoke`, `--seed N`,
+    /// `--out DIR` from `std::env::args`.
     pub fn parse() -> Self {
         let mut args = HarnessArgs {
             full: false,
+            paper_scale: false,
             smoke: false,
             seed: 42,
             out_dir: None,
@@ -60,6 +65,10 @@ impl HarnessArgs {
         while let Some(a) = iter.next() {
             match a.as_str() {
                 "--full" => args.full = true,
+                "--paper-scale" => {
+                    args.paper_scale = true;
+                    args.full = true;
+                }
                 "--smoke" => args.smoke = true,
                 "--seed" => {
                     args.seed = iter

@@ -22,7 +22,7 @@ use spider_lp::paths::{k_edge_disjoint_paths, k_shortest_paths, CsrGraph, Source
 use spider_sim::{PathTable, TopologyUpdate};
 use spider_topology::Topology;
 use spider_types::{ChannelId, NodeId, PathId};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Candidate-set policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +54,12 @@ pub struct PathCache {
     /// The retained flattened graph, built on first batched fill and kept
     /// in sync with `closed` through O(1) channel toggles.
     csr: Option<CsrGraph>,
+    /// Reverse index: `rev[c]` = the cached pairs with a candidate
+    /// traversing channel `c` (lazily sized to the channel count).
+    /// A close then invalidates exactly `∪ rev[closed]` instead of
+    /// scanning every cached pair's candidates — the difference between
+    /// O(affected) and O(pairs × k × hops) per event at Ripple scale.
+    rev: Vec<HashSet<(NodeId, NodeId)>>,
 }
 
 impl PathCache {
@@ -65,6 +71,7 @@ impl PathCache {
             bfs_trees: HashMap::new(),
             closed: Vec::new(),
             csr: None,
+            rev: Vec::new(),
         }
     }
 
@@ -79,21 +86,57 @@ impl PathCache {
     ) -> &[PathId] {
         // Split borrows so the hit path stays one hash lookup (the
         // `entry` API) while the miss closure computes through the other
-        // fields.
+        // fields; the reverse index registers freshly cached pairs after
+        // the insertion.
         let PathCache {
             policy,
             cache,
             bfs_trees,
             closed,
             csr,
+            rev,
         } = self;
-        cache.entry((src, dst)).or_insert_with(|| {
+        let mut fresh = false;
+        let ids = cache.entry((src, dst)).or_insert_with(|| {
+            fresh = true;
             let candidates = Self::compute(*policy, bfs_trees, closed, csr, topo, src, dst);
             candidates
                 .iter()
                 .map(|nodes| paths.intern(topo, nodes))
                 .collect()
-        })
+        });
+        if fresh {
+            Self::register(rev, topo, paths, (src, dst), ids);
+        }
+        ids
+    }
+
+    /// Adds `pair` to the reverse index of every channel its candidates
+    /// traverse.
+    fn register(
+        rev: &mut Vec<HashSet<(NodeId, NodeId)>>,
+        topo: &Topology,
+        paths: &PathTable,
+        pair: (NodeId, NodeId),
+        ids: &[PathId],
+    ) {
+        if rev.is_empty() {
+            rev.resize_with(topo.channel_count(), HashSet::new);
+        }
+        for &id in ids {
+            for &(c, _) in paths.entry(id).hops() {
+                rev[c.index()].insert(pair);
+            }
+        }
+    }
+
+    /// Removes `pair` (with candidate set `ids`) from the reverse index.
+    fn unregister(&mut self, paths: &PathTable, pair: (NodeId, NodeId), ids: &[PathId]) {
+        for &id in ids {
+            for &(c, _) in paths.entry(id).hops() {
+                self.rev[c.index()].remove(&pair);
+            }
+        }
     }
 
     /// One pair's candidate node sequences under the live mask.
@@ -209,6 +252,7 @@ impl PathCache {
         let mut cursor = ids.into_iter();
         for (&pair, candidates) in todo.iter().zip(filled) {
             let ids: Vec<_> = cursor.by_ref().take(candidates.len()).collect();
+            Self::register(&mut self.rev, topo, paths, pair, &ids);
             self.cache.insert(pair, ids);
         }
     }
@@ -258,28 +302,57 @@ impl PathCache {
         let mut dropped: Vec<(NodeId, NodeId)> = if !update.opened.is_empty() {
             self.cache.keys().copied().collect()
         } else {
-            self.cache
-                .iter()
-                .filter(|(_, ids)| {
-                    ids.iter().any(|&id| {
-                        paths
-                            .entry(id)
-                            .hops()
-                            .iter()
-                            .any(|&(c, _)| update.closed.contains(&c))
-                    })
-                })
-                .map(|(&pair, _)| pair)
-                .collect()
+            // Exactly the pairs whose candidates traverse a closed
+            // channel, straight from the reverse index (maintained on
+            // every insertion/removal, so it equals what a full scan of
+            // the cache would find — see `pairs_traversing_scan`).
+            self.pairs_traversing(&update.closed)
         };
-        // HashMap iteration order is arbitrary; sort so the refill (and
+        // Set/map iteration order is arbitrary; sort so the refill (and
         // therefore PathId interning) order is deterministic.
         dropped.sort_unstable();
         for pair in &dropped {
-            self.cache.remove(pair);
+            if let Some(ids) = self.cache.remove(pair) {
+                self.unregister(paths, *pair, &ids);
+            }
         }
         self.fill_pairs(topo, paths, &dropped);
         dropped
+    }
+
+    /// The cached pairs with a candidate traversing any of `channels`,
+    /// answered from the reverse index in O(affected) — unsorted.
+    pub fn pairs_traversing(&self, channels: &[ChannelId]) -> Vec<(NodeId, NodeId)> {
+        let mut seen: HashSet<(NodeId, NodeId)> = HashSet::new();
+        for &c in channels {
+            if let Some(set) = self.rev.get(c.index()) {
+                seen.extend(set.iter().copied());
+            }
+        }
+        seen.into_iter().collect()
+    }
+
+    /// Reference implementation of [`PathCache::pairs_traversing`]: the
+    /// full cache scan the reverse index replaced. Kept for the
+    /// equivalence tests and the invalidation microbenchmark — unsorted.
+    pub fn pairs_traversing_scan(
+        &self,
+        paths: &PathTable,
+        channels: &[ChannelId],
+    ) -> Vec<(NodeId, NodeId)> {
+        self.cache
+            .iter()
+            .filter(|(_, ids)| {
+                ids.iter().any(|&id| {
+                    paths
+                        .entry(id)
+                        .hops()
+                        .iter()
+                        .any(|&(c, _)| channels.contains(&c))
+                })
+            })
+            .map(|(&pair, _)| pair)
+            .collect()
     }
 
     /// True when `channel` is currently closed in this cache's mask.
@@ -449,6 +522,50 @@ mod tests {
             resolved(&mut warm, &t, &table, &pairs),
             resolved(&mut fresh, &t, &fresh_table, &pairs),
         );
+    }
+
+    #[test]
+    fn reverse_index_matches_full_scan_through_churn() {
+        // The rev index must answer "which pairs traverse these channels"
+        // identically to the full cache scan it replaced, across prefill,
+        // lazy gets, repairs, and re-fills.
+        let t = gen::isp_topology(Amount::from_xrp(100));
+        let table = PathTable::new();
+        let mut c = PathCache::new(PathPolicy::EdgeDisjoint(4));
+        let pairs: Vec<(NodeId, NodeId)> =
+            (0..12u32).map(|s| (NodeId(s), NodeId(31 - s))).collect();
+        c.prefill(&t, &table, &pairs);
+        let mut rng = spider_types::DetRng::new(21);
+        let check = |c: &PathCache, table: &PathTable, probe: &[ChannelId]| {
+            let mut indexed = c.pairs_traversing(probe);
+            let mut scanned = c.pairs_traversing_scan(table, probe);
+            indexed.sort_unstable();
+            scanned.sort_unstable();
+            assert_eq!(indexed, scanned, "probe {probe:?}");
+        };
+        for round in 0..30 {
+            let ch = ChannelId(rng.index(t.channel_count()) as u32);
+            let update = if round % 3 == 2 && c.channel_closed(ch) {
+                TopologyUpdate {
+                    opened: vec![ch],
+                    ..TopologyUpdate::default()
+                }
+            } else {
+                TopologyUpdate {
+                    closed: vec![ch],
+                    ..TopologyUpdate::default()
+                }
+            };
+            c.on_topology_change(&t, &table, &update);
+            // A lazily cached pair joins the index too.
+            let s = rng.index(32) as u32;
+            let d = (s + 1 + rng.index(30) as u32) % 32;
+            c.get(&t, &table, NodeId(s), NodeId(d));
+            let probe: Vec<ChannelId> = (0..3)
+                .map(|_| ChannelId(rng.index(t.channel_count()) as u32))
+                .collect();
+            check(&c, &table, &probe);
+        }
     }
 
     #[test]

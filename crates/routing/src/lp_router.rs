@@ -145,6 +145,12 @@ impl SpiderLp {
 }
 
 impl Router for SpiderLp {
+    /// The lock-outcome hook is the default no-op: let the engine elide
+    /// it (and batch-count identical failed chunks).
+    fn observes_unit_outcomes(&self) -> bool {
+        false
+    }
+
     fn name(&self) -> &'static str {
         "spider-lp"
     }

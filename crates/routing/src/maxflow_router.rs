@@ -29,6 +29,12 @@ impl MaxFlow {
 }
 
 impl Router for MaxFlow {
+    /// The lock-outcome hook is the default no-op: let the engine elide
+    /// it (and batch-count identical failed chunks).
+    fn observes_unit_outcomes(&self) -> bool {
+        false
+    }
+
     fn name(&self) -> &'static str {
         "max-flow"
     }

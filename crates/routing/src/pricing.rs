@@ -89,6 +89,12 @@ impl SpiderPricing {
 }
 
 impl Router for SpiderPricing {
+    /// The lock-outcome hook is the default no-op: let the engine elide
+    /// it (and batch-count identical failed chunks).
+    fn observes_unit_outcomes(&self) -> bool {
+        false
+    }
+
     fn name(&self) -> &'static str {
         "spider-pricing"
     }

@@ -34,6 +34,12 @@ impl ShortestPath {
 }
 
 impl Router for ShortestPath {
+    /// The lock-outcome hook is the default no-op: let the engine elide
+    /// it (and batch-count identical failed chunks).
+    fn observes_unit_outcomes(&self) -> bool {
+        false
+    }
+
     fn name(&self) -> &'static str {
         "shortest-path"
     }

@@ -62,6 +62,12 @@ fn erase_loops(walk: Vec<NodeId>) -> Vec<NodeId> {
 }
 
 impl Router for SilentWhispers {
+    /// The lock-outcome hook is the default no-op: let the engine elide
+    /// it (and batch-count identical failed chunks).
+    fn observes_unit_outcomes(&self) -> bool {
+        false
+    }
+
     fn name(&self) -> &'static str {
         "silentwhispers"
     }

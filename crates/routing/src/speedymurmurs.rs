@@ -147,6 +147,12 @@ impl SpeedyMurmurs {
 }
 
 impl Router for SpeedyMurmurs {
+    /// The lock-outcome hook is the default no-op: let the engine elide
+    /// it (and batch-count identical failed chunks).
+    fn observes_unit_outcomes(&self) -> bool {
+        false
+    }
+
     fn name(&self) -> &'static str {
         "speedymurmurs"
     }

@@ -33,17 +33,38 @@ use spider_types::Amount;
 /// binary search, with the partial boundary chunk resolved in index
 /// order, exactly as the loop would.
 pub fn waterfill(residuals: &[Amount], remaining: Amount, mtu: Amount) -> Vec<Amount> {
+    let mut alloc = Vec::new();
+    let mut scratch = Vec::new();
+    waterfill_into(residuals, remaining, mtu, &mut alloc, &mut scratch);
+    alloc.into_iter().map(Amount::from_drops).collect()
+}
+
+/// [`waterfill`] without its allocations: writes the allocation (drops)
+/// into `alloc` and uses `scratch` for the reference-dynamics fallback.
+/// The routing hot path calls this ~10⁵ times per simulated run with
+/// recycled buffers.
+pub fn waterfill_into(
+    residuals: &[Amount],
+    remaining: Amount,
+    mtu: Amount,
+    alloc: &mut Vec<u64>,
+    scratch: &mut Vec<u64>,
+) {
     let m = mtu.drops();
     assert!(m > 0, "MTU must be positive");
     let r_total = remaining.drops();
-    let b: Vec<u64> = residuals.iter().map(|a| a.drops()).collect();
+    alloc.clear();
+    alloc.resize(residuals.len(), 0);
     if r_total == 0 {
-        return vec![Amount::ZERO; b.len()];
+        return;
     }
-    let capacity: u128 = b.iter().map(|&x| x as u128).sum();
+    let capacity: u128 = residuals.iter().map(|a| a.drops() as u128).sum();
     if capacity <= r_total as u128 {
         // The loop runs every residual dry.
-        return residuals.to_vec();
+        for (a, r) in alloc.iter_mut().zip(residuals) {
+            *a = r.drops();
+        }
+        return;
     }
     // Fast path: if the whole request fits strictly inside the gap
     // between the widest path and the runner-up, every chunk goes to the
@@ -52,7 +73,8 @@ pub fn waterfill(residuals: &[Amount], remaining: Amount, mtu: Amount) -> Vec<Am
     // which retries small remainders first.
     {
         let (mut best, mut r1, mut r2) = (0usize, 0u64, 0u64);
-        for (i, &bi) in b.iter().enumerate() {
+        for (i, ri) in residuals.iter().enumerate() {
+            let bi = ri.drops();
             if bi > r1 {
                 r2 = r1;
                 r1 = bi;
@@ -62,17 +84,17 @@ pub fn waterfill(residuals: &[Amount], remaining: Amount, mtu: Amount) -> Vec<Am
             }
         }
         if r1 > r_total && r1 - r_total > r2 {
-            let mut alloc = vec![Amount::ZERO; b.len()];
-            alloc[best] = remaining;
-            return alloc;
+            alloc[best] = r_total;
+            return;
         }
     }
     // Small requests take fewer chunks than the water-level search costs;
     // run the reference dynamics directly (identical output, and the
     // common case under SRPT, which retries small remainders first).
     if r_total.div_ceil(m) <= 64 {
-        let mut residual = b;
-        let mut alloc = vec![0u64; residual.len()];
+        let residual = scratch;
+        residual.clear();
+        residual.extend(residuals.iter().map(|a| a.drops()));
         let mut rem = r_total;
         while rem > 0 {
             let Some(best) = (0..residual.len())
@@ -86,14 +108,16 @@ pub fn waterfill(residuals: &[Amount], remaining: Amount, mtu: Amount) -> Vec<Am
             residual[best] -= unit;
             rem -= unit;
         }
-        return alloc.into_iter().map(Amount::from_drops).collect();
+        return;
     }
     // Allocation from all chunks whose starting residual exceeds `v`:
     // path i contributes ceil((b_i − v) / m) chunks of m, capped at b_i
     // (the last progression term is a partial chunk).
     let above = |v: u64| -> u128 {
-        b.iter()
-            .map(|&bi| {
+        residuals
+            .iter()
+            .map(|ri| {
+                let bi = ri.drops();
                 if bi > v {
                     let n = (bi - v).div_ceil(m) as u128;
                     (n * m as u128).min(bi as u128)
@@ -106,7 +130,7 @@ pub fn waterfill(residuals: &[Amount], remaining: Amount, mtu: Amount) -> Vec<Am
     // Water level v* = the largest v ≥ 1 whose chunks-at-or-above cover
     // the request: above(v−1) counts chunks with starting residual ≥ v.
     // above(0) = capacity > remaining guarantees the invariant at lo = 1.
-    let (mut lo, mut hi) = (1u64, b.iter().copied().max().unwrap_or(0));
+    let (mut lo, mut hi) = (1u64, residuals.iter().map(|a| a.drops()).max().unwrap_or(0));
     while lo < hi {
         let mid = lo + (hi - lo).div_ceil(2);
         if above(mid - 1) >= r_total as u128 {
@@ -117,9 +141,9 @@ pub fn waterfill(residuals: &[Amount], remaining: Amount, mtu: Amount) -> Vec<Am
     }
     let v_star = lo;
     // Chunks strictly above the water level are taken in full…
-    let mut alloc = vec![0u64; b.len()];
     let mut cum = 0u64;
-    for (a, &bi) in alloc.iter_mut().zip(&b) {
+    for (a, ri) in alloc.iter_mut().zip(residuals) {
+        let bi = ri.drops();
         if bi > v_star {
             let n = (bi - v_star).div_ceil(m);
             *a = (n * m).min(bi);
@@ -129,10 +153,11 @@ pub fn waterfill(residuals: &[Amount], remaining: Amount, mtu: Amount) -> Vec<Am
     debug_assert!(cum < r_total);
     // …then the chunks *at* the water level go in index order (the loop's
     // tie-break), the last one truncated to the remaining budget.
-    for (a, &bi) in alloc.iter_mut().zip(&b) {
+    for (a, ri) in alloc.iter_mut().zip(residuals) {
         if cum == r_total {
             break;
         }
+        let bi = ri.drops();
         if bi >= v_star && (bi - v_star) % m == 0 {
             let chunk = m.min(v_star).min(r_total - cum);
             *a += chunk;
@@ -140,13 +165,19 @@ pub fn waterfill(residuals: &[Amount], remaining: Amount, mtu: Amount) -> Vec<Am
         }
     }
     debug_assert_eq!(cum, r_total, "water level must cover the request");
-    alloc.into_iter().map(Amount::from_drops).collect()
 }
 
 /// Spider's waterfilling router (non-atomic).
 #[derive(Debug)]
 pub struct SpiderWaterfilling {
     cache: PathCache,
+    /// Recycled per-call buffers (candidate ids, residuals, allocation,
+    /// reference-loop scratch) — the route hot path allocates only its
+    /// returned proposals.
+    path_ids: Vec<spider_types::PathId>,
+    residuals: Vec<Amount>,
+    alloc: Vec<u64>,
+    scratch: Vec<u64>,
 }
 
 impl SpiderWaterfilling {
@@ -156,11 +187,21 @@ impl SpiderWaterfilling {
         assert!(k >= 1, "need at least one path");
         SpiderWaterfilling {
             cache: PathCache::new(PathPolicy::EdgeDisjoint(k)),
+            path_ids: Vec::new(),
+            residuals: Vec::new(),
+            alloc: Vec::new(),
+            scratch: Vec::new(),
         }
     }
 }
 
 impl Router for SpiderWaterfilling {
+    /// The lock-outcome hook is the default no-op: let the engine elide
+    /// it (and batch-count identical failed chunks).
+    fn observes_unit_outcomes(&self) -> bool {
+        false
+    }
+
     fn name(&self) -> &'static str {
         "spider-waterfilling"
     }
@@ -182,18 +223,31 @@ impl Router for SpiderWaterfilling {
     }
 
     fn route(&mut self, req: &RouteRequest, view: &NetworkView<'_>) -> Vec<RouteProposal> {
-        let paths = self.cache.get(view.topo, view.paths, req.src, req.dst);
+        let SpiderWaterfilling {
+            cache,
+            path_ids,
+            residuals,
+            alloc,
+            scratch,
+        } = self;
+        let paths = cache.get(view.topo, view.paths, req.src, req.dst);
         if paths.is_empty() {
             return Vec::new();
         }
+        path_ids.clear();
+        path_ids.extend_from_slice(paths);
         // Current bottleneck per candidate path, over pre-resolved hops.
-        let residuals: Vec<Amount> = paths.iter().map(|&id| view.bottleneck(id)).collect();
-        let allocated = waterfill(&residuals, req.remaining, req.mtu);
-        paths
+        residuals.clear();
+        residuals.extend(path_ids.iter().map(|&id| view.bottleneck(id)));
+        waterfill_into(residuals, req.remaining, req.mtu, alloc, scratch);
+        path_ids
             .iter()
-            .zip(allocated)
-            .filter(|(_, a)| !a.is_zero())
-            .map(|(&path, amount)| RouteProposal { path, amount })
+            .zip(alloc.iter())
+            .filter(|(_, &a)| a != 0)
+            .map(|(&path, &amount)| RouteProposal {
+                path,
+                amount: Amount::from_drops(amount),
+            })
             .collect()
     }
 }

@@ -20,25 +20,46 @@
 //! unit, and router callback carries a copyable [`PathId`] whose hops were
 //! resolved to `(ChannelId, Direction)` exactly once. Event and unit slab
 //! slots are recycled through free lists as soon as their last reference
-//! (the pending heap entry, the in-flight unit) dies, so resident memory
-//! is bounded by *in-flight* work rather than by everything ever
+//! (the pending calendar entry, the in-flight unit) dies, so resident
+//! memory is bounded by *in-flight* work rather than by everything ever
 //! scheduled; [`Simulation::slab_stats`] exposes the high-water marks the
 //! throughput benchmarks track.
+//!
+//! Scheduling runs through a bucketed [`CalendarQueue`] (O(1) amortized
+//! push/pop; exact `(time, seq)` order). Arrivals are **streamed**: the
+//! workload is merged into the calendar one arrival at a time (each
+//! arrival schedules its successor from a reserved seq band that keeps
+//! tie-breaks bit-identical to the old pre-seeded calendar), so the live
+//! event population is bounded by in-flight work, not total payments.
+//! Pending lockstep settles and in-flight hop-by-hop units are also
+//! indexed per channel ([`ChannelIndex`]), so a topology-churn close
+//! touches only its own channel's work instead of walking the slabs.
 
+use crate::calendar::CalendarQueue;
+use crate::chanindex::ChannelIndex;
 use crate::channel::ChannelState;
 use crate::config::{QueueConfig, QueueingMode, SchedulingPolicy, SimConfig};
 use crate::metrics::{MetricsCollector, SimReport};
-use crate::paths::PathTable;
+use crate::paths::{PathEntry, PathTable};
 use crate::queue::local_signal;
 use crate::router::{NetworkView, RouteRequest, Router, TopologyUpdate, UnitAck, UnitOutcome};
-use crate::workload::Workload;
+use crate::workload::{ArrivalSource, TxnSpec};
 use spider_topology::Topology;
 use spider_types::{
     Amount, ChannelId, Direction, DropReason, MarkStamp, NodeId, PathId, PaymentId, SimTime,
     TopologyChange, TopologyEvent,
 };
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+/// First sequence number handed to events scheduled mid-run. Arrivals
+/// draw from a reserved band below this (starting right after the churn
+/// schedule's seqs), so a streamed arrival keeps exactly the tie-break
+/// rank the old pre-seeded calendar gave it: at equal instants, topology
+/// changes beat arrivals, and arrivals beat every event scheduled while
+/// the run is underway.
+const RUNTIME_SEQ_BASE: u64 = 1 << 32;
 
 /// Internal payment bookkeeping.
 #[derive(Debug, Clone)]
@@ -70,7 +91,9 @@ impl PaymentState {
 
 #[derive(Debug)]
 enum EventKind {
-    Arrival(usize),
+    /// A transaction arrives (streamed from the workload source; each
+    /// arrival schedules its successor).
+    Arrival(TxnSpec),
     Settle {
         payment: usize,
         amount: Amount,
@@ -118,6 +141,9 @@ struct UnitState {
     amount: Amount,
     /// Interned path; hops resolve through the shared [`PathTable`].
     path: PathId,
+    /// The resolved entry for `path`, pinned once at injection so the
+    /// per-hop events skip the table lookup.
+    entry: Rc<PathEntry>,
     /// Hops already locked; the unit currently sits before hop `next_hop`
     /// (or at the destination when `next_hop == hop_count`).
     next_hop: usize,
@@ -152,9 +178,12 @@ pub struct SlabStats {
     pub events_executed: u64,
     /// Event slab slots allocated (recycled slots are not re-counted).
     pub event_slots: usize,
-    /// Event slots occupied right now.
+    /// Events scheduled but not yet executed or canceled — the **true**
+    /// live population (canceled-in-place entries whose calendar slot has
+    /// not popped yet are excluded; they occupy a slab slot but are dead).
     pub live_events: usize,
-    /// High-water mark of occupied event slots.
+    /// High-water mark of `live_events` — with streamed arrivals this is
+    /// bounded by in-flight work, not by total payments.
     pub peak_live_events: usize,
     /// Hop-by-hop units ever injected (queueing mode).
     pub units_injected: u64,
@@ -166,6 +195,11 @@ pub struct SlabStats {
     pub peak_live_units: usize,
     /// Distinct paths interned into the shared table.
     pub interned_paths: usize,
+    /// Index entries examined while handling topology-churn closes (and
+    /// amortized index compaction). The churn regression tests assert
+    /// this scales with the closed channels' *live* work, not with the
+    /// slab sizes the pre-index engine scanned.
+    pub churn_scan_steps: u64,
 }
 
 /// The simulator.
@@ -174,15 +208,29 @@ pub struct Simulation {
     channels: Vec<ChannelState>,
     config: SimConfig,
     router: Box<dyn Router>,
-    workload: Workload,
+    /// Where arrivals come from (materialized list or lazy stream);
+    /// merged into the calendar one arrival at a time.
+    source: ArrivalSource,
+    /// In-horizon arrival indices in `(time, index)` order
+    /// ([`ArrivalSource::Fixed`] only).
+    arrival_order: Vec<u32>,
+    arrival_cursor: usize,
+    /// Next reserved arrival sequence number (see [`RUNTIME_SEQ_BASE`]).
+    arrival_seq: u64,
     payments: Vec<PaymentState>,
     pending: Vec<usize>,
-    events: BinaryHeap<Reverse<(SimTime, u64, usize)>>,
+    /// `in_pending[pid]` ⇔ `pid ∈ pending` — O(1) membership for the
+    /// drop/failback paths that re-queue payments.
+    in_pending: Vec<bool>,
+    events: CalendarQueue,
     event_store: Vec<Option<EventKind>>,
-    /// Event slots whose heap entry has been consumed; reused by the next
-    /// `schedule`. Slots canceled in place (`event_store[id] = None`) are
-    /// reclaimed when their heap entry pops, never earlier, so a pending
-    /// heap entry always refers to the event that scheduled it.
+    /// Slot generation, bumped on every (re)allocation: per-channel index
+    /// entries are validated against it so recycled slots cannot alias.
+    event_gen: Vec<u32>,
+    /// Event slots whose calendar entry has been consumed; reused by the
+    /// next `schedule`. Slots canceled in place (`event_store[id] = None`)
+    /// are reclaimed when their calendar entry pops, never earlier, so a
+    /// pending calendar entry always refers to the event that scheduled it.
     free_events: Vec<usize>,
     seq: u64,
     now: SimTime,
@@ -198,6 +246,8 @@ pub struct Simulation {
     queues: Vec<[VecDeque<usize>; 2]>,
     /// Slab of hop-by-hop units (queueing mode only).
     units: Vec<UnitState>,
+    /// Unit-slot generation (same rôle as `event_gen`).
+    unit_gen: Vec<u32>,
     /// Retired unit slots awaiting reuse.
     free_units: Vec<usize>,
     /// Cumulative volume serviced per channel direction (the `x_u − x_v`
@@ -208,8 +258,24 @@ pub struct Simulation {
     /// Topology-churn schedule (sorted by instant; see
     /// [`Simulation::set_topology_events`]).
     topo_events: Vec<TopologyEvent>,
+    /// Pending lockstep `Settle` event ids indexed by traversed channel
+    /// (maintained only while a churn schedule is installed).
+    settle_index: ChannelIndex,
+    /// In-flight hop-by-hop unit ids indexed by traversed channel
+    /// (likewise churn-only).
+    unit_index: ChannelIndex,
+    /// True while the per-channel indices are maintained — exactly when
+    /// the run has a churn schedule that could close channels.
+    track_channels: bool,
+    /// Cached `Router::observes_unit_outcomes` for the run.
+    router_observes: bool,
+    /// Reusable released-direction worklist for `drain`/drop cascades.
+    drain_scratch: VecDeque<(ChannelId, Direction)>,
+    /// Reusable hit list for indexed churn closes.
+    close_scratch: Vec<u32>,
     events_scheduled: u64,
     events_executed: u64,
+    live_events: usize,
     peak_live_events: usize,
     units_injected: u64,
     peak_live_units: usize,
@@ -218,18 +284,24 @@ pub struct Simulation {
 impl Simulation {
     /// Builds a simulation. Channels start equally split
     /// (paper §6.2). Fails on invalid configuration.
+    ///
+    /// `workload` accepts a materialized [`Workload`](crate::Workload) or
+    /// a lazy [`StreamingWorkload`](crate::StreamingWorkload); either way
+    /// arrivals are merged into the calendar as they become due.
     pub fn new(
         topo: Topology,
-        workload: Workload,
+        workload: impl Into<ArrivalSource>,
         router: Box<dyn Router>,
         config: SimConfig,
     ) -> spider_types::Result<Self> {
         config.validate()?;
+        let source = workload.into();
         let channels: Vec<ChannelState> = topo
             .channels()
             .map(|(_, c)| ChannelState::split_equally(c.capacity))
             .collect();
-        let rebalance_pending = vec![[false; 2]; channels.len()];
+        let n_channels = channels.len();
+        let rebalance_pending = vec![[false; 2]; n_channels];
         let qcfg = match &config.queueing {
             QueueingMode::Lockstep => None,
             QueueingMode::PerChannelFifo(qc) => Some(qc.clone()),
@@ -238,22 +310,25 @@ impl Simulation {
             .iter()
             .map(|_| [VecDeque::new(), VecDeque::new()])
             .collect();
-        let flow = vec![[Amount::ZERO; 2]; channels.len()];
-        // Pre-size the calendar and payment slab from the workload: every
-        // transaction contributes one arrival plus (at steady state) a
-        // bounded number of in-flight settles/hops.
-        let n_txns = workload.txns.len();
-        let event_capacity = n_txns + n_txns / 2 + 16;
+        let flow = vec![[Amount::ZERO; 2]; n_channels];
+        // Payments accumulate per arrival; the event slab only ever holds
+        // in-flight work (arrivals are streamed), so it sizes itself.
+        let n_txns = source.count();
         Ok(Simulation {
             topo,
             channels,
             config,
             router,
-            workload,
+            source,
+            arrival_order: Vec::new(),
+            arrival_cursor: 0,
+            arrival_seq: 0,
             payments: Vec::with_capacity(n_txns),
             pending: Vec::new(),
-            events: BinaryHeap::with_capacity(event_capacity),
-            event_store: Vec::with_capacity(event_capacity),
+            in_pending: Vec::with_capacity(n_txns),
+            events: CalendarQueue::new(),
+            event_store: Vec::new(),
+            event_gen: Vec::new(),
             free_events: Vec::new(),
             seq: 0,
             now: SimTime::ZERO,
@@ -263,12 +338,20 @@ impl Simulation {
             qcfg,
             queues,
             units: Vec::new(),
+            unit_gen: Vec::new(),
             free_units: Vec::new(),
             flow,
             paths: PathTable::new(),
             topo_events: Vec::new(),
+            settle_index: ChannelIndex::new(n_channels),
+            unit_index: ChannelIndex::new(n_channels),
+            track_channels: false,
+            router_observes: true,
+            drain_scratch: VecDeque::new(),
+            close_scratch: Vec::new(),
             events_scheduled: 0,
             events_executed: 0,
+            live_events: 0,
             peak_live_events: 0,
             units_injected: 0,
             peak_live_units: 0,
@@ -282,34 +365,46 @@ impl Simulation {
         self.qcfg.is_some() && !self.router.atomic()
     }
 
-    /// Schedules an event, reusing a retired slab slot when one is free,
-    /// and returns its id (needed by callers that may cancel it).
+    /// Schedules an event with the next runtime sequence number and
+    /// returns its id (needed by callers that may cancel it).
     fn schedule(&mut self, at: SimTime, kind: EventKind) -> usize {
+        let seq = self.seq;
+        self.seq += 1;
+        self.schedule_at(at, seq, kind)
+    }
+
+    /// Schedules an event under an explicit sequence number, reusing a
+    /// retired slab slot when one is free.
+    fn schedule_at(&mut self, at: SimTime, seq: u64, kind: EventKind) -> usize {
         let id = match self.free_events.pop() {
             Some(id) => {
                 debug_assert!(self.event_store[id].is_none());
                 self.event_store[id] = Some(kind);
+                self.event_gen[id] = self.event_gen[id].wrapping_add(1);
                 id
             }
             None => {
                 self.event_store.push(Some(kind));
+                self.event_gen.push(0);
                 self.event_store.len() - 1
             }
         };
-        self.events.push(Reverse((at, self.seq, id)));
-        self.seq += 1;
+        self.events.push(at, seq, id);
         self.events_scheduled += 1;
-        let live = self.event_store.len() - self.free_events.len();
-        if live > self.peak_live_events {
-            self.peak_live_events = live;
+        self.live_events += 1;
+        if self.live_events > self.peak_live_events {
+            self.peak_live_events = self.live_events;
         }
         id
     }
 
     /// Cancels a pending event in place. The slot itself is reclaimed when
-    /// the calendar entry pops (so the heap never refers to a reused slot).
+    /// the calendar entry pops (so the calendar never refers to a reused
+    /// slot).
     fn cancel_event(&mut self, id: usize) {
+        debug_assert!(self.event_store[id].is_some(), "double cancel");
         self.event_store[id] = None;
+        self.live_events -= 1;
     }
 
     /// Installs a topology-churn schedule (see
@@ -328,6 +423,10 @@ impl Simulation {
     /// remains inspectable afterwards (channel states, conservation).
     pub fn run(&mut self) -> SimReport {
         let horizon = SimTime::ZERO + self.config.horizon;
+        // The per-channel indices are maintained exactly when the run has
+        // a churn schedule (the only source of channel closes).
+        self.track_channels = !self.topo_events.is_empty();
+        self.router_observes = self.router.observes_unit_outcomes();
         // Apply the initial-state slice of the churn schedule (t = 0)
         // before anything routes: nothing is in flight, so no failback.
         let mut initial = TopologyUpdate::default();
@@ -344,7 +443,7 @@ impl Simulation {
                 initial.resized.len(),
             );
         }
-        // Mid-run churn fires from the calendar; scheduled before the
+        // Mid-run churn fires from the calendar; sequenced before the
         // arrivals so a change at instant t applies before payments
         // arriving at t are routed.
         for i in 0..self.topo_events.len() {
@@ -353,13 +452,21 @@ impl Simulation {
                 self.schedule(at, EventKind::Topology(i));
             }
         }
-        // Seed events: arrivals within the horizon, plus the first poll.
-        for i in 0..self.workload.txns.len() {
-            let t = self.workload.txns[i].time;
-            if t <= horizon {
-                self.schedule(t, EventKind::Arrival(i));
-            }
-        }
+        // Partition the sequence space: arrivals draw reserved seqs right
+        // after the churn schedule's, runtime events from a disjoint
+        // upper band. A streamed arrival therefore keeps exactly the
+        // tie-break rank the old pre-seeded calendar gave it.
+        debug_assert!(self.seq < RUNTIME_SEQ_BASE, "churn schedule too large");
+        self.arrival_seq = self.seq;
+        self.seq = RUNTIME_SEQ_BASE;
+        // Snapshot the prewarm pairs before any arrival is consumed (a
+        // streaming source enumerates them from a pristine clone).
+        let prewarm_pairs = self
+            .router
+            .wants_prewarm()
+            .then(|| self.source.distinct_pairs(Some(horizon)));
+        // Merge the first arrival; each arrival schedules its successor.
+        self.init_arrivals(horizon);
         self.schedule(SimTime::ZERO + self.config.poll_interval, EventKind::Poll);
         if let Some(rb) = &self.config.rebalancing {
             self.schedule(SimTime::ZERO + rb.check_interval, EventKind::RebalanceScan);
@@ -386,18 +493,18 @@ impl Simulation {
             // precomputed in one batched pass instead of per pair on the
             // routing hot path. Skipped when the scheme keeps the
             // default no-op hook.
-            if self.router.wants_prewarm() {
-                let pairs = self.workload.distinct_pairs(Some(horizon));
+            if let Some(pairs) = prewarm_pairs {
                 self.router.prewarm(&pairs, &view);
             }
         }
 
-        while let Some(Reverse((t, _, id))) = self.events.pop() {
+        while let Some((t, _, id)) = self.events.pop() {
             if t > horizon {
                 break;
             }
             self.now = t;
-            // The heap entry is consumed: the slot is reusable from here on.
+            // The calendar entry is consumed: the slot is reusable from
+            // here on.
             let kind = self.event_store[id].take();
             self.free_events.push(id);
             // Canceled events (atomic rollback, serviced timeouts) leave a
@@ -405,9 +512,13 @@ impl Simulation {
             let Some(kind) = kind else {
                 continue;
             };
+            self.live_events -= 1;
             self.events_executed += 1;
             match kind {
-                EventKind::Arrival(i) => self.on_arrival(i),
+                EventKind::Arrival(spec) => {
+                    self.schedule_next_arrival(horizon);
+                    self.on_arrival(spec);
+                }
                 EventKind::Settle {
                     payment,
                     amount,
@@ -437,13 +548,17 @@ impl Simulation {
                     self.channels[channel.index()].deposit(dir, amount);
                     self.rebalance_pending[channel.index()][dir.index()] = false;
                     self.metrics.rebalanced(amount);
-                    self.drain_released(VecDeque::from([(channel, dir)]));
+                    debug_assert!(self.drain_scratch.is_empty());
+                    self.drain_scratch.push_back((channel, dir));
+                    self.drain_from_scratch();
                 }
                 EventKind::HopArrive { unit } => self.on_hop_arrive(unit),
                 EventKind::UnitDeliver { unit } => self.on_unit_deliver(unit),
                 EventKind::QueueTimeout { unit } => self.on_queue_timeout(unit),
                 EventKind::Topology(i) => self.on_topology_event(i),
             }
+            #[cfg(debug_assertions)]
+            self.debug_check_channel_indices();
         }
         let failed_by_churn = self
             .payments
@@ -452,6 +567,53 @@ impl Simulation {
             .count() as u64;
         self.metrics.payments_failed_churn(failed_by_churn);
         std::mem::take(&mut self.metrics).finish(self.router.name(), self.config.horizon)
+    }
+
+    /// Prepares the arrival stream (ordering fixed workloads by `(time,
+    /// index)`) and merges the first in-horizon arrival into the calendar.
+    fn init_arrivals(&mut self, horizon: SimTime) {
+        if let ArrivalSource::Fixed(w) = &self.source {
+            // Generated workloads are already time-sorted (identity
+            // permutation); hand-built ones are normalized here so lazy
+            // merging cannot reorder them. Ties keep index order — the
+            // seq rank the pre-seeded calendar assigned.
+            let mut order: Vec<u32> = (0..w.txns.len() as u32)
+                .filter(|&i| w.txns[i as usize].time <= horizon)
+                .collect();
+            order.sort_by_key(|&i| (w.txns[i as usize].time, i));
+            self.arrival_order = order;
+            self.arrival_cursor = 0;
+        }
+        self.schedule_next_arrival(horizon);
+    }
+
+    /// Merges the next due arrival (if any) into the calendar under its
+    /// reserved sequence number.
+    fn schedule_next_arrival(&mut self, horizon: SimTime) {
+        let spec = match &mut self.source {
+            ArrivalSource::Fixed(w) => {
+                let Some(&i) = self.arrival_order.get(self.arrival_cursor) else {
+                    return;
+                };
+                self.arrival_cursor += 1;
+                w.txns[i as usize]
+            }
+            ArrivalSource::Streaming(s) => {
+                // Arrival times are non-decreasing: the first one past the
+                // horizon ends the stream.
+                match s.next_txn() {
+                    Some(spec) if spec.time <= horizon => spec,
+                    _ => return,
+                }
+            }
+        };
+        let seq = self.arrival_seq;
+        self.arrival_seq += 1;
+        debug_assert!(
+            self.arrival_seq <= RUNTIME_SEQ_BASE,
+            "arrival seqs overflow"
+        );
+        self.schedule_at(spec.time, seq, EventKind::Arrival(spec));
     }
 
     /// Channel states (for inspection after a run).
@@ -477,13 +639,14 @@ impl Simulation {
             events_scheduled: self.events_scheduled,
             events_executed: self.events_executed,
             event_slots: self.event_store.len(),
-            live_events: self.event_store.len() - self.free_events.len(),
+            live_events: self.live_events,
             peak_live_events: self.peak_live_events,
             units_injected: self.units_injected,
             unit_slots: self.units.len(),
             live_units: self.units.len() - self.free_units.len(),
             peak_live_units: self.peak_live_units,
             interned_paths: self.paths.len(),
+            churn_scan_steps: self.settle_index.scan_steps() + self.unit_index.scan_steps(),
         }
     }
 
@@ -494,8 +657,7 @@ impl Simulation {
         self.queues.iter().map(|q| q[0].len() + q[1].len()).sum()
     }
 
-    fn on_arrival(&mut self, txn_index: usize) {
-        let spec = self.workload.txns[txn_index];
+    fn on_arrival(&mut self, spec: TxnSpec) {
         let deadline = match self.config.deadline {
             Some(d) => spec.time + d,
             None => SimTime::FAR_FUTURE,
@@ -514,10 +676,19 @@ impl Simulation {
             expired: false,
             churn_hit: false,
         });
+        self.in_pending.push(false);
         self.metrics.payment_arrived(spec.amount);
         self.attempt_payment(pid);
         // Queue the remainder for retries (non-atomic only).
         if !self.router.atomic() && self.payments[pid].active() {
+            self.pending_push(pid);
+        }
+    }
+
+    /// Appends `pid` to the pending retry queue unless already present.
+    fn pending_push(&mut self, pid: usize) {
+        if !self.in_pending[pid] {
+            self.in_pending[pid] = true;
             self.pending.push(pid);
         }
     }
@@ -576,7 +747,8 @@ impl Simulation {
                 }
             }
             let want = prop.amount.min(budget);
-            for unit in want.mtu_chunks(self.config.mtu) {
+            let mut chunks = want.mtu_chunks(self.config.mtu);
+            while let Some(unit) = chunks.next() {
                 match self.try_lock_unit(pid, unit, prop.path) {
                     Some(event_id) => {
                         locked_units.push((unit, prop.path, event_id));
@@ -586,7 +758,19 @@ impl Simulation {
                         aborted = true;
                         break 'proposals;
                     }
-                    None => {}
+                    None => {
+                        // A failed lock rolled back completely, so every
+                        // further full-MTU chunk on this path fails the
+                        // same way. When no router hook observes per-unit
+                        // outcomes, count those failures instead of
+                        // re-walking the path for each.
+                        if !self.router_observes && unit == self.config.mtu {
+                            let skipped = chunks.skip_full_chunks();
+                            if skipped > 0 {
+                                self.metrics.unit_lock_failures(skipped);
+                            }
+                        }
+                    }
                 }
             }
         }
@@ -599,6 +783,9 @@ impl Simulation {
                 let entry = self.paths.entry(path);
                 for &(c, dir) in entry.hops() {
                     self.channels[c.index()].refund(dir, amount);
+                    if self.track_channels {
+                        self.settle_index.note_removed(c.index());
+                    }
                 }
                 self.payments[pid].inflight -= amount;
             }
@@ -629,7 +816,7 @@ impl Simulation {
             }
         }
         self.metrics.unit_lock(hops.len(), ok);
-        {
+        if self.router_observes {
             let outcome = UnitOutcome {
                 payment: PaymentId(pid as u64),
                 path,
@@ -654,6 +841,17 @@ impl Simulation {
                     path,
                 },
             );
+            if self.track_channels {
+                let gen = self.event_gen[event_id];
+                let store = &self.event_store;
+                let gens = &self.event_gen;
+                for &(c, _) in entry.hops() {
+                    self.settle_index
+                        .insert(c.index(), event_id as u32, gen, |s, g| {
+                            gens[s as usize] == g && store[s as usize].is_some()
+                        });
+                }
+            }
             Some(event_id)
         } else {
             None
@@ -662,6 +860,13 @@ impl Simulation {
 
     fn on_settle(&mut self, pid: usize, amount: Amount, path: PathId) {
         let entry = self.paths.entry(path);
+        if self.track_channels {
+            // The settle event was just consumed either way (delivery or
+            // expiry rollback): its index entries are dead.
+            for &(c, _) in entry.hops() {
+                self.settle_index.note_removed(c.index());
+            }
+        }
         let expired_rollback = {
             let p = &self.payments[pid];
             // Atomic rollback flag or key withheld past the deadline.
@@ -743,10 +948,12 @@ impl Simulation {
             Some(i) => {
                 debug_assert!(self.units[i].done, "free list holds only dead units");
                 self.units[i] = unit;
+                self.unit_gen[i] = self.unit_gen[i].wrapping_add(1);
                 i
             }
             None => {
                 self.units.push(unit);
+                self.unit_gen.push(0);
                 self.units.len() - 1
             }
         };
@@ -785,6 +992,7 @@ impl Simulation {
             payment: pid,
             amount,
             path,
+            entry: Rc::clone(&entry),
             next_hop: 0,
             injected_at: self.now,
             enqueued_at: self.now,
@@ -795,6 +1003,16 @@ impl Simulation {
             drop_reason: None,
             done: false,
         });
+        if self.track_channels {
+            let gen = self.unit_gen[uid];
+            let units = &self.units;
+            let gens = &self.unit_gen;
+            for &(hc, _) in entry.hops() {
+                self.unit_index.insert(hc.index(), uid as u32, gen, |s, g| {
+                    gens[s as usize] == g && !units[s as usize].done
+                });
+            }
+        }
         self.payments[pid].inflight += amount;
         if can_cross {
             self.lock_hop(uid, spider_types::SimDuration::ZERO);
@@ -818,7 +1036,7 @@ impl Simulation {
     /// Locks the unit's next hop (the caller has verified balance), stamps
     /// the router's local price signal, and schedules the unit onward.
     fn lock_hop(&mut self, uid: usize, queue_delay: spider_types::SimDuration) {
-        let entry = self.paths.entry(self.units[uid].path);
+        let entry = Rc::clone(&self.units[uid].entry);
         let (c, d) = entry.hops()[self.units[uid].next_hop];
         let amount = self.units[uid].amount;
         let locked = self.channels[c.index()].lock(d, amount);
@@ -870,8 +1088,7 @@ impl Simulation {
             self.drop_unit(uid, DropReason::Expired);
             return;
         }
-        let entry = self.paths.entry(self.units[uid].path);
-        let (c, d) = entry.hops()[self.units[uid].next_hop];
+        let (c, d) = self.units[uid].entry.hops()[self.units[uid].next_hop];
         let amount = self.units[uid].amount;
         if self.channels[c.index()].is_closed() {
             // The next hop closed while the unit was traveling toward it.
@@ -902,12 +1119,14 @@ impl Simulation {
             return;
         }
         let amount = self.units[uid].amount;
-        let entry = self.paths.entry(self.units[uid].path);
-        let mut released: VecDeque<(ChannelId, Direction)> = VecDeque::new();
+        let entry = Rc::clone(&self.units[uid].entry);
+        debug_assert!(self.drain_scratch.is_empty());
+        let mut released = std::mem::take(&mut self.drain_scratch);
         for &(c, d) in entry.hops() {
             self.channels[c.index()].settle(d, amount);
             released.push_back((c, d.reverse()));
         }
+        self.drain_scratch = released;
         self.units[uid].done = true;
         let p = &mut self.payments[pid];
         p.inflight -= amount;
@@ -920,7 +1139,7 @@ impl Simulation {
         }
         self.ack_unit(uid, true);
         self.retire_unit(uid);
-        self.drain_released(released);
+        self.drain_from_scratch();
     }
 
     /// A queued unit waited past the maximum queueing delay.
@@ -936,17 +1155,21 @@ impl Simulation {
     /// Drops a unit wherever it is: leaves its queue if queued, refunds
     /// every locked hop, nacks the sender, and drains refilled directions.
     fn drop_unit(&mut self, uid: usize, reason: DropReason) {
-        let released = self.drop_unit_collect(uid, reason);
-        self.drain_released(released);
+        debug_assert!(self.drain_scratch.is_empty());
+        let mut released = std::mem::take(&mut self.drain_scratch);
+        self.drop_unit_collect(uid, reason, &mut released);
+        self.drain_scratch = released;
+        self.drain_from_scratch();
     }
 
     /// [`Self::drop_unit`] without the drain step, for callers already
-    /// inside the drain loop.
+    /// inside the drain loop: released directions are appended to `out`.
     fn drop_unit_collect(
         &mut self,
         uid: usize,
         reason: DropReason,
-    ) -> VecDeque<(ChannelId, Direction)> {
+        out: &mut VecDeque<(ChannelId, Direction)>,
+    ) {
         if let Some(ev) = self.units[uid].timeout_event.take() {
             self.cancel_event(ev);
         }
@@ -956,7 +1179,7 @@ impl Simulation {
             // recycled slab slot.
             self.cancel_event(ev);
         }
-        let entry = self.paths.entry(self.units[uid].path);
+        let entry = Rc::clone(&self.units[uid].entry);
         // Remove from its current queue, if present.
         let next = self.units[uid].next_hop;
         if next < entry.hop_count() {
@@ -964,10 +1187,9 @@ impl Simulation {
             self.queues[c.index()][d.index()].retain(|&q| q != uid);
         }
         let amount = self.units[uid].amount;
-        let mut released: VecDeque<(ChannelId, Direction)> = VecDeque::new();
         for &(c, d) in &entry.hops()[..next] {
             self.channels[c.index()].refund(d, amount);
-            released.push_back((c, d));
+            out.push_back((c, d));
         }
         self.units[uid].done = true;
         self.units[uid].stamp.marked = true;
@@ -989,11 +1211,10 @@ impl Simulation {
         // The returned value made part of the payment unassigned again;
         // make sure the pending queue will retry it (the payment may have
         // been fully in flight and therefore absent from the queue).
-        if self.payments[pid].active() && !self.pending.contains(&pid) {
-            self.pending.push(pid);
+        if self.payments[pid].active() {
+            self.pending_push(pid);
         }
         self.retire_unit(uid);
-        released
     }
 
     /// Returns a dead unit's slab slot to the free list. Safe because an
@@ -1004,6 +1225,12 @@ impl Simulation {
         debug_assert!(self.units[uid].done);
         debug_assert!(self.units[uid].timeout_event.is_none());
         debug_assert!(self.units[uid].hop_event.is_none());
+        if self.track_channels {
+            let entry = Rc::clone(&self.units[uid].entry);
+            for &(c, _) in entry.hops() {
+                self.unit_index.note_removed(c.index());
+            }
+        }
         self.free_units.push(uid);
     }
 
@@ -1029,20 +1256,23 @@ impl Simulation {
         self.router.on_unit_ack(&ack, &view);
     }
 
-    /// Services queues whose direction gained balance, in FIFO order, until
+    /// Services queues whose direction gained balance (the released
+    /// directions accumulated in `drain_scratch`), in FIFO order, until
     /// each blocks again. Servicing can release further directions (drops
-    /// refund upstream hops), so this works through a list.
-    fn drain_released(&mut self, mut work: VecDeque<(ChannelId, Direction)>) {
+    /// refund upstream hops), so this works through the list; the buffer
+    /// is recycled across calls.
+    fn drain_from_scratch(&mut self) {
         if self.qcfg.is_none() {
+            self.drain_scratch.clear();
             return;
         }
+        let mut work = std::mem::take(&mut self.drain_scratch);
         while let Some((c, d)) = work.pop_front() {
             while let Some(&uid) = self.queues[c.index()][d.index()].front() {
                 let pid = self.units[uid].payment;
                 if self.payments[pid].expired || self.now > self.payments[pid].deadline {
                     self.queues[c.index()][d.index()].pop_front();
-                    let released = self.drop_unit_collect(uid, DropReason::Expired);
-                    work.extend(released);
+                    self.drop_unit_collect(uid, DropReason::Expired, &mut work);
                     continue;
                 }
                 let amount = self.units[uid].amount;
@@ -1057,6 +1287,7 @@ impl Simulation {
                 self.lock_hop(uid, queue_delay);
             }
         }
+        self.drain_scratch = work;
     }
 
     fn on_poll(&mut self) {
@@ -1091,28 +1322,32 @@ impl Simulation {
                 p.expired = true;
             }
         }
-        self.pending.retain(|&pid| self.payments[pid].active());
-        // Scheduling order.
-        let policy = self.config.scheduling;
+        self.pending_retain_active();
+        // Scheduling order: each policy's comparator is a strict total
+        // order (index tie-break), so the unstable key sorts below yield
+        // exactly the order the old dynamic comparator produced — without
+        // re-matching the policy on every comparison.
         let payments = &self.payments;
-        self.pending.sort_by(|&a, &b| {
-            let (pa, pb) = (&payments[a], &payments[b]);
-            match policy {
-                SchedulingPolicy::Srpt => pa
-                    .unassigned()
-                    .cmp(&pb.unassigned())
-                    .then(pa.arrival.cmp(&pb.arrival))
-                    .then(a.cmp(&b)),
-                SchedulingPolicy::Fifo => pa.arrival.cmp(&pb.arrival).then(a.cmp(&b)),
-                SchedulingPolicy::Lifo => pb.arrival.cmp(&pa.arrival).then(a.cmp(&b)),
-                SchedulingPolicy::EarliestDeadline => pa.deadline.cmp(&pb.deadline).then(a.cmp(&b)),
-                SchedulingPolicy::LargestRemaining => pb
-                    .unassigned()
-                    .cmp(&pa.unassigned())
-                    .then(pa.arrival.cmp(&pb.arrival))
-                    .then(a.cmp(&b)),
+        let pending = &mut self.pending;
+        match self.config.scheduling {
+            SchedulingPolicy::Srpt => pending.sort_unstable_by_key(|&pid| {
+                let p = &payments[pid];
+                (p.unassigned(), p.arrival, pid)
+            }),
+            SchedulingPolicy::Fifo => {
+                pending.sort_unstable_by_key(|&pid| (payments[pid].arrival, pid))
             }
-        });
+            SchedulingPolicy::Lifo => {
+                pending.sort_unstable_by_key(|&pid| (Reverse(payments[pid].arrival), pid))
+            }
+            SchedulingPolicy::EarliestDeadline => {
+                pending.sort_unstable_by_key(|&pid| (payments[pid].deadline, pid))
+            }
+            SchedulingPolicy::LargestRemaining => pending.sort_unstable_by_key(|&pid| {
+                let p = &payments[pid];
+                (Reverse(p.unassigned()), p.arrival, pid)
+            }),
+        }
         let order: Vec<usize> = self.pending.clone();
         for pid in order {
             if self.payments[pid].active() {
@@ -1120,7 +1355,21 @@ impl Simulation {
                 self.attempt_payment(pid);
             }
         }
-        self.pending.retain(|&pid| self.payments[pid].active());
+        self.pending_retain_active();
+    }
+
+    /// Drops inactive payments from the pending queue, keeping the O(1)
+    /// membership flags in sync.
+    fn pending_retain_active(&mut self) {
+        let payments = &self.payments;
+        let in_pending = &mut self.in_pending;
+        self.pending.retain(|&pid| {
+            let keep = payments[pid].active();
+            if !keep {
+                in_pending[pid] = false;
+            }
+            keep
+        });
     }
 
     /// Periodic depletion scan (§5.2.3): any channel direction whose
@@ -1216,10 +1465,12 @@ impl Simulation {
                 update.resized.push(channel);
                 // Fresh balance may unblock queued units.
                 if !deposited.is_zero() && !self.channels[ci].is_closed() {
-                    self.drain_released(VecDeque::from([
+                    debug_assert!(self.drain_scratch.is_empty());
+                    self.drain_scratch.extend([
                         (channel, Direction::Forward),
                         (channel, Direction::Backward),
-                    ]));
+                    ]);
+                    self.drain_from_scratch();
                 }
             }
             TopologyChange::NodeLeave { node } => {
@@ -1263,45 +1514,62 @@ impl Simulation {
         if !failback {
             return;
         }
+        debug_assert!(self.track_channels, "closes imply a churn schedule");
         if self.hop_by_hop() {
-            for uid in 0..self.units.len() {
+            // Only this channel's in-flight units, from the per-channel
+            // index — ascending slab order, exactly the order the old
+            // full-slab scan dropped them in.
+            let mut hit = std::mem::take(&mut self.close_scratch);
+            {
+                let units = &self.units;
+                let gens = &self.unit_gen;
+                self.unit_index.collect_live_sorted(
+                    ci,
+                    |s, g| gens[s as usize] == g && !units[s as usize].done,
+                    &mut hit,
+                );
+            }
+            for &uid in &hit {
+                let uid = uid as usize;
+                // A drain cascade from an earlier drop may have already
+                // retired this unit.
                 if self.units[uid].done {
                     continue;
                 }
-                let traverses = self
-                    .paths
-                    .entry(self.units[uid].path)
-                    .hops()
-                    .iter()
-                    .any(|&(c, _)| c == channel);
-                if traverses {
-                    self.drop_unit(uid, DropReason::ChannelClosed);
-                }
+                self.drop_unit(uid, DropReason::ChannelClosed);
             }
+            self.close_scratch = hit;
         } else {
             let atomic = self.router.atomic();
-            for id in 0..self.event_store.len() {
-                let hit = matches!(
-                    &self.event_store[id],
-                    Some(EventKind::Settle { path, .. })
-                        if self.paths.entry(*path).hops().iter().any(|&(c, _)| c == channel)
+            // Only this channel's pending settles (index entries are
+            // generation-checked, so recycled slots cannot alias).
+            let mut hit = std::mem::take(&mut self.close_scratch);
+            {
+                let store = &self.event_store;
+                let gens = &self.event_gen;
+                self.settle_index.collect_live_sorted(
+                    ci,
+                    |s, g| gens[s as usize] == g && store[s as usize].is_some(),
+                    &mut hit,
                 );
-                if !hit {
-                    continue;
-                }
-                // Cancel in place (the heap entry reclaims the slot) and
-                // unwind the unit's locks.
+            }
+            for &id in &hit {
+                let id = id as usize;
+                // Cancel in place (the calendar entry reclaims the slot)
+                // and unwind the unit's locks.
                 let Some(EventKind::Settle {
                     payment,
                     amount,
                     path,
                 }) = self.event_store[id].take()
                 else {
-                    unreachable!("matched above");
+                    unreachable!("settle index entries are validated live");
                 };
+                self.live_events -= 1;
                 let entry = self.paths.entry(path);
                 for &(c, dir) in entry.hops() {
                     self.channels[c.index()].refund(dir, amount);
+                    self.settle_index.note_removed(c.index());
                 }
                 let p = &mut self.payments[payment];
                 p.inflight -= amount;
@@ -1314,10 +1582,11 @@ impl Simulation {
                 if atomic {
                     // All-or-nothing schemes cannot partially retry.
                     p.expired = true;
-                } else if self.payments[payment].active() && !self.pending.contains(&payment) {
-                    self.pending.push(payment);
+                } else if self.payments[payment].active() {
+                    self.pending_push(payment);
                 }
             }
+            self.close_scratch = hit;
         }
     }
 
@@ -1330,10 +1599,71 @@ impl Simulation {
         }
         self.channels[ci].reopen();
         update.opened.push(channel);
-        self.drain_released(VecDeque::from([
+        debug_assert!(self.drain_scratch.is_empty());
+        self.drain_scratch.extend([
             (channel, Direction::Forward),
             (channel, Direction::Backward),
-        ]));
+        ]);
+        self.drain_from_scratch();
+    }
+
+    /// Debug-build invariant: the per-channel indices exactly mirror the
+    /// slabs — every live unit/settle crossing a channel is a
+    /// generation-valid entry of that channel's list, and the live
+    /// counters match the recount. Runs after every engine step while the
+    /// slabs are small, and on a stride once they grow (the check itself
+    /// is O(slab), so per-step checking at scale would be quadratic).
+    #[cfg(debug_assertions)]
+    fn debug_check_channel_indices(&self) {
+        if !self.track_channels {
+            return;
+        }
+        let slab = self.event_store.len() + self.units.len();
+        if slab > 512 && !self.events_executed.is_multiple_of(256) {
+            return;
+        }
+        let n = self.channels.len();
+        let mut unit_live = vec![0u32; n];
+        for (uid, u) in self.units.iter().enumerate() {
+            if u.done {
+                continue;
+            }
+            for &(c, _) in u.entry.hops() {
+                unit_live[c.index()] += 1;
+                assert!(
+                    self.unit_index
+                        .entries(c.index())
+                        .contains(&(uid as u32, self.unit_gen[uid])),
+                    "live unit {uid} missing from channel {c} index"
+                );
+            }
+        }
+        let mut settle_live = vec![0u32; n];
+        for (id, slot) in self.event_store.iter().enumerate() {
+            if let Some(EventKind::Settle { path, .. }) = slot {
+                for &(c, _) in self.paths.entry(*path).hops() {
+                    settle_live[c.index()] += 1;
+                    assert!(
+                        self.settle_index
+                            .entries(c.index())
+                            .contains(&(id as u32, self.event_gen[id])),
+                        "pending settle {id} missing from channel {c} index"
+                    );
+                }
+            }
+        }
+        for c in 0..n {
+            assert_eq!(
+                unit_live[c],
+                self.unit_index.live(c),
+                "unit index live count drifted on channel {c}"
+            );
+            assert_eq!(
+                settle_live[c],
+                self.settle_index.live(c),
+                "settle index live count drifted on channel {c}"
+            );
+        }
     }
 
     /// Verifies fund conservation on every channel (available + in-flight
@@ -1352,7 +1682,7 @@ impl Simulation {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::workload::TxnSpec;
+    use crate::workload::{TxnSpec, Workload};
     use spider_topology::gen;
 
     /// Test router: always proposes the single BFS shortest path for the
@@ -1380,6 +1710,9 @@ mod tests {
         }
         fn atomic(&self) -> bool {
             self.atomic
+        }
+        fn observes_unit_outcomes(&self) -> bool {
+            false // exercise the engine's batched failed-lock fast path
         }
     }
 
@@ -1608,6 +1941,92 @@ mod tests {
     }
 
     #[test]
+    fn streaming_source_runs_identically_to_materialized() {
+        // The same generator seed, fed once as a materialized Workload
+        // and once as a lazy stream: every observable must match.
+        let cfg = crate::workload::WorkloadConfig::small(1_500, 400.0);
+        let run = |src: crate::workload::ArrivalSource| {
+            let mut sim = Simulation::new(
+                gen::isp_topology(xrp(200)),
+                src,
+                Box::new(DirectRouter { atomic: false }),
+                base_config(),
+            )
+            .unwrap();
+            let r = sim.run();
+            sim.check_conservation();
+            (r, sim.slab_stats())
+        };
+        let w = Workload::generate(32, &cfg, &mut spider_types::DetRng::new(5));
+        let stream = crate::workload::StreamingWorkload::new(32, cfg, spider_types::DetRng::new(5));
+        let (r1, s1) = run(w.into());
+        let (r2, s2) = run(stream.into());
+        assert_eq!(r1.completed_payments, r2.completed_payments);
+        assert_eq!(r1.delivered_volume, r2.delivered_volume);
+        assert_eq!(r1.units_locked, r2.units_locked);
+        assert_eq!(r1.units_failed, r2.units_failed);
+        assert_eq!(r1.retries, r2.retries);
+        assert_eq!(s1.events_scheduled, s2.events_scheduled);
+        assert_eq!(s1.peak_live_events, s2.peak_live_events);
+    }
+
+    #[test]
+    fn failed_lock_batching_preserves_outcomes() {
+        // A router with a no-op outcome hook lets the engine batch-count
+        // identical failed chunks. Forcing the hook "observed" disables
+        // the fast path; every outcome must be unchanged.
+        struct Observing;
+        impl Router for Observing {
+            fn name(&self) -> &'static str {
+                "direct-observing"
+            }
+            fn route(
+                &mut self,
+                req: &RouteRequest,
+                view: &NetworkView<'_>,
+            ) -> Vec<crate::router::RouteProposal> {
+                match view.topo.shortest_path(req.src, req.dst) {
+                    Some(path) => vec![crate::router::RouteProposal {
+                        path: view.intern(&path),
+                        amount: req.remaining,
+                    }],
+                    None => Vec::new(),
+                }
+            }
+            fn on_unit_outcome(&mut self, _o: &UnitOutcome, _v: &NetworkView<'_>) {
+                // Still a no-op, but overriding flips `observes` to true:
+                // the engine must then walk every chunk individually.
+            }
+        }
+        // Repeated over-sized payments at 1-XRP MTU: most chunks fail.
+        let mut cfg = base_config();
+        cfg.mtu = xrp(1);
+        cfg.deadline = Some(spider_types::SimDuration::from_secs(3));
+        let txns: Vec<TxnSpec> = (0..20).map(|i| txn(i * 200, 0, 1, xrp(9))).collect();
+        let (fast, fast_sim) = run_sim(gen::line(2, xrp(10)), txns.clone(), false, cfg.clone());
+        let mut slow_sim = Simulation::new(
+            gen::line(2, xrp(10)),
+            Workload { txns },
+            Box::new(Observing),
+            cfg,
+        )
+        .unwrap();
+        let slow = slow_sim.run();
+        slow_sim.check_conservation();
+        assert!(fast.units_failed > 100, "needs failing chunks to batch");
+        assert_eq!(fast.units_failed, slow.units_failed);
+        assert_eq!(fast.units_locked, slow.units_locked);
+        assert_eq!(fast.completed_payments, slow.completed_payments);
+        assert_eq!(fast.delivered_volume, slow.delivered_volume);
+        assert_eq!(fast.retries, slow.retries);
+        assert_eq!(
+            fast_sim.channel_states()[0],
+            slow_sim.channel_states()[0],
+            "channel state must be bit-identical"
+        );
+    }
+
+    #[test]
     fn event_slab_is_bounded_by_in_flight_events() {
         // A long run whose unit churn (one settle event per MTU unit)
         // vastly exceeds the in-flight population: the slab must recycle
@@ -1640,7 +2059,7 @@ mod tests {
 mod queueing_tests {
     use super::*;
     use crate::config::QueueConfig;
-    use crate::workload::TxnSpec;
+    use crate::workload::{TxnSpec, Workload};
     use spider_topology::gen;
     use spider_types::SimDuration;
 
@@ -2011,7 +2430,7 @@ mod queueing_tests {
 mod churn_tests {
     use super::*;
     use crate::config::QueueConfig;
-    use crate::workload::TxnSpec;
+    use crate::workload::{TxnSpec, Workload};
     use spider_topology::gen;
     use spider_types::SimDuration;
 
@@ -2309,6 +2728,50 @@ mod churn_tests {
     }
 
     #[test]
+    fn churn_close_cost_is_indexed_not_slab_scan() {
+        // Thousands of pending settles spread across the ISP graph, three
+        // mid-run closes: handling them must examine only the closed
+        // channels' index entries (plus amortized compaction), far below
+        // the old cost of walking the whole event slab once per close.
+        let t = gen::isp_topology(xrp(100_000));
+        let mut rng = spider_types::DetRng::new(23);
+        let w = Workload::generate(
+            32,
+            &crate::workload::WorkloadConfig::small(4_000, 2_000.0),
+            &mut rng,
+        );
+        let mut cfg = SimConfig {
+            horizon: SimDuration::from_secs(10),
+            ..SimConfig::default()
+        };
+        cfg.mtu = xrp(1); // 10 units per payment → many pending settles
+        let mut sim = Simulation::new(t, w, Box::new(Direct), cfg).unwrap();
+        sim.set_topology_events(vec![close_at(500, 3), close_at(700, 11), close_at(900, 27)]);
+        let r = sim.run();
+        sim.check_conservation();
+        let stats = sim.slab_stats();
+        assert_eq!(r.topology_events, 3);
+        assert!(
+            stats.events_scheduled > 20_000,
+            "needs a busy calendar: {stats:?}"
+        );
+        // What the pre-index engine paid: one full event-slab walk per
+        // close. The indexed cost must be well below it — and nowhere
+        // near the O(total events scheduled) the pre-recycling engine
+        // paid with every arrival pre-seeded.
+        let slab_scan_cost = 3 * stats.event_slots as u64;
+        assert!(
+            stats.churn_scan_steps * 4 < slab_scan_cost,
+            "indexed close cost {} not ≪ slab scan cost {slab_scan_cost}: {stats:?}",
+            stats.churn_scan_steps,
+        );
+        assert!(
+            stats.churn_scan_steps < stats.events_scheduled / 8,
+            "close cost grew with total events: {stats:?}"
+        );
+    }
+
+    #[test]
     fn churn_runs_are_deterministic() {
         let mut rng = spider_types::DetRng::new(17);
         let w = Workload::generate(
@@ -2358,7 +2821,7 @@ mod churn_tests {
 mod rebalancing_tests {
     use super::*;
     use crate::config::RebalancingConfig;
-    use crate::workload::TxnSpec;
+    use crate::workload::{TxnSpec, Workload};
     use spider_topology::gen;
 
     struct Direct;

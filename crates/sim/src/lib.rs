@@ -22,6 +22,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod calendar;
+pub mod chanindex;
 pub mod channel;
 pub mod config;
 pub mod engine;
@@ -31,6 +33,8 @@ pub mod queue;
 pub mod router;
 pub mod workload;
 
+pub use calendar::CalendarQueue;
+pub use chanindex::ChannelIndex;
 pub use channel::ChannelState;
 pub use config::{QueueConfig, QueueingMode, SchedulingPolicy, SimConfig};
 pub use engine::{Simulation, SlabStats};
@@ -39,4 +43,6 @@ pub use paths::{PathEntry, PathTable};
 pub use router::{
     NetworkView, RouteProposal, RouteRequest, Router, TopologyUpdate, UnitAck, UnitOutcome,
 };
-pub use workload::{SizeDistribution, TxnSpec, Workload, WorkloadConfig};
+pub use workload::{
+    ArrivalSource, SizeDistribution, StreamingWorkload, TxnSpec, Workload, WorkloadConfig,
+};

@@ -256,6 +256,13 @@ impl MetricsCollector {
         }
     }
 
+    /// Records `n` failed unit locks at once (the engine's batched
+    /// skip of identical full-MTU failures); equivalent to `n` calls to
+    /// [`MetricsCollector::unit_lock`] with `success = false`.
+    pub fn unit_lock_failures(&mut self, n: u64) {
+        self.units_failed += n;
+    }
+
     /// Records one pending-queue retry.
     pub fn retry(&mut self) {
         self.retries += 1;

@@ -153,6 +153,14 @@ impl PathTable {
         Rc::clone(&self.inner.borrow().entries[id.index()])
     }
 
+    /// Runs `f` on the entry for `id` under the table borrow — no `Rc`
+    /// refcount traffic. For tight read-only loops (bottleneck probes);
+    /// `f` must not call back into the table.
+    #[inline]
+    pub fn map_entry<R>(&self, id: PathId, f: impl FnOnce(&PathEntry) -> R) -> R {
+        f(&self.inner.borrow().entries[id.index()])
+    }
+
     /// Number of distinct paths interned.
     pub fn len(&self) -> usize {
         self.inner.borrow().entries.len()

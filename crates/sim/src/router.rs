@@ -57,12 +57,13 @@ impl<'a> NetworkView<'a> {
     /// The bottleneck (minimum available balance) along an interned path,
     /// computed over its pre-resolved hops — no per-hop adjacency lookups.
     pub fn bottleneck(&self, id: PathId) -> Amount {
-        let entry = self.paths.entry(id);
-        let mut min = Amount::MAX;
-        for &(c, dir) in entry.hops() {
-            min = min.min(self.available(c, dir));
-        }
-        min
+        self.paths.map_entry(id, |entry| {
+            let mut min = Amount::MAX;
+            for &(c, dir) in entry.hops() {
+                min = min.min(self.available(c, dir));
+            }
+            min
+        })
     }
 
     /// The bottleneck (minimum available balance) along a node path, or
@@ -231,6 +232,19 @@ pub trait Router {
     /// the first hop); the definitive outcome arrives via
     /// [`Router::on_unit_ack`].
     fn on_unit_outcome(&mut self, _outcome: &UnitOutcome, _view: &NetworkView<'_>) {}
+
+    /// True when [`Router::on_unit_outcome`] does something. Schemes that
+    /// keep the default no-op hook should return `false`: the engine then
+    /// elides the calls — and, since a failed lock rolls back completely,
+    /// batch-counts the identical failures of remaining same-size chunks
+    /// instead of re-walking the path for each. Purely a performance
+    /// hint: with a no-op hook, outcomes are identical either way.
+    /// Wrappers must forward to their inner scheme if they forward the
+    /// outcome hook (and return `true` if they observe outcomes
+    /// themselves).
+    fn observes_unit_outcomes(&self) -> bool {
+        true
+    }
 
     /// Acknowledgement hook for the §5 queueing mode: called exactly once
     /// per accepted unit with its delivery outcome and price stamp. Never

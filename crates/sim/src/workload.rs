@@ -152,30 +152,9 @@ impl Workload {
     /// exponential rank distribution over a seed-fixed node permutation;
     /// receivers are uniform (and distinct from the sender).
     pub fn generate(n_nodes: usize, cfg: &WorkloadConfig, rng: &mut DetRng) -> Workload {
-        assert!(n_nodes >= 2, "need at least two nodes");
-        assert!(
-            cfg.count > 0 && cfg.rate_per_sec > 0.0,
-            "invalid workload config"
-        );
-        let sender = ExponentialRank::new(n_nodes, cfg.sender_skew_scale);
-        let mut rank_to_node: Vec<usize> = (0..n_nodes).collect();
-        rng.shuffle(&mut rank_to_node);
-        let mut poisson = PoissonProcess::new(cfg.rate_per_sec);
-        let mut txns = Vec::with_capacity(cfg.count);
-        while txns.len() < cfg.count {
-            let t = poisson.next_arrival(rng);
-            let src = rank_to_node[sender.sample_rank(rng)];
-            let mut dst = rng.index(n_nodes);
-            while dst == src {
-                dst = rng.index(n_nodes);
-            }
-            txns.push(TxnSpec {
-                time: SimTime::from_secs_f64(t),
-                src: NodeId::from_index(src),
-                dst: NodeId::from_index(dst),
-                amount: cfg.size.sample(rng),
-            });
-        }
+        let mut stream = StreamingWorkload::new(n_nodes, cfg.clone(), rng.clone());
+        let txns: Vec<TxnSpec> = std::iter::from_fn(|| stream.next_txn()).collect();
+        *rng = stream.into_rng();
         Workload { txns }
     }
 
@@ -223,6 +202,146 @@ impl Workload {
     }
 }
 
+/// A lazily generated transaction stream: the same arrival process as
+/// [`Workload::generate`] (bit-identical draws from the same RNG state),
+/// but yielding one [`TxnSpec`] at a time instead of materializing the
+/// whole sequence.
+///
+/// This is what lets the engine run the paper's 200 s horizons with a
+/// calendar bounded by *in-flight* work: arrivals are merged into the
+/// event queue as they become due, never pre-seeded en masse. Cloning the
+/// stream clones its RNG state, so a pristine clone can be re-run (e.g.
+/// to enumerate the distinct pairs for router prewarm) without disturbing
+/// the arrival sequence.
+#[derive(Debug, Clone)]
+pub struct StreamingWorkload {
+    n_nodes: usize,
+    cfg: WorkloadConfig,
+    rng: DetRng,
+    sender: ExponentialRank,
+    rank_to_node: Vec<usize>,
+    poisson: PoissonProcess,
+    produced: usize,
+}
+
+impl StreamingWorkload {
+    /// A stream that will yield exactly the transactions
+    /// `Workload::generate(n_nodes, &cfg, &mut rng)` would produce.
+    pub fn new(n_nodes: usize, cfg: WorkloadConfig, mut rng: DetRng) -> Self {
+        assert!(n_nodes >= 2, "need at least two nodes");
+        assert!(
+            cfg.count > 0 && cfg.rate_per_sec > 0.0,
+            "invalid workload config"
+        );
+        let sender = ExponentialRank::new(n_nodes, cfg.sender_skew_scale);
+        let mut rank_to_node: Vec<usize> = (0..n_nodes).collect();
+        rng.shuffle(&mut rank_to_node);
+        let poisson = PoissonProcess::new(cfg.rate_per_sec);
+        StreamingWorkload {
+            n_nodes,
+            cfg,
+            rng,
+            sender,
+            rank_to_node,
+            poisson,
+            produced: 0,
+        }
+    }
+
+    /// The next transaction, or `None` once `cfg.count` have been drawn.
+    /// Arrival times are non-decreasing (a Poisson process).
+    pub fn next_txn(&mut self) -> Option<TxnSpec> {
+        if self.produced >= self.cfg.count {
+            return None;
+        }
+        self.produced += 1;
+        let t = self.poisson.next_arrival(&mut self.rng);
+        let src = self.rank_to_node[self.sender.sample_rank(&mut self.rng)];
+        let mut dst = self.rng.index(self.n_nodes);
+        while dst == src {
+            dst = self.rng.index(self.n_nodes);
+        }
+        Some(TxnSpec {
+            time: SimTime::from_secs_f64(t),
+            src: NodeId::from_index(src),
+            dst: NodeId::from_index(dst),
+            amount: self.cfg.size.sample(&mut self.rng),
+        })
+    }
+
+    /// Total transactions this stream will yield.
+    pub fn count(&self) -> usize {
+        self.cfg.count
+    }
+
+    /// The distinct `(src, dst)` pairs of arrivals at or before `horizon`,
+    /// in first-arrival order, computed by running a **clone** of the
+    /// stream (the stream itself is not advanced). O(pairs) memory.
+    pub fn distinct_pairs(&self, horizon: Option<SimTime>) -> Vec<(NodeId, NodeId)> {
+        let mut probe = self.clone();
+        let mut seen = std::collections::HashSet::new();
+        let mut pairs = Vec::new();
+        while let Some(t) = probe.next_txn() {
+            if horizon.is_some_and(|h| t.time > h) {
+                break; // Poisson arrivals are non-decreasing
+            }
+            if seen.insert((t.src, t.dst)) {
+                pairs.push((t.src, t.dst));
+            }
+        }
+        pairs
+    }
+
+    /// Consumes the stream, returning the RNG in its current state (what
+    /// `Workload::generate`'s `&mut DetRng` contract needs).
+    pub(crate) fn into_rng(self) -> DetRng {
+        self.rng
+    }
+}
+
+/// Where a simulation's arrivals come from: a pre-materialized list or a
+/// lazy stream. [`crate::Simulation::new`] accepts either through `Into`,
+/// so existing `Workload` call sites are unchanged.
+#[derive(Debug, Clone)]
+pub enum ArrivalSource {
+    /// Every arrival materialized up front (tests, replayed traces).
+    Fixed(Workload),
+    /// Arrivals drawn lazily from the generator.
+    Streaming(StreamingWorkload),
+}
+
+impl From<Workload> for ArrivalSource {
+    fn from(w: Workload) -> Self {
+        ArrivalSource::Fixed(w)
+    }
+}
+
+impl From<StreamingWorkload> for ArrivalSource {
+    fn from(s: StreamingWorkload) -> Self {
+        ArrivalSource::Streaming(s)
+    }
+}
+
+impl ArrivalSource {
+    /// The distinct in-horizon `(src, dst)` pairs, first-arrival order
+    /// (see [`Workload::distinct_pairs`]). Must be taken before any
+    /// arrival is consumed.
+    pub fn distinct_pairs(&self, horizon: Option<SimTime>) -> Vec<(NodeId, NodeId)> {
+        match self {
+            ArrivalSource::Fixed(w) => w.distinct_pairs(horizon),
+            ArrivalSource::Streaming(s) => s.distinct_pairs(horizon),
+        }
+    }
+
+    /// Total transactions the source will yield (payment-slab pre-sizing).
+    pub fn count(&self) -> usize {
+        match self {
+            ArrivalSource::Fixed(w) => w.txns.len(),
+            ArrivalSource::Streaming(s) => s.count(),
+        }
+    }
+}
+
 /// A dependency-free demand-matrix carrier, so `spider-sim` does not need
 /// to depend on `spider-paygraph` (higher layers convert it).
 pub mod spider_paygraph_compat {
@@ -257,6 +376,29 @@ mod tests {
         assert_eq!(w1, w2);
         let w3 = Workload::generate(10, &cfg, &mut DetRng::new(4));
         assert_ne!(w1, w3);
+    }
+
+    #[test]
+    fn streaming_matches_materialized_generation() {
+        let cfg = WorkloadConfig::small(800, 200.0);
+        let mut rng = DetRng::new(12);
+        let w = Workload::generate(12, &cfg, &mut rng);
+        let mut stream = StreamingWorkload::new(12, cfg.clone(), DetRng::new(12));
+        let streamed: Vec<TxnSpec> = std::iter::from_fn(|| stream.next_txn()).collect();
+        assert_eq!(w.txns, streamed, "stream must replay generate() exactly");
+        // The generate() RNG write-back matches draining the stream.
+        let mut rng2 = DetRng::new(12);
+        let _ = Workload::generate(12, &cfg, &mut rng2);
+        assert_eq!(rng.index(1 << 20), rng2.index(1 << 20));
+        // distinct_pairs probes a clone: the stream itself is unmoved.
+        let stream2 = StreamingWorkload::new(12, cfg.clone(), DetRng::new(12));
+        let horizon = w.txns[300].time;
+        assert_eq!(
+            stream2.distinct_pairs(Some(horizon)),
+            w.distinct_pairs(Some(horizon))
+        );
+        let mut stream2 = stream2;
+        assert_eq!(stream2.next_txn(), Some(w.txns[0]));
     }
 
     #[test]
