@@ -381,6 +381,71 @@ fn bench_cache_invalidation(c: &mut Criterion) {
     g.finish();
 }
 
+/// Trace-event record cost, backing the "zero-cost when disabled" claim:
+/// `enabled` records into a live sink through the engine's
+/// `Option<TraceSink>` pattern; `disabled` takes the identical loop with
+/// the option `None` — one never-taken branch per would-be record, and the
+/// event struct is never even constructed; `compiled_out` is the loop with
+/// the trace code deleted. Disabled vs compiled-out is the true overhead
+/// of leaving the hooks in the engine.
+fn bench_trace_record(c: &mut Criterion) {
+    use spider_obs::trace::TraceEventKind;
+    use spider_obs::TraceSink;
+    use spider_types::ChannelId;
+    const N: u64 = 10_000;
+    let mut g = c.benchmark_group("trace-record");
+    g.bench_function("enabled_10k", |b| {
+        b.iter(|| {
+            let mut sink = Some(TraceSink::new());
+            let mut acc = 0u64;
+            for i in 0..N {
+                if let Some(t) = sink.as_mut() {
+                    t.record(
+                        i,
+                        TraceEventKind::UnitForwarded {
+                            unit: i,
+                            channel: ChannelId((i % 64) as u32),
+                            hop: (i % 4) as u32,
+                        },
+                    );
+                }
+                acc = acc.wrapping_add(black_box(i));
+            }
+            black_box((acc, sink.expect("live sink").len()))
+        })
+    });
+    g.bench_function("disabled_branch_only_10k", |b| {
+        b.iter(|| {
+            let mut sink: Option<TraceSink> = black_box(None);
+            let mut acc = 0u64;
+            for i in 0..N {
+                if let Some(t) = sink.as_mut() {
+                    t.record(
+                        i,
+                        TraceEventKind::UnitForwarded {
+                            unit: i,
+                            channel: ChannelId((i % 64) as u32),
+                            hop: (i % 4) as u32,
+                        },
+                    );
+                }
+                acc = acc.wrapping_add(black_box(i));
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("compiled_out_10k", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..N {
+                acc = acc.wrapping_add(black_box(i));
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_maxflow,
@@ -392,6 +457,7 @@ criterion_group!(
     bench_calendar,
     bench_channel_index_close,
     bench_cache_invalidation,
+    bench_trace_record,
     bench_engine_step,
     bench_end_to_end
 );

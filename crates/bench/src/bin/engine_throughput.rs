@@ -15,10 +15,17 @@
 //! locked units) against the baseline record; `matches_baseline` goes
 //! false — loudly — if a "performance" change ever alters results.
 //!
+//! Full runs finish with an engine **phase breakdown** (calendar pop,
+//! routing, forwarding, settlement, churn repair, sampling) measured on
+//! separate profiled reruns, so the profiling clocks never touch the
+//! timed sections.
+//!
 //! ```sh
 //! cargo run --release -p spider-bench --bin engine_throughput -- --out .
 //! # CI smoke (ISP only, short horizon, no baseline comparison):
 //! cargo run --release -p spider-bench --bin engine_throughput -- --quick --out .
+//! # payment-lifecycle trace smoke: emit + schema-check both trace formats
+//! cargo run --release -p spider-bench --bin engine_throughput -- --trace-smoke --out .
 //! ```
 
 use spider_core::experiment::demand_graph;
@@ -361,14 +368,93 @@ fn json_record(r: &BenchRun, compare_baseline: bool, drifted: &mut bool) -> Stri
     s
 }
 
+/// `--trace-smoke`: run the quick ISP protocol case with payment
+/// tracing on, emit both trace formats, and validate every JSONL line
+/// parses with the expected envelope — the CI schema check. The same
+/// config is re-run untraced and its outcomes must be bit-identical:
+/// observation may cost time, never semantics. With `--full`, the case
+/// is the paper-scale ripple-200s §5 protocol run instead (the full
+/// 3,774-node graph, ~176k payments) — the acceptance check that
+/// tracing survives paper scale; minutes of wall time, not CI material.
+fn run_trace_smoke(seed: u64, out_dir: &PathBuf, full: bool) {
+    let cfg = if full {
+        let count = (200.0 * 75_000.0 / 85.0) as usize;
+        with_scheme(
+            ripple_base(count, seed),
+            SchemeConfig::spider_protocol(4),
+            true,
+        )
+    } else {
+        with_scheme(
+            isp_base(3_000, seed),
+            SchemeConfig::spider_protocol(4),
+            true,
+        )
+    };
+    let (report, trace) = cfg.run_traced().expect("traced run");
+    let untraced = cfg.run().expect("untraced run");
+    assert_eq!(
+        report.completed_payments, untraced.completed_payments,
+        "tracing changed completion counts"
+    );
+    assert_eq!(
+        report.delivered_volume, untraced.delivered_volume,
+        "tracing changed delivered volume"
+    );
+    assert_eq!(
+        report.units_locked, untraced.units_locked,
+        "tracing changed unit accounting"
+    );
+    let jsonl = trace.to_jsonl();
+    let mut arrivals = 0u64;
+    let mut completes = 0u64;
+    for line in jsonl.lines() {
+        let v = serde_json::parse(line).expect("trace line is valid JSON");
+        let ev = v["ev"].as_str().expect("every line carries an ev tag");
+        if ev != "path" {
+            v["seq"].as_u64().expect("event lines carry seq");
+            v["t_us"].as_u64().expect("event lines carry t_us");
+        }
+        match ev {
+            "arrival" => arrivals += 1,
+            "complete" => completes += 1,
+            _ => {}
+        }
+    }
+    assert_eq!(
+        arrivals, report.attempted_payments,
+        "one arrival per payment"
+    );
+    assert_eq!(
+        completes, report.completed_payments,
+        "one complete per completion"
+    );
+    let chrome = trace.to_chrome_trace();
+    serde_json::parse(&chrome).expect("chrome trace is valid JSON");
+    std::fs::create_dir_all(out_dir).expect("create output directory");
+    std::fs::write(out_dir.join("trace_smoke.jsonl"), &jsonl).expect("write trace jsonl");
+    std::fs::write(out_dir.join("trace_smoke_chrome.json"), &chrome).expect("write chrome trace");
+    eprintln!(
+        "trace smoke ok: {} events ({} arrivals, {} completions), wrote {}/trace_smoke{{.jsonl,_chrome.json}}",
+        trace.len(),
+        arrivals,
+        completes,
+        out_dir.display()
+    );
+}
+
 fn main() {
     let mut quick = false;
+    let mut full = false;
+    let mut trace_smoke = false;
     let mut seed = 42u64;
     let mut out_dir = PathBuf::from(".");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => quick = true,
+            "--full" => full = true,
+            "--trace-smoke" => trace_smoke = true,
             "--seed" => {
                 seed = args
                     .next()
@@ -377,7 +463,7 @@ fn main() {
             }
             "--out" => out_dir = PathBuf::from(args.next().expect("--out requires a path")),
             "--help" | "-h" => {
-                eprintln!("options: --quick  --seed N  --out DIR");
+                eprintln!("options: --quick  --trace-smoke [--full]  --seed N  --out DIR");
                 std::process::exit(0);
             }
             other => {
@@ -385,6 +471,14 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+    if trace_smoke {
+        run_trace_smoke(seed, &out_dir, full);
+        return;
+    }
+    if full {
+        eprintln!("--full only applies to --trace-smoke; the default grid is already full-scale");
+        std::process::exit(2);
     }
     let compare_baseline = !quick && seed == 42;
     if !quick && seed != 42 {
@@ -433,6 +527,14 @@ fn main() {
     print!("{doc}");
     if let Some(g) = geomean {
         eprintln!("geomean speedup vs pre-refactor baseline: {g:.2}x");
+    }
+    // Phase breakdown, from separate profiled reruns on the quick grid so
+    // the profiling clocks never touch the timed sections above.
+    eprintln!("engine phase breakdown (profiled rerun, quick grid):");
+    for mut case in cases(seed, true) {
+        case.cfg.sim.obs.profile = true;
+        let run = run_case(&case);
+        eprintln!("  {}: {}", run.case, run.report.profile.summary());
     }
     std::fs::create_dir_all(&out_dir).expect("create output directory");
     let path = out_dir.join("BENCH_engine.json");

@@ -5,7 +5,8 @@
 //! The paper's Fig. 10 shows how Spider's router queues build and drain
 //! as the price signal steers senders away from congested channels. This
 //! bin runs three schemes on the identical capacity-constrained ISP
-//! workload with [`QueueConfig::sample_queue_depths`] enabled:
+//! workload with per-channel depth sampling enabled (via the unified
+//! `ObsConfig` sampler registry):
 //!
 //! * `spider-protocol` — queues + marking + per-path AIMD;
 //! * `shortest-path+window` — the coarse per-pair AIMD window, same
@@ -53,10 +54,7 @@ fn main() {
     } else {
         (20_000usize, 1_000.0)
     };
-    let qc = QueueConfig {
-        sample_queue_depths: true,
-        ..QueueConfig::default()
-    };
+    let qc = QueueConfig::default();
     // Constrained capacity so queues actually form.
     let (topology, capacity_xrp, mtu, skew, size) = if args.paper_scale {
         (
@@ -88,11 +86,15 @@ fn main() {
             size,
             sender_skew_scale: skew,
         },
-        sim: SimConfig {
-            horizon: SimDuration::from_secs_f64(count as f64 / rate + 1.0),
-            mtu,
-            queueing: QueueingMode::PerChannelFifo(qc),
-            ..SimConfig::default()
+        sim: {
+            let mut sim = SimConfig {
+                horizon: SimDuration::from_secs_f64(count as f64 / rate + 1.0),
+                mtu,
+                queueing: QueueingMode::PerChannelFifo(qc),
+                ..SimConfig::default()
+            };
+            sim.obs.sampler.queue_depths = true;
+            sim
         },
         scheme: SchemeConfig::spider_protocol(4),
         dynamics: None,
@@ -135,7 +137,7 @@ fn main() {
     ];
     let reports = run_sweep(&jobs).expect("experiments run");
     let protocol = &reports[0];
-    let series = &protocol.queue_depth_series;
+    let series = protocol.queue_depth_series();
     assert!(
         !series.is_empty(),
         "queue depth sampling must produce samples"
@@ -161,7 +163,7 @@ fn main() {
         .map(|r| {
             r.throughput_series
                 .len()
-                .max(r.queue_occupancy_series.len())
+                .max(r.queue_occupancy_series().len())
         })
         .max()
         .unwrap_or(0)
@@ -180,7 +182,7 @@ fn main() {
         write!(jsonl, "{{\"t_s\":{t}").expect("write row");
         for (n, r) in names.iter().zip(&reports) {
             let thrpt = r.throughput_series.get(t).copied().unwrap_or(0.0);
-            let queued = r.queue_occupancy_series.get(t).copied().unwrap_or(0.0);
+            let queued = r.queue_occupancy_series().get(t).copied().unwrap_or(0.0);
             write!(csv, ",{thrpt:.1},{queued:.0}").expect("write row");
             write!(
                 jsonl,
@@ -204,7 +206,7 @@ fn main() {
             "{n}: success ratio {:.3}, marking rate {:.3}, peak total queued {}",
             r.success_ratio(),
             r.marking_rate(),
-            r.queue_occupancy_series
+            r.queue_occupancy_series()
                 .iter()
                 .map(|&d| d as u64)
                 .max()

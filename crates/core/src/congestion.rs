@@ -188,6 +188,29 @@ impl<R: Router> Router for Windowed<R> {
         self.inner.on_unit_outcome(outcome, view);
     }
 
+    fn window_gauge(&self) -> Option<f64> {
+        // Sum of the wrapper's own tracked windows plus whatever the
+        // inner scheme reports (per-path controllers, when wrapping the
+        // §5 protocol).
+        let own: f64 = self.windows.values().map(|w| w.as_xrp()).sum();
+        Some(own + self.inner.window_gauge().unwrap_or(0.0))
+    }
+
+    fn observability(&self) -> spider_sim::RouterObs {
+        let mut obs = self.inner.observability();
+        // Sorted by pair key: window_hist fill order must not depend on
+        // hash-map iteration.
+        let mut pairs: Vec<_> = self.windows.iter().collect();
+        pairs.sort_unstable_by_key(|(&k, _)| k);
+        obs.windows_xrp
+            .extend(pairs.iter().map(|(_, w)| w.as_xrp()));
+        obs.counters.push((
+            "windowed_tracked_pairs".to_string(),
+            self.windows.len() as u64,
+        ));
+        obs
+    }
+
     fn on_unit_ack(&mut self, ack: &UnitAck, view: &NetworkView<'_>) {
         // §5 queueing mode: the definitive congestion signal is the ack's
         // mark bit, so the window reacts to it (a marked or dropped unit

@@ -184,6 +184,31 @@ impl ExperimentConfig {
         Ok(report)
     }
 
+    /// [`ExperimentConfig::run`] with payment-lifecycle tracing forced on:
+    /// returns the report together with the sealed
+    /// [`Trace`](spider_sim::Trace) (JSONL / Chrome-renderable). The
+    /// engine run is otherwise identical — tracing records observations
+    /// without touching event order — so the report matches what
+    /// [`ExperimentConfig::run`] produces for the same seed.
+    pub fn run_traced(&self) -> Result<(SimReport, spider_sim::Trace)> {
+        let rng = DetRng::new(self.seed);
+        let topo = self.topology.build(&rng)?;
+        let mut wrng = rng.fork("workload");
+        let workload = Workload::generate(topo.node_count(), &self.workload, &mut wrng);
+        let demands = demand_graph(&workload, topo.node_count());
+        let router = self
+            .scheme
+            .build(&topo, &demands, self.sim.confirmation_delay.as_secs_f64());
+        let mut cfg = self.effective_sim();
+        cfg.obs.trace = true;
+        let mut sim = Simulation::new(topo, workload, router, cfg)?;
+        self.install_dynamics(&mut sim, &rng)?;
+        let report = sim.run();
+        sim.check_conservation();
+        let trace = sim.take_trace().expect("tracing was enabled");
+        Ok((report, trace))
+    }
+
     /// Generates and installs the churn schedule, when configured.
     fn install_dynamics(&self, sim: &mut Simulation, rng: &DetRng) -> Result<()> {
         if let Some(dyn_cfg) = &self.dynamics {
@@ -208,6 +233,28 @@ impl ExperimentConfig {
         let report = sim.run();
         sim.check_conservation();
         Ok(report)
+    }
+
+    /// [`ExperimentConfig::run_with_router`] with payment-lifecycle tracing
+    /// force-enabled, returning the sealed [`Trace`](spider_sim::Trace)
+    /// alongside the report (the traced twin of
+    /// [`ExperimentConfig::run_traced`] for caller-built routers).
+    pub fn run_with_router_traced(
+        &self,
+        router: Box<dyn spider_sim::Router>,
+    ) -> Result<(SimReport, spider_sim::Trace)> {
+        let rng = DetRng::new(self.seed);
+        let topo = self.topology.build(&rng)?;
+        let mut wrng = rng.fork("workload");
+        let workload = Workload::generate(topo.node_count(), &self.workload, &mut wrng);
+        let mut cfg = self.sim.clone();
+        cfg.obs.trace = true;
+        let mut sim = Simulation::new(topo, workload, router, cfg)?;
+        self.install_dynamics(&mut sim, &rng)?;
+        let report = sim.run();
+        sim.check_conservation();
+        let trace = sim.take_trace().expect("tracing was enabled");
+        Ok((report, trace))
     }
 
     /// Runs several schemes on the *identical* topology and workload (same

@@ -27,6 +27,10 @@ pub struct FigureRow {
     pub attempted: u64,
     /// Mean completion time (s), when any payment completed.
     pub avg_completion_s: Option<f64>,
+    /// Median completion latency (s), from the report's latency histogram.
+    pub latency_p50_s: Option<f64>,
+    /// 99th-percentile completion latency (s).
+    pub latency_p99_s: Option<f64>,
 }
 
 impl FigureRow {
@@ -42,18 +46,21 @@ impl FigureRow {
             completed: r.completed_payments,
             attempted: r.attempted_payments,
             avg_completion_s: r.avg_completion_time(),
+            latency_p50_s: r.latency_hist.percentile(0.50),
+            latency_p99_s: r.latency_hist.percentile(0.99),
         }
     }
 }
 
 /// CSV header matching [`to_csv_row`].
 pub const CSV_HEADER: &str =
-    "experiment,scheme,parameter,value,success_ratio_pct,success_volume_pct,completed,attempted,avg_completion_s";
+    "experiment,scheme,parameter,value,success_ratio_pct,success_volume_pct,completed,attempted,avg_completion_s,latency_p50_s,latency_p99_s";
 
 /// One CSV line (no trailing newline).
 pub fn to_csv_row(row: &FigureRow) -> String {
+    let opt = |v: Option<f64>| v.map(|v| format!("{v:.4}")).unwrap_or_default();
     format!(
-        "{},{},{},{},{:.4},{:.4},{},{},{}",
+        "{},{},{},{},{:.4},{:.4},{},{},{},{},{}",
         row.experiment,
         row.scheme,
         row.parameter,
@@ -62,9 +69,9 @@ pub fn to_csv_row(row: &FigureRow) -> String {
         row.success_volume_pct,
         row.completed,
         row.attempted,
-        row.avg_completion_s
-            .map(|v| format!("{v:.4}"))
-            .unwrap_or_default(),
+        opt(row.avg_completion_s),
+        opt(row.latency_p50_s),
+        opt(row.latency_p99_s),
     )
 }
 
@@ -112,10 +119,13 @@ pub fn to_table(rows: &[FigureRow]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spider_sim::SimReport;
+    use spider_sim::{DropBreakdown, Histogram, ProfileStats, SampleSet, SimReport};
     use spider_types::{Amount, SimDuration};
 
     fn report() -> SimReport {
+        let mut latency_hist = Histogram::new();
+        latency_hist.record(0.5);
+        latency_hist.record(0.7);
         SimReport {
             scheme: "test".into(),
             attempted_payments: 10,
@@ -142,9 +152,14 @@ mod tests {
             queue_delay_sum_s: 0.0,
             completion_times: vec![0.5, 0.7],
             throughput_series: vec![],
-            imbalance_series: vec![],
-            queue_occupancy_series: vec![],
-            queue_depth_series: vec![],
+            drops_by_reason: DropBreakdown::default(),
+            latency_hist,
+            queue_delay_hist: Histogram::new(),
+            path_length_hist: Histogram::new(),
+            window_hist: Histogram::new(),
+            router_counters: vec![],
+            samples: SampleSet::default(),
+            profile: ProfileStats::default(),
             horizon: SimDuration::from_secs(10),
         }
     }
@@ -180,7 +195,19 @@ mod tests {
     fn missing_completion_time_is_empty_cell() {
         let mut r = report();
         r.completion_times.clear();
+        r.latency_hist = Histogram::new();
         let row = FigureRow::new("e", "", 0.0, &r);
-        assert!(to_csv_row(&row).ends_with(','));
+        assert!(to_csv_row(&row).ends_with(",,,"));
+    }
+
+    #[test]
+    fn latency_percentiles_come_from_the_histogram() {
+        let row = FigureRow::new("e", "", 0.0, &report());
+        let p50 = row.latency_p50_s.expect("two samples recorded");
+        let p99 = row.latency_p99_s.expect("two samples recorded");
+        assert!(p50 <= p99);
+        // Bucket upper edges are clamped to the observed [min, max].
+        assert!((0.5..=0.7).contains(&p50), "{p50}");
+        assert!((0.5..=0.7).contains(&p99), "{p99}");
     }
 }

@@ -1,0 +1,38 @@
+//! # spider-obs
+//!
+//! The observability layer for the Spider simulator: everything the
+//! engine can tell you about a run beyond the end-of-run aggregates.
+//!
+//! * [`trace`] — payment-lifecycle tracing: a zero-cost-when-disabled
+//!   [`TraceSink`] records a structured event for every payment
+//!   transition (arrival → route decision → per-hop lock/queue/forward →
+//!   settle/fail), ordered by a deterministic event sequence number so
+//!   traces are golden-testable, and emitted as JSONL or Chrome
+//!   `trace_event` JSON for chrome://tracing.
+//! * [`hist`] — fixed-bucket log-scale [`Histogram`]s for latency,
+//!   queue-delay, path-length, and AIMD-window distributions.
+//! * [`sampler`] — a unified time-series [`Sampler`] registry: one
+//!   cadence, one output schema ([`SampleSet`]) for every per-second
+//!   series the engine probes (imbalance, queue occupancy, in-flight
+//!   units, calendar occupancy, AIMD window sum, mean channel price).
+//! * [`profile`] — monotonic-clock [`Profiler`] timing the engine's
+//!   phases (calendar pop, routing, forwarding, settlement, churn
+//!   repair, sampling) into [`ProfileStats`].
+//!
+//! The crate depends only on `spider-types`; the engine owns the
+//! integration points. Everything here is deterministic except the
+//! profiler's wall-clock durations, which never feed back into the
+//! simulation.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod hist;
+pub mod profile;
+pub mod sampler;
+pub mod trace;
+
+pub use hist::Histogram;
+pub use profile::{Phase, PhaseStats, ProfileStats, Profiler};
+pub use sampler::{SampleSeries, SampleSet, Sampler, SamplerConfig, NUM_SERIES, SERIES_NAMES};
+pub use trace::{Trace, TraceEvent, TraceEventKind, TraceSink};

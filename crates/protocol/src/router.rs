@@ -285,6 +285,31 @@ impl Router for ProtocolRouter {
         state.controllers[i].on_ack(ack.amount, ack.delivered, ack.stamp.marked, &self.cfg.rate);
         state.prices[i].observe(ack.delivered, &ack.stamp);
     }
+
+    fn window_gauge(&self) -> Option<f64> {
+        Some(
+            self.pairs
+                .values()
+                .flat_map(|s| s.controllers.iter())
+                .map(|c| c.window().as_xrp())
+                .sum(),
+        )
+    }
+
+    fn observability(&self) -> spider_sim::RouterObs {
+        let mut obs = spider_sim::RouterObs::default();
+        obs.counters
+            .extend(self.cache.counters().map(|(k, v)| (k.to_string(), v)));
+        // Sorted by pair key so the histogram's fill order (and therefore
+        // any serialized form) is independent of hash-map iteration.
+        let mut pairs: Vec<_> = self.pairs.iter().collect();
+        pairs.sort_unstable_by_key(|(&k, _)| k);
+        for (_, state) in pairs {
+            obs.windows_xrp
+                .extend(state.controllers.iter().map(|c| c.window().as_xrp()));
+        }
+        obs
+    }
 }
 
 #[cfg(test)]

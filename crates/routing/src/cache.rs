@@ -60,6 +60,11 @@ pub struct PathCache {
     /// scanning every cached pair's candidates — the difference between
     /// O(affected) and O(pairs × k × hops) per event at Ripple scale.
     rev: Vec<HashSet<(NodeId, NodeId)>>,
+    /// Lifetime counters surfaced through [`PathCache::counters`].
+    hits: u64,
+    misses: u64,
+    prefilled: u64,
+    repairs: u64,
 }
 
 impl PathCache {
@@ -72,6 +77,10 @@ impl PathCache {
             closed: Vec::new(),
             csr: None,
             rev: Vec::new(),
+            hits: 0,
+            misses: 0,
+            prefilled: 0,
+            repairs: 0,
         }
     }
 
@@ -95,6 +104,9 @@ impl PathCache {
             closed,
             csr,
             rev,
+            hits,
+            misses,
+            ..
         } = self;
         let mut fresh = false;
         let ids = cache.entry((src, dst)).or_insert_with(|| {
@@ -106,7 +118,10 @@ impl PathCache {
                 .collect()
         });
         if fresh {
+            *misses += 1;
             Self::register(rev, topo, paths, (src, dst), ids);
+        } else {
+            *hits += 1;
         }
         ids
     }
@@ -226,6 +241,7 @@ impl PathCache {
                 todo.push(pair);
             }
         }
+        self.prefilled += todo.len() as u64;
         self.fill_pairs(topo, paths, &todo);
     }
 
@@ -311,6 +327,7 @@ impl PathCache {
         // Set/map iteration order is arbitrary; sort so the refill (and
         // therefore PathId interning) order is deterministic.
         dropped.sort_unstable();
+        self.repairs += dropped.len() as u64;
         for pair in &dropped {
             if let Some(ids) = self.cache.remove(pair) {
                 self.unregister(paths, *pair, &ids);
@@ -368,6 +385,19 @@ impl PathCache {
     /// True when nothing has been cached yet.
     pub fn is_empty(&self) -> bool {
         self.cache.is_empty()
+    }
+
+    /// Lifetime counters, in a fixed order suitable for
+    /// [`RouterObs::counters`](spider_sim::RouterObs): cache hits (get on
+    /// a cached pair), misses (lazy computes), pairs filled by
+    /// [`PathCache::prefill`], and pairs repaired after churn.
+    pub fn counters(&self) -> [(&'static str, u64); 4] {
+        [
+            ("path_cache_hits", self.hits),
+            ("path_cache_misses", self.misses),
+            ("path_cache_prefilled", self.prefilled),
+            ("path_cache_repairs", self.repairs),
+        ]
     }
 }
 
@@ -566,6 +596,37 @@ mod tests {
                 .collect();
             check(&c, &table, &probe);
         }
+    }
+
+    #[test]
+    fn counters_track_hits_misses_prefills_and_repairs() {
+        let t = gen::isp_topology(Amount::from_xrp(100));
+        let table = PathTable::new();
+        let mut c = PathCache::new(PathPolicy::EdgeDisjoint(4));
+        c.get(&t, &table, NodeId(0), NodeId(9));
+        c.get(&t, &table, NodeId(0), NodeId(9));
+        c.get(&t, &table, NodeId(9), NodeId(0));
+        c.prefill(
+            &t,
+            &table,
+            &[(NodeId(0), NodeId(9)), (NodeId(1), NodeId(8))],
+        );
+        let victim = table
+            .entry(c.get(&t, &table, NodeId(0), NodeId(9))[0])
+            .hops()[0]
+            .0;
+        let update = TopologyUpdate {
+            closed: vec![victim],
+            ..TopologyUpdate::default()
+        };
+        let repaired = c.on_topology_change(&t, &table, &update).len() as u64;
+        let counters: std::collections::HashMap<&str, u64> = c.counters().into_iter().collect();
+        assert_eq!(counters["path_cache_misses"], 2);
+        // The repeat get plus the victim-lookup get above.
+        assert_eq!(counters["path_cache_hits"], 2);
+        assert_eq!(counters["path_cache_prefilled"], 1, "cached pair skipped");
+        assert_eq!(counters["path_cache_repairs"], repaired);
+        assert!(repaired > 0);
     }
 
     #[test]

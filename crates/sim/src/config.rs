@@ -1,6 +1,7 @@
 //! Simulation configuration.
 
 use serde::{Deserialize, Serialize};
+use spider_obs::SamplerConfig;
 use spider_types::{Amount, SimDuration};
 
 /// Order in which queued (incomplete, non-atomic) payments are retried.
@@ -91,13 +92,6 @@ pub struct QueueConfig {
     pub queue_price_weight: f64,
     /// Weight of the normalized flow imbalance in the stamped price.
     pub imbalance_price_weight: f64,
-    /// Record the per-channel queue-depth time series (one sample per
-    /// simulated second) into
-    /// [`SimReport::queue_depth_series`](crate::SimReport). Off by
-    /// default: the engine then skips the per-channel scan entirely, so
-    /// the telemetry costs nothing unless asked for (Fig. 10-style queue
-    /// dynamics plots).
-    pub sample_queue_depths: bool,
 }
 
 impl Default for QueueConfig {
@@ -111,7 +105,6 @@ impl Default for QueueConfig {
             max_queue_units: 4_096,
             queue_price_weight: 1.0,
             imbalance_price_weight: 0.5,
-            sample_queue_depths: false,
         }
     }
 }
@@ -145,6 +138,26 @@ impl QueueConfig {
     }
 }
 
+/// Observability switches (see the `spider-obs` crate).
+///
+/// Everything here is off by default and each switch is zero-cost when
+/// disabled: tracing and profiling cost one branch per would-be record,
+/// and the [`SamplerConfig`]'s scalar probes are O(channels) once per
+/// cadence (the same work the legacy imbalance sampler already did).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ObsConfig {
+    /// Record a payment-lifecycle trace
+    /// ([`spider_obs::TraceSink`](spider_obs::trace::TraceSink)); collect
+    /// it after the run with `Simulation::take_trace`.
+    pub trace: bool,
+    /// Time engine phases with monotonic clocks into
+    /// [`ProfileStats`](spider_obs::ProfileStats), reported in
+    /// `SimReport::profile`.
+    pub profile: bool,
+    /// Time-series sampling cadence and per-channel depth opt-in.
+    pub sampler: SamplerConfig,
+}
+
 /// Engine parameters.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimConfig {
@@ -175,6 +188,8 @@ pub struct SimConfig {
     /// How units claim balance along their path: instant whole-path
     /// locking (the offline-scheme model) or the §5 per-channel queues.
     pub queueing: QueueingMode,
+    /// Observability: tracing, profiling, and series sampling.
+    pub obs: ObsConfig,
 }
 
 impl Default for SimConfig {
@@ -189,6 +204,7 @@ impl Default for SimConfig {
             max_proposals_per_poll: 64,
             rebalancing: None,
             queueing: QueueingMode::Lockstep,
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -211,6 +227,9 @@ impl SimConfig {
         }
         if let QueueingMode::PerChannelFifo(qc) = &self.queueing {
             qc.validate()?;
+        }
+        if self.obs.sampler.cadence.is_zero() {
+            return Err(InvalidConfig("sampling cadence must be positive".into()));
         }
         if let Some(rb) = &self.rebalancing {
             if rb.check_interval.is_zero() {

@@ -44,6 +44,8 @@ use crate::paths::{PathEntry, PathTable};
 use crate::queue::local_signal;
 use crate::router::{NetworkView, RouteRequest, Router, TopologyUpdate, UnitAck, UnitOutcome};
 use crate::workload::{ArrivalSource, TxnSpec};
+use spider_obs::trace::TraceEventKind;
+use spider_obs::{Phase, Profiler, Sampler, Trace, TraceSink, NUM_SERIES};
 use spider_topology::Topology;
 use spider_types::{
     Amount, ChannelId, Direction, DropReason, MarkStamp, NodeId, PathId, PaymentId, SimTime,
@@ -238,8 +240,19 @@ pub struct Simulation {
     /// Per (channel, direction): an on-chain deposit is in flight, so
     /// don't schedule another.
     rebalance_pending: Vec<[bool; 2]>,
-    /// Next time an imbalance sample is due (once per simulated second).
-    next_imbalance_sample: SimTime,
+    /// Next time a series sample is due (once per sampler cadence).
+    next_sample: SimTime,
+    /// Unified series sampler (see [`spider_obs::SERIES_NAMES`]).
+    sampler: Sampler,
+    /// Payment-lifecycle trace sink; `None` unless
+    /// [`ObsConfig::trace`](crate::config::ObsConfig) — every record site
+    /// is behind one `if let`, so disabled tracing costs a branch.
+    trace: Option<TraceSink>,
+    /// Stable per-run trace ids for unit slab slots (slots recycle, trace
+    /// ids don't); maintained only while tracing.
+    unit_trace_ids: Vec<u64>,
+    /// Engine phase timers (zero-cost when disabled).
+    profiler: Profiler,
     /// Queueing parameters when running in `PerChannelFifo` mode.
     qcfg: Option<QueueConfig>,
     /// Per channel, per direction: FIFO of queued unit indices.
@@ -311,6 +324,9 @@ impl Simulation {
             .map(|_| [VecDeque::new(), VecDeque::new()])
             .collect();
         let flow = vec![[Amount::ZERO; 2]; n_channels];
+        let sampler = Sampler::new(config.obs.sampler.clone());
+        let trace = config.obs.trace.then(TraceSink::new);
+        let profiler = Profiler::new(config.obs.profile);
         // Payments accumulate per arrival; the event slab only ever holds
         // in-flight work (arrivals are streamed), so it sizes itself.
         let n_txns = source.count();
@@ -334,7 +350,11 @@ impl Simulation {
             now: SimTime::ZERO,
             metrics: MetricsCollector::new(),
             rebalance_pending,
-            next_imbalance_sample: SimTime::ZERO,
+            next_sample: SimTime::ZERO,
+            sampler,
+            trace,
+            unit_trace_ids: Vec::new(),
+            profiler,
             qcfg,
             queues,
             units: Vec::new(),
@@ -498,7 +518,13 @@ impl Simulation {
             }
         }
 
-        while let Some((t, _, id)) = self.events.pop() {
+        loop {
+            let t0 = self.profiler.start();
+            let popped = self.events.pop();
+            self.profiler.stop(Phase::CalendarPop, t0);
+            let Some((t, _, id)) = popped else {
+                break;
+            };
             if t > horizon {
                 break;
             }
@@ -516,14 +542,20 @@ impl Simulation {
             self.events_executed += 1;
             match kind {
                 EventKind::Arrival(spec) => {
+                    let t0 = self.profiler.start();
                     self.schedule_next_arrival(horizon);
                     self.on_arrival(spec);
+                    self.profiler.stop(Phase::Routing, t0);
                 }
                 EventKind::Settle {
                     payment,
                     amount,
                     path,
-                } => self.on_settle(payment, amount, path),
+                } => {
+                    let t0 = self.profiler.start();
+                    self.on_settle(payment, amount, path);
+                    self.profiler.stop(Phase::Settlement, t0);
+                }
                 EventKind::Poll => {
                     self.on_poll();
                     let next = self.now + self.config.poll_interval;
@@ -552,10 +584,26 @@ impl Simulation {
                     self.drain_scratch.push_back((channel, dir));
                     self.drain_from_scratch();
                 }
-                EventKind::HopArrive { unit } => self.on_hop_arrive(unit),
-                EventKind::UnitDeliver { unit } => self.on_unit_deliver(unit),
-                EventKind::QueueTimeout { unit } => self.on_queue_timeout(unit),
-                EventKind::Topology(i) => self.on_topology_event(i),
+                EventKind::HopArrive { unit } => {
+                    let t0 = self.profiler.start();
+                    self.on_hop_arrive(unit);
+                    self.profiler.stop(Phase::Forwarding, t0);
+                }
+                EventKind::UnitDeliver { unit } => {
+                    let t0 = self.profiler.start();
+                    self.on_unit_deliver(unit);
+                    self.profiler.stop(Phase::Forwarding, t0);
+                }
+                EventKind::QueueTimeout { unit } => {
+                    let t0 = self.profiler.start();
+                    self.on_queue_timeout(unit);
+                    self.profiler.stop(Phase::Forwarding, t0);
+                }
+                EventKind::Topology(i) => {
+                    let t0 = self.profiler.start();
+                    self.on_topology_event(i);
+                    self.profiler.stop(Phase::ChurnRepair, t0);
+                }
             }
             #[cfg(debug_assertions)]
             self.debug_check_channel_indices();
@@ -566,7 +614,44 @@ impl Simulation {
             .filter(|p| p.churn_hit && !p.completed)
             .count() as u64;
         self.metrics.payments_failed_churn(failed_by_churn);
+        self.metrics.set_router_obs(self.router.observability());
+        let sampler = std::mem::replace(
+            &mut self.sampler,
+            Sampler::new(self.config.obs.sampler.clone()),
+        );
+        self.metrics.set_samples(sampler.finish());
+        self.metrics.set_profile(self.profiler.finish());
         std::mem::take(&mut self.metrics).finish(self.router.name(), self.config.horizon)
+    }
+
+    /// Takes the payment-lifecycle trace recorded by the run (when
+    /// [`ObsConfig::trace`](crate::config::ObsConfig) was set), resolving
+    /// every referenced [`PathId`] to its node list. Call once, after
+    /// [`Simulation::run`]; subsequent calls (and untraced runs) return
+    /// `None`.
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        let sink = self.trace.take()?;
+        let mut ids: Vec<u32> = sink
+            .events()
+            .filter_map(|e| match &e.kind {
+                TraceEventKind::RouteProposal { path, .. }
+                | TraceEventKind::LockOutcome { path, .. }
+                | TraceEventKind::UnitInjected { path, .. } => Some(path.0),
+                _ => None,
+            })
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        let paths = ids
+            .into_iter()
+            .map(|id| {
+                let nodes = self
+                    .paths
+                    .map_entry(PathId(id), |e| e.nodes().iter().map(|n| n.0).collect());
+                (id as u64, nodes)
+            })
+            .collect();
+        Some(sink.finish(paths))
     }
 
     /// Prepares the arrival stream (ordering fixed workloads by `(time,
@@ -678,6 +763,17 @@ impl Simulation {
         });
         self.in_pending.push(false);
         self.metrics.payment_arrived(spec.amount);
+        if let Some(t) = self.trace.as_mut() {
+            t.record(
+                self.now.micros(),
+                TraceEventKind::PaymentArrival {
+                    payment: PaymentId(pid as u64),
+                    src: spec.src,
+                    dst: spec.dst,
+                    amount: spec.amount,
+                },
+            );
+        }
         self.attempt_payment(pid);
         // Queue the remainder for retries (non-atomic only).
         if !self.router.atomic() && self.payments[pid].active() {
@@ -722,6 +818,19 @@ impl Simulation {
             };
             self.router.route(&req, &view)
         };
+        if let Some(t) = self.trace.as_mut() {
+            for prop in proposals.iter().take(self.config.max_proposals_per_poll) {
+                t.record(
+                    self.now.micros(),
+                    TraceEventKind::RouteProposal {
+                        payment: req.payment,
+                        attempt: req.attempt,
+                        path: prop.path,
+                        amount: prop.amount,
+                    },
+                );
+            }
+        }
         if self.hop_by_hop() {
             self.inject_proposals(pid, proposals, unassigned);
             return;
@@ -816,6 +925,17 @@ impl Simulation {
             }
         }
         self.metrics.unit_lock(hops.len(), ok);
+        if let Some(t) = self.trace.as_mut() {
+            t.record(
+                self.now.micros(),
+                TraceEventKind::LockOutcome {
+                    payment: PaymentId(pid as u64),
+                    path,
+                    amount,
+                    ok,
+                },
+            );
+        }
         if self.router_observes {
             let outcome = UnitOutcome {
                 payment: PaymentId(pid as u64),
@@ -888,10 +1008,31 @@ impl Simulation {
         p.inflight -= amount;
         p.delivered += amount;
         self.metrics.unit_settled(amount, self.now);
-        if p.delivered == p.total {
+        let completed = if p.delivered == p.total {
             p.completed = true;
             let latency = self.now - p.arrival;
             self.metrics.payment_completed(latency);
+            Some(latency)
+        } else {
+            None
+        };
+        if let Some(t) = self.trace.as_mut() {
+            t.record(
+                self.now.micros(),
+                TraceEventKind::UnitSettled {
+                    payment: PaymentId(pid as u64),
+                    amount,
+                },
+            );
+            if let Some(latency) = completed {
+                t.record(
+                    self.now.micros(),
+                    TraceEventKind::PaymentCompleted {
+                        payment: PaymentId(pid as u64),
+                        latency_us: latency.micros(),
+                    },
+                );
+            }
         }
     }
 
@@ -961,6 +1102,14 @@ impl Simulation {
         if live > self.peak_live_units {
             self.peak_live_units = live;
         }
+        if self.trace.is_some() {
+            // Slab slots recycle; trace ids are the injection ordinal and
+            // never do.
+            if self.unit_trace_ids.len() < self.units.len() {
+                self.unit_trace_ids.resize(self.units.len(), 0);
+            }
+            self.unit_trace_ids[uid] = self.units_injected - 1;
+        }
         uid
     }
 
@@ -1014,6 +1163,17 @@ impl Simulation {
             }
         }
         self.payments[pid].inflight += amount;
+        if let Some(t) = self.trace.as_mut() {
+            t.record(
+                self.now.micros(),
+                TraceEventKind::UnitInjected {
+                    payment: PaymentId(pid as u64),
+                    unit: self.unit_trace_ids[uid],
+                    path,
+                    amount,
+                },
+            );
+        }
         if can_cross {
             self.lock_hop(uid, spider_types::SimDuration::ZERO);
         } else {
@@ -1031,6 +1191,16 @@ impl Simulation {
         let u = &mut self.units[uid];
         u.enqueued_at = self.now;
         u.timeout_event = Some(event_id);
+        if let Some(t) = self.trace.as_mut() {
+            t.record(
+                self.now.micros(),
+                TraceEventKind::UnitEnqueued {
+                    unit: self.unit_trace_ids[uid],
+                    channel: c,
+                    qlen: self.queues[c.index()][d.index()].len() as u32,
+                },
+            );
+        }
     }
 
     /// Locks the unit's next hop (the caller has verified balance), stamps
@@ -1063,7 +1233,17 @@ impl Simulation {
                 .unit_queued(queue_delay.as_secs_f64(), first_wait);
         }
         u.next_hop += 1;
-        if u.next_hop == entry.hop_count() {
+        if let Some(t) = self.trace.as_mut() {
+            t.record(
+                self.now.micros(),
+                TraceEventKind::UnitForwarded {
+                    unit: self.unit_trace_ids[uid],
+                    channel: c,
+                    hop: (self.units[uid].next_hop - 1) as u32,
+                },
+            );
+        }
+        if self.units[uid].next_hop == entry.hop_count() {
             self.metrics.unit_lock(entry.hop_count(), true);
             let ev = self.schedule(
                 self.now + self.config.confirmation_delay,
@@ -1132,10 +1312,30 @@ impl Simulation {
         p.inflight -= amount;
         p.delivered += amount;
         self.metrics.unit_settled(amount, self.now);
-        if p.delivered == p.total {
+        let completed = if p.delivered == p.total {
             p.completed = true;
             let latency = self.now - p.arrival;
             self.metrics.payment_completed(latency);
+            Some(latency)
+        } else {
+            None
+        };
+        if let Some(t) = self.trace.as_mut() {
+            t.record(
+                self.now.micros(),
+                TraceEventKind::UnitDelivered {
+                    unit: self.unit_trace_ids[uid],
+                },
+            );
+            if let Some(latency) = completed {
+                t.record(
+                    self.now.micros(),
+                    TraceEventKind::PaymentCompleted {
+                        payment: PaymentId(pid as u64),
+                        latency_us: latency.micros(),
+                    },
+                );
+            }
         }
         self.ack_unit(uid, true);
         self.retire_unit(uid);
@@ -1206,7 +1406,16 @@ impl Simulation {
         if next < entry.hop_count() {
             self.metrics.unit_lock(entry.hop_count(), false);
         }
-        self.metrics.unit_dropped();
+        self.metrics.unit_dropped(reason);
+        if let Some(t) = self.trace.as_mut() {
+            t.record(
+                self.now.micros(),
+                TraceEventKind::UnitDropped {
+                    unit: self.unit_trace_ids[uid],
+                    reason,
+                },
+            );
+        }
         self.ack_unit(uid, false);
         // The returned value made part of the payment unassigned again;
         // make sure the pending queue will retry it (the payment may have
@@ -1254,6 +1463,17 @@ impl Simulation {
             now: self.now,
         };
         self.router.on_unit_ack(&ack, &view);
+        if let Some(t) = self.trace.as_mut() {
+            t.record(
+                self.now.micros(),
+                TraceEventKind::UnitAcked {
+                    payment: PaymentId(self.units[uid].payment as u64),
+                    unit: self.unit_trace_ids[uid],
+                    delivered,
+                    marked: self.units[uid].stamp.marked,
+                },
+            );
+        }
     }
 
     /// Services queues whose direction gained balance (the released
@@ -1291,35 +1511,29 @@ impl Simulation {
     }
 
     fn on_poll(&mut self) {
-        // Imbalance telemetry, once per simulated second.
-        if self.now >= self.next_imbalance_sample {
-            let mut sum = 0.0;
-            for ch in &self.channels {
-                let cap = ch.capacity().drops().max(1) as f64;
-                sum += ch.imbalance().drops().unsigned_abs() as f64 / cap;
-            }
-            let n = self.channels.len().max(1) as f64;
-            self.metrics.imbalance_sample(sum / n);
-            if let Some(qc) = &self.qcfg {
-                let queued: usize = self.queues.iter().map(|q| q[0].len() + q[1].len()).sum();
-                self.metrics.queue_occupancy_sample(queued as f64);
-                if qc.sample_queue_depths {
-                    let depths: Vec<u32> = self
-                        .queues
-                        .iter()
-                        .map(|q| (q[0].len() + q[1].len()) as u32)
-                        .collect();
-                    self.metrics.queue_depth_sample(depths);
-                }
-            }
-            self.next_imbalance_sample = self.now + spider_types::SimDuration::from_secs(1);
+        // Time-series telemetry, once per sampling cadence (default 1 s).
+        if self.now >= self.next_sample {
+            let t0 = self.profiler.start();
+            self.sample_series();
+            self.profiler.stop(Phase::Sampling, t0);
+            self.next_sample = self.now + self.sampler.cadence();
         }
+        let t0 = self.profiler.start();
         // Expire overdue payments and drop finished ones from the queue.
         let now = self.now;
         for &pid in &self.pending {
             let p = &mut self.payments[pid];
             if !p.completed && now > p.deadline && !p.unassigned().is_zero() {
                 p.expired = true;
+                if let Some(t) = self.trace.as_mut() {
+                    t.record(
+                        now.micros(),
+                        TraceEventKind::PaymentExpired {
+                            payment: PaymentId(pid as u64),
+                            remaining: p.unassigned(),
+                        },
+                    );
+                }
             }
         }
         self.pending_retain_active();
@@ -1356,6 +1570,57 @@ impl Simulation {
             }
         }
         self.pending_retain_active();
+        self.profiler.stop(Phase::Routing, t0);
+    }
+
+    /// Records one row of every registered time series (see
+    /// [`spider_obs::SERIES_NAMES`] for the schema). Queue-dependent
+    /// probes report zero under lockstep queueing, where no per-channel
+    /// queues exist.
+    fn sample_series(&mut self) {
+        let mut row = [0.0f64; NUM_SERIES];
+        // imbalance: mean |channel imbalance| / capacity.
+        let mut sum = 0.0;
+        for ch in &self.channels {
+            let cap = ch.capacity().drops().max(1) as f64;
+            sum += ch.imbalance().drops().unsigned_abs() as f64 / cap;
+        }
+        row[0] = sum / self.channels.len().max(1) as f64;
+        if let Some(qc) = &self.qcfg {
+            // queue_occupancy: total units waiting in per-channel queues.
+            let queued: usize = self.queues.iter().map(|q| q[0].len() + q[1].len()).sum();
+            row[1] = queued as f64;
+            // inflight_units: live slab population (locked or queued).
+            row[2] = (self.units.len() - self.free_units.len()) as f64;
+            // mean_channel_price: the imbalance component of the stamped
+            // price (`local_signal`'s steering term), averaged over open
+            // channels.
+            let mut price = 0.0;
+            let mut open = 0usize;
+            for (i, ch) in self.channels.iter().enumerate() {
+                if ch.is_closed() {
+                    continue;
+                }
+                open += 1;
+                let sent = self.flow[i][0];
+                let rev = self.flow[i][1];
+                price += qc.imbalance_price_weight * crate::queue::flow_imbalance(sent, rev).abs();
+            }
+            row[5] = price / open.max(1) as f64;
+        }
+        // calendar_events: live calendar population.
+        row[3] = self.live_events as f64;
+        // window_sum_xrp: router-reported AIMD window gauge, if any.
+        row[4] = self.router.window_gauge().unwrap_or(0.0);
+        self.sampler.push_row(row);
+        if self.sampler.wants_queue_depths() && self.qcfg.is_some() {
+            let depths: Vec<u32> = self
+                .queues
+                .iter()
+                .map(|q| (q[0].len() + q[1].len()) as u32)
+                .collect();
+            self.sampler.push_queue_depths(depths);
+        }
     }
 
     /// Drops inactive payments from the pending queue, keeping the O(1)
@@ -1430,6 +1695,16 @@ impl Simulation {
             update.resized.len(),
             self.now,
         );
+        if let Some(t) = self.trace.as_mut() {
+            t.record(
+                self.now.micros(),
+                TraceEventKind::TopologyChanged {
+                    closed: update.closed.len() as u32,
+                    opened: update.opened.len() as u32,
+                    resized: update.resized.len() as u32,
+                },
+            );
+        }
         let view = NetworkView {
             topo: &self.topo,
             channels: &self.channels,
@@ -1577,7 +1852,7 @@ impl Simulation {
                 // Counted in both the total and the churn-specific drop
                 // counters, so `units_dropped_churn <= units_dropped`
                 // holds in every engine mode.
-                self.metrics.unit_dropped();
+                self.metrics.unit_dropped(DropReason::ChannelClosed);
                 self.metrics.unit_dropped_churn();
                 if atomic {
                     // All-or-nothing schemes cannot partially retry.
@@ -2408,21 +2683,77 @@ mod queueing_tests {
         cfg.deadline = None;
         let (r, _) = run_queue_sim(gen::line(3, xrp(10)), txns.clone(), cfg.clone());
         assert!(
-            r.queue_depth_series.is_empty(),
+            r.queue_depth_series().is_empty(),
             "sampling must cost nothing when off"
         );
-        let QueueingMode::PerChannelFifo(qc) = &mut cfg.queueing else {
-            unreachable!()
-        };
-        qc.sample_queue_depths = true;
+        cfg.obs.sampler.queue_depths = true;
         let (r, sim) = run_queue_sim(t, txns, cfg);
-        assert!(!r.queue_depth_series.is_empty());
-        for sample in &r.queue_depth_series {
+        assert!(!r.queue_depth_series().is_empty());
+        for sample in r.queue_depth_series() {
             assert_eq!(sample.len(), sim.topology().channel_count());
         }
         // The stuck remainder sits in channel 1's queue at the horizon.
-        let last = r.queue_depth_series.last().unwrap();
+        let last = r.queue_depth_series().last().unwrap();
         assert_eq!(last.iter().sum::<u32>() as usize, sim.queued_units());
+    }
+
+    #[test]
+    fn drop_reasons_partition_the_drop_counter() {
+        // Timeouts: the forward direction never refills, so queued units
+        // hit max_queue_delay; the payment then expires at its deadline
+        // with the remainder undelivered.
+        let t = gen::line(2, xrp(10));
+        let txns = vec![txn(0, 0, 1, xrp(9)), txn(100, 0, 1, xrp(9))];
+        let mut cfg = qconfig(QueueConfig {
+            max_queue_delay: SimDuration::from_secs(1),
+            marking_delay: SimDuration::from_millis(500),
+            max_queue_units: 4,
+            ..QueueConfig::default()
+        });
+        cfg.deadline = Some(SimDuration::from_secs(3));
+        let (r, _) = run_queue_sim(t, txns, cfg);
+        assert!(r.units_dropped > 0, "scenario must produce drops");
+        assert_eq!(
+            r.drops_by_reason.total(),
+            r.units_dropped,
+            "every dropped unit must carry exactly one reason: {:?}",
+            r.drops_by_reason
+        );
+        assert!(
+            r.drops_by_reason.queue_timeout > 0 || r.drops_by_reason.queue_overflow > 0,
+            "stuck queue must time out or overflow: {:?}",
+            r.drops_by_reason
+        );
+        assert_eq!(r.drops_by_reason.channel_closed, 0, "no churn here");
+    }
+
+    #[test]
+    fn trace_capture_records_the_unit_lifecycle() {
+        let t = gen::line(3, xrp(10));
+        let txns = vec![txn(0, 0, 2, xrp(3))];
+        let mut cfg = qconfig(QueueConfig::default());
+        cfg.obs.trace = true;
+        cfg.obs.profile = true;
+        let mut sim = Simulation::new(t, Workload { txns }, Box::new(Direct), cfg).unwrap();
+        let r = sim.run();
+        assert_eq!(r.completed_payments, 1);
+        assert!(r.profile.enabled);
+        assert!(r.profile.total_ns() > 0);
+        let trace = sim.take_trace().expect("tracing was enabled");
+        let jsonl = trace.to_jsonl();
+        for ev in [
+            "arrival", "route", "inject", "forward", "deliver", "ack", "complete", "path",
+        ] {
+            assert!(
+                jsonl.contains(&format!("\"ev\":\"{ev}\"")),
+                "missing {ev} in:\n{jsonl}"
+            );
+        }
+        // Exactly one arrival and one completion for the single payment.
+        assert_eq!(jsonl.matches("\"ev\":\"arrival\"").count(), 1);
+        assert_eq!(jsonl.matches("\"ev\":\"complete\"").count(), 1);
+        // Second take returns nothing (the sink moved out).
+        assert!(sim.take_trace().is_none());
     }
 }
 
@@ -2545,6 +2876,8 @@ mod churn_tests {
         assert_eq!(r.topology_events, 1);
         assert_eq!(r.churn_channels_closed, 1);
         assert_eq!(r.units_dropped_churn, 1);
+        assert_eq!(r.drops_by_reason.channel_closed, 1);
+        assert_eq!(r.drops_by_reason.total(), r.units_dropped);
         assert_eq!(r.payments_failed_churn, 1);
         assert!(sim.channel_states()[0].is_closed());
         assert_eq!(
@@ -2621,6 +2954,13 @@ mod churn_tests {
             assert_eq!(c.inflight(Direction::Forward), Amount::ZERO);
             assert_eq!(c.inflight(Direction::Backward), Amount::ZERO);
         }
+        // Reason accounting under churn: close-drops carry ChannelClosed
+        // and the per-reason counts still partition the total.
+        assert_eq!(r.drops_by_reason.total(), r.units_dropped);
+        assert_eq!(
+            r.drops_by_reason.channel_closed, r.units_dropped_churn,
+            "churn drops all carry the ChannelClosed reason"
+        );
     }
 
     #[test]

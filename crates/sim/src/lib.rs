@@ -36,13 +36,15 @@ pub mod workload;
 pub use calendar::CalendarQueue;
 pub use chanindex::ChannelIndex;
 pub use channel::ChannelState;
-pub use config::{QueueConfig, QueueingMode, SchedulingPolicy, SimConfig};
+pub use config::{ObsConfig, QueueConfig, QueueingMode, SchedulingPolicy, SimConfig};
 pub use engine::{Simulation, SlabStats};
-pub use metrics::SimReport;
+pub use metrics::{DropBreakdown, SimReport};
 pub use paths::{PathEntry, PathTable};
 pub use router::{
-    NetworkView, RouteProposal, RouteRequest, Router, TopologyUpdate, UnitAck, UnitOutcome,
+    NetworkView, RouteProposal, RouteRequest, Router, RouterObs, TopologyUpdate, UnitAck,
+    UnitOutcome,
 };
+pub use spider_obs::{Histogram, ProfileStats, SampleSet, Trace};
 pub use workload::{
     ArrivalSource, SizeDistribution, StreamingWorkload, TxnSpec, Workload, WorkloadConfig,
 };

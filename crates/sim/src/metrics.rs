@@ -5,7 +5,43 @@
 //!   deliveries of non-atomic payments count their delivered part).
 
 use serde::{Deserialize, Serialize};
-use spider_types::{Amount, SimDuration, SimTime};
+use spider_obs::{Histogram, ProfileStats, SampleSet};
+use spider_types::{Amount, DropReason, SimDuration, SimTime};
+
+/// Per-[`DropReason`] counts of units dropped in transit.
+///
+/// Every dropped unit carries exactly one reason, so
+/// [`DropBreakdown::total`] always equals
+/// [`SimReport::units_dropped`] — the drop-reason conservation law the
+/// integration tests assert, including under churn.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DropBreakdown {
+    /// Units that waited in a router queue past the configured bound.
+    pub queue_timeout: u64,
+    /// Units that found a full queue mid-path.
+    pub queue_overflow: u64,
+    /// Units whose payment's deadline passed in flight.
+    pub expired: u64,
+    /// Units failed back because a channel on their path closed.
+    pub channel_closed: u64,
+}
+
+impl DropBreakdown {
+    /// Sum over all reasons.
+    pub fn total(&self) -> u64 {
+        self.queue_timeout + self.queue_overflow + self.expired + self.channel_closed
+    }
+
+    /// Counts one drop.
+    fn count(&mut self, reason: DropReason) {
+        match reason {
+            DropReason::QueueTimeout => self.queue_timeout += 1,
+            DropReason::QueueOverflow => self.queue_overflow += 1,
+            DropReason::Expired => self.expired += 1,
+            DropReason::ChannelClosed => self.channel_closed += 1,
+        }
+    }
+}
 
 /// Aggregated results of one simulation run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -69,18 +105,27 @@ pub struct SimReport {
     pub completion_times: Vec<f64>,
     /// Delivered volume per 1-second bucket (throughput time series).
     pub throughput_series: Vec<f64>,
-    /// Network-wide mean absolute channel imbalance (|fwd − bwd| / capacity
-    /// ∈ [0, 1]) sampled once per second — the quantity imbalance-aware
-    /// routing tries to keep small.
-    pub imbalance_series: Vec<f64>,
-    /// Total transaction units resident in router queues, sampled once per
-    /// second (§5 queueing mode; all zeros in lockstep mode).
-    pub queue_occupancy_series: Vec<f64>,
-    /// Per-channel queue depths (both directions summed), sampled once per
-    /// second — empty unless
-    /// [`QueueConfig::sample_queue_depths`](crate::QueueConfig) is set.
-    /// Outer index: sample; inner index: [`ChannelId`](spider_types::ChannelId).
-    pub queue_depth_series: Vec<Vec<u32>>,
+    /// Dropped-unit counts broken down by [`DropReason`];
+    /// `drops_by_reason.total() == units_dropped` always.
+    pub drops_by_reason: DropBreakdown,
+    /// Payment completion latencies (seconds).
+    pub latency_hist: Histogram,
+    /// Per-hop queueing delays of serviced units (seconds; §5 queueing
+    /// mode).
+    pub queue_delay_hist: Histogram,
+    /// Hop counts of successfully locked units.
+    pub path_length_hist: Histogram,
+    /// Live AIMD window sizes (XRP) at end of run, for window-capable
+    /// schemes; empty otherwise.
+    pub window_hist: Histogram,
+    /// Scheme-internal counters (cache hits/misses/prefills/repairs…),
+    /// name-value pairs in a scheme-defined but deterministic order.
+    pub router_counters: Vec<(String, u64)>,
+    /// Every sampled time series, index-aligned on one cadence (see
+    /// [`spider_obs::SERIES_NAMES`] and the accessor methods below).
+    pub samples: SampleSet,
+    /// Engine phase timing (all zeros unless profiling was enabled).
+    pub profile: ProfileStats,
     /// Wall-clock-free simulated horizon actually processed.
     pub horizon: SimDuration,
 }
@@ -124,6 +169,27 @@ impl SimReport {
     /// queued at least once. `None` when nothing queued.
     pub fn avg_queue_delay(&self) -> Option<f64> {
         (self.units_queued > 0).then(|| self.queue_delay_sum_s / self.units_queued as f64)
+    }
+
+    /// Network-wide mean absolute channel imbalance
+    /// (`|fwd − bwd| / capacity` ∈ [0, 1]) per sampling instant — the
+    /// quantity imbalance-aware routing tries to keep small.
+    pub fn imbalance_series(&self) -> &[f64] {
+        self.samples.series("imbalance")
+    }
+
+    /// Total transaction units resident in router queues per sampling
+    /// instant (§5 queueing mode; all zeros in lockstep mode).
+    pub fn queue_occupancy_series(&self) -> &[f64] {
+        self.samples.series("queue_occupancy")
+    }
+
+    /// Per-channel queue depths (both directions summed) per sampling
+    /// instant — empty unless the sampler's `queue_depths` switch was on
+    /// (see [`ObsConfig`](crate::config::ObsConfig)). Outer index:
+    /// sample; inner index: [`ChannelId`](spider_types::ChannelId).
+    pub fn queue_depth_series(&self) -> &[Vec<u32>] {
+        &self.samples.queue_depths
     }
 
     /// Per-churn-event recovery time: for each entry of
@@ -213,9 +279,14 @@ pub struct MetricsCollector {
     queue_delay_sum_s: f64,
     completion_times: Vec<f64>,
     throughput_buckets: Vec<f64>,
-    imbalance_samples: Vec<f64>,
-    queue_occupancy_samples: Vec<f64>,
-    queue_depth_samples: Vec<Vec<u32>>,
+    drops_by_reason: DropBreakdown,
+    latency_hist: Histogram,
+    queue_delay_hist: Histogram,
+    path_length_hist: Histogram,
+    window_hist: Histogram,
+    router_counters: Vec<(String, u64)>,
+    samples: SampleSet,
+    profile: ProfileStats,
 }
 
 impl MetricsCollector {
@@ -243,7 +314,9 @@ impl MetricsCollector {
     /// Records a fully completed payment with its latency.
     pub fn payment_completed(&mut self, latency: SimDuration) {
         self.completed_payments += 1;
-        self.completion_times.push(latency.as_secs_f64());
+        let secs = latency.as_secs_f64();
+        self.completion_times.push(secs);
+        self.latency_hist.record(secs);
     }
 
     /// Records a unit lock success (with its hop count) or failure.
@@ -251,6 +324,7 @@ impl MetricsCollector {
         if success {
             self.units_locked += 1;
             self.unit_hops_sum += hops as u64;
+            self.path_length_hist.record(hops as f64);
         } else {
             self.units_failed += 1;
         }
@@ -274,11 +348,6 @@ impl MetricsCollector {
         self.rebalance_ops += 1;
     }
 
-    /// Records one network-wide imbalance sample (mean |imbalance|/capacity).
-    pub fn imbalance_sample(&mut self, mean_abs_fraction: f64) {
-        self.imbalance_samples.push(mean_abs_fraction);
-    }
-
     /// Records a unit acknowledgement's marking state (queueing mode).
     pub fn unit_acked(&mut self, marked: bool) {
         self.units_acked += 1;
@@ -287,9 +356,11 @@ impl MetricsCollector {
         }
     }
 
-    /// Records a unit dropped in transit (queueing mode).
-    pub fn unit_dropped(&mut self) {
+    /// Records a unit dropped in transit with its (mandatory) reason —
+    /// per-reason counts must sum to the drop total.
+    pub fn unit_dropped(&mut self, reason: DropReason) {
         self.units_dropped += 1;
+        self.drops_by_reason.count(reason);
     }
 
     /// Records one hop's queueing delay for a serviced unit; `first_wait`
@@ -299,6 +370,7 @@ impl MetricsCollector {
             self.units_queued += 1;
         }
         self.queue_delay_sum_s += delay_s;
+        self.queue_delay_hist.record(delay_s);
     }
 
     /// Records one applied mid-run topology-churn event: how many channels
@@ -331,15 +403,24 @@ impl MetricsCollector {
         self.payments_failed_churn = count;
     }
 
-    /// Records one network-wide queue occupancy sample (total queued units).
-    pub fn queue_occupancy_sample(&mut self, total_queued: f64) {
-        self.queue_occupancy_samples.push(total_queued);
+    /// Installs the router's end-of-run observability snapshot: internal
+    /// counters and live AIMD window sizes (the latter feed
+    /// [`SimReport::window_hist`]).
+    pub fn set_router_obs(&mut self, obs: crate::router::RouterObs) {
+        for w in &obs.windows_xrp {
+            self.window_hist.record(*w);
+        }
+        self.router_counters = obs.counters;
     }
 
-    /// Records one per-channel queue-depth sample (both directions summed,
-    /// indexed by channel id).
-    pub fn queue_depth_sample(&mut self, depths: Vec<u32>) {
-        self.queue_depth_samples.push(depths);
+    /// Installs the run's sampled time series.
+    pub fn set_samples(&mut self, samples: SampleSet) {
+        self.samples = samples;
+    }
+
+    /// Installs the run's phase-timing stats.
+    pub fn set_profile(&mut self, profile: ProfileStats) {
+        self.profile = profile;
     }
 
     /// Finalizes into a report.
@@ -370,9 +451,14 @@ impl MetricsCollector {
             queue_delay_sum_s: self.queue_delay_sum_s,
             completion_times: self.completion_times,
             throughput_series: self.throughput_buckets,
-            imbalance_series: self.imbalance_samples,
-            queue_occupancy_series: self.queue_occupancy_samples,
-            queue_depth_series: self.queue_depth_samples,
+            drops_by_reason: self.drops_by_reason,
+            latency_hist: self.latency_hist,
+            queue_delay_hist: self.queue_delay_hist,
+            path_length_hist: self.path_length_hist,
+            window_hist: self.window_hist,
+            router_counters: self.router_counters,
+            samples: self.samples,
+            profile: self.profile,
             horizon,
         }
     }
@@ -467,5 +553,71 @@ mod tests {
     fn summary_contains_scheme() {
         let r = MetricsCollector::new().finish("spider-wf", SimDuration::from_secs(1));
         assert!(r.summary().contains("spider-wf"));
+    }
+
+    #[test]
+    fn drop_reasons_sum_to_total() {
+        let mut m = MetricsCollector::new();
+        m.unit_dropped(DropReason::QueueTimeout);
+        m.unit_dropped(DropReason::QueueTimeout);
+        m.unit_dropped(DropReason::QueueOverflow);
+        m.unit_dropped(DropReason::Expired);
+        m.unit_dropped(DropReason::ChannelClosed);
+        let r = m.finish("d", SimDuration::from_secs(1));
+        assert_eq!(r.units_dropped, 5);
+        assert_eq!(r.drops_by_reason.queue_timeout, 2);
+        assert_eq!(r.drops_by_reason.queue_overflow, 1);
+        assert_eq!(r.drops_by_reason.expired, 1);
+        assert_eq!(r.drops_by_reason.channel_closed, 1);
+        assert_eq!(r.drops_by_reason.total(), r.units_dropped);
+    }
+
+    #[test]
+    fn histograms_mirror_the_scalar_aggregates() {
+        let mut m = MetricsCollector::new();
+        m.payment_completed(SimDuration::from_millis(700));
+        m.payment_completed(SimDuration::from_millis(300));
+        m.unit_lock(3, true);
+        m.unit_lock(4, true);
+        m.unit_lock(2, false);
+        m.unit_queued(0.05, true);
+        m.unit_queued(0.10, false);
+        let r = m.finish("h", SimDuration::from_secs(1));
+        assert_eq!(r.latency_hist.count, r.completed_payments);
+        assert!((r.latency_hist.sum - 1.0).abs() < 1e-9);
+        assert_eq!(r.path_length_hist.count, r.units_locked);
+        assert!((r.path_length_hist.sum - r.unit_hops_sum as f64).abs() < 1e-9);
+        // Queue-delay histogram counts hops, not units.
+        assert_eq!(r.queue_delay_hist.count, 2);
+        assert_eq!(r.units_queued, 1);
+        assert!((r.queue_delay_hist.sum - r.queue_delay_sum_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn router_obs_feeds_counters_and_window_hist() {
+        let mut m = MetricsCollector::new();
+        m.set_router_obs(crate::router::RouterObs {
+            counters: vec![
+                ("cache_hits".to_string(), 10),
+                ("cache_misses".to_string(), 2),
+            ],
+            windows_xrp: vec![40.0, 55.0, 10.0],
+        });
+        let r = m.finish("w", SimDuration::from_secs(1));
+        assert_eq!(r.router_counters[0], ("cache_hits".to_string(), 10));
+        assert_eq!(r.window_hist.count, 3);
+        assert_eq!(r.window_hist.max, 55.0);
+    }
+
+    #[test]
+    fn series_accessors_read_the_sample_set() {
+        let mut m = MetricsCollector::new();
+        let mut s = spider_obs::Sampler::new(spider_obs::SamplerConfig::default());
+        s.push_row([0.25, 7.0, 1.0, 2.0, 0.0, 0.0]);
+        m.set_samples(s.finish());
+        let r = m.finish("s", SimDuration::from_secs(1));
+        assert_eq!(r.imbalance_series(), &[0.25]);
+        assert_eq!(r.queue_occupancy_series(), &[7.0]);
+        assert!(r.queue_depth_series().is_empty());
     }
 }

@@ -173,6 +173,20 @@ pub struct TopologyUpdate {
     pub resized: Vec<ChannelId>,
 }
 
+/// End-of-run observability snapshot a router hands the engine (see
+/// [`Router::observability`]): scheme-internal counters and the live
+/// per-path/per-pair AIMD window sizes. Order must be deterministic
+/// (sorted keys, not hash order) — the snapshot lands in `SimReport` and
+/// golden-tested outputs.
+#[derive(Debug, Clone, Default)]
+pub struct RouterObs {
+    /// Name–value counter pairs (cache hits/misses, repairs…).
+    pub counters: Vec<(String, u64)>,
+    /// Live AIMD window sizes in XRP, one per controller, in a
+    /// deterministic scheme-defined order. Empty for windowless schemes.
+    pub windows_xrp: Vec<f64>,
+}
+
 impl TopologyUpdate {
     /// True when the event changed nothing (every mutation was a no-op).
     pub fn is_empty(&self) -> bool {
@@ -267,6 +281,21 @@ pub trait Router {
     /// partially and retry from the pending queue.
     fn atomic(&self) -> bool {
         false
+    }
+
+    /// The sum of this scheme's live AIMD window sizes in XRP, probed by
+    /// the engine's series sampler each cadence; `None` for windowless
+    /// schemes (the series then reads 0). Wrappers should add their own
+    /// windows to the inner scheme's. Default: `None`.
+    fn window_gauge(&self) -> Option<f64> {
+        None
+    }
+
+    /// End-of-run observability snapshot: internal counters and live
+    /// window sizes, in a deterministic order. Wrappers should merge
+    /// their own snapshot with the inner scheme's. Default: empty.
+    fn observability(&self) -> RouterObs {
+        RouterObs::default()
     }
 }
 

@@ -45,7 +45,7 @@ fn pricing_extracts_more_volume_per_unit_imbalance() {
         ])
         .expect("schemes run");
     let efficiency = |r: &spider_sim::SimReport| {
-        let imb = *r.imbalance_series.last().expect("sampled");
+        let imb = *r.imbalance_series().last().expect("sampled");
         r.delivered_volume.as_xrp() / imb.max(1e-6)
     };
     let pricing = efficiency(&reports[0]);
@@ -63,15 +63,15 @@ fn imbalance_series_is_sampled_and_bounded() {
     let cfg = small_isp_experiment(41, 10_000);
     let r = cfg.run().expect("runs");
     assert!(
-        r.imbalance_series.len() >= 4,
+        r.imbalance_series().len() >= 4,
         "one sample per second expected"
     );
-    assert!(r.imbalance_series.iter().all(|x| (0.0..=1.0).contains(x)));
+    assert!(r.imbalance_series().iter().all(|x| (0.0..=1.0).contains(x)));
     // Channels start perfectly balanced.
     assert!(
-        r.imbalance_series[0] < 0.05,
+        r.imbalance_series()[0] < 0.05,
         "first sample {}",
-        r.imbalance_series[0]
+        r.imbalance_series()[0]
     );
 }
 

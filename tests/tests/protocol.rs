@@ -61,7 +61,7 @@ fn constrained_capacity_produces_queueing_and_marking() {
     assert!(r.units_queued > 0, "queues never formed");
     assert!(r.units_marked > 0, "marking never fired");
     assert!(r.marking_rate() > 0.0 && r.marking_rate() <= 1.0);
-    assert!(!r.queue_occupancy_series.is_empty());
+    assert!(!r.queue_occupancy_series().is_empty());
 }
 
 /// The acceptance bar: with queueing enabled on the fig6-style topology,

@@ -1,0 +1,152 @@
+//! Golden payment-lifecycle traces: exact JSONL output recorded for tiny
+//! fixed-seed runs in each engine operating mode (lockstep, Windowed AIMD,
+//! and the queueing §5 protocol).
+//!
+//! The trace is an *observation* layer: it must be bit-reproducible for a
+//! fixed seed (same `(time, seq)` event order every run) and must never
+//! perturb the simulation itself. Each test renders the trace twice from
+//! independent runs and compares byte-for-byte, then checks the pinned
+//! golden under `tests/goldens/`. Regenerate with `UPDATE_GOLDENS=1` after
+//! an *intentional* trace-schema change.
+
+use spider_core::congestion::{WindowConfig, Windowed};
+use spider_core::{ExperimentConfig, SchemeConfig, TopologyConfig};
+use spider_routing::ShortestPath;
+use spider_sim::{QueueConfig, QueueingMode, SimConfig, SizeDistribution, Trace, WorkloadConfig};
+use spider_types::SimDuration;
+use std::path::PathBuf;
+
+/// A run small enough that its golden stays a few KB: the 5-node §5.1
+/// example topology, a dozen constant-size payments, a short horizon.
+fn tiny_experiment(seed: u64, scheme: SchemeConfig) -> ExperimentConfig {
+    ExperimentConfig {
+        topology: TopologyConfig::PaperExample { capacity_xrp: 200 },
+        workload: WorkloadConfig {
+            count: 12,
+            rate_per_sec: 10.0,
+            size: SizeDistribution::Constant { xrp: 40.0 },
+            sender_skew_scale: 4.0,
+        },
+        sim: SimConfig {
+            horizon: SimDuration::from_secs(4),
+            ..SimConfig::default()
+        },
+        scheme,
+        dynamics: None,
+        seed,
+    }
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/goldens")
+        .join(name)
+}
+
+/// Compares `jsonl` against the pinned golden (or rewrites it when
+/// `UPDATE_GOLDENS` is set), and checks the Chrome render is valid JSON.
+fn check_golden(name: &str, trace: &Trace) {
+    let jsonl = trace.to_jsonl();
+    assert!(!jsonl.is_empty(), "{name}: trace rendered empty");
+    serde_json::parse(&trace.to_chrome_trace())
+        .unwrap_or_else(|e| panic!("{name}: chrome trace is not valid JSON: {e}"));
+
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir goldens");
+        std::fs::write(&path, &jsonl).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); record it with UPDATE_GOLDENS=1",
+            path.display()
+        )
+    });
+    if jsonl != want {
+        // A full assert_eq! on multi-KB strings is unreadable; report the
+        // first diverging line instead.
+        for (i, (got, exp)) in jsonl.lines().zip(want.lines()).enumerate() {
+            assert_eq!(got, exp, "{name}: first divergence at line {}", i + 1);
+        }
+        assert_eq!(
+            jsonl.lines().count(),
+            want.lines().count(),
+            "{name}: line counts differ"
+        );
+        panic!("{name}: traces differ only in trailing whitespace?");
+    }
+}
+
+#[test]
+fn lockstep_shortest_path_trace_is_reproducible_and_matches_golden() {
+    let cfg = tiny_experiment(11, SchemeConfig::ShortestPath);
+    let (r1, t1) = cfg.run_traced().expect("runs");
+    let (r2, t2) = cfg.run_traced().expect("runs");
+    assert_eq!(r1.completed_payments, r2.completed_payments);
+    assert_eq!(
+        t1.to_jsonl(),
+        t2.to_jsonl(),
+        "trace is not bit-reproducible"
+    );
+    assert!(
+        r1.completed_payments > 0,
+        "nothing completed; golden is vacuous"
+    );
+    check_golden("trace_lockstep_shortest.jsonl", &t1);
+}
+
+#[test]
+fn windowed_aimd_trace_is_reproducible_and_matches_golden() {
+    let cfg = tiny_experiment(11, SchemeConfig::ShortestPath);
+    // A window smaller than the 40-XRP payments forces the AIMD gate to
+    // stagger injects, so this golden pins behavior the bare lockstep
+    // golden cannot reach (it must NOT be byte-identical to it).
+    let wcfg = WindowConfig {
+        initial: spider_types::Amount::from_xrp(20),
+        ..WindowConfig::default()
+    };
+    let windowed = || Box::new(Windowed::new(ShortestPath::new(), wcfg.clone()));
+    let (r1, t1) = cfg.run_with_router_traced(windowed()).expect("runs");
+    let (_, t2) = cfg.run_with_router_traced(windowed()).expect("runs");
+    assert_eq!(
+        t1.to_jsonl(),
+        t2.to_jsonl(),
+        "trace is not bit-reproducible"
+    );
+    assert!(
+        r1.completed_payments > 0,
+        "nothing completed; golden is vacuous"
+    );
+    let lockstep = std::fs::read_to_string(golden_path("trace_lockstep_shortest.jsonl"));
+    if let Ok(lockstep) = lockstep {
+        assert_ne!(
+            t1.to_jsonl(),
+            lockstep,
+            "window gating never engaged; golden duplicates the lockstep one"
+        );
+    }
+    check_golden("trace_windowed_shortest.jsonl", &t1);
+}
+
+#[test]
+fn spider_protocol_trace_is_reproducible_and_matches_golden() {
+    let mut cfg = tiny_experiment(11, SchemeConfig::spider_protocol(4));
+    cfg.sim.queueing = QueueingMode::PerChannelFifo(QueueConfig::default());
+    let (r1, t1) = cfg.run_traced().expect("runs");
+    let (_, t2) = cfg.run_traced().expect("runs");
+    assert_eq!(
+        t1.to_jsonl(),
+        t2.to_jsonl(),
+        "trace is not bit-reproducible"
+    );
+    assert!(
+        r1.completed_payments > 0,
+        "nothing completed; golden is vacuous"
+    );
+    assert!(
+        r1.units_queued > 0 || r1.units_acked > 0,
+        "protocol machinery never engaged; golden is vacuous"
+    );
+    check_golden("trace_spider_protocol.jsonl", &t1);
+}
