@@ -85,6 +85,7 @@ fn isp_base(count: usize, seed: u64) -> ExperimentConfig {
         },
         scheme: SchemeConfig::ShortestPath,
         dynamics: None,
+        faults: None,
         seed,
     }
 }
@@ -109,6 +110,7 @@ fn ripple_base(count: usize, seed: u64) -> ExperimentConfig {
         },
         scheme: SchemeConfig::ShortestPath,
         dynamics: None,
+        faults: None,
         seed,
     }
 }

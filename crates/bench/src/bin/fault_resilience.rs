@@ -1,0 +1,119 @@
+//! Scheme resilience under deterministic fault injection (`spider-faults`).
+//!
+//! Runs every registered scheme ([`SchemeConfig::extended_lineup`]) on the
+//! ISP and Ripple-like topologies across a sweep of fault intensities
+//! (`0 ×` = the paper's fault-free evaluation, then increasingly hostile
+//! plans of per-channel message loss, lost acks, stuck units, latency
+//! jitter/spikes and node crash/recovery windows), all on the identical
+//! workload and seed per topology, fanned through [`run_sweep`].
+//!
+//! Output: the usual `FigureRow` CSV/JSONL schema (`parameter =
+//! fault_intensity`, with the `units_dropped_fault` and `retries` columns
+//! doing the talking), plus per-run fault detail on stderr — injected
+//! faults, the drop breakdown by fault reason, and crash events fired.
+//!
+//! Expected shape: schemes with sender-side failover (the backoff layer
+//! cools faulted paths and retries on alternates) hold their success ratio
+//! far better than a fault-oblivious sender would; the single-path
+//! shortest-path baseline leans hardest on its lazily-built alternate set.
+//!
+//! ```sh
+//! cargo run --release -p spider-bench --bin fault_resilience -- --out out
+//! cargo run --release -p spider-bench --bin fault_resilience -- --smoke --out out  # CI
+//! ```
+
+use spider_bench::{emit, isp_experiment, ripple_experiment, HarnessArgs};
+use spider_core::output::FigureRow;
+use spider_core::{run_sweep, ExperimentConfig, SchemeConfig, SweepJob};
+use spider_faults::FaultConfig;
+use spider_sim::SimReport;
+
+/// The base (1×) fault plan the intensity knob scales. The crate default
+/// is already paper-plausible; only the horizon is pinned to the
+/// experiment's so crash windows cover the whole run.
+fn base_faults(horizon_secs: f64) -> FaultConfig {
+    FaultConfig {
+        horizon_secs,
+        ..FaultConfig::default()
+    }
+}
+
+fn scaled_experiment(base: &ExperimentConfig, intensity: f64) -> ExperimentConfig {
+    let horizon = base.sim.horizon.as_secs_f64();
+    ExperimentConfig {
+        faults: (intensity > 0.0).then(|| base_faults(horizon).scaled(intensity)),
+        ..base.clone()
+    }
+}
+
+fn report_detail(r: &SimReport, intensity: f64) {
+    if r.faults_injected == 0 && r.fault_events == 0 {
+        return;
+    }
+    eprintln!(
+        "  {:<22} x{intensity}: injected={} dropped_fault={} \
+         (lost={} timeout={} crashed={}) crash_events={} retries={}",
+        r.scheme,
+        r.faults_injected,
+        r.units_dropped_fault,
+        r.drops_by_reason.message_lost,
+        r.drops_by_reason.hop_timeout,
+        r.drops_by_reason.node_crashed,
+        r.fault_events,
+        r.retries,
+    );
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let intensities = [0.0, 0.5, 1.0, 2.0];
+    let schemes = SchemeConfig::extended_lineup();
+    let mut rows: Vec<FigureRow> = Vec::new();
+
+    for (label, mut base) in [
+        ("fault-isp", isp_experiment(4_000, args.full, args.seed)),
+        (
+            "fault-ripple",
+            ripple_experiment(4_000, args.full, args.seed),
+        ),
+    ] {
+        if args.smoke {
+            // CI scale: a few seconds per topology while still injecting
+            // real faults into every scheme.
+            base.workload.count = 800;
+            base.sim.horizon =
+                spider_types::SimDuration::from_secs_f64(800.0 / base.workload.rate_per_sec + 1.0);
+            if let spider_core::TopologyConfig::RippleLike { nodes, .. } = &mut base.topology {
+                *nodes = 120;
+            }
+        }
+        eprintln!(
+            "running {label} ({} txns, {} schemes x {} intensities)…",
+            base.workload.count,
+            schemes.len(),
+            intensities.len()
+        );
+        let base = &base;
+        let jobs: Vec<SweepJob> = intensities
+            .iter()
+            .flat_map(|&i| {
+                schemes.iter().map(move |&scheme| {
+                    SweepJob::Scheme(ExperimentConfig {
+                        scheme,
+                        ..scaled_experiment(base, i)
+                    })
+                })
+            })
+            .collect();
+        let reports = run_sweep(&jobs).expect("experiments run");
+        for (j, r) in reports.iter().enumerate() {
+            let intensity = intensities[j / schemes.len()];
+            let row = FigureRow::new(label, "fault_intensity", intensity, r);
+            println!("{}", spider_core::output::to_csv_row(&row));
+            report_detail(r, intensity);
+            rows.push(row);
+        }
+    }
+
+    emit("fault_resilience", &rows, &args.out_dir);
+}

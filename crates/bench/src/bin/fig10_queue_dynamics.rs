@@ -98,6 +98,7 @@ fn main() {
         },
         scheme: SchemeConfig::spider_protocol(4),
         dynamics: None,
+        faults: None,
         seed: args.seed,
     };
     eprintln!(

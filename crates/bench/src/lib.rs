@@ -128,6 +128,7 @@ pub fn isp_experiment(capacity_xrp: u64, full: bool, seed: u64) -> ExperimentCon
         },
         scheme: SchemeConfig::ShortestPath, // overridden per run
         dynamics: None,
+        faults: None,
         seed,
     }
 }
@@ -164,6 +165,7 @@ pub fn ripple_experiment(capacity_xrp: u64, full: bool, seed: u64) -> Experiment
         },
         scheme: SchemeConfig::ShortestPath,
         dynamics: None,
+        faults: None,
         seed,
     }
 }

@@ -181,9 +181,12 @@ impl<R: Router> Router for Windowed<R> {
         };
         // In ack-driven (queueing) operation, a positive outcome is only
         // queue admission — growth waits for the ack. Rejections remain a
-        // hard back-off signal in both modes.
-        if !outcome.locked || !self.ack_driven {
-            self.adjust(src, dst, outcome.locked);
+        // hard back-off signal in both modes, and a post-lock fault
+        // notification (locked but never settled) backs the pair off like
+        // a rejection rather than rewarding the lock.
+        let ok = outcome.locked && outcome.fault.is_none();
+        if !ok || !self.ack_driven {
+            self.adjust(src, dst, ok);
         }
         self.inner.on_unit_outcome(outcome, view);
     }
@@ -263,6 +266,7 @@ mod tests {
             path: view.intern(&[NodeId(0), NodeId(1), NodeId(2)]),
             amount: xrp(10),
             locked,
+            fault: None,
         }
     }
 
@@ -397,6 +401,7 @@ mod tests {
                 path: view.intern(&[NodeId(i), NodeId(i + 10)]),
                 amount: xrp(1),
                 locked: false,
+                fault: None,
             };
             w.on_unit_outcome(&o, &view);
         }

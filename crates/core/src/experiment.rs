@@ -3,6 +3,7 @@
 use crate::scheme::SchemeConfig;
 use serde::{Deserialize, Serialize};
 use spider_dynamics::{ChurnSchedule, DynamicsConfig};
+use spider_faults::{FaultConfig, FaultPlan};
 use spider_paygraph::PaymentGraph;
 use spider_sim::{SimConfig, SimReport, Simulation, Workload, WorkloadConfig};
 use spider_topology::{analysis, gen, Topology};
@@ -122,6 +123,12 @@ pub struct ExperimentConfig {
     /// config (via the `dynamics` fork of the experiment RNG) and applied
     /// mid-run. `None` = the paper's frozen-snapshot evaluation.
     pub dynamics: Option<DynamicsConfig>,
+    /// Optional fault injection: a deterministic plan of message/ack
+    /// loss, latency jitter, stuck units and node crash windows generated
+    /// from this config (via the `faults` fork of the experiment RNG) and
+    /// applied during the run. `None` = today's fault-free evaluation,
+    /// bit-identical to builds without the fault subsystem.
+    pub faults: Option<FaultConfig>,
     /// Master seed; every random choice derives from it.
     pub seed: u64,
 }
@@ -136,6 +143,7 @@ impl Default for ExperimentConfig {
             sim: SimConfig::default(),
             scheme: SchemeConfig::SpiderWaterfilling { paths: 4 },
             dynamics: None,
+            faults: None,
             seed: 0,
         }
     }
@@ -179,6 +187,7 @@ impl ExperimentConfig {
             .build(&topo, &demands, self.sim.confirmation_delay.as_secs_f64());
         let mut sim = Simulation::new(topo, workload, router, self.effective_sim())?;
         self.install_dynamics(&mut sim, &rng)?;
+        self.install_faults(&mut sim, &rng)?;
         let report = sim.run();
         sim.check_conservation();
         Ok(report)
@@ -203,6 +212,7 @@ impl ExperimentConfig {
         cfg.obs.trace = true;
         let mut sim = Simulation::new(topo, workload, router, cfg)?;
         self.install_dynamics(&mut sim, &rng)?;
+        self.install_faults(&mut sim, &rng)?;
         let report = sim.run();
         sim.check_conservation();
         let trace = sim.take_trace().expect("tracing was enabled");
@@ -219,6 +229,18 @@ impl ExperimentConfig {
         Ok(())
     }
 
+    /// Generates and installs the fault plan, when configured. The plan
+    /// derives from the `faults` fork of the experiment RNG, so fault
+    /// schedules never perturb topology, workload or churn draws.
+    fn install_faults(&self, sim: &mut Simulation, rng: &DetRng) -> Result<()> {
+        if let Some(fault_cfg) = &self.faults {
+            let mut frng = rng.fork("faults");
+            let plan = FaultPlan::generate(sim.topology(), fault_cfg, &mut frng)?;
+            sim.set_fault_plan(plan);
+        }
+        Ok(())
+    }
+
     /// Runs the experiment's topology and workload against a caller-built
     /// router (for schemes outside the [`SchemeConfig`] registry, e.g. the
     /// AIMD [`Windowed`](crate::congestion::Windowed) wrapper), using
@@ -230,6 +252,7 @@ impl ExperimentConfig {
         let workload = Workload::generate(topo.node_count(), &self.workload, &mut wrng);
         let mut sim = Simulation::new(topo, workload, router, self.sim.clone())?;
         self.install_dynamics(&mut sim, &rng)?;
+        self.install_faults(&mut sim, &rng)?;
         let report = sim.run();
         sim.check_conservation();
         Ok(report)
@@ -251,6 +274,7 @@ impl ExperimentConfig {
         cfg.obs.trace = true;
         let mut sim = Simulation::new(topo, workload, router, cfg)?;
         self.install_dynamics(&mut sim, &rng)?;
+        self.install_faults(&mut sim, &rng)?;
         let report = sim.run();
         sim.check_conservation();
         let trace = sim.take_trace().expect("tracing was enabled");
@@ -399,6 +423,7 @@ mod tests {
             sim: quick_sim(),
             scheme: SchemeConfig::SpiderWaterfilling { paths: 4 },
             dynamics: None,
+            faults: None,
             seed: 1,
         }
         .run()
@@ -423,6 +448,7 @@ mod tests {
             sim: quick_sim(),
             scheme: SchemeConfig::ShortestPath,
             dynamics: None,
+            faults: None,
             seed: 9,
         };
         let a = cfg.run().unwrap();
@@ -445,6 +471,7 @@ mod tests {
             sim: quick_sim(),
             scheme: SchemeConfig::ShortestPath,
             dynamics: None,
+            faults: None,
             seed: 1,
         };
         let a = base.run().unwrap();
@@ -463,6 +490,7 @@ mod tests {
             sim: quick_sim(),
             scheme: SchemeConfig::ShortestPath,
             dynamics: None,
+            faults: None,
             seed: 5,
         };
         let reports = cfg
@@ -488,6 +516,7 @@ mod tests {
             sim: quick_sim(),
             scheme: SchemeConfig::ShortestPath,
             dynamics: None,
+            faults: None,
             seed: 0,
         };
         let seeds = [3u64, 11];

@@ -25,6 +25,10 @@ pub struct FigureRow {
     pub completed: u64,
     /// Attempted payments.
     pub attempted: u64,
+    /// Units lost to injected faults (message loss, hop timeout, crash).
+    pub units_dropped_fault: u64,
+    /// Routing retry attempts beyond each payment's first.
+    pub retries: u64,
     /// Mean completion time (s), when any payment completed.
     pub avg_completion_s: Option<f64>,
     /// Median completion latency (s), from the report's latency histogram.
@@ -45,6 +49,8 @@ impl FigureRow {
             success_volume_pct: 100.0 * r.success_volume(),
             completed: r.completed_payments,
             attempted: r.attempted_payments,
+            units_dropped_fault: r.units_dropped_fault,
+            retries: r.retries,
             avg_completion_s: r.avg_completion_time(),
             latency_p50_s: r.latency_hist.percentile(0.50),
             latency_p99_s: r.latency_hist.percentile(0.99),
@@ -54,13 +60,13 @@ impl FigureRow {
 
 /// CSV header matching [`to_csv_row`].
 pub const CSV_HEADER: &str =
-    "experiment,scheme,parameter,value,success_ratio_pct,success_volume_pct,completed,attempted,avg_completion_s,latency_p50_s,latency_p99_s";
+    "experiment,scheme,parameter,value,success_ratio_pct,success_volume_pct,completed,attempted,units_dropped_fault,retries,avg_completion_s,latency_p50_s,latency_p99_s";
 
 /// One CSV line (no trailing newline).
 pub fn to_csv_row(row: &FigureRow) -> String {
     let opt = |v: Option<f64>| v.map(|v| format!("{v:.4}")).unwrap_or_default();
     format!(
-        "{},{},{},{},{:.4},{:.4},{},{},{},{},{}",
+        "{},{},{},{},{:.4},{:.4},{},{},{},{},{},{},{}",
         row.experiment,
         row.scheme,
         row.parameter,
@@ -69,6 +75,8 @@ pub fn to_csv_row(row: &FigureRow) -> String {
         row.success_volume_pct,
         row.completed,
         row.attempted,
+        row.units_dropped_fault,
+        row.retries,
         opt(row.avg_completion_s),
         opt(row.latency_p50_s),
         opt(row.latency_p99_s),
@@ -148,6 +156,9 @@ mod tests {
             churn_channels_resized: 0,
             units_dropped_churn: 0,
             payments_failed_churn: 0,
+            fault_events: 0,
+            faults_injected: 0,
+            units_dropped_fault: 0,
             topology_event_times_s: vec![],
             queue_delay_sum_s: 0.0,
             completion_times: vec![0.5, 0.7],
@@ -168,7 +179,7 @@ mod tests {
     fn csv_round_numbers() {
         let row = FigureRow::new("fig6-isp", "capacity_xrp", 30_000.0, &report());
         let line = to_csv_row(&row);
-        assert!(line.starts_with("fig6-isp,test,capacity_xrp,30000,70.0000,80.0000,7,10,"));
+        assert!(line.starts_with("fig6-isp,test,capacity_xrp,30000,70.0000,80.0000,7,10,0,2,"));
         let doc = to_csv(&[row]);
         assert!(doc.starts_with(CSV_HEADER));
         assert_eq!(doc.lines().count(), 2);

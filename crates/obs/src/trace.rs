@@ -143,6 +143,24 @@ pub enum TraceEventKind {
         /// Channels resized.
         resized: u32,
     },
+    /// A fault-plan event toggled a node's crash state.
+    FaultApplied {
+        /// The node that crashed or recovered.
+        node: NodeId,
+        /// True on crash, false on recovery.
+        crashed: bool,
+    },
+    /// A lockstep unit was refunded along its whole path instead of
+    /// settling: the payment expired between lock and settle, or an
+    /// injected fault consumed the unit.
+    UnitRefunded {
+        /// The payment.
+        payment: PaymentId,
+        /// Refunded value.
+        amount: Amount,
+        /// Why the unit failed.
+        reason: DropReason,
+    },
 }
 
 /// One trace record: when (simulated time), in what order (sequence
@@ -225,6 +243,9 @@ fn reason_str(r: DropReason) -> &'static str {
         DropReason::QueueOverflow => "queue_overflow",
         DropReason::Expired => "expired",
         DropReason::ChannelClosed => "channel_closed",
+        DropReason::MessageLost => "message_lost",
+        DropReason::HopTimeout => "hop_timeout",
+        DropReason::NodeCrashed => "node_crashed",
     }
 }
 
@@ -365,6 +386,22 @@ impl Trace {
                     out,
                     "\"ev\":\"topology\",\"closed\":{closed},\"opened\":{opened},\"resized\":{resized}"
                 ),
+                TraceEventKind::FaultApplied { node, crashed } => write!(
+                    out,
+                    "\"ev\":\"fault\",\"node\":{},\"crashed\":{}",
+                    node.0, crashed
+                ),
+                TraceEventKind::UnitRefunded {
+                    payment,
+                    amount,
+                    reason,
+                } => write!(
+                    out,
+                    "\"ev\":\"refund\",\"payment\":{},\"amount_drops\":{},\"reason\":\"{}\"",
+                    payment.0,
+                    amount.drops(),
+                    reason_str(*reason)
+                ),
             }
             .expect("string write");
             out.push_str("}\n");
@@ -439,6 +476,30 @@ impl Trace {
                             reason_str(*reason),
                             e.t_us,
                             unit
+                        ),
+                        &mut out,
+                    );
+                }
+                TraceEventKind::UnitRefunded {
+                    payment, reason, ..
+                } => {
+                    emit(
+                        format!(
+                            "{{\"name\":\"refund:{}\",\"ph\":\"i\",\"ts\":{},\"pid\":0,\"tid\":{},\"s\":\"t\"}}",
+                            reason_str(*reason),
+                            e.t_us,
+                            payment.0
+                        ),
+                        &mut out,
+                    );
+                }
+                TraceEventKind::FaultApplied { node, crashed } => {
+                    emit(
+                        format!(
+                            "{{\"name\":\"{}:{}\",\"ph\":\"i\",\"ts\":{},\"pid\":0,\"tid\":0,\"s\":\"g\"}}",
+                            if *crashed { "crash" } else { "recover" },
+                            node.0,
+                            e.t_us
                         ),
                         &mut out,
                     );

@@ -21,7 +21,7 @@
 
 use crate::price::PathPriceEstimator;
 use crate::rate::{PathController, RateConfig};
-use spider_routing::{PathCache, PathPolicy};
+use spider_routing::{PathCache, PathPenalties, PathPolicy};
 use spider_sim::{
     NetworkView, RouteProposal, RouteRequest, Router, TopologyUpdate, UnitAck, UnitOutcome,
 };
@@ -67,6 +67,8 @@ pub struct ProtocolRouter {
     cfg: ProtocolConfig,
     cache: PathCache,
     pairs: HashMap<(NodeId, NodeId), PairState>,
+    /// Fault cooldowns (empty for the whole run unless faults fire).
+    penalties: PathPenalties,
 }
 
 impl ProtocolRouter {
@@ -87,6 +89,7 @@ impl ProtocolRouter {
             cfg,
             cache: PathCache::new(PathPolicy::EdgeDisjoint(k)),
             pairs: HashMap::new(),
+            penalties: PathPenalties::default(),
         }
     }
 
@@ -104,33 +107,6 @@ impl ProtocolRouter {
             .get(&(src, dst))
             .and_then(|p| p.prices.get(path_index))
             .map(|e| e.price())
-    }
-
-    fn pair_mut(
-        &mut self,
-        topo: &spider_topology::Topology,
-        table: &spider_sim::PathTable,
-        src: NodeId,
-        dst: NodeId,
-    ) -> &mut PairState {
-        let cache = &mut self.cache;
-        let cfg = &self.cfg;
-        self.pairs.entry((src, dst)).or_insert_with(|| {
-            let paths = cache.get(topo, table, src, dst).to_vec();
-            let controllers = paths
-                .iter()
-                .map(|_| PathController::new(&cfg.rate))
-                .collect();
-            let prices = paths
-                .iter()
-                .map(|_| PathPriceEstimator::new(cfg.price_gamma, cfg.nack_price))
-                .collect();
-            PairState {
-                paths,
-                controllers,
-                prices,
-            }
-        })
     }
 
     /// Index of the pair's candidate path with this interned id.
@@ -203,7 +179,29 @@ impl Router for ProtocolRouter {
     }
 
     fn route(&mut self, req: &RouteRequest, view: &NetworkView<'_>) -> Vec<RouteProposal> {
-        let state = self.pair_mut(view.topo, view.paths, req.src, req.dst);
+        // Split-borrow the pair state so `penalties` stays reachable.
+        let ProtocolRouter {
+            cfg,
+            cache,
+            pairs,
+            penalties,
+        } = self;
+        let state = pairs.entry((req.src, req.dst)).or_insert_with(|| {
+            let paths = cache.get(view.topo, view.paths, req.src, req.dst).to_vec();
+            let controllers = paths
+                .iter()
+                .map(|_| PathController::new(&cfg.rate))
+                .collect();
+            let prices = paths
+                .iter()
+                .map(|_| PathPriceEstimator::new(cfg.price_gamma, cfg.nack_price))
+                .collect();
+            PairState {
+                paths,
+                controllers,
+                prices,
+            }
+        });
         if state.paths.is_empty() {
             return Vec::new();
         }
@@ -215,12 +213,21 @@ impl Router for ProtocolRouter {
         // currently dead (zero bottleneck) is skipped this round — §5.3.1's
         // hosts measure available capacity on their candidate paths, and
         // pushing units at a dead path only converts them into queue drops.
+        // A path inside a fault cooldown is likewise skipped, unless every
+        // candidate is cooling (a penalized path still beats giving up).
+        let all_cooled = state
+            .paths
+            .iter()
+            .all(|&p| penalties.is_cooled(p, view.now));
         let mut budgets: Vec<Amount> = state
             .controllers
             .iter()
             .zip(&state.paths)
             .map(|(c, &p)| {
                 if view.bottleneck(p).is_zero() {
+                    Amount::ZERO
+                } else if !all_cooled && penalties.is_cooled(p, view.now) {
+                    penalties.note_skip();
                     Amount::ZERO
                 } else {
                     c.budget()
@@ -260,6 +267,14 @@ impl Router for ProtocolRouter {
     }
 
     fn on_unit_outcome(&mut self, outcome: &UnitOutcome, view: &NetworkView<'_>) {
+        if outcome.fault.is_some() {
+            // A post-lock fault notification, not a lock outcome: the
+            // unit's send was already observed when it locked, so only
+            // the path penalty reacts (double-counting on_send would
+            // corrupt the controller's in-flight accounting).
+            self.penalties.on_fault(outcome.path, view.now);
+            return;
+        }
         let entry = view.path(outcome.path);
         let Some(state) = self.pairs.get_mut(&(entry.source(), entry.dest())) else {
             return;
@@ -275,6 +290,8 @@ impl Router for ProtocolRouter {
     }
 
     fn on_unit_ack(&mut self, ack: &UnitAck, view: &NetworkView<'_>) {
+        self.penalties
+            .on_ack(ack.path, ack.delivered, ack.drop_reason, view.now);
         let entry = view.path(ack.path);
         let Some(state) = self.pairs.get_mut(&(entry.source(), entry.dest())) else {
             return;
@@ -300,6 +317,8 @@ impl Router for ProtocolRouter {
         let mut obs = spider_sim::RouterObs::default();
         obs.counters
             .extend(self.cache.counters().map(|(k, v)| (k.to_string(), v)));
+        obs.counters
+            .extend(self.penalties.counters().map(|(k, v)| (k.to_string(), v)));
         // Sorted by pair key so the histogram's fill order (and therefore
         // any serialized form) is independent of hash-map iteration.
         let mut pairs: Vec<_> = self.pairs.iter().collect();
@@ -420,6 +439,7 @@ mod tests {
                     path: p.path,
                     amount: unit,
                     locked: true,
+                    fault: None,
                 };
                 r.on_unit_outcome(&o, &view);
             }

@@ -1,0 +1,290 @@
+//! Sender-side fault backoff: temporary path penalties with exponential
+//! cooldown.
+//!
+//! When a unit is lost to an injected transport fault (message loss, hop
+//! timeout, node crash — exactly [`DropReason::is_fault`]), the sender
+//! cools the failed path down for `base · 2^strikes` (exponent capped)
+//! and the router fails over to alternate candidates while the cooldown
+//! lasts. A delivery on the path clears its strikes.
+//!
+//! Ordinary congestion signals — failed locks, queue timeouts, expiry —
+//! never penalize a path: backoff reacts *exclusively* to faults, so a
+//! fault-free run behaves bit-identically with the machinery installed
+//! (the penalty table stays empty and every query short-circuits).
+
+use spider_types::{DropReason, PathId, SimDuration, SimTime};
+
+/// Cooldown shape for [`PathPenalties`].
+#[derive(Debug, Clone, Copy)]
+pub struct BackoffConfig {
+    /// Cooldown after a path's first fault; doubles per strike.
+    pub base_cooldown: SimDuration,
+    /// Cap on the doubling exponent (`base · 2^max_exponent` ceiling).
+    pub max_exponent: u32,
+}
+
+impl Default for BackoffConfig {
+    fn default() -> Self {
+        BackoffConfig {
+            base_cooldown: SimDuration::from_millis(250),
+            max_exponent: 6,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Penalty {
+    until: SimTime,
+    strikes: u32,
+}
+
+/// Per-path strike/cooldown table plus the fault-backoff counters a
+/// router surfaces through `Router::observability`.
+#[derive(Debug, Default)]
+pub struct PathPenalties {
+    cfg: BackoffConfig,
+    /// Only ever holds paths that faulted at least once — empty for the
+    /// whole run unless fault injection is active.
+    entries: Vec<(PathId, Penalty)>,
+    faults_seen: u64,
+    cooldowns_started: u64,
+    paths_skipped: u64,
+}
+
+impl PathPenalties {
+    /// A table with explicit cooldown tuning.
+    pub fn new(cfg: BackoffConfig) -> Self {
+        PathPenalties {
+            cfg,
+            ..PathPenalties::default()
+        }
+    }
+
+    /// True when no path ever faulted (the fault-free fast path).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Records a fault on `path`: one more strike, and a fresh cooldown
+    /// of `base · 2^min(strikes, max_exponent)` starting now.
+    pub fn on_fault(&mut self, path: PathId, now: SimTime) {
+        self.faults_seen += 1;
+        let i = match self.entries.iter().position(|&(p, _)| p == path) {
+            Some(i) => {
+                self.entries[i].1.strikes += 1;
+                i
+            }
+            None => {
+                self.entries.push((
+                    path,
+                    Penalty {
+                        until: SimTime::ZERO,
+                        strikes: 0,
+                    },
+                ));
+                self.entries.len() - 1
+            }
+        };
+        let exp = self.entries[i].1.strikes.min(self.cfg.max_exponent);
+        let cooldown = SimDuration::from_micros(self.cfg.base_cooldown.micros() << exp);
+        self.entries[i].1.until = now + cooldown;
+        self.cooldowns_started += 1;
+    }
+
+    /// Records a successful delivery on `path`: the path is healthy
+    /// again, so its strikes (and any remaining cooldown) are dropped.
+    pub fn on_delivery(&mut self, path: PathId) {
+        if self.entries.is_empty() {
+            return;
+        }
+        self.entries.retain(|&(p, _)| p != path);
+    }
+
+    /// Digests a queueing-mode ack: fault reasons strike the path,
+    /// deliveries clear it, everything else (congestion drops, expiry)
+    /// is ignored.
+    pub fn on_ack(
+        &mut self,
+        path: PathId,
+        delivered: bool,
+        drop_reason: Option<DropReason>,
+        now: SimTime,
+    ) {
+        if let Some(r) = drop_reason {
+            if r.is_fault() {
+                self.on_fault(path, now);
+                return;
+            }
+        }
+        if delivered {
+            self.on_delivery(path);
+        }
+    }
+
+    /// True when `path` is inside a fault cooldown window at `now`.
+    #[inline]
+    pub fn is_cooled(&self, path: PathId, now: SimTime) -> bool {
+        if self.entries.is_empty() {
+            return false;
+        }
+        self.entries
+            .iter()
+            .any(|&(p, pen)| p == path && now < pen.until)
+    }
+
+    /// Removes currently-cooled candidates from `paths` (preserving
+    /// order) — unless *every* candidate is cooled, in which case the
+    /// set is left untouched: a penalized path still beats giving up.
+    /// Counts each skipped path.
+    pub fn retain_usable(&mut self, paths: &mut Vec<PathId>, now: SimTime) {
+        if self.entries.is_empty() || paths.is_empty() {
+            return;
+        }
+        let cooled = paths.iter().filter(|&&p| self.is_cooled(p, now)).count();
+        if cooled == 0 || cooled == paths.len() {
+            return;
+        }
+        self.paths_skipped += cooled as u64;
+        let entries = &self.entries;
+        paths.retain(|&p| !entries.iter().any(|&(q, pen)| q == p && now < pen.until));
+    }
+
+    /// Counts one externally-detected skip (for routers that gate
+    /// cooled candidates inline rather than via
+    /// [`PathPenalties::retain_usable`]).
+    #[inline]
+    pub fn note_skip(&mut self) {
+        self.paths_skipped += 1;
+    }
+
+    /// Picks the first non-cooled candidate, falling back to the first
+    /// candidate when all are cooled. `None` only for an empty slate.
+    pub fn choose(&mut self, candidates: &[PathId], now: SimTime) -> Option<PathId> {
+        let first = *candidates.first()?;
+        if self.entries.is_empty() {
+            return Some(first);
+        }
+        for (i, &p) in candidates.iter().enumerate() {
+            if !self.is_cooled(p, now) {
+                self.paths_skipped += i as u64;
+                return Some(p);
+            }
+        }
+        Some(first)
+    }
+
+    /// Backoff counters for `Router::observability`, in a fixed order.
+    /// Empty when no fault was ever seen, so fault-free observability
+    /// output is unchanged by the backoff machinery.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> {
+        let quiet = self.faults_seen == 0;
+        [
+            ("backoff_faults_seen", self.faults_seen),
+            ("backoff_cooldowns_started", self.cooldowns_started),
+            ("backoff_paths_skipped", self.paths_skipped),
+        ]
+        .into_iter()
+        .filter(move |_| !quiet)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T0: SimTime = SimTime::ZERO;
+
+    fn at(ms: u64) -> SimTime {
+        T0 + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn fault_cools_and_expires() {
+        let mut p = PathPenalties::default();
+        assert!(!p.is_cooled(PathId(0), T0));
+        p.on_fault(PathId(0), T0);
+        assert!(p.is_cooled(PathId(0), T0));
+        assert!(p.is_cooled(PathId(0), at(249)));
+        assert!(!p.is_cooled(PathId(0), at(250)), "cooldown over");
+        assert!(!p.is_cooled(PathId(1), T0), "other paths unaffected");
+    }
+
+    #[test]
+    fn strikes_double_the_cooldown_up_to_the_cap() {
+        let mut p = PathPenalties::new(BackoffConfig {
+            base_cooldown: SimDuration::from_millis(100),
+            max_exponent: 2,
+        });
+        p.on_fault(PathId(3), T0); // strike 0 → 100 ms
+        assert!(!p.is_cooled(PathId(3), at(100)));
+        p.on_fault(PathId(3), at(100)); // strike 1 → 200 ms
+        assert!(p.is_cooled(PathId(3), at(299)));
+        assert!(!p.is_cooled(PathId(3), at(300)));
+        p.on_fault(PathId(3), at(300)); // strike 2 → 400 ms
+        p.on_fault(PathId(3), at(700)); // strike 3, capped → still 400 ms
+        assert!(p.is_cooled(PathId(3), at(1_099)));
+        assert!(!p.is_cooled(PathId(3), at(1_100)));
+    }
+
+    #[test]
+    fn delivery_clears_the_strikes() {
+        let mut p = PathPenalties::default();
+        p.on_fault(PathId(7), T0);
+        p.on_delivery(PathId(7));
+        assert!(!p.is_cooled(PathId(7), T0));
+        // The next fault starts over at the base cooldown.
+        p.on_fault(PathId(7), at(1_000));
+        assert!(!p.is_cooled(PathId(7), at(1_250)));
+    }
+
+    #[test]
+    fn ack_reacts_only_to_fault_reasons() {
+        let mut p = PathPenalties::default();
+        p.on_ack(PathId(1), false, Some(DropReason::QueueTimeout), T0);
+        p.on_ack(PathId(1), false, Some(DropReason::Expired), T0);
+        assert!(p.is_empty(), "congestion drops never penalize");
+        p.on_ack(PathId(1), false, Some(DropReason::MessageLost), T0);
+        assert!(p.is_cooled(PathId(1), T0));
+        p.on_ack(PathId(1), true, None, at(10));
+        assert!(!p.is_cooled(PathId(1), at(10)), "delivery heals");
+    }
+
+    #[test]
+    fn retain_keeps_the_slate_when_everything_is_cooled() {
+        let mut p = PathPenalties::default();
+        p.on_fault(PathId(0), T0);
+        p.on_fault(PathId(1), T0);
+        let mut both = vec![PathId(0), PathId(1)];
+        p.retain_usable(&mut both, T0);
+        assert_eq!(both, vec![PathId(0), PathId(1)], "all cooled → untouched");
+        let mut mixed = vec![PathId(0), PathId(2)];
+        p.retain_usable(&mut mixed, T0);
+        assert_eq!(mixed, vec![PathId(2)], "cooled candidate removed");
+    }
+
+    #[test]
+    fn choose_fails_over_then_falls_back() {
+        let mut p = PathPenalties::default();
+        let slate = [PathId(0), PathId(1)];
+        assert_eq!(p.choose(&slate, T0), Some(PathId(0)));
+        p.on_fault(PathId(0), T0);
+        assert_eq!(p.choose(&slate, T0), Some(PathId(1)), "failover");
+        p.on_fault(PathId(1), T0);
+        assert_eq!(p.choose(&slate, T0), Some(PathId(0)), "all cooled");
+        assert_eq!(p.choose(&[], T0), None);
+    }
+
+    #[test]
+    fn counters_stay_silent_without_faults() {
+        let mut p = PathPenalties::default();
+        let mut slate = vec![PathId(0)];
+        p.retain_usable(&mut slate, T0);
+        p.choose(&slate, T0);
+        assert_eq!(p.counters().count(), 0, "fault-free output unchanged");
+        p.on_fault(PathId(0), T0);
+        let counters: Vec<_> = p.counters().collect();
+        assert_eq!(counters[0], ("backoff_faults_seen", 1));
+        assert_eq!(counters[1], ("backoff_cooldowns_started", 1));
+    }
+}

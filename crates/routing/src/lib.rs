@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod backoff;
 pub mod cache;
 pub mod lp_router;
 pub mod maxflow_router;
@@ -28,6 +29,7 @@ pub mod silentwhispers;
 pub mod speedymurmurs;
 pub mod waterfilling;
 
+pub use backoff::{BackoffConfig, PathPenalties};
 pub use cache::{PathCache, PathPolicy};
 pub use lp_router::{LpSolverKind, SpiderLp};
 pub use maxflow_router::MaxFlow;

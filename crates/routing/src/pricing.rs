@@ -20,6 +20,7 @@
 //! imbalanced channel — the paper's "imbalance-aware routing" in its most
 //! direct online form.
 
+use crate::backoff::PathPenalties;
 use crate::cache::{PathCache, PathPolicy};
 use spider_sim::{NetworkView, RouteProposal, RouteRequest, Router};
 use spider_types::{Amount, ChannelId, Direction};
@@ -51,6 +52,8 @@ impl Default for PricingConfig {
 pub struct SpiderPricing {
     cache: PathCache,
     cfg: PricingConfig,
+    /// Fault cooldowns (empty for the whole run unless faults fire).
+    penalties: PathPenalties,
 }
 
 impl SpiderPricing {
@@ -70,6 +73,7 @@ impl SpiderPricing {
         SpiderPricing {
             cache: PathCache::new(PathPolicy::EdgeDisjoint(k)),
             cfg,
+            penalties: PathPenalties::default(),
         }
     }
 
@@ -115,16 +119,41 @@ impl Router for SpiderPricing {
         self.cache.on_topology_change(view.topo, view.paths, update);
     }
 
+    /// Fault outcomes arrive here unconditionally (the engine bypasses
+    /// the `observes_unit_outcomes` gate for them); ordinary lock
+    /// outcomes stay elided.
+    fn on_unit_outcome(&mut self, outcome: &spider_sim::UnitOutcome, view: &NetworkView<'_>) {
+        if outcome.fault.is_some() {
+            self.penalties.on_fault(outcome.path, view.now);
+        }
+    }
+
+    fn on_unit_ack(&mut self, ack: &spider_sim::UnitAck, view: &NetworkView<'_>) {
+        self.penalties
+            .on_ack(ack.path, ack.delivered, ack.drop_reason, view.now);
+    }
+
+    fn observability(&self) -> spider_sim::RouterObs {
+        let mut obs = spider_sim::RouterObs::default();
+        obs.counters
+            .extend(self.penalties.counters().map(|(k, v)| (k.to_string(), v)));
+        obs
+    }
+
     fn route(&mut self, req: &RouteRequest, view: &NetworkView<'_>) -> Vec<RouteProposal> {
         // Copy the (small) candidate id set so the cache borrow ends
         // before pricing, which borrows `self` immutably.
-        let paths: Vec<spider_types::PathId> = self
+        let mut paths: Vec<spider_types::PathId> = self
             .cache
             .get(view.topo, view.paths, req.src, req.dst)
             .to_vec();
         if paths.is_empty() {
             return Vec::new();
         }
+        // Candidates inside a fault cooldown sit this round out (no-op in
+        // fault-free runs; an all-cooled slate is kept whole).
+        self.penalties.retain_usable(&mut paths, view.now);
+        let paths = paths;
         // Virtual balances: shared across paths so channel overlap is
         // priced consistently within this request.
         fn avail(

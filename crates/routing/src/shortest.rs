@@ -9,6 +9,7 @@
 //! (the topology is static, so BFS per request was pure waste) and handed
 //! to the engine as an interned [`PathId`](spider_types::PathId).
 
+use crate::backoff::PathPenalties;
 use crate::cache::{PathCache, PathPolicy};
 use spider_sim::{NetworkView, RouteProposal, RouteRequest, Router, TopologyUpdate};
 
@@ -16,6 +17,12 @@ use spider_sim::{NetworkView, RouteProposal, RouteRequest, Router, TopologyUpdat
 #[derive(Debug)]
 pub struct ShortestPath {
     cache: PathCache,
+    /// Fault cooldowns (empty for the whole run unless faults fire).
+    penalties: PathPenalties,
+    /// Alternate candidates for failover while the shortest path is
+    /// cooling down. Built lazily on the first cooldown hit, so
+    /// fault-free runs never pay for (or observe) it.
+    alt: Option<PathCache>,
 }
 
 impl Default for ShortestPath {
@@ -29,6 +36,8 @@ impl ShortestPath {
     pub fn new() -> Self {
         ShortestPath {
             cache: PathCache::new(PathPolicy::Shortest),
+            penalties: PathPenalties::default(),
+            alt: None,
         }
     }
 }
@@ -58,20 +67,58 @@ impl Router for ShortestPath {
 
     fn on_topology_change(&mut self, update: &TopologyUpdate, view: &NetworkView<'_>) {
         self.cache.on_topology_change(view.topo, view.paths, update);
+        if let Some(alt) = self.alt.as_mut() {
+            alt.on_topology_change(view.topo, view.paths, update);
+        }
     }
 
     fn route(&mut self, req: &RouteRequest, view: &NetworkView<'_>) -> Vec<RouteProposal> {
-        match self
+        let Some(&primary) = self
             .cache
             .get(view.topo, view.paths, req.src, req.dst)
             .first()
-        {
-            Some(&path) => vec![RouteProposal {
-                path,
-                amount: req.remaining,
-            }],
-            None => Vec::new(),
+        else {
+            return Vec::new();
+        };
+        let mut path = primary;
+        if self.penalties.is_cooled(primary, view.now) {
+            // Fail over to an edge-disjoint alternate while the shortest
+            // path cools down; all-cooled falls back to the primary.
+            let alt = self
+                .alt
+                .get_or_insert_with(|| PathCache::new(PathPolicy::EdgeDisjoint(2)));
+            let candidates = alt.get(view.topo, view.paths, req.src, req.dst).to_vec();
+            path = self
+                .penalties
+                .choose(&candidates, view.now)
+                .unwrap_or(primary);
         }
+        vec![RouteProposal {
+            path,
+            amount: req.remaining,
+        }]
+    }
+
+    /// Fault outcomes arrive here unconditionally (the engine bypasses
+    /// the `observes_unit_outcomes` gate for them); ordinary lock
+    /// outcomes stay elided.
+    fn on_unit_outcome(&mut self, outcome: &spider_sim::UnitOutcome, view: &NetworkView<'_>) {
+        if let Some(reason) = outcome.fault {
+            debug_assert!(reason.is_fault());
+            self.penalties.on_fault(outcome.path, view.now);
+        }
+    }
+
+    fn on_unit_ack(&mut self, ack: &spider_sim::UnitAck, view: &NetworkView<'_>) {
+        self.penalties
+            .on_ack(ack.path, ack.delivered, ack.drop_reason, view.now);
+    }
+
+    fn observability(&self) -> spider_sim::RouterObs {
+        let mut obs = spider_sim::RouterObs::default();
+        obs.counters
+            .extend(self.penalties.counters().map(|(k, v)| (k.to_string(), v)));
+        obs
     }
 }
 

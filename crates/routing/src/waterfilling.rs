@@ -14,6 +14,7 @@
 //! the identical allocation in closed form by binary-searching the water
 //! level over the k residual progressions — O(k log max-residual).
 
+use crate::backoff::PathPenalties;
 use crate::cache::{PathCache, PathPolicy};
 use spider_sim::{NetworkView, RouteProposal, RouteRequest, Router, TopologyUpdate};
 use spider_types::Amount;
@@ -171,6 +172,8 @@ pub fn waterfill_into(
 #[derive(Debug)]
 pub struct SpiderWaterfilling {
     cache: PathCache,
+    /// Fault cooldowns (empty for the whole run unless faults fire).
+    penalties: PathPenalties,
     /// Recycled per-call buffers (candidate ids, residuals, allocation,
     /// reference-loop scratch) — the route hot path allocates only its
     /// returned proposals.
@@ -187,6 +190,7 @@ impl SpiderWaterfilling {
         assert!(k >= 1, "need at least one path");
         SpiderWaterfilling {
             cache: PathCache::new(PathPolicy::EdgeDisjoint(k)),
+            penalties: PathPenalties::default(),
             path_ids: Vec::new(),
             residuals: Vec::new(),
             alloc: Vec::new(),
@@ -222,9 +226,31 @@ impl Router for SpiderWaterfilling {
         self.cache.on_topology_change(view.topo, view.paths, update);
     }
 
+    /// Fault outcomes arrive here unconditionally (the engine bypasses
+    /// the `observes_unit_outcomes` gate for them); ordinary lock
+    /// outcomes stay elided.
+    fn on_unit_outcome(&mut self, outcome: &spider_sim::UnitOutcome, view: &NetworkView<'_>) {
+        if outcome.fault.is_some() {
+            self.penalties.on_fault(outcome.path, view.now);
+        }
+    }
+
+    fn on_unit_ack(&mut self, ack: &spider_sim::UnitAck, view: &NetworkView<'_>) {
+        self.penalties
+            .on_ack(ack.path, ack.delivered, ack.drop_reason, view.now);
+    }
+
+    fn observability(&self) -> spider_sim::RouterObs {
+        let mut obs = spider_sim::RouterObs::default();
+        obs.counters
+            .extend(self.penalties.counters().map(|(k, v)| (k.to_string(), v)));
+        obs
+    }
+
     fn route(&mut self, req: &RouteRequest, view: &NetworkView<'_>) -> Vec<RouteProposal> {
         let SpiderWaterfilling {
             cache,
+            penalties,
             path_ids,
             residuals,
             alloc,
@@ -236,6 +262,9 @@ impl Router for SpiderWaterfilling {
         }
         path_ids.clear();
         path_ids.extend_from_slice(paths);
+        // Candidates inside a fault cooldown sit this round out (no-op in
+        // fault-free runs; an all-cooled slate is kept whole).
+        penalties.retain_usable(path_ids, view.now);
         // Current bottleneck per candidate path, over pre-resolved hops.
         residuals.clear();
         residuals.extend(path_ids.iter().map(|&id| view.bottleneck(id)));

@@ -44,12 +44,13 @@ use crate::paths::{PathEntry, PathTable};
 use crate::queue::local_signal;
 use crate::router::{NetworkView, RouteRequest, Router, TopologyUpdate, UnitAck, UnitOutcome};
 use crate::workload::{ArrivalSource, TxnSpec};
+use spider_faults::{FaultChange, FaultPlan};
 use spider_obs::trace::TraceEventKind;
 use spider_obs::{Phase, Profiler, Sampler, Trace, TraceSink, NUM_SERIES};
 use spider_topology::Topology;
 use spider_types::{
-    Amount, ChannelId, Direction, DropReason, MarkStamp, NodeId, PathId, PaymentId, SimTime,
-    TopologyChange, TopologyEvent,
+    Amount, ChannelId, DetRng, Direction, DropReason, MarkStamp, NodeId, PathId, PaymentId,
+    SimTime, TopologyChange, TopologyEvent,
 };
 use std::cmp::Reverse;
 use std::collections::VecDeque;
@@ -125,9 +126,20 @@ enum EventKind {
     QueueTimeout {
         unit: usize,
     },
+    /// Queueing mode, fault injection: the unit's forwarding message (or
+    /// its delivery ack) was lost, or a hop silently holds it; the
+    /// sender's per-hop timeout fires, cancels the unit, and refunds
+    /// every locked upstream hop.
+    HopTimeout {
+        unit: usize,
+        reason: DropReason,
+    },
     /// A scheduled topology-churn event (index into
     /// `Simulation::topo_events`) takes effect.
     Topology(usize),
+    /// A scheduled fault-plan event (index into the installed
+    /// [`FaultPlan`]'s events — a node crash or recovery) takes effect.
+    Fault(usize),
 }
 
 /// A transaction unit traveling hop by hop under
@@ -280,6 +292,17 @@ pub struct Simulation {
     /// True while the per-channel indices are maintained — exactly when
     /// the run has a churn schedule that could close channels.
     track_channels: bool,
+    /// Installed fault plan (see [`Simulation::set_fault_plan`]). `None`
+    /// leaves the fault machinery entirely inert: no draw is ever made,
+    /// no timer armed — fault-free runs stay bit-identical to the
+    /// fault-unaware engine.
+    fault_plan: Option<FaultPlan>,
+    /// Runtime draw stream for per-unit fault decisions, seeded from the
+    /// plan (untouched when no plan is installed).
+    fault_rng: DetRng,
+    /// Per-node crashed flag, toggled by [`EventKind::Fault`] events;
+    /// empty when no fault plan is installed.
+    crashed_nodes: Vec<bool>,
     /// Cached `Router::observes_unit_outcomes` for the run.
     router_observes: bool,
     /// Reusable released-direction worklist for `drain`/drop cascades.
@@ -366,6 +389,9 @@ impl Simulation {
             settle_index: ChannelIndex::new(n_channels),
             unit_index: ChannelIndex::new(n_channels),
             track_channels: false,
+            fault_plan: None,
+            fault_rng: DetRng::new(0),
+            crashed_nodes: Vec::new(),
             router_observes: true,
             drain_scratch: VecDeque::new(),
             close_scratch: Vec::new(),
@@ -439,6 +465,21 @@ impl Simulation {
         self.topo_events = events;
     }
 
+    /// Installs a fault plan (see [`FaultPlan`]); call before
+    /// [`Simulation::run`]. Crash/recover toggles fire from the calendar;
+    /// per-unit loss/stuck/jitter decisions draw from the plan's own
+    /// runtime stream, so the workload and scheme streams are unaffected.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        assert_eq!(
+            plan.message_loss.len(),
+            self.topo.channel_count(),
+            "fault plan was generated for a different topology"
+        );
+        self.fault_rng = DetRng::new(plan.runtime_seed);
+        self.crashed_nodes = vec![false; self.topo.node_count()];
+        self.fault_plan = Some(plan);
+    }
+
     /// Runs to the horizon and produces the report. The simulation object
     /// remains inspectable afterwards (channel states, conservation).
     pub fn run(&mut self) -> SimReport {
@@ -470,6 +511,16 @@ impl Simulation {
             let at = self.topo_events[i].at;
             if at > SimTime::ZERO && at <= horizon {
                 self.schedule(at, EventKind::Topology(i));
+            }
+        }
+        // Fault-plan crash/recover toggles fire from the calendar too,
+        // sequenced after same-instant churn but before same-instant
+        // arrivals.
+        let n_fault_events = self.fault_plan.as_ref().map_or(0, |p| p.events.len());
+        for i in 0..n_fault_events {
+            let at = self.fault_plan.as_ref().expect("plan present").events[i].at;
+            if at <= horizon {
+                self.schedule(at, EventKind::Fault(i));
             }
         }
         // Partition the sequence space: arrivals draw reserved seqs right
@@ -599,9 +650,19 @@ impl Simulation {
                     self.on_queue_timeout(unit);
                     self.profiler.stop(Phase::Forwarding, t0);
                 }
+                EventKind::HopTimeout { unit, reason } => {
+                    let t0 = self.profiler.start();
+                    self.on_hop_timeout(unit, reason);
+                    self.profiler.stop(Phase::Forwarding, t0);
+                }
                 EventKind::Topology(i) => {
                     let t0 = self.profiler.start();
                     self.on_topology_event(i);
+                    self.profiler.stop(Phase::ChurnRepair, t0);
+                }
+                EventKind::Fault(i) => {
+                    let t0 = self.profiler.start();
+                    self.on_fault_event(i);
                     self.profiler.stop(Phase::ChurnRepair, t0);
                 }
             }
@@ -942,6 +1003,7 @@ impl Simulation {
                 path,
                 amount,
                 locked: ok,
+                fault: None,
             };
             let view = NetworkView {
                 topo: &self.topo,
@@ -987,19 +1049,73 @@ impl Simulation {
                 self.settle_index.note_removed(c.index());
             }
         }
-        let expired_rollback = {
-            let p = &self.payments[pid];
-            // Atomic rollback flag or key withheld past the deadline.
-            p.expired || self.now > p.deadline
-        };
-        if expired_rollback {
+        // A unit whose payment deadline passed between lock and settle is
+        // a real drop (counted and traced, exactly like the queueing-mode
+        // expiry path); an atomic rollback is pure bookkeeping and stays
+        // silent.
+        let deadline_expired = self.now > self.payments[pid].deadline;
+        if self.payments[pid].expired || deadline_expired {
             for &(c, dir) in entry.hops() {
                 self.channels[c.index()].refund(dir, amount);
             }
             let p = &mut self.payments[pid];
             p.inflight -= amount;
             p.expired = true;
+            if deadline_expired {
+                self.metrics.unit_dropped(DropReason::Expired);
+                if let Some(t) = self.trace.as_mut() {
+                    t.record(
+                        self.now.micros(),
+                        TraceEventKind::UnitRefunded {
+                            payment: PaymentId(pid as u64),
+                            amount,
+                            reason: DropReason::Expired,
+                        },
+                    );
+                }
+            }
             return;
+        }
+        if self.fault_plan.is_some() {
+            if let Some(reason) = self.lockstep_fault(path) {
+                for &(c, dir) in entry.hops() {
+                    self.channels[c.index()].refund(dir, amount);
+                }
+                self.payments[pid].inflight -= amount;
+                self.metrics.fault_injected();
+                self.metrics.unit_dropped(reason);
+                if let Some(t) = self.trace.as_mut() {
+                    t.record(
+                        self.now.micros(),
+                        TraceEventKind::UnitRefunded {
+                            payment: PaymentId(pid as u64),
+                            amount,
+                            reason,
+                        },
+                    );
+                }
+                // Fault outcomes bypass the `router_observes` gate:
+                // backoff must see failures even for routers that skip
+                // ordinary lock outcomes. Fault-free runs never get here.
+                let outcome = UnitOutcome {
+                    payment: PaymentId(pid as u64),
+                    path,
+                    amount,
+                    locked: true,
+                    fault: Some(reason),
+                };
+                let view = NetworkView {
+                    topo: &self.topo,
+                    channels: &self.channels,
+                    paths: &self.paths,
+                    now: self.now,
+                };
+                self.router.on_unit_outcome(&outcome, &view);
+                if !self.router.atomic() && self.payments[pid].active() {
+                    self.pending_push(pid);
+                }
+                return;
+            }
         }
         for &(c, dir) in entry.hops() {
             self.channels[c.index()].settle(dir, amount);
@@ -1036,6 +1152,32 @@ impl Simulation {
         }
     }
 
+    /// Draws the lockstep-mode fault verdict for one settling unit: a
+    /// crashed forwarding node preempts without a draw, then per-channel
+    /// message loss hop by hop, then a silently stuck unit, then a lost
+    /// settlement ack. The draw order is fixed so identical plans replay
+    /// identically.
+    fn lockstep_fault(&mut self, path: PathId) -> Option<DropReason> {
+        let entry = self.paths.entry(path);
+        let plan = self.fault_plan.as_ref().expect("caller checked the plan");
+        let nodes = entry.nodes();
+        for (i, &(c, _)) in entry.hops().iter().enumerate() {
+            if !self.crashed_nodes.is_empty() && self.crashed_nodes[nodes[i].index()] {
+                return Some(DropReason::NodeCrashed);
+            }
+            if self.fault_rng.chance(plan.message_loss[c.index()]) {
+                return Some(DropReason::MessageLost);
+            }
+        }
+        if self.fault_rng.chance(plan.stuck_prob) {
+            return Some(DropReason::HopTimeout);
+        }
+        if self.fault_rng.chance(plan.ack_loss_prob) {
+            return Some(DropReason::MessageLost);
+        }
+        None
+    }
+
     // ---- §5 queueing mode: hop-by-hop forwarding through router queues ----
 
     /// Routes one attempt's proposals by injecting hop-by-hop units.
@@ -1070,6 +1212,7 @@ impl Simulation {
                     path: prop.path,
                     amount: unit,
                     locked: accepted,
+                    fault: None,
                 };
                 let view = NetworkView {
                     topo: &self.topo,
@@ -1126,6 +1269,12 @@ impl Simulation {
             .iter()
             .any(|&(c, _)| self.channels[c.index()].is_closed())
         {
+            self.metrics.unit_lock(entry.hop_count(), false);
+            return false;
+        }
+        // A crashed sender can't originate traffic: rejected at the
+        // ingress like a closed channel, so no ack follows.
+        if self.node_crashed(entry.source()) {
             self.metrics.unit_lock(entry.hop_count(), false);
             return false;
         }
@@ -1243,8 +1392,59 @@ impl Simulation {
                 },
             );
         }
-        if self.units[uid].next_hop == entry.hop_count() {
+        let final_hop = self.units[uid].next_hop == entry.hop_count();
+        if final_hop {
             self.metrics.unit_lock(entry.hop_count(), true);
+        }
+        // Fault draws (installed plan only; fixed per-hop draw order:
+        // loss, stuck, jitter, spike). A lost forwarding message — or, on
+        // the final hop, a lost delivery ack — and a silently stuck unit
+        // both arm the sender's per-hop timeout *instead of* the
+        // forwarding event; when it fires, every locked hop is refunded.
+        let mut hop_delay = hop_delay;
+        if self.fault_plan.is_some() {
+            let (loss_p, stuck_p, jitter, spike_p, spike_ms, hop_timeout) = {
+                let plan = self.fault_plan.as_ref().expect("plan present");
+                (
+                    if final_hop {
+                        plan.ack_loss_prob
+                    } else {
+                        plan.message_loss[c.index()]
+                    },
+                    plan.stuck_prob,
+                    plan.jitter_range_ms,
+                    plan.spike_prob,
+                    plan.spike_ms,
+                    plan.hop_timeout,
+                )
+            };
+            let lost = self.fault_rng.chance(loss_p);
+            let stuck = !lost && self.fault_rng.chance(stuck_p);
+            if lost || stuck {
+                let reason = if lost {
+                    DropReason::MessageLost
+                } else {
+                    DropReason::HopTimeout
+                };
+                self.metrics.fault_injected();
+                let ev = self.schedule(
+                    self.now + hop_timeout,
+                    EventKind::HopTimeout { unit: uid, reason },
+                );
+                self.units[uid].hop_event = Some(ev);
+                return;
+            }
+            if !final_hop {
+                if let Some([lo, hi]) = jitter {
+                    let ms = lo + self.fault_rng.uniform() * (hi - lo);
+                    hop_delay += spider_types::SimDuration::from_secs_f64(ms / 1000.0);
+                }
+                if self.fault_rng.chance(spike_p) {
+                    hop_delay += spider_types::SimDuration::from_secs_f64(spike_ms / 1000.0);
+                }
+            }
+        }
+        if final_hop {
             let ev = self.schedule(
                 self.now + self.config.confirmation_delay,
                 EventKind::UnitDeliver { unit: uid },
@@ -1266,6 +1466,14 @@ impl Simulation {
         let pid = self.units[uid].payment;
         if self.payments[pid].expired || self.now > self.payments[pid].deadline {
             self.drop_unit(uid, DropReason::Expired);
+            return;
+        }
+        let forwarder = self.units[uid].entry.nodes()[self.units[uid].next_hop];
+        if self.node_crashed(forwarder) {
+            // The node that should forward this unit crashed while the
+            // unit was traveling toward it.
+            self.metrics.fault_injected();
+            self.drop_unit(uid, DropReason::NodeCrashed);
             return;
         }
         let (c, d) = self.units[uid].entry.hops()[self.units[uid].next_hop];
@@ -1350,6 +1558,62 @@ impl Simulation {
         // The timeout event just fired; don't try to cancel it again.
         self.units[uid].timeout_event = None;
         self.drop_unit(uid, DropReason::QueueTimeout);
+    }
+
+    /// A lost or stuck unit's per-hop timeout fires: the sender gives up
+    /// on it, cancels it wherever it nominally is, and refunds every
+    /// locked hop (fault injection only — see [`Simulation::lock_hop`]).
+    fn on_hop_timeout(&mut self, uid: usize, reason: DropReason) {
+        if self.units[uid].done {
+            return;
+        }
+        // The timeout was armed in place of the unit's forwarding event;
+        // it just fired, so it is no longer cancelable.
+        self.units[uid].hop_event = None;
+        self.drop_unit(uid, reason);
+    }
+
+    /// True when fault injection has `node` crashed right now.
+    #[inline]
+    fn node_crashed(&self, node: NodeId) -> bool {
+        !self.crashed_nodes.is_empty() && self.crashed_nodes[node.index()]
+    }
+
+    /// A scheduled fault-plan event (node crash or recovery) takes
+    /// effect. Crashes act lazily: in-flight units are dropped when they
+    /// next reach the crashed node (`on_hop_arrive`, queue head service,
+    /// or lockstep settlement), so no slab scan is needed here.
+    fn on_fault_event(&mut self, idx: usize) {
+        let ev = self
+            .fault_plan
+            .as_ref()
+            .expect("fault event without a plan")
+            .events[idx];
+        let (node, crashed) = match ev.change {
+            FaultChange::NodeCrash { node } => (node, true),
+            FaultChange::NodeRecover { node } => (node, false),
+        };
+        let was_crashed = self.crashed_nodes[node.index()];
+        self.crashed_nodes[node.index()] = crashed;
+        self.metrics.fault_event();
+        if let Some(t) = self.trace.as_mut() {
+            t.record(
+                self.now.micros(),
+                TraceEventKind::FaultApplied { node, crashed },
+            );
+        }
+        if was_crashed && !crashed {
+            // The recovered node can forward again: service every queue
+            // it forwards (the frozen heads never left FIFO order).
+            debug_assert!(self.drain_scratch.is_empty());
+            let mut released = std::mem::take(&mut self.drain_scratch);
+            for adj in self.topo.neighbors(node) {
+                let dir = self.topo.channel(adj.channel).direction_from(node);
+                released.push_back((adj.channel, dir));
+            }
+            self.drain_scratch = released;
+            self.drain_from_scratch();
+        }
     }
 
     /// Drops a unit wherever it is: leaves its queue if queued, refunds
@@ -1494,6 +1758,12 @@ impl Simulation {
                     self.queues[c.index()][d.index()].pop_front();
                     self.drop_unit_collect(uid, DropReason::Expired, &mut work);
                     continue;
+                }
+                let u = &self.units[uid];
+                if self.node_crashed(u.entry.nodes()[u.next_hop]) {
+                    // The queue's servicing node is down: the whole queue
+                    // freezes until recovery (or each unit's timeout).
+                    break;
                 }
                 let amount = self.units[uid].amount;
                 if self.channels[c.index()].available(d) < amount {

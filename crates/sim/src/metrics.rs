@@ -24,12 +24,31 @@ pub struct DropBreakdown {
     pub expired: u64,
     /// Units failed back because a channel on their path closed.
     pub channel_closed: u64,
+    /// Units whose forwarding message (or ack) was lost to fault
+    /// injection; the hop timeout refunded them.
+    pub message_lost: u64,
+    /// Units silently held by a hop (stuck) until the hop timeout fired.
+    pub hop_timeout: u64,
+    /// Units dropped because a node on their path crashed.
+    pub node_crashed: u64,
 }
 
 impl DropBreakdown {
     /// Sum over all reasons.
     pub fn total(&self) -> u64 {
-        self.queue_timeout + self.queue_overflow + self.expired + self.channel_closed
+        self.queue_timeout
+            + self.queue_overflow
+            + self.expired
+            + self.channel_closed
+            + self.message_lost
+            + self.hop_timeout
+            + self.node_crashed
+    }
+
+    /// Sum over the fault-injected reasons only (see
+    /// [`DropReason::is_fault`]).
+    pub fn fault_total(&self) -> u64 {
+        self.message_lost + self.hop_timeout + self.node_crashed
     }
 
     /// Counts one drop.
@@ -39,6 +58,9 @@ impl DropBreakdown {
             DropReason::QueueOverflow => self.queue_overflow += 1,
             DropReason::Expired => self.expired += 1,
             DropReason::ChannelClosed => self.channel_closed += 1,
+            DropReason::MessageLost => self.message_lost += 1,
+            DropReason::HopTimeout => self.hop_timeout += 1,
+            DropReason::NodeCrashed => self.node_crashed += 1,
         }
     }
 }
@@ -95,6 +117,16 @@ pub struct SimReport {
     /// Payments that lost at least one in-flight unit to a channel close
     /// and never completed — the headline disruption count.
     pub payments_failed_churn: u64,
+    /// Mid-run fault-plan events applied (node crash/recover toggles).
+    pub fault_events: u64,
+    /// Injected transport faults: lost forwarding messages, lost acks,
+    /// stuck units, and crash intercepts of in-flight units. A single
+    /// unit counts at most once.
+    pub faults_injected: u64,
+    /// Units dropped with a fault [`DropReason`] (`MessageLost`,
+    /// `HopTimeout`, `NodeCrashed`); always equals
+    /// `drops_by_reason.fault_total()` and ≤ [`SimReport::units_dropped`].
+    pub units_dropped_fault: u64,
     /// Instants (seconds) of the applied mid-run churn events, for
     /// recovery-time analysis against [`SimReport::throughput_series`]
     /// (see [`SimReport::churn_recovery_times`]).
@@ -275,6 +307,8 @@ pub struct MetricsCollector {
     churn_channels_resized: u64,
     units_dropped_churn: u64,
     payments_failed_churn: u64,
+    fault_events: u64,
+    faults_injected: u64,
     topology_event_times_s: Vec<f64>,
     queue_delay_sum_s: f64,
     completion_times: Vec<f64>,
@@ -403,6 +437,17 @@ impl MetricsCollector {
         self.payments_failed_churn = count;
     }
 
+    /// Records one applied fault-plan event (a node crash or recovery).
+    pub fn fault_event(&mut self) {
+        self.fault_events += 1;
+    }
+
+    /// Records one injected per-unit transport fault (lost message, lost
+    /// ack, stuck unit, or crash intercept).
+    pub fn fault_injected(&mut self) {
+        self.faults_injected += 1;
+    }
+
     /// Installs the router's end-of-run observability snapshot: internal
     /// counters and live AIMD window sizes (the latter feed
     /// [`SimReport::window_hist`]).
@@ -447,6 +492,9 @@ impl MetricsCollector {
             churn_channels_resized: self.churn_channels_resized,
             units_dropped_churn: self.units_dropped_churn,
             payments_failed_churn: self.payments_failed_churn,
+            fault_events: self.fault_events,
+            faults_injected: self.faults_injected,
+            units_dropped_fault: self.drops_by_reason.fault_total(),
             topology_event_times_s: self.topology_event_times_s,
             queue_delay_sum_s: self.queue_delay_sum_s,
             completion_times: self.completion_times,
@@ -563,13 +611,22 @@ mod tests {
         m.unit_dropped(DropReason::QueueOverflow);
         m.unit_dropped(DropReason::Expired);
         m.unit_dropped(DropReason::ChannelClosed);
+        m.unit_dropped(DropReason::MessageLost);
+        m.unit_dropped(DropReason::MessageLost);
+        m.unit_dropped(DropReason::HopTimeout);
+        m.unit_dropped(DropReason::NodeCrashed);
         let r = m.finish("d", SimDuration::from_secs(1));
-        assert_eq!(r.units_dropped, 5);
+        assert_eq!(r.units_dropped, 9);
         assert_eq!(r.drops_by_reason.queue_timeout, 2);
         assert_eq!(r.drops_by_reason.queue_overflow, 1);
         assert_eq!(r.drops_by_reason.expired, 1);
         assert_eq!(r.drops_by_reason.channel_closed, 1);
+        assert_eq!(r.drops_by_reason.message_lost, 2);
+        assert_eq!(r.drops_by_reason.hop_timeout, 1);
+        assert_eq!(r.drops_by_reason.node_crashed, 1);
         assert_eq!(r.drops_by_reason.total(), r.units_dropped);
+        assert_eq!(r.drops_by_reason.fault_total(), 4);
+        assert_eq!(r.units_dropped_fault, 4);
     }
 
     #[test]

@@ -130,6 +130,13 @@ pub struct UnitOutcome {
     /// Whether funds were successfully locked end-to-end (settlement then
     /// follows after Δ unconditionally in this model).
     pub locked: bool,
+    /// Set when the unit was lost to an injected transport fault *after*
+    /// locking (message loss, hop timeout, node crash): `locked` reports
+    /// the lock result, `fault` reports the post-lock fate. Routers use
+    /// this to cool down the failed path (`spider_routing::PathPenalties`)
+    /// without reacting to ordinary lock contention. Always `None` in
+    /// fault-free runs.
+    pub fault: Option<DropReason>,
 }
 
 /// End-to-end acknowledgement for one transaction unit (§5 queueing mode).

@@ -64,6 +64,29 @@ pub enum DropReason {
     /// A channel on its path closed (topology churn) while it was in
     /// flight; every locked hop was refunded.
     ChannelClosed,
+    /// The unit's forwarding message (or its acknowledgement) was lost in
+    /// transit (fault injection); the per-hop timeout fired and every
+    /// locked upstream hop was refunded.
+    MessageLost,
+    /// A hop silently held the unit (a stuck HTLC) past the per-hop
+    /// timeout; the timeout canceled it and refunded every locked hop.
+    HopTimeout,
+    /// A node on its path crashed while the unit was in flight; every
+    /// locked hop was refunded.
+    NodeCrashed,
+}
+
+impl DropReason {
+    /// True for the drop reasons produced only by fault injection
+    /// (`spider-faults`): lost messages, hop timeouts, node crashes.
+    /// Zero-fault runs never produce these, which is what lets retry
+    /// backoff react to them without perturbing fault-free goldens.
+    pub fn is_fault(self) -> bool {
+        matches!(
+            self,
+            DropReason::MessageLost | DropReason::HopTimeout | DropReason::NodeCrashed
+        )
+    }
 }
 
 #[cfg(test)]
@@ -98,9 +121,29 @@ mod tests {
         let v = serde::Serialize::to_value(&s);
         let back: MarkStamp = serde::Deserialize::from_value(&v).unwrap();
         assert_eq!(back, s);
-        let r = DropReason::QueueTimeout;
-        let v = serde::Serialize::to_value(&r);
-        let back: DropReason = serde::Deserialize::from_value(&v).unwrap();
-        assert_eq!(back, r);
+        for r in [
+            DropReason::QueueTimeout,
+            DropReason::QueueOverflow,
+            DropReason::Expired,
+            DropReason::ChannelClosed,
+            DropReason::MessageLost,
+            DropReason::HopTimeout,
+            DropReason::NodeCrashed,
+        ] {
+            let v = serde::Serialize::to_value(&r);
+            let back: DropReason = serde::Deserialize::from_value(&v).unwrap();
+            assert_eq!(back, r);
+        }
+    }
+
+    #[test]
+    fn fault_reasons_are_exactly_the_injected_ones() {
+        assert!(DropReason::MessageLost.is_fault());
+        assert!(DropReason::HopTimeout.is_fault());
+        assert!(DropReason::NodeCrashed.is_fault());
+        assert!(!DropReason::QueueTimeout.is_fault());
+        assert!(!DropReason::QueueOverflow.is_fault());
+        assert!(!DropReason::Expired.is_fault());
+        assert!(!DropReason::ChannelClosed.is_fault());
     }
 }

@@ -38,6 +38,7 @@ fn main() {
             },
             scheme: schemes[0],
             dynamics: None,
+            faults: None,
             seed: 7,
         };
         let reports = cfg.run_schemes(&schemes).expect("experiments run");

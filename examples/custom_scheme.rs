@@ -65,6 +65,7 @@ fn main() {
         },
         scheme: SchemeConfig::SpiderWaterfilling { paths: 4 },
         dynamics: None,
+        faults: None,
         seed: 3,
     };
 

@@ -34,6 +34,7 @@ fn main() {
         },
         scheme: SchemeConfig::SpiderWaterfilling { paths: 4 },
         dynamics: None,
+        faults: None,
         seed: 11,
     };
 

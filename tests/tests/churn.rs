@@ -166,6 +166,7 @@ fn churn_experiment(scheme: SchemeConfig, seed: u64) -> ExperimentConfig {
             horizon_secs: 5.0,
             ..DynamicsConfig::default()
         }),
+        faults: None,
         seed,
     }
 }

@@ -30,6 +30,7 @@ fn golden_experiment(seed: u64, scheme: SchemeConfig) -> ExperimentConfig {
         },
         scheme,
         dynamics: None,
+        faults: None,
         seed,
     }
 }
@@ -191,6 +192,7 @@ fn ripple_golden_experiment(seed: u64, scheme: SchemeConfig) -> ExperimentConfig
         },
         scheme,
         dynamics: None,
+        faults: None,
         seed,
     }
 }

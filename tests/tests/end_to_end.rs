@@ -107,6 +107,7 @@ fn paper_example_topology_runs_all_schemes() {
         },
         scheme: SchemeConfig::ShortestPath,
         dynamics: None,
+        faults: None,
         seed: 23,
     };
     for r in cfg
@@ -131,6 +132,7 @@ fn ripple_like_topology_runs() {
         },
         scheme: SchemeConfig::SpiderWaterfilling { paths: 4 },
         dynamics: None,
+        faults: None,
         seed: 29,
     };
     let r = cfg.run().expect("runs");

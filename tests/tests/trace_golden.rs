@@ -33,6 +33,7 @@ fn tiny_experiment(seed: u64, scheme: SchemeConfig) -> ExperimentConfig {
         },
         scheme,
         dynamics: None,
+        faults: None,
         seed,
     }
 }
@@ -127,6 +128,49 @@ fn windowed_aimd_trace_is_reproducible_and_matches_golden() {
         );
     }
     check_golden("trace_windowed_shortest.jsonl", &t1);
+}
+
+#[test]
+fn fault_injected_trace_is_reproducible_and_matches_golden() {
+    let mut cfg = tiny_experiment(11, SchemeConfig::ShortestPath);
+    // Heavy loss plus a crash-prone plan: the golden pins the `fault`
+    // (crash/recover) and `refund` (fault-refunded unit) event kinds and
+    // the fault `DropReason` spellings that zero-fault goldens never emit.
+    cfg.faults = Some(spider_faults::FaultConfig {
+        message_loss_prob: 0.2,
+        ack_loss_prob: 0.1,
+        stuck_unit_prob: 0.05,
+        jitter_range_ms: None,
+        spike_prob: 0.0,
+        spike_ms: 0.0,
+        hop_timeout_secs: 0.25,
+        crash: Some(spider_faults::CrashConfig {
+            rate_per_sec: 1.5,
+            recovery_mean_secs: Some(1.0),
+        }),
+        horizon_secs: 4.0,
+    });
+    let (r1, t1) = cfg.run_traced().expect("runs");
+    let (r2, t2) = cfg.run_traced().expect("runs");
+    assert_eq!(r1.faults_injected, r2.faults_injected);
+    assert_eq!(
+        t1.to_jsonl(),
+        t2.to_jsonl(),
+        "trace is not bit-reproducible"
+    );
+    assert!(
+        r1.units_dropped_fault > 0,
+        "no unit lost to a fault; golden is vacuous"
+    );
+    assert!(
+        r1.fault_events > 0,
+        "no crash/recovery fired; golden is vacuous"
+    );
+    assert!(
+        r1.completed_payments > 0,
+        "nothing completed; golden only shows failures"
+    );
+    check_golden("trace_faulted_shortest.jsonl", &t1);
 }
 
 #[test]
