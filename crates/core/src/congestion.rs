@@ -194,8 +194,12 @@ impl<R: Router> Router for Windowed<R> {
     fn window_gauge(&self) -> Option<f64> {
         // Sum of the wrapper's own tracked windows plus whatever the
         // inner scheme reports (per-path controllers, when wrapping the
-        // §5 protocol).
-        let own: f64 = self.windows.values().map(|w| w.as_xrp()).sum();
+        // §5 protocol). Sorted by pair key before reducing: float
+        // addition is not associative, so summing in hash order would
+        // make the sampled series differ run to run.
+        let mut windows: Vec<_> = self.windows.iter().collect();
+        windows.sort_unstable_by_key(|(&k, _)| k);
+        let own: f64 = windows.iter().map(|(_, w)| w.as_xrp()).sum();
         Some(own + self.inner.window_gauge().unwrap_or(0.0))
     }
 

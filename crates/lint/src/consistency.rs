@@ -1,0 +1,406 @@
+//! Cross-file exhaustiveness/consistency checks.
+//!
+//! Several invariants in this workspace span files that the compiler
+//! cannot tie together:
+//!
+//! * every [`DropReason`] variant must be counted by `DropBreakdown`
+//!   (`crates/sim/src/metrics.rs`) and rendered by the trace renderers
+//!   (`crates/obs/src/trace.rs`, whose `reason_str` feeds both the JSONL
+//!   and the Chrome emitter);
+//! * the JSONL `"ev"` event-name set emitted by `Trace::to_jsonl` must
+//!   equal the allowlist embedded in `.github/workflows/ci.yml`'s trace
+//!   schema smoke;
+//! * every `EventKind` variant in the engine must actually be referenced
+//!   (a declared-but-never-scheduled kind is dead protocol surface);
+//! * `FigureRow`'s field list must match `CSV_HEADER` in
+//!   `crates/core/src/output.rs` column for column.
+//!
+//! All checks parse tokens/strings only, so they keep working across
+//! rustfmt and refactors that preserve the names.
+
+use crate::lexer::{lex, Lexed, TokKind};
+use crate::Finding;
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// Extracts the variant names of `enum <name>` from tokenized source.
+pub fn enum_variants(lx: &Lexed, name: &str) -> Option<Vec<String>> {
+    let t = &lx.toks;
+    let start = (0..t.len())
+        .find(|&i| lx.is_ident(i, "enum") && lx.is_ident(i + 1, name) && lx.is_punct(i + 2, '{'))?;
+    let mut variants = Vec::new();
+    let mut depth = 1usize;
+    let mut expect_name = true;
+    let mut i = start + 3;
+    while i < t.len() && depth > 0 {
+        match (t[i].kind, t[i].text.as_str()) {
+            (TokKind::Punct, "{" | "(" | "[") => depth += 1,
+            (TokKind::Punct, "}" | ")" | "]") => depth -= 1,
+            (TokKind::Punct, ",") if depth == 1 => expect_name = true,
+            (TokKind::Ident, v) if depth == 1 && expect_name => {
+                variants.push(v.to_string());
+                expect_name = false;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    Some(variants)
+}
+
+/// Extracts the `pub` field names of `struct <name>`, in declaration order.
+pub fn struct_pub_fields(lx: &Lexed, name: &str) -> Option<Vec<String>> {
+    let t = &lx.toks;
+    let start = (0..t.len()).find(|&i| {
+        lx.is_ident(i, "struct") && lx.is_ident(i + 1, name) && lx.is_punct(i + 2, '{')
+    })?;
+    let mut fields = Vec::new();
+    let mut depth = 1usize;
+    let mut i = start + 3;
+    while i < t.len() && depth > 0 {
+        match (t[i].kind, t[i].text.as_str()) {
+            (TokKind::Punct, "{" | "(" | "[" | "<") => depth += 1,
+            (TokKind::Punct, "}" | ")" | "]" | ">") => depth -= 1,
+            (TokKind::Ident, "pub")
+                if depth == 1
+                    && t.get(i + 1).map(|x| x.kind) == Some(TokKind::Ident)
+                    && lx.is_punct(i + 2, ':') =>
+            {
+                fields.push(t[i + 1].text.clone());
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    Some(fields)
+}
+
+/// True when `Enum :: Variant` appears anywhere in the token stream.
+pub fn references_variant(lx: &Lexed, enum_name: &str, variant: &str) -> bool {
+    let t = &lx.toks;
+    (0..t.len()).any(|i| {
+        lx.is_ident(i, enum_name)
+            && lx.is_punct(i + 1, ':')
+            && lx.is_punct(i + 2, ':')
+            && lx.is_ident(i + 3, variant)
+    })
+}
+
+/// Collects every `"ev":"<name>"` event name written by the JSONL
+/// renderer (the names live inside Rust string literals as escaped
+/// `\"ev\":\"name\"` sequences).
+pub fn trace_event_names(lx: &Lexed) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for tok in &lx.toks {
+        if tok.kind != TokKind::Str {
+            continue;
+        }
+        let s = &tok.text;
+        let mut from = 0usize;
+        while let Some(pos) = s[from..].find("\\\"ev\\\":\\\"") {
+            let start = from + pos + "\\\"ev\\\":\\\"".len();
+            let end = s[start..].find('\\').map(|e| start + e).unwrap_or(s.len());
+            if start < end {
+                names.insert(s[start..end].to_string());
+            }
+            from = end;
+        }
+    }
+    names
+}
+
+/// Parses the `events = {"a", "b", …}` allowlist out of the CI workflow's
+/// embedded python validator.
+pub fn ci_event_names(yml: &str) -> Option<BTreeSet<String>> {
+    let start = yml.find("events = {")? + "events = {".len();
+    let end = start + yml[start..].find('}')?;
+    let mut names = BTreeSet::new();
+    let body = &yml[start..end];
+    let mut rest = body;
+    while let Some(q) = rest.find('"') {
+        let after = &rest[q + 1..];
+        let close = after.find('"')?;
+        names.insert(after[..close].to_string());
+        rest = &after[close + 1..];
+    }
+    Some(names)
+}
+
+/// Paths (workspace-relative) the consistency checks read.
+pub const INPUTS: &[&str] = &[
+    "crates/types/src/unit.rs",
+    "crates/sim/src/metrics.rs",
+    "crates/obs/src/trace.rs",
+    "crates/sim/src/engine.rs",
+    "crates/core/src/output.rs",
+    ".github/workflows/ci.yml",
+];
+
+/// Runs every cross-file check from the workspace root.
+pub fn check(root: &Path) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut sources = Vec::new();
+    for rel in INPUTS {
+        match std::fs::read_to_string(root.join(rel)) {
+            Ok(s) => sources.push(s),
+            Err(e) => {
+                out.push(Finding::new(
+                    rel,
+                    0,
+                    "consistency",
+                    format!("cannot read consistency input: {e} — if the file moved, update crates/lint/src/consistency.rs"),
+                ));
+                return out;
+            }
+        }
+    }
+    let [unit_src, metrics_src, trace_src, engine_src, output_src, ci_src] = &sources[..] else {
+        unreachable!("sources has INPUTS.len() elements");
+    };
+    check_sources(
+        unit_src,
+        metrics_src,
+        trace_src,
+        engine_src,
+        output_src,
+        ci_src,
+        &mut out,
+    );
+    out
+}
+
+/// The file-content core of [`check`], separated for fixture tests.
+#[allow(clippy::too_many_arguments)]
+pub fn check_sources(
+    unit_src: &str,
+    metrics_src: &str,
+    trace_src: &str,
+    engine_src: &str,
+    output_src: &str,
+    ci_src: &str,
+    out: &mut Vec<Finding>,
+) {
+    let unit = lex(unit_src);
+    let metrics = lex(metrics_src);
+    let trace = lex(trace_src);
+    let engine = lex(engine_src);
+    let output = lex(output_src);
+
+    // DropReason exhaustiveness across the breakdown and the renderers.
+    match enum_variants(&unit, "DropReason") {
+        None => out.push(Finding::new(
+            "crates/types/src/unit.rs",
+            0,
+            "consistency",
+            "enum DropReason not found".to_string(),
+        )),
+        Some(variants) => {
+            for (file, lexed, role) in [
+                (
+                    "crates/sim/src/metrics.rs",
+                    &metrics,
+                    "DropBreakdown::count",
+                ),
+                (
+                    "crates/obs/src/trace.rs",
+                    &trace,
+                    "reason_str (feeds both trace renderers)",
+                ),
+            ] {
+                for v in &variants {
+                    if !references_variant(lexed, "DropReason", v) {
+                        out.push(Finding::new(
+                            file,
+                            0,
+                            "consistency",
+                            format!("DropReason::{v} is not handled here ({role})"),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // Trace event-name set ≡ the CI trace-smoke allowlist.
+    let emitted = trace_event_names(&trace);
+    if emitted.is_empty() {
+        out.push(Finding::new(
+            "crates/obs/src/trace.rs",
+            0,
+            "consistency",
+            "no \"ev\" event names found in the JSONL renderer".to_string(),
+        ));
+    }
+    match ci_event_names(ci_src) {
+        None => out.push(Finding::new(
+            ".github/workflows/ci.yml",
+            0,
+            "consistency",
+            "trace-smoke `events = {...}` allowlist not found".to_string(),
+        )),
+        Some(allowed) => {
+            for missing in emitted.difference(&allowed) {
+                out.push(Finding::new(
+                    ".github/workflows/ci.yml",
+                    0,
+                    "consistency",
+                    format!("trace event \"{missing}\" is emitted by Trace::to_jsonl but absent from the CI allowlist"),
+                ));
+            }
+            for extra in allowed.difference(&emitted) {
+                out.push(Finding::new(
+                    ".github/workflows/ci.yml",
+                    0,
+                    "consistency",
+                    format!(
+                        "CI allowlists trace event \"{extra}\" that Trace::to_jsonl never emits"
+                    ),
+                ));
+            }
+        }
+    }
+
+    // Every EventKind variant must be referenced beyond its declaration.
+    match enum_variants(&engine, "EventKind") {
+        None => out.push(Finding::new(
+            "crates/sim/src/engine.rs",
+            0,
+            "consistency",
+            "enum EventKind not found".to_string(),
+        )),
+        Some(variants) => {
+            for v in &variants {
+                if !references_variant(&engine, "EventKind", v) {
+                    out.push(Finding::new(
+                        "crates/sim/src/engine.rs",
+                        0,
+                        "consistency",
+                        format!("EventKind::{v} is declared but never scheduled or matched"),
+                    ));
+                }
+            }
+        }
+    }
+
+    // FigureRow fields ≡ CSV header columns, in order.
+    let fields = struct_pub_fields(&output, "FigureRow");
+    let header = csv_header(&output);
+    match (fields, header) {
+        (Some(fields), Some(header)) => {
+            let cols: Vec<String> = header.split(',').map(str::to_string).collect();
+            if fields != cols {
+                out.push(Finding::new(
+                    "crates/core/src/output.rs",
+                    0,
+                    "consistency",
+                    format!("FigureRow fields {fields:?} do not match CSV_HEADER columns {cols:?}"),
+                ));
+            }
+        }
+        _ => out.push(Finding::new(
+            "crates/core/src/output.rs",
+            0,
+            "consistency",
+            "FigureRow struct or CSV_HEADER not found".to_string(),
+        )),
+    }
+}
+
+/// The string literal assigned to `CSV_HEADER`.
+fn csv_header(lx: &Lexed) -> Option<String> {
+    let t = &lx.toks;
+    let i = (0..t.len()).find(|&i| lx.is_ident(i, "CSV_HEADER"))?;
+    t[i..]
+        .iter()
+        .find(|tok| tok.kind == TokKind::Str)
+        .map(|tok| tok.text.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enum_variants_with_payloads() {
+        let lx = lex("pub enum E { A, B { x: u32, y: Vec<(u8, u8)> }, C(usize), D }");
+        assert_eq!(
+            enum_variants(&lx, "E").expect("enum parsed"),
+            vec!["A", "B", "C", "D"]
+        );
+        assert!(enum_variants(&lx, "F").is_none());
+    }
+
+    #[test]
+    fn struct_fields_in_order() {
+        let lx = lex("pub struct R { pub a: String, pub b: f64, c: u64, pub d: Option<f64> }");
+        assert_eq!(
+            struct_pub_fields(&lx, "R").expect("struct parsed"),
+            vec!["a", "b", "d"],
+            "non-pub fields are not CSV columns"
+        );
+    }
+
+    #[test]
+    fn variant_references() {
+        let lx = lex("match r { E::A => 1, E::B => 2 }");
+        assert!(references_variant(&lx, "E", "A"));
+        assert!(!references_variant(&lx, "E", "C"));
+    }
+
+    #[test]
+    fn trace_names_from_escaped_literals() {
+        let lx = lex(
+            r#"fn f() { write!(out, "\"ev\":\"arrival\",\"x\":{}", 1); g("{\"ev\":\"path\",\"nodes\":["); }"#,
+        );
+        let names = trace_event_names(&lx);
+        assert_eq!(
+            names.into_iter().collect::<Vec<_>>(),
+            vec!["arrival", "path"]
+        );
+    }
+
+    #[test]
+    fn ci_events_parse() {
+        let yml = "x\n events = {\"a\", \"b\",\n   \"c\"}\n rest";
+        let names = ci_event_names(yml).expect("allowlist found");
+        assert_eq!(names.into_iter().collect::<Vec<_>>(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn check_sources_cross_validates() {
+        let unit = "pub enum DropReason { Expired, Lost }";
+        let metrics =
+            "fn c(r: DropReason) { match r { DropReason::Expired => {}, DropReason::Lost => {} } }";
+        let trace = r#"fn r(x: DropReason) -> &'static str { match x { DropReason::Expired => "expired", DropReason::Lost => "lost" } }
+                       fn j() { w("\"ev\":\"drop\""); w("{\"ev\":\"path\""); }"#;
+        let engine = "enum EventKind { Poll } fn f() { let e = EventKind::Poll; }";
+        let output =
+            "pub struct FigureRow { pub a: u32, pub b: u32 } pub const CSV_HEADER: &str = \"a,b\";";
+        let ci = "events = {\"drop\", \"path\"}";
+        let mut out = Vec::new();
+        check_sources(unit, metrics, trace, engine, output, ci, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+
+        // Remove a match arm → exactly that variant is reported.
+        let bad_metrics = "fn c(r: DropReason) { match r { DropReason::Expired => {}, _ => {} } }";
+        let mut out = Vec::new();
+        check_sources(unit, bad_metrics, trace, engine, output, ci, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("DropReason::Lost"), "{out:?}");
+
+        // Drift the CI allowlist → both directions are reported.
+        let bad_ci = "events = {\"drop\", \"path\", \"ghost\"}";
+        let mut out = Vec::new();
+        check_sources(unit, metrics, trace, engine, output, bad_ci, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("ghost"));
+
+        // CSV header drift.
+        let bad_output =
+            "pub struct FigureRow { pub a: u32, pub b: u32 } pub const CSV_HEADER: &str = \"a\";";
+        let mut out = Vec::new();
+        check_sources(unit, metrics, trace, engine, bad_output, ci, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("CSV_HEADER"), "{out:?}");
+    }
+}

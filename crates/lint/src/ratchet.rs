@@ -1,0 +1,372 @@
+//! The panic-site ratchet.
+//!
+//! Counts `unwrap()` / `.expect()` / `panic!`-family macros / slice-index
+//! expressions per crate and compares against the committed
+//! `crates/lint/baseline.toml`. New sites fail the check; removed sites
+//! pass but are reported so `--update-baseline` can tighten the floor.
+//! `assert!`/`assert_eq!` are deliberately not counted: they state
+//! invariants, the ratchet is about *incidental* panic sites.
+
+use crate::lexer::{Lexed, TokKind};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Panic-site counts for one crate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counts {
+    /// `.unwrap()` calls.
+    pub unwrap: u64,
+    /// `.expect(...)` calls.
+    pub expect: u64,
+    /// `panic!` / `unreachable!` / `todo!` / `unimplemented!` invocations.
+    pub panic: u64,
+    /// Slice/array index expressions (`x[i]`), which panic out of bounds.
+    pub index: u64,
+}
+
+impl Counts {
+    /// Field access by ratchet category name.
+    pub fn get(&self, key: &str) -> u64 {
+        match key {
+            "unwrap" => self.unwrap,
+            "expect" => self.expect,
+            "panic" => self.panic,
+            "index" => self.index,
+            _ => 0,
+        }
+    }
+
+    fn add(&mut self, other: Counts) {
+        self.unwrap += other.unwrap;
+        self.expect += other.expect;
+        self.panic += other.panic;
+        self.index += other.index;
+    }
+}
+
+/// The ratchet categories, in baseline/report order.
+pub const CATEGORIES: &[&str] = &["unwrap", "expect", "panic", "index"];
+
+/// Keywords that may directly precede `[` without forming an index
+/// expression (`return [..]`, slice patterns, `for x in [..]`…).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "let", "mut", "ref", "in", "if", "else", "match", "return", "break", "as", "use", "pub", "fn",
+    "for", "while", "loop", "impl", "where", "unsafe", "dyn", "const", "static", "type", "enum",
+    "struct", "trait", "mod", "crate", "super", "move", "box", "yield",
+];
+
+/// Counts the panic sites in one tokenized file (test code included: the
+/// ratchet tracks the whole crate, and fixture-style `unwrap()`s in tests
+/// are exactly what the tightening satellite converts).
+pub fn count_file(lx: &Lexed) -> Counts {
+    let t = &lx.toks;
+    let mut c = Counts::default();
+    for i in 0..t.len() {
+        match t[i].kind {
+            TokKind::Ident => {
+                let name = t[i].text.as_str();
+                let method_call = i >= 1 && lx.is_punct(i - 1, '.') && lx.is_punct(i + 1, '(');
+                match name {
+                    "unwrap" if method_call => c.unwrap += 1,
+                    "expect" if method_call => c.expect += 1,
+                    "panic" | "unreachable" | "todo" | "unimplemented"
+                        if lx.is_punct(i + 1, '!') =>
+                    {
+                        c.panic += 1;
+                    }
+                    _ => {}
+                }
+            }
+            TokKind::Punct if t[i].text == "[" && i >= 1 => {
+                let prev = &t[i - 1];
+                let indexable = match prev.kind {
+                    TokKind::Ident => !NON_INDEX_KEYWORDS.contains(&prev.text.as_str()),
+                    TokKind::Punct => prev.text == ")" || prev.text == "]",
+                    _ => false,
+                };
+                if indexable {
+                    c.index += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    c
+}
+
+/// Per-crate counts, keyed by crate directory name (`crates/<name>`).
+pub type CrateCounts = BTreeMap<String, Counts>;
+
+/// Accumulates one file's counts into its crate bucket.
+pub fn accumulate(totals: &mut CrateCounts, crate_name: &str, file: Counts) {
+    totals.entry(crate_name.to_string()).or_default().add(file);
+}
+
+/// Parses the baseline TOML subset: `[crate]` sections with
+/// `key = integer` entries, `#` comments, blank lines. Returns an error
+/// string for anything else — the file is machine-written, drift means
+/// someone edited it by hand.
+pub fn parse_baseline(text: &str) -> Result<CrateCounts, String> {
+    let mut out = CrateCounts::new();
+    let mut current: Option<String> = None;
+    for (ln, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+            let name = name.trim().to_string();
+            out.entry(name.clone()).or_default();
+            current = Some(name);
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!(
+                "baseline.toml line {}: expected `key = value`",
+                ln + 1
+            ));
+        };
+        let Some(section) = current.as_ref() else {
+            return Err(format!(
+                "baseline.toml line {}: entry before any [crate] section",
+                ln + 1
+            ));
+        };
+        let v: u64 = value
+            .trim()
+            .parse()
+            .map_err(|_| format!("baseline.toml line {}: non-integer value", ln + 1))?;
+        let entry = out.get_mut(section).expect("section inserted above");
+        match key.trim() {
+            "unwrap" => entry.unwrap = v,
+            "expect" => entry.expect = v,
+            "panic" => entry.panic = v,
+            "index" => entry.index = v,
+            other => {
+                return Err(format!(
+                    "baseline.toml line {}: unknown category `{other}`",
+                    ln + 1
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Renders counts in the exact format [`parse_baseline`] reads.
+pub fn format_baseline(counts: &CrateCounts) -> String {
+    let mut out = String::from(
+        "# Panic-site ratchet baseline: per-crate counts of unwrap()/expect()/\n\
+         # panic-family macros/slice-index sites. New sites fail `--check`;\n\
+         # after removing sites, tighten with:\n\
+         #   cargo run -p spider-lint -- --update-baseline\n",
+    );
+    for (name, c) in counts {
+        let _ = write!(
+            out,
+            "\n[{name}]\nunwrap = {}\nexpect = {}\npanic = {}\nindex = {}\n",
+            c.unwrap, c.expect, c.panic, c.index
+        );
+    }
+    out
+}
+
+/// Outcome of comparing current counts against the baseline.
+#[derive(Debug, Default)]
+pub struct RatchetReport {
+    /// `(crate, category, current, baseline)` where current > baseline —
+    /// these fail the check.
+    pub regressions: Vec<(String, &'static str, u64, u64)>,
+    /// `(crate, category, current, baseline)` where current < baseline —
+    /// informational; `--update-baseline` locks these in.
+    pub improvements: Vec<(String, &'static str, u64, u64)>,
+    /// Baseline crates that no longer exist in the tree.
+    pub stale: Vec<String>,
+}
+
+impl RatchetReport {
+    /// True when nothing regressed and the baseline matches the tree.
+    pub fn ok(&self) -> bool {
+        self.regressions.is_empty() && self.stale.is_empty()
+    }
+}
+
+/// Compares current per-crate counts against the baseline. Crates absent
+/// from the baseline ratchet against zero: a brand-new crate must either
+/// be panic-free or be consciously admitted via `--update-baseline`.
+pub fn compare(current: &CrateCounts, baseline: &CrateCounts) -> RatchetReport {
+    let mut rep = RatchetReport::default();
+    for (name, cur) in current {
+        let base = baseline.get(name).copied().unwrap_or_default();
+        for &cat in CATEGORIES {
+            let (c, b) = (cur.get(cat), base.get(cat));
+            if c > b {
+                rep.regressions.push((name.clone(), cat, c, b));
+            } else if c < b {
+                rep.improvements.push((name.clone(), cat, c, b));
+            }
+        }
+    }
+    for name in baseline.keys() {
+        if !current.contains_key(name) {
+            rep.stale.push(name.clone());
+        }
+    }
+    rep
+}
+
+/// Renders the per-crate `current/baseline` summary table the CI step
+/// prints, one row per crate plus a totals row.
+pub fn summary_table(current: &CrateCounts, baseline: &CrateCounts) -> String {
+    let mut out = String::from("panic-site ratchet (current/baseline):\n");
+    let _ = writeln!(
+        out,
+        "  {:<12} {:>12} {:>12} {:>12} {:>12}",
+        "crate", "unwrap", "expect", "panic", "index"
+    );
+    let mut cur_tot = Counts::default();
+    let mut base_tot = Counts::default();
+    for (name, cur) in current {
+        let base = baseline.get(name).copied().unwrap_or_default();
+        cur_tot.add(*cur);
+        base_tot.add(base);
+        let cell = |cat: &str| format!("{}/{}", cur.get(cat), base.get(cat));
+        let _ = writeln!(
+            out,
+            "  {:<12} {:>12} {:>12} {:>12} {:>12}",
+            name,
+            cell("unwrap"),
+            cell("expect"),
+            cell("panic"),
+            cell("index")
+        );
+    }
+    let cell = |cat: &str| format!("{}/{}", cur_tot.get(cat), base_tot.get(cat));
+    let _ = writeln!(
+        out,
+        "  {:<12} {:>12} {:>12} {:>12} {:>12}",
+        "TOTAL",
+        cell("unwrap"),
+        cell("expect"),
+        cell("panic"),
+        cell("index")
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn counts_methods_macros_and_indexing() {
+        let src = "fn f(v: Vec<u32>, m: &M) -> u32 {\n\
+                   let a = v.get(0).unwrap();\n\
+                   let b = m.slot(1).expect(\"slot live\");\n\
+                   if *a > 3 { panic!(\"boom\") } else { unreachable!() }\n\
+                   v[0] + rows[i][j] + f()[k]\n\
+                   }\n";
+        let c = count_file(&lex(src));
+        assert_eq!(c.unwrap, 1);
+        assert_eq!(c.expect, 1);
+        assert_eq!(c.panic, 2);
+        assert_eq!(c.index, 4, "v[0], rows[i], [i][j], f()[k]");
+    }
+
+    #[test]
+    fn non_index_brackets_are_not_counted() {
+        let src = "#[cfg(test)]\nfn f() { let [a, b] = xs; let v = vec![1, 2]; \
+                   let t: [u8; 4] = [0; 4]; for x in [1, 2] {} }";
+        let c = count_file(&lex(src));
+        // `vec![` follows `!`, `[a, b]` follows `let`, types/attrs follow
+        // punctuation; `xs;`-style plain idents never precede `[` here.
+        assert_eq!(c.index, 0);
+    }
+
+    #[test]
+    fn unwrap_or_variants_do_not_count() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) + x.unwrap_or_else(|| 1) }";
+        let c = count_file(&lex(src));
+        assert_eq!(c.unwrap, 0);
+        assert_eq!(c.expect, 0);
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_count() {
+        let src = "// has unwrap() and panic! in prose\nfn f() -> &'static str { \"x.unwrap()\" }";
+        assert_eq!(count_file(&lex(src)), Counts::default());
+    }
+
+    #[test]
+    fn baseline_round_trip() {
+        let mut counts = CrateCounts::new();
+        counts.insert(
+            "sim".into(),
+            Counts {
+                unwrap: 3,
+                expect: 14,
+                panic: 2,
+                index: 120,
+            },
+        );
+        counts.insert("types".into(), Counts::default());
+        let text = format_baseline(&counts);
+        assert_eq!(parse_baseline(&text).expect("round trip parses"), counts);
+    }
+
+    #[test]
+    fn baseline_rejects_garbage() {
+        assert!(
+            parse_baseline("unwrap = 3").is_err(),
+            "entry before section"
+        );
+        assert!(parse_baseline("[sim]\nunwrap = x").is_err(), "non-integer");
+        assert!(
+            parse_baseline("[sim]\nwat = 3").is_err(),
+            "unknown category"
+        );
+    }
+
+    #[test]
+    fn compare_flags_regressions_and_improvements() {
+        let mut cur = CrateCounts::new();
+        cur.insert(
+            "a".into(),
+            Counts {
+                unwrap: 5,
+                expect: 1,
+                ..Counts::default()
+            },
+        );
+        let mut base = CrateCounts::new();
+        base.insert(
+            "a".into(),
+            Counts {
+                unwrap: 3,
+                expect: 2,
+                ..Counts::default()
+            },
+        );
+        base.insert("gone".into(), Counts::default());
+        let rep = compare(&cur, &base);
+        assert_eq!(rep.regressions, vec![("a".to_string(), "unwrap", 5, 3)]);
+        assert_eq!(rep.improvements, vec![("a".to_string(), "expect", 1, 2)]);
+        assert_eq!(rep.stale, vec!["gone".to_string()]);
+        assert!(!rep.ok());
+    }
+
+    #[test]
+    fn new_crate_ratchets_against_zero() {
+        let mut cur = CrateCounts::new();
+        cur.insert(
+            "fresh".into(),
+            Counts {
+                unwrap: 1,
+                ..Counts::default()
+            },
+        );
+        let rep = compare(&cur, &CrateCounts::new());
+        assert_eq!(rep.regressions.len(), 1);
+    }
+}

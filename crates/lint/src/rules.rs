@@ -1,0 +1,633 @@
+//! Per-file determinism-hazard rules (token-window analyses).
+//!
+//! Every rule here guards an invariant the determinism goldens depend on:
+//!
+//! * [`unordered-iter`] — iterating a `HashMap`/`HashSet` observes hash
+//!   order, which `RandomState` re-seeds per process; any reduction or
+//!   side effect over that order is run-to-run nondeterministic. Allowed
+//!   when a sort (or a `BTreeMap`/`BTreeSet`/`BinaryHeap` collect) follows
+//!   in the same token window, or under an explicit pragma.
+//! * [`float-accum`] — the same hazard, sharpened: an f64 `sum`/`fold`
+//!   over hash order differs not just in order but in *value* (float
+//!   addition is not associative).
+//! * [`wall-clock`] — `Instant::now`/`SystemTime` anywhere outside
+//!   `crates/obs` and `crates/bench` leaks wall time into simulation
+//!   state.
+//! * [`non-det-rng`] — any randomness source other than `DetRng`
+//!   (`thread_rng`, `OsRng`, entropy seeding…) breaks seed-replayability.
+//! * [`generic-derive`] — `#[derive(Serialize/Deserialize)]` on a generic
+//!   type, which the vendored serde shim cannot expand; flagging it here
+//!   turns a late opaque compile error into an immediate message.
+//!
+//! Suppression: `// lint: allow(<rule>): <reason>` on the flagged line or
+//! in the comment block directly above it. The reason is mandatory — an
+//! empty one is itself a finding ([`bad-pragma`]).
+
+use crate::lexer::{Lexed, TokKind};
+use crate::Finding;
+
+/// Tokens scanned past a flagged iteration site looking for a sort.
+const SORT_WINDOW: usize = 80;
+
+/// Rule identifiers, also the names accepted by `allow(...)` pragmas.
+pub const RULES: &[&str] = &[
+    "unordered-iter",
+    "float-accum",
+    "wall-clock",
+    "non-det-rng",
+    "generic-derive",
+];
+
+/// Everything the per-file rules need to know about one source file.
+pub struct FileContext<'a> {
+    /// Workspace-relative path, `/`-separated (drives the per-crate
+    /// allowlists for `wall-clock` and `non-det-rng`).
+    pub rel_path: &'a str,
+    /// The tokenized source.
+    pub lexed: &'a Lexed,
+}
+
+impl FileContext<'_> {
+    /// First line of the file's `#[cfg(test)]` region, if any. By this
+    /// workspace's convention test modules sit at the bottom of the file,
+    /// so everything at or past this line is treated as test code.
+    fn test_start_line(&self) -> Option<u32> {
+        let t = &self.lexed.toks;
+        (0..t.len()).find_map(|i| {
+            (self.lexed.is_punct(i, '#')
+                && self.lexed.is_punct(i + 1, '[')
+                && self.lexed.is_ident(i + 2, "cfg")
+                && self.lexed.is_punct(i + 3, '(')
+                && self.lexed.is_ident(i + 4, "test"))
+            .then(|| t[i].line)
+        })
+    }
+
+    /// True when `line` is suppressed for `rule` by a pragma on the same
+    /// line or anywhere in the contiguous comment block directly above it.
+    fn allowed(&self, line: u32, rule: &str) -> bool {
+        let matches =
+            |l: u32| {
+                self.lexed.comments.iter().filter(|c| c.line == l).any(|c| {
+                    parse_pragma(&c.text).is_some_and(|(r, why)| r == rule && !why.is_empty())
+                })
+            };
+        if matches(line) {
+            return true;
+        }
+        let mut l = line.saturating_sub(1);
+        while l >= 1 && self.lexed.comments.iter().any(|c| c.line == l) {
+            if matches(l) {
+                return true;
+            }
+            l -= 1;
+        }
+        false
+    }
+}
+
+/// Parses `lint: allow(<rule>): <reason>` out of a comment body.
+/// Returns `(rule, reason)`; reason may be empty (the caller flags that).
+pub fn parse_pragma(comment: &str) -> Option<(&str, &str)> {
+    let rest = comment.trim().strip_prefix("lint:")?.trim_start();
+    let rest = rest.strip_prefix("allow(")?;
+    let close = rest.find(')')?;
+    let rule = rest[..close].trim();
+    let reason = rest[close + 1..].trim_start_matches(':').trim();
+    Some((rule, reason))
+}
+
+/// Runs every per-file rule over one file.
+pub fn check_file(cx: &FileContext<'_>) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let test_start = cx.test_start_line().unwrap_or(u32::MAX);
+    check_pragmas(cx, &mut out);
+    check_unordered_iter(cx, test_start, &mut out);
+    check_wall_clock(cx, test_start, &mut out);
+    check_rng(cx, test_start, &mut out);
+    check_generic_derive(cx, &mut out);
+    out
+}
+
+/// Flags malformed pragmas: a missing reason, or an unknown rule name
+/// (which would otherwise silently suppress nothing).
+fn check_pragmas(cx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    for c in &cx.lexed.comments {
+        let Some((rule, why)) = parse_pragma(&c.text) else {
+            continue;
+        };
+        if !RULES.contains(&rule) {
+            out.push(Finding::new(
+                cx.rel_path,
+                c.line,
+                "bad-pragma",
+                format!(
+                    "allow({rule}) names no known rule (known: {})",
+                    RULES.join(", ")
+                ),
+            ));
+        } else if why.is_empty() {
+            out.push(Finding::new(
+                cx.rel_path,
+                c.line,
+                "bad-pragma",
+                format!("allow({rule}) needs a reason: `// lint: allow({rule}): <why>`"),
+            ));
+        }
+    }
+}
+
+/// Names declared in this file as `HashMap`/`HashSet` bindings, fields or
+/// parameters. Token patterns handled (optionally through `std ::
+/// collections ::` path prefixes):
+///
+/// * `name: HashMap<…>` / `name: &HashMap<…>` / `name: &mut HashSet<…>`
+/// * `name = HashMap::new()` (also `with_capacity`, `default`, `from`)
+fn hash_collection_names(lx: &Lexed) -> Vec<String> {
+    let t = &lx.toks;
+    let mut names = Vec::new();
+    for i in 0..t.len() {
+        if !(lx.is_ident(i, "HashMap") || lx.is_ident(i, "HashSet")) {
+            continue;
+        }
+        // Walk back over a `path ::` qualification chain.
+        let mut j = i;
+        while j >= 3
+            && lx.is_punct(j - 1, ':')
+            && lx.is_punct(j - 2, ':')
+            && t[j - 3].kind == TokKind::Ident
+        {
+            j -= 3;
+        }
+        // `name :` (skipping `&` / `&mut`).
+        let mut k = j;
+        while k >= 1 && (lx.is_punct(k - 1, '&') || lx.is_ident(k - 1, "mut")) {
+            k -= 1;
+        }
+        let name = if k >= 2 && lx.is_punct(k - 1, ':') && t[k - 2].kind == TokKind::Ident {
+            Some(&t[k - 2].text)
+        } else if j >= 2 && lx.is_punct(j - 1, '=') && t[j - 2].kind == TokKind::Ident {
+            // `name = HashMap::…`.
+            Some(&t[j - 2].text)
+        } else {
+            None
+        };
+        if let Some(n) = name {
+            if !names.contains(n) {
+                names.push(n.clone());
+            }
+        }
+    }
+    names
+}
+
+/// Iterator adapters that observe hash order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+/// The `unordered-iter` / `float-accum` rule pair.
+fn check_unordered_iter(cx: &FileContext<'_>, test_start: u32, out: &mut Vec<Finding>) {
+    let lx = cx.lexed;
+    let t = &lx.toks;
+    let names = hash_collection_names(lx);
+    if names.is_empty() {
+        return;
+    }
+    let flag = |i: usize, name: &str, recv_line: u32, out: &mut Vec<Finding>| {
+        let line = t[i].line;
+        if line >= test_start {
+            return;
+        }
+        // Forward window: an explicit sort (or re-keying into an ordered
+        // collection) makes the iteration order immaterial.
+        let window = &t[i..(i + SORT_WINDOW).min(t.len())];
+        let sorted = window.iter().any(|w| {
+            w.kind == TokKind::Ident
+                && (w.text.starts_with("sort")
+                    || w.text == "BTreeMap"
+                    || w.text == "BTreeSet"
+                    || w.text == "BinaryHeap")
+        });
+        if sorted {
+            return;
+        }
+        // Backward window: `name.sort*(…)` just above means `name` is a
+        // sorted local shadowing the hash binding (collect-sort-reduce).
+        let back = &t[i.saturating_sub(SORT_WINDOW)..i];
+        let presorted = back.windows(3).any(|w| {
+            w[0].kind == TokKind::Ident
+                && w[0].text == name
+                && w[1].kind == TokKind::Punct
+                && w[1].text == "."
+                && w[2].kind == TokKind::Ident
+                && w[2].text.starts_with("sort")
+        });
+        if presorted {
+            return;
+        }
+        let summed = window
+            .iter()
+            .any(|w| w.kind == TokKind::Ident && (w.text == "sum" || w.text == "fold"));
+        let (rule, msg) = if summed {
+            (
+                "float-accum",
+                format!(
+                    "accumulation over hash-ordered `{name}` — float sums differ across runs; \
+                     sort the entries first"
+                ),
+            )
+        } else {
+            (
+                "unordered-iter",
+                format!(
+                    "iteration over hash-ordered `{name}` with no following sort — order is \
+                     not deterministic across runs"
+                ),
+            )
+        };
+        // The pragma may anchor to the method token's line or, in a
+        // multi-line chain, to the receiver's line.
+        if !cx.allowed(line, rule) && !cx.allowed(recv_line, rule) {
+            out.push(Finding::new(cx.rel_path, line, rule, msg));
+        }
+    };
+    for i in 0..t.len() {
+        // `name . iter ( …`, also through `self . name . iter`.
+        if t[i].kind == TokKind::Ident
+            && ITER_METHODS.contains(&t[i].text.as_str())
+            && i >= 2
+            && lx.is_punct(i - 1, '.')
+            && t[i - 2].kind == TokKind::Ident
+            && lx.is_punct(i + 1, '(')
+            && names.contains(&t[i - 2].text)
+        {
+            flag(i, &t[i - 2].text.clone(), t[i - 2].line, out);
+        }
+        // `for pat in &name {` / `for pat in &mut self.name {`. A plain
+        // by-value `for x in name {` is NOT flagged: hash fields cannot
+        // be moved out of `self`, so that form is a shadowing local
+        // (typically the sorted Vec built just above).
+        if lx.is_ident(i, "in") {
+            let mut j = i + 1;
+            let mut borrowed = false;
+            while lx.is_punct(j, '&') || lx.is_ident(j, "mut") {
+                borrowed = true;
+                j += 1;
+            }
+            if lx.is_ident(j, "self") && lx.is_punct(j + 1, '.') {
+                borrowed = true;
+                j += 2;
+            }
+            if borrowed
+                && j < t.len()
+                && t[j].kind == TokKind::Ident
+                && names.contains(&t[j].text)
+                && lx.is_punct(j + 1, '{')
+            {
+                flag(j, &t[j].text.clone(), t[j].line, out);
+            }
+        }
+    }
+}
+
+/// The `wall-clock` rule: simulation logic must never read real time.
+fn check_wall_clock(cx: &FileContext<'_>, test_start: u32, out: &mut Vec<Finding>) {
+    if cx.rel_path.starts_with("crates/obs/") || cx.rel_path.starts_with("crates/bench/") {
+        return;
+    }
+    let lx = cx.lexed;
+    for (i, tok) in lx.toks.iter().enumerate() {
+        if tok.kind != TokKind::Ident || tok.line >= test_start {
+            continue;
+        }
+        let hit = match tok.text.as_str() {
+            "Instant" => {
+                lx.is_punct(i + 1, ':') && lx.is_punct(i + 2, ':') && lx.is_ident(i + 3, "now")
+            }
+            "SystemTime" => true,
+            _ => false,
+        };
+        if hit && !cx.allowed(tok.line, "wall-clock") {
+            out.push(Finding::new(
+                cx.rel_path,
+                tok.line,
+                "wall-clock",
+                format!(
+                    "`{}` outside crates/obs and crates/bench — simulated time only \
+                     (use SimTime / the engine clock)",
+                    tok.text
+                ),
+            ));
+        }
+    }
+}
+
+/// Randomness sources that are banned everywhere.
+const BANNED_RNG: &[&str] = &[
+    "thread_rng",
+    "ThreadRng",
+    "OsRng",
+    "from_entropy",
+    "getrandom",
+];
+
+/// The `non-det-rng` rule: `DetRng` is the only legal randomness source.
+/// `SmallRng`/`StdRng` may appear only inside `DetRng`'s own
+/// implementation (`crates/types/src/rng.rs`).
+fn check_rng(cx: &FileContext<'_>, test_start: u32, out: &mut Vec<Finding>) {
+    let lx = cx.lexed;
+    let in_detrng_impl = cx.rel_path == "crates/types/src/rng.rs";
+    for tok in &lx.toks {
+        if tok.kind != TokKind::Ident || tok.line >= test_start {
+            continue;
+        }
+        let banned = BANNED_RNG.contains(&tok.text.as_str())
+            || (!in_detrng_impl && (tok.text == "SmallRng" || tok.text == "StdRng"));
+        if banned && !cx.allowed(tok.line, "non-det-rng") {
+            out.push(Finding::new(
+                cx.rel_path,
+                tok.line,
+                "non-det-rng",
+                format!(
+                    "`{}` is not seed-deterministic — draw from a forked DetRng instead",
+                    tok.text
+                ),
+            ));
+        }
+    }
+}
+
+/// The `generic-derive` rule: the vendored serde shim expands derives for
+/// concrete types only; a generic parameter in the type header makes the
+/// derive fail to compile later, far from the cause.
+fn check_generic_derive(cx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    let lx = cx.lexed;
+    let t = &lx.toks;
+    let mut i = 0;
+    while i < t.len() {
+        // `# [ derive ( … ) ]` mentioning Serialize/Deserialize.
+        if !(lx.is_punct(i, '#') && lx.is_punct(i + 1, '[') && lx.is_ident(i + 2, "derive")) {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 3;
+        let mut depth = 0usize;
+        let mut serde_derive = false;
+        while j < t.len() {
+            if lx.is_punct(j, '(') {
+                depth += 1;
+            } else if lx.is_punct(j, ')') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if lx.is_ident(j, "Serialize") || lx.is_ident(j, "Deserialize") {
+                serde_derive = true;
+            }
+            j += 1;
+        }
+        if !serde_derive {
+            i = j;
+            continue;
+        }
+        // Skip the closing `]` and any further attributes to the item.
+        let mut k = j + 2;
+        while lx.is_punct(k, '#') && lx.is_punct(k + 1, '[') {
+            let mut d = 0usize;
+            k += 1;
+            while k < t.len() {
+                if lx.is_punct(k, '[') {
+                    d += 1;
+                } else if lx.is_punct(k, ']') {
+                    d -= 1;
+                    if d == 0 {
+                        break;
+                    }
+                }
+                k += 1;
+            }
+            k += 1;
+        }
+        while lx.is_ident(k, "pub") {
+            k += 1;
+            if lx.is_punct(k, '(') {
+                while k < t.len() && !lx.is_punct(k, ')') {
+                    k += 1;
+                }
+                k += 1;
+            }
+        }
+        if (lx.is_ident(k, "struct") || lx.is_ident(k, "enum")) && lx.is_punct(k + 2, '<') {
+            // Generic header: any non-lifetime parameter is fatal for the
+            // shim (lifetimes alone are fine).
+            let name = t[k + 1].text.clone();
+            let line = t[k].line;
+            let mut g = k + 3;
+            let mut depth = 1usize;
+            let mut generic_param = false;
+            let mut at_param_start = true;
+            while g < t.len() && depth > 0 {
+                if lx.is_punct(g, '<') {
+                    depth += 1;
+                } else if lx.is_punct(g, '>') {
+                    depth -= 1;
+                } else if depth == 1 && lx.is_punct(g, ',') {
+                    at_param_start = true;
+                    g += 1;
+                    continue;
+                } else if at_param_start && depth == 1 {
+                    if t[g].kind == TokKind::Ident || lx.is_ident(g, "const") {
+                        generic_param = true;
+                    }
+                    at_param_start = false;
+                }
+                g += 1;
+            }
+            if generic_param && !cx.allowed(line, "generic-derive") {
+                out.push(Finding::new(
+                    cx.rel_path,
+                    line,
+                    "generic-derive",
+                    format!(
+                        "#[derive(Serialize/Deserialize)] on generic `{name}` — the vendored \
+                         serde shim cannot expand generic derives; implement the traits \
+                         manually or monomorphize the type"
+                    ),
+                ));
+            }
+        }
+        i = k + 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn findings(path: &str, src: &str) -> Vec<Finding> {
+        let lexed = lex(src);
+        check_file(&FileContext {
+            rel_path: path,
+            lexed: &lexed,
+        })
+    }
+
+    #[test]
+    fn pragma_parses() {
+        assert_eq!(
+            parse_pragma(" lint: allow(unordered-iter): callers sort"),
+            Some(("unordered-iter", "callers sort"))
+        );
+        assert_eq!(parse_pragma(" lint: allow(x)"), Some(("x", "")));
+        assert_eq!(parse_pragma(" ordinary comment"), None);
+    }
+
+    #[test]
+    fn sort_then_reduce_over_shadowing_local_is_exempt() {
+        // collect-sort-reduce: the local `m` shadows the hash field name,
+        // and the sort just above proves the reduction order is fixed.
+        let src = "struct S { m: HashMap<u32, f64> }\n\
+                   fn f(s: &S) -> f64 {\n\
+                     let mut m: Vec<_> = s.m.iter().collect();\n\
+                     m.sort_unstable_by_key(|(&k, _)| k);\n\
+                     m.iter().map(|(_, v)| **v).sum()\n\
+                   }\n";
+        assert!(findings("crates/x/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn pragma_in_comment_block_above_multiline_chain_applies() {
+        let src = "struct S { m: HashMap<u32, u32> }\n\
+                   impl S {\n\
+                     fn f(&self) -> Vec<u32> {\n\
+                       // lint: allow(unordered-iter): audited — consumers\n\
+                       // compare as sets, never positionally.\n\
+                       self.m\n\
+                         .keys()\n\
+                         .copied()\n\
+                         .collect()\n\
+                     }\n\
+                   }\n";
+        assert!(
+            findings("crates/x/src/a.rs", src).is_empty(),
+            "{:?}",
+            findings("crates/x/src/a.rs", src)
+        );
+    }
+
+    #[test]
+    fn sorted_iteration_is_exempt() {
+        let src = "struct S { m: HashMap<u32, u32> }\n\
+                   fn f(s: &S) -> Vec<u32> {\n\
+                     let mut v: Vec<u32> = s.m.keys().copied().collect();\n\
+                     v.sort_unstable();\n\
+                     v\n\
+                   }\n";
+        assert!(findings("crates/x/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unsorted_iteration_is_flagged() {
+        let src = "struct S { m: HashMap<u32, u32> }\n\
+                   fn f(s: &S) -> Vec<u32> { s.m.keys().copied().collect() }\n";
+        let f = findings("crates/x/src/a.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "unordered-iter");
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn float_sum_is_its_own_rule() {
+        let src = "struct S { m: HashMap<u32, f64> }\n\
+                   fn f(s: &S) -> f64 { s.m.values().sum() }\n";
+        let f = findings("crates/x/src/a.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "float-accum");
+    }
+
+    #[test]
+    fn test_module_code_is_skipped() {
+        let src = "struct S { m: HashMap<u32, u32> }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                     fn f(s: &super::S) -> usize { s.m.keys().count() }\n\
+                   }\n";
+        assert!(findings("crates/x/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_allowed_only_in_obs_and_bench() {
+        let src = "fn f() { let t = Instant::now(); }";
+        assert_eq!(findings("crates/sim/src/a.rs", src).len(), 1);
+        assert!(findings("crates/obs/src/a.rs", src).is_empty());
+        assert!(findings("crates/bench/src/bin/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn rng_sources_are_flagged_outside_detrng() {
+        let src = "fn f() { let r = SmallRng::seed_from_u64(1); }";
+        assert_eq!(findings("crates/sim/src/a.rs", src)[0].rule, "non-det-rng");
+        assert!(findings("crates/types/src/rng.rs", src).is_empty());
+    }
+
+    #[test]
+    fn generic_derive_flags_type_params_not_lifetimes() {
+        let generic = "#[derive(Debug, Serialize)]\npub struct Foo<T> { x: T }";
+        assert_eq!(
+            findings("crates/x/src/a.rs", generic)[0].rule,
+            "generic-derive"
+        );
+        let lifetime = "#[derive(Serialize)]\nstruct Foo<'a> { x: &'a str }";
+        assert!(findings("crates/x/src/a.rs", lifetime).is_empty());
+        let concrete = "#[derive(Serialize, Deserialize)]\nstruct Foo { x: u32 }";
+        assert!(findings("crates/x/src/a.rs", concrete).is_empty());
+        let non_serde = "#[derive(Debug, Clone)]\nstruct Foo<T> { x: T }";
+        assert!(findings("crates/x/src/a.rs", non_serde).is_empty());
+    }
+
+    #[test]
+    fn pragma_suppresses_and_requires_reason() {
+        let base = "struct S { m: HashMap<u32, u32> }\n";
+        let allowed = format!(
+            "{base}// lint: allow(unordered-iter): consumed as a set downstream\n\
+             fn f(s: &S) -> Vec<u32> {{ s.m.keys().copied().collect() }}\n"
+        );
+        assert!(findings("crates/x/src/a.rs", &allowed).is_empty());
+        let bare = format!(
+            "{base}// lint: allow(unordered-iter)\n\
+             fn f(s: &S) -> Vec<u32> {{ s.m.keys().copied().collect() }}\n"
+        );
+        let f = findings("crates/x/src/a.rs", &bare);
+        assert!(f.iter().any(|x| x.rule == "bad-pragma"), "{f:?}");
+        assert!(f.iter().any(|x| x.rule == "unordered-iter"), "{f:?}");
+    }
+
+    #[test]
+    fn unknown_pragma_rule_is_flagged() {
+        let f = findings("crates/x/src/a.rs", "// lint: allow(no-such-rule): x\n");
+        assert_eq!(f[0].rule, "bad-pragma");
+    }
+
+    #[test]
+    fn qualified_and_assigned_declarations_are_tracked() {
+        let src = "fn f() {\n\
+                   let mut g = std::collections::HashMap::new();\n\
+                   g.insert(1, 2);\n\
+                   for (k, v) in &g { drop((k, v)); }\n\
+                   }\n";
+        let f = findings("crates/x/src/a.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 4);
+    }
+}

@@ -1,0 +1,79 @@
+//! Fixture tests for the per-file determinism rules: each seeded-bad
+//! fixture must fire exactly its rule, the clean fixture must produce
+//! zero findings (false-positive guard), and pragma suppression must
+//! round-trip (reason present → silenced; reason missing → two findings).
+
+use spider_lint::lint_source;
+
+/// Path prefix that puts fixtures under the strictest rule set (inside
+/// `crates/`, outside the obs/bench wall-clock allowlist and outside the
+/// DetRng implementation file).
+const AT: &str = "crates/sim/src/fixture.rs";
+
+fn rules_fired(src: &str) -> Vec<String> {
+    let mut rules: Vec<String> = lint_source(AT, src).into_iter().map(|f| f.rule).collect();
+    rules.sort();
+    rules.dedup();
+    rules
+}
+
+#[test]
+fn bad_unordered_fires_unordered_iter() {
+    let src = include_str!("fixtures/bad_unordered.rs");
+    assert_eq!(rules_fired(src), ["unordered-iter"]);
+}
+
+#[test]
+fn bad_float_sum_fires_float_accum() {
+    let src = include_str!("fixtures/bad_float_sum.rs");
+    assert_eq!(rules_fired(src), ["float-accum"]);
+}
+
+#[test]
+fn bad_wallclock_fires_wall_clock() {
+    let src = include_str!("fixtures/bad_wallclock.rs");
+    assert_eq!(rules_fired(src), ["wall-clock"]);
+    // The same source is legal inside the instrumentation crates.
+    assert!(lint_source("crates/obs/src/fixture.rs", src).is_empty());
+    assert!(lint_source("crates/bench/src/bin/fixture.rs", src).is_empty());
+}
+
+#[test]
+fn bad_rng_fires_non_det_rng() {
+    let src = include_str!("fixtures/bad_rng.rs");
+    assert_eq!(rules_fired(src), ["non-det-rng"]);
+}
+
+#[test]
+fn bad_generic_derive_fires_generic_derive() {
+    let src = include_str!("fixtures/bad_generic_derive.rs");
+    assert_eq!(rules_fired(src), ["generic-derive"]);
+}
+
+#[test]
+fn clean_fixture_has_zero_findings() {
+    let src = include_str!("fixtures/clean.rs");
+    let findings = lint_source(AT, src);
+    assert!(findings.is_empty(), "false positives: {findings:?}");
+}
+
+#[test]
+fn pragma_allow_round_trips() {
+    let bad = include_str!("fixtures/bad_unordered.rs");
+    assert_eq!(rules_fired(bad), ["unordered-iter"]);
+
+    // With a reasoned pragma on the line above the hazard, it is silent.
+    let allowed = bad.replace(
+        "        self.entries.keys()",
+        "        // lint: allow(unordered-iter): fixture — consumed as a set\n        self.entries.keys()",
+    );
+    assert_ne!(allowed, bad, "fixture drifted: hazard line not found");
+    assert!(lint_source(AT, &allowed).is_empty());
+
+    // Dropping the reason re-surfaces the hazard AND flags the pragma.
+    let bare = bad.replace(
+        "        self.entries.keys()",
+        "        // lint: allow(unordered-iter)\n        self.entries.keys()",
+    );
+    assert_eq!(rules_fired(&bare), ["bad-pragma", "unordered-iter"]);
+}

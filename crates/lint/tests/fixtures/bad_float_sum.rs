@@ -1,0 +1,13 @@
+//! Seeded-bad fixture: f64 accumulation in hash order. Float addition is
+//! not associative, so the sum's *value* differs run to run.
+use std::collections::HashMap;
+
+pub struct Gauges {
+    windows: HashMap<u32, f64>,
+}
+
+impl Gauges {
+    pub fn total(&self) -> f64 {
+        self.windows.values().sum() // hazard: hash-order reduction
+    }
+}

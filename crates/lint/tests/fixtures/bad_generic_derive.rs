@@ -1,0 +1,7 @@
+//! Seeded-bad fixture: the vendored serde shim cannot expand derives on
+//! generic types; the failure shows up later as an opaque compile error.
+#[derive(Debug, Serialize)]
+pub struct Sample<T> {
+    pub at: u64,
+    pub value: T,
+}

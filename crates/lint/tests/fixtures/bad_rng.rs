@@ -1,0 +1,5 @@
+//! Seeded-bad fixture: entropy-seeded randomness breaks seed replay.
+pub fn jitter() -> f64 {
+    let mut rng = thread_rng(); // hazard: not seed-deterministic
+    rng.gen_range(0.0..1.0)
+}

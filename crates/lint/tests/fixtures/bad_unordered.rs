@@ -1,0 +1,12 @@
+//! Seeded-bad fixture: hash-ordered iteration with no following sort.
+use std::collections::HashMap;
+
+pub struct Book {
+    entries: HashMap<u64, u64>,
+}
+
+impl Book {
+    pub fn ids(&self) -> Vec<u64> {
+        self.entries.keys().copied().collect() // hazard: hash order escapes
+    }
+}

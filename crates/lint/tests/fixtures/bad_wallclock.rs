@@ -1,0 +1,7 @@
+//! Seeded-bad fixture: wall-clock reads outside crates/obs and
+//! crates/bench leak real time into simulation state.
+use std::time::Instant;
+
+pub fn elapsed_ms(start: Instant) -> u128 {
+    Instant::now().duration_since(start).as_millis() // hazard
+}

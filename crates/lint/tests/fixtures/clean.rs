@@ -1,0 +1,66 @@
+//! Clean fixture: idiomatic patterns the rules must NOT flag. Every
+//! construct here appears in the real tree; a finding on this file is a
+//! false positive by definition.
+use std::collections::{BTreeMap, HashMap};
+
+pub struct Ledger {
+    balances: HashMap<u64, f64>,
+}
+
+impl Ledger {
+    /// Collect-sort-consume: hash order never escapes.
+    pub fn ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.balances.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Collect-sort-reduce through a shadowing local: the sort just above
+    /// the reduction fixes the accumulation order.
+    pub fn total(&self) -> f64 {
+        let mut balances: Vec<_> = self.balances.iter().collect();
+        balances.sort_unstable_by_key(|(&k, _)| k);
+        balances.iter().map(|(_, v)| **v).sum()
+    }
+
+    /// Re-keying into an ordered collection is equivalent to a sort.
+    pub fn ordered(&self) -> BTreeMap<u64, f64> {
+        self.balances.iter().map(|(&k, &v)| (k, v)).collect()
+    }
+
+    /// Iteration whose order is audited not to matter, under a pragma
+    /// with a mandatory reason.
+    pub fn any_positive(&self) -> bool {
+        // lint: allow(unordered-iter): audited — `any` is order-insensitive
+        // and short-circuiting changes no observable state.
+        self.balances.values().any(|&v| v > 0.0)
+    }
+}
+
+/// Lifetime-only generics are fine for the vendored serde shim.
+#[derive(Debug)]
+pub struct View<'a> {
+    pub slice: &'a [u64],
+}
+
+/// Concrete serde derives are what the shim expands.
+#[derive(Serialize, Deserialize)]
+pub struct Row {
+    pub at: u64,
+    pub value: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_may_observe_hash_order() {
+        let l = Ledger {
+            balances: HashMap::new(),
+        };
+        // Hazard rules skip test regions; the ratchet still counts them.
+        let n = l.balances.keys().count();
+        assert_eq!(n, 0);
+    }
+}

@@ -304,10 +304,15 @@ impl Router for ProtocolRouter {
     }
 
     fn window_gauge(&self) -> Option<f64> {
+        // Sorted by pair key before reducing: float addition is not
+        // associative, so summing controller windows in hash order would
+        // make the sampled window_sum_xrp series differ run to run.
+        let mut pairs: Vec<_> = self.pairs.iter().collect();
+        pairs.sort_unstable_by_key(|(&k, _)| k);
         Some(
-            self.pairs
-                .values()
-                .flat_map(|s| s.controllers.iter())
+            pairs
+                .iter()
+                .flat_map(|(_, s)| s.controllers.iter())
                 .map(|c| c.window().as_xrp())
                 .sum(),
         )

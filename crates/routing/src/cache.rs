@@ -346,6 +346,9 @@ impl PathCache {
                 seen.extend(set.iter().copied());
             }
         }
+        // lint: allow(unordered-iter): audited — the one non-test caller
+        // (`on_topology_change`) sorts the pairs before refilling, and the
+        // equivalence tests compare as sets.
         seen.into_iter().collect()
     }
 
@@ -357,6 +360,9 @@ impl PathCache {
         paths: &PathTable,
         channels: &[ChannelId],
     ) -> Vec<(NodeId, NodeId)> {
+        // lint: allow(unordered-iter): audited — reference implementation
+        // used only by set-equality tests and the invalidation microbench,
+        // never by the engine.
         self.cache
             .iter()
             .filter(|(_, ids)| {

@@ -2293,7 +2293,7 @@ mod tests {
             Box::new(DirectRouter { atomic }),
             config,
         )
-        .unwrap();
+        .expect("test topology and config are valid");
         let report = sim.run();
         sim.check_conservation();
         (report, sim)
@@ -2308,7 +2308,7 @@ mod tests {
         assert_eq!(r.success_ratio(), 1.0);
         assert_eq!(r.success_volume(), 1.0);
         // Latency = confirmation delay.
-        assert!((r.avg_completion_time().unwrap() - 0.5).abs() < 1e-9);
+        assert!((r.avg_completion_time().expect("at least one txn completed") - 0.5).abs() < 1e-9);
     }
 
     #[test]
@@ -2423,7 +2423,8 @@ mod tests {
     #[test]
     fn disconnected_destination_fails_cleanly() {
         let mut b = Topology::builder(3);
-        b.channel(NodeId(0), NodeId(1), xrp(10)).unwrap();
+        b.channel(NodeId(0), NodeId(1), xrp(10))
+            .expect("channel endpoints are distinct known nodes");
         let t = b.build();
         let (r, _) = run_sim(t, vec![txn(0, 0, 2, xrp(1))], false, base_config());
         assert_eq!(r.completed_payments, 0);
@@ -2446,7 +2447,7 @@ mod tests {
                 Box::new(DirectRouter { atomic: false }),
                 base_config(),
             )
-            .unwrap();
+            .expect("test topology and config are valid");
             sim.run()
         };
         let r1 = run(w.clone());
@@ -2478,7 +2479,8 @@ mod tests {
         );
         let mut cfg = base_config();
         cfg.mtu = xrp(5);
-        let mut sim = Simulation::new(t, w, Box::new(DirectRouter { atomic: false }), cfg).unwrap();
+        let mut sim = Simulation::new(t, w, Box::new(DirectRouter { atomic: false }), cfg)
+            .expect("test topology and config are valid");
         let r = sim.run();
         sim.check_conservation();
         assert!(r.attempted_payments == 2_000);
@@ -2497,7 +2499,7 @@ mod tests {
                 Box::new(DirectRouter { atomic: false }),
                 base_config(),
             )
-            .unwrap();
+            .expect("test topology and config are valid");
             let r = sim.run();
             sim.check_conservation();
             (r, sim.slab_stats())
@@ -2555,7 +2557,7 @@ mod tests {
             Box::new(Observing),
             cfg,
         )
-        .unwrap();
+        .expect("test topology and config are valid");
         let slow = slow_sim.run();
         slow_sim.check_conservation();
         assert!(fast.units_failed > 100, "needs failing chunks to batch");
@@ -2686,7 +2688,8 @@ mod queueing_tests {
         txns: Vec<TxnSpec>,
         cfg: SimConfig,
     ) -> (SimReport, Simulation) {
-        let mut sim = Simulation::new(topo, Workload { txns }, Box::new(Direct), cfg).unwrap();
+        let mut sim = Simulation::new(topo, Workload { txns }, Box::new(Direct), cfg)
+            .expect("test topology and config are valid");
         let report = sim.run();
         sim.check_conservation();
         (report, sim)
@@ -2709,7 +2712,7 @@ mod queueing_tests {
             r.units_queued > 0,
             "second payment's units must have queued"
         );
-        assert!(r.avg_queue_delay().unwrap() > 0.0);
+        assert!(r.avg_queue_delay().expect("queue delays were recorded") > 0.0);
         assert_eq!(sim.queued_units(), 0);
     }
 
@@ -2737,8 +2740,10 @@ mod queueing_tests {
         // hop 1, and the locks show up as in-flight on channel 0 while
         // they wait.
         let mut b = Topology::builder(3);
-        b.channel(NodeId(0), NodeId(1), xrp(20)).unwrap(); // 10 per side
-        b.channel(NodeId(1), NodeId(2), xrp(10)).unwrap(); // 5 per side
+        b.channel(NodeId(0), NodeId(1), xrp(20))
+            .expect("channel endpoints are distinct known nodes"); // 10 per side
+        b.channel(NodeId(1), NodeId(2), xrp(10))
+            .expect("channel endpoints are distinct known nodes"); // 5 per side
         let t = b.build();
         let mut cfg = qconfig(QueueConfig {
             max_queue_delay: SimDuration::from_secs(3_600),
@@ -2838,7 +2843,7 @@ mod queueing_tests {
             Box::new(router),
             cfg,
         )
-        .unwrap();
+        .expect("test topology and config are valid");
         let r = sim.run();
         sim.check_conservation();
         let rejected = outcomes.borrow().iter().filter(|ok| !**ok).count();
@@ -2863,8 +2868,8 @@ mod queueing_tests {
         let run = |w: Workload| {
             let mut cfg = qconfig(QueueConfig::default());
             cfg.mtu = xrp(5);
-            let mut sim =
-                Simulation::new(gen::isp_topology(xrp(500)), w, Box::new(Direct), cfg).unwrap();
+            let mut sim = Simulation::new(gen::isp_topology(xrp(500)), w, Box::new(Direct), cfg)
+                .expect("test topology and config are valid");
             let r = sim.run();
             sim.check_conservation();
             r
@@ -2906,7 +2911,7 @@ mod queueing_tests {
             Box::new(Direct),
             lockstep_cfg,
         )
-        .unwrap();
+        .expect("test topology and config are valid");
         let lockstep = sim.run();
         sim.check_conservation();
         assert!(
@@ -2963,7 +2968,10 @@ mod queueing_tests {
             assert_eq!(sample.len(), sim.topology().channel_count());
         }
         // The stuck remainder sits in channel 1's queue at the horizon.
-        let last = r.queue_depth_series().last().unwrap();
+        let last = r
+            .queue_depth_series()
+            .last()
+            .expect("queue-depth series is non-empty");
         assert_eq!(last.iter().sum::<u32>() as usize, sim.queued_units());
     }
 
@@ -3004,7 +3012,8 @@ mod queueing_tests {
         let mut cfg = qconfig(QueueConfig::default());
         cfg.obs.trace = true;
         cfg.obs.profile = true;
-        let mut sim = Simulation::new(t, Workload { txns }, Box::new(Direct), cfg).unwrap();
+        let mut sim = Simulation::new(t, Workload { txns }, Box::new(Direct), cfg)
+            .expect("test topology and config are valid");
         let r = sim.run();
         assert_eq!(r.completed_payments, 1);
         assert!(r.profile.enabled);
@@ -3137,7 +3146,7 @@ mod churn_tests {
             Box::new(Direct),
             cfg,
         )
-        .unwrap();
+        .expect("test topology and config are valid");
         sim.set_topology_events(vec![close_at(300, 0)]);
         let r = sim.run();
         sim.check_conservation();
@@ -3175,7 +3184,7 @@ mod churn_tests {
             Box::new(Direct),
             cfg,
         )
-        .unwrap();
+        .expect("test topology and config are valid");
         sim.set_topology_events(vec![close_at(400, 0), open_at(1_000, 0)]);
         let r = sim.run();
         sim.check_conservation();
@@ -3191,8 +3200,10 @@ mod churn_tests {
         // Wide first hop, narrow second: units queue at hop 1 holding
         // hop-0 locks; closing channel 1 mid-run must fail them all back.
         let mut b = Topology::builder(3);
-        b.channel(NodeId(0), NodeId(1), xrp(20)).unwrap();
-        b.channel(NodeId(1), NodeId(2), xrp(10)).unwrap();
+        b.channel(NodeId(0), NodeId(1), xrp(20))
+            .expect("channel endpoints are distinct known nodes");
+        b.channel(NodeId(1), NodeId(2), xrp(10))
+            .expect("channel endpoints are distinct known nodes");
         let t = b.build();
         let cfg = SimConfig {
             horizon: SimDuration::from_secs(5),
@@ -3213,7 +3224,7 @@ mod churn_tests {
             Box::new(Direct),
             cfg,
         )
-        .unwrap();
+        .expect("test topology and config are valid");
         sim.set_topology_events(vec![close_at(700, 1)]);
         let r = sim.run();
         sim.check_conservation();
@@ -3251,7 +3262,7 @@ mod churn_tests {
             Box::new(Direct),
             cfg,
         )
-        .unwrap();
+        .expect("test topology and config are valid");
         sim.set_topology_events(vec![TopologyEvent {
             at: SimTime::from_secs(1),
             change: TopologyChange::ChannelResize {
@@ -3287,7 +3298,7 @@ mod churn_tests {
             Box::new(router),
             cfg,
         )
-        .unwrap();
+        .expect("test topology and config are valid");
         sim.set_topology_events(vec![
             TopologyEvent {
                 at: SimTime::from_secs(1),
@@ -3327,7 +3338,7 @@ mod churn_tests {
             Box::new(Direct),
             cfg,
         )
-        .unwrap();
+        .expect("test topology and config are valid");
         sim.set_topology_events(vec![close_at(0, 0), open_at(2_000, 0)]);
         let r = sim.run();
         sim.check_conservation();
@@ -3355,7 +3366,8 @@ mod churn_tests {
             ..SimConfig::default()
         };
         cfg.mtu = xrp(1); // 10 units per payment → many pending settles
-        let mut sim = Simulation::new(t, w, Box::new(Direct), cfg).unwrap();
+        let mut sim = Simulation::new(t, w, Box::new(Direct), cfg)
+            .expect("test topology and config are valid");
         sim.set_topology_events(vec![close_at(500, 3), close_at(700, 11), close_at(900, 27)]);
         let r = sim.run();
         sim.check_conservation();
@@ -3409,8 +3421,8 @@ mod churn_tests {
                 ..SimConfig::default()
             };
             cfg.mtu = xrp(5);
-            let mut sim =
-                Simulation::new(gen::isp_topology(xrp(400)), w, Box::new(Direct), cfg).unwrap();
+            let mut sim = Simulation::new(gen::isp_topology(xrp(400)), w, Box::new(Direct), cfg)
+                .expect("test topology and config are valid");
             sim.set_topology_events(events.clone());
             let r = sim.run();
             sim.check_conservation();
@@ -3486,8 +3498,8 @@ mod rebalancing_tests {
     #[test]
     fn without_rebalancing_dag_traffic_stalls() {
         let t = gen::line(2, xrp(10)); // 5 XRP per side
-        let mut sim =
-            Simulation::new(t, one_way_workload(), Box::new(Direct), config(None)).unwrap();
+        let mut sim = Simulation::new(t, one_way_workload(), Box::new(Direct), config(None))
+            .expect("test topology and config are valid");
         let r = sim.run();
         sim.check_conservation();
         assert_eq!(r.delivered_volume, xrp(5));
@@ -3504,8 +3516,8 @@ mod rebalancing_tests {
             target_fraction: 0.5,
             confirmation_delay: spider_types::SimDuration::from_secs(1),
         };
-        let mut sim =
-            Simulation::new(t, one_way_workload(), Box::new(Direct), config(Some(rb))).unwrap();
+        let mut sim = Simulation::new(t, one_way_workload(), Box::new(Direct), config(Some(rb)))
+            .expect("test topology and config are valid");
         let r = sim.run();
         sim.check_conservation();
         assert_eq!(r.delivered_volume, xrp(10), "all one-way traffic ships");
@@ -3531,7 +3543,7 @@ mod rebalancing_tests {
                 ..rb
             })),
         )
-        .unwrap();
+        .expect("test topology and config are valid");
         let r = sim.run();
         sim.check_conservation();
         let ch = &sim.channel_states()[0];
@@ -3549,8 +3561,8 @@ mod rebalancing_tests {
             target_fraction: 0.5,
             confirmation_delay: spider_types::SimDuration::from_secs(50),
         };
-        let mut sim =
-            Simulation::new(t, one_way_workload(), Box::new(Direct), config(Some(rb))).unwrap();
+        let mut sim = Simulation::new(t, one_way_workload(), Box::new(Direct), config(Some(rb)))
+            .expect("test topology and config are valid");
         let r = sim.run();
         sim.check_conservation();
         // At most one settle per direction fits in the horizon.

@@ -14,6 +14,13 @@ use spider_types::{Amount, DropReason, SimDuration, SimTime};
 /// [`DropBreakdown::total`] always equals
 /// [`SimReport::units_dropped`] — the drop-reason conservation law the
 /// integration tests assert, including under churn.
+///
+/// Exhaustiveness is enforced statically: spider-lint's consistency rule
+/// checks that every `DropReason` variant is referenced in this file (the
+/// match arms below) and in the trace renderers, so adding a variant
+/// without extending the breakdown fails
+/// `cargo run -p spider-lint -- --check` rather than silently leaking
+/// drops out of the conservation law.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DropBreakdown {
     /// Units that waited in a router queue past the configured bound.
