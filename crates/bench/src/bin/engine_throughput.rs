@@ -215,6 +215,15 @@ fn cases(seed: u64, quick: bool) -> Vec<BenchCase> {
             streaming: true,
         });
     }
+    if quick {
+        // The quick grid is CI smoke, not a timing trajectory: turn on
+        // channel attribution there so `BENCH_engine.json` carries a
+        // hotspot table to exercise `spider-report` against. Full rows
+        // stay obs-free — they feed the wall-time baseline comparison.
+        for case in &mut v {
+            case.cfg.sim.obs.attribution = true;
+        }
+    }
     v
 }
 
@@ -326,6 +335,35 @@ fn json_record(r: &BenchRun, compare_baseline: bool, drifted: &mut bool) -> Stri
         r.report.retries,
     )
     .expect("write to string");
+    // Completion-latency percentiles from the report histogram (null when
+    // nothing completed), the per-reason drop breakdown, and the channel
+    // hotspot table (empty unless `obs.attribution` ran — the quick grid).
+    let pct = |p: f64| {
+        r.report
+            .latency_hist
+            .percentile(p)
+            .map(|v| format!("{v:.6}"))
+            .unwrap_or_else(|| "null".to_string())
+    };
+    let d = &r.report.drops_by_reason;
+    write!(
+        s,
+        ",\"latency_p50_s\":{},\"latency_p99_s\":{},\
+         \"drops_queue_timeout\":{},\"drops_queue_overflow\":{},\"drops_expired\":{},\
+         \"drops_channel_closed\":{},\"drops_message_lost\":{},\"drops_hop_timeout\":{},\
+         \"drops_node_crashed\":{},\"hotspots\":{}",
+        pct(50.0),
+        pct(99.0),
+        d.queue_timeout,
+        d.queue_overflow,
+        d.expired,
+        d.channel_closed,
+        d.message_lost,
+        d.hop_timeout,
+        d.node_crashed,
+        spider_obs::attribution::hotspots_to_json_array(&r.report.hotspots),
+    )
+    .expect("write to string");
     // Quick runs trim the workload and non-default seeds change it, so
     // the recorded full-scale baseline only applies at seed 42.
     match compare_baseline.then(|| baseline_for(r.case)).flatten() {
@@ -393,7 +431,14 @@ fn run_trace_smoke(seed: u64, out_dir: &PathBuf, full: bool) {
             true,
         )
     };
-    let (report, trace) = cfg.run_traced().expect("traced run");
+    // The traced run also switches on channel attribution and the drop
+    // flight recorder, so these asserts prove the *whole* observability
+    // stack observes without perturbing: traced+attributed+forensics
+    // outcomes must be bit-identical to the bare run.
+    let mut ocfg = cfg.clone();
+    ocfg.sim.obs.attribution = true;
+    ocfg.sim.obs.forensics_capacity = 4_096;
+    let (report, trace) = ocfg.run_traced().expect("traced run");
     let untraced = cfg.run().expect("untraced run");
     assert_eq!(
         report.completed_payments, untraced.completed_payments,
@@ -406,6 +451,10 @@ fn run_trace_smoke(seed: u64, out_dir: &PathBuf, full: bool) {
     assert_eq!(
         report.units_locked, untraced.units_locked,
         "tracing changed unit accounting"
+    );
+    assert_eq!(
+        report.units_dropped, untraced.units_dropped,
+        "observability changed drop accounting"
     );
     let jsonl = trace.to_jsonl();
     let mut arrivals = 0u64;

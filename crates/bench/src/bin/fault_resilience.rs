@@ -87,6 +87,9 @@ fn main() {
                 *nodes = 120;
             }
         }
+        // Phase timings ride along in every row (the profile_*_s JSONL
+        // columns); the wall clocks never touch simulated time.
+        base.sim.obs.profile = true;
         eprintln!(
             "running {label} ({} txns, {} schemes x {} intensities)…",
             base.workload.count,

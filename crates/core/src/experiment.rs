@@ -219,6 +219,37 @@ impl ExperimentConfig {
         Ok((report, trace))
     }
 
+    /// [`ExperimentConfig::run`] with the drop-forensics flight recorder
+    /// forced on: returns the report together with the sealed
+    /// [`FlightRecorder`](spider_sim::FlightRecorder) holding one
+    /// structured record per dropped unit plus the exact reason×channel
+    /// root-cause table. A configured `obs.forensics_capacity` is
+    /// respected; when left at `0` (disabled) the recorder ring holds the
+    /// last 65 536 drops. Recording observes drops without touching event
+    /// order, so the report matches what [`ExperimentConfig::run`]
+    /// produces for the same seed.
+    pub fn run_forensics(&self) -> Result<(SimReport, spider_sim::FlightRecorder)> {
+        let rng = DetRng::new(self.seed);
+        let topo = self.topology.build(&rng)?;
+        let mut wrng = rng.fork("workload");
+        let workload = Workload::generate(topo.node_count(), &self.workload, &mut wrng);
+        let demands = demand_graph(&workload, topo.node_count());
+        let router = self
+            .scheme
+            .build(&topo, &demands, self.sim.confirmation_delay.as_secs_f64());
+        let mut cfg = self.effective_sim();
+        if cfg.obs.forensics_capacity == 0 {
+            cfg.obs.forensics_capacity = 65_536;
+        }
+        let mut sim = Simulation::new(topo, workload, router, cfg)?;
+        self.install_dynamics(&mut sim, &rng)?;
+        self.install_faults(&mut sim, &rng)?;
+        let report = sim.run();
+        sim.check_conservation();
+        let forensics = sim.take_forensics().expect("forensics was enabled");
+        Ok((report, forensics))
+    }
+
     /// Generates and installs the churn schedule, when configured.
     fn install_dynamics(&self, sim: &mut Simulation, rng: &DetRng) -> Result<()> {
         if let Some(dyn_cfg) = &self.dynamics {

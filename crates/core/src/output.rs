@@ -35,11 +35,29 @@ pub struct FigureRow {
     pub latency_p50_s: Option<f64>,
     /// 99th-percentile completion latency (s).
     pub latency_p99_s: Option<f64>,
+    /// Top-ranked hotspot channel id, when attribution ran and found one.
+    pub hotspot_channel: Option<u64>,
+    /// Attribution score of that channel.
+    pub hotspot_score: Option<f64>,
+    /// Calendar-pop phase wall time (s), when profiling was enabled.
+    pub profile_calendar_pop_s: Option<f64>,
+    /// Routing phase wall time (s).
+    pub profile_routing_s: Option<f64>,
+    /// Forwarding phase wall time (s).
+    pub profile_forwarding_s: Option<f64>,
+    /// Settlement phase wall time (s).
+    pub profile_settlement_s: Option<f64>,
+    /// Churn-repair phase wall time (s).
+    pub profile_churn_repair_s: Option<f64>,
+    /// Series-sampling phase wall time (s).
+    pub profile_sampling_s: Option<f64>,
 }
 
 impl FigureRow {
     /// Builds a row from a report.
     pub fn new(experiment: &str, parameter: &str, value: f64, r: &SimReport) -> Self {
+        let phase_s =
+            |s: spider_sim::PhaseStats| r.profile.enabled.then(|| s.total_ns as f64 / 1e9);
         FigureRow {
             experiment: experiment.to_string(),
             scheme: r.scheme.clone(),
@@ -52,21 +70,32 @@ impl FigureRow {
             units_dropped_fault: r.units_dropped_fault,
             retries: r.retries,
             avg_completion_s: r.avg_completion_time(),
-            latency_p50_s: r.latency_hist.percentile(0.50),
-            latency_p99_s: r.latency_hist.percentile(0.99),
+            latency_p50_s: r.latency_hist.percentile(50.0),
+            latency_p99_s: r.latency_hist.percentile(99.0),
+            hotspot_channel: r.hotspots.first().map(|h| u64::from(h.channel)),
+            hotspot_score: r.hotspots.first().map(|h| h.score),
+            profile_calendar_pop_s: phase_s(r.profile.calendar_pop),
+            profile_routing_s: phase_s(r.profile.routing),
+            profile_forwarding_s: phase_s(r.profile.forwarding),
+            profile_settlement_s: phase_s(r.profile.settlement),
+            profile_churn_repair_s: phase_s(r.profile.churn_repair),
+            profile_sampling_s: phase_s(r.profile.sampling),
         }
     }
 }
 
 /// CSV header matching [`to_csv_row`].
 pub const CSV_HEADER: &str =
-    "experiment,scheme,parameter,value,success_ratio_pct,success_volume_pct,completed,attempted,units_dropped_fault,retries,avg_completion_s,latency_p50_s,latency_p99_s";
+    "experiment,scheme,parameter,value,success_ratio_pct,success_volume_pct,completed,attempted,units_dropped_fault,retries,avg_completion_s,latency_p50_s,latency_p99_s,hotspot_channel,hotspot_score,profile_calendar_pop_s,profile_routing_s,profile_forwarding_s,profile_settlement_s,profile_churn_repair_s,profile_sampling_s";
 
 /// One CSV line (no trailing newline).
 pub fn to_csv_row(row: &FigureRow) -> String {
     let opt = |v: Option<f64>| v.map(|v| format!("{v:.4}")).unwrap_or_default();
+    // Phase wall times are often well under a millisecond per phase, so
+    // they keep microsecond resolution.
+    let opt6 = |v: Option<f64>| v.map(|v| format!("{v:.6}")).unwrap_or_default();
     format!(
-        "{},{},{},{},{:.4},{:.4},{},{},{},{},{},{},{}",
+        "{},{},{},{},{:.4},{:.4},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
         row.experiment,
         row.scheme,
         row.parameter,
@@ -80,6 +109,16 @@ pub fn to_csv_row(row: &FigureRow) -> String {
         opt(row.avg_completion_s),
         opt(row.latency_p50_s),
         opt(row.latency_p99_s),
+        row.hotspot_channel
+            .map(|c| c.to_string())
+            .unwrap_or_default(),
+        opt(row.hotspot_score),
+        opt6(row.profile_calendar_pop_s),
+        opt6(row.profile_routing_s),
+        opt6(row.profile_forwarding_s),
+        opt6(row.profile_settlement_s),
+        opt6(row.profile_churn_repair_s),
+        opt6(row.profile_sampling_s),
     )
 }
 
@@ -171,6 +210,7 @@ mod tests {
             router_counters: vec![],
             samples: SampleSet::default(),
             profile: ProfileStats::default(),
+            hotspots: vec![],
             horizon: SimDuration::from_secs(10),
         }
     }
@@ -208,7 +248,43 @@ mod tests {
         r.completion_times.clear();
         r.latency_hist = Histogram::new();
         let row = FigureRow::new("e", "", 0.0, &r);
-        assert!(to_csv_row(&row).ends_with(",,,"));
+        // avg/p50/p99 + hotspot pair + six profile phases all empty.
+        assert!(to_csv_row(&row).ends_with(&",".repeat(11)));
+    }
+
+    #[test]
+    fn header_and_row_have_matching_cell_counts() {
+        let row = FigureRow::new("e", "", 0.0, &report());
+        assert_eq!(
+            CSV_HEADER.split(',').count(),
+            to_csv_row(&row).split(',').count()
+        );
+    }
+
+    #[test]
+    fn hotspot_and_profile_columns_populate() {
+        let mut r = report();
+        r.hotspots = vec![spider_sim::ChannelHotspot {
+            channel: 3,
+            util_frac: 0.9,
+            zero_liquidity_s: 1.0,
+            imbalance_frac: 0.5,
+            queue_residency_s: 0.0,
+            drops: 4,
+            bottlenecks: 2,
+            score: 1.75,
+        }];
+        r.profile.enabled = true;
+        r.profile.routing.count = 10;
+        r.profile.routing.total_ns = 2_500_000;
+        let row = FigureRow::new("e", "", 0.0, &r);
+        assert_eq!(row.hotspot_channel, Some(3));
+        assert_eq!(row.hotspot_score, Some(1.75));
+        assert_eq!(row.profile_routing_s, Some(0.0025));
+        assert_eq!(row.profile_settlement_s, Some(0.0));
+        let line = to_csv_row(&row);
+        assert!(line.contains(",3,1.7500,"), "{line}");
+        assert!(line.contains(",0.002500,"), "{line}");
     }
 
     #[test]

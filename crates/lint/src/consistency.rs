@@ -13,7 +13,15 @@
 //! * every `EventKind` variant in the engine must actually be referenced
 //!   (a declared-but-never-scheduled kind is dead protocol surface);
 //! * `FigureRow`'s field list must match `CSV_HEADER` in
-//!   `crates/core/src/output.rs` column for column.
+//!   `crates/core/src/output.rs` column for column;
+//! * the hotspot table (`crates/obs/src/attribution.rs`): the
+//!   `ChannelHotspot` fields, the `HOTSPOT_HEADER` columns, and the
+//!   field names its hand-written JSONL renderers emit must all agree;
+//! * the forensics artifacts (`crates/obs/src/forensics.rs`):
+//!   `DropRecord` ≡ `FORENSICS_HEADER`, `RootCauseRow` ≡
+//!   `ROOTCAUSE_HEADER`, the rendered JSONL field names equal the union
+//!   of both headers, and every `DropReason` variant is keyed by the
+//!   root-cause table (`reason_ord`/`REASONS`).
 //!
 //! All checks parse tokens/strings only, so they keep working across
 //! rustfmt and refactors that preserve the names.
@@ -126,6 +134,36 @@ pub fn ci_event_names(yml: &str) -> Option<BTreeSet<String>> {
     Some(names)
 }
 
+/// Collects every `\"name\":` field name written by a hand-rolled JSONL
+/// renderer (the names live inside Rust string literals as escaped
+/// `\"name\":` sequences, like the trace event tags).
+pub fn jsonl_field_names(lx: &Lexed) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for tok in &lx.toks {
+        if tok.kind != TokKind::Str {
+            continue;
+        }
+        let s = &tok.text;
+        let mut from = 0usize;
+        while let Some(pos) = s[from..].find("\\\"") {
+            let start = from + pos + 2;
+            let Some(endq) = s[start..].find("\\\"") else {
+                break;
+            };
+            let name = &s[start..start + endq];
+            let after = start + endq + 2;
+            if s[after..].starts_with(':')
+                && !name.is_empty()
+                && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+            {
+                names.insert(name.to_string());
+            }
+            from = start;
+        }
+    }
+    names
+}
+
 /// Paths (workspace-relative) the consistency checks read.
 pub const INPUTS: &[&str] = &[
     "crates/types/src/unit.rs",
@@ -134,6 +172,8 @@ pub const INPUTS: &[&str] = &[
     "crates/sim/src/engine.rs",
     "crates/core/src/output.rs",
     ".github/workflows/ci.yml",
+    "crates/obs/src/attribution.rs",
+    "crates/obs/src/forensics.rs",
 ];
 
 /// Runs every cross-file check from the workspace root.
@@ -154,7 +194,9 @@ pub fn check(root: &Path) -> Vec<Finding> {
             }
         }
     }
-    let [unit_src, metrics_src, trace_src, engine_src, output_src, ci_src] = &sources[..] else {
+    let [unit_src, metrics_src, trace_src, engine_src, output_src, ci_src, attribution_src, forensics_src] =
+        &sources[..]
+    else {
         unreachable!("sources has INPUTS.len() elements");
     };
     check_sources(
@@ -164,6 +206,8 @@ pub fn check(root: &Path) -> Vec<Finding> {
         engine_src,
         output_src,
         ci_src,
+        attribution_src,
+        forensics_src,
         &mut out,
     );
     out
@@ -178,6 +222,8 @@ pub fn check_sources(
     engine_src: &str,
     output_src: &str,
     ci_src: &str,
+    attribution_src: &str,
+    forensics_src: &str,
     out: &mut Vec<Finding>,
 ) {
     let unit = lex(unit_src);
@@ -185,6 +231,8 @@ pub fn check_sources(
     let trace = lex(trace_src);
     let engine = lex(engine_src);
     let output = lex(output_src);
+    let attribution = lex(attribution_src);
+    let forensics = lex(forensics_src);
 
     // DropReason exhaustiveness across the breakdown and the renderers.
     match enum_variants(&unit, "DropReason") {
@@ -205,6 +253,11 @@ pub fn check_sources(
                     "crates/obs/src/trace.rs",
                     &trace,
                     "reason_str (feeds both trace renderers)",
+                ),
+                (
+                    "crates/obs/src/forensics.rs",
+                    &forensics,
+                    "reason_ord/REASONS (the root-cause table key)",
                 ),
             ] {
                 for v in &variants {
@@ -282,34 +335,109 @@ pub fn check_sources(
         }
     }
 
-    // FigureRow fields ≡ CSV header columns, in order.
-    let fields = struct_pub_fields(&output, "FigureRow");
-    let header = csv_header(&output);
-    match (fields, header) {
-        (Some(fields), Some(header)) => {
-            let cols: Vec<String> = header.split(',').map(str::to_string).collect();
-            if fields != cols {
-                out.push(Finding::new(
-                    "crates/core/src/output.rs",
-                    0,
-                    "consistency",
-                    format!("FigureRow fields {fields:?} do not match CSV_HEADER columns {cols:?}"),
-                ));
+    // Struct fields ≡ named header-constant columns, in order, for every
+    // (file, struct, header const) artifact schema pair.
+    for (file, lexed, struct_name, header_name) in [
+        (
+            "crates/core/src/output.rs",
+            &output,
+            "FigureRow",
+            "CSV_HEADER",
+        ),
+        (
+            "crates/obs/src/attribution.rs",
+            &attribution,
+            "ChannelHotspot",
+            "HOTSPOT_HEADER",
+        ),
+        (
+            "crates/obs/src/forensics.rs",
+            &forensics,
+            "DropRecord",
+            "FORENSICS_HEADER",
+        ),
+        (
+            "crates/obs/src/forensics.rs",
+            &forensics,
+            "RootCauseRow",
+            "ROOTCAUSE_HEADER",
+        ),
+    ] {
+        let fields = struct_pub_fields(lexed, struct_name);
+        let header = const_str(lexed, header_name);
+        match (fields, header) {
+            (Some(fields), Some(header)) => {
+                let cols: Vec<String> = header.split(',').map(str::to_string).collect();
+                if fields != cols {
+                    out.push(Finding::new(
+                        file,
+                        0,
+                        "consistency",
+                        format!(
+                            "{struct_name} fields {fields:?} do not match {header_name} columns {cols:?}"
+                        ),
+                    ));
+                }
+            }
+            _ => out.push(Finding::new(
+                file,
+                0,
+                "consistency",
+                format!("{struct_name} struct or {header_name} not found"),
+            )),
+        }
+    }
+
+    // The hand-written JSONL renderers must emit exactly the header
+    // columns as field names: attribution's renderers cover
+    // HOTSPOT_HEADER, forensics' two renderers cover the union of
+    // FORENSICS_HEADER and ROOTCAUSE_HEADER.
+    for (file, lexed, header_names) in [
+        (
+            "crates/obs/src/attribution.rs",
+            &attribution,
+            &["HOTSPOT_HEADER"][..],
+        ),
+        (
+            "crates/obs/src/forensics.rs",
+            &forensics,
+            &["FORENSICS_HEADER", "ROOTCAUSE_HEADER"][..],
+        ),
+    ] {
+        let mut want = BTreeSet::new();
+        for h in header_names {
+            if let Some(header) = const_str(lexed, h) {
+                want.extend(header.split(',').map(str::to_string));
             }
         }
-        _ => out.push(Finding::new(
-            "crates/core/src/output.rs",
-            0,
-            "consistency",
-            "FigureRow struct or CSV_HEADER not found".to_string(),
-        )),
+        if want.is_empty() {
+            // Already reported above as a missing header constant.
+            continue;
+        }
+        let written = jsonl_field_names(lexed);
+        for missing in want.difference(&written) {
+            out.push(Finding::new(
+                file,
+                0,
+                "consistency",
+                format!("header column \"{missing}\" is never written by the JSONL renderer"),
+            ));
+        }
+        for extra in written.difference(&want) {
+            out.push(Finding::new(
+                file,
+                0,
+                "consistency",
+                format!("JSONL renderer writes field \"{extra}\" that no header declares"),
+            ));
+        }
     }
 }
 
-/// The string literal assigned to `CSV_HEADER`.
-fn csv_header(lx: &Lexed) -> Option<String> {
+/// The string literal assigned to `const <name>`.
+fn const_str(lx: &Lexed, name: &str) -> Option<String> {
     let t = &lx.toks;
-    let i = (0..t.len()).find(|&i| lx.is_ident(i, "CSV_HEADER"))?;
+    let i = (0..t.len()).find(|&i| lx.is_ident(i, name))?;
     t[i..]
         .iter()
         .find(|tok| tok.kind == TokKind::Str)
@@ -367,7 +495,21 @@ mod tests {
     }
 
     #[test]
-    fn check_sources_cross_validates() {
+    fn jsonl_names_from_escaped_literals() {
+        let lx = lex(
+            r#"fn f() { write!(out, "{{\"t_us\":{},\"channel\":", 1); w(",\"count\":{}}}"); g("\"{col}\":"); }"#,
+        );
+        let names = jsonl_field_names(&lx);
+        assert_eq!(
+            names.into_iter().collect::<Vec<_>>(),
+            vec!["channel", "count", "t_us"],
+            "interpolated-name probes like \\\"{{col}}\\\": must not count"
+        );
+    }
+
+    /// A consistent set of fixture sources; each drift case below breaks
+    /// exactly one of them.
+    fn fixtures() -> [&'static str; 8] {
         let unit = "pub enum DropReason { Expired, Lost }";
         let metrics =
             "fn c(r: DropReason) { match r { DropReason::Expired => {}, DropReason::Lost => {} } }";
@@ -377,30 +519,99 @@ mod tests {
         let output =
             "pub struct FigureRow { pub a: u32, pub b: u32 } pub const CSV_HEADER: &str = \"a,b\";";
         let ci = "events = {\"drop\", \"path\"}";
+        let attribution = r#"pub const HOTSPOT_HEADER: &str = "channel,score";
+            pub struct ChannelHotspot { pub channel: u32, pub score: f64 }
+            fn j() { w("{\"channel\":{},\"score\":{:.6}}"); }"#;
+        let forensics = r#"pub const FORENSICS_HEADER: &str = "t_us,reason";
+            pub const ROOTCAUSE_HEADER: &str = "reason,count";
+            pub struct DropRecord { pub t_us: u64, pub reason: DropReason }
+            pub struct RootCauseRow { pub reason: &'static str, pub count: u64 }
+            fn o(r: DropReason) -> u8 { match r { DropReason::Expired => 0, DropReason::Lost => 1 } }
+            fn j() { w("{\"t_us\":{},\"reason\":\"{}\"}"); w("{\"reason\":\"{}\",\"count\":{}}"); }"#;
+        [
+            unit,
+            metrics,
+            trace,
+            engine,
+            output,
+            ci,
+            attribution,
+            forensics,
+        ]
+    }
+
+    fn run_check(srcs: &[&str; 8]) -> Vec<Finding> {
         let mut out = Vec::new();
-        check_sources(unit, metrics, trace, engine, output, ci, &mut out);
-        assert!(out.is_empty(), "{out:?}");
+        check_sources(
+            srcs[0], srcs[1], srcs[2], srcs[3], srcs[4], srcs[5], srcs[6], srcs[7], &mut out,
+        );
+        out
+    }
+
+    #[test]
+    fn check_sources_cross_validates() {
+        let good = fixtures();
+        assert!(run_check(&good).is_empty(), "{:?}", run_check(&good));
 
         // Remove a match arm → exactly that variant is reported.
-        let bad_metrics = "fn c(r: DropReason) { match r { DropReason::Expired => {}, _ => {} } }";
-        let mut out = Vec::new();
-        check_sources(unit, bad_metrics, trace, engine, output, ci, &mut out);
+        let mut bad = good;
+        bad[1] = "fn c(r: DropReason) { match r { DropReason::Expired => {}, _ => {} } }";
+        let out = run_check(&bad);
         assert_eq!(out.len(), 1, "{out:?}");
         assert!(out[0].message.contains("DropReason::Lost"), "{out:?}");
 
-        // Drift the CI allowlist → both directions are reported.
-        let bad_ci = "events = {\"drop\", \"path\", \"ghost\"}";
-        let mut out = Vec::new();
-        check_sources(unit, metrics, trace, engine, output, bad_ci, &mut out);
+        // Drift the CI allowlist → the phantom event is reported.
+        let mut bad = good;
+        bad[5] = "events = {\"drop\", \"path\", \"ghost\"}";
+        let out = run_check(&bad);
         assert_eq!(out.len(), 1);
         assert!(out[0].message.contains("ghost"));
 
         // CSV header drift.
-        let bad_output =
+        let mut bad = good;
+        bad[4] =
             "pub struct FigureRow { pub a: u32, pub b: u32 } pub const CSV_HEADER: &str = \"a\";";
-        let mut out = Vec::new();
-        check_sources(unit, metrics, trace, engine, bad_output, ci, &mut out);
+        let out = run_check(&bad);
         assert_eq!(out.len(), 1);
         assert!(out[0].message.contains("CSV_HEADER"), "{out:?}");
+    }
+
+    #[test]
+    fn check_sources_catches_obs_artifact_drift() {
+        let good = fixtures();
+
+        // Hotspot header gains a column the struct and renderer lack.
+        let mut bad = good;
+        bad[6] = r#"pub const HOTSPOT_HEADER: &str = "channel,score,ghost";
+            pub struct ChannelHotspot { pub channel: u32, pub score: f64 }
+            fn j() { w("{\"channel\":{},\"score\":{:.6}}"); }"#;
+        let out = run_check(&bad);
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out[0].message.contains("HOTSPOT_HEADER"), "{out:?}");
+        assert!(out[1].message.contains("never written"), "{out:?}");
+
+        // Forensics renderer writes a field no header declares.
+        let mut bad = good;
+        bad[7] = r#"pub const FORENSICS_HEADER: &str = "t_us,reason";
+            pub const ROOTCAUSE_HEADER: &str = "reason,count";
+            pub struct DropRecord { pub t_us: u64, pub reason: DropReason }
+            pub struct RootCauseRow { pub reason: &'static str, pub count: u64 }
+            fn o(r: DropReason) -> u8 { match r { DropReason::Expired => 0, DropReason::Lost => 1 } }
+            fn j() { w("{\"t_us\":{},\"reason\":\"{}\",\"stray\":1}"); w("{\"reason\":\"{}\",\"count\":{}}"); }"#;
+        let out = run_check(&bad);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("stray"), "{out:?}");
+
+        // The root-cause key stops covering a DropReason variant.
+        let mut bad = good;
+        bad[7] = r#"pub const FORENSICS_HEADER: &str = "t_us,reason";
+            pub const ROOTCAUSE_HEADER: &str = "reason,count";
+            pub struct DropRecord { pub t_us: u64, pub reason: DropReason }
+            pub struct RootCauseRow { pub reason: &'static str, pub count: u64 }
+            fn o(r: DropReason) -> u8 { match r { DropReason::Expired => 0, _ => 1 } }
+            fn j() { w("{\"t_us\":{},\"reason\":\"{}\"}"); w("{\"reason\":\"{}\",\"count\":{}}"); }"#;
+        let out = run_check(&bad);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("DropReason::Lost"), "{out:?}");
     }
 }

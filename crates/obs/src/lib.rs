@@ -18,6 +18,14 @@
 //! * [`profile`] — monotonic-clock [`Profiler`] timing the engine's
 //!   phases (calendar pop, routing, forwarding, settlement, churn
 //!   repair, sampling) into [`ProfileStats`].
+//! * [`attribution`] — per-channel hotspot accumulators (utilization /
+//!   starvation / imbalance integrals, queue residency, drop and
+//!   bottleneck counts) reduced into a deterministic top-K
+//!   [`ChannelHotspot`] table.
+//! * [`forensics`] — a bounded [`FlightRecorder`] ring of structured
+//!   per-drop records plus an exact reason×channel root-cause table.
+//! * [`report`] — the artifact-diff core behind the `spider-report`
+//!   bin: [`RunRecord`]s in, a threshold-gated [`RunDiff`] out.
 //!
 //! The crate depends only on `spider-types`; the engine owns the
 //! integration points. Everything here is deterministic except the
@@ -27,12 +35,20 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod attribution;
+pub mod forensics;
 pub mod hist;
 pub mod profile;
+pub mod report;
 pub mod sampler;
 pub mod trace;
 
+pub use attribution::{
+    ChannelAttribution, ChannelHotspot, ChannelSample, HOTSPOT_HEADER, HOTSPOT_K,
+};
+pub use forensics::{DropRecord, FlightRecorder, RootCauseRow, FORENSICS_HEADER, ROOTCAUSE_HEADER};
 pub use hist::Histogram;
 pub use profile::{Phase, PhaseStats, ProfileStats, Profiler};
+pub use report::{DiffThresholds, HotspotDelta, MetricDelta, RunDiff, RunRecord};
 pub use sampler::{SampleSeries, SampleSet, Sampler, SamplerConfig, NUM_SERIES, SERIES_NAMES};
 pub use trace::{Trace, TraceEvent, TraceEventKind, TraceSink};

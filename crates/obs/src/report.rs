@@ -1,0 +1,337 @@
+//! Run reports and diffs.
+//!
+//! Bench artifacts (`BENCH_engine.json` and friends) accumulate across
+//! PRs, but nothing compared two of them: a regression in the drop mix
+//! or a hotspot-set shift was invisible unless someone eyeballed the
+//! JSON. This module is the pure comparison core behind the
+//! `spider-report` bin: callers parse their artifacts into
+//! [`RunRecord`]s (one per run/config, metrics split into *gated*
+//! deterministic outcomes and *informational* wall-clock-ish numbers),
+//! and [`diff_runs`] produces a [`RunDiff`] — threshold-gated metric
+//! deltas, hotspot-set changes, and runs present on only one side — that
+//! renders deterministically and maps onto process exit codes.
+//!
+//! The crate has no JSON parser; keeping the diff logic here (typed,
+//! unit-tested) and the serde_json plumbing in the bin keeps the
+//! dependency graph flat.
+
+use std::fmt::Write as _;
+
+/// One run/config from an artifact, reduced to comparable numbers.
+#[derive(Debug, Clone, Default)]
+pub struct RunRecord {
+    /// Run key (e.g. the bench row's `config` name); diffs match on it.
+    pub name: String,
+    /// Deterministic outcome metrics: any above-threshold change gates.
+    pub gated: Vec<(String, f64)>,
+    /// Informational metrics (wall-clock rates etc.): reported, never
+    /// gating.
+    pub info: Vec<(String, f64)>,
+    /// Hotspot channel ids (set semantics; order ignored).
+    pub hotspots: Vec<u32>,
+}
+
+/// Tolerances for gated metric comparison. A delta gates only when it
+/// exceeds **both** the absolute and the relative tolerance; the
+/// defaults (both zero) gate on any change at all — the right bar for
+/// deterministic fields.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DiffThresholds {
+    /// Absolute tolerance: deltas `<= abs_tol` never gate.
+    pub abs_tol: f64,
+    /// Relative tolerance against `|before|`: deltas within this
+    /// fraction never gate.
+    pub rel_tol: f64,
+}
+
+impl DiffThresholds {
+    /// Whether a `before → after` change on a gated metric exceeds the
+    /// thresholds. Missing sides (NaN) always gate.
+    fn exceeded(&self, before: f64, after: f64) -> bool {
+        if before.is_nan() || after.is_nan() {
+            return true;
+        }
+        let delta = (after - before).abs();
+        if delta <= self.abs_tol {
+            return false;
+        }
+        delta > self.rel_tol * before.abs()
+    }
+}
+
+/// One metric's change on one run. `before`/`after` are NaN when the
+/// metric exists on only one side.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDelta {
+    /// Run key.
+    pub run: String,
+    /// Metric name.
+    pub metric: String,
+    /// Value in the first (baseline) artifact.
+    pub before: f64,
+    /// Value in the second (candidate) artifact.
+    pub after: f64,
+}
+
+/// Hotspot-set change on one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HotspotDelta {
+    /// Run key.
+    pub run: String,
+    /// Channels hot in the candidate but not the baseline (sorted).
+    pub added: Vec<u32>,
+    /// Channels hot in the baseline but not the candidate (sorted).
+    pub removed: Vec<u32>,
+}
+
+/// The structured diff of two artifacts.
+#[derive(Debug, Clone, Default)]
+pub struct RunDiff {
+    /// Runs present only in the baseline.
+    pub missing_runs: Vec<String>,
+    /// Runs present only in the candidate.
+    pub new_runs: Vec<String>,
+    /// Gated metric changes beyond the thresholds.
+    pub regressions: Vec<MetricDelta>,
+    /// Informational metric changes (any nonzero delta); never gate.
+    pub info_changes: Vec<MetricDelta>,
+    /// Hotspot-set changes.
+    pub hotspot_changes: Vec<HotspotDelta>,
+}
+
+impl RunDiff {
+    /// True when nothing gates: same run set, no above-threshold gated
+    /// deltas, identical hotspot sets. Informational drift is allowed.
+    pub fn is_clean(&self) -> bool {
+        self.missing_runs.is_empty()
+            && self.new_runs.is_empty()
+            && self.regressions.is_empty()
+            && self.hotspot_changes.is_empty()
+    }
+
+    /// Human-readable rendering, one finding per line, deterministic
+    /// order (baseline run order, then metric order within a run).
+    /// Empty string when there is nothing to report at all.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for r in &self.missing_runs {
+            writeln!(out, "GATE run only in baseline: {r}").expect("string write");
+        }
+        for r in &self.new_runs {
+            writeln!(out, "GATE run only in candidate: {r}").expect("string write");
+        }
+        for d in &self.regressions {
+            writeln!(
+                out,
+                "GATE {}: {} {}",
+                d.run,
+                d.metric,
+                fmt_delta(d.before, d.after)
+            )
+            .expect("string write");
+        }
+        for h in &self.hotspot_changes {
+            write!(out, "GATE {}: hotspots", h.run).expect("string write");
+            if !h.added.is_empty() {
+                write!(out, " +{:?}", h.added).expect("string write");
+            }
+            if !h.removed.is_empty() {
+                write!(out, " -{:?}", h.removed).expect("string write");
+            }
+            out.push('\n');
+        }
+        for d in &self.info_changes {
+            writeln!(
+                out,
+                "info {}: {} {}",
+                d.run,
+                d.metric,
+                fmt_delta(d.before, d.after)
+            )
+            .expect("string write");
+        }
+        out
+    }
+}
+
+fn fmt_delta(before: f64, after: f64) -> String {
+    if before.is_nan() {
+        return format!("(absent) -> {after}");
+    }
+    if after.is_nan() {
+        return format!("{before} -> (absent)");
+    }
+    if before == 0.0 {
+        return format!("{before} -> {after}");
+    }
+    format!(
+        "{before} -> {after} ({:+.2}%)",
+        100.0 * (after - before) / before.abs()
+    )
+}
+
+/// Looks up `name` in a metric list.
+fn metric(list: &[(String, f64)], name: &str) -> Option<f64> {
+    list.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+}
+
+/// Diffs two artifacts. Runs are matched by [`RunRecord::name`];
+/// output order follows the baseline's run order (then the candidate's
+/// for new runs), so rendering is deterministic.
+pub fn diff_runs(baseline: &[RunRecord], candidate: &[RunRecord], th: DiffThresholds) -> RunDiff {
+    let mut diff = RunDiff::default();
+    for b in baseline {
+        let Some(c) = candidate.iter().find(|c| c.name == b.name) else {
+            diff.missing_runs.push(b.name.clone());
+            continue;
+        };
+        // Gated metrics: union of both sides, baseline order first.
+        let mut names: Vec<&String> = b.gated.iter().map(|(n, _)| n).collect();
+        for (n, _) in &c.gated {
+            if !names.contains(&n) {
+                names.push(n);
+            }
+        }
+        for name in names {
+            let before = metric(&b.gated, name).unwrap_or(f64::NAN);
+            let after = metric(&c.gated, name).unwrap_or(f64::NAN);
+            if th.exceeded(before, after) {
+                diff.regressions.push(MetricDelta {
+                    run: b.name.clone(),
+                    metric: name.clone(),
+                    before,
+                    after,
+                });
+            }
+        }
+        // Informational metrics: report any drift, never gate.
+        for (name, before) in &b.info {
+            let after = metric(&c.info, name).unwrap_or(f64::NAN);
+            if after.is_nan() || after != *before {
+                diff.info_changes.push(MetricDelta {
+                    run: b.name.clone(),
+                    metric: name.clone(),
+                    before: *before,
+                    after,
+                });
+            }
+        }
+        // Hotspot sets.
+        let mut bh = b.hotspots.clone();
+        let mut ch = c.hotspots.clone();
+        bh.sort_unstable();
+        bh.dedup();
+        ch.sort_unstable();
+        ch.dedup();
+        let added: Vec<u32> = ch.iter().copied().filter(|x| !bh.contains(x)).collect();
+        let removed: Vec<u32> = bh.iter().copied().filter(|x| !ch.contains(x)).collect();
+        if !added.is_empty() || !removed.is_empty() {
+            diff.hotspot_changes.push(HotspotDelta {
+                run: b.name.clone(),
+                added,
+                removed,
+            });
+        }
+    }
+    for c in candidate {
+        if !baseline.iter().any(|b| b.name == c.name) {
+            diff.new_runs.push(c.name.clone());
+        }
+    }
+    diff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(name: &str, gated: &[(&str, f64)], hotspots: &[u32]) -> RunRecord {
+        RunRecord {
+            name: name.into(),
+            gated: gated.iter().map(|&(n, v)| (n.into(), v)).collect(),
+            info: vec![("events_per_sec".into(), 1e6)],
+            hotspots: hotspots.to_vec(),
+        }
+    }
+
+    #[test]
+    fn identical_runs_diff_clean_and_render_empty() {
+        let a = vec![run("isp", &[("completed", 100.0)], &[1, 2])];
+        let d = diff_runs(&a, &a, DiffThresholds::default());
+        assert!(d.is_clean());
+        assert_eq!(d.render(), "");
+    }
+
+    #[test]
+    fn gated_change_fails_with_zero_tolerance() {
+        let a = vec![run("isp", &[("completed", 100.0)], &[])];
+        let b = vec![run("isp", &[("completed", 99.0)], &[])];
+        let d = diff_runs(&a, &b, DiffThresholds::default());
+        assert!(!d.is_clean());
+        assert_eq!(d.regressions.len(), 1);
+        assert_eq!(d.regressions[0].metric, "completed");
+        let text = d.render();
+        assert!(
+            text.contains("GATE isp: completed 100 -> 99 (-1.00%)"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn thresholds_absorb_small_deltas() {
+        let a = vec![run("isp", &[("completed", 1000.0)], &[])];
+        let b = vec![run("isp", &[("completed", 1004.0)], &[])];
+        let th = DiffThresholds {
+            abs_tol: 0.0,
+            rel_tol: 0.01,
+        };
+        assert!(diff_runs(&a, &b, th).is_clean());
+        let tight = DiffThresholds {
+            abs_tol: 0.0,
+            rel_tol: 0.001,
+        };
+        assert!(!diff_runs(&a, &b, tight).is_clean());
+    }
+
+    #[test]
+    fn info_drift_reports_but_never_gates() {
+        let a = vec![run("isp", &[("completed", 1.0)], &[])];
+        let mut b = a.clone();
+        b[0].info[0].1 = 2e6;
+        let d = diff_runs(&a, &b, DiffThresholds::default());
+        assert!(d.is_clean());
+        assert_eq!(d.info_changes.len(), 1);
+        assert!(
+            d.render().starts_with("info isp: events_per_sec"),
+            "{}",
+            d.render()
+        );
+    }
+
+    #[test]
+    fn hotspot_set_changes_gate_regardless_of_order() {
+        let a = vec![run("isp", &[], &[3, 1])];
+        let same = vec![run("isp", &[], &[1, 3])];
+        assert!(diff_runs(&a, &same, DiffThresholds::default()).is_clean());
+        let b = vec![run("isp", &[], &[1, 7])];
+        let d = diff_runs(&a, &b, DiffThresholds::default());
+        assert!(!d.is_clean());
+        assert_eq!(d.hotspot_changes[0].added, vec![7]);
+        assert_eq!(d.hotspot_changes[0].removed, vec![3]);
+    }
+
+    #[test]
+    fn run_set_mismatch_and_missing_metrics_gate() {
+        let a = vec![
+            run("isp", &[("completed", 1.0)], &[]),
+            run("ripple", &[], &[]),
+        ];
+        let b = vec![run("isp", &[], &[]), run("ln", &[], &[])];
+        let d = diff_runs(&a, &b, DiffThresholds::default());
+        assert_eq!(d.missing_runs, vec!["ripple".to_string()]);
+        assert_eq!(d.new_runs, vec!["ln".to_string()]);
+        // "completed" exists only in the baseline's isp run: gates.
+        assert_eq!(d.regressions.len(), 1);
+        assert!(d.render().contains("(absent)"), "{}", d.render());
+    }
+}

@@ -237,7 +237,10 @@ pub struct Trace {
     pub paths: Vec<(u64, Vec<u32>)>,
 }
 
-fn reason_str(r: DropReason) -> &'static str {
+/// Canonical wire spelling of a [`DropReason`], shared by the trace
+/// renderers and the forensics flight recorder so every artifact names
+/// reasons identically.
+pub fn reason_str(r: DropReason) -> &'static str {
     match r {
         DropReason::QueueTimeout => "queue_timeout",
         DropReason::QueueOverflow => "queue_overflow",

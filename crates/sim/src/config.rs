@@ -156,6 +156,17 @@ pub struct ObsConfig {
     pub profile: bool,
     /// Time-series sampling cadence and per-channel depth opt-in.
     pub sampler: SamplerConfig,
+    /// Accumulate per-channel hotspot attribution
+    /// ([`spider_obs::ChannelAttribution`]) — utilization/starvation/
+    /// imbalance integrals advanced on the sampler cadence, plus queue
+    /// residency, drop, and bottleneck counts — reduced into the
+    /// `SimReport::hotspots` top-K table.
+    pub attribution: bool,
+    /// Keep the last N drops in a forensics flight recorder
+    /// ([`spider_obs::FlightRecorder`]); collect it after the run with
+    /// `Simulation::take_forensics`. `0` (the default) disables the
+    /// recorder entirely.
+    pub forensics_capacity: usize,
 }
 
 /// Engine parameters.

@@ -46,7 +46,10 @@ use crate::router::{NetworkView, RouteRequest, Router, TopologyUpdate, UnitAck, 
 use crate::workload::{ArrivalSource, TxnSpec};
 use spider_faults::{FaultChange, FaultPlan};
 use spider_obs::trace::TraceEventKind;
-use spider_obs::{Phase, Profiler, Sampler, Trace, TraceSink, NUM_SERIES};
+use spider_obs::{
+    ChannelAttribution, ChannelSample, DropRecord, FlightRecorder, Phase, Profiler, Sampler, Trace,
+    TraceSink, HOTSPOT_K, NUM_SERIES,
+};
 use spider_topology::Topology;
 use spider_types::{
     Amount, ChannelId, DetRng, Direction, DropReason, MarkStamp, NodeId, PathId, PaymentId,
@@ -265,6 +268,13 @@ pub struct Simulation {
     unit_trace_ids: Vec<u64>,
     /// Engine phase timers (zero-cost when disabled).
     profiler: Profiler,
+    /// Per-channel hotspot accumulators; `None` unless
+    /// [`ObsConfig::attribution`](crate::config::ObsConfig) — like the
+    /// trace, every feed site is one `if let` branch when disabled.
+    attribution: Option<ChannelAttribution>,
+    /// Drop-forensics flight recorder; `None` unless
+    /// [`ObsConfig::forensics_capacity`](crate::config::ObsConfig) > 0.
+    forensics: Option<FlightRecorder>,
     /// Queueing parameters when running in `PerChannelFifo` mode.
     qcfg: Option<QueueConfig>,
     /// Per channel, per direction: FIFO of queued unit indices.
@@ -350,6 +360,12 @@ impl Simulation {
         let sampler = Sampler::new(config.obs.sampler.clone());
         let trace = config.obs.trace.then(TraceSink::new);
         let profiler = Profiler::new(config.obs.profile);
+        let attribution = config
+            .obs
+            .attribution
+            .then(|| ChannelAttribution::new(n_channels));
+        let forensics = (config.obs.forensics_capacity > 0)
+            .then(|| FlightRecorder::new(config.obs.forensics_capacity));
         // Payments accumulate per arrival; the event slab only ever holds
         // in-flight work (arrivals are streamed), so it sizes itself.
         let n_txns = source.count();
@@ -378,6 +394,8 @@ impl Simulation {
             trace,
             unit_trace_ids: Vec::new(),
             profiler,
+            attribution,
+            forensics,
             qcfg,
             queues,
             units: Vec::new(),
@@ -682,7 +700,83 @@ impl Simulation {
         );
         self.metrics.set_samples(sampler.finish());
         self.metrics.set_profile(self.profiler.finish());
+        if self.attribution.is_some() {
+            // Close the final integral segment, then reduce to top-K.
+            self.attribution_step();
+            let hotspots = self
+                .attribution
+                .as_ref()
+                .expect("attribution checked above")
+                .finish(HOTSPOT_K);
+            self.metrics.set_hotspots(hotspots);
+        }
         std::mem::take(&mut self.metrics).finish(self.router.name(), self.config.horizon)
+    }
+
+    /// Advances the attribution time integrals to `now`, one
+    /// [`ChannelSample`] per channel in dense-id order. No-op unless
+    /// attribution is enabled.
+    fn attribution_step(&mut self) {
+        let Some(attr) = self.attribution.as_mut() else {
+            return;
+        };
+        let now_s = self.now.as_secs_f64();
+        attr.integrate(
+            now_s,
+            self.channels.iter().map(|ch| {
+                let cap = ch.capacity().drops().max(1) as f64;
+                let fwd = ch.available(Direction::Forward);
+                let bwd = ch.available(Direction::Backward);
+                let locked = ch
+                    .capacity()
+                    .drops()
+                    .saturating_sub(fwd.drops())
+                    .saturating_sub(bwd.drops());
+                ChannelSample {
+                    closed: ch.is_closed(),
+                    util_frac: locked as f64 / cap,
+                    at_zero: fwd.is_zero() || bwd.is_zero(),
+                    imbalance_frac: ch.imbalance().drops().unsigned_abs() as f64 / cap,
+                }
+            }),
+        );
+    }
+
+    /// Records a drop into the forensics flight recorder. `channel` is
+    /// the failing hop (with its balances read in canonical channel
+    /// orientation), or `None` for whole-path failures with no single
+    /// failing hop. No-op unless forensics is enabled.
+    #[inline]
+    fn forensic_drop(
+        &mut self,
+        payment: usize,
+        path: PathId,
+        channel: Option<ChannelId>,
+        reason: DropReason,
+    ) {
+        let Some(rec) = self.forensics.as_mut() else {
+            return;
+        };
+        let (bal_fwd, bal_rev) = match channel {
+            Some(c) => {
+                let ch = &self.channels[c.index()];
+                (
+                    ch.balance(Direction::Forward).drops(),
+                    ch.balance(Direction::Backward).drops(),
+                )
+            }
+            None => (0, 0),
+        };
+        rec.record(DropRecord {
+            t_us: self.now.micros(),
+            payment: payment as u64,
+            path: path.0 as u64,
+            channel: channel.map(|c| c.0),
+            bal_fwd_drops: bal_fwd,
+            bal_rev_drops: bal_rev,
+            retries: self.payments[payment].attempts,
+            reason,
+        });
     }
 
     /// Takes the payment-lifecycle trace recorded by the run (when
@@ -713,6 +807,14 @@ impl Simulation {
             })
             .collect();
         Some(sink.finish(paths))
+    }
+
+    /// Takes the drop-forensics flight recorder (when
+    /// [`ObsConfig::forensics_capacity`](crate::config::ObsConfig) was
+    /// nonzero). Call once, after [`Simulation::run`]; subsequent calls
+    /// (and runs without forensics) return `None`.
+    pub fn take_forensics(&mut self) -> Option<FlightRecorder> {
+        self.forensics.take()
     }
 
     /// Prepares the arrival stream (ordering fixed workloads by `(time,
@@ -1063,6 +1165,8 @@ impl Simulation {
             p.expired = true;
             if deadline_expired {
                 self.metrics.unit_dropped(DropReason::Expired);
+                // Whole-path lockstep refund: no single failing hop.
+                self.forensic_drop(pid, path, None, DropReason::Expired);
                 if let Some(t) = self.trace.as_mut() {
                     t.record(
                         self.now.micros(),
@@ -1084,6 +1188,7 @@ impl Simulation {
                 self.payments[pid].inflight -= amount;
                 self.metrics.fault_injected();
                 self.metrics.unit_dropped(reason);
+                self.forensic_drop(pid, path, None, reason);
                 if let Some(t) = self.trace.as_mut() {
                     t.record(
                         self.now.micros(),
@@ -1119,6 +1224,18 @@ impl Simulation {
         }
         for &(c, dir) in entry.hops() {
             self.channels[c.index()].settle(dir, amount);
+        }
+        if let Some(attr) = self.attribution.as_mut() {
+            // The delivered path's binding constraint: minimum post-settle
+            // availability in the traversed direction, lowest id on ties.
+            let bottleneck = entry
+                .hops()
+                .iter()
+                .map(|&(c, dir)| (self.channels[c.index()].available(dir), c.0))
+                .min();
+            if let Some((_, c)) = bottleneck {
+                attr.bottleneck(c as usize);
+            }
         }
         let p = &mut self.payments[pid];
         p.inflight -= amount;
@@ -1380,6 +1497,9 @@ impl Simulation {
             u.waited = true;
             self.metrics
                 .unit_queued(queue_delay.as_secs_f64(), first_wait);
+            if let Some(attr) = self.attribution.as_mut() {
+                attr.queue_wait(c.index(), queue_delay.as_secs_f64());
+            }
         }
         u.next_hop += 1;
         if let Some(t) = self.trace.as_mut() {
@@ -1515,6 +1635,18 @@ impl Simulation {
             released.push_back((c, d.reverse()));
         }
         self.drain_scratch = released;
+        if let Some(attr) = self.attribution.as_mut() {
+            // The delivered path's binding constraint: minimum post-settle
+            // availability in the traversed direction, lowest id on ties.
+            let bottleneck = entry
+                .hops()
+                .iter()
+                .map(|&(c, d)| (self.channels[c.index()].available(d), c.0))
+                .min();
+            if let Some((_, c)) = bottleneck {
+                attr.bottleneck(c as usize);
+            }
+        }
         self.units[uid].done = true;
         let p = &mut self.payments[pid];
         p.inflight -= amount;
@@ -1671,6 +1803,15 @@ impl Simulation {
             self.metrics.unit_lock(entry.hop_count(), false);
         }
         self.metrics.unit_dropped(reason);
+        // The failing hop is the one the unit was queued at or traveling
+        // toward; a unit that had fully locked its path has none.
+        let failing_hop = (next < entry.hop_count()).then(|| entry.hops()[next].0);
+        if let Some(c) = failing_hop {
+            if let Some(attr) = self.attribution.as_mut() {
+                attr.drop_at(c.index());
+            }
+        }
+        self.forensic_drop(pid, self.units[uid].path, failing_hop, reason);
         if let Some(t) = self.trace.as_mut() {
             t.record(
                 self.now.micros(),
@@ -1785,6 +1926,9 @@ impl Simulation {
         if self.now >= self.next_sample {
             let t0 = self.profiler.start();
             self.sample_series();
+            // Attribution integrals advance on the same cadence (with a
+            // final catch-up segment at the end of the run).
+            self.attribution_step();
             self.profiler.stop(Phase::Sampling, t0);
             self.next_sample = self.now + self.sampler.cadence();
         }
@@ -2124,9 +2268,13 @@ impl Simulation {
                 // holds in every engine mode.
                 self.metrics.unit_dropped(DropReason::ChannelClosed);
                 self.metrics.unit_dropped_churn();
+                if let Some(attr) = self.attribution.as_mut() {
+                    attr.drop_at(ci);
+                }
+                self.forensic_drop(payment, path, Some(channel), DropReason::ChannelClosed);
                 if atomic {
                     // All-or-nothing schemes cannot partially retry.
-                    p.expired = true;
+                    self.payments[payment].expired = true;
                 } else if self.payments[payment].active() {
                     self.pending_push(payment);
                 }

@@ -44,7 +44,11 @@ pub use router::{
     NetworkView, RouteProposal, RouteRequest, Router, RouterObs, TopologyUpdate, UnitAck,
     UnitOutcome,
 };
-pub use spider_obs::{Histogram, ProfileStats, SampleSet, Trace};
+pub use spider_obs::{
+    ChannelHotspot, DiffThresholds, DropRecord, FlightRecorder, Histogram, PhaseStats,
+    ProfileStats, RootCauseRow, RunDiff, RunRecord, SampleSet, Trace, FORENSICS_HEADER,
+    HOTSPOT_HEADER, ROOTCAUSE_HEADER,
+};
 pub use workload::{
     ArrivalSource, SizeDistribution, StreamingWorkload, TxnSpec, Workload, WorkloadConfig,
 };

@@ -5,7 +5,7 @@
 //!   deliveries of non-atomic payments count their delivered part).
 
 use serde::{Deserialize, Serialize};
-use spider_obs::{Histogram, ProfileStats, SampleSet};
+use spider_obs::{ChannelHotspot, Histogram, ProfileStats, SampleSet};
 use spider_types::{Amount, DropReason, SimDuration, SimTime};
 
 /// Per-[`DropReason`] counts of units dropped in transit.
@@ -165,6 +165,10 @@ pub struct SimReport {
     pub samples: SampleSet,
     /// Engine phase timing (all zeros unless profiling was enabled).
     pub profile: ProfileStats,
+    /// Top-K channel hotspots by attribution score, sorted by descending
+    /// score with ascending channel id as tie-break; empty unless
+    /// [`ObsConfig::attribution`](crate::config::ObsConfig) was on.
+    pub hotspots: Vec<ChannelHotspot>,
     /// Wall-clock-free simulated horizon actually processed.
     pub horizon: SimDuration,
 }
@@ -328,6 +332,7 @@ pub struct MetricsCollector {
     router_counters: Vec<(String, u64)>,
     samples: SampleSet,
     profile: ProfileStats,
+    hotspots: Vec<ChannelHotspot>,
 }
 
 impl MetricsCollector {
@@ -475,6 +480,11 @@ impl MetricsCollector {
         self.profile = profile;
     }
 
+    /// Installs the attribution layer's top-K hotspot table.
+    pub fn set_hotspots(&mut self, hotspots: Vec<ChannelHotspot>) {
+        self.hotspots = hotspots;
+    }
+
     /// Finalizes into a report.
     pub fn finish(self, scheme: &str, horizon: SimDuration) -> SimReport {
         SimReport {
@@ -514,6 +524,7 @@ impl MetricsCollector {
             router_counters: self.router_counters,
             samples: self.samples,
             profile: self.profile,
+            hotspots: self.hotspots,
             horizon,
         }
     }

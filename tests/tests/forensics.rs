@@ -1,0 +1,224 @@
+//! Drop-forensics flight recorder: golden JSONL for a fault-injected
+//! fixed-seed run, and the partition law tying the recorder's
+//! reason×channel root-cause table to the report's `DropBreakdown`.
+//!
+//! Forensics is an *observation* layer like tracing: for a fixed seed the
+//! recorded drops (and both rendered JSONL artifacts) must be
+//! byte-identical across runs, and recording must never perturb the
+//! simulation. Regenerate the goldens with `UPDATE_GOLDENS=1` after an
+//! *intentional* schema change.
+
+use proptest::prelude::*;
+use spider_core::{ExperimentConfig, SchemeConfig, TopologyConfig};
+use spider_sim::{
+    DropRecord, FlightRecorder, SimConfig, SizeDistribution, WorkloadConfig, FORENSICS_HEADER,
+    ROOTCAUSE_HEADER,
+};
+use spider_types::{DropReason, SimDuration};
+use std::path::PathBuf;
+
+/// The trace-golden tiny run with the same heavy fault plan as
+/// `fault_injected_trace_is_reproducible_and_matches_golden`: losses,
+/// stuck units, and a crash-prone plan drive drops through every fault
+/// reason, which is what a drop recorder exists to capture.
+fn faulted_tiny_experiment(seed: u64) -> ExperimentConfig {
+    ExperimentConfig {
+        topology: TopologyConfig::PaperExample { capacity_xrp: 200 },
+        workload: WorkloadConfig {
+            count: 12,
+            rate_per_sec: 10.0,
+            size: SizeDistribution::Constant { xrp: 40.0 },
+            sender_skew_scale: 4.0,
+        },
+        sim: SimConfig {
+            horizon: SimDuration::from_secs(4),
+            ..SimConfig::default()
+        },
+        scheme: SchemeConfig::ShortestPath,
+        dynamics: None,
+        faults: Some(spider_faults::FaultConfig {
+            message_loss_prob: 0.2,
+            ack_loss_prob: 0.1,
+            stuck_unit_prob: 0.05,
+            jitter_range_ms: None,
+            spike_prob: 0.0,
+            spike_ms: 0.0,
+            hop_timeout_secs: 0.25,
+            crash: Some(spider_faults::CrashConfig {
+                rate_per_sec: 1.5,
+                recovery_mean_secs: Some(1.0),
+            }),
+            horizon_secs: 4.0,
+        }),
+        seed,
+    }
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/goldens")
+        .join(name)
+}
+
+/// Compares `content` against the pinned golden (or rewrites it when
+/// `UPDATE_GOLDENS` is set).
+fn check_golden(name: &str, content: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir goldens");
+        std::fs::write(&path, content).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); record it with UPDATE_GOLDENS=1",
+            path.display()
+        )
+    });
+    if content != want {
+        for (i, (got, exp)) in content.lines().zip(want.lines()).enumerate() {
+            assert_eq!(got, exp, "{name}: first divergence at line {}", i + 1);
+        }
+        assert_eq!(
+            content.lines().count(),
+            want.lines().count(),
+            "{name}: line counts differ"
+        );
+        panic!("{name}: artifacts differ only in trailing whitespace?");
+    }
+}
+
+#[test]
+fn fault_injected_forensics_is_reproducible_and_matches_golden() {
+    let cfg = faulted_tiny_experiment(11);
+    let (r1, f1) = cfg.run_forensics().expect("runs");
+    let (r2, f2) = cfg.run_forensics().expect("runs");
+    assert_eq!(r1.units_dropped, r2.units_dropped);
+    assert_eq!(
+        f1.to_jsonl(),
+        f2.to_jsonl(),
+        "forensics is not bit-reproducible"
+    );
+    assert_eq!(
+        f1.root_cause_to_jsonl(),
+        f2.root_cause_to_jsonl(),
+        "root-cause table is not bit-reproducible"
+    );
+    assert!(
+        r1.units_dropped_fault > 0,
+        "no unit lost to a fault; golden is vacuous"
+    );
+    assert!(f1.evicted() == 0, "tiny run must fit the default ring");
+    assert_eq!(
+        f1.len() as u64,
+        r1.units_dropped,
+        "one record per dropped unit"
+    );
+
+    // Forensics must observe without perturbing: the same config run
+    // without the recorder produces identical outcomes.
+    let bare = cfg.run().expect("bare run");
+    assert_eq!(bare.units_dropped, r1.units_dropped);
+    assert_eq!(bare.completed_payments, r1.completed_payments);
+    assert_eq!(bare.delivered_volume, r1.delivered_volume);
+
+    // Every JSONL line parses and carries exactly the header's fields.
+    for line in f1.to_jsonl().lines() {
+        let v = serde_json::parse(line).expect("record line is valid JSON");
+        for col in FORENSICS_HEADER.split(',') {
+            assert!(
+                line.contains(&format!("\"{col}\":")),
+                "missing {col} in {line}"
+            );
+        }
+        v["t_us"].as_u64().expect("t_us is unsigned");
+    }
+    for line in f1.root_cause_to_jsonl().lines() {
+        let v = serde_json::parse(line).expect("root-cause line is valid JSON");
+        for col in ROOTCAUSE_HEADER.split(',') {
+            assert!(
+                line.contains(&format!("\"{col}\":")),
+                "missing {col} in {line}"
+            );
+        }
+        assert!(v["count"].as_u64().expect("count is unsigned") > 0);
+    }
+
+    check_golden("forensics_faulted_records.jsonl", &f1.to_jsonl());
+    check_golden(
+        "forensics_faulted_rootcause.jsonl",
+        &f1.root_cause_to_jsonl(),
+    );
+}
+
+/// The recorder's per-reason totals partition the report's
+/// `DropBreakdown` exactly on a real fault-injected run: every dropped
+/// unit is forensically recorded with the same reason the metrics saw.
+#[test]
+fn recorder_totals_partition_the_report_breakdown() {
+    let cfg = faulted_tiny_experiment(11);
+    let (r, f) = cfg.run_forensics().expect("runs");
+    let d = &r.drops_by_reason;
+    assert_eq!(f.reason_total(DropReason::QueueTimeout), d.queue_timeout);
+    assert_eq!(f.reason_total(DropReason::QueueOverflow), d.queue_overflow);
+    assert_eq!(f.reason_total(DropReason::Expired), d.expired);
+    assert_eq!(f.reason_total(DropReason::ChannelClosed), d.channel_closed);
+    assert_eq!(f.reason_total(DropReason::MessageLost), d.message_lost);
+    assert_eq!(f.reason_total(DropReason::HopTimeout), d.hop_timeout);
+    assert_eq!(f.reason_total(DropReason::NodeCrashed), d.node_crashed);
+    let table_total: u64 = f.root_cause_rows().iter().map(|row| row.count).sum();
+    assert_eq!(table_total, d.total());
+    assert_eq!(table_total, r.units_dropped);
+}
+
+const ALL_REASONS: [DropReason; 7] = [
+    DropReason::QueueTimeout,
+    DropReason::QueueOverflow,
+    DropReason::Expired,
+    DropReason::ChannelClosed,
+    DropReason::MessageLost,
+    DropReason::HopTimeout,
+    DropReason::NodeCrashed,
+];
+
+proptest! {
+    /// For any drop sequence and any ring capacity, the root-cause table
+    /// partitions the drops exactly — per-reason totals match an exact
+    /// tally, rows sum to the total, and eviction never loses counts.
+    #[test]
+    fn root_cause_table_partitions_any_drop_sequence(
+        capacity in 1usize..8,
+        drops in proptest::collection::vec(
+            // Channel 5 encodes "no failing hop" (`channel: None`).
+            (0usize..7, 0u32..6, 0u64..1_000), 0..64,
+        ),
+    ) {
+        let mut f = FlightRecorder::new(capacity);
+        let mut tally = [0u64; 7];
+        for (i, &(ri, ch, t_us)) in drops.iter().enumerate() {
+            let channel = (ch < 5).then_some(ch);
+            tally[ri] += 1;
+            f.record(DropRecord {
+                t_us,
+                payment: i as u64,
+                path: 0,
+                channel,
+                bal_fwd_drops: 10,
+                bal_rev_drops: 20,
+                retries: 0,
+                reason: ALL_REASONS[ri],
+            });
+        }
+        for (ri, &reason) in ALL_REASONS.iter().enumerate() {
+            prop_assert_eq!(f.reason_total(reason), tally[ri]);
+        }
+        let rows = f.root_cause_rows();
+        let table_total: u64 = rows.iter().map(|row| row.count).sum();
+        prop_assert_eq!(table_total, drops.len() as u64);
+        prop_assert_eq!(f.len() as u64 + f.evicted(), drops.len() as u64);
+        prop_assert!(f.len() <= f.capacity());
+        // Rendered lines track the retained ring and the table rows.
+        prop_assert_eq!(f.to_jsonl().lines().count(), f.len());
+        prop_assert_eq!(f.root_cause_to_jsonl().lines().count(), rows.len());
+    }
+}
