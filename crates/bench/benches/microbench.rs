@@ -246,6 +246,7 @@ fn bench_end_to_end(c: &mut Criterion) {
         scheme: SchemeConfig::SpiderWaterfilling { paths: 4 },
         dynamics: None,
         faults: None,
+        overload: None,
         seed: 1,
     };
     c.bench_function("sim_1k_payments_isp", |b| {

@@ -6,7 +6,7 @@
 //! schedules of channel closes/reopens, capacity resizes, node
 //! leave/join cycles, mid-run channel spawns and flap traces), all on the
 //! identical workload and seed per topology, fanned through
-//! [`run_sweep`].
+//! [`ResilienceSweep`].
 //!
 //! Output: the usual `FigureRow` CSV/JSONL schema (`parameter =
 //! churn_intensity`), plus per-run disruption detail on stderr — units
@@ -28,9 +28,8 @@
 //! cargo run --release -p spider-bench --bin churn_resilience -- --paper-scale --out out
 //! ```
 
-use spider_bench::{emit, isp_experiment, ripple_experiment, HarnessArgs};
-use spider_core::output::FigureRow;
-use spider_core::{run_sweep, ExperimentConfig, SchemeConfig, SweepJob};
+use spider_bench::{emit, HarnessArgs, ResilienceSweep};
+use spider_core::{ExperimentConfig, SchemeConfig};
 use spider_dynamics::DynamicsConfig;
 use spider_sim::SimReport;
 
@@ -100,69 +99,33 @@ fn paper_scale_schemes() -> Vec<SchemeConfig> {
 
 fn main() {
     let args = HarnessArgs::parse();
-    let intensities = [0.0, 0.5, 1.0, 2.0];
     let schemes = if args.paper_scale {
         paper_scale_schemes()
     } else {
         SchemeConfig::extended_lineup()
     };
-    let mut rows: Vec<FigureRow> = Vec::new();
-
-    for (label, mut base) in [
-        ("churn-isp", isp_experiment(4_000, args.full, args.seed)),
-        (
-            "churn-ripple",
-            ripple_experiment(4_000, args.full, args.seed),
-        ),
-    ] {
-        if args.paper_scale && label == "churn-ripple" {
-            // `--full` Ripple runs the paper's 85 s trace; paper scale
-            // extends it to the 200 s horizon of the headline figures.
-            let rate = base.workload.rate_per_sec;
-            base.workload.count = (200.0 * rate) as usize;
-            base.sim.horizon =
-                spider_types::SimDuration::from_secs_f64(base.workload.count as f64 / rate + 1.0);
-        }
-        if args.smoke {
-            // CI scale: a few seconds per topology while still firing
-            // real churn through every scheme.
-            base.workload.count = 800;
-            base.sim.horizon =
-                spider_types::SimDuration::from_secs_f64(800.0 / base.workload.rate_per_sec + 1.0);
-            if let spider_core::TopologyConfig::RippleLike { nodes, .. } = &mut base.topology {
-                *nodes = 120;
-            }
-        }
-        // Phase timings ride along in every row (the profile_*_s JSONL
-        // columns); the wall clocks never touch simulated time.
-        base.sim.obs.profile = true;
-        eprintln!(
-            "running {label} ({} txns, {} schemes x {} intensities)…",
-            base.workload.count,
-            schemes.len(),
-            intensities.len()
-        );
-        let base = &base;
-        let jobs: Vec<SweepJob> = intensities
-            .iter()
-            .flat_map(|&i| {
-                schemes.iter().map(move |&scheme| {
-                    SweepJob::Scheme(ExperimentConfig {
-                        scheme,
-                        ..scaled_experiment(base, i)
-                    })
-                })
-            })
-            .collect();
-        let reports = run_sweep(&jobs).expect("experiments run");
-        for (j, r) in reports.iter().enumerate() {
-            let intensity = intensities[j / schemes.len()];
-            let row = FigureRow::new(label, "churn_intensity", intensity, r);
-            println!("{}", spider_core::output::to_csv_row(&row));
-            report_detail(r, intensity);
-            rows.push(row);
-        }
+    let rows = ResilienceSweep {
+        labels: ["churn-isp", "churn-ripple"],
+        parameter: "churn_intensity",
+        capacity_xrp: 4_000,
+        intensities: &[0.0, 0.5, 1.0, 2.0],
+        schemes: &schemes,
     }
-
+    .run(
+        &args,
+        |label, base| {
+            if args.paper_scale && label == "churn-ripple" {
+                // `--full` Ripple runs the paper's 85 s trace; paper scale
+                // extends it to the 200 s horizon of the headline figures.
+                let rate = base.workload.rate_per_sec;
+                base.workload.count = (200.0 * rate) as usize;
+                base.sim.horizon = spider_types::SimDuration::from_secs_f64(
+                    base.workload.count as f64 / rate + 1.0,
+                );
+            }
+        },
+        scaled_experiment,
+        report_detail,
+    );
     emit("churn_resilience", &rows, &args.out_dir);
 }

@@ -26,6 +26,8 @@
 //! cargo run --release -p spider-bench --bin engine_throughput -- --quick --out .
 //! # payment-lifecycle trace smoke: emit + schema-check both trace formats
 //! cargo run --release -p spider-bench --bin engine_throughput -- --trace-smoke --out .
+//! # invariant-monitor smoke: monitored run ≡ unmonitored run, bit for bit
+//! cargo run --release -p spider-bench --bin engine_throughput -- --monitor-smoke
 //! ```
 
 use spider_core::experiment::demand_graph;
@@ -86,6 +88,7 @@ fn isp_base(count: usize, seed: u64) -> ExperimentConfig {
         scheme: SchemeConfig::ShortestPath,
         dynamics: None,
         faults: None,
+        overload: None,
         seed,
     }
 }
@@ -111,6 +114,7 @@ fn ripple_base(count: usize, seed: u64) -> ExperimentConfig {
         scheme: SchemeConfig::ShortestPath,
         dynamics: None,
         faults: None,
+        overload: None,
         seed,
     }
 }
@@ -351,7 +355,8 @@ fn json_record(r: &BenchRun, compare_baseline: bool, drifted: &mut bool) -> Stri
         ",\"latency_p50_s\":{},\"latency_p99_s\":{},\
          \"drops_queue_timeout\":{},\"drops_queue_overflow\":{},\"drops_expired\":{},\
          \"drops_channel_closed\":{},\"drops_message_lost\":{},\"drops_hop_timeout\":{},\
-         \"drops_node_crashed\":{},\"hotspots\":{}",
+         \"drops_node_crashed\":{},\"drops_shed\":{},\"drops_admission_rejected\":{},\
+         \"hotspots\":{}",
         pct(50.0),
         pct(99.0),
         d.queue_timeout,
@@ -361,6 +366,8 @@ fn json_record(r: &BenchRun, compare_baseline: bool, drifted: &mut bool) -> Stri
         d.message_lost,
         d.hop_timeout,
         d.node_crashed,
+        d.shed,
+        d.admission_rejected,
         spider_obs::attribution::hotspots_to_json_array(&r.report.hotspots),
     )
     .expect("write to string");
@@ -494,10 +501,60 @@ fn run_trace_smoke(seed: u64, out_dir: &PathBuf, full: bool) {
     );
 }
 
+/// `--monitor-smoke`: run the quick ISP §5-protocol case under real
+/// overload (a flash crowd past the admission rate, tight queues so
+/// shedding actually evicts) twice — once with the runtime invariant
+/// monitor auditing at a tight cadence, once with it off — and require
+/// the two reports to serialize bit-for-bit identically: the monitor
+/// observes conservation, queue accounting and drop bookkeeping, it
+/// never steers. Panics (the monitor's own job) or any report delta
+/// fail the smoke.
+fn run_monitor_smoke(seed: u64) {
+    let mut cfg = with_scheme(
+        isp_base(3_000, seed),
+        SchemeConfig::spider_protocol(4),
+        true,
+    );
+    cfg.sim.queueing = QueueingMode::PerChannelFifo(QueueConfig {
+        max_queue_units: 64,
+        ..QueueConfig::default()
+    });
+    cfg.sim.shedding = true;
+    cfg.sim.admission = Some(spider_sim::AdmissionConfig::default());
+    cfg.overload = Some(spider_overload::OverloadConfig {
+        flash_crowd: Some(spider_overload::FlashCrowdConfig {
+            start_secs: 1.0,
+            duration_secs: 1.0,
+            rate_multiplier: 4.0,
+        }),
+        horizon_secs: cfg.sim.horizon.as_secs_f64(),
+        ..spider_overload::OverloadConfig::default()
+    });
+    let mut monitored_cfg = cfg.clone();
+    monitored_cfg.sim.obs.invariants_every = 64;
+    let monitored = monitored_cfg.run().expect("monitored run");
+    let bare = cfg.run().expect("unmonitored run");
+    let m = serde_json::to_string(&monitored).expect("report serializes");
+    let b = serde_json::to_string(&bare).expect("report serializes");
+    assert_eq!(m, b, "the invariant monitor changed the report");
+    assert!(
+        monitored.drops_by_reason.admission_rejected > 0,
+        "monitor smoke never tripped admission control — not auditing overload"
+    );
+    eprintln!(
+        "monitor smoke ok: monitored == unmonitored bit-for-bit \
+         ({} payments, {} shed, {} admission-rejected)",
+        monitored.attempted_payments,
+        monitored.drops_by_reason.shed,
+        monitored.drops_by_reason.admission_rejected,
+    );
+}
+
 fn main() {
     let mut quick = false;
     let mut full = false;
     let mut trace_smoke = false;
+    let mut monitor_smoke = false;
     let mut seed = 42u64;
     let mut out_dir = PathBuf::from(".");
     let mut args = std::env::args().skip(1);
@@ -506,6 +563,7 @@ fn main() {
             "--quick" => quick = true,
             "--full" => full = true,
             "--trace-smoke" => trace_smoke = true,
+            "--monitor-smoke" => monitor_smoke = true,
             "--seed" => {
                 seed = args
                     .next()
@@ -514,7 +572,9 @@ fn main() {
             }
             "--out" => out_dir = PathBuf::from(args.next().expect("--out requires a path")),
             "--help" | "-h" => {
-                eprintln!("options: --quick  --trace-smoke [--full]  --seed N  --out DIR");
+                eprintln!(
+                    "options: --quick  --trace-smoke [--full]  --monitor-smoke  --seed N  --out DIR"
+                );
                 std::process::exit(0);
             }
             other => {
@@ -525,6 +585,10 @@ fn main() {
     }
     if trace_smoke {
         run_trace_smoke(seed, &out_dir, full);
+        return;
+    }
+    if monitor_smoke {
+        run_monitor_smoke(seed);
         return;
     }
     if full {

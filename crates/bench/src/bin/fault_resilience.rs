@@ -5,7 +5,7 @@
 //! (`0 ×` = the paper's fault-free evaluation, then increasingly hostile
 //! plans of per-channel message loss, lost acks, stuck units, latency
 //! jitter/spikes and node crash/recovery windows), all on the identical
-//! workload and seed per topology, fanned through [`run_sweep`].
+//! workload and seed per topology, fanned through [`ResilienceSweep`].
 //!
 //! Output: the usual `FigureRow` CSV/JSONL schema (`parameter =
 //! fault_intensity`, with the `units_dropped_fault` and `retries` columns
@@ -22,9 +22,8 @@
 //! cargo run --release -p spider-bench --bin fault_resilience -- --smoke --out out  # CI
 //! ```
 
-use spider_bench::{emit, isp_experiment, ripple_experiment, HarnessArgs};
-use spider_core::output::FigureRow;
-use spider_core::{run_sweep, ExperimentConfig, SchemeConfig, SweepJob};
+use spider_bench::{emit, HarnessArgs, ResilienceSweep};
+use spider_core::{ExperimentConfig, SchemeConfig};
 use spider_faults::FaultConfig;
 use spider_sim::SimReport;
 
@@ -66,57 +65,14 @@ fn report_detail(r: &SimReport, intensity: f64) {
 
 fn main() {
     let args = HarnessArgs::parse();
-    let intensities = [0.0, 0.5, 1.0, 2.0];
     let schemes = SchemeConfig::extended_lineup();
-    let mut rows: Vec<FigureRow> = Vec::new();
-
-    for (label, mut base) in [
-        ("fault-isp", isp_experiment(4_000, args.full, args.seed)),
-        (
-            "fault-ripple",
-            ripple_experiment(4_000, args.full, args.seed),
-        ),
-    ] {
-        if args.smoke {
-            // CI scale: a few seconds per topology while still injecting
-            // real faults into every scheme.
-            base.workload.count = 800;
-            base.sim.horizon =
-                spider_types::SimDuration::from_secs_f64(800.0 / base.workload.rate_per_sec + 1.0);
-            if let spider_core::TopologyConfig::RippleLike { nodes, .. } = &mut base.topology {
-                *nodes = 120;
-            }
-        }
-        // Phase timings ride along in every row (the profile_*_s JSONL
-        // columns); the wall clocks never touch simulated time.
-        base.sim.obs.profile = true;
-        eprintln!(
-            "running {label} ({} txns, {} schemes x {} intensities)…",
-            base.workload.count,
-            schemes.len(),
-            intensities.len()
-        );
-        let base = &base;
-        let jobs: Vec<SweepJob> = intensities
-            .iter()
-            .flat_map(|&i| {
-                schemes.iter().map(move |&scheme| {
-                    SweepJob::Scheme(ExperimentConfig {
-                        scheme,
-                        ..scaled_experiment(base, i)
-                    })
-                })
-            })
-            .collect();
-        let reports = run_sweep(&jobs).expect("experiments run");
-        for (j, r) in reports.iter().enumerate() {
-            let intensity = intensities[j / schemes.len()];
-            let row = FigureRow::new(label, "fault_intensity", intensity, r);
-            println!("{}", spider_core::output::to_csv_row(&row));
-            report_detail(r, intensity);
-            rows.push(row);
-        }
+    let rows = ResilienceSweep {
+        labels: ["fault-isp", "fault-ripple"],
+        parameter: "fault_intensity",
+        capacity_xrp: 4_000,
+        intensities: &[0.0, 0.5, 1.0, 2.0],
+        schemes: &schemes,
     }
-
+    .run(&args, |_, _| {}, scaled_experiment, report_detail);
     emit("fault_resilience", &rows, &args.out_dir);
 }

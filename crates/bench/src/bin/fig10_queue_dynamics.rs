@@ -99,6 +99,7 @@ fn main() {
         scheme: SchemeConfig::spider_protocol(4),
         dynamics: None,
         faults: None,
+        overload: None,
         seed: args.seed,
     };
     eprintln!(

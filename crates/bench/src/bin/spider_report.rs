@@ -1,17 +1,25 @@
-//! `spider-report`: diff two bench JSON artifacts and gate on regressions.
+//! `spider-report`: diff two bench artifacts and gate on regressions.
 //!
 //! ```sh
-//! spider-report <baseline.json> <candidate.json> [--rel-tol F] [--abs-tol F]
+//! spider-report <baseline> <candidate> [--rel-tol F] [--abs-tol F]
 //! ```
 //!
-//! Both inputs are `BENCH_engine.json`-shaped documents (a top-level
-//! `runs` array of per-config records). Each record is reduced to a
-//! [`RunRecord`]: deterministic outcome fields (payments, units, drops,
-//! latency percentiles, the per-reason drop breakdown) become *gated*
-//! metrics, wall-clock-dependent fields (wall seconds, rates, speedups)
-//! become *informational*, and the hotspot table collapses to its
-//! channel-id set. The diff prints one line per finding (`GATE …` /
-//! `info …`) and exits:
+//! Two artifact shapes are understood, picked by file extension:
+//!
+//! * `.json` — `BENCH_engine.json`-shaped documents (a top-level `runs`
+//!   array of per-config records);
+//! * `.jsonl` — `FigureRow` JSON-lines as written by the sweep bins
+//!   (`fig6_success`, `churn_resilience`, `fault_resilience`,
+//!   `overload_resilience`, …), one record per line, keyed by
+//!   `experiment/scheme@parameter=value`.
+//!
+//! Each record is reduced to a [`RunRecord`]: deterministic outcome
+//! fields (payments, units, drops, latency percentiles, the per-reason
+//! drop breakdown) become *gated* metrics, wall-clock-dependent fields
+//! (wall seconds, rates, speedups, profile phase timings) become
+//! *informational*, and hotspot attribution collapses to its channel-id
+//! set. The diff prints one line per finding (`GATE …` / `info …`) and
+//! exits:
 //!
 //! * `0` — clean: same runs, no gated delta above tolerance, identical
 //!   hotspot sets (informational drift allowed and reported);
@@ -50,6 +58,8 @@ const GATED: &[&str] = &[
     "drops_message_lost",
     "drops_hop_timeout",
     "drops_node_crashed",
+    "drops_shed",
+    "drops_admission_rejected",
 ];
 
 /// Wall-clock-dependent fields: reported when they drift, never gating.
@@ -62,9 +72,84 @@ const INFO: &[&str] = &[
     "speedup",
 ];
 
-/// Parses one artifact into run records, in document order.
+/// Deterministic `FigureRow` outcome fields (JSONL artifacts).
+const ROW_GATED: &[&str] = &[
+    "success_ratio_pct",
+    "success_volume_pct",
+    "goodput_xrp_s",
+    "completed",
+    "attempted",
+    "units_dropped_fault",
+    "units_dropped_shed",
+    "units_dropped_admission",
+    "admission_deferred",
+    "retries",
+    "avg_completion_s",
+    "latency_p50_s",
+    "latency_p99_s",
+];
+
+/// Wall-clock `FigureRow` fields: phase profile timings.
+const ROW_INFO: &[&str] = &[
+    "profile_calendar_pop_s",
+    "profile_routing_s",
+    "profile_forwarding_s",
+    "profile_settlement_s",
+    "profile_churn_repair_s",
+    "profile_sampling_s",
+];
+
+/// Parses a `FigureRow` JSON-lines artifact (sweep bins) into run
+/// records, one per line, in document order.
+fn parse_jsonl_artifact(path: &str, text: &str) -> Result<Vec<RunRecord>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let r = serde_json::parse(line)
+            .map_err(|e| format!("{path}: line {}: malformed JSON: {e}", i + 1))?;
+        let field = |k: &str| -> Result<String, String> {
+            r[k].as_str()
+                .map(str::to_string)
+                .ok_or_else(|| format!("{path}: line {}: no \"{k}\" field", i + 1))
+        };
+        let mut rec = RunRecord {
+            name: format!(
+                "{}/{}@{}={}",
+                field("experiment")?,
+                field("scheme")?,
+                field("parameter")?,
+                r["value"].as_f64().unwrap_or(0.0),
+            ),
+            ..RunRecord::default()
+        };
+        for &m in ROW_GATED {
+            if let Some(v) = r[m].as_f64() {
+                rec.gated.push((m.to_string(), v));
+            }
+        }
+        for &m in ROW_INFO {
+            if let Some(v) = r[m].as_f64() {
+                rec.info.push((m.to_string(), v));
+            }
+        }
+        if let Some(c) = r["hotspot_channel"].as_u64() {
+            rec.hotspots.push(c as u32);
+        }
+        out.push(rec);
+    }
+    Ok(out)
+}
+
+/// Parses one artifact into run records, in document order. `.jsonl`
+/// inputs are `FigureRow` lines; anything else is an engine-benchmark
+/// `runs` document.
 fn parse_artifact(path: &str) -> Result<Vec<RunRecord>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if path.ends_with(".jsonl") {
+        return parse_jsonl_artifact(path, &text);
+    }
     let root = serde_json::parse(&text).map_err(|e| format!("{path}: malformed JSON: {e}"))?;
     let runs = root["runs"]
         .as_array()
@@ -104,7 +189,7 @@ fn parse_artifact(path: &str) -> Result<Vec<RunRecord>, String> {
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: spider-report <baseline.json> <candidate.json> [--rel-tol F] [--abs-tol F]");
+    eprintln!("usage: spider-report <baseline> <candidate> [--rel-tol F] [--abs-tol F]");
     ExitCode::from(2)
 }
 

@@ -27,8 +27,8 @@
 #![forbid(unsafe_code)]
 
 use spider_core::output::FigureRow;
-use spider_core::{ExperimentConfig, SchemeConfig, TopologyConfig};
-use spider_sim::{SimConfig, SizeDistribution, WorkloadConfig};
+use spider_core::{run_sweep, ExperimentConfig, SchemeConfig, SweepJob, TopologyConfig};
+use spider_sim::{SimConfig, SimReport, SizeDistribution, WorkloadConfig};
 use spider_types::{Amount, SimDuration};
 use std::path::PathBuf;
 
@@ -129,6 +129,7 @@ pub fn isp_experiment(capacity_xrp: u64, full: bool, seed: u64) -> ExperimentCon
         scheme: SchemeConfig::ShortestPath, // overridden per run
         dynamics: None,
         faults: None,
+        overload: None,
         seed,
     }
 }
@@ -166,7 +167,98 @@ pub fn ripple_experiment(capacity_xrp: u64, full: bool, seed: u64) -> Experiment
         scheme: SchemeConfig::ShortestPath,
         dynamics: None,
         faults: None,
+        overload: None,
         seed,
+    }
+}
+
+/// The shared scaffolding of the resilience sweeps (`churn_resilience`,
+/// `fault_resilience`, `overload_resilience`): a scheme lineup ×
+/// {ISP, Ripple} × intensity grid on the identical workload and seed per
+/// topology, fanned through [`run_sweep`] and echoed row-by-row as CSV
+/// while collecting [`FigureRow`]s.
+pub struct ResilienceSweep<'a> {
+    /// Per-topology row labels, e.g. `["churn-isp", "churn-ripple"]`.
+    pub labels: [&'a str; 2],
+    /// The `FigureRow` parameter column, e.g. `"churn_intensity"`.
+    pub parameter: &'a str,
+    /// Per-channel capacity (XRP) of both topologies.
+    pub capacity_xrp: u64,
+    /// The intensity grid of the sweep.
+    pub intensities: &'a [f64],
+    /// The scheme lineup run at every intensity.
+    pub schemes: &'a [SchemeConfig],
+}
+
+impl ResilienceSweep<'_> {
+    /// Runs the sweep and returns all rows.
+    ///
+    /// `prepare` tweaks each topology's base experiment (paper-scale
+    /// workload extensions, extra knobs) before smoke downsizing;
+    /// `scale` derives the experiment for one `(base, intensity)` grid
+    /// point (the scheme is overridden afterwards); `detail` prints
+    /// per-run diagnostics to stderr.
+    pub fn run(
+        &self,
+        args: &HarnessArgs,
+        mut prepare: impl FnMut(&str, &mut ExperimentConfig),
+        scale: impl Fn(&ExperimentConfig, f64) -> ExperimentConfig,
+        mut detail: impl FnMut(&SimReport, f64),
+    ) -> Vec<FigureRow> {
+        let mut rows = Vec::new();
+        for (label, mut base) in [
+            (
+                self.labels[0],
+                isp_experiment(self.capacity_xrp, args.full, args.seed),
+            ),
+            (
+                self.labels[1],
+                ripple_experiment(self.capacity_xrp, args.full, args.seed),
+            ),
+        ] {
+            prepare(label, &mut base);
+            if args.smoke {
+                // CI scale: a few seconds per topology while still
+                // driving every scheme through the real machinery.
+                base.workload.count = 800;
+                base.sim.horizon =
+                    SimDuration::from_secs_f64(800.0 / base.workload.rate_per_sec + 1.0);
+                if let TopologyConfig::RippleLike { nodes, .. } = &mut base.topology {
+                    *nodes = 120;
+                }
+            }
+            // Phase timings ride along in every row (the profile_*_s
+            // JSONL columns); the wall clocks never touch simulated time.
+            base.sim.obs.profile = true;
+            eprintln!(
+                "running {label} ({} txns, {} schemes x {} intensities)…",
+                base.workload.count,
+                self.schemes.len(),
+                self.intensities.len()
+            );
+            let (base, scale) = (&base, &scale);
+            let jobs: Vec<SweepJob> = self
+                .intensities
+                .iter()
+                .flat_map(|&i| {
+                    self.schemes.iter().map(move |&scheme| {
+                        SweepJob::Scheme(ExperimentConfig {
+                            scheme,
+                            ..scale(base, i)
+                        })
+                    })
+                })
+                .collect();
+            let reports = run_sweep(&jobs).expect("experiments run");
+            for (j, r) in reports.iter().enumerate() {
+                let intensity = self.intensities[j / self.schemes.len()];
+                let row = FigureRow::new(label, self.parameter, intensity, r);
+                println!("{}", spider_core::output::to_csv_row(&row));
+                detail(r, intensity);
+                rows.push(row);
+            }
+        }
+        rows
     }
 }
 

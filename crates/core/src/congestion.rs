@@ -439,6 +439,7 @@ mod tests {
             delivered: true,
             stamp,
             drop_reason: None,
+            drop_channel: None,
             rtt: spider_types::SimDuration::from_millis(600),
         };
         w.on_unit_ack(&ack, &view);

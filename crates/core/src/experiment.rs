@@ -4,10 +4,11 @@ use crate::scheme::SchemeConfig;
 use serde::{Deserialize, Serialize};
 use spider_dynamics::{ChurnSchedule, DynamicsConfig};
 use spider_faults::{FaultConfig, FaultPlan};
+use spider_overload::{OverloadConfig, OverloadPlan};
 use spider_paygraph::PaymentGraph;
 use spider_sim::{SimConfig, SimReport, Simulation, Workload, WorkloadConfig};
 use spider_topology::{analysis, gen, Topology};
-use spider_types::{Amount, DetRng, Result, SpiderError};
+use spider_types::{Amount, DetRng, Result, SimTime, SpiderError};
 
 /// Topology selection for an experiment.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -129,6 +130,16 @@ pub struct ExperimentConfig {
     /// applied during the run. `None` = today's fault-free evaluation,
     /// bit-identical to builds without the fault subsystem.
     pub faults: Option<FaultConfig>,
+    /// Optional adversarial overload: a deterministic plan of flash-crowd
+    /// rate spikes, Zipf-skewed hot-pair redirects, liquidity-draining
+    /// flows and griefing payments generated from this config (via the
+    /// `overload` fork of the experiment RNG). The plan's workload
+    /// transform is applied to the materialized transactions *after*
+    /// demand estimation (the offline schemes plan for normal traffic;
+    /// the attack is a surprise), and its griefing stream is installed
+    /// into the engine. `None` = overload-free, bit-identical to builds
+    /// without the overload subsystem.
+    pub overload: Option<OverloadConfig>,
     /// Master seed; every random choice derives from it.
     pub seed: u64,
 }
@@ -144,6 +155,7 @@ impl Default for ExperimentConfig {
             scheme: SchemeConfig::SpiderWaterfilling { paths: 4 },
             dynamics: None,
             faults: None,
+            overload: None,
             seed: 0,
         }
     }
@@ -180,14 +192,18 @@ impl ExperimentConfig {
         let rng = DetRng::new(self.seed);
         let topo = self.topology.build(&rng)?;
         let mut wrng = rng.fork("workload");
-        let workload = Workload::generate(topo.node_count(), &self.workload, &mut wrng);
+        let mut workload = Workload::generate(topo.node_count(), &self.workload, &mut wrng);
         let demands = demand_graph(&workload, topo.node_count());
+        let overload = self.apply_overload(&rng, &topo, &mut workload)?;
         let router = self
             .scheme
             .build(&topo, &demands, self.sim.confirmation_delay.as_secs_f64());
         let mut sim = Simulation::new(topo, workload, router, self.effective_sim())?;
         self.install_dynamics(&mut sim, &rng)?;
         self.install_faults(&mut sim, &rng)?;
+        if let Some(plan) = overload {
+            sim.set_overload_plan(plan);
+        }
         let report = sim.run();
         sim.check_conservation();
         Ok(report)
@@ -203,8 +219,9 @@ impl ExperimentConfig {
         let rng = DetRng::new(self.seed);
         let topo = self.topology.build(&rng)?;
         let mut wrng = rng.fork("workload");
-        let workload = Workload::generate(topo.node_count(), &self.workload, &mut wrng);
+        let mut workload = Workload::generate(topo.node_count(), &self.workload, &mut wrng);
         let demands = demand_graph(&workload, topo.node_count());
+        let overload = self.apply_overload(&rng, &topo, &mut workload)?;
         let router = self
             .scheme
             .build(&topo, &demands, self.sim.confirmation_delay.as_secs_f64());
@@ -213,6 +230,9 @@ impl ExperimentConfig {
         let mut sim = Simulation::new(topo, workload, router, cfg)?;
         self.install_dynamics(&mut sim, &rng)?;
         self.install_faults(&mut sim, &rng)?;
+        if let Some(plan) = overload {
+            sim.set_overload_plan(plan);
+        }
         let report = sim.run();
         sim.check_conservation();
         let trace = sim.take_trace().expect("tracing was enabled");
@@ -232,8 +252,9 @@ impl ExperimentConfig {
         let rng = DetRng::new(self.seed);
         let topo = self.topology.build(&rng)?;
         let mut wrng = rng.fork("workload");
-        let workload = Workload::generate(topo.node_count(), &self.workload, &mut wrng);
+        let mut workload = Workload::generate(topo.node_count(), &self.workload, &mut wrng);
         let demands = demand_graph(&workload, topo.node_count());
+        let overload = self.apply_overload(&rng, &topo, &mut workload)?;
         let router = self
             .scheme
             .build(&topo, &demands, self.sim.confirmation_delay.as_secs_f64());
@@ -244,6 +265,9 @@ impl ExperimentConfig {
         let mut sim = Simulation::new(topo, workload, router, cfg)?;
         self.install_dynamics(&mut sim, &rng)?;
         self.install_faults(&mut sim, &rng)?;
+        if let Some(plan) = overload {
+            sim.set_overload_plan(plan);
+        }
         let report = sim.run();
         sim.check_conservation();
         let forensics = sim.take_forensics().expect("forensics was enabled");
@@ -272,6 +296,36 @@ impl ExperimentConfig {
         Ok(())
     }
 
+    /// Generates the overload plan (when configured) and applies its
+    /// workload transform in place: the flash-crowd time warp compresses
+    /// arrival times (monotonically, preserving order) and the hot-pair /
+    /// drain redirects rewrite (src, dst) with draws from the plan's
+    /// dedicated transform stream. Returns the plan so the caller can
+    /// hand it to [`Simulation::set_overload_plan`] for the runtime
+    /// (griefing) half. The plan derives from the `overload` fork of the
+    /// experiment RNG, so it never perturbs topology, workload, churn or
+    /// fault draws.
+    fn apply_overload(
+        &self,
+        rng: &DetRng,
+        topo: &Topology,
+        workload: &mut Workload,
+    ) -> Result<Option<OverloadPlan>> {
+        let Some(cfg) = &self.overload else {
+            return Ok(None);
+        };
+        let mut orng = rng.fork("overload");
+        let plan = OverloadPlan::generate(topo, cfg, &mut orng)?;
+        let mut trng = DetRng::new(plan.transform_seed);
+        for txn in &mut workload.txns {
+            txn.time = SimTime::from_secs_f64(plan.warp_secs(txn.time.as_secs_f64()));
+            let (src, dst) = plan.transform_pair(txn.src, txn.dst, &mut trng);
+            txn.src = src;
+            txn.dst = dst;
+        }
+        Ok(Some(plan))
+    }
+
     /// Runs the experiment's topology and workload against a caller-built
     /// router (for schemes outside the [`SchemeConfig`] registry, e.g. the
     /// AIMD [`Windowed`](crate::congestion::Windowed) wrapper), using
@@ -280,10 +334,14 @@ impl ExperimentConfig {
         let rng = DetRng::new(self.seed);
         let topo = self.topology.build(&rng)?;
         let mut wrng = rng.fork("workload");
-        let workload = Workload::generate(topo.node_count(), &self.workload, &mut wrng);
+        let mut workload = Workload::generate(topo.node_count(), &self.workload, &mut wrng);
+        let overload = self.apply_overload(&rng, &topo, &mut workload)?;
         let mut sim = Simulation::new(topo, workload, router, self.sim.clone())?;
         self.install_dynamics(&mut sim, &rng)?;
         self.install_faults(&mut sim, &rng)?;
+        if let Some(plan) = overload {
+            sim.set_overload_plan(plan);
+        }
         let report = sim.run();
         sim.check_conservation();
         Ok(report)
@@ -300,12 +358,16 @@ impl ExperimentConfig {
         let rng = DetRng::new(self.seed);
         let topo = self.topology.build(&rng)?;
         let mut wrng = rng.fork("workload");
-        let workload = Workload::generate(topo.node_count(), &self.workload, &mut wrng);
+        let mut workload = Workload::generate(topo.node_count(), &self.workload, &mut wrng);
+        let overload = self.apply_overload(&rng, &topo, &mut workload)?;
         let mut cfg = self.sim.clone();
         cfg.obs.trace = true;
         let mut sim = Simulation::new(topo, workload, router, cfg)?;
         self.install_dynamics(&mut sim, &rng)?;
         self.install_faults(&mut sim, &rng)?;
+        if let Some(plan) = overload {
+            sim.set_overload_plan(plan);
+        }
         let report = sim.run();
         sim.check_conservation();
         let trace = sim.take_trace().expect("tracing was enabled");
@@ -455,6 +517,7 @@ mod tests {
             scheme: SchemeConfig::SpiderWaterfilling { paths: 4 },
             dynamics: None,
             faults: None,
+            overload: None,
             seed: 1,
         }
         .run()
@@ -480,6 +543,7 @@ mod tests {
             scheme: SchemeConfig::ShortestPath,
             dynamics: None,
             faults: None,
+            overload: None,
             seed: 9,
         };
         let a = cfg.run().unwrap();
@@ -503,6 +567,7 @@ mod tests {
             scheme: SchemeConfig::ShortestPath,
             dynamics: None,
             faults: None,
+            overload: None,
             seed: 1,
         };
         let a = base.run().unwrap();
@@ -522,6 +587,7 @@ mod tests {
             scheme: SchemeConfig::ShortestPath,
             dynamics: None,
             faults: None,
+            overload: None,
             seed: 5,
         };
         let reports = cfg
@@ -548,6 +614,7 @@ mod tests {
             scheme: SchemeConfig::ShortestPath,
             dynamics: None,
             faults: None,
+            overload: None,
             seed: 0,
         };
         let seeds = [3u64, 11];

@@ -21,12 +21,23 @@ pub struct FigureRow {
     pub success_ratio_pct: f64,
     /// Success volume in percent (paper's right panels).
     pub success_volume_pct: f64,
+    /// Goodput: completed-payment volume per simulated second (XRP/s).
+    /// Partial deliveries of never-completed payments are excluded.
+    pub goodput_xrp_s: f64,
     /// Completed / attempted payments.
     pub completed: u64,
     /// Attempted payments.
     pub attempted: u64,
     /// Units lost to injected faults (message loss, hop timeout, crash).
     pub units_dropped_fault: u64,
+    /// Units evicted by deadline-aware load shedding (`DropReason::Shed`).
+    pub units_dropped_shed: u64,
+    /// Units fail-fasted by sender-side admission control
+    /// (`DropReason::AdmissionRejected`).
+    pub units_dropped_admission: u64,
+    /// Arrivals the shaping admission gate paced to a later slot
+    /// (deferral is not a drop — the payment still runs).
+    pub admission_deferred: u64,
     /// Routing retry attempts beyond each payment's first.
     pub retries: u64,
     /// Mean completion time (s), when any payment completed.
@@ -65,9 +76,13 @@ impl FigureRow {
             value,
             success_ratio_pct: 100.0 * r.success_ratio(),
             success_volume_pct: 100.0 * r.success_volume(),
+            goodput_xrp_s: r.goodput_xrp_per_sec(),
             completed: r.completed_payments,
             attempted: r.attempted_payments,
             units_dropped_fault: r.units_dropped_fault,
+            units_dropped_shed: r.drops_by_reason.shed,
+            units_dropped_admission: r.drops_by_reason.admission_rejected,
+            admission_deferred: r.admission_deferred,
             retries: r.retries,
             avg_completion_s: r.avg_completion_time(),
             latency_p50_s: r.latency_hist.percentile(50.0),
@@ -86,7 +101,7 @@ impl FigureRow {
 
 /// CSV header matching [`to_csv_row`].
 pub const CSV_HEADER: &str =
-    "experiment,scheme,parameter,value,success_ratio_pct,success_volume_pct,completed,attempted,units_dropped_fault,retries,avg_completion_s,latency_p50_s,latency_p99_s,hotspot_channel,hotspot_score,profile_calendar_pop_s,profile_routing_s,profile_forwarding_s,profile_settlement_s,profile_churn_repair_s,profile_sampling_s";
+    "experiment,scheme,parameter,value,success_ratio_pct,success_volume_pct,goodput_xrp_s,completed,attempted,units_dropped_fault,units_dropped_shed,units_dropped_admission,admission_deferred,retries,avg_completion_s,latency_p50_s,latency_p99_s,hotspot_channel,hotspot_score,profile_calendar_pop_s,profile_routing_s,profile_forwarding_s,profile_settlement_s,profile_churn_repair_s,profile_sampling_s";
 
 /// One CSV line (no trailing newline).
 pub fn to_csv_row(row: &FigureRow) -> String {
@@ -95,16 +110,20 @@ pub fn to_csv_row(row: &FigureRow) -> String {
     // they keep microsecond resolution.
     let opt6 = |v: Option<f64>| v.map(|v| format!("{v:.6}")).unwrap_or_default();
     format!(
-        "{},{},{},{},{:.4},{:.4},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+        "{},{},{},{},{:.4},{:.4},{:.2},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
         row.experiment,
         row.scheme,
         row.parameter,
         row.value,
         row.success_ratio_pct,
         row.success_volume_pct,
+        row.goodput_xrp_s,
         row.completed,
         row.attempted,
         row.units_dropped_fault,
+        row.units_dropped_shed,
+        row.units_dropped_admission,
+        row.admission_deferred,
         row.retries,
         opt(row.avg_completion_s),
         opt(row.latency_p50_s),
@@ -179,6 +198,8 @@ mod tests {
             completed_payments: 7,
             attempted_volume: Amount::from_xrp(100),
             delivered_volume: Amount::from_xrp(80),
+            completed_volume: Amount::from_xrp(70),
+            admission_deferred: 0,
             units_locked: 12,
             units_failed: 3,
             retries: 2,
@@ -219,7 +240,8 @@ mod tests {
     fn csv_round_numbers() {
         let row = FigureRow::new("fig6-isp", "capacity_xrp", 30_000.0, &report());
         let line = to_csv_row(&row);
-        assert!(line.starts_with("fig6-isp,test,capacity_xrp,30000,70.0000,80.0000,7,10,0,2,"));
+        assert!(line
+            .starts_with("fig6-isp,test,capacity_xrp,30000,70.0000,80.0000,7.00,7,10,0,0,0,0,2,"));
         let doc = to_csv(&[row]);
         assert!(doc.starts_with(CSV_HEADER));
         assert_eq!(doc.lines().count(), 2);
@@ -285,6 +307,18 @@ mod tests {
         let line = to_csv_row(&row);
         assert!(line.contains(",3,1.7500,"), "{line}");
         assert!(line.contains(",0.002500,"), "{line}");
+    }
+
+    #[test]
+    fn shed_and_admission_columns_come_from_the_drop_breakdown() {
+        let mut r = report();
+        r.drops_by_reason.shed = 5;
+        r.drops_by_reason.admission_rejected = 9;
+        let row = FigureRow::new("e", "", 0.0, &r);
+        assert_eq!(row.units_dropped_shed, 5);
+        assert_eq!(row.units_dropped_admission, 9);
+        // fault, shed, admission, deferred, retries — adjacent cells.
+        assert!(to_csv_row(&row).contains(",0,5,9,0,2,"));
     }
 
     #[test]

@@ -39,11 +39,13 @@ fn reason_ord(r: DropReason) -> u8 {
         DropReason::MessageLost => 4,
         DropReason::HopTimeout => 5,
         DropReason::NodeCrashed => 6,
+        DropReason::Shed => 7,
+        DropReason::AdmissionRejected => 8,
     }
 }
 
 /// Ordinal → reason, inverse of [`reason_ord`].
-const REASONS: [DropReason; 7] = [
+const REASONS: [DropReason; 9] = [
     DropReason::QueueTimeout,
     DropReason::QueueOverflow,
     DropReason::Expired,
@@ -51,6 +53,8 @@ const REASONS: [DropReason; 7] = [
     DropReason::MessageLost,
     DropReason::HopTimeout,
     DropReason::NodeCrashed,
+    DropReason::Shed,
+    DropReason::AdmissionRejected,
 ];
 
 /// One drop, with everything needed to reconstruct why it happened.

@@ -249,6 +249,8 @@ pub fn reason_str(r: DropReason) -> &'static str {
         DropReason::MessageLost => "message_lost",
         DropReason::HopTimeout => "hop_timeout",
         DropReason::NodeCrashed => "node_crashed",
+        DropReason::Shed => "shed",
+        DropReason::AdmissionRejected => "admission_rejected",
     }
 }
 

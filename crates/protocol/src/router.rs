@@ -21,11 +21,11 @@
 
 use crate::price::PathPriceEstimator;
 use crate::rate::{PathController, RateConfig};
-use spider_routing::{PathCache, PathPenalties, PathPolicy};
+use spider_routing::{BackoffConfig, ChannelBreakers, PathCache, PathPenalties, PathPolicy};
 use spider_sim::{
     NetworkView, RouteProposal, RouteRequest, Router, TopologyUpdate, UnitAck, UnitOutcome,
 };
-use spider_types::{Amount, NodeId, PathId};
+use spider_types::{Amount, DropReason, NodeId, PathId};
 use std::collections::HashMap;
 
 /// Tunables of the protocol sender.
@@ -38,6 +38,9 @@ pub struct ProtocolConfig {
     /// Price attributed to a dropped unit (see
     /// [`PathPriceEstimator`](crate::price::PathPriceEstimator)).
     pub nack_price: f64,
+    /// Fault-backoff cooldown shape (base and doubling cap) for the
+    /// per-path penalty table.
+    pub backoff: BackoffConfig,
 }
 
 impl Default for ProtocolConfig {
@@ -46,6 +49,7 @@ impl Default for ProtocolConfig {
             rate: RateConfig::default(),
             price_gamma: 0.125,
             nack_price: 2.0,
+            backoff: BackoffConfig::default(),
         }
     }
 }
@@ -69,6 +73,9 @@ pub struct ProtocolRouter {
     pairs: HashMap<(NodeId, NodeId), PairState>,
     /// Fault cooldowns (empty for the whole run unless faults fire).
     penalties: PathPenalties,
+    /// Per-channel shed breakers (empty for the whole run unless
+    /// overload shedding fires).
+    breakers: ChannelBreakers,
 }
 
 impl ProtocolRouter {
@@ -85,11 +92,13 @@ impl ProtocolRouter {
             cfg.price_gamma > 0.0 && cfg.price_gamma <= 1.0,
             "gamma must be in (0, 1]"
         );
+        let penalties = PathPenalties::new(cfg.backoff);
         ProtocolRouter {
             cfg,
             cache: PathCache::new(PathPolicy::EdgeDisjoint(k)),
             pairs: HashMap::new(),
-            penalties: PathPenalties::default(),
+            penalties,
+            breakers: ChannelBreakers::default(),
         }
     }
 
@@ -185,6 +194,7 @@ impl Router for ProtocolRouter {
             cache,
             pairs,
             penalties,
+            breakers,
         } = self;
         let state = pairs.entry((req.src, req.dst)).or_insert_with(|| {
             let paths = cache.get(view.topo, view.paths, req.src, req.dst).to_vec();
@@ -215,6 +225,10 @@ impl Router for ProtocolRouter {
         // pushing units at a dead path only converts them into queue drops.
         // A path inside a fault cooldown is likewise skipped, unless every
         // candidate is cooling (a penalized path still beats giving up).
+        // A path crossing a shed-tripped circuit breaker is skipped
+        // unconditionally — an open breaker means the channel is actively
+        // shedding, and fail-fast (retry at the next poll, once it
+        // half-opens) is the whole point of tripping it.
         let all_cooled = state
             .paths
             .iter()
@@ -228,6 +242,14 @@ impl Router for ProtocolRouter {
                     Amount::ZERO
                 } else if !all_cooled && penalties.is_cooled(p, view.now) {
                     penalties.note_skip();
+                    Amount::ZERO
+                } else if !breakers.is_empty()
+                    && !view
+                        .path(p)
+                        .hops()
+                        .iter()
+                        .all(|&(ch, _)| breakers.allow(ch, view.now))
+                {
                     Amount::ZERO
                 } else {
                     c.budget()
@@ -292,6 +314,15 @@ impl Router for ProtocolRouter {
     fn on_unit_ack(&mut self, ack: &UnitAck, view: &NetworkView<'_>) {
         self.penalties
             .on_ack(ack.path, ack.delivered, ack.drop_reason, view.now);
+        if ack.drop_reason == Some(DropReason::Shed) {
+            if let Some(c) = ack.drop_channel {
+                self.breakers.on_strike(c, view.now);
+            }
+        } else if ack.delivered && !self.breakers.is_empty() {
+            for &(c, _) in view.path(ack.path).hops() {
+                self.breakers.on_success(c);
+            }
+        }
         let entry = view.path(ack.path);
         let Some(state) = self.pairs.get_mut(&(entry.source(), entry.dest())) else {
             return;
@@ -324,6 +355,8 @@ impl Router for ProtocolRouter {
             .extend(self.cache.counters().map(|(k, v)| (k.to_string(), v)));
         obs.counters
             .extend(self.penalties.counters().map(|(k, v)| (k.to_string(), v)));
+        obs.counters
+            .extend(self.breakers.counters().map(|(k, v)| (k.to_string(), v)));
         // Sorted by pair key so the histogram's fill order (and therefore
         // any serialized form) is independent of hash-map iteration.
         let mut pairs: Vec<_> = self.pairs.iter().collect();
@@ -387,6 +420,7 @@ mod tests {
             delivered,
             stamp,
             drop_reason: None,
+            drop_channel: None,
             rtt: SimDuration::from_millis(520),
         }
     }

@@ -11,8 +11,16 @@
 //! never penalize a path: backoff reacts *exclusively* to faults, so a
 //! fault-free run behaves bit-identically with the machinery installed
 //! (the penalty table stays empty and every query short-circuits).
+//!
+//! [`ChannelBreakers`] is the overload-side sibling: a per-channel
+//! circuit breaker that trips on sustained *shedding* ([`DropReason::
+//! Shed`] acks — never ordinary faults or congestion), blocks routes
+//! over the tripped channel while open, and recovers through a
+//! half-open probing window. Like the penalty table it is sparse: a run
+//! that never sheds keeps it empty, so always-on wiring cannot perturb
+//! overload-free outcomes.
 
-use spider_types::{DropReason, PathId, SimDuration, SimTime};
+use spider_types::{ChannelId, DropReason, PathId, SimDuration, SimTime};
 
 /// Cooldown shape for [`PathPenalties`].
 #[derive(Debug, Clone, Copy)]
@@ -189,6 +197,176 @@ impl PathPenalties {
     }
 }
 
+/// Circuit-breaker tuning for [`ChannelBreakers`].
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerConfig {
+    /// Shed strikes (since the last success) that trip a breaker open.
+    pub strike_threshold: u32,
+    /// How long an open breaker blocks its channel before half-opening.
+    pub open_cooldown: SimDuration,
+    /// Probe units a half-open breaker lets through; a success closes
+    /// the breaker, a further shed re-opens it.
+    pub half_open_probes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            strike_threshold: 8,
+            open_cooldown: SimDuration::from_millis(1_000),
+            half_open_probes: 3,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum BreakerState {
+    /// Accumulating strikes; traffic flows.
+    Closed { strikes: u32 },
+    /// Tripped: the channel is blocked until the cooldown elapses.
+    Open { until: SimTime },
+    /// Probing: up to `left` units may cross; the first ack decides
+    /// (success closes, shed re-opens).
+    HalfOpen { left: u32 },
+}
+
+/// Per-channel shed-driven circuit breakers (closed → open → half-open),
+/// plus the counters a router surfaces through `Router::observability`.
+///
+/// Sparse by construction: only channels that shed at least once get an
+/// entry, and every query short-circuits on the empty table.
+#[derive(Debug, Default)]
+pub struct ChannelBreakers {
+    cfg: BreakerConfig,
+    entries: Vec<(ChannelId, BreakerState)>,
+    strikes_seen: u64,
+    trips: u64,
+    probes_allowed: u64,
+}
+
+impl ChannelBreakers {
+    /// A breaker table with explicit tuning.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        ChannelBreakers {
+            cfg,
+            ..ChannelBreakers::default()
+        }
+    }
+
+    /// True when no channel ever shed (the overload-free fast path).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn position(&self, channel: ChannelId) -> Option<usize> {
+        self.entries.iter().position(|&(c, _)| c == channel)
+    }
+
+    /// Records one shed strike against `channel`: a closed breaker
+    /// accumulates toward its threshold, a half-open breaker's failed
+    /// probe re-opens it, an open breaker's cooldown is refreshed
+    /// (sustained shedding keeps it open).
+    pub fn on_strike(&mut self, channel: ChannelId, now: SimTime) {
+        self.strikes_seen += 1;
+        let open = BreakerState::Open {
+            until: now + self.cfg.open_cooldown,
+        };
+        match self.position(channel) {
+            None => {
+                if self.cfg.strike_threshold <= 1 {
+                    self.trips += 1;
+                    self.entries.push((channel, open));
+                } else {
+                    self.entries
+                        .push((channel, BreakerState::Closed { strikes: 1 }));
+                }
+            }
+            Some(i) => match self.entries[i].1 {
+                BreakerState::Closed { strikes } => {
+                    if strikes + 1 >= self.cfg.strike_threshold {
+                        self.trips += 1;
+                        self.entries[i].1 = open;
+                    } else {
+                        self.entries[i].1 = BreakerState::Closed {
+                            strikes: strikes + 1,
+                        };
+                    }
+                }
+                BreakerState::HalfOpen { .. } => {
+                    self.trips += 1;
+                    self.entries[i].1 = open;
+                }
+                BreakerState::Open { .. } => self.entries[i].1 = open,
+            },
+        }
+    }
+
+    /// Records a successful delivery over `channel`: the breaker closes
+    /// and its strikes are forgotten, whatever state it was in.
+    pub fn on_success(&mut self, channel: ChannelId) {
+        if self.entries.is_empty() {
+            return;
+        }
+        self.entries.retain(|&(c, _)| c != channel);
+    }
+
+    /// The routing-time gate: may a unit cross `channel` at `now`?
+    /// An open breaker whose cooldown elapsed transitions to half-open
+    /// here and starts handing out its probe allowance.
+    pub fn allow(&mut self, channel: ChannelId, now: SimTime) -> bool {
+        if self.entries.is_empty() {
+            return true;
+        }
+        let Some(i) = self.position(channel) else {
+            return true;
+        };
+        match self.entries[i].1 {
+            BreakerState::Closed { .. } => true,
+            BreakerState::Open { until } => {
+                if now < until {
+                    return false;
+                }
+                let left = self.cfg.half_open_probes.max(1) - 1;
+                self.entries[i].1 = BreakerState::HalfOpen { left };
+                self.probes_allowed += 1;
+                true
+            }
+            BreakerState::HalfOpen { left } => {
+                if left == 0 {
+                    return false;
+                }
+                self.entries[i].1 = BreakerState::HalfOpen { left: left - 1 };
+                self.probes_allowed += 1;
+                true
+            }
+        }
+    }
+
+    /// True when every channel in `hops` may be crossed at `now`
+    /// (convenience for whole-path gating).
+    pub fn allow_path(&mut self, hops: &[ChannelId], now: SimTime) -> bool {
+        if self.entries.is_empty() {
+            return true;
+        }
+        hops.iter().all(|&c| self.allow(c, now))
+    }
+
+    /// Breaker counters for `Router::observability`, in a fixed order.
+    /// Empty when no shed was ever seen, so overload-free observability
+    /// output is unchanged by the breaker machinery.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> {
+        let quiet = self.strikes_seen == 0;
+        [
+            ("breaker_strikes_seen", self.strikes_seen),
+            ("breaker_trips", self.trips),
+            ("breaker_probes_allowed", self.probes_allowed),
+        ]
+        .into_iter()
+        .filter(move |_| !quiet)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -286,5 +464,96 @@ mod tests {
         let counters: Vec<_> = p.counters().collect();
         assert_eq!(counters[0], ("backoff_faults_seen", 1));
         assert_eq!(counters[1], ("backoff_cooldowns_started", 1));
+    }
+
+    /// Regression pin for the default cooldown cap: `base · 2^6` with a
+    /// 250 ms base, i.e. penalties saturate at 16 s however many strikes
+    /// accumulate. Anyone retuning [`BackoffConfig`] must update this
+    /// consciously.
+    #[test]
+    fn default_cooldown_cap_pins_base_times_two_pow_six() {
+        let cfg = BackoffConfig::default();
+        assert_eq!(cfg.base_cooldown, SimDuration::from_millis(250));
+        assert_eq!(cfg.max_exponent, 6);
+        let mut p = PathPenalties::default();
+        // Strike far past the cap, each strike after the previous
+        // cooldown fully expired.
+        for k in 0..20u64 {
+            p.on_fault(PathId(0), at(k * 100_000));
+        }
+        let last_ms = 19 * 100_000;
+        assert!(p.is_cooled(PathId(0), at(last_ms + 15_999)));
+        assert!(
+            !p.is_cooled(PathId(0), at(last_ms + 16_000)),
+            "cooldown must saturate at 250 ms << 6 = 16 s"
+        );
+    }
+
+    #[test]
+    fn breaker_trips_after_sustained_sheds_and_blocks() {
+        let mut b = ChannelBreakers::new(BreakerConfig {
+            strike_threshold: 3,
+            open_cooldown: SimDuration::from_millis(500),
+            half_open_probes: 1,
+        });
+        let c = ChannelId(4);
+        b.on_strike(c, T0);
+        b.on_strike(c, T0);
+        assert!(b.allow(c, T0), "below threshold traffic flows");
+        b.on_strike(c, T0);
+        assert!(!b.allow(c, at(499)), "tripped breaker blocks");
+        assert!(b.allow(ChannelId(5), T0), "other channels unaffected");
+    }
+
+    #[test]
+    fn breaker_recovers_through_half_open_probes() {
+        let mut b = ChannelBreakers::new(BreakerConfig {
+            strike_threshold: 1,
+            open_cooldown: SimDuration::from_millis(100),
+            half_open_probes: 2,
+        });
+        let c = ChannelId(0);
+        b.on_strike(c, T0);
+        assert!(!b.allow(c, at(99)));
+        // Cooldown over: half-open hands out exactly two probes.
+        assert!(b.allow(c, at(100)));
+        assert!(b.allow(c, at(100)));
+        assert!(!b.allow(c, at(100)), "probe allowance exhausted");
+        // A successful probe closes the breaker for good.
+        b.on_success(c);
+        assert!(b.allow(c, at(101)));
+        // A failed probe would have re-opened it instead.
+        b.on_strike(c, at(200));
+        assert!(!b.allow(c, at(200)), "threshold 1 re-trips instantly");
+    }
+
+    #[test]
+    fn breaker_failed_probe_reopens() {
+        let mut b = ChannelBreakers::new(BreakerConfig {
+            strike_threshold: 2,
+            open_cooldown: SimDuration::from_millis(100),
+            half_open_probes: 1,
+        });
+        let c = ChannelId(9);
+        b.on_strike(c, T0);
+        b.on_strike(c, T0);
+        assert!(b.allow(c, at(100)), "half-open probe");
+        b.on_strike(c, at(110));
+        assert!(!b.allow(c, at(150)), "failed probe re-opened the breaker");
+        assert!(!b.allow(c, at(209)), "fresh full cooldown from the strike");
+        assert!(b.allow(c, at(210)));
+    }
+
+    #[test]
+    fn breaker_stays_silent_without_sheds() {
+        let mut b = ChannelBreakers::default();
+        assert!(b.is_empty());
+        assert!(b.allow(ChannelId(1), T0));
+        assert!(b.allow_path(&[ChannelId(0), ChannelId(1)], T0));
+        b.on_success(ChannelId(1));
+        assert_eq!(b.counters().count(), 0, "shed-free output unchanged");
+        b.on_strike(ChannelId(1), T0);
+        let counters: Vec<_> = b.counters().collect();
+        assert_eq!(counters[0], ("breaker_strikes_seen", 1));
     }
 }

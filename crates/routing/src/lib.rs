@@ -29,7 +29,7 @@ pub mod silentwhispers;
 pub mod speedymurmurs;
 pub mod waterfilling;
 
-pub use backoff::{BackoffConfig, PathPenalties};
+pub use backoff::{BackoffConfig, BreakerConfig, ChannelBreakers, PathPenalties};
 pub use cache::{PathCache, PathPolicy};
 pub use lp_router::{LpSolverKind, SpiderLp};
 pub use maxflow_router::MaxFlow;

@@ -9,9 +9,10 @@
 //! (the topology is static, so BFS per request was pure waste) and handed
 //! to the engine as an interned [`PathId`](spider_types::PathId).
 
-use crate::backoff::PathPenalties;
+use crate::backoff::{BackoffConfig, ChannelBreakers, PathPenalties};
 use crate::cache::{PathCache, PathPolicy};
 use spider_sim::{NetworkView, RouteProposal, RouteRequest, Router, TopologyUpdate};
+use spider_types::{DropReason, PathId};
 
 /// Non-atomic single-shortest-path routing.
 #[derive(Debug)]
@@ -19,9 +20,12 @@ pub struct ShortestPath {
     cache: PathCache,
     /// Fault cooldowns (empty for the whole run unless faults fire).
     penalties: PathPenalties,
+    /// Per-channel shed breakers (empty for the whole run unless
+    /// overload shedding fires).
+    breakers: ChannelBreakers,
     /// Alternate candidates for failover while the shortest path is
-    /// cooling down. Built lazily on the first cooldown hit, so
-    /// fault-free runs never pay for (or observe) it.
+    /// cooling down (or breaker-blocked). Built lazily on the first
+    /// hit, so fault-free runs never pay for (or observe) it.
     alt: Option<PathCache>,
 }
 
@@ -34,11 +38,31 @@ impl Default for ShortestPath {
 impl ShortestPath {
     /// Creates the baseline router.
     pub fn new() -> Self {
+        Self::with_backoff(BackoffConfig::default())
+    }
+
+    /// Creates the baseline router with explicit fault-backoff tuning
+    /// (cooldown base and doubling cap).
+    pub fn with_backoff(cfg: BackoffConfig) -> Self {
         ShortestPath {
             cache: PathCache::new(PathPolicy::Shortest),
-            penalties: PathPenalties::default(),
+            penalties: PathPenalties::new(cfg),
+            breakers: ChannelBreakers::default(),
             alt: None,
         }
+    }
+
+    /// True when every hop of `path` may be crossed at `view.now`
+    /// (short-circuits on the empty breaker table).
+    fn breakers_allow(
+        breakers: &mut ChannelBreakers,
+        path: PathId,
+        view: &NetworkView<'_>,
+    ) -> bool {
+        view.path(path)
+            .hops()
+            .iter()
+            .all(|&(c, _)| breakers.allow(c, view.now))
     }
 }
 
@@ -93,6 +117,24 @@ impl Router for ShortestPath {
                 .choose(&candidates, view.now)
                 .unwrap_or(primary);
         }
+        if !self.breakers.is_empty() && !Self::breakers_allow(&mut self.breakers, path, view) {
+            // The chosen path crosses a tripped channel: fail over to an
+            // edge-disjoint alternate whose breakers all allow traffic.
+            let alt = self
+                .alt
+                .get_or_insert_with(|| PathCache::new(PathPolicy::EdgeDisjoint(2)));
+            let candidates = alt.get(view.topo, view.paths, req.src, req.dst).to_vec();
+            match candidates
+                .into_iter()
+                .filter(|&p| p != path)
+                .find(|&p| Self::breakers_allow(&mut self.breakers, p, view))
+            {
+                Some(p) => path = p,
+                // Every candidate is blocked: fail fast and let the next
+                // poll retry once the breakers half-open.
+                None => return Vec::new(),
+            }
+        }
         vec![RouteProposal {
             path,
             amount: req.remaining,
@@ -112,12 +154,23 @@ impl Router for ShortestPath {
     fn on_unit_ack(&mut self, ack: &spider_sim::UnitAck, view: &NetworkView<'_>) {
         self.penalties
             .on_ack(ack.path, ack.delivered, ack.drop_reason, view.now);
+        if ack.drop_reason == Some(DropReason::Shed) {
+            if let Some(c) = ack.drop_channel {
+                self.breakers.on_strike(c, view.now);
+            }
+        } else if ack.delivered && !self.breakers.is_empty() {
+            for &(c, _) in view.path(ack.path).hops() {
+                self.breakers.on_success(c);
+            }
+        }
     }
 
     fn observability(&self) -> spider_sim::RouterObs {
         let mut obs = spider_sim::RouterObs::default();
         obs.counters
             .extend(self.penalties.counters().map(|(k, v)| (k.to_string(), v)));
+        obs.counters
+            .extend(self.breakers.counters().map(|(k, v)| (k.to_string(), v)));
         obs
     }
 }

@@ -138,6 +138,67 @@ impl QueueConfig {
     }
 }
 
+/// Sender-side admission control: a token bucket plus a global
+/// queue-occupancy gate that stops payments *before* they enter any
+/// queue, so under overload the network carries only what it can
+/// deliver instead of letting every payment rot toward its deadline.
+/// `None` (the default) leaves arrivals ungated.
+///
+/// Two postures toward a gated payment:
+///
+/// * **policing** (`defer: false`) — fail-fast with
+///   `DropReason::AdmissionRejected`; the sender gives up immediately;
+/// * **shaping** (`defer: true`) — the arrival is re-offered at the
+///   deterministic time the bucket next has a token (deferred arrivals
+///   are paced at exactly `rate_per_sec`, FIFO), so a burst spreads out
+///   instead of dying. The payment's deadline runs from the deferred
+///   offer — it has not entered the network while it waits.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdmissionConfig {
+    /// Sustained admission rate of the token bucket, payments per second.
+    pub rate_per_sec: f64,
+    /// Token-bucket burst size (maximum tokens banked while idle).
+    pub burst: f64,
+    /// Policing mode only: new payments are also rejected while global
+    /// queue occupancy (queued units across every channel direction, as
+    /// a fraction of total queue capacity) exceeds this — the
+    /// queue-gradient signal that the token rate alone cannot see.
+    /// Shaping bounds intake by time, not rejection, and ignores it.
+    pub max_queue_fraction: f64,
+    /// Shape instead of police: defer gated arrivals to the bucket's
+    /// next-token time instead of fail-fasting them.
+    pub defer: bool,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            rate_per_sec: 2_000.0,
+            burst: 256.0,
+            max_queue_fraction: 0.5,
+            defer: false,
+        }
+    }
+}
+
+impl AdmissionConfig {
+    fn validate(&self) -> spider_types::Result<()> {
+        use spider_types::SpiderError::InvalidConfig;
+        if self.rate_per_sec <= 0.0 {
+            return Err(InvalidConfig("admission rate must be positive".into()));
+        }
+        if self.burst < 1.0 {
+            return Err(InvalidConfig("admission burst must be at least 1".into()));
+        }
+        if !(0.0..=1.0).contains(&self.max_queue_fraction) {
+            return Err(InvalidConfig(
+                "admission queue fraction must be in [0, 1]".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Observability switches (see the `spider-obs` crate).
 ///
 /// Everything here is off by default and each switch is zero-cost when
@@ -167,6 +228,13 @@ pub struct ObsConfig {
     /// `Simulation::take_forensics`. `0` (the default) disables the
     /// recorder entirely.
     pub forensics_capacity: usize,
+    /// Run the runtime invariant monitor every this many executed engine
+    /// events, recording violations (conservation, queue bounds,
+    /// unit-state legality, payment accounting) into a structured report
+    /// collected with `Simulation::take_invariant_report`. `0` (the
+    /// default) disables the monitor entirely; enabled or not, it never
+    /// changes simulation outcomes.
+    pub invariants_every: u64,
 }
 
 /// Engine parameters.
@@ -199,6 +267,13 @@ pub struct SimConfig {
     /// How units claim balance along their path: instant whole-path
     /// locking (the offline-scheme model) or the §5 per-channel queues.
     pub queueing: QueueingMode,
+    /// Deadline-aware load shedding (queueing mode): when a queue is
+    /// full, evict the queued unit least likely to meet its deadline
+    /// (with `DropReason::Shed`) instead of blindly tail-dropping the
+    /// newcomer. Off by default — the seed's tail-drop behavior.
+    pub shedding: bool,
+    /// Sender-side admission control; `None` (the default) gates nothing.
+    pub admission: Option<AdmissionConfig>,
     /// Observability: tracing, profiling, and series sampling.
     pub obs: ObsConfig,
 }
@@ -215,6 +290,8 @@ impl Default for SimConfig {
             max_proposals_per_poll: 64,
             rebalancing: None,
             queueing: QueueingMode::Lockstep,
+            shedding: false,
+            admission: None,
             obs: ObsConfig::default(),
         }
     }
@@ -238,6 +315,9 @@ impl SimConfig {
         }
         if let QueueingMode::PerChannelFifo(qc) = &self.queueing {
             qc.validate()?;
+        }
+        if let Some(adm) = &self.admission {
+            adm.validate()?;
         }
         if self.obs.sampler.cadence.is_zero() {
             return Err(InvalidConfig("sampling cadence must be positive".into()));
@@ -290,6 +370,20 @@ mod tests {
             },
             SimConfig {
                 max_proposals_per_poll: 0,
+                ..SimConfig::default()
+            },
+            SimConfig {
+                admission: Some(AdmissionConfig {
+                    rate_per_sec: 0.0,
+                    ..AdmissionConfig::default()
+                }),
+                ..SimConfig::default()
+            },
+            SimConfig {
+                admission: Some(AdmissionConfig {
+                    max_queue_fraction: 1.5,
+                    ..AdmissionConfig::default()
+                }),
                 ..SimConfig::default()
             },
         ];

@@ -38,8 +38,9 @@
 use crate::calendar::CalendarQueue;
 use crate::chanindex::ChannelIndex;
 use crate::channel::ChannelState;
-use crate::config::{QueueConfig, QueueingMode, SchedulingPolicy, SimConfig};
+use crate::config::{AdmissionConfig, QueueConfig, QueueingMode, SchedulingPolicy, SimConfig};
 use crate::metrics::{MetricsCollector, SimReport};
+use crate::monitor::{InvariantMonitor, InvariantReport};
 use crate::paths::{PathEntry, PathTable};
 use crate::queue::local_signal;
 use crate::router::{NetworkView, RouteRequest, Router, TopologyUpdate, UnitAck, UnitOutcome};
@@ -50,6 +51,7 @@ use spider_obs::{
     ChannelAttribution, ChannelSample, DropRecord, FlightRecorder, Phase, Profiler, Sampler, Trace,
     TraceSink, HOTSPOT_K, NUM_SERIES,
 };
+use spider_overload::OverloadPlan;
 use spider_topology::Topology;
 use spider_types::{
     Amount, ChannelId, DetRng, Direction, DropReason, MarkStamp, NodeId, PathId, PaymentId,
@@ -84,6 +86,11 @@ struct PaymentState {
     /// Lost at least one in-flight unit to a channel close (topology
     /// churn); if the payment never completes it counts as failed-by-churn.
     churn_hit: bool,
+    /// Overload injection: the payment griefs — its units are silently
+    /// held at the final hop until the sender-side timeout refunds them,
+    /// pinning the whole path's liquidity. Drawn once per arrival from
+    /// the installed [`OverloadPlan`]'s runtime stream.
+    griefing: bool,
 }
 
 impl PaymentState {
@@ -100,6 +107,10 @@ enum EventKind {
     /// A transaction arrives (streamed from the workload source; each
     /// arrival schedules its successor).
     Arrival(TxnSpec),
+    /// An arrival the shaping admission gate deferred, re-offered at the
+    /// bucket's promised slot (does *not* advance the workload stream —
+    /// its original `Arrival` already did).
+    DeferredArrival(TxnSpec),
     Settle {
         payment: usize,
         amount: Amount,
@@ -179,6 +190,80 @@ struct UnitState {
     drop_reason: Option<DropReason>,
     /// Settled or dropped; the slot is back on the free list.
     done: bool,
+}
+
+/// Token-bucket state for sender-side admission control.
+#[derive(Debug, Clone)]
+struct AdmissionState {
+    cfg: AdmissionConfig,
+    /// Tokens banked; refilled lazily on each arrival.
+    tokens: f64,
+    /// When the bucket was last refilled.
+    last_refill: SimTime,
+    /// Shaping mode: the time slot promised to the most recently
+    /// deferred arrival; later deferrals queue behind it (FIFO pacing
+    /// at exactly `rate_per_sec`).
+    defer_horizon: SimTime,
+}
+
+impl AdmissionState {
+    fn new(cfg: AdmissionConfig) -> Self {
+        let tokens = cfg.burst;
+        AdmissionState {
+            cfg,
+            tokens,
+            last_refill: SimTime::ZERO,
+            defer_horizon: SimTime::ZERO,
+        }
+    }
+
+    /// Shaping mode only: decides whether an arrival at `now` must wait.
+    /// `None` admits immediately; `Some(t)` defers the arrival to `t`,
+    /// the deterministic time the bucket next frees a slot — behind
+    /// every earlier deferral, so deferred arrivals drain in FIFO order
+    /// at exactly the sustained rate.
+    ///
+    /// In shaping mode this function owns the bucket entirely: the
+    /// token is spent here on both outcomes (a promised slot spends its
+    /// token at schedule time, driving `tokens` negative — debt — under
+    /// backlog), and a deferred re-offer never re-enters the gate. The
+    /// occupancy gate (`max_queue_fraction`) is a policing-mode
+    /// concept; shaping bounds intake by time, not by rejection.
+    fn defer_until(&mut self, now: SimTime) -> Option<SimTime> {
+        debug_assert!(self.cfg.defer, "defer_until requires shaping mode");
+        let dt = (now - self.last_refill).as_secs_f64();
+        self.last_refill = now;
+        self.tokens = (self.tokens + dt * self.cfg.rate_per_sec).min(self.cfg.burst);
+        let backlogged = self.defer_horizon > now;
+        if !backlogged && self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            return None;
+        }
+        let at = if backlogged {
+            self.defer_horizon
+        } else {
+            let token_wait = (1.0 - self.tokens).max(0.0) / self.cfg.rate_per_sec;
+            now + spider_types::SimDuration::from_secs_f64(token_wait)
+        };
+        self.tokens -= 1.0;
+        self.defer_horizon =
+            at + spider_types::SimDuration::from_secs_f64(1.0 / self.cfg.rate_per_sec);
+        Some(at)
+    }
+
+    /// Refills the bucket to `now`, then decides one payment: `true`
+    /// admits (consuming a token), `false` rejects. `queue_fraction` is
+    /// the global queue occupancy in [0, 1].
+    fn admit(&mut self, now: SimTime, queue_fraction: f64) -> bool {
+        let dt = (now - self.last_refill).as_secs_f64();
+        self.last_refill = now;
+        self.tokens = (self.tokens + dt * self.cfg.rate_per_sec).min(self.cfg.burst);
+        if queue_fraction > self.cfg.max_queue_fraction || self.tokens < 1.0 {
+            return false;
+        }
+        self.tokens -= 1.0;
+        true
+    }
 }
 
 /// Slab occupancy and lifetime counters (see [`Simulation::slab_stats`]).
@@ -313,6 +398,22 @@ pub struct Simulation {
     /// Per-node crashed flag, toggled by [`EventKind::Fault`] events;
     /// empty when no fault plan is installed.
     crashed_nodes: Vec<bool>,
+    /// Installed overload plan (see [`Simulation::set_overload_plan`]).
+    /// `None` leaves the overload machinery entirely inert — like the
+    /// fault plan, no draw is ever made without one.
+    overload_plan: Option<OverloadPlan>,
+    /// Runtime draw stream for per-payment griefing decisions, seeded
+    /// from the plan (untouched when no plan is installed).
+    overload_rng: DetRng,
+    /// Token-bucket state for sender-side admission control; `None`
+    /// unless [`SimConfig::admission`] is set.
+    admission: Option<AdmissionState>,
+    /// Units resident in router queues right now, across every channel
+    /// direction — O(1) occupancy for the admission gate.
+    queued_units_total: usize,
+    /// Runtime invariant monitor; `None` unless
+    /// [`ObsConfig::invariants_every`](crate::config::ObsConfig) > 0.
+    monitor: Option<InvariantMonitor>,
     /// Cached `Router::observes_unit_outcomes` for the run.
     router_observes: bool,
     /// Reusable released-direction worklist for `drain`/drop cascades.
@@ -366,6 +467,9 @@ impl Simulation {
             .then(|| ChannelAttribution::new(n_channels));
         let forensics = (config.obs.forensics_capacity > 0)
             .then(|| FlightRecorder::new(config.obs.forensics_capacity));
+        let admission = config.admission.clone().map(AdmissionState::new);
+        let monitor = (config.obs.invariants_every > 0)
+            .then(|| InvariantMonitor::new(config.obs.invariants_every));
         // Payments accumulate per arrival; the event slab only ever holds
         // in-flight work (arrivals are streamed), so it sizes itself.
         let n_txns = source.count();
@@ -410,6 +514,11 @@ impl Simulation {
             fault_plan: None,
             fault_rng: DetRng::new(0),
             crashed_nodes: Vec::new(),
+            overload_plan: None,
+            overload_rng: DetRng::new(0),
+            admission,
+            queued_units_total: 0,
+            monitor,
             router_observes: true,
             drain_scratch: VecDeque::new(),
             close_scratch: Vec::new(),
@@ -496,6 +605,17 @@ impl Simulation {
         self.fault_rng = DetRng::new(plan.runtime_seed);
         self.crashed_nodes = vec![false; self.topo.node_count()];
         self.fault_plan = Some(plan);
+    }
+
+    /// Installs an overload plan (see [`OverloadPlan`]); call before
+    /// [`Simulation::run`]. The engine draws per-payment griefing from
+    /// the plan's own runtime stream, so the workload, scheme, churn and
+    /// fault streams are unaffected; the plan's workload transforms
+    /// (time warp, pair redirects) are applied by the caller before the
+    /// workload reaches the engine.
+    pub fn set_overload_plan(&mut self, plan: OverloadPlan) {
+        self.overload_rng = DetRng::new(plan.runtime_seed);
+        self.overload_plan = Some(plan);
     }
 
     /// Runs to the horizon and produces the report. The simulation object
@@ -613,7 +733,12 @@ impl Simulation {
                 EventKind::Arrival(spec) => {
                     let t0 = self.profiler.start();
                     self.schedule_next_arrival(horizon);
-                    self.on_arrival(spec);
+                    self.on_arrival(spec, false);
+                    self.profiler.stop(Phase::Routing, t0);
+                }
+                EventKind::DeferredArrival(spec) => {
+                    let t0 = self.profiler.start();
+                    self.on_arrival(spec, true);
                     self.profiler.stop(Phase::Routing, t0);
                 }
                 EventKind::Settle {
@@ -686,6 +811,11 @@ impl Simulation {
             }
             #[cfg(debug_assertions)]
             self.debug_check_channel_indices();
+            // Runtime invariant monitor: a read-only sweep every K
+            // executed events when enabled; one branch when not.
+            if self.monitor.is_some() {
+                self.monitor_step();
+            }
         }
         let failed_by_churn = self
             .payments
@@ -817,6 +947,126 @@ impl Simulation {
         self.forensics.take()
     }
 
+    /// Takes the runtime invariant monitor's report (when
+    /// [`ObsConfig::invariants_every`](crate::config::ObsConfig) was
+    /// nonzero). Call once, after [`Simulation::run`]; subsequent calls
+    /// (and unmonitored runs) return `None`.
+    pub fn take_invariant_report(&mut self) -> Option<InvariantReport> {
+        self.monitor.take().map(InvariantMonitor::finish)
+    }
+
+    /// Advances the invariant monitor one executed event, running a full
+    /// sweep when one is due. The sweep only reads engine state:
+    /// monitored and unmonitored runs produce bit-identical reports.
+    fn monitor_step(&mut self) {
+        let mut mon = self.monitor.take().expect("caller checked the monitor");
+        if mon.step_due() {
+            self.run_invariant_checks(&mut mon);
+        }
+        self.monitor = Some(mon);
+    }
+
+    /// One full invariant sweep (see [`crate::monitor`]): conservation,
+    /// queue bounds, unit-state legality, payment accounting.
+    fn run_invariant_checks(&self, mon: &mut InvariantMonitor) {
+        mon.note_check();
+        let t_us = self.now.micros();
+        // Conservation: available + in-flight = escrowed capacity.
+        for (i, ch) in self.channels.iter().enumerate() {
+            if ch.total() != ch.capacity() {
+                mon.record(
+                    t_us,
+                    "conservation",
+                    format!(
+                        "channel {i}: total {} drops != capacity {} drops",
+                        ch.total().drops(),
+                        ch.capacity().drops()
+                    ),
+                );
+            }
+        }
+        // Queue bounds: per-direction occupancy within the configured
+        // cap, and the O(1) occupancy counter consistent with a recount.
+        if let Some(qc) = &self.qcfg {
+            let mut total = 0usize;
+            for (i, q) in self.queues.iter().enumerate() {
+                for (dir, dq) in q.iter().enumerate() {
+                    let len = dq.len();
+                    total += len;
+                    if len > qc.max_queue_units {
+                        mon.record(
+                            t_us,
+                            "queue_bounds",
+                            format!(
+                                "channel {i} dir {dir}: {len} queued > cap {}",
+                                qc.max_queue_units
+                            ),
+                        );
+                    }
+                }
+            }
+            if total != self.queued_units_total {
+                mon.record(
+                    t_us,
+                    "queue_bounds",
+                    format!(
+                        "occupancy counter {} != recount {total}",
+                        self.queued_units_total
+                    ),
+                );
+            }
+        }
+        // Unit-state legality: an alive unit has exactly one pending
+        // event and a hop cursor inside its path.
+        for (uid, u) in self.units.iter().enumerate() {
+            if u.done {
+                continue;
+            }
+            let pending = u.timeout_event.is_some() as u8 + u.hop_event.is_some() as u8;
+            if pending != 1 {
+                mon.record(
+                    t_us,
+                    "unit_state",
+                    format!("unit {uid}: {pending} pending events (want exactly 1)"),
+                );
+            }
+            if u.next_hop > u.entry.hop_count() {
+                mon.record(
+                    t_us,
+                    "unit_state",
+                    format!(
+                        "unit {uid}: hop cursor {} past path length {}",
+                        u.next_hop,
+                        u.entry.hop_count()
+                    ),
+                );
+            }
+        }
+        // Payment accounting: delivered + inflight never exceeds the
+        // payment total, and completion implies full delivery.
+        for (pid, p) in self.payments.iter().enumerate() {
+            if p.delivered.drops() + p.inflight.drops() > p.total.drops() {
+                mon.record(
+                    t_us,
+                    "payment_accounting",
+                    format!(
+                        "payment {pid}: delivered {} + inflight {} > total {} drops",
+                        p.delivered.drops(),
+                        p.inflight.drops(),
+                        p.total.drops()
+                    ),
+                );
+            }
+            if p.completed && p.delivered != p.total {
+                mon.record(
+                    t_us,
+                    "payment_accounting",
+                    format!("payment {pid}: completed but not fully delivered"),
+                );
+            }
+        }
+    }
+
     /// Prepares the arrival stream (ordering fixed workloads by `(time,
     /// index)`) and merges the first in-horizon arrival into the calendar.
     fn init_arrivals(&mut self, horizon: SimTime) {
@@ -905,10 +1155,34 @@ impl Simulation {
         self.queues.iter().map(|q| q[0].len() + q[1].len()).sum()
     }
 
-    fn on_arrival(&mut self, spec: TxnSpec) {
+    fn on_arrival(&mut self, mut spec: TxnSpec, deferred: bool) {
+        // Shaping admission (defer mode): re-offer the arrival at the
+        // bucket's promised slot before any payment state exists. The
+        // re-offered spec carries the deferred time, so the payment's
+        // arrival stamp — and therefore its deadline — runs from when it
+        // actually enters the network. A deferred re-offer bypasses the
+        // gate: its slot already spent its token when it was promised.
+        if !deferred {
+            if let Some(adm) = self.admission.as_mut() {
+                if adm.cfg.defer {
+                    if let Some(at) = adm.defer_until(self.now) {
+                        self.metrics.admission_deferred();
+                        spec.time = at;
+                        self.schedule(at, EventKind::DeferredArrival(spec));
+                        return;
+                    }
+                }
+            }
+        }
         let deadline = match self.config.deadline {
             Some(d) => spec.time + d,
             None => SimTime::FAR_FUTURE,
+        };
+        // Overload griefing: one draw per arrival from the plan's own
+        // runtime stream (no plan, no draw).
+        let griefing = match &self.overload_plan {
+            Some(plan) => self.overload_rng.chance(plan.griefing_prob),
+            None => false,
         };
         let pid = self.payments.len();
         self.payments.push(PaymentState {
@@ -923,6 +1197,7 @@ impl Simulation {
             completed: false,
             expired: false,
             churn_hit: false,
+            griefing,
         });
         self.in_pending.push(false);
         self.metrics.payment_arrived(spec.amount);
@@ -937,11 +1212,59 @@ impl Simulation {
                 },
             );
         }
+        // Sender-side admission control, policing mode: fail-fast before
+        // any routing work, so a rejected payment never occupies a
+        // queue. Shaping mode already made its decision above — by
+        // deferral, never by rejection.
+        let policing = self.admission.as_ref().is_some_and(|a| !a.cfg.defer);
+        if policing && !self.admit_payment(pid) {
+            return;
+        }
         self.attempt_payment(pid);
         // Queue the remainder for retries (non-atomic only).
         if !self.router.atomic() && self.payments[pid].active() {
             self.pending_push(pid);
         }
+    }
+
+    /// Global queue occupancy in [0, 1] — the admission gate's
+    /// congestion signal; zero under lockstep queueing, where no
+    /// per-channel queues exist.
+    fn queue_fraction(&self) -> f64 {
+        match &self.qcfg {
+            Some(qc) => {
+                let capacity = qc.max_queue_units * self.channels.len() * 2;
+                self.queued_units_total as f64 / capacity.max(1) as f64
+            }
+            None => 0.0,
+        }
+    }
+
+    /// The sender-side admission gate: refills the token bucket and
+    /// either admits the payment (consuming a token) or fail-fasts it
+    /// with [`DropReason::AdmissionRejected`] before it enters any
+    /// queue. Returns whether the payment was admitted.
+    fn admit_payment(&mut self, pid: usize) -> bool {
+        let queue_fraction = self.queue_fraction();
+        let adm = self.admission.as_mut().expect("caller checked the gate");
+        if adm.admit(self.now, queue_fraction) {
+            return true;
+        }
+        self.payments[pid].expired = true;
+        self.metrics.unit_dropped(DropReason::AdmissionRejected);
+        // No path was ever proposed: a whole-payment forensic record
+        // under the reserved no-path id, with no failing channel.
+        self.forensic_drop(pid, PathId(u32::MAX), None, DropReason::AdmissionRejected);
+        if let Some(t) = self.trace.as_mut() {
+            t.record(
+                self.now.micros(),
+                TraceEventKind::PaymentExpired {
+                    payment: PaymentId(pid as u64),
+                    remaining: self.payments[pid].total,
+                },
+            );
+        }
+        false
     }
 
     /// Appends `pid` to the pending retry queue unless already present.
@@ -1180,6 +1503,48 @@ impl Simulation {
             }
             return;
         }
+        // Overload griefing (lockstep): the receiver withholds the key,
+        // so the settle refunds every hop — a stuck unit driven by the
+        // overload plan rather than a fault draw (which it preempts).
+        if self.overload_plan.is_some() && self.payments[pid].griefing {
+            let reason = DropReason::HopTimeout;
+            for &(c, dir) in entry.hops() {
+                self.channels[c.index()].refund(dir, amount);
+            }
+            self.payments[pid].inflight -= amount;
+            self.metrics.unit_dropped(reason);
+            self.forensic_drop(pid, path, None, reason);
+            if let Some(t) = self.trace.as_mut() {
+                t.record(
+                    self.now.micros(),
+                    TraceEventKind::UnitRefunded {
+                        payment: PaymentId(pid as u64),
+                        amount,
+                        reason,
+                    },
+                );
+            }
+            // Like fault outcomes, griefing bypasses the
+            // `router_observes` gate so backoff sees the failure.
+            let outcome = UnitOutcome {
+                payment: PaymentId(pid as u64),
+                path,
+                amount,
+                locked: true,
+                fault: Some(reason),
+            };
+            let view = NetworkView {
+                topo: &self.topo,
+                channels: &self.channels,
+                paths: &self.paths,
+                now: self.now,
+            };
+            self.router.on_unit_outcome(&outcome, &view);
+            if !self.router.atomic() && self.payments[pid].active() {
+                self.pending_push(pid);
+            }
+            return;
+        }
         if self.fault_plan.is_some() {
             if let Some(reason) = self.lockstep_fault(path) {
                 for &(c, dir) in entry.hops() {
@@ -1244,7 +1609,7 @@ impl Simulation {
         let completed = if p.delivered == p.total {
             p.completed = true;
             let latency = self.now - p.arrival;
-            self.metrics.payment_completed(latency);
+            self.metrics.payment_completed(p.total, latency);
             Some(latency)
         } else {
             None
@@ -1452,6 +1817,7 @@ impl Simulation {
     /// The caller has verified the queue has room.
     fn enqueue_unit(&mut self, uid: usize, c: ChannelId, d: Direction) {
         self.queues[c.index()][d.index()].push_back(uid);
+        self.queued_units_total += 1;
         let timeout = self.now + self.qcfg.as_ref().expect("queueing mode").max_queue_delay;
         let event_id = self.schedule(timeout, EventKind::QueueTimeout { unit: uid });
         let u = &mut self.units[uid];
@@ -1515,6 +1881,28 @@ impl Simulation {
         let final_hop = self.units[uid].next_hop == entry.hop_count();
         if final_hop {
             self.metrics.unit_lock(entry.hop_count(), true);
+        }
+        // Overload griefing: the final hop silently holds the unit —
+        // with the whole path now locked — until the sender-side
+        // timeout refunds it (the stuck-unit plumbing of fault
+        // injection, driven by the overload plan instead of a fault
+        // draw). Checked before the fault draws so a griefing unit
+        // consumes none of the fault stream.
+        if final_hop && self.payments[self.units[uid].payment].griefing {
+            let hold = self
+                .overload_plan
+                .as_ref()
+                .expect("griefing payments exist only under an overload plan")
+                .griefing_hold;
+            let ev = self.schedule(
+                self.now + hold,
+                EventKind::HopTimeout {
+                    unit: uid,
+                    reason: DropReason::HopTimeout,
+                },
+            );
+            self.units[uid].hop_event = Some(ev);
+            return;
         }
         // Fault draws (installed plan only; fixed per-hop draw order:
         // loss, stuck, jitter, spike). A lost forwarding message — or, on
@@ -1607,7 +1995,45 @@ impl Simulation {
         if queue_len == 0 && self.channels[c.index()].available(d) >= amount {
             self.lock_hop(uid, spider_types::SimDuration::ZERO);
         } else if queue_len >= self.qcfg.as_ref().expect("queueing mode").max_queue_units {
-            self.drop_unit(uid, DropReason::QueueOverflow);
+            if self.config.shedding {
+                self.shed_into_queue(uid, c, d);
+            } else {
+                self.drop_unit(uid, DropReason::QueueOverflow);
+            }
+        } else {
+            self.enqueue_unit(uid, c, d);
+        }
+    }
+
+    /// Deadline-aware shedding: the queue at `(c, d)` is full. Among the
+    /// queued units and the newcomer `uid`, evict the one least likely
+    /// to meet its deadline — the earliest payment deadline, front-most
+    /// on queue ties (it has waited longest for nothing). The newcomer
+    /// is dropped when its own deadline is earliest-or-tied; otherwise
+    /// the victim is shed and the newcomer takes its place.
+    fn shed_into_queue(&mut self, uid: usize, c: ChannelId, d: Direction) {
+        let newcomer_deadline = self.payments[self.units[uid].payment].deadline;
+        let victim = self.queues[c.index()][d.index()]
+            .iter()
+            .copied()
+            .min_by_key(|&q| self.payments[self.units[q].payment].deadline);
+        let victim = match victim {
+            Some(v) if self.payments[self.units[v].payment].deadline < newcomer_deadline => v,
+            _ => {
+                self.drop_unit(uid, DropReason::Shed);
+                return;
+            }
+        };
+        self.drop_unit(victim, DropReason::Shed);
+        // The eviction's refunds can cascade (upstream queues drain,
+        // drop, refund further); re-admit the newcomer against the
+        // queue's state as it stands now.
+        let amount = self.units[uid].amount;
+        let queue_len = self.queues[c.index()][d.index()].len();
+        if queue_len == 0 && self.channels[c.index()].available(d) >= amount {
+            self.lock_hop(uid, spider_types::SimDuration::ZERO);
+        } else if queue_len >= self.qcfg.as_ref().expect("queueing mode").max_queue_units {
+            self.drop_unit(uid, DropReason::Shed);
         } else {
             self.enqueue_unit(uid, c, d);
         }
@@ -1655,7 +2081,7 @@ impl Simulation {
         let completed = if p.delivered == p.total {
             p.completed = true;
             let latency = self.now - p.arrival;
-            self.metrics.payment_completed(latency);
+            self.metrics.payment_completed(p.total, latency);
             Some(latency)
         } else {
             None
@@ -1780,7 +2206,10 @@ impl Simulation {
         let next = self.units[uid].next_hop;
         if next < entry.hop_count() {
             let (c, d) = entry.hops()[next];
-            self.queues[c.index()][d.index()].retain(|&q| q != uid);
+            let q = &mut self.queues[c.index()][d.index()];
+            let before = q.len();
+            q.retain(|&q| q != uid);
+            self.queued_units_total -= before - q.len();
         }
         let amount = self.units[uid].amount;
         for &(c, d) in &entry.hops()[..next] {
@@ -1852,6 +2281,11 @@ impl Simulation {
     fn ack_unit(&mut self, uid: usize, delivered: bool) {
         let u = &self.units[uid];
         self.metrics.unit_acked(u.stamp.marked);
+        // The failing hop of a dropped unit, mirroring the forensics
+        // attribution: the channel it was queued at or traveling toward.
+        // A unit that fully locked its path (expiry/griefing) has none.
+        let drop_channel = (u.drop_reason.is_some() && u.next_hop < u.entry.hop_count())
+            .then(|| u.entry.hops()[u.next_hop].0);
         let ack = UnitAck {
             payment: PaymentId(u.payment as u64),
             path: u.path,
@@ -1859,6 +2293,7 @@ impl Simulation {
             delivered,
             stamp: u.stamp,
             drop_reason: u.drop_reason,
+            drop_channel,
             rtt: self.now - u.injected_at,
         };
         let view = NetworkView {
@@ -1897,6 +2332,7 @@ impl Simulation {
                 let pid = self.units[uid].payment;
                 if self.payments[pid].expired || self.now > self.payments[pid].deadline {
                     self.queues[c.index()][d.index()].pop_front();
+                    self.queued_units_total -= 1;
                     self.drop_unit_collect(uid, DropReason::Expired, &mut work);
                     continue;
                 }
@@ -1911,6 +2347,7 @@ impl Simulation {
                     break;
                 }
                 self.queues[c.index()][d.index()].pop_front();
+                self.queued_units_total -= 1;
                 if let Some(ev) = self.units[uid].timeout_event.take() {
                     self.cancel_event(ev);
                 }

@@ -28,6 +28,7 @@ pub mod channel;
 pub mod config;
 pub mod engine;
 pub mod metrics;
+pub mod monitor;
 pub mod paths;
 pub mod queue;
 pub mod router;
@@ -36,9 +37,12 @@ pub mod workload;
 pub use calendar::CalendarQueue;
 pub use chanindex::ChannelIndex;
 pub use channel::ChannelState;
-pub use config::{ObsConfig, QueueConfig, QueueingMode, SchedulingPolicy, SimConfig};
+pub use config::{
+    AdmissionConfig, ObsConfig, QueueConfig, QueueingMode, SchedulingPolicy, SimConfig,
+};
 pub use engine::{Simulation, SlabStats};
 pub use metrics::{DropBreakdown, SimReport};
+pub use monitor::{InvariantMonitor, InvariantReport, InvariantViolation, VIOLATION_HEADER};
 pub use paths::{PathEntry, PathTable};
 pub use router::{
     NetworkView, RouteProposal, RouteRequest, Router, RouterObs, TopologyUpdate, UnitAck,

@@ -38,6 +38,10 @@ pub struct DropBreakdown {
     pub hop_timeout: u64,
     /// Units dropped because a node on their path crashed.
     pub node_crashed: u64,
+    /// Units evicted by deadline-aware overload shedding.
+    pub shed: u64,
+    /// Payments fail-fasted by sender-side admission control.
+    pub admission_rejected: u64,
 }
 
 impl DropBreakdown {
@@ -50,6 +54,8 @@ impl DropBreakdown {
             + self.message_lost
             + self.hop_timeout
             + self.node_crashed
+            + self.shed
+            + self.admission_rejected
     }
 
     /// Sum over the fault-injected reasons only (see
@@ -68,6 +74,8 @@ impl DropBreakdown {
             DropReason::MessageLost => self.message_lost += 1,
             DropReason::HopTimeout => self.hop_timeout += 1,
             DropReason::NodeCrashed => self.node_crashed += 1,
+            DropReason::Shed => self.shed += 1,
+            DropReason::AdmissionRejected => self.admission_rejected += 1,
         }
     }
 }
@@ -85,6 +93,14 @@ pub struct SimReport {
     pub attempted_volume: Amount,
     /// Total value settled end-to-end (includes partial deliveries).
     pub delivered_volume: Amount,
+    /// Total value of fully completed payments — the goodput numerator.
+    /// Excludes partial deliveries of payments that never finished, so
+    /// under overload this is what separates useful work from waste.
+    pub completed_volume: Amount,
+    /// Arrivals the shaping admission gate (`AdmissionConfig::defer`)
+    /// pushed to a later slot instead of rejecting. Deferral is not a
+    /// drop: the payment is re-offered and counted once on admission.
+    pub admission_deferred: u64,
     /// Transaction units whose path lock succeeded.
     pub units_locked: u64,
     /// Transaction units that failed to lock (insufficient balance).
@@ -186,6 +202,13 @@ impl SimReport {
     /// Delivered / attempted volume (the paper's success volume), in 0..=1.
     pub fn success_volume(&self) -> f64 {
         self.delivered_volume.ratio(self.attempted_volume)
+    }
+
+    /// Goodput: completed-payment volume per simulated second (XRP/s).
+    /// Partial deliveries of payments that never completed are excluded —
+    /// under overload they are waste, not goodput.
+    pub fn goodput_xrp_per_sec(&self) -> f64 {
+        self.completed_volume.as_xrp() / self.horizon.as_secs_f64().max(f64::MIN_POSITIVE)
     }
 
     /// Mean completion time of completed payments (seconds).
@@ -302,6 +325,8 @@ pub struct MetricsCollector {
     completed_payments: u64,
     attempted_volume: Amount,
     delivered_volume: Amount,
+    completed_volume: Amount,
+    admission_deferred: u64,
     units_locked: u64,
     units_failed: u64,
     retries: u64,
@@ -347,6 +372,11 @@ impl MetricsCollector {
         self.attempted_volume += amount;
     }
 
+    /// Records an arrival deferred by the shaping admission gate.
+    pub fn admission_deferred(&mut self) {
+        self.admission_deferred += 1;
+    }
+
     /// Records a settled unit (value delivered end-to-end).
     pub fn unit_settled(&mut self, amount: Amount, at: SimTime) {
         self.delivered_volume += amount;
@@ -357,9 +387,10 @@ impl MetricsCollector {
         self.throughput_buckets[bucket] += amount.as_xrp();
     }
 
-    /// Records a fully completed payment with its latency.
-    pub fn payment_completed(&mut self, latency: SimDuration) {
+    /// Records a fully completed payment with its total value and latency.
+    pub fn payment_completed(&mut self, amount: Amount, latency: SimDuration) {
         self.completed_payments += 1;
+        self.completed_volume += amount;
         let secs = latency.as_secs_f64();
         self.completion_times.push(secs);
         self.latency_hist.record(secs);
@@ -493,6 +524,8 @@ impl MetricsCollector {
             completed_payments: self.completed_payments,
             attempted_volume: self.attempted_volume,
             delivered_volume: self.delivered_volume,
+            completed_volume: self.completed_volume,
+            admission_deferred: self.admission_deferred,
             units_locked: self.units_locked,
             units_failed: self.units_failed,
             retries: self.retries,
@@ -540,13 +573,17 @@ mod tests {
         m.payment_arrived(Amount::from_xrp(10));
         m.payment_arrived(Amount::from_xrp(30));
         m.unit_settled(Amount::from_xrp(10), SimTime::from_secs(1));
-        m.payment_completed(SimDuration::from_millis(700));
+        m.payment_completed(Amount::from_xrp(10), SimDuration::from_millis(700));
         m.unit_settled(Amount::from_xrp(15), SimTime::from_secs(2));
         let r = m.finish("test", SimDuration::from_secs(10));
         assert_eq!(r.attempted_payments, 2);
         assert_eq!(r.completed_payments, 1);
         assert!((r.success_ratio() - 0.5).abs() < 1e-12);
         assert!((r.success_volume() - 25.0 / 40.0).abs() < 1e-12);
+        // Goodput counts only the completed payment's 10 XRP over the
+        // 10 s horizon — the partially delivered 15 XRP is waste.
+        assert_eq!(r.completed_volume, Amount::from_xrp(10));
+        assert!((r.goodput_xrp_per_sec() - 1.0).abs() < 1e-12);
         assert_eq!(r.avg_completion_time(), Some(0.7));
     }
 
@@ -633,8 +670,11 @@ mod tests {
         m.unit_dropped(DropReason::MessageLost);
         m.unit_dropped(DropReason::HopTimeout);
         m.unit_dropped(DropReason::NodeCrashed);
+        m.unit_dropped(DropReason::Shed);
+        m.unit_dropped(DropReason::Shed);
+        m.unit_dropped(DropReason::AdmissionRejected);
         let r = m.finish("d", SimDuration::from_secs(1));
-        assert_eq!(r.units_dropped, 9);
+        assert_eq!(r.units_dropped, 12);
         assert_eq!(r.drops_by_reason.queue_timeout, 2);
         assert_eq!(r.drops_by_reason.queue_overflow, 1);
         assert_eq!(r.drops_by_reason.expired, 1);
@@ -642,6 +682,8 @@ mod tests {
         assert_eq!(r.drops_by_reason.message_lost, 2);
         assert_eq!(r.drops_by_reason.hop_timeout, 1);
         assert_eq!(r.drops_by_reason.node_crashed, 1);
+        assert_eq!(r.drops_by_reason.shed, 2);
+        assert_eq!(r.drops_by_reason.admission_rejected, 1);
         assert_eq!(r.drops_by_reason.total(), r.units_dropped);
         assert_eq!(r.drops_by_reason.fault_total(), 4);
         assert_eq!(r.units_dropped_fault, 4);
@@ -650,8 +692,8 @@ mod tests {
     #[test]
     fn histograms_mirror_the_scalar_aggregates() {
         let mut m = MetricsCollector::new();
-        m.payment_completed(SimDuration::from_millis(700));
-        m.payment_completed(SimDuration::from_millis(300));
+        m.payment_completed(Amount::from_xrp(1), SimDuration::from_millis(700));
+        m.payment_completed(Amount::from_xrp(1), SimDuration::from_millis(300));
         m.unit_lock(3, true);
         m.unit_lock(4, true);
         m.unit_lock(2, false);

@@ -161,6 +161,12 @@ pub struct UnitAck {
     pub stamp: MarkStamp,
     /// Why the unit was dropped, when `delivered` is false.
     pub drop_reason: Option<DropReason>,
+    /// The failing hop of a dropped unit — the channel it was queued at
+    /// or traveling toward — or `None` for delivered units and
+    /// whole-path failures (expiry after locking, griefing holds).
+    /// Lets routers attribute sheds to the congested channel
+    /// (`spider_routing::ChannelBreakers`) instead of the whole path.
+    pub drop_channel: Option<ChannelId>,
     /// Time from injection to this acknowledgement.
     pub rtt: SimDuration,
 }

@@ -74,6 +74,13 @@ pub enum DropReason {
     /// A node on its path crashed while the unit was in flight; every
     /// locked hop was refunded.
     NodeCrashed,
+    /// Evicted by deadline-aware overload shedding: a full queue chose to
+    /// drop the unit least likely to meet its deadline (which may be the
+    /// newcomer itself) rather than tail-drop blindly.
+    Shed,
+    /// Fail-fasted by sender-side admission control before entering any
+    /// queue: the network was judged too loaded to carry it in time.
+    AdmissionRejected,
 }
 
 impl DropReason {
@@ -129,6 +136,8 @@ mod tests {
             DropReason::MessageLost,
             DropReason::HopTimeout,
             DropReason::NodeCrashed,
+            DropReason::Shed,
+            DropReason::AdmissionRejected,
         ] {
             let v = serde::Serialize::to_value(&r);
             let back: DropReason = serde::Deserialize::from_value(&v).unwrap();
@@ -145,5 +154,9 @@ mod tests {
         assert!(!DropReason::QueueOverflow.is_fault());
         assert!(!DropReason::Expired.is_fault());
         assert!(!DropReason::ChannelClosed.is_fault());
+        // Overload protection is congestion response, not fault injection:
+        // these must never trip the fault backoff.
+        assert!(!DropReason::Shed.is_fault());
+        assert!(!DropReason::AdmissionRejected.is_fault());
     }
 }

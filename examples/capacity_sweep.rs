@@ -39,6 +39,7 @@ fn main() {
             scheme: schemes[0],
             dynamics: None,
             faults: None,
+            overload: None,
             seed: 7,
         };
         let reports = cfg.run_schemes(&schemes).expect("experiments run");

@@ -66,6 +66,7 @@ fn main() {
         scheme: SchemeConfig::SpiderWaterfilling { paths: 4 },
         dynamics: None,
         faults: None,
+        overload: None,
         seed: 3,
     };
 

@@ -26,6 +26,7 @@ pub fn small_isp_experiment(seed: u64, capacity_xrp: u64) -> ExperimentConfig {
         scheme: SchemeConfig::SpiderWaterfilling { paths: 4 },
         dynamics: None,
         faults: None,
+        overload: None,
         seed,
     }
 }

@@ -167,6 +167,7 @@ fn churn_experiment(scheme: SchemeConfig, seed: u64) -> ExperimentConfig {
             ..DynamicsConfig::default()
         }),
         faults: None,
+        overload: None,
         seed,
     }
 }

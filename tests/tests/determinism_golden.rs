@@ -31,6 +31,7 @@ fn golden_experiment(seed: u64, scheme: SchemeConfig) -> ExperimentConfig {
         scheme,
         dynamics: None,
         faults: None,
+        overload: None,
         seed,
     }
 }
@@ -193,6 +194,7 @@ fn ripple_golden_experiment(seed: u64, scheme: SchemeConfig) -> ExperimentConfig
         scheme,
         dynamics: None,
         faults: None,
+        overload: None,
         seed,
     }
 }

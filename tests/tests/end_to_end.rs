@@ -108,6 +108,7 @@ fn paper_example_topology_runs_all_schemes() {
         scheme: SchemeConfig::ShortestPath,
         dynamics: None,
         faults: None,
+        overload: None,
         seed: 23,
     };
     for r in cfg
@@ -133,6 +134,7 @@ fn ripple_like_topology_runs() {
         scheme: SchemeConfig::SpiderWaterfilling { paths: 4 },
         dynamics: None,
         faults: None,
+        overload: None,
         seed: 29,
     };
     let r = cfg.run().expect("runs");

@@ -32,6 +32,7 @@ fn fault_experiment(scheme: SchemeConfig, seed: u64, intensity: f64) -> Experime
             }
             .scaled(intensity)
         }),
+        overload: None,
         seed,
     }
 }

@@ -50,6 +50,7 @@ fn faulted_tiny_experiment(seed: u64) -> ExperimentConfig {
             }),
             horizon_secs: 4.0,
         }),
+        overload: None,
         seed,
     }
 }

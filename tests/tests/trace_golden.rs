@@ -34,6 +34,7 @@ fn tiny_experiment(seed: u64, scheme: SchemeConfig) -> ExperimentConfig {
         scheme,
         dynamics: None,
         faults: None,
+        overload: None,
         seed,
     }
 }
